@@ -1,0 +1,38 @@
+//! Query latency of all five compared engines over one corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncx_bench::fixtures::{query_text_over, Engines, Fixture};
+
+fn bench_baselines(c: &mut Criterion) {
+    let fixture = Fixture::standard(300, 42);
+    let engines = Engines::build(&fixture, 25);
+    let text = query_text_over(&fixture.kg, "Financial Crime", "Bank");
+    let q = engines.ncx.query(&["Financial Crime", "Bank"]).unwrap();
+
+    c.bench_function("search_lucene", |b| {
+        b.iter(|| engines.lucene.search(&text, 10));
+    });
+    c.bench_function("search_bert", |b| {
+        b.iter(|| engines.bert.search(&text, 10));
+    });
+    c.bench_function("search_newslink", |b| {
+        b.iter(|| {
+            engines
+                .newslink
+                .search(&fixture.kg, &fixture.nlp, &text, 10)
+        });
+    });
+    c.bench_function("search_newslink_bert", |b| {
+        b.iter(|| {
+            engines
+                .newslink_bert
+                .search(&fixture.kg, &fixture.nlp, &text, 10)
+        });
+    });
+    c.bench_function("search_ncexplorer", |b| {
+        b.iter(|| engines.ncx.rollup(&q, 10));
+    });
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Text-embedding and vector-search throughput (the BERT/Qdrant
+//! substitute).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncx_bench::fixtures::Fixture;
+use ncx_embed::{FlatIndex, IvfIndex, TextEmbedder};
+
+fn bench_embed(c: &mut Criterion) {
+    let fixture = Fixture::standard(200, 7);
+    let embedder = TextEmbedder::new(256);
+    let text = fixture.corpus.store.get(ncx_kg::DocId::new(0)).full_text();
+    c.bench_function("embed_article_256d", |b| {
+        b.iter(|| embedder.embed_text(&text));
+    });
+
+    let mut flat = FlatIndex::new(256);
+    for a in fixture.corpus.store.iter() {
+        flat.add(&embedder.embed_text(&a.full_text()));
+    }
+    let query = embedder.embed_text("financial crime money laundering bank");
+    c.bench_function("flat_search_200_docs", |b| {
+        b.iter(|| flat.search(&query, 10));
+    });
+    let ivf = IvfIndex::build(flat.clone(), 16, 4, 1);
+    c.bench_function("ivf_search_200_docs_nprobe4", |b| {
+        b.iter(|| ivf.search(&query, 10));
+    });
+}
+
+criterion_group!(benches, bench_embed);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Corpus indexing throughput: the NCExplorer two-pass pipeline vs the
+//! Lucene analyzer (the subject of Fig. 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncx_bench::fixtures::Fixture;
+use ncx_core::indexer::Indexer;
+use ncx_core::NcxConfig;
+use ncx_index::LuceneEngine;
+
+fn bench_indexing(c: &mut Criterion) {
+    let fixture = Fixture::standard(100, 7);
+    let mut group = c.benchmark_group("index_100_docs");
+    group.sample_size(10);
+    group.bench_function("lucene", |b| {
+        b.iter(|| {
+            let mut engine = LuceneEngine::new();
+            engine.index_store(&fixture.corpus.store);
+            engine.num_docs()
+        });
+    });
+    group.bench_function("ncexplorer_seq", |b| {
+        let config = NcxConfig {
+            threads: 1,
+            samples: 25,
+            ..NcxConfig::default()
+        };
+        b.iter(|| {
+            Indexer::new(&fixture.kg, &fixture.nlp, config.clone())
+                .index_corpus(&fixture.corpus.store)
+                .num_postings()
+        });
+    });
+    group.bench_function("ncexplorer_par", |b| {
+        let config = NcxConfig {
+            threads: 0,
+            samples: 25,
+            ..NcxConfig::default()
+        };
+        b.iter(|| {
+            Indexer::new(&fixture.kg, &fixture.nlp, config.clone())
+                .index_corpus(&fixture.corpus.store)
+                .num_postings()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexing);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbenchmarks for hop-bounded simple-path counting and enumeration —
+//! the inner loop of the exact connectivity score (Eq. 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncx_datagen::{generate_kg, KgGenConfig};
+use ncx_kg::paths::PathCounter;
+use ncx_kg::traversal::{bounded_bfs, DistMap};
+use ncx_kg::InstanceId;
+
+fn bench_path_counting(c: &mut Criterion) {
+    let kg = generate_kg(&KgGenConfig::default());
+    let crime = kg.concept_by_name("Financial Crime").unwrap();
+    let bank = kg.concept_by_name("Bank").unwrap();
+    let u = kg.members(crime)[0];
+    let v = kg.members(bank)[0];
+    let mut counter = PathCounter::new(&kg);
+
+    let mut group = c.benchmark_group("count_simple_paths");
+    for tau in [2u8, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, &tau| {
+            b.iter(|| counter.count(&kg, u, v, tau));
+        });
+    }
+    group.finish();
+
+    c.bench_function("enumerate_paths_tau2_limit16", |b| {
+        b.iter(|| counter.enumerate(&kg, u, v, 2, 16));
+    });
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let kg = generate_kg(&KgGenConfig::default());
+    let mut dist = DistMap::new(kg.num_instances());
+    let src = InstanceId::new(0);
+    c.bench_function("bounded_bfs_tau2", |b| {
+        b.iter(|| bounded_bfs(&kg, &[src], 2, &mut dist));
+    });
+    c.bench_function("bounded_bfs_tau3", |b| {
+        b.iter(|| bounded_bfs(&kg, &[src], 3, &mut dist));
+    });
+}
+
+criterion_group!(benches, bench_path_counting, bench_bfs);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! k-hop reachability index construction and query microbenchmarks
+//! (the paper reports 260 s / 100 GB for full DBpedia).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncx_datagen::{generate_kg, KgGenConfig};
+use ncx_kg::traversal::DistMap;
+use ncx_kg::InstanceId;
+use ncx_reach::{KHopIndex, TargetDistanceOracle};
+
+fn bench_reach(c: &mut Criterion) {
+    let kg = generate_kg(&KgGenConfig {
+        synth_per_group: 80,
+        ..KgGenConfig::default()
+    });
+    c.bench_function("khop_build_16_landmarks", |b| {
+        b.iter(|| KHopIndex::build(&kg, 16, 3));
+    });
+
+    let idx = KHopIndex::build(&kg, 16, 3);
+    let mut scratch = DistMap::new(kg.num_instances());
+    let pairs: Vec<(InstanceId, InstanceId)> = (0..64)
+        .map(|i| {
+            (
+                InstanceId::new(i),
+                InstanceId::new((i * 13 + 7) % kg.num_instances() as u32),
+            )
+        })
+        .collect();
+    c.bench_function("khop_reachable_within_64_pairs", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(u, v)| idx.reachable_within(&kg, u, v, 2, &mut scratch))
+                .count()
+        });
+    });
+
+    let oracle = TargetDistanceOracle::new(2, 1024);
+    c.bench_function("oracle_distances_cold", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % kg.num_instances() as u32;
+            oracle.distances(&kg, InstanceId::new(i))
+        });
+    });
+}
+
+criterion_group!(benches, bench_reach);
+criterion_main!(benches);

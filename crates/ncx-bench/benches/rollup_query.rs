@@ -1,0 +1,30 @@
+//! Roll-up and drill-down query latency (the subject of Fig. 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncx_bench::fixtures::{Engines, Fixture};
+
+fn bench_rollup(c: &mut Criterion) {
+    let fixture = Fixture::standard(300, 42);
+    let engines = Engines::build(&fixture, 25);
+    let queries: [&[&str]; 3] = [
+        &["Financial Crime"],
+        &["Financial Crime", "Bank"],
+        &["Financial Crime", "Bank", "Mergers & Acquisitions"],
+    ];
+    let mut group = c.benchmark_group("rollup");
+    for (i, names) in queries.iter().enumerate() {
+        let q = engines.ncx.query(names).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(i + 1), &q, |b, q| {
+            b.iter(|| engines.ncx.rollup(q, 10));
+        });
+    }
+    group.finish();
+
+    let q = engines.ncx.query(&["Financial Crime"]).unwrap();
+    c.bench_function("drilldown_top10", |b| {
+        b.iter(|| engines.ncx.drilldown(&q, 10));
+    });
+}
+
+criterion_group!(benches, bench_rollup);
+criterion_main!(benches);

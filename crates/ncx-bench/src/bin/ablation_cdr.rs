@@ -1,0 +1,10 @@
+//! Runs the cdr scoring-design ablation (an extension beyond the paper's
+//! figures): ontology-only vs context-only vs the full product.
+
+use ncx_bench::experiments::ablation_cdr;
+use ncx_bench::fixtures::Fixture;
+
+fn main() {
+    let fixture = Fixture::standard(600, 42);
+    println!("{}", ablation_cdr::run(&fixture, 50));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 4 (indexing time per article by source) plus the
+//! reachability-index construction stats.
+
+use ncx_bench::experiments::fig4_indexing;
+use ncx_bench::fixtures::Fixture;
+
+fn main() {
+    let fixture = Fixture::balanced_sources(300, 42);
+    let out = fig4_indexing::run(&fixture, 100);
+    println!("{}", out.table);
+    println!("{}", out.reach_report);
+}

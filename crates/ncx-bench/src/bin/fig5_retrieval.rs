@@ -1,0 +1,10 @@
+//! Regenerates Fig. 5 (retrieval time vs number of query concepts).
+
+use ncx_bench::experiments::fig5_retrieval;
+use ncx_bench::fixtures::{Engines, Fixture};
+
+fn main() {
+    let fixture = Fixture::standard(600, 42);
+    let engines = Engines::build(&fixture, 50);
+    println!("{}", fig5_retrieval::run(&fixture, &engines, 3));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 6 (context relevance: relevant vs negative concepts).
+
+use ncx_bench::experiments::fig6_context;
+use ncx_bench::fixtures::{Engines, Fixture};
+
+fn main() {
+    let fixture = Fixture::sparse_kg(300, 42);
+    let engines = Engines::build(&fixture, 50);
+    println!("{}", fig6_context::run(&fixture, &engines, 5));
+}

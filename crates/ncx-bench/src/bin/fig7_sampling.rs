@@ -1,0 +1,11 @@
+//! Regenerates Fig. 7 (estimator error vs sample count, with/without the
+//! reachability index).
+
+use ncx_bench::experiments::fig7_sampling;
+use ncx_bench::fixtures::{Engines, Fixture};
+
+fn main() {
+    let fixture = Fixture::sparse_kg(300, 42);
+    let engines = Engines::build(&fixture, 50);
+    println!("{}", fig7_sampling::run(&fixture, &engines, 13));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 8 (drill-down ranking ablation C / C+S / C+S+D).
+
+use ncx_bench::experiments::fig8_ablation;
+use ncx_bench::fixtures::{Engines, Fixture};
+
+fn main() {
+    let fixture = Fixture::standard(600, 42);
+    let engines = Engines::build(&fixture, 50);
+    println!("{}", fig8_ablation::run(&fixture, &engines, 17));
+}

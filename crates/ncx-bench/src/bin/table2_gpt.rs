@@ -1,0 +1,11 @@
+//! Regenerates Table II only (GPT re-rank impact per method).
+
+use ncx_bench::experiments::table1_ndcg;
+use ncx_bench::fixtures::{Engines, Fixture};
+
+fn main() {
+    let fixture = Fixture::standard(600, 42);
+    let engines = Engines::build(&fixture, 50);
+    let out = table1_ndcg::run(&fixture, &engines, 7);
+    println!("{}", out.table2);
+}

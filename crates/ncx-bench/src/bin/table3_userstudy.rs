@@ -1,0 +1,11 @@
+//! Regenerates Table III (the productivity study with Welch p-values).
+
+use ncx_bench::experiments::table3_userstudy;
+use ncx_bench::fixtures::{Engines, Fixture};
+
+fn main() {
+    let fixture = Fixture::standard(600, 42);
+    let engines = Engines::build(&fixture, 50);
+    let out = table3_userstudy::run(&fixture, &engines, 11);
+    println!("{}", out.table);
+}

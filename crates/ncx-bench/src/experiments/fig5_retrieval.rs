@@ -1,0 +1,103 @@
+//! Fig. 5: retrieval latency versus the number of concepts in the query
+//! (1–3), averaged over 100 queries per point, fixed corpus.
+
+use crate::fixtures::{Engines, Fixture};
+use ncx_core::ConceptQuery;
+use ncx_datagen::domains::{ENTITY_GROUPS, TOPICS};
+use ncx_eval::tables::Table;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Queries per data point (as in the paper).
+const QUERIES_PER_POINT: usize = 100;
+const TOP_K: usize = 10;
+
+/// A sampled evaluation query: concept labels plus its text form.
+type SampledQuery = (Vec<&'static str>, String);
+
+/// Builds a query of `n` concepts plus its text form (one representative
+/// entity label per concept, the way a user would spell the query).
+fn sample_query(fixture: &Fixture, n: usize, rng: &mut StdRng) -> SampledQuery {
+    let mut pool: Vec<&'static str> = TOPICS.iter().chain(ENTITY_GROUPS.iter()).copied().collect();
+    pool.shuffle(rng);
+    let concepts: Vec<&'static str> = pool.into_iter().take(n).collect();
+    let mut words = Vec::new();
+    for &c in &concepts {
+        let cid = fixture.kg.concept_by_name(c).expect("concept");
+        let members = fixture.kg.members(cid);
+        if members.is_empty() {
+            words.push(c.to_string());
+        } else {
+            let v = members[rng.gen_range(0..members.len())];
+            words.push(fixture.kg.instance_label(v).to_string());
+        }
+    }
+    (concepts, words.join(" "))
+}
+
+/// Runs the experiment.
+pub fn run(fixture: &Fixture, engines: &Engines, seed: u64) -> String {
+    let mut table = Table::new(
+        "Fig. 5 — retrieval time vs #concepts in query (ms, avg of 100)",
+        &[
+            "#concepts",
+            "Lucene",
+            "BERT",
+            "NewsLink",
+            "NewsLink-BERT",
+            "NCEXPLORER",
+        ],
+    );
+    for n in 1..=3usize {
+        let mut rng = StdRng::seed_from_u64(seed ^ n as u64);
+        let queries: Vec<SampledQuery> = (0..QUERIES_PER_POINT)
+            .map(|_| sample_query(fixture, n, &mut rng))
+            .collect();
+
+        let time = |f: &mut dyn FnMut(&SampledQuery)| -> f64 {
+            let t0 = Instant::now();
+            for q in &queries {
+                f(q);
+            }
+            t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64
+        };
+
+        let lucene = time(&mut |(_, text)| {
+            std::hint::black_box(engines.lucene.search(text, TOP_K));
+        });
+        let bert = time(&mut |(_, text)| {
+            std::hint::black_box(engines.bert.search(text, TOP_K));
+        });
+        let newslink = time(&mut |(_, text)| {
+            std::hint::black_box(
+                engines
+                    .newslink
+                    .search(&fixture.kg, &fixture.nlp, text, TOP_K),
+            );
+        });
+        let newslink_bert = time(&mut |(_, text)| {
+            std::hint::black_box(engines.newslink_bert.search(
+                &fixture.kg,
+                &fixture.nlp,
+                text,
+                TOP_K,
+            ));
+        });
+        let ncx = time(&mut |(concepts, _)| {
+            let q = ConceptQuery::from_names(&fixture.kg, concepts).expect("concepts");
+            std::hint::black_box(engines.ncx.rollup(&q, TOP_K));
+        });
+
+        table.row(&[
+            n.to_string(),
+            format!("{lucene:.3}"),
+            format!("{bert:.3}"),
+            format!("{newslink:.3}"),
+            format!("{newslink_bert:.3}"),
+            format!("{ncx:.3}"),
+        ]);
+    }
+    table.render()
+}

@@ -1,0 +1,122 @@
+//! Fig. 7: random-walk estimator convergence — mean relative error of the
+//! connectivity estimate versus sample count, with (solid) and without
+//! (dotted) the k-hop reachability index, per news source.
+
+use crate::fixtures::{Engines, Fixture};
+use ncx_core::relevance::context::exact_conn;
+use ncx_core::relevance::estimator::ConnEstimator;
+use ncx_eval::error::relative_error;
+use ncx_eval::tables::Table;
+use ncx_kg::{ConceptId, DocId, InstanceId};
+use ncx_reach::TargetDistanceOracle;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const SAMPLE_COUNTS: [u32; 8] = [1, 2, 5, 10, 20, 30, 40, 50];
+const PAIRS: usize = 24;
+const REPS: u64 = 12;
+const TAU: u8 = 2;
+const BETA: f64 = 0.5;
+
+struct EvalPair {
+    concept: ConceptId,
+    context: Vec<InstanceId>,
+    exact: f64,
+}
+
+/// Runs the experiment.
+pub fn run(fixture: &Fixture, engines: &Engines, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let index = engines.ncx.index();
+    let kg = &fixture.kg;
+
+    // Collect (concept, doc) pairs with non-trivial exact connectivity.
+    let mut candidates: Vec<(ConceptId, DocId)> = Vec::new();
+    let mut concepts: Vec<ConceptId> = index.indexed_concepts().collect();
+    concepts.sort_unstable();
+    for &c in &concepts {
+        for p in index.postings(c) {
+            if p.cdrc > 0.0 {
+                candidates.push((c, p.doc));
+            }
+        }
+    }
+    candidates.shuffle(&mut rng);
+
+    let mut pairs: Vec<EvalPair> = Vec::new();
+    for (concept, doc) in candidates {
+        if pairs.len() >= PAIRS {
+            break;
+        }
+        let context: Vec<InstanceId> = index
+            .entity_index
+            .entities_of(doc)
+            .iter()
+            .filter(|&&(v, _)| !kg.is_member(concept, v))
+            .map(|&(v, _)| v)
+            .collect();
+        if context.is_empty() {
+            continue;
+        }
+        let exact = exact_conn(kg, concept, &context, TAU, BETA);
+        if exact > 0.0 {
+            pairs.push(EvalPair {
+                concept,
+                context,
+                exact,
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "Fig. 7 — estimator mean relative error vs sample count",
+        &["samples", "with reach index", "w/o reach index"],
+    );
+    let guided = ConnEstimator::new(
+        TAU,
+        BETA,
+        true,
+        Arc::new(TargetDistanceOracle::new(TAU, 512)),
+    );
+    let unguided = ConnEstimator::new(
+        TAU,
+        BETA,
+        false,
+        Arc::new(TargetDistanceOracle::new(TAU, 512)),
+    );
+    for &samples in &SAMPLE_COUNTS {
+        let mut g_err = 0.0;
+        let mut u_err = 0.0;
+        let mut n = 0.0;
+        for (pi, p) in pairs.iter().enumerate() {
+            for rep in 0..REPS {
+                let s = seed ^ ((pi as u64) << 16) ^ rep;
+                let (ge, _) =
+                    guided.estimate_conn(kg, kg.members(p.concept), &p.context, samples, s);
+                let (ue, _) = unguided.estimate_conn(
+                    kg,
+                    kg.members(p.concept),
+                    &p.context,
+                    samples,
+                    s ^ 0xff,
+                );
+                g_err += relative_error(ge, p.exact);
+                u_err += relative_error(ue, p.exact);
+                n += 1.0;
+            }
+        }
+        table.row(&[
+            samples.to_string(),
+            format!("{:.1}%", 100.0 * g_err / n),
+            format!("{:.1}%", 100.0 * u_err / n),
+        ]);
+    }
+    format!(
+        "{}(averaged over {} ⟨c,d⟩ pairs × {} repetitions, τ={TAU}, β={BETA})\n",
+        table.render(),
+        pairs.len(),
+        REPS
+    )
+}

@@ -1,0 +1,12 @@
+//! One module per paper artefact. Each `run` returns a rendered report so
+//! the binaries (and `run_all`) stay thin.
+
+pub mod ablation_cdr;
+pub mod dataset_stats;
+pub mod fig4_indexing;
+pub mod fig5_retrieval;
+pub mod fig6_context;
+pub mod fig7_sampling;
+pub mod fig8_ablation;
+pub mod table1_ndcg;
+pub mod table3_userstudy;

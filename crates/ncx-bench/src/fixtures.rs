@@ -1,0 +1,165 @@
+//! Standard experiment fixtures: one KG + corpus + all five engines.
+
+use ncx_core::{NcExplorer, NcxConfig};
+use ncx_datagen::{generate_corpus, generate_kg, CorpusConfig, GeneratedCorpus, KgGenConfig};
+use ncx_embed::{BertBaseline, TextEmbedder};
+use ncx_index::LuceneEngine;
+use ncx_kg::KnowledgeGraph;
+use ncx_newslink::search::NewsLinkConfig;
+use ncx_newslink::{NewsLinkBert, NewsLinkEngine};
+use ncx_text::{GazetteerLinker, NlpPipeline};
+use std::sync::Arc;
+
+/// Embedding dimensionality used across experiments.
+pub const EMBED_DIM: usize = 256;
+
+/// The KG + corpus bundle.
+pub struct Fixture {
+    /// The knowledge graph.
+    pub kg: Arc<KnowledgeGraph>,
+    /// The generated corpus with ground truth.
+    pub corpus: GeneratedCorpus,
+    /// A shared NLP pipeline over the KG gazetteer.
+    pub nlp: NlpPipeline,
+}
+
+impl Fixture {
+    /// Builds the standard fixture: default KG, `articles` articles with
+    /// the paper-like source mix.
+    pub fn standard(articles: usize, seed: u64) -> Self {
+        Self::with_configs(
+            KgGenConfig::default(),
+            CorpusConfig {
+                articles,
+                seed,
+                ..CorpusConfig::default()
+            },
+        )
+    }
+
+    /// Builds with balanced sources (Fig. 4 needs enough of each portal).
+    pub fn balanced_sources(articles: usize, seed: u64) -> Self {
+        Self::with_configs(
+            KgGenConfig::default(),
+            CorpusConfig {
+                articles,
+                seed,
+                source_mix: [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+                ..CorpusConfig::default()
+            },
+        )
+    }
+
+    /// A sparser KG (fewer affinity/background edges), matching DBpedia's
+    /// sparsity better — used by the connectivity-score experiments
+    /// (Figs. 6–7) where path counts are the object of study.
+    pub fn sparse_kg(articles: usize, seed: u64) -> Self {
+        Self::with_configs(
+            KgGenConfig {
+                affinity_edges: 2,
+                background_edges: 0.25,
+                orphan_entities: 160,
+                ..KgGenConfig::default()
+            },
+            CorpusConfig {
+                articles,
+                seed,
+                source_mix: [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+                ..CorpusConfig::default()
+            },
+        )
+    }
+
+    /// Fully custom generation.
+    pub fn with_configs(kg_config: KgGenConfig, corpus_config: CorpusConfig) -> Self {
+        let kg = Arc::new(generate_kg(&kg_config));
+        let corpus = generate_corpus(&kg, &corpus_config);
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        Self { kg, corpus, nlp }
+    }
+}
+
+/// All five compared engines, built over one fixture.
+pub struct Engines {
+    /// LUCENE: BM25 bag-of-words.
+    pub lucene: LuceneEngine,
+    /// BERT: dense embedding retrieval.
+    pub bert: BertBaseline,
+    /// NEWSLINK: expanded bag-of-entities.
+    pub newslink: NewsLinkEngine,
+    /// NEWSLINK-BERT hybrid.
+    pub newslink_bert: NewsLinkBert,
+    /// NCEXPLORER (ours).
+    pub ncx: NcExplorer,
+}
+
+impl Engines {
+    /// Builds every engine. `samples` is NCExplorer's walk budget per
+    /// connectivity estimate (the paper uses 50).
+    pub fn build(fixture: &Fixture, samples: u32) -> Self {
+        let mut lucene = LuceneEngine::new();
+        lucene.index_store(&fixture.corpus.store);
+        let bert = BertBaseline::build_flat(TextEmbedder::new(EMBED_DIM), &fixture.corpus.store);
+        let newslink = NewsLinkEngine::build(
+            &fixture.kg,
+            &fixture.nlp,
+            &fixture.corpus.store,
+            NewsLinkConfig::default(),
+        );
+        let newslink_bert = NewsLinkBert::build(
+            &fixture.kg,
+            &fixture.nlp,
+            &fixture.corpus.store,
+            NewsLinkConfig::default(),
+            TextEmbedder::new(EMBED_DIM),
+        );
+        let ncx = NcExplorer::build(
+            fixture.kg.clone(),
+            &fixture.corpus.store,
+            NcxConfig {
+                samples,
+                ..NcxConfig::default()
+            },
+        );
+        Self {
+            lucene,
+            bert,
+            newslink,
+            newslink_bert,
+            ncx,
+        }
+    }
+}
+
+/// The six Table-I evaluation queries: topic × entity group.
+pub const TABLE1_QUERIES: [(&str, &str); 6] = [
+    ("International Trade", "Asian Country"),
+    ("Lawsuits", "Technology Company"),
+    ("Elections", "African Country"),
+    ("Mergers & Acquisitions", "Biotechnology Company"),
+    ("International Relations", "European Country"),
+    ("Labor Dispute", "Technology Company"),
+];
+
+/// Free-text rendering of a (topic, group) query. Following the paper —
+/// "each topic is combined with either an entity group (**a list of
+/// countries or companies**)" — the text names the topic plus the first
+/// seed entities of the group, which is what the lexical/embedding/
+/// entity-linking baselines receive.
+pub fn query_text_over(kg: &ncx_kg::KnowledgeGraph, topic: &str, group: &str) -> String {
+    let tid = kg.concept_by_name(topic).expect("topic concept");
+    let terms: Vec<&str> = kg
+        .members(tid)
+        .iter()
+        .take(2)
+        .map(|&v| kg.instance_label(v))
+        .collect();
+    let gid = kg.concept_by_name(group).expect("group concept");
+    let members: Vec<&str> = kg
+        .members(gid)
+        .iter()
+        .take(4)
+        .map(|&v| kg.instance_label(v))
+        .collect();
+    format!("{topic} {} {group} {}", terms.join(" "), members.join(" "))
+}

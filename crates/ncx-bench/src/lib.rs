@@ -1,0 +1,17 @@
+//! # ncx-bench — experiment harness
+//!
+//! Regenerates every table and figure of the NCExplorer paper's
+//! evaluation (§IV) against the synthetic substrate. One binary per
+//! artefact (`table1_ndcg`, …, `fig8_ablation`) plus `run_all`, which
+//! writes the consolidated `EXPERIMENTS.md`.
+//!
+//! The shared pieces live here:
+//!
+//! * [`fixtures`] — the standard KG/corpus/engine bundle;
+//! * [`methods`] — the five compared methods behind one interface;
+//! * [`experiments`] — one module per table/figure, each returning a
+//!   rendered report string so binaries stay thin.
+
+pub mod experiments;
+pub mod fixtures;
+pub mod methods;

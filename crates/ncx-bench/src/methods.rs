@@ -1,0 +1,93 @@
+//! The five compared methods behind one dispatch interface.
+
+use crate::fixtures::{query_text_over, Engines, Fixture};
+use ncx_kg::DocId;
+
+/// The methods of Table I, in the paper's row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// BM25 keyword matching.
+    Lucene,
+    /// Dense embedding retrieval.
+    Bert,
+    /// Expanded bag-of-entities.
+    NewsLink,
+    /// NewsLink expansion + embedding retrieval.
+    NewsLinkBert,
+    /// NCExplorer roll-up (ours).
+    NcExplorer,
+}
+
+impl Method {
+    /// All methods in presentation order.
+    pub const ALL: [Method; 5] = [
+        Method::Lucene,
+        Method::Bert,
+        Method::NewsLink,
+        Method::NewsLinkBert,
+        Method::NcExplorer,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Lucene => "Lucene",
+            Method::Bert => "BERT",
+            Method::NewsLink => "NewsLink",
+            Method::NewsLinkBert => "NewsLink-BERT",
+            Method::NcExplorer => "NCEXPLORER",
+        }
+    }
+
+    /// Runs a (topic, group) evaluation query: KG methods receive linked
+    /// entities / concepts, text methods receive the natural-language
+    /// query string.
+    pub fn search(
+        self,
+        fixture: &Fixture,
+        engines: &Engines,
+        topic: &str,
+        group: &str,
+        k: usize,
+    ) -> Vec<DocId> {
+        let text = query_text_over(&fixture.kg, topic, group);
+        match self {
+            Method::Lucene => engines
+                .lucene
+                .search(&text, k)
+                .into_iter()
+                .map(|(d, _)| d)
+                .collect(),
+            Method::Bert => engines
+                .bert
+                .search(&text, k)
+                .into_iter()
+                .map(|(d, _)| d)
+                .collect(),
+            Method::NewsLink => engines
+                .newslink
+                .search(&fixture.kg, &fixture.nlp, &text, k)
+                .into_iter()
+                .map(|(d, _)| d)
+                .collect(),
+            Method::NewsLinkBert => engines
+                .newslink_bert
+                .search(&fixture.kg, &fixture.nlp, &text, k)
+                .into_iter()
+                .map(|(d, _)| d)
+                .collect(),
+            Method::NcExplorer => {
+                let q = engines
+                    .ncx
+                    .query(&[topic, group])
+                    .expect("evaluation concepts exist");
+                engines
+                    .ncx
+                    .rollup(&q, k)
+                    .into_iter()
+                    .map(|h| h.doc)
+                    .collect()
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Smoke tests for the experiment harness: every experiment must run on a
+//! small fixture and produce a well-formed report. Guards the bench code
+//! against regressions during normal `cargo test` runs.
+
+use ncx_bench::experiments::*;
+use ncx_bench::fixtures::{Engines, Fixture};
+use ncx_bench::methods::Method;
+use std::sync::OnceLock;
+
+/// One shared small fixture: building engines dominates test time.
+fn shared() -> &'static (Fixture, Engines) {
+    static CELL: OnceLock<(Fixture, Engines)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let fixture = Fixture::standard(120, 9);
+        let engines = Engines::build(&fixture, 10);
+        (fixture, engines)
+    })
+}
+
+#[test]
+fn all_methods_answer_every_table1_query() {
+    let (fixture, engines) = shared();
+    for &(topic, group) in ncx_bench::fixtures::TABLE1_QUERIES.iter() {
+        for method in Method::ALL {
+            let docs = method.search(fixture, engines, topic, group, 5);
+            assert!(
+                !docs.is_empty(),
+                "{} returned nothing for {topic} × {group}",
+                method.name()
+            );
+            // No duplicates in a result list.
+            let mut sorted: Vec<_> = docs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), docs.len(), "{}", method.name());
+        }
+    }
+}
+
+#[test]
+fn table1_report_well_formed() {
+    let (fixture, engines) = shared();
+    let out = table1_ndcg::run(fixture, engines, 7);
+    // 6 queries × 5 methods = 30 data rows.
+    assert_eq!(out.table1.lines().count(), 30 + 3);
+    assert!(out.table2.contains("NCEXPLORER"));
+    assert_eq!(out.aggregates.len(), 5);
+    for agg in out.aggregates.values() {
+        for i in 0..3 {
+            assert!(agg.base[i] > 0.0 && agg.base[i] <= 1.0 + 1e-9);
+            assert!(agg.gpt_delta[i].is_finite());
+        }
+    }
+}
+
+#[test]
+fn table3_report_well_formed() {
+    let (fixture, engines) = shared();
+    let out = table3_userstudy::run(fixture, engines, 11);
+    assert_eq!(out.tasks.len(), 8);
+    for t in &out.tasks {
+        assert_eq!(t.keyword.len(), 10);
+        assert_eq!(t.ncx.len(), 10);
+        assert!((0.0..=1.0).contains(&t.p_value));
+    }
+    // NCExplorer must beat keyword search on most tasks even at this
+    // small scale.
+    let wins = out
+        .tasks
+        .iter()
+        .filter(|t| ncx_eval::stats::mean(&t.ncx) >= ncx_eval::stats::mean(&t.keyword))
+        .count();
+    assert!(wins >= 6, "only {wins}/8 tasks favour NCExplorer");
+}
+
+#[test]
+fn figure_reports_contain_series() {
+    let (fixture, engines) = shared();
+    let f5 = fig5_retrieval::run(fixture, engines, 3);
+    assert_eq!(f5.lines().count(), 3 + 3, "three concept counts");
+    let f8 = fig8_ablation::run(fixture, engines, 17);
+    assert!(f8.contains("business") && f8.contains("politics") && f8.contains("overall"));
+    let ds = dataset_stats::run(fixture);
+    assert!(ds.contains("reuters"));
+}
+
+#[test]
+fn fig7_guided_beats_unguided_at_scale() {
+    // Dedicated sparse fixture (the shared one is too dense to be
+    // discriminative at tiny sample counts).
+    let fixture = Fixture::sparse_kg(80, 5);
+    let engines = Engines::build(&fixture, 10);
+    let report = fig7_sampling::run(&fixture, &engines, 13);
+    // Parse the 50-sample row: guided error must be below unguided.
+    let row = report
+        .lines()
+        .find(|l| l.trim_start().starts_with("50"))
+        .expect("50-sample row");
+    let nums: Vec<f64> = row
+        .split_whitespace()
+        .filter_map(|t| t.trim_end_matches('%').parse::<f64>().ok())
+        .collect();
+    assert!(nums.len() >= 3, "{row}");
+    let (guided, unguided) = (nums[1], nums[2]);
+    assert!(
+        guided < unguided,
+        "guided {guided}% must beat unguided {unguided}%"
+    );
+}

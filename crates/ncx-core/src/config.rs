@@ -1,0 +1,145 @@
+//! Engine configuration.
+
+use ncx_kg::traversal::Hops;
+
+/// Which factors of `cdr(c, d)` to use — the scoring-design ablation
+/// (Eq. 2 multiplies ontology and context relevance; dropping either
+/// factor isolates its contribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoreAblation {
+    /// `cdr = cdr_o · cdr_c` (the paper's scheme).
+    #[default]
+    Full,
+    /// `cdr = cdr_o` (ontology relevance only; no KG connectivity).
+    OntologyOnly,
+    /// `cdr = cdr_c` (context relevance only; no pivot-entity weighting).
+    ContextOnly,
+}
+
+/// Parameters of the NCExplorer engine. `Default` reproduces the paper's
+/// evaluation settings: τ = 2, β = 0.5, 50 samples per connectivity score,
+/// reachability-guided sampling on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NcxConfig {
+    /// Hop constraint τ of the connectivity score (Eq. 4).
+    pub tau: Hops,
+    /// Damping factor β penalising longer paths (Eq. 4).
+    pub beta: f64,
+    /// Random-walk samples per (concept, document) connectivity estimate.
+    pub samples: u32,
+    /// Guide walks with the k-hop reachability oracle (paper's default;
+    /// turning this off reproduces the "w/o reachability index" series of
+    /// Fig. 7).
+    pub guided: bool,
+    /// Seed for the deterministic per-(doc, concept) walk RNG.
+    pub seed: u64,
+    /// Maximum candidate concepts scored per document (highest ontology
+    /// relevance first); bounds indexing cost on concept-dense documents.
+    pub max_concepts_per_doc: usize,
+    /// Concepts with `|Ψ(c)|` above this fraction of `|V_I|` are skipped as
+    /// trivially broad ("Thing", "Agent", …).
+    pub max_member_fraction: f64,
+    /// Worker threads for corpus indexing (0 = all available cores).
+    pub threads: usize,
+    /// Capacity of the per-target distance cache.
+    pub oracle_cache: usize,
+    /// When a roll-up concept has no direct posting for a document, fall
+    /// back to its narrower ("edge") concepts, as §III-A1 prescribes.
+    pub edge_concept_fallback: bool,
+    /// Maximum documents examined per drill-down candidate enumeration.
+    pub drilldown_doc_cap: usize,
+    /// Scoring-design ablation (default: the paper's full product).
+    pub ablation: ScoreAblation,
+}
+
+impl Default for NcxConfig {
+    fn default() -> Self {
+        Self {
+            tau: 2,
+            beta: 0.5,
+            samples: 50,
+            guided: true,
+            seed: 0x5ca1ab1e,
+            max_concepts_per_doc: 64,
+            max_member_fraction: 0.2,
+            threads: 0,
+            oracle_cache: 4096,
+            edge_concept_fallback: true,
+            drilldown_doc_cap: 2000,
+            ablation: ScoreAblation::default(),
+        }
+    }
+}
+
+impl NcxConfig {
+    /// Resolved worker-thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Validates parameter ranges, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tau == 0 {
+            return Err("tau must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.beta) {
+            return Err(format!("beta must be in [0, 1], got {}", self.beta));
+        }
+        if self.samples == 0 {
+            return Err("samples must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.max_member_fraction) {
+            return Err("max_member_fraction must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = NcxConfig::default();
+        assert_eq!(c.tau, 2);
+        assert_eq!(c.beta, 0.5);
+        assert_eq!(c.samples, 50);
+        assert!(c.guided);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let bad_tau = NcxConfig {
+            tau: 0,
+            ..NcxConfig::default()
+        };
+        assert!(bad_tau.validate().is_err());
+        let bad_beta = NcxConfig {
+            beta: 1.5,
+            ..NcxConfig::default()
+        };
+        assert!(bad_beta.validate().is_err());
+        let bad_samples = NcxConfig {
+            samples: 0,
+            ..NcxConfig::default()
+        };
+        assert!(bad_samples.validate().is_err());
+    }
+
+    #[test]
+    fn effective_threads_positive() {
+        let mut c = NcxConfig::default();
+        assert!(c.effective_threads() >= 1);
+        c.threads = 3;
+        assert_eq!(c.effective_threads(), 3);
+    }
+}

@@ -1,0 +1,351 @@
+//! The drill-down operation — Definition 2 of the paper.
+//!
+//! Given a query `Q`, suggest subtopic concepts `c'` that appear in the
+//! matched documents `D(Q)`, ranked by
+//!
+//! ```text
+//! sbr(c, Q) = coverage(c, Q) · specificity(c) · diversity(c, Q)
+//! ```
+//!
+//! * `coverage` — `Σ_{d∈D(Q)} cdr(c, d)`: favour subtopics relevant to
+//!   many matched documents;
+//! * `specificity` — `log(|V_I| / |Ψ(c)|)`: suppress trivial subtopics
+//!   like *Person*;
+//! * `diversity` — `|∪_{d∈D(Q)} ME(c, d)| / |D(Q ∪ {c})|`: favour
+//!   subtopics backed by many *distinct* entities rather than one popular
+//!   entity repeated everywhere.
+
+use crate::config::NcxConfig;
+use crate::indexer::NcxIndex;
+use crate::query::ConceptQuery;
+use crate::rollup::matched_docs;
+use ncx_index::TopK;
+use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// A suggested drill-down subtopic with its score decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subtopic {
+    /// The suggested concept.
+    pub concept: ConceptId,
+    /// `sbr(c, Q)`.
+    pub score: f64,
+    /// Coverage component.
+    pub coverage: f64,
+    /// Specificity component.
+    pub specificity: f64,
+    /// Diversity component.
+    pub diversity: f64,
+    /// `|D(Q ∪ {c})|` within the examined document set.
+    pub matching_docs: usize,
+    /// Distinct matched entities supporting the subtopic.
+    pub distinct_entities: usize,
+}
+
+/// Which factors of `sbr` to use — the ablation knob of Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SbrFactors {
+    /// Coverage only.
+    C,
+    /// Coverage × Specificity.
+    CS,
+    /// Coverage × Specificity × Diversity (the full ranking).
+    CSD,
+}
+
+impl SbrFactors {
+    /// Display label matching Fig. 8's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            SbrFactors::C => "C",
+            SbrFactors::CS => "C + S",
+            SbrFactors::CSD => "C + S + D",
+        }
+    }
+}
+
+/// The drill-down operation with the full ranking (`C·S·D`).
+pub fn drilldown(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    query: &ConceptQuery,
+    k: usize,
+    config: &NcxConfig,
+) -> Vec<Subtopic> {
+    drilldown_with_factors(index, kg, query, k, config, SbrFactors::CSD)
+}
+
+/// Drill-down with a configurable factor set (used by the Fig. 8
+/// ablation).
+pub fn drilldown_with_factors(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    query: &ConceptQuery,
+    k: usize,
+    config: &NcxConfig,
+    factors: SbrFactors,
+) -> Vec<Subtopic> {
+    let matched = matched_docs(index, kg, query, config);
+    if matched.is_empty() {
+        return Vec::new();
+    }
+    // Deterministic, capped document set.
+    let mut docs: Vec<DocId> = matched.into_keys().collect();
+    docs.sort_unstable();
+    docs.truncate(config.drilldown_doc_cap);
+
+    // Concepts to exclude: the query itself and its ancestors (re-rolling
+    // up is not a drill-*down*).
+    let mut excluded: FxHashSet<ConceptId> = FxHashSet::default();
+    for &c in query.concepts() {
+        excluded.insert(c);
+        excluded.extend(ontology::ancestors(kg, c));
+    }
+
+    // Sweep 1: coverage and D(Q ∪ {c}) from the per-document concept lists.
+    let mut coverage: FxHashMap<ConceptId, f64> = FxHashMap::default();
+    let mut doc_count: FxHashMap<ConceptId, usize> = FxHashMap::default();
+    for &d in &docs {
+        for &(c, cdr) in index.concepts_of_doc(d) {
+            if excluded.contains(&c) {
+                continue;
+            }
+            *coverage.entry(c).or_insert(0.0) += cdr;
+            *doc_count.entry(c).or_insert(0) += 1;
+        }
+    }
+
+    // Sweep 2: distinct matched entities per candidate.
+    let mut entity_sets: FxHashMap<ConceptId, FxHashSet<InstanceId>> = FxHashMap::default();
+    for &d in &docs {
+        for &(v, _) in index.entity_index.entities_of(d) {
+            for &c in kg.concepts_of(v) {
+                if coverage.contains_key(&c) {
+                    entity_sets.entry(c).or_default().insert(v);
+                }
+            }
+        }
+    }
+
+    let mut top = TopK::new(k);
+    let mut details: FxHashMap<ConceptId, Subtopic> = FxHashMap::default();
+    for (&c, &cov) in &coverage {
+        let matching = doc_count[&c];
+        let distinct = entity_sets.get(&c).map_or(0, FxHashSet::len);
+        let specificity = kg.specificity(c);
+        let diversity = if matching == 0 {
+            0.0
+        } else {
+            distinct as f64 / matching as f64
+        };
+        let score = match factors {
+            SbrFactors::C => cov,
+            SbrFactors::CS => cov * specificity,
+            SbrFactors::CSD => cov * specificity * diversity,
+        };
+        top.push(c, score);
+        details.insert(
+            c,
+            Subtopic {
+                concept: c,
+                score,
+                coverage: cov,
+                specificity,
+                diversity,
+                matching_docs: matching,
+                distinct_entities: distinct,
+            },
+        );
+    }
+    top.into_sorted_vec()
+        .into_iter()
+        .map(|(c, _)| details.remove(&c).expect("scored"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexer::Indexer;
+    use ncx_index::{DocumentStore, NewsSource};
+    use ncx_kg::GraphBuilder;
+    use ncx_text::{GazetteerLinker, NlpPipeline};
+
+    /// Corpus themed around crypto: querying Exchange should suggest
+    /// Crime and Regulator subtopics.
+    fn setup() -> (KnowledgeGraph, DocumentStore) {
+        let mut b = GraphBuilder::new();
+        let org = b.concept("Organization");
+        let exch = b.concept("Exchange");
+        b.broader(exch, org);
+        let crime = b.concept("Crime");
+        let regulator = b.concept("Regulator");
+        let person = b.concept("Person");
+        let ftx = b.instance("FTX");
+        let bnb = b.instance("Binance");
+        let kraken = b.instance("Kraken");
+        let fraud = b.instance("fraud");
+        let launder = b.instance("laundering");
+        let sec = b.instance("SEC");
+        let cftc = b.instance("CFTC");
+        let sbf = b.instance("Sam Bankman-Fried");
+        b.member(exch, ftx);
+        b.member(exch, bnb);
+        b.member(exch, kraken);
+        b.member(crime, fraud);
+        b.member(crime, launder);
+        b.member(regulator, sec);
+        b.member(regulator, cftc);
+        b.member(person, sbf);
+        b.fact(ftx, "accusedOf", fraud);
+        b.fact(bnb, "accusedOf", launder);
+        b.fact(sec, "sued", ftx);
+        b.fact(sec, "sued", bnb);
+        b.fact(cftc, "sued", kraken);
+        b.fact(sbf, "founded", ftx);
+        let kg = b.build();
+
+        let mut store = DocumentStore::new();
+        store.add(
+            NewsSource::Reuters,
+            "FTX fraud".into(),
+            "SEC sued FTX over fraud. Sam Bankman-Fried responded.".into(),
+            0,
+        );
+        store.add(
+            NewsSource::Reuters,
+            "Binance laundering".into(),
+            "SEC probed Binance for laundering.".into(),
+            1,
+        );
+        store.add(
+            NewsSource::Reuters,
+            "Kraken settles".into(),
+            "CFTC settled with Kraken.".into(),
+            2,
+        );
+        (kg, store)
+    }
+
+    fn build() -> (KnowledgeGraph, NcxIndex, NcxConfig) {
+        let (kg, store) = setup();
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let config = NcxConfig {
+            threads: 1,
+            samples: 200,
+            // Allow broad concepts in this tiny KG.
+            max_member_fraction: 0.9,
+            ..NcxConfig::default()
+        };
+        let index = Indexer::new(&kg, &nlp, config.clone()).index_corpus(&store);
+        (kg, index, config)
+    }
+
+    #[test]
+    fn suggests_cooccurring_subtopics() {
+        let (kg, index, config) = build();
+        let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
+        let subs = drilldown(&index, &kg, &q, 10, &config);
+        let names: Vec<&str> = subs.iter().map(|s| kg.concept_label(s.concept)).collect();
+        assert!(names.contains(&"Crime"), "{names:?}");
+        assert!(names.contains(&"Regulator"), "{names:?}");
+    }
+
+    #[test]
+    fn query_concepts_and_ancestors_excluded() {
+        let (kg, index, config) = build();
+        let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
+        let subs = drilldown(&index, &kg, &q, 10, &config);
+        for s in &subs {
+            let label = kg.concept_label(s.concept);
+            assert_ne!(label, "Exchange");
+            assert_ne!(label, "Organization", "ancestor must be excluded");
+        }
+    }
+
+    #[test]
+    fn score_decomposition_consistent() {
+        let (kg, index, config) = build();
+        let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
+        for s in drilldown(&index, &kg, &q, 10, &config) {
+            let expect = s.coverage * s.specificity * s.diversity;
+            assert!((s.score - expect).abs() < 1e-9);
+            assert!(s.matching_docs > 0);
+            assert!(s.distinct_entities > 0);
+        }
+    }
+
+    #[test]
+    fn diversity_rewards_many_distinct_entities() {
+        let (kg, index, config) = build();
+        let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
+        let subs = drilldown(&index, &kg, &q, 10, &config);
+        let get = |name: &str| {
+            subs.iter()
+                .find(|s| kg.concept_label(s.concept) == name)
+                .unwrap()
+        };
+        // Regulator: SEC + CFTC over 3 docs; diversity ≤ 1 but with two
+        // entities over three docs = 2/3; Crime: fraud + laundering over 2
+        // docs = 1.0.
+        let crime = get("Crime");
+        let reg = get("Regulator");
+        assert!((crime.diversity - 1.0).abs() < 1e-9, "{crime:?}");
+        assert!((reg.diversity - 2.0 / 3.0).abs() < 1e-9, "{reg:?}");
+    }
+
+    #[test]
+    fn ablation_factor_sets_differ() {
+        let (kg, index, config) = build();
+        let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
+        let c = drilldown_with_factors(&index, &kg, &q, 10, &config, SbrFactors::C);
+        let cs = drilldown_with_factors(&index, &kg, &q, 10, &config, SbrFactors::CS);
+        let csd = drilldown_with_factors(&index, &kg, &q, 10, &config, SbrFactors::CSD);
+        assert_eq!(c.len(), cs.len());
+        assert_eq!(cs.len(), csd.len());
+        // With C only, the score must equal coverage.
+        for s in &c {
+            assert!((s.score - s.coverage).abs() < 1e-12);
+        }
+        assert_eq!(SbrFactors::CSD.label(), "C + S + D");
+    }
+
+    #[test]
+    fn no_matches_no_subtopics() {
+        let (kg, index, config) = build();
+        let person_only = ConceptQuery::from_names(&kg, &["Person"]).unwrap();
+        // Person matches d0 (SBF); drill-down on an unmatched concept:
+        let mut b = GraphBuilder::new();
+        let ghost = b.concept("Ghost");
+        let _ = ghost;
+        let subs = drilldown(&index, &kg, &person_only, 10, &config);
+        // d0's other concepts suggested.
+        assert!(!subs.is_empty());
+        let q_empty = ConceptQuery::new([]);
+        assert!(drilldown(&index, &kg, &q_empty, 10, &config).is_empty());
+    }
+
+    #[test]
+    fn k_limits_suggestions() {
+        let (kg, index, config) = build();
+        let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
+        let subs = drilldown(&index, &kg, &q, 1, &config);
+        assert_eq!(subs.len(), 1);
+    }
+
+    #[test]
+    fn drilldown_narrows_results() {
+        let (kg, index, config) = build();
+        let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
+        let subs = drilldown(&index, &kg, &q, 10, &config);
+        let crime = subs
+            .iter()
+            .find(|s| kg.concept_label(s.concept) == "Crime")
+            .unwrap();
+        let augmented = q.with(crime.concept);
+        let narrowed = crate::rollup::matched_docs(&index, &kg, &augmented, &config);
+        let original = crate::rollup::matched_docs(&index, &kg, &q, &config);
+        assert!(narrowed.len() <= original.len());
+        assert_eq!(narrowed.len(), crime.matching_docs);
+    }
+}

@@ -1,0 +1,314 @@
+//! The NCExplorer facade.
+//!
+//! Ties the NLP pipeline, indexer, and the roll-up/drill-down operators
+//! into one object mirroring the architecture of Fig. 3: news articles
+//! stream in, get linked to the KG, and become explorable through concept
+//! pattern queries.
+
+use crate::config::NcxConfig;
+use crate::drilldown::{self, SbrFactors, Subtopic};
+use crate::explain::{self, Explanation};
+use crate::indexer::{Indexer, NcxIndex};
+use crate::query::ConceptQuery;
+use crate::rollup::{self, RollupHit};
+use ncx_index::DocumentStore;
+use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
+use ncx_reach::TargetDistanceOracle;
+use ncx_text::{GazetteerLinker, NlpPipeline};
+use std::sync::Arc;
+
+/// The assembled news-exploration engine.
+pub struct NcExplorer {
+    kg: Arc<KnowledgeGraph>,
+    nlp: NlpPipeline,
+    config: NcxConfig,
+    index: NcxIndex,
+    oracle: Arc<TargetDistanceOracle>,
+}
+
+impl NcExplorer {
+    /// Builds the engine: constructs the gazetteer linker from the KG and
+    /// indexes the whole corpus.
+    pub fn build(kg: Arc<KnowledgeGraph>, store: &DocumentStore, config: NcxConfig) -> Self {
+        config.validate().expect("invalid NcxConfig");
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let indexer = Indexer::new(&kg, &nlp, config.clone());
+        let oracle = indexer.oracle();
+        let index = indexer.index_corpus(store);
+        Self {
+            kg,
+            nlp,
+            config,
+            index,
+            oracle,
+        }
+    }
+
+    /// Builds with a caller-supplied NLP pipeline (custom gazetteers).
+    pub fn build_with_pipeline(
+        kg: Arc<KnowledgeGraph>,
+        nlp: NlpPipeline,
+        store: &DocumentStore,
+        config: NcxConfig,
+    ) -> Self {
+        config.validate().expect("invalid NcxConfig");
+        let indexer = Indexer::new(&kg, &nlp, config.clone());
+        let oracle = indexer.oracle();
+        let index = indexer.index_corpus(store);
+        Self {
+            kg,
+            nlp,
+            config,
+            index,
+            oracle,
+        }
+    }
+
+    /// The knowledge graph.
+    pub fn kg(&self) -> &KnowledgeGraph {
+        &self.kg
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &NcxConfig {
+        &self.config
+    }
+
+    /// The built index (postings, timings).
+    pub fn index(&self) -> &NcxIndex {
+        &self.index
+    }
+
+    /// The NLP pipeline.
+    pub fn nlp(&self) -> &NlpPipeline {
+        &self.nlp
+    }
+
+    /// Ingests one article from the stream (Fig. 3): links its entities,
+    /// scores its candidate concepts, and extends the index in place. The
+    /// returned [`DocId`] is valid for subsequent roll-up results.
+    pub fn ingest(&mut self, text: &str) -> DocId {
+        crate::indexer::ingest_document(
+            &self.kg,
+            &self.nlp,
+            &self.config,
+            self.oracle.clone(),
+            &mut self.index,
+            text,
+        )
+    }
+
+    /// Parses a concept pattern query from labels.
+    pub fn query(&self, names: &[&str]) -> Result<ConceptQuery, String> {
+        ConceptQuery::from_names(&self.kg, names)
+    }
+
+    /// **Roll-up** (Definition 1): top-`k` documents for `Q`.
+    pub fn rollup(&self, query: &ConceptQuery, k: usize) -> Vec<RollupHit> {
+        rollup::rollup(&self.index, &self.kg, query, k, &self.config)
+    }
+
+    /// **Drill-down** (Definition 2): top-`k` subtopics for `Q`.
+    pub fn drilldown(&self, query: &ConceptQuery, k: usize) -> Vec<Subtopic> {
+        drilldown::drilldown(&self.index, &self.kg, query, k, &self.config)
+    }
+
+    /// Drill-down with an ablated factor set (Fig. 8).
+    pub fn drilldown_with_factors(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        factors: SbrFactors,
+    ) -> Vec<Subtopic> {
+        drilldown::drilldown_with_factors(&self.index, &self.kg, query, k, &self.config, factors)
+    }
+
+    /// Roll-up options for an entity: its concepts and their `broader`
+    /// ancestors, near-to-far (the "FTX → Bitcoin Exchange" expansion of
+    /// Fig. 1).
+    pub fn rollup_options(&self, entity: InstanceId, max_levels: usize) -> Vec<ConceptId> {
+        ontology::rollup_options(&self.kg, entity, max_levels)
+    }
+
+    /// Extracts the KG entities mentioned in free text (the first step of
+    /// query formulation in the paper's UI).
+    pub fn entities_in_text(&self, text: &str) -> Vec<InstanceId> {
+        let doc = self.nlp.process(text);
+        doc.entities()
+    }
+
+    /// Proposes relaxations when a query matches nothing (or too little):
+    /// dropping or broadening facets, ranked by resulting match count
+    /// (the Fig. 1 dead-end pivot).
+    pub fn relax(&self, query: &ConceptQuery) -> Vec<crate::relax::RelaxOption> {
+        crate::relax::relax(&self.index, &self.kg, query, &self.config)
+    }
+
+    /// Peer entities of `entity` ranked by news coverage (the "FTX is a
+    /// peer of CryptoX" pivot).
+    pub fn peers(&self, entity: InstanceId, k: usize) -> Vec<(InstanceId, usize)> {
+        crate::relax::peer_entities(&self.index, &self.kg, entity, k)
+    }
+
+    /// Explains why `concept` matched `doc`.
+    pub fn explain(&self, concept: ConceptId, doc: DocId, max_paths: usize) -> Option<Explanation> {
+        explain::explain(
+            &self.kg,
+            &self.index,
+            concept,
+            doc,
+            self.config.tau,
+            max_paths,
+        )
+    }
+
+    /// Renders an explanation as text.
+    pub fn render_explanation(&self, e: &Explanation) -> String {
+        explain::render(&self.kg, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_index::NewsSource;
+    use ncx_kg::GraphBuilder;
+
+    /// The paper's Fig. 1 scenario in miniature: FTX rolls up to Bitcoin
+    /// Exchange; querying Bitcoin Exchange + Financial Crime surfaces
+    /// fraud coverage; drill-down suggests Regulator.
+    fn build_engine() -> NcExplorer {
+        let mut b = GraphBuilder::new();
+        let company = b.concept("Company");
+        let btc_exch = b.concept("Bitcoin Exchange");
+        let crime = b.concept("Financial Crime");
+        let regulator = b.concept("Regulator");
+        b.broader(btc_exch, company);
+        let ftx = b.instance("FTX");
+        let binance = b.instance("Binance");
+        let fraud = b.instance("fraud");
+        let laundering = b.instance("money laundering");
+        let sec = b.instance("SEC");
+        b.member(btc_exch, ftx);
+        b.member(btc_exch, binance);
+        b.member(crime, fraud);
+        b.member(crime, laundering);
+        b.member(regulator, sec);
+        b.fact(ftx, "accusedOf", fraud);
+        b.fact(binance, "probedFor", laundering);
+        b.fact(sec, "sued", ftx);
+        b.fact(sec, "probed", binance);
+        let kg = Arc::new(b.build());
+
+        let mut store = DocumentStore::new();
+        store.add(
+            NewsSource::Reuters,
+            "FTX collapse".into(),
+            "The SEC sued FTX after fraud allegations surfaced.".into(),
+            0,
+        );
+        store.add(
+            NewsSource::Reuters,
+            "Binance under scrutiny".into(),
+            "Binance faces money laundering probes by the SEC.".into(),
+            1,
+        );
+        store.add(
+            NewsSource::Nyt,
+            "Unrelated culture piece".into(),
+            "A new museum exhibition opened downtown.".into(),
+            2,
+        );
+        NcExplorer::build(
+            kg,
+            &store,
+            NcxConfig {
+                threads: 2,
+                samples: 200,
+                max_member_fraction: 1.0,
+                ..NcxConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn fig1_rollup_journey() {
+        let eng = build_engine();
+        // Start from the entity "FTX" as the analyst does.
+        let ftx = eng.kg().instance_by_name("FTX").unwrap();
+        let options = eng.rollup_options(ftx, 2);
+        let labels: Vec<&str> = options.iter().map(|&c| eng.kg().concept_label(c)).collect();
+        assert_eq!(labels[0], "Bitcoin Exchange");
+        assert!(labels.contains(&"Company"));
+
+        // Roll up to the industry-wide query.
+        let q = eng.query(&["Bitcoin Exchange", "Financial Crime"]).unwrap();
+        let hits = eng.rollup(&q, 5);
+        assert_eq!(hits.len(), 2, "both crypto docs match, museum doesn't");
+        for h in &hits {
+            assert!(h.doc.raw() < 2);
+            assert_eq!(h.matches.len(), 2);
+        }
+    }
+
+    #[test]
+    fn drilldown_surfaces_regulator() {
+        let eng = build_engine();
+        let q = eng.query(&["Bitcoin Exchange"]).unwrap();
+        let subs = eng.drilldown(&q, 5);
+        let labels: Vec<&str> = subs
+            .iter()
+            .map(|s| eng.kg().concept_label(s.concept))
+            .collect();
+        assert!(labels.contains(&"Regulator"), "{labels:?}");
+        assert!(labels.contains(&"Financial Crime"), "{labels:?}");
+    }
+
+    #[test]
+    fn entities_in_text_links() {
+        let eng = build_engine();
+        let ents = eng.entities_in_text("Is FTX or Binance mentioned here?");
+        let labels: Vec<&str> = ents.iter().map(|&v| eng.kg().instance_label(v)).collect();
+        assert_eq!(labels, vec!["FTX", "Binance"]);
+    }
+
+    #[test]
+    fn explanations_available_for_hits() {
+        let eng = build_engine();
+        let q = eng.query(&["Financial Crime"]).unwrap();
+        let hits = eng.rollup(&q, 5);
+        assert!(!hits.is_empty());
+        let crime = eng.kg().concept_by_name("Financial Crime").unwrap();
+        let e = eng.explain(crime, hits[0].doc, 5).unwrap();
+        let text = eng.render_explanation(&e);
+        assert!(text.contains("Financial Crime"));
+    }
+
+    #[test]
+    fn unknown_query_name_is_error() {
+        let eng = build_engine();
+        assert!(eng.query(&["No Such Concept"]).is_err());
+    }
+
+    #[test]
+    fn streaming_ingest_extends_results() {
+        let mut eng = build_engine();
+        let q = eng.query(&["Financial Crime"]).unwrap();
+        let before = eng.rollup(&q, 50).len();
+        let doc = eng.ingest("Kraken faces fraud probe. The SEC sued Kraken over fraud claims.");
+        assert_eq!(doc.index(), 3, "new doc appended after the 3 built docs");
+        // The new article mentions 'fraud' (Financial Crime member), so the
+        // query now matches one more document.
+        let after = eng.rollup(&q, 50);
+        assert_eq!(after.len(), before + 1);
+        assert!(after.iter().any(|h| h.doc == doc));
+        assert_eq!(eng.index().timing.docs, 4);
+    }
+
+    #[test]
+    fn timing_exposed() {
+        let eng = build_engine();
+        assert_eq!(eng.index().timing.docs, 3);
+        assert!(eng.index().timing.per_doc().as_nanos() > 0);
+    }
+}

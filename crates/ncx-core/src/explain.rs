@@ -1,0 +1,176 @@
+//! Result explanations.
+//!
+//! Due-diligence analysts must justify why a document was surfaced for a
+//! query concept. An [`Explanation`] names the pivot entity, all matched
+//! entities, and a few *witness paths* in the instance space linking the
+//! concept's entities to the document's context entities — exactly the
+//! evidence the cdr score aggregates.
+
+use crate::indexer::NcxIndex;
+use ncx_kg::paths::PathCounter;
+use ncx_kg::traversal::Hops;
+use ncx_kg::{ConceptId, DocId, InstanceId, KnowledgeGraph};
+
+/// Why a concept matched a document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// The (query) concept.
+    pub concept: ConceptId,
+    /// The document.
+    pub doc: DocId,
+    /// Pivot entity (highest term weight among matched entities).
+    pub pivot: InstanceId,
+    /// All document entities in `Ψ(concept)`.
+    pub matched_entities: Vec<InstanceId>,
+    /// Sample instance-space paths from matched entities to context
+    /// entities (each path: `u, …, v`).
+    pub witness_paths: Vec<Vec<InstanceId>>,
+}
+
+/// Builds an explanation for a `(concept, document)` pair, or `None` if
+/// the document does not match the concept directly.
+pub fn explain(
+    kg: &KnowledgeGraph,
+    index: &NcxIndex,
+    concept: ConceptId,
+    doc: DocId,
+    tau: Hops,
+    max_paths: usize,
+) -> Option<Explanation> {
+    let posting = index.posting(concept, doc)?;
+    let entities = index.entity_index.entities_of(doc);
+    let mut matched = Vec::new();
+    let mut context = Vec::new();
+    for &(v, _) in entities {
+        if kg.is_member(concept, v) {
+            matched.push(v);
+        } else {
+            context.push(v);
+        }
+    }
+    let mut witness_paths = Vec::new();
+    let mut counter = PathCounter::new(kg);
+    'outer: for &u in &matched {
+        for &v in &context {
+            let remaining = max_paths.saturating_sub(witness_paths.len());
+            if remaining == 0 {
+                break 'outer;
+            }
+            witness_paths.extend(counter.enumerate(kg, u, v, tau, remaining));
+        }
+    }
+    Some(Explanation {
+        concept,
+        doc,
+        pivot: posting.pivot,
+        matched_entities: matched,
+        witness_paths,
+    })
+}
+
+/// Renders an explanation as human-readable text.
+pub fn render(kg: &KnowledgeGraph, e: &Explanation) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "concept '{}' matched {} via pivot '{}'\n",
+        kg.concept_label(e.concept),
+        e.doc,
+        kg.instance_label(e.pivot)
+    ));
+    out.push_str("  matched entities: ");
+    out.push_str(
+        &e.matched_entities
+            .iter()
+            .map(|&v| kg.instance_label(v))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    out.push('\n');
+    for path in &e.witness_paths {
+        let rendered: Vec<&str> = path.iter().map(|&v| kg.instance_label(v)).collect();
+        out.push_str(&format!("  path: {}\n", rendered.join(" — ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NcxConfig;
+    use crate::indexer::Indexer;
+    use ncx_index::{DocumentStore, NewsSource};
+    use ncx_kg::GraphBuilder;
+    use ncx_text::{GazetteerLinker, NlpPipeline};
+
+    fn build() -> (KnowledgeGraph, NcxIndex) {
+        let mut b = GraphBuilder::new();
+        let exch = b.concept("Exchange");
+        let ftx = b.instance("FTX");
+        let fraud = b.instance("fraud");
+        let sec = b.instance("SEC");
+        b.member(exch, ftx);
+        b.fact(ftx, "accusedOf", fraud);
+        b.fact(sec, "investigated", ftx);
+        b.fact(sec, "prosecutes", fraud);
+        let kg = b.build();
+        let mut store = DocumentStore::new();
+        store.add(
+            NewsSource::Reuters,
+            "FTX case".into(),
+            "SEC pursued FTX over fraud.".into(),
+            0,
+        );
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let config = NcxConfig {
+            threads: 1,
+            max_member_fraction: 1.0,
+            ..NcxConfig::default()
+        };
+        let index = Indexer::new(&kg, &nlp, config).index_corpus(&store);
+        (kg, index)
+    }
+
+    #[test]
+    fn explanation_names_pivot_and_paths() {
+        let (kg, index) = build();
+        let exch = kg.concept_by_name("Exchange").unwrap();
+        let ftx = kg.instance_by_name("FTX").unwrap();
+        let e = explain(&kg, &index, exch, DocId::new(0), 2, 10).unwrap();
+        assert_eq!(e.pivot, ftx);
+        assert_eq!(e.matched_entities, vec![ftx]);
+        // Paths from FTX to context entities (fraud, SEC) within 2 hops:
+        // FTX—fraud, FTX—SEC—fraud? (fraud via SEC), FTX—SEC, FTX—fraud—SEC.
+        assert!(!e.witness_paths.is_empty());
+        for p in &e.witness_paths {
+            assert_eq!(p[0], ftx);
+            assert!(p.len() >= 2 && p.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn no_posting_no_explanation() {
+        let (kg, index) = build();
+        let exch = kg.concept_by_name("Exchange").unwrap();
+        // Document 5 does not exist in postings.
+        assert!(explain(&kg, &index, exch, DocId::new(5), 2, 10).is_none());
+    }
+
+    #[test]
+    fn max_paths_cap() {
+        let (kg, index) = build();
+        let exch = kg.concept_by_name("Exchange").unwrap();
+        let e = explain(&kg, &index, exch, DocId::new(0), 2, 1).unwrap();
+        assert_eq!(e.witness_paths.len(), 1);
+    }
+
+    #[test]
+    fn render_mentions_labels() {
+        let (kg, index) = build();
+        let exch = kg.concept_by_name("Exchange").unwrap();
+        let e = explain(&kg, &index, exch, DocId::new(0), 2, 5).unwrap();
+        let text = render(&kg, &e);
+        assert!(text.contains("Exchange"));
+        assert!(text.contains("FTX"));
+        assert!(text.contains("path:"));
+    }
+}

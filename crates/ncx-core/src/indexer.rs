@@ -1,0 +1,570 @@
+//! The two-pass indexing pipeline (Fig. 3 of the paper).
+//!
+//! Pass 1 — **entity linking**: every article runs through the NLP
+//! pipeline, producing entity mention bags (91.8 % of indexing cost in the
+//! paper). Pass 2 — **relevance scoring**: for each document, candidate
+//! concepts are gathered from `Ψ⁻¹` of its entities and scored with
+//! `cdr = cdr_o · cdr_c`, the connectivity part estimated by random walks
+//! (7.1 % of cost). Both passes run on a crossbeam worker pool; walk seeds
+//! derive from `(doc, concept)` so results are schedule-independent.
+
+use crate::config::NcxConfig;
+use crate::relevance::context::cdrc_from_conn;
+use crate::relevance::estimator::{pair_seed, ConnEstimator};
+use crate::relevance::ontology::ontology_relevance;
+use ncx_index::{DocumentStore, EntityIndex};
+use ncx_kg::{ConceptId, DocId, InstanceId, KnowledgeGraph};
+use ncx_reach::TargetDistanceOracle;
+use ncx_text::{AnnotatedDoc, NlpPipeline};
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One `⟨concept, document⟩` inverted-index entry with its score
+/// decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConceptPosting {
+    /// The document.
+    pub doc: DocId,
+    /// Combined score `cdr = cdr_o · cdr_c` (Eq. 2).
+    pub cdr: f64,
+    /// Ontology relevance component (Eq. 3).
+    pub cdro: f64,
+    /// Context relevance component (Eq. 5).
+    pub cdrc: f64,
+    /// The pivot entity that attained the ontology relevance.
+    pub pivot: InstanceId,
+}
+
+/// Indexing-cost breakdown (the quantities plotted in Fig. 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexTiming {
+    /// Summed per-document entity-linking time.
+    pub entity_linking: Duration,
+    /// Summed per-document relevance-scoring time.
+    pub relevance_scoring: Duration,
+    /// Wall-clock time of the whole build.
+    pub total_wall: Duration,
+    /// Documents processed.
+    pub docs: usize,
+}
+
+impl IndexTiming {
+    /// Mean per-article processing time (linking + scoring).
+    pub fn per_doc(&self) -> Duration {
+        if self.docs == 0 {
+            return Duration::ZERO;
+        }
+        (self.entity_linking + self.relevance_scoring) / self.docs as u32
+    }
+
+    /// Fraction of per-document cost spent in entity linking.
+    pub fn linking_fraction(&self) -> f64 {
+        let total = (self.entity_linking + self.relevance_scoring).as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.entity_linking.as_secs_f64() / total
+        }
+    }
+}
+
+/// The NCExplorer index: entity postings plus the `⟨c, d⟩` concept
+/// inverted index with relevance scores.
+#[derive(Debug, Default)]
+pub struct NcxIndex {
+    /// Entity → documents postings (with term weights).
+    pub entity_index: EntityIndex,
+    concept_postings: FxHashMap<ConceptId, Vec<ConceptPosting>>,
+    /// Per-document concept lists `(concept, cdr)` for drill-down sweeps.
+    doc_concepts: Vec<Vec<(ConceptId, f64)>>,
+    /// Build-cost breakdown.
+    pub timing: IndexTiming,
+}
+
+impl NcxIndex {
+    /// Postings of a concept, ascending by document id.
+    pub fn postings(&self, c: ConceptId) -> &[ConceptPosting] {
+        self.concept_postings
+            .get(&c)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The posting for `(c, d)` if the document matches the concept.
+    pub fn posting(&self, c: ConceptId, doc: DocId) -> Option<&ConceptPosting> {
+        let list = self.postings(c);
+        list.binary_search_by_key(&doc, |p| p.doc)
+            .ok()
+            .map(|i| &list[i])
+    }
+
+    /// Concepts directly matched by a document, with cdr scores.
+    pub fn concepts_of_doc(&self, doc: DocId) -> &[(ConceptId, f64)] {
+        &self.doc_concepts[doc.index()]
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_concepts.len()
+    }
+
+    /// Number of concepts with at least one posting.
+    pub fn num_indexed_concepts(&self) -> usize {
+        self.concept_postings.len()
+    }
+
+    /// Total `⟨c, d⟩` entries.
+    pub fn num_postings(&self) -> usize {
+        self.concept_postings.values().map(Vec::len).sum()
+    }
+
+    /// Iterates over all indexed concepts.
+    pub fn indexed_concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        self.concept_postings.keys().copied()
+    }
+}
+
+/// Corpus indexer.
+pub struct Indexer<'a> {
+    kg: &'a KnowledgeGraph,
+    nlp: &'a NlpPipeline,
+    config: NcxConfig,
+    oracle: Arc<TargetDistanceOracle>,
+}
+
+impl<'a> Indexer<'a> {
+    /// Creates an indexer. Panics on invalid configuration.
+    pub fn new(kg: &'a KnowledgeGraph, nlp: &'a NlpPipeline, config: NcxConfig) -> Self {
+        config.validate().expect("invalid NcxConfig");
+        let oracle = Arc::new(TargetDistanceOracle::new(config.tau, config.oracle_cache));
+        Self {
+            kg,
+            nlp,
+            config,
+            oracle,
+        }
+    }
+
+    /// The shared target-distance oracle (reused by query-time scoring).
+    pub fn oracle(&self) -> Arc<TargetDistanceOracle> {
+        self.oracle.clone()
+    }
+
+    /// Runs the full two-pass build over a document store.
+    pub fn index_corpus(&self, store: &DocumentStore) -> NcxIndex {
+        let wall = Instant::now();
+        let n = store.len();
+        let threads = self.config.effective_threads().min(n.max(1));
+
+        // ---- pass 1: entity linking (parallel over chunks) ----
+        let mut annotated: Vec<Option<AnnotatedDoc>> = Vec::new();
+        annotated.resize_with(n, || None);
+        let mut linking_time = Duration::ZERO;
+        {
+            let chunks = partition(n, threads);
+            let results: Vec<(usize, Vec<AnnotatedDoc>, Duration)> =
+                crossbeam::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for (start, end) in chunks {
+                        let nlp = self.nlp;
+                        handles.push(scope.spawn(move |_| {
+                            let mut docs = Vec::with_capacity(end - start);
+                            let mut elapsed = Duration::ZERO;
+                            for i in start..end {
+                                let text = store.get(DocId::from_index(i)).full_text();
+                                let t0 = Instant::now();
+                                docs.push(nlp.process(&text));
+                                elapsed += t0.elapsed();
+                            }
+                            (start, docs, elapsed)
+                        }));
+                    }
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+                .expect("linking pool");
+            for (start, docs, elapsed) in results {
+                linking_time += elapsed;
+                for (off, d) in docs.into_iter().enumerate() {
+                    annotated[start + off] = Some(d);
+                }
+            }
+        }
+        let annotated: Vec<AnnotatedDoc> = annotated
+            .into_iter()
+            .map(|d| d.expect("annotated"))
+            .collect();
+
+        // Entity index must be built sequentially (doc-id order).
+        let mut entity_index = EntityIndex::new();
+        for doc in &annotated {
+            entity_index.add_document(&doc.entity_counts);
+        }
+
+        // ---- pass 2: relevance scoring (parallel) ----
+        let mut scoring_time = Duration::ZERO;
+        let mut doc_concepts: Vec<Vec<(ConceptId, f64)>> = Vec::new();
+        doc_concepts.resize_with(n, Vec::new);
+        let mut concept_postings: FxHashMap<ConceptId, Vec<ConceptPosting>> = FxHashMap::default();
+        {
+            let chunks = partition(n, threads);
+            let entity_index = &entity_index;
+            type ScoreOut = (usize, Vec<Vec<(ConceptId, ConceptPosting)>>, Duration);
+            let results: Vec<ScoreOut> = crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (start, end) in chunks {
+                    let oracle = self.oracle.clone();
+                    let config = &self.config;
+                    let kg = self.kg;
+                    handles.push(scope.spawn(move |_| {
+                        let estimator =
+                            ConnEstimator::new(config.tau, config.beta, config.guided, oracle);
+                        let mut out = Vec::with_capacity(end - start);
+                        let mut elapsed = Duration::ZERO;
+                        for i in start..end {
+                            let doc = DocId::from_index(i);
+                            let t0 = Instant::now();
+                            out.push(score_document(kg, entity_index, &estimator, config, doc));
+                            elapsed += t0.elapsed();
+                        }
+                        (start, out, elapsed)
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("scoring pool");
+
+            for (start, per_doc, elapsed) in results {
+                scoring_time += elapsed;
+                for (off, entries) in per_doc.into_iter().enumerate() {
+                    let doc_idx = start + off;
+                    for (c, posting) in entries {
+                        doc_concepts[doc_idx].push((c, posting.cdr));
+                        concept_postings.entry(c).or_default().push(posting);
+                    }
+                }
+            }
+        }
+        for list in concept_postings.values_mut() {
+            list.sort_unstable_by_key(|p| p.doc);
+        }
+        for list in &mut doc_concepts {
+            list.sort_unstable_by_key(|&(c, _)| c);
+        }
+
+        NcxIndex {
+            entity_index,
+            concept_postings,
+            doc_concepts,
+            timing: IndexTiming {
+                entity_linking: linking_time,
+                relevance_scoring: scoring_time,
+                total_wall: wall.elapsed(),
+                docs: n,
+            },
+        }
+    }
+}
+
+/// Streaming ingestion (the "stream of news articles" of Fig. 3):
+/// annotates one new article and appends it to an existing index — the
+/// NLP pass, the entity postings, and the concept postings all extend
+/// in place. Returns the new document's id.
+///
+/// Note: entity term weights use document frequencies *as of ingestion
+/// time*; earlier documents are not re-scored (standard streaming-index
+/// behaviour — run a full rebuild to refresh).
+pub fn ingest_document(
+    kg: &KnowledgeGraph,
+    nlp: &NlpPipeline,
+    config: &NcxConfig,
+    oracle: Arc<TargetDistanceOracle>,
+    index: &mut NcxIndex,
+    text: &str,
+) -> DocId {
+    let t0 = Instant::now();
+    let annotated = nlp.process(text);
+    let linking = t0.elapsed();
+
+    let doc = index.entity_index.add_document(&annotated.entity_counts);
+    debug_assert_eq!(doc.index(), index.doc_concepts.len());
+
+    let t1 = Instant::now();
+    let estimator = ConnEstimator::new(config.tau, config.beta, config.guided, oracle);
+    let entries = score_document(kg, &index.entity_index, &estimator, config, doc);
+    let scoring = t1.elapsed();
+
+    let mut doc_list = Vec::with_capacity(entries.len());
+    for (c, posting) in entries {
+        doc_list.push((c, posting.cdr));
+        // New doc id is the maximum, so pushing keeps lists sorted.
+        index.concept_postings.entry(c).or_default().push(posting);
+    }
+    doc_list.sort_unstable_by_key(|&(c, _)| c);
+    index.doc_concepts.push(doc_list);
+
+    index.timing.entity_linking += linking;
+    index.timing.relevance_scoring += scoring;
+    index.timing.docs += 1;
+    doc
+}
+
+/// Scores one document: candidate concepts from `Ψ⁻¹` of its entities,
+/// capped by ontology relevance, each completed with an estimated context
+/// relevance.
+fn score_document(
+    kg: &KnowledgeGraph,
+    entity_index: &EntityIndex,
+    estimator: &ConnEstimator,
+    config: &NcxConfig,
+    doc: DocId,
+) -> Vec<(ConceptId, ConceptPosting)> {
+    let entities = entity_index.entities_of(doc);
+    if entities.is_empty() {
+        return Vec::new();
+    }
+    // Candidate concepts: the direct types of every document entity,
+    // skipping trivially broad concepts.
+    let member_cap = (kg.num_instances() as f64 * config.max_member_fraction).max(1.0) as usize;
+    let mut candidates: Vec<ConceptId> = Vec::new();
+    {
+        let mut seen = rustc_hash::FxHashSet::default();
+        for &(v, _) in entities {
+            for &c in kg.concepts_of(v) {
+                if seen.insert(c) && kg.members(c).len() <= member_cap {
+                    candidates.push(c);
+                }
+            }
+        }
+    }
+    // Rank candidates by ontology relevance; keep the strongest.
+    let mut scored: Vec<(ConceptId, f64, InstanceId)> = candidates
+        .into_iter()
+        .filter_map(|c| ontology_relevance(kg, entity_index, c, doc).map(|r| (c, r.score, r.pivot)))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    scored.truncate(config.max_concepts_per_doc);
+
+    let mut out = Vec::with_capacity(scored.len());
+    let mut context_buf: Vec<InstanceId> = Vec::new();
+    for (c, cdro, pivot) in scored {
+        context_buf.clear();
+        for &(v, _) in entities {
+            if !kg.is_member(c, v) {
+                context_buf.push(v);
+            }
+        }
+        let seed = pair_seed(config.seed, doc.raw(), c.raw());
+        let (conn, _) =
+            estimator.estimate_conn(kg, kg.members(c), &context_buf, config.samples, seed);
+        let cdrc = cdrc_from_conn(conn);
+        let cdr = match config.ablation {
+            crate::config::ScoreAblation::Full => cdro * cdrc,
+            crate::config::ScoreAblation::OntologyOnly => cdro,
+            crate::config::ScoreAblation::ContextOnly => cdrc,
+        };
+        out.push((
+            c,
+            ConceptPosting {
+                doc,
+                cdr,
+                cdro,
+                cdrc,
+                pivot,
+            },
+        ));
+    }
+    out
+}
+
+/// Splits `n` items into up to `parts` contiguous ranges.
+fn partition(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_index::NewsSource;
+    use ncx_kg::GraphBuilder;
+    use ncx_text::GazetteerLinker;
+
+    /// A small financial KG and corpus.
+    fn setup() -> (KnowledgeGraph, DocumentStore) {
+        let mut b = GraphBuilder::new();
+        let exch = b.concept("Exchange");
+        let crime = b.concept("Financial Crime");
+        let person = b.concept("Person");
+        let ftx = b.instance("FTX");
+        let bnb = b.instance("Binance");
+        let fraud = b.instance("fraud");
+        let launder = b.instance("money laundering");
+        let sbf = b.instance("Sam Bankman-Fried");
+        b.member(exch, ftx);
+        b.member(exch, bnb);
+        b.member(crime, fraud);
+        b.member(crime, launder);
+        b.member(person, sbf);
+        b.fact(ftx, "accusedOf", fraud);
+        b.fact(sbf, "founded", ftx);
+        b.fact(bnb, "probedFor", launder);
+        b.fact(sbf, "chargedWith", fraud);
+        let kg = b.build();
+
+        let mut store = DocumentStore::new();
+        store.add(
+            NewsSource::Reuters,
+            "FTX fraud trial".into(),
+            "Sam Bankman-Fried faces fraud charges after FTX collapsed.".into(),
+            0,
+        );
+        store.add(
+            NewsSource::Reuters,
+            "Binance probe".into(),
+            "Binance under investigation for money laundering.".into(),
+            1,
+        );
+        store.add(
+            NewsSource::Nyt,
+            "Weather".into(),
+            "Sunny with light winds expected tomorrow.".into(),
+            2,
+        );
+        (kg, store)
+    }
+
+    fn build_index(threads: usize) -> (KnowledgeGraph, NcxIndex) {
+        let (kg, store) = setup();
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let config = NcxConfig {
+            threads,
+            samples: 200,
+            max_member_fraction: 1.0,
+            ..NcxConfig::default()
+        };
+        let indexer = Indexer::new(&kg, &nlp, config);
+        let index = indexer.index_corpus(&store);
+        (kg, index)
+    }
+
+    #[test]
+    fn postings_cover_matched_concepts() {
+        let (kg, index) = build_index(1);
+        let exch = kg.concept_by_name("Exchange").unwrap();
+        let crime = kg.concept_by_name("Financial Crime").unwrap();
+        assert_eq!(index.num_docs(), 3);
+        // d0 mentions FTX (Exchange) and fraud (Crime); d1 mentions Binance
+        // and laundering.
+        let exch_docs: Vec<u32> = index.postings(exch).iter().map(|p| p.doc.raw()).collect();
+        assert_eq!(exch_docs, vec![0, 1]);
+        let crime_docs: Vec<u32> = index.postings(crime).iter().map(|p| p.doc.raw()).collect();
+        assert_eq!(crime_docs, vec![0, 1]);
+        // weather doc matches nothing
+        assert!(index.concepts_of_doc(DocId::new(2)).is_empty());
+    }
+
+    #[test]
+    fn posting_scores_decompose() {
+        let (kg, index) = build_index(1);
+        let exch = kg.concept_by_name("Exchange").unwrap();
+        let p = index.posting(exch, DocId::new(0)).unwrap();
+        assert!((p.cdr - p.cdro * p.cdrc).abs() < 1e-12);
+        assert!(p.cdro > 0.0);
+        // FTX connects to fraud (context entity) directly: cdrc > 0.
+        assert!(p.cdrc > 0.0, "cdrc = {}", p.cdrc);
+        let ftx = kg.instance_by_name("FTX").unwrap();
+        assert_eq!(p.pivot, ftx);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let (_, seq) = build_index(1);
+        let (kg, par) = build_index(4);
+        assert_eq!(seq.num_postings(), par.num_postings());
+        for c in kg.concepts() {
+            let a = seq.postings(c);
+            let b = par.postings(c);
+            assert_eq!(a.len(), b.len(), "{}", kg.concept_label(c));
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.doc, y.doc);
+                assert_eq!(x.cdr, y.cdr, "seed-determinism violated");
+            }
+        }
+    }
+
+    #[test]
+    fn timing_recorded() {
+        let (_, index) = build_index(2);
+        assert_eq!(index.timing.docs, 3);
+        assert!(index.timing.entity_linking > Duration::ZERO);
+        assert!(index.timing.relevance_scoring > Duration::ZERO);
+        assert!(index.timing.per_doc() > Duration::ZERO);
+        let f = index.timing.linking_fraction();
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn member_fraction_skips_broad_concepts() {
+        let mut b = GraphBuilder::new();
+        let thing = b.concept("Thing");
+        let niche = b.concept("Niche");
+        let mut names = Vec::new();
+        for i in 0..10 {
+            let v = b.instance(&format!("e{i}"));
+            b.member(thing, v); // Thing covers everything
+            names.push(v);
+        }
+        b.member(niche, names[0]);
+        let kg = b.build();
+        let mut store = DocumentStore::new();
+        store.add(NewsSource::Reuters, "".into(), "e0 e1 e2".into(), 0);
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let config = NcxConfig {
+            threads: 1,
+            max_member_fraction: 0.5,
+            ..NcxConfig::default()
+        };
+        let index = Indexer::new(&kg, &nlp, config).index_corpus(&store);
+        assert!(index.postings(thing).is_empty(), "Thing is too broad");
+        assert_eq!(index.postings(niche).len(), 1);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let (kg, _) = setup();
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let index =
+            Indexer::new(&kg, &nlp, NcxConfig::default()).index_corpus(&DocumentStore::new());
+        assert_eq!(index.num_docs(), 0);
+        assert_eq!(index.num_postings(), 0);
+    }
+
+    #[test]
+    fn partition_covers_range() {
+        assert_eq!(partition(0, 4), vec![]);
+        assert_eq!(partition(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(partition(2, 8), vec![(0, 1), (1, 2)]);
+        let p = partition(100, 7);
+        assert_eq!(p.first().unwrap().0, 0);
+        assert_eq!(p.last().unwrap().1, 100);
+        let total: usize = p.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(total, 100);
+    }
+}

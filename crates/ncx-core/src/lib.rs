@@ -1,0 +1,37 @@
+//! # ncx-core — the NCExplorer engine
+//!
+//! The paper's primary contribution: OLAP-style **roll-up** and
+//! **drill-down** over a news corpus linked to a knowledge graph.
+//!
+//! * [`config`] — engine parameters (τ, β, sample count, …; defaults match
+//!   the paper: τ = 2, β = 0.5, 50 samples);
+//! * [`query`] — concept pattern queries `Q ⊆ V_C`;
+//! * [`relevance`] — the concept–document rank `cdr(c, d) = cdr_o · cdr_c`
+//!   (Eq. 2): ontology relevance (Eq. 3), exact connectivity/context
+//!   relevance (Eq. 4–5), and the unbiased random-walk estimator (Eq. 6)
+//!   with optional reachability-index guidance;
+//! * [`indexer`] — the two-pass indexing pipeline (entity linking, then
+//!   concept-posting construction) with the timing breakdown reported in
+//!   Fig. 4;
+//! * [`rollup`] — Definition 1: top-K documents by `rel(Q, d)`;
+//! * [`drilldown`] — Definition 2: top-K subtopics by
+//!   `sbr = coverage · specificity · diversity`;
+//! * [`explain`] — per-result explanations (pivot entities, witness paths);
+//! * [`engine`] — the [`engine::NcExplorer`] facade tying it together.
+
+pub mod config;
+pub mod drilldown;
+pub mod engine;
+pub mod explain;
+pub mod export;
+pub mod indexer;
+pub mod query;
+pub mod relax;
+pub mod relevance;
+pub mod rollup;
+pub mod session;
+
+pub use config::{NcxConfig, ScoreAblation};
+pub use engine::NcExplorer;
+pub use query::ConceptQuery;
+pub use session::Session;

@@ -1,0 +1,125 @@
+//! Concept pattern queries.
+//!
+//! A query `Q` is a set of KG concepts. A document `d` *matches* `Q` when
+//! for every `c ∈ Q` some entity of `d` belongs to `Ψ(c)` (Definition 1).
+
+use ncx_kg::{ConceptId, KnowledgeGraph};
+
+/// A concept pattern query: a non-empty, deduplicated set of concepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConceptQuery {
+    concepts: Vec<ConceptId>,
+}
+
+impl ConceptQuery {
+    /// Builds a query from concept ids (deduplicated, order preserved).
+    pub fn new(concepts: impl IntoIterator<Item = ConceptId>) -> Self {
+        let mut seen = rustc_hash::FxHashSet::default();
+        let concepts = concepts.into_iter().filter(|c| seen.insert(*c)).collect();
+        Self { concepts }
+    }
+
+    /// Builds a query from concept labels, failing on the first unknown
+    /// label.
+    pub fn from_names(kg: &KnowledgeGraph, names: &[&str]) -> Result<Self, String> {
+        let mut ids = Vec::with_capacity(names.len());
+        for name in names {
+            match kg.concept_by_name(name) {
+                Some(c) => ids.push(c),
+                None => return Err(format!("unknown concept: {name}")),
+            }
+        }
+        Ok(Self::new(ids))
+    }
+
+    /// The query concepts.
+    pub fn concepts(&self) -> &[ConceptId] {
+        &self.concepts
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Whether the query is empty.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Whether the query contains `c`.
+    pub fn contains(&self, c: ConceptId) -> bool {
+        self.concepts.contains(&c)
+    }
+
+    /// The drill-down augmentation `Q ∪ {c}`.
+    pub fn with(&self, c: ConceptId) -> Self {
+        let mut concepts = self.concepts.clone();
+        if !concepts.contains(&c) {
+            concepts.push(c);
+        }
+        Self { concepts }
+    }
+
+    /// Human-readable rendering.
+    pub fn describe(&self, kg: &KnowledgeGraph) -> String {
+        self.concepts
+            .iter()
+            .map(|&c| kg.concept_label(c))
+            .collect::<Vec<_>>()
+            .join(" ∧ ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_kg::GraphBuilder;
+
+    fn kg() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        b.concept("Fraud");
+        b.concept("Bank");
+        b.build()
+    }
+
+    #[test]
+    fn from_names_resolves() {
+        let g = kg();
+        let q = ConceptQuery::from_names(&g, &["Fraud", "Bank"]).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.describe(&g), "Fraud ∧ Bank");
+    }
+
+    #[test]
+    fn from_names_rejects_unknown() {
+        let g = kg();
+        let err = ConceptQuery::from_names(&g, &["Fraud", "Nope"]).unwrap_err();
+        assert!(err.contains("Nope"));
+    }
+
+    #[test]
+    fn dedup_preserves_order() {
+        let a = ConceptId::new(3);
+        let b = ConceptId::new(1);
+        let q = ConceptQuery::new([a, b, a]);
+        assert_eq!(q.concepts(), &[a, b]);
+    }
+
+    #[test]
+    fn with_augments_without_duplicating() {
+        let a = ConceptId::new(0);
+        let b = ConceptId::new(1);
+        let q = ConceptQuery::new([a]);
+        assert_eq!(q.with(b).len(), 2);
+        assert_eq!(q.with(a).len(), 1);
+        assert!(q.with(b).contains(b));
+        assert!(!q.contains(b));
+    }
+
+    #[test]
+    fn empty_query() {
+        let q = ConceptQuery::new([]);
+        assert!(q.is_empty());
+    }
+}

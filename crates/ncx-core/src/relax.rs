@@ -1,0 +1,262 @@
+//! Query relaxation and peer suggestions.
+//!
+//! The paper's Fig. 1 opens with a dead end: "CryptoX fraud" returns
+//! nothing, so the analyst pivots — first to peers of the entity, then to
+//! broader concepts. This module automates both pivots when a concept
+//! pattern query matches no documents:
+//!
+//! * [`relax`] — for each facet, try (a) dropping it and (b) replacing it
+//!   with each `broader` ancestor, reporting how many documents each
+//!   relaxation would match;
+//! * [`peer_entities`] — sibling instances under an entity's most
+//!   specific concept (the "FTX is a peer of CryptoX" step), ranked by
+//!   how much news coverage each peer has.
+
+use crate::config::NcxConfig;
+use crate::indexer::NcxIndex;
+use crate::query::ConceptQuery;
+use crate::rollup::matched_docs;
+use ncx_kg::{ontology, ConceptId, InstanceId, KnowledgeGraph};
+
+/// One relaxation proposal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Relaxation {
+    /// Drop this facet entirely.
+    Drop(ConceptId),
+    /// Replace the facet with a `broader` ancestor.
+    Broaden {
+        /// The facet being widened.
+        from: ConceptId,
+        /// The ancestor replacing it.
+        to: ConceptId,
+    },
+}
+
+/// A relaxation with its resulting query and match count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelaxOption {
+    /// The edit.
+    pub relaxation: Relaxation,
+    /// The query after the edit.
+    pub query: ConceptQuery,
+    /// Documents the relaxed query matches.
+    pub matches: usize,
+}
+
+/// Proposes relaxations of `query`, most productive first (ties: least
+/// drastic — broadening beats dropping). Only options that match at least
+/// one document are returned.
+pub fn relax(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    query: &ConceptQuery,
+    config: &NcxConfig,
+) -> Vec<RelaxOption> {
+    let mut out = Vec::new();
+    for &facet in query.concepts() {
+        // (a) drop the facet (only meaningful for multi-facet queries).
+        if query.len() > 1 {
+            let rest: Vec<ConceptId> = query
+                .concepts()
+                .iter()
+                .copied()
+                .filter(|&c| c != facet)
+                .collect();
+            let q = ConceptQuery::new(rest);
+            let matches = matched_docs(index, kg, &q, config).len();
+            if matches > 0 {
+                out.push(RelaxOption {
+                    relaxation: Relaxation::Drop(facet),
+                    query: q,
+                    matches,
+                });
+            }
+        }
+        // (b) broaden the facet to each ancestor, nearest first.
+        for to in ontology::ancestors(kg, facet) {
+            if query.contains(to) {
+                continue;
+            }
+            let concepts: Vec<ConceptId> = query
+                .concepts()
+                .iter()
+                .map(|&c| if c == facet { to } else { c })
+                .collect();
+            let q = ConceptQuery::new(concepts);
+            let matches = matched_docs(index, kg, &q, config).len();
+            if matches > 0 {
+                out.push(RelaxOption {
+                    relaxation: Relaxation::Broaden { from: facet, to },
+                    query: q,
+                    matches,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.matches.cmp(&a.matches).then_with(|| {
+            let rank = |r: &Relaxation| match r {
+                Relaxation::Broaden { .. } => 0,
+                Relaxation::Drop(_) => 1,
+            };
+            rank(&a.relaxation).cmp(&rank(&b.relaxation))
+        })
+    });
+    out
+}
+
+/// Peer entities of `entity`: the other members of its most specific
+/// concept, ranked by news coverage (document frequency in the index),
+/// most covered first. The peer pivot of Fig. 1.
+pub fn peer_entities(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    entity: InstanceId,
+    k: usize,
+) -> Vec<(InstanceId, usize)> {
+    let Some(&concept) = kg.concepts_of(entity).iter().max_by(|&&a, &&b| {
+        kg.specificity(a)
+            .partial_cmp(&kg.specificity(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }) else {
+        return Vec::new();
+    };
+    let mut peers: Vec<(InstanceId, usize)> = kg
+        .members(concept)
+        .iter()
+        .copied()
+        .filter(|&v| v != entity)
+        .map(|v| (v, index.entity_index.docs_with(v).len()))
+        .filter(|&(_, df)| df > 0)
+        .collect();
+    peers.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    peers.truncate(k);
+    peers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NcxConfig;
+    use crate::indexer::Indexer;
+    use ncx_index::{DocumentStore, NewsSource};
+    use ncx_kg::GraphBuilder;
+    use ncx_text::{GazetteerLinker, NlpPipeline};
+
+    /// Taxonomy: Company <- Bitcoin Exchange {FTX, Binance, CryptoX};
+    /// Crime {fraud}; Labor {strike}. Corpus covers FTX+fraud and
+    /// Binance+strike — nothing covers CryptoX.
+    fn build() -> (KnowledgeGraph, NcxIndex, NcxConfig) {
+        let mut b = GraphBuilder::new();
+        let company = b.concept("Company");
+        let exch = b.concept("Bitcoin Exchange");
+        b.broader(exch, company);
+        let crime = b.concept("Financial Crime");
+        let labor = b.concept("Labor Dispute");
+        let ftx = b.instance("FTX");
+        let bnb = b.instance("Binance");
+        let cryptox = b.instance("CryptoX");
+        let fraud = b.instance("fraud");
+        let strike = b.instance("strike");
+        let dbs = b.instance("DBS");
+        b.member(exch, ftx);
+        b.member(exch, bnb);
+        b.member(exch, cryptox);
+        b.member(company, dbs);
+        b.member(crime, fraud);
+        b.member(labor, strike);
+        b.fact(ftx, "accusedOf", fraud);
+        b.fact(bnb, "hit_by", strike);
+        let kg = b.build();
+
+        let mut store = DocumentStore::new();
+        store.add(
+            NewsSource::Reuters,
+            "FTX fraud case".into(),
+            "FTX was accused of fraud.".into(),
+            0,
+        );
+        store.add(
+            NewsSource::Reuters,
+            "Binance strike".into(),
+            "Binance staff joined a strike.".into(),
+            1,
+        );
+        store.add(
+            NewsSource::Nyt,
+            "DBS results".into(),
+            "DBS posted earnings.".into(),
+            2,
+        );
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let config = NcxConfig {
+            threads: 1,
+            samples: 50,
+            max_member_fraction: 1.0,
+            ..NcxConfig::default()
+        };
+        let index = Indexer::new(&kg, &nlp, config.clone()).index_corpus(&store);
+        (kg, index, config)
+    }
+
+    #[test]
+    fn relax_dead_end_query() {
+        let (kg, index, config) = build();
+        // "Financial Crime ∧ Labor Dispute" matches nothing (no doc has both).
+        let q = ConceptQuery::from_names(&kg, &["Financial Crime", "Labor Dispute"]).unwrap();
+        assert!(matched_docs(&index, &kg, &q, &config).is_empty());
+        let options = relax(&index, &kg, &q, &config);
+        assert!(!options.is_empty());
+        // Dropping either facet yields exactly one match.
+        for opt in &options {
+            assert!(opt.matches >= 1);
+            assert!(matches!(opt.relaxation, Relaxation::Drop(_)));
+        }
+        assert_eq!(options.len(), 2);
+    }
+
+    #[test]
+    fn relax_prefers_broadening_on_ties() {
+        let (kg, index, config) = build();
+        // Single facet "Bitcoin Exchange": broadening to Company keeps the
+        // same two matches (dropping is not offered for single facets).
+        let q = ConceptQuery::from_names(&kg, &["Bitcoin Exchange"]).unwrap();
+        let options = relax(&index, &kg, &q, &config);
+        assert!(!options.is_empty());
+        assert!(matches!(options[0].relaxation, Relaxation::Broaden { .. }));
+        // Broadened to Company: DBS article joins the matches.
+        assert_eq!(options[0].matches, 3);
+    }
+
+    #[test]
+    fn relax_nothing_when_query_already_empty() {
+        let (kg, index, config) = build();
+        let q = ConceptQuery::new([]);
+        assert!(relax(&index, &kg, &q, &config).is_empty());
+    }
+
+    #[test]
+    fn peers_ranked_by_coverage() {
+        let (kg, index, _) = build();
+        let cryptox = kg.instance_by_name("CryptoX").unwrap();
+        let peers = peer_entities(&index, &kg, cryptox, 10);
+        let labels: Vec<&str> = peers.iter().map(|&(v, _)| kg.instance_label(v)).collect();
+        // FTX and Binance each appear in one article; CryptoX itself and
+        // the uncovered DBS are excluded.
+        assert_eq!(labels.len(), 2);
+        assert!(labels.contains(&"FTX") && labels.contains(&"Binance"));
+        for &(_, df) in &peers {
+            assert_eq!(df, 1);
+        }
+    }
+
+    #[test]
+    fn peers_empty_for_conceptless_entity() {
+        let (kg, index, _) = build();
+        let fraudless = kg.instance_by_name("strike").unwrap();
+        // strike HAS a concept (Labor Dispute) but no peers with coverage
+        // besides itself → empty.
+        let peers = peer_entities(&index, &kg, fraudless, 10);
+        assert!(peers.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Context relevance `cdr_c(c, d)` — Eq. 4–5 of the paper.
+//!
+//! The connectivity score averages, over the document's *context entities*
+//! `CE(c, d) = {v ∈ d | v ∉ Ψ(c)}`, the β-damped number of hop-bounded
+//! simple paths from any matched-concept instance `u ∈ Ψ(c)` to the
+//! context entity:
+//!
+//! ```text
+//! conn(c, d) = ( Σ_{v ∈ CE} Σ_{u ∈ Ψ(c)} Σ_{l=1}^{τ} β^l · |paths^{<l>}_{u,v}| ) / |CE|
+//! cdr_c(c, d) = 1 − 1 / (1 + conn(c, d))
+//! ```
+//!
+//! This module computes `conn` **exactly** with the pruned path counter —
+//! the ground truth for Fig. 6 and Fig. 7. Production scoring uses the
+//! sampling estimator in [`super::estimator`].
+
+use ncx_kg::paths::PathCounter;
+use ncx_kg::traversal::Hops;
+use ncx_kg::{ConceptId, InstanceId, KnowledgeGraph};
+
+/// A document's entities split into matched (`ME`) and context (`CE`)
+/// sets with respect to one concept.
+#[derive(Debug, Clone, Default)]
+pub struct ContextSplit {
+    /// `ME(c, d)`: document entities in `Ψ(c)`.
+    pub matched: Vec<InstanceId>,
+    /// `CE(c, d)`: document entities not in `Ψ(c)`.
+    pub context: Vec<InstanceId>,
+}
+
+/// Splits a document entity bag into matched and context entities.
+pub fn split_entities(
+    kg: &KnowledgeGraph,
+    c: ConceptId,
+    doc_entities: &[(InstanceId, u32)],
+) -> ContextSplit {
+    let mut split = ContextSplit::default();
+    for &(v, _) in doc_entities {
+        if kg.is_member(c, v) {
+            split.matched.push(v);
+        } else {
+            split.context.push(v);
+        }
+    }
+    split
+}
+
+/// Exact connectivity score (Eq. 4). `O(|Ψ(c)| · |CE| · paths)` — use only
+/// for ground truth and small member sets.
+pub fn exact_conn(
+    kg: &KnowledgeGraph,
+    c: ConceptId,
+    context_entities: &[InstanceId],
+    tau: Hops,
+    beta: f64,
+) -> f64 {
+    if context_entities.is_empty() {
+        return 0.0;
+    }
+    let members = kg.members(c);
+    let mut counter = PathCounter::new(kg);
+    let mut total = 0.0;
+    for &v in context_entities {
+        for &u in members {
+            if u == v {
+                continue;
+            }
+            total += counter.count(kg, u, v, tau).damped(beta);
+        }
+    }
+    total / context_entities.len() as f64
+}
+
+/// Normalisation of Eq. 5: `cdr_c = 1 − 1/(1 + conn)`, mapping
+/// `[0, ∞) → [0, 1)`.
+pub fn cdrc_from_conn(conn: f64) -> f64 {
+    debug_assert!(conn >= -1e-9, "connectivity must be non-negative: {conn}");
+    let conn = conn.max(0.0);
+    1.0 - 1.0 / (1.0 + conn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_kg::GraphBuilder;
+
+    /// Concept X = {u1, u2}; context entity v connected: u1—v (1 hop),
+    /// u2—w—v (2 hops). Another context entity z is isolated.
+    fn setup() -> (KnowledgeGraph, ConceptId, Vec<InstanceId>) {
+        let mut b = GraphBuilder::new();
+        let cx = b.concept("X");
+        let u1 = b.instance("u1");
+        let u2 = b.instance("u2");
+        let v = b.instance("v");
+        let w = b.instance("w");
+        let z = b.instance("z");
+        b.member(cx, u1);
+        b.member(cx, u2);
+        b.fact(u1, "r", v);
+        b.fact(u2, "r", w);
+        b.fact(w, "r", v);
+        let kg = b.build();
+        (kg, cx, vec![v, u1, u2, w, z])
+    }
+
+    #[test]
+    fn exact_conn_hand_computed() {
+        let (kg, cx, ids) = setup();
+        let v = ids[0];
+        // CE = {v}. Paths within τ=2, β=0.5:
+        //   u1→v: length 1 (u1-v), plus length 2 (u1-?-v: u1 has only v; none) ⇒ 0.5
+        //   u2→v: length 2 (u2-w-v) ⇒ 0.25
+        // conn = (0.5 + 0.25) / 1 = 0.75
+        let conn = exact_conn(&kg, cx, &[v], 2, 0.5);
+        assert!((conn - 0.75).abs() < 1e-12, "conn = {conn}");
+    }
+
+    #[test]
+    fn isolated_context_entity_contributes_zero() {
+        let (kg, cx, ids) = setup();
+        let z = ids[4];
+        assert_eq!(exact_conn(&kg, cx, &[z], 2, 0.5), 0.0);
+        // Averaging dilutes: CE = {v, z} halves the score.
+        let v = ids[0];
+        let conn = exact_conn(&kg, cx, &[v, z], 2, 0.5);
+        assert!((conn - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_tau_never_decreases_conn() {
+        let (kg, cx, ids) = setup();
+        let v = ids[0];
+        let c1 = exact_conn(&kg, cx, &[v], 1, 0.5);
+        let c2 = exact_conn(&kg, cx, &[v], 2, 0.5);
+        let c3 = exact_conn(&kg, cx, &[v], 3, 0.5);
+        assert!(c1 <= c2 && c2 <= c3);
+        assert!((c1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_context_scores_zero() {
+        let (kg, cx, _) = setup();
+        assert_eq!(exact_conn(&kg, cx, &[], 2, 0.5), 0.0);
+    }
+
+    #[test]
+    fn member_equal_to_context_skipped() {
+        // A context entity that coincides with a member contributes no
+        // self-paths.
+        let mut b = GraphBuilder::new();
+        let cx = b.concept("X");
+        let u = b.instance("u");
+        b.member(cx, u);
+        let kg = b.build();
+        assert_eq!(exact_conn(&kg, cx, &[u], 2, 0.5), 0.0);
+    }
+
+    #[test]
+    fn cdrc_normalisation() {
+        assert_eq!(cdrc_from_conn(0.0), 0.0);
+        assert!((cdrc_from_conn(1.0) - 0.5).abs() < 1e-12);
+        assert!((cdrc_from_conn(3.0) - 0.75).abs() < 1e-12);
+        let big = cdrc_from_conn(1e9);
+        assert!(big < 1.0 && big > 0.999_999);
+        // monotone
+        assert!(cdrc_from_conn(2.0) > cdrc_from_conn(1.0));
+    }
+
+    #[test]
+    fn split_entities_partition() {
+        let (kg, cx, ids) = setup();
+        let bag: Vec<(InstanceId, u32)> = ids.iter().map(|&v| (v, 1)).collect();
+        let split = split_entities(&kg, cx, &bag);
+        assert_eq!(split.matched.len(), 2);
+        assert_eq!(split.context.len(), 3);
+        assert_eq!(split.matched.len() + split.context.len(), bag.len());
+    }
+}

@@ -1,0 +1,482 @@
+//! The unbiased random-walk connectivity estimator — Eq. 6 of the paper.
+//!
+//! Exact path counting is exponential in the worst case, so the paper
+//! estimates the connectivity score with single random walks: sample a
+//! source `u` uniformly from `Ψ(c)` and a target `v` uniformly from the
+//! context entities, then run a **non-repeating** walk from `u` that at
+//! each step picks uniformly among *eligible* neighbours. If the walk
+//! reaches `v` at its `l`-th step, the sample value is
+//!
+//! ```text
+//! X = |Ψ(c)| · β^l · Π_i N(u_i)
+//! ```
+//!
+//! where `N(u_i)` is the eligible-neighbour count at each sampled step
+//! (the product runs over every choice the walk made, so `X` is exactly
+//! the inverse of the path's sampling probability times its β-damped
+//! contribution). A specific simple path `u = u_0, …, u_l = v` is sampled
+//! with probability `(1/|Ψ(c)|) · Π_i 1/N(u_i)`; multiplying by `X`
+//! telescopes, leaving `E[X] = conn(c, d)` — the estimator is unbiased.
+//!
+//! **Guidance.** With the reachability oracle, "eligible" additionally
+//! requires `dist(w → v) ≤ remaining hop budget`. Neighbours failing that
+//! test cannot appear on *any* simple path to `v` within τ that extends
+//! the current prefix, so pruning them removes only zero-contribution
+//! outcomes while the importance weight uses the *restricted* count —
+//! unbiasedness is preserved and variance drops sharply (Fig. 7).
+
+use ncx_kg::traversal::Hops;
+use ncx_kg::{InstanceId, KnowledgeGraph};
+use ncx_reach::oracle::{TargetDistanceOracle, TargetDistances};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Aggregate statistics over a batch of walks (diagnostics only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalkStats {
+    /// Total walks run.
+    pub walks: u64,
+    /// Walks that reached their target.
+    pub hits: u64,
+    /// Walks that died (no eligible neighbour) before the hop budget.
+    pub dead_ends: u64,
+}
+
+/// Connectivity-score estimator.
+pub struct ConnEstimator {
+    tau: Hops,
+    beta: f64,
+    guided: bool,
+    oracle: Arc<TargetDistanceOracle>,
+}
+
+impl ConnEstimator {
+    /// Creates an estimator. `guided == false` reproduces the paper's
+    /// "w/o reachability index" baseline.
+    pub fn new(tau: Hops, beta: f64, guided: bool, oracle: Arc<TargetDistanceOracle>) -> Self {
+        assert!(tau >= 1, "tau must be at least 1");
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+        Self {
+            tau,
+            beta,
+            guided,
+            oracle,
+        }
+    }
+
+    /// The shared target-distance oracle.
+    pub fn oracle(&self) -> &Arc<TargetDistanceOracle> {
+        &self.oracle
+    }
+
+    /// Hop bound τ.
+    pub fn tau(&self) -> Hops {
+        self.tau
+    }
+
+    /// Runs one walk from a uniformly drawn member of `members` towards
+    /// `target`, returning the sample value `X` (0 on miss).
+    #[allow(clippy::too_many_arguments)]
+    fn walk_once(
+        &self,
+        kg: &KnowledgeGraph,
+        members: &[InstanceId],
+        target: InstanceId,
+        dist: Option<&TargetDistances>,
+        rng: &mut SmallRng,
+        stats: &mut WalkStats,
+        visited: &mut Vec<InstanceId>,
+        eligible: &mut Vec<InstanceId>,
+    ) -> f64 {
+        stats.walks += 1;
+        let u = members[rng.gen_range(0..members.len())];
+        if u == target {
+            return 0.0;
+        }
+        visited.clear();
+        visited.push(u);
+        let mut cur = u;
+        let mut weight = members.len() as f64;
+        let mut damp = 1.0;
+        for depth in 0..self.tau {
+            let remaining = self.tau - depth - 1;
+            eligible.clear();
+            for &w in kg.neighbors(cur) {
+                if visited.contains(&w) {
+                    continue;
+                }
+                if let Some(td) = dist {
+                    if !td.within(w, remaining) {
+                        continue;
+                    }
+                }
+                eligible.push(w);
+            }
+            if eligible.is_empty() {
+                stats.dead_ends += 1;
+                return 0.0;
+            }
+            let w = eligible[rng.gen_range(0..eligible.len())];
+            weight *= eligible.len() as f64;
+            damp *= self.beta;
+            if w == target {
+                stats.hits += 1;
+                return weight * damp;
+            }
+            visited.push(w);
+            cur = w;
+        }
+        0.0
+    }
+
+    /// Sources that can contribute at least one path to `target` within
+    /// τ. Sampling only these (and reweighting by the restricted count)
+    /// removes guaranteed-zero walks without biasing the estimate — the
+    /// second way the reachability index accelerates convergence.
+    fn reachable_sources(
+        members: &[InstanceId],
+        target: InstanceId,
+        td: &TargetDistances,
+    ) -> Vec<InstanceId> {
+        members
+            .iter()
+            .copied()
+            .filter(|&u| u != target && td.get(u).is_some())
+            .collect()
+    }
+
+    /// Estimates `S_v = Σ_{u∈Ψ(c)} Σ_l β^l |paths^{<l>}_{u,v}|` for one
+    /// target with `samples` walks. Exposed for the unbiasedness tests and
+    /// the Fig. 7 experiment.
+    pub fn estimate_sum_to_target(
+        &self,
+        kg: &KnowledgeGraph,
+        members: &[InstanceId],
+        target: InstanceId,
+        samples: u32,
+        seed: u64,
+    ) -> (f64, WalkStats) {
+        if members.is_empty() || samples == 0 {
+            return (0.0, WalkStats::default());
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut stats = WalkStats::default();
+        let mut total = 0.0;
+        let mut visited = Vec::with_capacity(self.tau as usize + 1);
+        let mut eligible = Vec::new();
+        if self.guided {
+            let td = self.oracle.distances(kg, target);
+            let sources = Self::reachable_sources(members, target, &td);
+            if sources.is_empty() {
+                stats.walks = samples as u64;
+                return (0.0, stats);
+            }
+            for _ in 0..samples {
+                total += self.walk_once(
+                    kg,
+                    &sources,
+                    target,
+                    Some(&td),
+                    &mut rng,
+                    &mut stats,
+                    &mut visited,
+                    &mut eligible,
+                );
+            }
+        } else {
+            for _ in 0..samples {
+                total += self.walk_once(
+                    kg,
+                    members,
+                    target,
+                    None,
+                    &mut rng,
+                    &mut stats,
+                    &mut visited,
+                    &mut eligible,
+                );
+            }
+        }
+        (total / samples as f64, stats)
+    }
+
+    /// Estimates the full connectivity score `conn(c, d)` (Eq. 4): each
+    /// sample draws a target uniformly from `context` and a source
+    /// uniformly from `members`. `E[estimate] = conn`.
+    pub fn estimate_conn(
+        &self,
+        kg: &KnowledgeGraph,
+        members: &[InstanceId],
+        context: &[InstanceId],
+        samples: u32,
+        seed: u64,
+    ) -> (f64, WalkStats) {
+        if members.is_empty() || context.is_empty() || samples == 0 {
+            return (0.0, WalkStats::default());
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut stats = WalkStats::default();
+        let mut total = 0.0;
+        let mut visited = Vec::with_capacity(self.tau as usize + 1);
+        let mut eligible = Vec::new();
+        // Resolve distance arrays and reachable-source lists lazily per
+        // distinct target.
+        type PerTarget = (TargetDistances, Vec<InstanceId>);
+        let mut dist_cache: rustc_hash::FxHashMap<InstanceId, PerTarget> =
+            rustc_hash::FxHashMap::default();
+        for _ in 0..samples {
+            let target = context[rng.gen_range(0..context.len())];
+            if self.guided {
+                let (td, sources) = dist_cache.entry(target).or_insert_with(|| {
+                    let td = self.oracle.distances(kg, target);
+                    let sources = Self::reachable_sources(members, target, &td);
+                    (td, sources)
+                });
+                if sources.is_empty() {
+                    stats.walks += 1;
+                    continue;
+                }
+                let (td, sources) = (td.clone(), std::mem::take(sources));
+                total += self.walk_once(
+                    kg,
+                    &sources,
+                    target,
+                    Some(&td),
+                    &mut rng,
+                    &mut stats,
+                    &mut visited,
+                    &mut eligible,
+                );
+                if let Some(slot) = dist_cache.get_mut(&target) {
+                    slot.1 = sources;
+                }
+            } else {
+                total += self.walk_once(
+                    kg,
+                    members,
+                    target,
+                    None,
+                    &mut rng,
+                    &mut stats,
+                    &mut visited,
+                    &mut eligible,
+                );
+            }
+        }
+        (total / samples as f64, stats)
+    }
+}
+
+/// Mixes a base seed with a document/concept pair so that every (d, c)
+/// estimate is deterministic independent of thread scheduling.
+pub fn pair_seed(base: u64, doc: u32, concept: u32) -> u64 {
+    let mut h = base ^ 0x9E3779B97F4A7C15;
+    for x in [doc as u64, concept as u64] {
+        h ^= x
+            .wrapping_add(0x9E3779B97F4A7C15)
+            .wrapping_add(h << 6)
+            .wrapping_add(h >> 2);
+        h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+        h ^= h >> 29;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_kg::paths::PathCounter;
+    use ncx_kg::GraphBuilder;
+
+    fn oracle(tau: Hops) -> Arc<TargetDistanceOracle> {
+        Arc::new(TargetDistanceOracle::new(tau, 64))
+    }
+
+    /// Exact S_v for reference.
+    fn exact_sum(
+        kg: &KnowledgeGraph,
+        members: &[InstanceId],
+        target: InstanceId,
+        tau: Hops,
+        beta: f64,
+    ) -> f64 {
+        let mut pc = PathCounter::new(kg);
+        members
+            .iter()
+            .filter(|&&u| u != target)
+            .map(|&u| pc.count(kg, u, target, tau).damped(beta))
+            .sum()
+    }
+
+    /// Concept members {u1, u2}; diamond-ish connectivity to v.
+    fn diamond() -> (KnowledgeGraph, Vec<InstanceId>, InstanceId) {
+        let mut b = GraphBuilder::new();
+        let u1 = b.instance("u1");
+        let u2 = b.instance("u2");
+        let m1 = b.instance("m1");
+        let m2 = b.instance("m2");
+        let v = b.instance("v");
+        b.fact(u1, "r", v);
+        b.fact(u1, "r", m1);
+        b.fact(m1, "r", v);
+        b.fact(u2, "r", m2);
+        b.fact(m2, "r", v);
+        b.fact(m1, "r", m2);
+        let kg = b.build();
+        (kg, vec![u1, u2], v)
+    }
+
+    #[test]
+    fn estimator_converges_to_exact_guided() {
+        let (kg, members, v) = diamond();
+        for tau in [2u8, 3] {
+            let exact = exact_sum(&kg, &members, v, tau, 0.5);
+            let est = ConnEstimator::new(tau, 0.5, true, oracle(tau));
+            let (got, stats) = est.estimate_sum_to_target(&kg, &members, v, 60_000, 42);
+            assert!(
+                (got - exact).abs() / exact < 0.05,
+                "tau={tau}: est {got} vs exact {exact}"
+            );
+            assert!(stats.hits > 0);
+        }
+    }
+
+    #[test]
+    fn estimator_converges_to_exact_unguided() {
+        let (kg, members, v) = diamond();
+        let exact = exact_sum(&kg, &members, v, 2, 0.5);
+        let est = ConnEstimator::new(2, 0.5, false, oracle(2));
+        let (got, _) = est.estimate_sum_to_target(&kg, &members, v, 120_000, 7);
+        assert!(
+            (got - exact).abs() / exact < 0.05,
+            "est {got} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn guided_has_fewer_dead_ends() {
+        // Attach noisy branches so unguided walks get lost.
+        let mut b = GraphBuilder::new();
+        let u = b.instance("u");
+        let v = b.instance("v");
+        let mid = b.instance("mid");
+        b.fact(u, "r", mid);
+        b.fact(mid, "r", v);
+        for i in 0..10 {
+            let noise = b.instance(&format!("noise{i}"));
+            b.fact(u, "r", noise);
+            let far = b.instance(&format!("far{i}"));
+            b.fact(noise, "r", far);
+        }
+        let kg = b.build();
+        let members = vec![u];
+        let guided = ConnEstimator::new(2, 0.5, true, oracle(2));
+        let unguided = ConnEstimator::new(2, 0.5, false, oracle(2));
+        let (_, gs) = guided.estimate_sum_to_target(&kg, &members, v, 2000, 3);
+        let (_, us) = unguided.estimate_sum_to_target(&kg, &members, v, 2000, 3);
+        assert_eq!(
+            gs.hits, gs.walks,
+            "guided walks on a single viable line always hit"
+        );
+        assert!(us.hits < us.walks / 2, "unguided mostly misses: {us:?}");
+    }
+
+    #[test]
+    fn guided_and_unguided_agree_in_expectation() {
+        let (kg, members, v) = diamond();
+        let g = ConnEstimator::new(3, 0.5, true, oracle(3));
+        let u = ConnEstimator::new(3, 0.5, false, oracle(3));
+        let (eg, _) = g.estimate_sum_to_target(&kg, &members, v, 80_000, 11);
+        let (eu, _) = u.estimate_sum_to_target(&kg, &members, v, 80_000, 13);
+        assert!((eg - eu).abs() / eg < 0.08, "guided {eg} vs unguided {eu}");
+    }
+
+    #[test]
+    fn estimate_conn_averages_over_context() {
+        let (kg, members, v) = diamond();
+        // context = {v, isolated}: isolated contributes 0, so conn = S_v/2.
+        let b2 = GraphBuilder::new();
+        let _ = b2;
+        let exact_v = exact_sum(&kg, &members, v, 2, 0.5);
+        // m1 is a context entity too (not a member): compute S_m1.
+        let m1 = kg.instance_by_name("m1").unwrap();
+        let exact_m1 = exact_sum(&kg, &members, m1, 2, 0.5);
+        let expected = (exact_v + exact_m1) / 2.0;
+        let est = ConnEstimator::new(2, 0.5, true, oracle(2));
+        let (got, _) = est.estimate_conn(&kg, &members, &[v, m1], 80_000, 99);
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "est {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (kg, members, v) = diamond();
+        let est = ConnEstimator::new(2, 0.5, true, oracle(2));
+        let (a, _) = est.estimate_conn(&kg, &members, &[v], 500, 1234);
+        let (b, _) = est.estimate_conn(&kg, &members, &[v], 500, 1234);
+        assert_eq!(a, b);
+        let (c, _) = est.estimate_conn(&kg, &members, &[v], 500, 1235);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        let (kg, members, v) = diamond();
+        let est = ConnEstimator::new(2, 0.5, true, oracle(2));
+        assert_eq!(est.estimate_conn(&kg, &[], &[v], 100, 0).0, 0.0);
+        assert_eq!(est.estimate_conn(&kg, &members, &[], 100, 0).0, 0.0);
+        assert_eq!(est.estimate_conn(&kg, &members, &[v], 0, 0).0, 0.0);
+    }
+
+    #[test]
+    fn member_equals_target_contributes_zero() {
+        let (kg, members, _) = diamond();
+        let est = ConnEstimator::new(2, 0.5, true, oracle(2));
+        let (got, _) = est.estimate_sum_to_target(&kg, &members, members[0], 1000, 5);
+        assert_eq!(got, 0.0);
+    }
+
+    #[test]
+    fn pair_seed_spreads() {
+        let a = pair_seed(1, 0, 0);
+        let b = pair_seed(1, 0, 1);
+        let c = pair_seed(1, 1, 0);
+        let d = pair_seed(2, 0, 0);
+        assert!(a != b && a != c && a != d && b != c);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+        /// On random small graphs the guided estimator's mean tracks the
+        /// exact damped path sum (unbiasedness).
+        #[test]
+        fn prop_unbiased_on_random_graphs(
+            edges in proptest::collection::vec((0u32..8, 0u32..8), 4..20),
+            seed in 0u64..1000,
+        ) {
+            let mut b = GraphBuilder::new();
+            let nodes: Vec<InstanceId> =
+                (0..8).map(|i| b.instance(&format!("n{i}"))).collect();
+            for (u, v) in edges {
+                b.fact(nodes[u as usize], "r", nodes[v as usize]);
+            }
+            let kg = b.build();
+            let members = vec![nodes[0], nodes[1]];
+            let target = nodes[7];
+            let exact = exact_sum(&kg, &members, target, 3, 0.5);
+            let est = ConnEstimator::new(3, 0.5, true, oracle(3));
+            let (got, _) = est.estimate_sum_to_target(&kg, &members, target, 40_000, seed);
+            if exact == 0.0 {
+                proptest::prop_assert_eq!(got, 0.0);
+            } else {
+                proptest::prop_assert!(
+                    (got - exact).abs() / exact < 0.15,
+                    "est {} vs exact {}", got, exact
+                );
+            }
+        }
+    }
+}

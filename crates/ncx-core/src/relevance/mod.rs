@@ -1,0 +1,17 @@
+//! Concept–document relevance: `cdr(c, d) = cdr_o(c, d) · cdr_c(c, d)`
+//! (Eq. 2 of the paper).
+//!
+//! * [`ontology`] — `cdr_o`: specificity × pivot-entity term weight (Eq. 3);
+//! * [`context`] — `cdr_c`: the normalised connectivity score over context
+//!   entities, computed exactly by hop-bounded path counting (Eq. 4–5);
+//! * [`estimator`] — the unbiased single-random-walk estimator of the
+//!   connectivity score (Eq. 6), optionally guided by the k-hop
+//!   reachability oracle.
+
+pub mod context;
+pub mod estimator;
+pub mod ontology;
+
+pub use context::{cdrc_from_conn, exact_conn, ContextSplit};
+pub use estimator::{ConnEstimator, WalkStats};
+pub use ontology::{matched_entities, ontology_relevance};

@@ -1,0 +1,135 @@
+//! Ontology relevance `cdr_o(c, d)` — Eq. 3 of the paper:
+//!
+//! ```text
+//! cdr_o(c, d) = log(|V_I| / |Ψ(c)|) · max_{v ∈ ME(c,d)} tw(v, d)
+//! ```
+//!
+//! where `ME(c, d) = {v | v ∈ d and v ∈ Ψ(c)}` are the document entities
+//! matching the concept, and the maximiser is the **pivot entity**.
+
+use ncx_index::EntityIndex;
+use ncx_kg::{ConceptId, DocId, InstanceId, KnowledgeGraph};
+
+/// The matched entities `ME(c, d)`: document entities that belong to
+/// `Ψ(c)`. `doc_entities` must be the document's `(entity, count)` bag.
+pub fn matched_entities(
+    kg: &KnowledgeGraph,
+    c: ConceptId,
+    doc_entities: &[(InstanceId, u32)],
+) -> Vec<InstanceId> {
+    doc_entities
+        .iter()
+        .filter(|&&(v, _)| kg.is_member(c, v))
+        .map(|&(v, _)| v)
+        .collect()
+}
+
+/// Result of Eq. 3: the score and the pivot entity that attained it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OntologyRelevance {
+    /// `cdr_o(c, d)`.
+    pub score: f64,
+    /// The matched entity with the highest term weight.
+    pub pivot: InstanceId,
+}
+
+/// Computes `cdr_o(c, d)` over a document's entity bag. Returns `None`
+/// when `ME(c, d)` is empty (the concept has no direct link to the
+/// document; §III-A1's edge-concept fallback applies at query time).
+pub fn ontology_relevance(
+    kg: &KnowledgeGraph,
+    entity_index: &EntityIndex,
+    c: ConceptId,
+    doc: DocId,
+) -> Option<OntologyRelevance> {
+    let specificity = kg.specificity(c);
+    let mut best: Option<(f64, InstanceId)> = None;
+    for &(v, _) in entity_index.entities_of(doc) {
+        if !kg.is_member(c, v) {
+            continue;
+        }
+        let tw = entity_index.term_weight(v, doc);
+        match best {
+            Some((bw, _)) if bw >= tw => {}
+            _ => best = Some((tw, v)),
+        }
+    }
+    best.map(|(tw, pivot)| OntologyRelevance {
+        score: specificity * tw,
+        pivot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_kg::GraphBuilder;
+    use rustc_hash::FxHashMap;
+
+    /// KG: concept Exchange {FTX, Binance}, concept Person {SBF};
+    /// three docs with varying mention patterns.
+    fn setup() -> (KnowledgeGraph, EntityIndex) {
+        let mut b = GraphBuilder::new();
+        let exch = b.concept("Exchange");
+        let person = b.concept("Person");
+        let ftx = b.instance("FTX");
+        let bnb = b.instance("Binance");
+        let sbf = b.instance("SBF");
+        b.member(exch, ftx);
+        b.member(exch, bnb);
+        b.member(person, sbf);
+        let kg = b.build();
+
+        let mut idx = EntityIndex::new();
+        let mk = |pairs: &[(InstanceId, u32)]| -> FxHashMap<InstanceId, u32> {
+            pairs.iter().copied().collect()
+        };
+        idx.add_document(&mk(&[(ftx, 5), (sbf, 1)])); // d0: FTX-heavy
+        idx.add_document(&mk(&[(ftx, 1), (bnb, 3)])); // d1: Binance-heavy
+        idx.add_document(&mk(&[(sbf, 2)])); // d2: person only
+        (kg, idx)
+    }
+
+    #[test]
+    fn pivot_is_highest_weight_match() {
+        let (kg, idx) = setup();
+        let exch = kg.concept_by_name("Exchange").unwrap();
+        let ftx = kg.instance_by_name("FTX").unwrap();
+        let bnb = kg.instance_by_name("Binance").unwrap();
+        let r0 = ontology_relevance(&kg, &idx, exch, DocId::new(0)).unwrap();
+        assert_eq!(r0.pivot, ftx);
+        let r1 = ontology_relevance(&kg, &idx, exch, DocId::new(1)).unwrap();
+        assert_eq!(r1.pivot, bnb);
+        assert!(r0.score > 0.0 && r1.score > 0.0);
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let (kg, idx) = setup();
+        let exch = kg.concept_by_name("Exchange").unwrap();
+        assert!(ontology_relevance(&kg, &idx, exch, DocId::new(2)).is_none());
+    }
+
+    #[test]
+    fn specificity_scales_score() {
+        let (kg, idx) = setup();
+        let exch = kg.concept_by_name("Exchange").unwrap(); // |Ψ| = 2
+        let person = kg.concept_by_name("Person").unwrap(); // |Ψ| = 1
+                                                            // Same doc d0 matches both; Person is more specific (fewer members)
+                                                            // so its specificity factor is larger.
+        assert!(kg.specificity(person) > kg.specificity(exch));
+        let rp = ontology_relevance(&kg, &idx, person, DocId::new(0)).unwrap();
+        assert!(rp.score > 0.0);
+    }
+
+    #[test]
+    fn matched_entities_filters_by_membership() {
+        let (kg, idx) = setup();
+        let exch = kg.concept_by_name("Exchange").unwrap();
+        let me = matched_entities(&kg, exch, idx.entities_of(DocId::new(0)));
+        let ftx = kg.instance_by_name("FTX").unwrap();
+        assert_eq!(me, vec![ftx]);
+        let me1 = matched_entities(&kg, exch, idx.entities_of(DocId::new(1)));
+        assert_eq!(me1.len(), 2);
+    }
+}

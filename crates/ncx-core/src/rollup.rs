@@ -1,0 +1,311 @@
+//! The roll-up operation — Definition 1 of the paper.
+//!
+//! Given a concept pattern query `Q`, return the top-K documents by
+//! `rel(Q, d) = Σ_{c∈Q} cdr(c, d)`, where a document qualifies only if it
+//! matches **every** concept in `Q`. A broad query concept with no direct
+//! posting for a document is represented by the best-scoring **edge
+//! concept** among its descendants (§III-A1).
+
+use crate::config::NcxConfig;
+use crate::indexer::NcxIndex;
+use crate::query::ConceptQuery;
+use ncx_index::TopK;
+use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
+use rustc_hash::FxHashMap;
+
+/// How one query concept matched one document.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConceptMatch {
+    /// The query concept.
+    pub concept: ConceptId,
+    /// The concept whose posting supplied the score (== `concept` for a
+    /// direct match; a descendant for an edge-concept fallback).
+    pub via: ConceptId,
+    /// The `cdr` score contributed.
+    pub cdr: f64,
+    /// The pivot entity of the match.
+    pub pivot: InstanceId,
+}
+
+/// One roll-up result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollupHit {
+    /// The matched document.
+    pub doc: DocId,
+    /// `rel(Q, d)`.
+    pub score: f64,
+    /// Per-query-concept match details (same order as the query).
+    pub matches: Vec<ConceptMatch>,
+}
+
+/// Per-concept document match map: document → best match for the concept.
+fn concept_doc_map(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    c: ConceptId,
+    config: &NcxConfig,
+) -> FxHashMap<DocId, ConceptMatch> {
+    let mut map: FxHashMap<DocId, ConceptMatch> = FxHashMap::default();
+    let mut absorb = |via: ConceptId| {
+        for p in index.postings(via) {
+            let candidate = ConceptMatch {
+                concept: c,
+                via,
+                cdr: p.cdr,
+                pivot: p.pivot,
+            };
+            map.entry(p.doc)
+                .and_modify(|m| {
+                    if candidate.cdr > m.cdr {
+                        *m = candidate;
+                    }
+                })
+                .or_insert(candidate);
+        }
+    };
+    absorb(c);
+    if config.edge_concept_fallback {
+        for d in ontology::descendants(kg, c) {
+            absorb(d);
+        }
+    }
+    map
+}
+
+/// All documents matching `Q`, with per-concept match details. Returns an
+/// empty map for an empty query.
+pub fn matched_docs(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    query: &ConceptQuery,
+    config: &NcxConfig,
+) -> FxHashMap<DocId, Vec<ConceptMatch>> {
+    if query.is_empty() {
+        return FxHashMap::default();
+    }
+    let mut maps: Vec<FxHashMap<DocId, ConceptMatch>> = query
+        .concepts()
+        .iter()
+        .map(|&c| concept_doc_map(index, kg, c, config))
+        .collect();
+    // Intersect starting from the smallest map.
+    let smallest = maps
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, m)| m.len())
+        .map(|(i, _)| i)
+        .unwrap();
+    let seed_map = maps.swap_remove(smallest);
+    let mut out: FxHashMap<DocId, Vec<ConceptMatch>> = FxHashMap::default();
+    'docs: for (doc, m0) in seed_map {
+        let mut matches = Vec::with_capacity(query.len());
+        matches.push(m0);
+        for other in &maps {
+            match other.get(&doc) {
+                Some(m) => matches.push(*m),
+                None => continue 'docs,
+            }
+        }
+        // Restore query order for presentation.
+        matches.sort_by_key(|m| {
+            query
+                .concepts()
+                .iter()
+                .position(|&c| c == m.concept)
+                .unwrap_or(usize::MAX)
+        });
+        out.insert(doc, matches);
+    }
+    out
+}
+
+/// The roll-up operation: top-`k` documents by `rel(Q, d)`, ties broken by
+/// ascending document id.
+pub fn rollup(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    query: &ConceptQuery,
+    k: usize,
+    config: &NcxConfig,
+) -> Vec<RollupHit> {
+    let docs = matched_docs(index, kg, query, config);
+    let mut top = TopK::new(k);
+    let mut details: FxHashMap<DocId, Vec<ConceptMatch>> = docs;
+    for (doc, matches) in &details {
+        let score: f64 = matches.iter().map(|m| m.cdr).sum();
+        top.push(*doc, score);
+    }
+    top.into_sorted_vec()
+        .into_iter()
+        .map(|(doc, score)| RollupHit {
+            doc,
+            score,
+            matches: details.remove(&doc).unwrap_or_default(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexer::Indexer;
+    use ncx_index::{DocumentStore, NewsSource};
+    use ncx_kg::GraphBuilder;
+    use ncx_text::{GazetteerLinker, NlpPipeline};
+
+    /// KG with a two-level taxonomy:
+    /// Company <- {Exchange, Bank}; Crime = {fraud, laundering}.
+    fn setup() -> (KnowledgeGraph, DocumentStore) {
+        let mut b = GraphBuilder::new();
+        let company = b.concept("Company");
+        let exch = b.concept("Exchange");
+        let bank = b.concept("Bank");
+        let crime = b.concept("Crime");
+        b.broader(exch, company);
+        b.broader(bank, company);
+        let ftx = b.instance("FTX");
+        let dbs = b.instance("DBS");
+        let fraud = b.instance("fraud");
+        let launder = b.instance("laundering");
+        b.member(exch, ftx);
+        b.member(bank, dbs);
+        b.member(crime, fraud);
+        b.member(crime, launder);
+        b.fact(ftx, "accusedOf", fraud);
+        b.fact(dbs, "flagged", launder);
+        b.fact(ftx, "clientOf", dbs);
+        let kg = b.build();
+
+        let mut store = DocumentStore::new();
+        store.add(
+            NewsSource::Reuters,
+            "FTX fraud".into(),
+            "FTX accused of fraud. FTX executives charged with fraud.".into(),
+            0,
+        );
+        store.add(
+            NewsSource::Reuters,
+            "DBS laundering check".into(),
+            "DBS screens for laundering risks.".into(),
+            1,
+        );
+        store.add(
+            NewsSource::Nyt,
+            "FTX banks with DBS".into(),
+            "FTX opened accounts at DBS.".into(),
+            2,
+        );
+        (kg, store)
+    }
+
+    fn build() -> (KnowledgeGraph, NcxIndex, NcxConfig) {
+        let (kg, store) = setup();
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let config = NcxConfig {
+            threads: 1,
+            samples: 300,
+            max_member_fraction: 1.0,
+            ..NcxConfig::default()
+        };
+        let index = Indexer::new(&kg, &nlp, config.clone()).index_corpus(&store);
+        (kg, index, config)
+    }
+
+    #[test]
+    fn single_concept_rollup() {
+        let (kg, index, config) = build();
+        let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
+        let hits = rollup(&index, &kg, &q, 10, &config);
+        // FTX appears in d0 and d2.
+        let ids: Vec<u32> = hits.iter().map(|h| h.doc.raw()).collect();
+        assert!(ids.contains(&0) && ids.contains(&2));
+        assert_eq!(hits.len(), 2);
+        for h in &hits {
+            assert_eq!(h.matches.len(), 1);
+            assert!((h.score - h.matches[0].cdr).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conjunctive_matching() {
+        let (kg, index, config) = build();
+        let q = ConceptQuery::from_names(&kg, &["Exchange", "Crime"]).unwrap();
+        let hits = rollup(&index, &kg, &q, 10, &config);
+        // Only d0 mentions both an exchange and a crime term.
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc.raw(), 0);
+        assert_eq!(hits[0].matches.len(), 2);
+        // rel is the sum over query concepts.
+        let sum: f64 = hits[0].matches.iter().map(|m| m.cdr).sum();
+        assert!((hits[0].score - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broad_concept_uses_edge_concepts() {
+        let (kg, index, config) = build();
+        // "Company" has no direct members; matching goes through
+        // Exchange/Bank descendants.
+        let q = ConceptQuery::from_names(&kg, &["Company"]).unwrap();
+        let hits = rollup(&index, &kg, &q, 10, &config);
+        assert_eq!(hits.len(), 3, "all docs mention some company");
+        let company = kg.concept_by_name("Company").unwrap();
+        for h in &hits {
+            assert_eq!(h.matches[0].concept, company);
+            assert_ne!(h.matches[0].via, company, "must match via an edge concept");
+        }
+    }
+
+    #[test]
+    fn fallback_can_be_disabled() {
+        let (kg, index, mut config) = build();
+        config.edge_concept_fallback = false;
+        let q = ConceptQuery::from_names(&kg, &["Company"]).unwrap();
+        assert!(rollup(&index, &kg, &q, 10, &config).is_empty());
+    }
+
+    #[test]
+    fn k_truncates_by_score() {
+        let (kg, index, config) = build();
+        let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
+        let all = rollup(&index, &kg, &q, 10, &config);
+        let top1 = rollup(&index, &kg, &q, 1, &config);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].doc, all[0].doc);
+        assert!(all[0].score >= all[1].score);
+    }
+
+    #[test]
+    fn fraud_heavy_doc_outranks() {
+        let (kg, index, config) = build();
+        let q = ConceptQuery::from_names(&kg, &["Crime"]).unwrap();
+        let hits = rollup(&index, &kg, &q, 10, &config);
+        // d0 mentions fraud three times vs d1's single laundering mention;
+        // term weighting should rank d0 first.
+        assert_eq!(hits[0].doc.raw(), 0);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let (kg, index, config) = build();
+        let q = ConceptQuery::new([]);
+        assert!(rollup(&index, &kg, &q, 5, &config).is_empty());
+    }
+
+    #[test]
+    fn unmatched_concept_returns_nothing() {
+        let (kg, store) = setup();
+        let mut b = GraphBuilder::new();
+        let _ = (kg, store);
+        // Fresh KG with an unused concept to query.
+        let unused = b.concept("Ghost");
+        let kg2 = b.build();
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg2));
+        let config = NcxConfig {
+            threads: 1,
+            ..NcxConfig::default()
+        };
+        let index = Indexer::new(&kg2, &nlp, config.clone()).index_corpus(&DocumentStore::new());
+        let q = ConceptQuery::new([unused]);
+        assert!(rollup(&index, &kg2, &q, 5, &config).is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! Exploration sessions: stateful OLAP-style navigation.
+//!
+//! The paper's analyst "enjoys the leeway to alternate between roll-up
+//! and drill-down modes, mirroring the flexibility of navigating an OLAP
+//! cube" (Fig. 1). A [`Session`] tracks the current concept pattern query
+//! and its history, exposing the cube moves:
+//!
+//! * [`Session::start_from_entity`] — seed the query from an entity's
+//!   concepts;
+//! * [`Session::roll_up`] — replace a query concept by one of its
+//!   `broader` ancestors (widen);
+//! * [`Session::drill_into`] — augment the query with a suggested
+//!   subtopic (narrow);
+//! * [`Session::remove`] — drop a facet;
+//! * [`Session::back`] — undo the last move.
+
+use crate::drilldown::Subtopic;
+use crate::engine::NcExplorer;
+use crate::query::ConceptQuery;
+use crate::rollup::RollupHit;
+use ncx_kg::{ontology, ConceptId, InstanceId};
+
+/// One navigation move, for history/inspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Move {
+    /// Session started with this query.
+    Start(ConceptQuery),
+    /// `roll_up(from, to)` replaced a concept by an ancestor.
+    RollUp(ConceptId, ConceptId),
+    /// `drill_into(c)` added a subtopic facet.
+    DrillInto(ConceptId),
+    /// `remove(c)` dropped a facet.
+    Remove(ConceptId),
+}
+
+/// A stateful exploration session over an [`NcExplorer`] engine.
+pub struct Session<'e> {
+    engine: &'e NcExplorer,
+    current: ConceptQuery,
+    history: Vec<(ConceptQuery, Move)>,
+}
+
+impl<'e> Session<'e> {
+    /// Starts a session from an explicit query.
+    pub fn new(engine: &'e NcExplorer, query: ConceptQuery) -> Self {
+        Self {
+            engine,
+            history: vec![(query.clone(), Move::Start(query.clone()))],
+            current: query,
+        }
+    }
+
+    /// Starts from an entity, as in Fig. 1 ("FTX"): the query begins with
+    /// the entity's **most specific** direct concept (highest
+    /// `log |V_I|/|Ψ(c)|` — "Bitcoin Exchange" rather than "Company").
+    /// Returns `None` when the entity has no concepts.
+    pub fn start_from_entity(engine: &'e NcExplorer, entity: InstanceId) -> Option<Self> {
+        let kg = engine.kg();
+        let best = ontology::rollup_options(kg, entity, 0)
+            .into_iter()
+            .max_by(|&a, &b| {
+                kg.specificity(a)
+                    .partial_cmp(&kg.specificity(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| b.cmp(&a))
+            })?;
+        Some(Self::new(engine, ConceptQuery::new([best])))
+    }
+
+    /// The current query.
+    pub fn query(&self) -> &ConceptQuery {
+        &self.current
+    }
+
+    /// The move history (oldest first).
+    pub fn history(&self) -> impl Iterator<Item = &Move> {
+        self.history.iter().map(|(_, m)| m)
+    }
+
+    /// Current roll-up results.
+    pub fn results(&self, k: usize) -> Vec<RollupHit> {
+        self.engine.rollup(&self.current, k)
+    }
+
+    /// Current drill-down suggestions.
+    pub fn suggestions(&self, k: usize) -> Vec<Subtopic> {
+        self.engine.drilldown(&self.current, k)
+    }
+
+    /// Roll-up options for a concept currently in the query: its
+    /// `broader` ancestors, nearest first.
+    pub fn rollup_targets(&self, c: ConceptId) -> Vec<ConceptId> {
+        ontology::ancestors(self.engine.kg(), c)
+    }
+
+    /// Widens the query: replaces `from` (must be in the query) by its
+    /// ancestor `to`. Fails if `from` is absent or `to` does not subsume
+    /// it.
+    pub fn roll_up(&mut self, from: ConceptId, to: ConceptId) -> Result<(), String> {
+        if !self.current.contains(from) {
+            return Err(format!(
+                "concept {} is not in the current query",
+                self.engine.kg().concept_label(from)
+            ));
+        }
+        if !ontology::subsumes(self.engine.kg(), to, from) {
+            return Err(format!(
+                "{} does not subsume {}",
+                self.engine.kg().concept_label(to),
+                self.engine.kg().concept_label(from)
+            ));
+        }
+        let concepts: Vec<ConceptId> = self
+            .current
+            .concepts()
+            .iter()
+            .map(|&c| if c == from { to } else { c })
+            .collect();
+        self.push(ConceptQuery::new(concepts), Move::RollUp(from, to));
+        Ok(())
+    }
+
+    /// Narrows the query with a subtopic (typically one returned by
+    /// [`Session::suggestions`]).
+    pub fn drill_into(&mut self, c: ConceptId) -> Result<(), String> {
+        if self.current.contains(c) {
+            return Err(format!(
+                "{} is already in the query",
+                self.engine.kg().concept_label(c)
+            ));
+        }
+        let next = self.current.with(c);
+        self.push(next, Move::DrillInto(c));
+        Ok(())
+    }
+
+    /// Drops a facet from the query (the inverse of drill-down). The last
+    /// facet cannot be removed.
+    pub fn remove(&mut self, c: ConceptId) -> Result<(), String> {
+        if !self.current.contains(c) {
+            return Err("concept not in query".to_string());
+        }
+        if self.current.len() == 1 {
+            return Err("cannot remove the last facet".to_string());
+        }
+        let concepts: Vec<ConceptId> = self
+            .current
+            .concepts()
+            .iter()
+            .copied()
+            .filter(|&x| x != c)
+            .collect();
+        self.push(ConceptQuery::new(concepts), Move::Remove(c));
+        Ok(())
+    }
+
+    /// Undoes the last move. Returns false at the session start.
+    pub fn back(&mut self) -> bool {
+        if self.history.len() <= 1 {
+            return false;
+        }
+        self.history.pop();
+        self.current = self.history.last().expect("start remains").0.clone();
+        true
+    }
+
+    fn push(&mut self, next: ConceptQuery, mv: Move) {
+        self.history.push((next.clone(), mv));
+        self.current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NcxConfig;
+    use ncx_index::{DocumentStore, NewsSource};
+    use ncx_kg::GraphBuilder;
+    use std::sync::Arc;
+
+    fn engine() -> NcExplorer {
+        let mut b = GraphBuilder::new();
+        let company = b.concept("Company");
+        let exch = b.concept("Bitcoin Exchange");
+        let crime = b.concept("Financial Crime");
+        b.broader(exch, company);
+        let ftx = b.instance("FTX");
+        let fraud = b.instance("fraud");
+        b.member(exch, ftx);
+        b.member(crime, fraud);
+        b.fact(ftx, "accusedOf", fraud);
+        let kg = Arc::new(b.build());
+        let mut store = DocumentStore::new();
+        store.add(
+            NewsSource::Reuters,
+            "FTX fraud".into(),
+            "FTX faces fraud charges.".into(),
+            0,
+        );
+        NcExplorer::build(
+            kg,
+            &store,
+            NcxConfig {
+                threads: 1,
+                samples: 50,
+                max_member_fraction: 1.0,
+                ..NcxConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn fig1_navigation_sequence() {
+        let eng = engine();
+        let ftx = eng.kg().instance_by_name("FTX").unwrap();
+        let mut s = Session::start_from_entity(&eng, ftx).unwrap();
+        let exch = eng.kg().concept_by_name("Bitcoin Exchange").unwrap();
+        assert_eq!(s.query().concepts(), &[exch]);
+        assert_eq!(s.results(5).len(), 1);
+
+        // Drill into the suggested crime subtopic.
+        let subs = s.suggestions(5);
+        assert!(!subs.is_empty());
+        let crime = eng.kg().concept_by_name("Financial Crime").unwrap();
+        assert!(subs.iter().any(|x| x.concept == crime));
+        s.drill_into(crime).unwrap();
+        assert_eq!(s.query().len(), 2);
+        assert_eq!(s.results(5).len(), 1);
+
+        // Roll the exchange facet up to Company.
+        let company = eng.kg().concept_by_name("Company").unwrap();
+        assert_eq!(s.rollup_targets(exch), vec![company]);
+        s.roll_up(exch, company).unwrap();
+        assert!(s.query().contains(company));
+        assert!(!s.query().contains(exch));
+
+        // History: start, drill, rollup.
+        assert_eq!(s.history().count(), 3);
+
+        // Back out twice.
+        assert!(s.back());
+        assert!(s.query().contains(exch));
+        assert!(s.back());
+        assert_eq!(s.query().len(), 1);
+        assert!(!s.back(), "cannot undo past the start");
+    }
+
+    #[test]
+    fn invalid_moves_rejected() {
+        let eng = engine();
+        let exch = eng.kg().concept_by_name("Bitcoin Exchange").unwrap();
+        let crime = eng.kg().concept_by_name("Financial Crime").unwrap();
+        let company = eng.kg().concept_by_name("Company").unwrap();
+        let mut s = Session::new(&eng, ConceptQuery::new([exch]));
+        // Rolling up a concept not in the query.
+        assert!(s.roll_up(crime, company).is_err());
+        // Rolling "up" to a non-ancestor.
+        assert!(s.roll_up(exch, crime).is_err());
+        // Drilling into an existing facet.
+        assert!(s.drill_into(exch).is_err());
+        // Removing the last facet.
+        assert!(s.remove(exch).is_err());
+        // State unchanged after all rejections.
+        assert_eq!(s.query().concepts(), &[exch]);
+        assert_eq!(s.history().count(), 1);
+    }
+
+    #[test]
+    fn remove_facet() {
+        let eng = engine();
+        let exch = eng.kg().concept_by_name("Bitcoin Exchange").unwrap();
+        let crime = eng.kg().concept_by_name("Financial Crime").unwrap();
+        let mut s = Session::new(&eng, ConceptQuery::new([exch, crime]));
+        s.remove(crime).unwrap();
+        assert_eq!(s.query().concepts(), &[exch]);
+        assert!(s.back());
+        assert_eq!(s.query().len(), 2);
+    }
+
+    #[test]
+    fn entity_without_concepts_cannot_start() {
+        let eng = engine();
+        let fraud = eng.kg().instance_by_name("fraud").unwrap();
+        // fraud has a concept (Financial Crime), so this works...
+        assert!(Session::start_from_entity(&eng, fraud).is_some());
+        // ...but an orphan would not; build one inline.
+        let mut b = GraphBuilder::new();
+        let orphan = b.instance("orphan");
+        let kg = Arc::new(b.build());
+        let eng2 = NcExplorer::build(
+            kg,
+            &DocumentStore::new(),
+            NcxConfig {
+                threads: 1,
+                ..NcxConfig::default()
+            },
+        );
+        assert!(Session::start_from_entity(&eng2, orphan).is_none());
+    }
+}

@@ -1,0 +1,640 @@
+//! Hand-curated domain seeds.
+//!
+//! A miniature DBpedia-like ontology for the financial/news domain the
+//! paper evaluates on: the six Table-I topics plus Financial Crime, entity
+//! groups (countries, company sectors, regulators, …) and seed entities
+//! with real-world names. [`crate::kg_gen`] amplifies each leaf with
+//! synthetic entities so experiments can scale.
+
+/// A seed concept: label, parent label (in the same table), and seed
+/// entities (label + optional aliases).
+#[derive(Debug, Clone, Copy)]
+pub struct ConceptSeed {
+    /// Concept label.
+    pub label: &'static str,
+    /// Parent concept (must appear earlier in [`TAXONOMY`]); empty = root.
+    pub parent: &'static str,
+    /// Seed member entities.
+    pub entities: &'static [&'static str],
+    /// Prefix for synthetic amplification ("TechCo" → "TechCo 17").
+    pub synth_prefix: &'static str,
+}
+
+/// The six evaluation topics of Table I, in the paper's order, plus the
+/// KYC domain topic.
+pub const TOPICS: [&str; 7] = [
+    "International Trade",
+    "Lawsuits",
+    "Elections",
+    "Mergers & Acquisitions",
+    "International Relations",
+    "Labor Dispute",
+    "Financial Crime",
+];
+
+/// Entity groups combined with topics to form Table-I queries
+/// ("Elections in African countries", "Lawsuits involving U.S. technology
+/// companies", …).
+pub const ENTITY_GROUPS: [&str; 6] = [
+    "African Country",
+    "European Country",
+    "Asian Country",
+    "Technology Company",
+    "Biotechnology Company",
+    "Bank",
+];
+
+/// Topic keywords woven into generated article text (beyond the topic's
+/// member term entities), so lexical baselines have realistic signal.
+pub fn topic_keywords(topic: &str) -> &'static [&'static str] {
+    match topic {
+        "International Trade" => &[
+            "exports",
+            "imports",
+            "shipments",
+            "supply",
+            "goods",
+            "trade",
+            "commerce",
+            "agreement",
+            "negotiators",
+            "ports",
+        ],
+        "Lawsuits" => &[
+            "court",
+            "judge",
+            "plaintiff",
+            "defendant",
+            "filing",
+            "damages",
+            "appeal",
+            "ruling",
+            "legal",
+            "attorneys",
+        ],
+        "Elections" => &[
+            "voters",
+            "polls",
+            "candidate",
+            "parliament",
+            "presidency",
+            "turnout",
+            "opposition",
+            "incumbent",
+            "results",
+            "democracy",
+        ],
+        "Mergers & Acquisitions" => &[
+            "deal",
+            "shareholders",
+            "valuation",
+            "bid",
+            "synergies",
+            "antitrust",
+            "premium",
+            "stake",
+            "combined",
+            "transaction",
+        ],
+        "International Relations" => &[
+            "minister",
+            "ambassador",
+            "talks",
+            "alliance",
+            "border",
+            "security",
+            "cooperation",
+            "tension",
+            "delegation",
+            "bilateral",
+        ],
+        "Labor Dispute" => &[
+            "workers",
+            "wages",
+            "contract",
+            "picket",
+            "overtime",
+            "benefits",
+            "management",
+            "negotiation",
+            "plant",
+            "staff",
+        ],
+        "Financial Crime" => &[
+            "investigation",
+            "prosecutors",
+            "compliance",
+            "accounts",
+            "transfers",
+            "scheme",
+            "illicit",
+            "charges",
+            "penalty",
+            "enforcement",
+        ],
+        _ => &[],
+    }
+}
+
+/// The seed taxonomy. Parents must precede children.
+pub const TAXONOMY: &[ConceptSeed] = &[
+    // ---- upper ontology ----
+    ConceptSeed {
+        label: "Thing",
+        parent: "",
+        entities: &[],
+        synth_prefix: "",
+    },
+    ConceptSeed {
+        label: "Agent",
+        parent: "Thing",
+        entities: &[],
+        synth_prefix: "",
+    },
+    ConceptSeed {
+        label: "Place",
+        parent: "Thing",
+        entities: &[],
+        synth_prefix: "",
+    },
+    ConceptSeed {
+        label: "Topic",
+        parent: "Thing",
+        entities: &[],
+        synth_prefix: "",
+    },
+    ConceptSeed {
+        label: "Organization",
+        parent: "Agent",
+        entities: &[],
+        synth_prefix: "",
+    },
+    ConceptSeed {
+        label: "Person",
+        parent: "Agent",
+        entities: &[],
+        synth_prefix: "",
+    },
+    ConceptSeed {
+        label: "Company",
+        parent: "Organization",
+        entities: &[],
+        synth_prefix: "",
+    },
+    ConceptSeed {
+        label: "Country",
+        parent: "Place",
+        entities: &[],
+        synth_prefix: "",
+    },
+    // ---- entity groups ----
+    ConceptSeed {
+        label: "African Country",
+        parent: "Country",
+        entities: &[
+            "Nigeria", "Kenya", "Ghana", "Egypt", "Morocco", "Ethiopia", "Tanzania", "Senegal",
+            "Zambia", "Botswana",
+        ],
+        synth_prefix: "Afriland",
+    },
+    ConceptSeed {
+        label: "European Country",
+        parent: "Country",
+        entities: &[
+            "Germany",
+            "France",
+            "Italy",
+            "Spain",
+            "Poland",
+            "Netherlands",
+            "Sweden",
+            "Portugal",
+            "Austria",
+            "Greece",
+        ],
+        synth_prefix: "Euroland",
+    },
+    ConceptSeed {
+        label: "Asian Country",
+        parent: "Country",
+        entities: &[
+            "Singapore",
+            "Japan",
+            "Indonesia",
+            "Vietnam",
+            "Thailand",
+            "Malaysia",
+            "Philippines",
+            "India",
+            "South Korea",
+            "Taiwan",
+        ],
+        synth_prefix: "Asialand",
+    },
+    ConceptSeed {
+        label: "Technology Company",
+        parent: "Company",
+        entities: &[
+            "Microsoft",
+            "Alphabet",
+            "Amazon",
+            "Meta Platforms",
+            "Apple",
+            "Nvidia",
+            "Oracle",
+            "Salesforce",
+            "Intel",
+            "Cisco",
+        ],
+        synth_prefix: "TechCo",
+    },
+    ConceptSeed {
+        label: "Biotechnology Company",
+        parent: "Company",
+        entities: &[
+            "Moderna",
+            "BioNTech",
+            "Amgen",
+            "Gilead Sciences",
+            "Regeneron",
+            "Illumina",
+            "Vertex Pharmaceuticals",
+            "Biogen",
+            "CRISPR Therapeutics",
+            "Genentech",
+        ],
+        synth_prefix: "BioGen Labs",
+    },
+    ConceptSeed {
+        label: "Bank",
+        parent: "Company",
+        entities: &[
+            "DBS",
+            "JPMorgan Chase",
+            "HSBC",
+            "UBS",
+            "Citigroup",
+            "Barclays",
+            "Standard Chartered",
+            "Deutsche Bank",
+            "Goldman Sachs",
+            "OCBC",
+        ],
+        synth_prefix: "First Bank of",
+    },
+    ConceptSeed {
+        label: "Bitcoin Exchange",
+        parent: "Company",
+        entities: &[
+            "FTX",
+            "Binance",
+            "Coinbase",
+            "Kraken",
+            "Bitfinex",
+            "Gemini Exchange",
+        ],
+        synth_prefix: "CoinMart",
+    },
+    ConceptSeed {
+        label: "Regulator",
+        parent: "Organization",
+        entities: &[
+            "SEC",
+            "CFTC",
+            "European Commission",
+            "Federal Trade Commission",
+            "Monetary Authority of Singapore",
+            "Financial Conduct Authority",
+        ],
+        synth_prefix: "Bureau",
+    },
+    ConceptSeed {
+        label: "Labor Union",
+        parent: "Organization",
+        entities: &[
+            "United Auto Workers",
+            "Teamsters",
+            "SAG-AFTRA",
+            "Unite Here",
+            "Service Employees International Union",
+        ],
+        synth_prefix: "Workers Union Local",
+    },
+    ConceptSeed {
+        label: "Politician",
+        parent: "Person",
+        entities: &[
+            "Emmanuel Macron",
+            "Olaf Scholz",
+            "Bola Tinubu",
+            "William Ruto",
+            "Lee Hsien Loong",
+            "Joko Widodo",
+        ],
+        synth_prefix: "Senator Dale",
+    },
+    ConceptSeed {
+        label: "Executive",
+        parent: "Person",
+        entities: &[
+            "Elon Musk",
+            "Sam Bankman-Fried",
+            "Tim Cook",
+            "Satya Nadella",
+            "Jeff Bezos",
+            "Changpeng Zhao",
+        ],
+        synth_prefix: "Director Vance",
+    },
+    // ---- topics (members are the domain's term entities) ----
+    ConceptSeed {
+        label: "International Trade",
+        parent: "Topic",
+        entities: &[
+            "tariff",
+            "trade deal",
+            "export ban",
+            "trade deficit",
+            "customs duty",
+            "import quota",
+            "free trade agreement",
+            "trade war",
+        ],
+        synth_prefix: "trade measure",
+    },
+    ConceptSeed {
+        label: "Lawsuits",
+        parent: "Topic",
+        entities: &[
+            "lawsuit",
+            "class action",
+            "settlement",
+            "injunction",
+            "patent infringement",
+            "antitrust suit",
+            "breach of contract",
+            "securities litigation",
+        ],
+        synth_prefix: "legal action",
+    },
+    ConceptSeed {
+        label: "Elections",
+        parent: "Topic",
+        entities: &[
+            "election",
+            "ballot",
+            "campaign",
+            "recount",
+            "runoff",
+            "referendum",
+            "exit poll",
+            "coalition talks",
+        ],
+        synth_prefix: "electoral event",
+    },
+    ConceptSeed {
+        label: "Mergers & Acquisitions",
+        parent: "Topic",
+        entities: &[
+            "merger",
+            "acquisition",
+            "takeover",
+            "buyout",
+            "tender offer",
+            "hostile bid",
+            "spin-off",
+            "divestiture",
+        ],
+        synth_prefix: "deal event",
+    },
+    ConceptSeed {
+        label: "International Relations",
+        parent: "Topic",
+        entities: &[
+            "summit",
+            "sanctions",
+            "treaty",
+            "diplomacy",
+            "ceasefire",
+            "embargo",
+            "peace talks",
+            "state visit",
+        ],
+        synth_prefix: "diplomatic event",
+    },
+    ConceptSeed {
+        label: "Labor Dispute",
+        parent: "Topic",
+        entities: &[
+            "strike",
+            "walkout",
+            "collective bargaining",
+            "lockout",
+            "union vote",
+            "work stoppage",
+            "wage dispute",
+            "picket line",
+        ],
+        synth_prefix: "labor action",
+    },
+    ConceptSeed {
+        label: "Financial Crime",
+        parent: "Topic",
+        entities: &[
+            "fraud",
+            "money laundering",
+            "bribery",
+            "insider trading",
+            "embezzlement",
+            "terrorist financing",
+            "sanctions evasion",
+            "ponzi scheme",
+        ],
+        synth_prefix: "financial offence",
+    },
+];
+
+/// Background filler vocabulary for article bodies (Zipf-sampled).
+pub const FILLER_WORDS: &[&str] = &[
+    "market",
+    "report",
+    "quarter",
+    "percent",
+    "billion",
+    "million",
+    "shares",
+    "analysts",
+    "statement",
+    "officials",
+    "sources",
+    "yesterday",
+    "company",
+    "government",
+    "growth",
+    "decline",
+    "increase",
+    "revenue",
+    "profit",
+    "losses",
+    "investors",
+    "economy",
+    "sector",
+    "industry",
+    "global",
+    "regional",
+    "annual",
+    "monthly",
+    "forecast",
+    "outlook",
+    "pressure",
+    "concerns",
+    "confidence",
+    "strategy",
+    "plans",
+    "announced",
+    "confirmed",
+    "declined",
+    "comment",
+    "spokesperson",
+    "executives",
+    "board",
+    "meeting",
+    "agenda",
+    "review",
+    "decision",
+    "policy",
+    "measures",
+    "impact",
+    "effect",
+    "response",
+    "crisis",
+    "recovery",
+    "momentum",
+    "demand",
+    "prices",
+    "costs",
+    "budget",
+    "funding",
+    "capital",
+    "assets",
+    "operations",
+    "expansion",
+    "production",
+    "services",
+    "products",
+    "customers",
+    "clients",
+    "partners",
+    "competitors",
+    "rivals",
+    "leaders",
+    "experts",
+    "observers",
+    "critics",
+    "supporters",
+    "authorities",
+    "ministry",
+    "department",
+    "agency",
+    "committee",
+    "panel",
+    "hearing",
+    "session",
+    "conference",
+    "briefing",
+    "interview",
+    "remarks",
+    "speech",
+    "address",
+    "proposal",
+    "draft",
+    "framework",
+    "guidelines",
+    "standards",
+    "requirements",
+    "deadline",
+    "timeline",
+    "schedule",
+    "progress",
+    "development",
+    "situation",
+    "conditions",
+    "environment",
+    "landscape",
+    "trend",
+    "shift",
+    "change",
+    "transition",
+    "transformation",
+];
+
+/// Looks up a topic's seed by label.
+pub fn topic_seed(label: &str) -> Option<&'static ConceptSeed> {
+    TAXONOMY.iter().find(|s| s.label == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parents_precede_children() {
+        for (i, seed) in TAXONOMY.iter().enumerate() {
+            if seed.parent.is_empty() {
+                continue;
+            }
+            let pos = TAXONOMY.iter().position(|s| s.label == seed.parent);
+            assert!(
+                pos.is_some() && pos.unwrap() < i,
+                "parent of {} must precede it",
+                seed.label
+            );
+        }
+    }
+
+    #[test]
+    fn all_topics_present_with_entities_and_keywords() {
+        for t in TOPICS {
+            let seed = topic_seed(t).unwrap_or_else(|| panic!("missing topic {t}"));
+            assert!(seed.entities.len() >= 5, "{t} needs term entities");
+            assert!(topic_keywords(t).len() >= 5, "{t} needs keywords");
+        }
+    }
+
+    #[test]
+    fn all_entity_groups_present() {
+        for g in ENTITY_GROUPS {
+            let seed = topic_seed(g).unwrap_or_else(|| panic!("missing group {g}"));
+            assert!(seed.entities.len() >= 5);
+            assert!(!seed.synth_prefix.is_empty());
+        }
+    }
+
+    #[test]
+    fn no_duplicate_labels() {
+        let mut seen = std::collections::HashSet::new();
+        for s in TAXONOMY {
+            assert!(seen.insert(s.label), "duplicate concept {}", s.label);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_entities_within_concept() {
+        for s in TAXONOMY {
+            let mut seen = std::collections::HashSet::new();
+            for e in s.entities {
+                assert!(seen.insert(e), "duplicate entity {e} in {}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn filler_vocabulary_is_substantial() {
+        assert!(FILLER_WORDS.len() >= 100);
+    }
+
+    #[test]
+    fn unknown_topic_keywords_empty() {
+        assert!(topic_keywords("Nonexistent").is_empty());
+    }
+}

@@ -1,0 +1,400 @@
+//! Synthetic DBpedia-style knowledge-graph generation.
+//!
+//! Amplifies the hand-curated [`crate::domains`] seeds into a KG with the
+//! structural properties the NCExplorer algorithms are sensitive to:
+//!
+//! * a multi-level `broader` taxonomy (roll-up chains),
+//! * heavy-tailed concept membership sizes (specificity spread),
+//! * **topic-affinity fact edges**: every group entity (company, country,
+//!   person) gets a latent 1–2-topic profile and fact edges to term
+//!   entities of those topics — the structure the context-relevance score
+//!   (Eq. 4) detects,
+//! * preferential-attachment background edges (small-world instance
+//!   space, so random walks have realistic branching).
+//!
+//! Generation is fully deterministic given the seed.
+
+use crate::domains::{TAXONOMY, TOPICS};
+use ncx_kg::{ConceptId, GraphBuilder, InstanceId, KnowledgeGraph};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KgGenConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Synthetic entities added per amplifiable concept.
+    pub synth_per_group: usize,
+    /// Topic-term fact edges per group entity (its "profile" strength).
+    pub affinity_edges: usize,
+    /// Extra preferential-attachment background edges per entity.
+    pub background_edges: f64,
+    /// Orphan filler entities with no concept membership (the unlinked
+    /// tail of real corpora).
+    pub orphan_entities: usize,
+}
+
+impl Default for KgGenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            synth_per_group: 40,
+            affinity_edges: 3,
+            background_edges: 1.5,
+            orphan_entities: 120,
+        }
+    }
+}
+
+/// Generates the knowledge graph.
+pub fn generate_kg(config: &KgGenConfig) -> KnowledgeGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = GraphBuilder::new();
+
+    // ---- taxonomy + seed entities ----
+    let mut concept_ids: Vec<(&'static str, ConceptId)> = Vec::new();
+    for seed in TAXONOMY {
+        let c = b.concept(seed.label);
+        concept_ids.push((seed.label, c));
+        if !seed.parent.is_empty() {
+            let p = b.concept(seed.parent);
+            b.broader(c, p);
+        }
+    }
+    let concept_of = |label: &str, ids: &[(&str, ConceptId)]| -> ConceptId {
+        ids.iter().find(|(l, _)| *l == label).expect("concept").1
+    };
+
+    let mut members: Vec<(ConceptId, Vec<InstanceId>)> = Vec::new();
+    for seed in TAXONOMY {
+        let c = concept_of(seed.label, &concept_ids);
+        let mut list = Vec::new();
+        let is_topic = TOPICS.contains(&seed.label);
+        for &e in seed.entities {
+            let v = b.instance(e);
+            b.member(c, v);
+            add_alias(&mut b, v, e);
+            if is_topic {
+                // Topic terms appear inflected in news prose and queries
+                // ("lawsuits", "tariffs"); register the plural alias.
+                b.alias(v, &format!("{e}s"));
+            }
+            list.push(v);
+        }
+        // Synthetic amplification with Zipf-ish sizes: topics stay small
+        // (their specificity must remain high), groups grow.
+        if !seed.synth_prefix.is_empty() {
+            let n = if TOPICS.contains(&seed.label) {
+                config.synth_per_group / 8
+            } else {
+                config.synth_per_group
+            };
+            for i in 0..n {
+                let name = format!("{} {}", seed.synth_prefix, i + 1);
+                let v = b.instance(&name);
+                b.member(c, v);
+                list.push(v);
+            }
+        }
+        members.push((c, list));
+    }
+    let members_of = |label: &str| -> Vec<InstanceId> {
+        let c = concept_of(label, &concept_ids);
+        members
+            .iter()
+            .find(|&&(mc, _)| mc == c)
+            .map(|(_, l)| l.clone())
+            .unwrap_or_default()
+    };
+
+    // ---- dual memberships: DBpedia types include broad classes ----
+    // Every group entity is *also* directly typed with its broad class
+    // ("Person", "Company", "Country"), the low-specificity concepts a
+    // coverage-only drill-down ranking would surface (Fig. 8's ablation
+    // depends on these existing, as they do in DBpedia).
+    {
+        let person = concept_of("Person", &concept_ids);
+        let company = concept_of("Company", &concept_ids);
+        let country = concept_of("Country", &concept_ids);
+        let broad_of: &[(&str, ConceptId)] = &[
+            ("Politician", person),
+            ("Executive", person),
+            ("Technology Company", company),
+            ("Biotechnology Company", company),
+            ("Bank", company),
+            ("Bitcoin Exchange", company),
+            ("African Country", country),
+            ("European Country", country),
+            ("Asian Country", country),
+        ];
+        for &(group, broad) in broad_of {
+            for v in members_of(group) {
+                b.member(broad, v);
+            }
+        }
+        // (The local `members` lists are deliberately left untouched:
+        // downstream stages only consume the leaf groups and topics.)
+    }
+
+    // ---- orphan filler entities ----
+    let mut orphans = Vec::new();
+    for i in 0..config.orphan_entities {
+        orphans.push(b.instance(&format!("Venture Holdings {}", i + 1)));
+    }
+
+    // ---- entity groups and topic terms ----
+    let group_labels = [
+        "African Country",
+        "European Country",
+        "Asian Country",
+        "Technology Company",
+        "Biotechnology Company",
+        "Bank",
+        "Bitcoin Exchange",
+        "Regulator",
+        "Labor Union",
+        "Politician",
+        "Executive",
+    ];
+    let countries: Vec<InstanceId> = ["African Country", "European Country", "Asian Country"]
+        .iter()
+        .flat_map(|g| members_of(g))
+        .collect();
+    let companies: Vec<InstanceId> = [
+        "Technology Company",
+        "Biotechnology Company",
+        "Bank",
+        "Bitcoin Exchange",
+    ]
+    .iter()
+    .flat_map(|g| members_of(g))
+    .collect();
+    let people: Vec<InstanceId> = ["Politician", "Executive"]
+        .iter()
+        .flat_map(|g| members_of(g))
+        .collect();
+    let topic_terms: Vec<(usize, Vec<InstanceId>)> = TOPICS
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (i, members_of(t)))
+        .collect();
+
+    // ---- structural facts ----
+    for &v in &companies {
+        if let Some(&country) = countries.as_slice().choose(&mut rng) {
+            b.fact(v, "headquarteredIn", country);
+        }
+    }
+    for &p in &people {
+        if rng.gen_bool(0.6) {
+            if let Some(&co) = companies.as_slice().choose(&mut rng) {
+                b.fact(p, "affiliatedWith", co);
+            }
+        }
+        if let Some(&country) = countries.as_slice().choose(&mut rng) {
+            b.fact(p, "citizenOf", country);
+        }
+    }
+
+    // ---- topic-affinity profiles ----
+    // Which topics a group prefers (higher weight = more of its entities
+    // link to that topic's terms).
+    let group_topic_prefs: &[(&str, &[usize])] = &[
+        ("African Country", &[0, 2, 4]), // trade, elections, IR
+        ("European Country", &[0, 2, 4]),
+        ("Asian Country", &[0, 2, 4]),
+        ("Technology Company", &[1, 3, 5]), // lawsuits, M&A, labor
+        ("Biotechnology Company", &[1, 3]),
+        ("Bank", &[3, 6]),             // M&A, financial crime
+        ("Bitcoin Exchange", &[6, 1]), // crime, lawsuits
+        ("Regulator", &[1, 6]),
+        ("Labor Union", &[5]),
+        ("Politician", &[2, 4]),
+        ("Executive", &[3, 6]),
+    ];
+    for &(group, prefs) in group_topic_prefs {
+        for v in members_of(group) {
+            // 1-2 preferred topics per entity, drawn from the group prefs
+            // (80 %) or anywhere (20 % — cross-topic noise).
+            let k_topics = 1 + usize::from(rng.gen_bool(0.4));
+            for _ in 0..k_topics {
+                let topic_idx = if rng.gen_bool(0.8) || prefs.is_empty() {
+                    *prefs.choose(&mut rng).unwrap_or(&0)
+                } else {
+                    rng.gen_range(0..TOPICS.len())
+                };
+                let terms = &topic_terms[topic_idx].1;
+                for _ in 0..config.affinity_edges {
+                    if let Some(&t) = terms.as_slice().choose(&mut rng) {
+                        b.fact(v, "involvedIn", t);
+                    }
+                }
+            }
+        }
+    }
+    let _ = group_labels;
+
+    // ---- preferential-attachment background edges ----
+    let all: Vec<InstanceId> = {
+        let mut v: Vec<InstanceId> = companies
+            .iter()
+            .chain(&countries)
+            .chain(&people)
+            .copied()
+            .collect();
+        v.extend(&orphans);
+        v
+    };
+    let extra = (all.len() as f64 * config.background_edges) as usize;
+    // Preferential attachment approximated by sampling endpoints from a
+    // growing multiset of previously used endpoints.
+    let mut endpoint_pool: Vec<InstanceId> = Vec::with_capacity(extra * 2 + 2);
+    for _ in 0..extra {
+        let u = *all.as_slice().choose(&mut rng).expect("nonempty");
+        let v = if !endpoint_pool.is_empty() && rng.gen_bool(0.5) {
+            *endpoint_pool.as_slice().choose(&mut rng).unwrap()
+        } else {
+            *all.as_slice().choose(&mut rng).expect("nonempty")
+        };
+        if u != v {
+            b.fact(u, "relatedTo", v);
+            endpoint_pool.push(u);
+            endpoint_pool.push(v);
+        }
+    }
+
+    b.build()
+}
+
+/// Registers common short aliases ("SEC" ← "Securities and Exchange
+/// Commission" style) for multiword seed names: first token for companies
+/// with ≥2 tokens when it is distinctive (≥5 chars).
+fn add_alias(b: &mut GraphBuilder, v: InstanceId, name: &str) {
+    let tokens: Vec<&str> = name.split_whitespace().collect();
+    if tokens.len() >= 2 && tokens[0].len() >= 5 {
+        b.alias(v, tokens[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_kg::ontology;
+    use ncx_kg::stats::KgStats;
+
+    fn kg() -> KnowledgeGraph {
+        generate_kg(&KgGenConfig::default())
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_kg(&KgGenConfig::default());
+        let b = generate_kg(&KgGenConfig::default());
+        assert_eq!(a.num_instances(), b.num_instances());
+        assert_eq!(a.num_instance_edges(), b.num_instance_edges());
+        let c = generate_kg(&KgGenConfig {
+            seed: 99,
+            ..KgGenConfig::default()
+        });
+        assert_ne!(a.num_instance_edges(), c.num_instance_edges());
+    }
+
+    #[test]
+    fn taxonomy_is_connected_to_root() {
+        let g = kg();
+        let thing = g.concept_by_name("Thing").unwrap();
+        for seed in TAXONOMY {
+            let c = g.concept_by_name(seed.label).unwrap();
+            assert!(
+                ontology::subsumes(&g, thing, c),
+                "{} must roll up to Thing",
+                seed.label
+            );
+        }
+    }
+
+    #[test]
+    fn groups_are_amplified() {
+        let g = kg();
+        let tech = g.concept_by_name("Technology Company").unwrap();
+        // 10 seeds + 40 synthetic
+        assert_eq!(g.members(tech).len(), 50);
+        // topics stay small for high specificity
+        let crime = g.concept_by_name("Financial Crime").unwrap();
+        assert!(g.members(crime).len() <= 8 + 5);
+    }
+
+    #[test]
+    fn topics_have_higher_specificity_than_groups() {
+        let g = kg();
+        let crime = g.concept_by_name("Financial Crime").unwrap();
+        let tech = g.concept_by_name("Technology Company").unwrap();
+        assert!(g.specificity(crime) > g.specificity(tech));
+    }
+
+    #[test]
+    fn affinity_edges_connect_groups_to_topics() {
+        let g = kg();
+        let exch = g.concept_by_name("Bitcoin Exchange").unwrap();
+        let crime = g.concept_by_name("Financial Crime").unwrap();
+        let crime_terms: std::collections::HashSet<InstanceId> =
+            g.members(crime).iter().copied().collect();
+        // Most exchanges should have at least one edge into crime terms.
+        let connected = g
+            .members(exch)
+            .iter()
+            .filter(|&&v| g.neighbors(v).iter().any(|n| crime_terms.contains(n)))
+            .count();
+        assert!(
+            connected * 2 > g.members(exch).len(),
+            "only {connected} of {} exchanges connect to crime terms",
+            g.members(exch).len()
+        );
+    }
+
+    #[test]
+    fn orphans_exist() {
+        let g = kg();
+        let stats = KgStats::compute(&g);
+        assert!(stats.orphan_instances >= 100);
+    }
+
+    #[test]
+    fn graph_is_reasonably_dense() {
+        let g = kg();
+        let stats = KgStats::compute(&g);
+        assert!(stats.avg_degree > 1.0, "{stats}");
+        assert!(stats.max_degree > 10, "{stats}");
+        assert!(stats.num_instances > 400, "{stats}");
+    }
+
+    #[test]
+    fn ftx_rolls_up_to_bitcoin_exchange() {
+        let g = kg();
+        let ftx = g.instance_by_name("FTX").unwrap();
+        let options = ontology::rollup_options(&g, ftx, 3);
+        let labels: Vec<&str> = options.iter().map(|&c| g.concept_label(c)).collect();
+        // Direct types (Company via the dual membership, Bitcoin Exchange)
+        // come before the broader climb.
+        assert!(labels[..2].contains(&"Bitcoin Exchange"), "{labels:?}");
+        assert!(labels.contains(&"Company"));
+        assert!(labels.contains(&"Organization"));
+    }
+
+    #[test]
+    fn config_scales_size() {
+        let small = generate_kg(&KgGenConfig {
+            synth_per_group: 5,
+            orphan_entities: 10,
+            ..KgGenConfig::default()
+        });
+        let large = generate_kg(&KgGenConfig {
+            synth_per_group: 100,
+            orphan_entities: 10,
+            ..KgGenConfig::default()
+        });
+        assert!(large.num_instances() > small.num_instances() * 3);
+    }
+}

@@ -1,0 +1,32 @@
+//! # ncx-datagen — synthetic data substrate
+//!
+//! The paper evaluates on the DBpedia 2021-06 snapshot plus 200k crawled
+//! news articles with AMT relevance judgments — none of which can ship
+//! inside a self-contained reproduction. This crate generates structurally
+//! faithful substitutes with **known ground truth**:
+//!
+//! * [`domains`] — a hand-curated seed ontology covering the paper's six
+//!   evaluation topics (International Trade, Lawsuits, Elections, M&A,
+//!   International Relations, Labor Dispute) plus the due-diligence
+//!   domain (Financial Crime), with real-world seed entities;
+//! * [`kg_gen`] — amplifies the seeds into a DBpedia-style KG: multi-level
+//!   `broader` taxonomy, Zipf-sized concept memberships, community-
+//!   structured fact edges;
+//! * [`news_gen`] — a topic-model article generator: every article has a
+//!   latent topic/entity-group mixture, realistic source profiles
+//!   (Reuters / SeekingAlpha / NYT), and recorded concept-relevance
+//!   ground truth;
+//! * [`oracle`] — noisy raters over the ground truth: the AMT evaluator
+//!   pool and the GPT re-ranker of Tables I/II;
+//! * [`user_study`] — the Table III task list and analyst vocabulary
+//!   simulation.
+
+pub mod domains;
+pub mod kg_gen;
+pub mod news_gen;
+pub mod oracle;
+pub mod user_study;
+
+pub use kg_gen::{generate_kg, KgGenConfig};
+pub use news_gen::{generate_corpus, CorpusConfig, DocTruth, GeneratedCorpus};
+pub use oracle::{EvaluatorPool, GptReranker};

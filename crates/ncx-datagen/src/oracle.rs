@@ -1,0 +1,196 @@
+//! Noisy raters over the generated ground truth.
+//!
+//! * [`EvaluatorPool`] stands in for the paper's 78 master-qualified AMT
+//!   evaluators: each evaluator rates a (query, document) pair as the true
+//!   grade plus personal Gaussian noise, clamped to the 0–5 scale.
+//! * [`GptReranker`] stands in for GPT-3.5-turbo re-ranking (Tables I–II):
+//!   it re-scores a method's top-k with *lower* noise than the human pool,
+//!   which reproduces the paper's observed effects — re-ranking helps most
+//!   at NDCG@1, and helps weak-but-semantic methods (NewsLink) more than
+//!   lexical ones (Lucene, whose top results GPT confidently demotes).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Deterministic hash mix for per-item rating seeds.
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut h = a ^ 0x9E3779B97F4A7C15;
+    for x in [b, c] {
+        h ^= x.wrapping_mul(0xBF58476D1CE4E5B9);
+        h = h.rotate_left(27).wrapping_mul(0x94D049BB133111EB);
+    }
+    h ^ (h >> 31)
+}
+
+/// A pool of simulated human evaluators.
+#[derive(Debug, Clone)]
+pub struct EvaluatorPool {
+    /// Number of evaluators (78 in the paper).
+    pub evaluators: u32,
+    /// Per-rating noise standard deviation on the 0–5 scale.
+    pub noise_std: f64,
+    seed: u64,
+}
+
+impl EvaluatorPool {
+    /// Creates a pool. The paper used 78 evaluators; human graded-relevance
+    /// noise of ~0.8 on a 0–5 scale matches reported inter-rater spreads.
+    pub fn new(evaluators: u32, noise_std: f64, seed: u64) -> Self {
+        Self {
+            evaluators,
+            noise_std,
+            seed,
+        }
+    }
+
+    /// Default paper-like pool.
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(78, 0.8, seed)
+    }
+
+    /// One evaluator's rating of an item with true grade `truth` (0–5).
+    /// `item_key` identifies the (query, document) pair.
+    pub fn rate(&self, truth: f64, evaluator: u32, item_key: u64) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(mix(self.seed, evaluator as u64, item_key));
+        (truth + self.noise_std * gaussian(&mut rng)).clamp(0.0, 5.0)
+    }
+
+    /// Mean rating over the whole pool (what NDCG is computed against).
+    pub fn pooled_rating(&self, truth: f64, item_key: u64) -> f64 {
+        if self.evaluators == 0 {
+            return truth;
+        }
+        let sum: f64 = (0..self.evaluators)
+            .map(|e| self.rate(truth, e, item_key))
+            .sum();
+        sum / self.evaluators as f64
+    }
+}
+
+/// Simulated GPT re-ranker.
+#[derive(Debug, Clone)]
+pub struct GptReranker {
+    /// Re-scoring noise (smaller than human noise).
+    pub noise_std: f64,
+    seed: u64,
+}
+
+impl GptReranker {
+    /// Creates a re-ranker with the given noise level.
+    pub fn new(noise_std: f64, seed: u64) -> Self {
+        Self { noise_std, seed }
+    }
+
+    /// Paper-like setting: GPT is a sharper judge than the average human
+    /// rating but not perfect.
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(0.35, seed)
+    }
+
+    /// GPT's relevance rating for an item (the paper's prompt asks for a
+    /// 0.000–5.000 score with three decimals).
+    pub fn rate(&self, truth: f64, item_key: u64) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(mix(self.seed, 0x6774, item_key));
+        let r = (truth + self.noise_std * gaussian(&mut rng)).clamp(0.0, 5.0);
+        (r * 1000.0).round() / 1000.0
+    }
+
+    /// Re-ranks `(item_key, truth)` pairs by GPT rating, descending —
+    /// the "w/ GPT rerank" condition of Table I. Returns the reordered
+    /// item keys.
+    pub fn rerank(&self, items: &[(u64, f64)]) -> Vec<u64> {
+        let mut scored: Vec<(u64, f64)> = items
+            .iter()
+            .map(|&(key, truth)| (key, self.rate(truth, key)))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored.into_iter().map(|(k, _)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratings_deterministic_per_evaluator() {
+        let pool = EvaluatorPool::paper_default(1);
+        let a = pool.rate(3.0, 5, 1001);
+        let b = pool.rate(3.0, 5, 1001);
+        assert_eq!(a, b);
+        let c = pool.rate(3.0, 6, 1001);
+        assert_ne!(a, c, "different evaluators differ");
+    }
+
+    #[test]
+    fn ratings_clamped() {
+        let pool = EvaluatorPool::new(200, 3.0, 2);
+        for e in 0..200 {
+            let r = pool.rate(5.0, e, 7);
+            assert!((0.0..=5.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn pooled_rating_near_truth() {
+        let pool = EvaluatorPool::paper_default(3);
+        for truth in [1.0, 2.5, 4.0] {
+            let pooled = pool.pooled_rating(truth, 99);
+            assert!(
+                (pooled - truth).abs() < 0.5,
+                "pooled {pooled} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_noise_larger_than_gpt_noise() {
+        // The mechanism behind Table II: GPT tracks truth more tightly
+        // than a single human rating.
+        let pool = EvaluatorPool::paper_default(4);
+        let gpt = GptReranker::paper_default(4);
+        let mut human_err = 0.0;
+        let mut gpt_err = 0.0;
+        for item in 0..400u64 {
+            let truth = (item % 6) as f64;
+            human_err += (pool.rate(truth, (item % 78) as u32, item) - truth).abs();
+            gpt_err += (gpt.rate(truth, item) - truth).abs();
+        }
+        assert!(gpt_err < human_err, "gpt {gpt_err} vs human {human_err}");
+    }
+
+    #[test]
+    fn gpt_rating_has_three_decimals() {
+        let gpt = GptReranker::paper_default(5);
+        let r = gpt.rate(2.7, 12);
+        assert!(((r * 1000.0).round() - r * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rerank_moves_relevant_up() {
+        let gpt = GptReranker::new(0.01, 6);
+        // items: (key, truth) — key 3 is the best but listed last.
+        let items = [(1u64, 1.0), (2, 2.0), (3, 5.0)];
+        let order = gpt.rerank(&items);
+        assert_eq!(order[0], 3);
+    }
+
+    #[test]
+    fn rerank_is_stable_for_ties() {
+        let gpt = GptReranker::new(0.0, 7);
+        let items = [(10u64, 3.0), (2, 3.0), (5, 3.0)];
+        let order = gpt.rerank(&items);
+        assert_eq!(order, vec![2, 5, 10], "ties broken by ascending key");
+    }
+}

@@ -1,0 +1,207 @@
+//! The Table III productivity-study harness.
+//!
+//! The paper timed 10 financial professionals on 8 open-ended
+//! investigative tasks ("Find the names of Switzerland banks with reports
+//! related to money laundering") with a 2-minute budget, comparing the
+//! corporate keyword-search tool against NCExplorer. We simulate the
+//! mechanism the paper credits for the gain: a keyword analyst only knows
+//! a *fraction* of the domain vocabulary (the paper's compliance teams
+//! "laboriously maintain extensive lists of financial crime terminology"),
+//! while the roll-up analyst queries the ontology concept directly.
+//!
+//! This module is engine-agnostic: it defines the task list, the analyst
+//! vocabulary model, and the answer oracle; the experiment binary in
+//! `ncx-bench` wires actual engines into the loop.
+
+use crate::news_gen::GeneratedCorpus;
+use ncx_kg::{ConceptId, InstanceId, KnowledgeGraph};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rustc_hash::FxHashSet;
+
+/// One investigative task: find entities of `group` reported in
+/// connection with `topic`.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Task number (1-based, as in Table III).
+    pub id: usize,
+    /// Topic concept label.
+    pub topic: &'static str,
+    /// Entity-group concept label (the answer type).
+    pub group: &'static str,
+    /// Human-readable prompt.
+    pub description: String,
+}
+
+/// The 8 standard tasks (mirroring Table III's task count and the paper's
+/// example prompts).
+pub fn standard_tasks() -> Vec<TaskSpec> {
+    let pairs: [(&'static str, &'static str); 8] = [
+        ("Financial Crime", "Bank"),
+        ("Financial Crime", "Technology Company"),
+        ("Lawsuits", "Technology Company"),
+        ("Lawsuits", "Biotechnology Company"),
+        ("Mergers & Acquisitions", "Bank"),
+        ("Labor Dispute", "Technology Company"),
+        ("International Trade", "African Country"),
+        ("Elections", "European Country"),
+    ];
+    pairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (topic, group))| TaskSpec {
+            id: i + 1,
+            topic,
+            group,
+            description: format!("Find the names of {group}s with reports related to {topic}."),
+        })
+        .collect()
+}
+
+/// Ground-truth answers for a task: the featured group entities of every
+/// article whose primary or secondary topic matches.
+pub fn ground_truth_answers(
+    kg: &KnowledgeGraph,
+    corpus: &GeneratedCorpus,
+    topic: ConceptId,
+    group: ConceptId,
+) -> FxHashSet<InstanceId> {
+    let mut answers = FxHashSet::default();
+    for truth in &corpus.truth {
+        let topical = truth.primary_topic == topic || truth.secondary_topic == Some(topic);
+        if !topical {
+            continue;
+        }
+        for &e in &truth.featured_entities {
+            if kg.is_member(group, e) {
+                answers.insert(e);
+            }
+        }
+    }
+    answers
+}
+
+/// The vocabulary a keyword analyst knows for a topic: a seeded random
+/// fraction of the topic's term-entity labels plus the first few topical
+/// keywords. Different analysts (seeds) know different subsets — the
+/// between-subject variance behind Table III's std columns.
+pub fn analyst_vocabulary(
+    kg: &KnowledgeGraph,
+    topic: ConceptId,
+    topic_label: &str,
+    known_fraction: f64,
+    seed: u64,
+) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut terms: Vec<String> = kg
+        .members(topic)
+        .iter()
+        .map(|&v| kg.instance_label(v).to_string())
+        .collect();
+    terms.shuffle(&mut rng);
+    let keep = ((terms.len() as f64 * known_fraction).ceil() as usize).clamp(1, terms.len());
+    terms.truncate(keep);
+    // Everyone knows the generic topical keywords (they are what a
+    // layperson would search).
+    for kw in crate::domains::topic_keywords(topic_label).iter().take(3) {
+        terms.push((*kw).to_string());
+    }
+    terms
+}
+
+/// Scores an analyst's answer list against the truth.
+pub fn count_correct(found: &FxHashSet<InstanceId>, truth: &FxHashSet<InstanceId>) -> usize {
+    found.intersection(truth).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kg_gen::{generate_kg, KgGenConfig};
+    use crate::news_gen::{generate_corpus, CorpusConfig};
+
+    fn setup() -> (KnowledgeGraph, GeneratedCorpus) {
+        let kg = generate_kg(&KgGenConfig::default());
+        let corpus = generate_corpus(
+            &kg,
+            &CorpusConfig {
+                articles: 300,
+                ..CorpusConfig::default()
+            },
+        );
+        (kg, corpus)
+    }
+
+    #[test]
+    fn eight_tasks_defined() {
+        let tasks = standard_tasks();
+        assert_eq!(tasks.len(), 8);
+        assert_eq!(tasks[0].id, 1);
+        assert!(tasks[0].description.contains("Bank"));
+    }
+
+    #[test]
+    fn task_concepts_exist_in_kg() {
+        let (kg, _) = setup();
+        for t in standard_tasks() {
+            assert!(kg.concept_by_name(t.topic).is_some(), "{}", t.topic);
+            assert!(kg.concept_by_name(t.group).is_some(), "{}", t.group);
+        }
+    }
+
+    #[test]
+    fn most_tasks_have_answers() {
+        let (kg, corpus) = setup();
+        let mut with_answers = 0;
+        for t in standard_tasks() {
+            let topic = kg.concept_by_name(t.topic).unwrap();
+            let group = kg.concept_by_name(t.group).unwrap();
+            let answers = ground_truth_answers(&kg, &corpus, topic, group);
+            if !answers.is_empty() {
+                with_answers += 1;
+            }
+        }
+        assert!(
+            with_answers >= 6,
+            "only {with_answers}/8 tasks have answers"
+        );
+    }
+
+    #[test]
+    fn answers_are_group_members() {
+        let (kg, corpus) = setup();
+        let topic = kg.concept_by_name("Financial Crime").unwrap();
+        let group = kg.concept_by_name("Bank").unwrap();
+        for e in ground_truth_answers(&kg, &corpus, topic, group) {
+            assert!(kg.is_member(group, e));
+        }
+    }
+
+    #[test]
+    fn vocabulary_fraction_limits_terms() {
+        let (kg, _) = setup();
+        let topic = kg.concept_by_name("Financial Crime").unwrap();
+        let full = analyst_vocabulary(&kg, topic, "Financial Crime", 1.0, 1);
+        let partial = analyst_vocabulary(&kg, topic, "Financial Crime", 0.25, 1);
+        assert!(partial.len() < full.len());
+        // Every analyst knows at least one term + generic keywords.
+        assert!(partial.len() >= 4);
+    }
+
+    #[test]
+    fn different_analysts_know_different_terms() {
+        let (kg, _) = setup();
+        let topic = kg.concept_by_name("Lawsuits").unwrap();
+        let a = analyst_vocabulary(&kg, topic, "Lawsuits", 0.3, 1);
+        let b = analyst_vocabulary(&kg, topic, "Lawsuits", 0.3, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn count_correct_intersects() {
+        let truth: FxHashSet<InstanceId> = [1, 2, 3].map(InstanceId::new).into_iter().collect();
+        let found: FxHashSet<InstanceId> = [2, 3, 4].map(InstanceId::new).into_iter().collect();
+        assert_eq!(count_correct(&found, &truth), 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the data-generation oracles.
+
+use ncx_datagen::{EvaluatorPool, GptReranker};
+use proptest::prelude::*;
+
+proptest! {
+    /// Ratings stay on the 0-5 scale for any truth/noise combination.
+    #[test]
+    fn ratings_bounded(
+        truth in 0.0f64..5.0,
+        noise in 0.0f64..4.0,
+        evaluator in 0u32..100,
+        key in 0u64..10_000,
+    ) {
+        let pool = EvaluatorPool::new(100, noise, 7);
+        let r = pool.rate(truth, evaluator, key);
+        prop_assert!((0.0..=5.0).contains(&r));
+        let gpt = GptReranker::new(noise, 7);
+        let g = gpt.rate(truth, key);
+        prop_assert!((0.0..=5.0).contains(&g));
+    }
+
+    /// Pooled rating converges to truth as evaluators grow.
+    #[test]
+    fn pooled_rating_concentrates(truth in 0.5f64..4.5, key in 0u64..1000) {
+        let small = EvaluatorPool::new(3, 1.0, 11);
+        let large = EvaluatorPool::new(300, 1.0, 11);
+        let err_small = (small.pooled_rating(truth, key) - truth).abs();
+        let err_large = (large.pooled_rating(truth, key) - truth).abs();
+        // Large pools are at least close; small pools may wander.
+        prop_assert!(err_large < 0.35, "large-pool err {err_large}");
+        let _ = err_small;
+    }
+
+    /// Re-ranking returns a permutation of the input keys.
+    #[test]
+    fn rerank_is_permutation(
+        items in prop::collection::vec((0u64..1000, 0.0f64..5.0), 0..20),
+    ) {
+        // Dedup keys.
+        let mut seen = std::collections::HashSet::new();
+        let items: Vec<(u64, f64)> =
+            items.into_iter().filter(|(k, _)| seen.insert(*k)).collect();
+        let gpt = GptReranker::new(0.5, 3);
+        let out = gpt.rerank(&items);
+        prop_assert_eq!(out.len(), items.len());
+        let mut a: Vec<u64> = out;
+        let mut b: Vec<u64> = items.iter().map(|&(k, _)| k).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Zero-noise re-ranking sorts by truth descending.
+    #[test]
+    fn noiseless_rerank_sorts_by_truth(
+        items in prop::collection::vec((0u64..1000, 0.0f64..5.0), 1..15),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let items: Vec<(u64, f64)> =
+            items.into_iter().filter(|(k, _)| seen.insert(*k)).collect();
+        let gpt = GptReranker::new(0.0, 3);
+        let out = gpt.rerank(&items);
+        let truth: std::collections::HashMap<u64, f64> = items.iter().copied().collect();
+        for w in out.windows(2) {
+            // GPT rounds to 3 decimals; allow rounding-level inversions.
+            prop_assert!(truth[&w[0]] + 1e-3 >= truth[&w[1]]);
+        }
+    }
+}
+
+mod corpus_profile {
+    use ncx_datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+    use ncx_index::NewsSource;
+    use ncx_text::{GazetteerLinker, NlpPipeline};
+
+    /// The paper's dataset table shows per-source profiles: Reuters
+    /// articles are longer and more entity-dense than SeekingAlpha/NYT.
+    /// The generator must reproduce that shape.
+    #[test]
+    fn per_source_profiles_match_paper_shape() {
+        let kg = generate_kg(&KgGenConfig::default());
+        let corpus = generate_corpus(
+            &kg,
+            &CorpusConfig {
+                articles: 450,
+                source_mix: [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+                ..CorpusConfig::default()
+            },
+        );
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let mut avg_len = [0.0f64; 3];
+        let mut avg_entities = [0.0f64; 3];
+        for (i, source) in NewsSource::ALL.iter().enumerate() {
+            let mut n = 0.0;
+            for a in corpus.store.by_source(*source) {
+                let doc = nlp.process(&a.full_text());
+                avg_len[i] += doc.tokens.len() as f64;
+                avg_entities[i] += doc.mentions.len() as f64;
+                n += 1.0;
+            }
+            assert!(n > 50.0, "balanced mix must populate {source}");
+            avg_len[i] /= n;
+            avg_entities[i] /= n;
+        }
+        // Reuters (index 2) longest and most entity-dense, SeekingAlpha
+        // (index 0) shortest — as in the paper's per-source statistics.
+        assert!(
+            avg_len[2] > avg_len[0],
+            "reuters {:.1} tokens vs seekingalpha {:.1}",
+            avg_len[2],
+            avg_len[0]
+        );
+        assert!(
+            avg_entities[2] > avg_entities[0],
+            "reuters {:.1} entities vs seekingalpha {:.1}",
+            avg_entities[2],
+            avg_entities[0]
+        );
+        // Every source has meaningful entity density.
+        for (i, source) in NewsSource::ALL.iter().enumerate() {
+            assert!(
+                avg_entities[i] >= 4.0,
+                "{source}: only {:.1} entities/article",
+                avg_entities[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The **BERT baseline** of the paper: dense-vector news retrieval.
+//!
+//! In the paper this is SBERT (`all-mpnet-base-v2`) producing 768-d
+//! vectors stored in Qdrant; here it is the deterministic
+//! [`TextEmbedder`] over either an exact [`FlatIndex`] or an IVF index.
+//! Document vectors are IDF-weighted over the corpus vocabulary (a
+//! trained encoder suppresses boilerplate; the hashing substitute needs
+//! explicit IDF for the same effect) with the headline double-weighted.
+
+use ncx_index::docstore::DocumentStore;
+use ncx_kg::DocId;
+use ncx_text::Vocabulary;
+
+use crate::embedder::TextEmbedder;
+use crate::ivf::IvfIndex;
+use crate::vector::FlatIndex;
+
+enum Backend {
+    Flat(FlatIndex),
+    Ivf(IvfIndex),
+}
+
+/// Dense-embedding news search engine.
+pub struct BertBaseline {
+    embedder: TextEmbedder,
+    vocab: Vocabulary,
+    backend: Backend,
+}
+
+/// Headline emphasis: the title is embedded as if it appeared twice.
+fn weighted_text(title: &str, body: &str) -> String {
+    if title.is_empty() {
+        body.to_string()
+    } else {
+        format!("{title}. {title}. {body}")
+    }
+}
+
+fn build_vocab(store: &DocumentStore) -> Vocabulary {
+    let mut vocab = Vocabulary::new();
+    for article in store.iter() {
+        let counts = ncx_index::LuceneEngine::analyze(&article.full_text());
+        vocab.add_document(counts.keys().map(String::as_str));
+    }
+    vocab
+}
+
+impl BertBaseline {
+    /// Builds an exact-search engine over a document store.
+    pub fn build_flat(embedder: TextEmbedder, store: &DocumentStore) -> Self {
+        let vocab = build_vocab(store);
+        let mut flat = FlatIndex::new(embedder.dim());
+        for article in store.iter() {
+            let text = weighted_text(&article.title, &article.body);
+            flat.add(&embedder.embed_text_idf(&text, &vocab));
+        }
+        Self {
+            embedder,
+            vocab,
+            backend: Backend::Flat(flat),
+        }
+    }
+
+    /// Builds an ANN engine (IVF-Flat) over a document store, mirroring
+    /// the paper's Qdrant deployment.
+    pub fn build_ivf(
+        embedder: TextEmbedder,
+        store: &DocumentStore,
+        nlist: usize,
+        nprobe: usize,
+        seed: u64,
+    ) -> Self {
+        let vocab = build_vocab(store);
+        let mut flat = FlatIndex::new(embedder.dim());
+        for article in store.iter() {
+            let text = weighted_text(&article.title, &article.body);
+            flat.add(&embedder.embed_text_idf(&text, &vocab));
+        }
+        Self {
+            embedder,
+            vocab,
+            backend: Backend::Ivf(IvfIndex::build(flat, nlist, nprobe, seed)),
+        }
+    }
+
+    /// The embedder (for composing hybrid engines).
+    pub fn embedder(&self) -> &TextEmbedder {
+        &self.embedder
+    }
+
+    /// The corpus vocabulary used for IDF weighting.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        match &self.backend {
+            Backend::Flat(f) => f.len(),
+            Backend::Ivf(i) => i.len(),
+        }
+    }
+
+    /// Searches with a free-text query; returns top-`k` `(doc, cosine)`.
+    pub fn search(&self, query: &str, k: usize) -> Vec<(DocId, f64)> {
+        self.search_vector(&self.embedder.embed_text_idf(query, &self.vocab), k)
+    }
+
+    /// Searches with a pre-computed query vector.
+    pub fn search_vector(&self, query: &[f32], k: usize) -> Vec<(DocId, f64)> {
+        match &self.backend {
+            Backend::Flat(f) => f.search(query, k),
+            Backend::Ivf(i) => i.search(query, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_index::docstore::NewsSource;
+
+    fn store() -> DocumentStore {
+        let mut s = DocumentStore::new();
+        s.add(
+            NewsSource::Reuters,
+            "Crypto exchange faces fraud charges".into(),
+            "Prosecutors alleged the bitcoin exchange misused customer funds.".into(),
+            0,
+        );
+        s.add(
+            NewsSource::Nyt,
+            "Election results certified".into(),
+            "The presidential election results were certified after a recount.".into(),
+            1,
+        );
+        s.add(
+            NewsSource::SeekingAlpha,
+            "Bank announces merger".into(),
+            "The regional bank agreed to an acquisition by a larger rival.".into(),
+            2,
+        );
+        s
+    }
+
+    #[test]
+    fn flat_retrieves_topical_document() {
+        let eng = BertBaseline::build_flat(TextEmbedder::new(128), &store());
+        let res = eng.search("bitcoin fraud exchange", 3);
+        assert_eq!(res[0].0, DocId::new(0));
+        assert_eq!(eng.num_docs(), 3);
+    }
+
+    #[test]
+    fn ivf_matches_flat_on_small_corpus() {
+        let s = store();
+        let flat = BertBaseline::build_flat(TextEmbedder::new(128), &s);
+        let ivf = BertBaseline::build_ivf(TextEmbedder::new(128), &s, 2, 2, 1);
+        let qf = flat.search("merger acquisition bank", 1);
+        let qi = ivf.search("merger acquisition bank", 1);
+        assert_eq!(qf[0].0, qi[0].0);
+        assert_eq!(qf[0].0, DocId::new(2));
+    }
+
+    #[test]
+    fn election_query_hits_election_doc() {
+        let eng = BertBaseline::build_flat(TextEmbedder::new(128), &store());
+        let res = eng.search("presidential election recount", 1);
+        assert_eq!(res[0].0, DocId::new(1));
+    }
+
+    #[test]
+    fn idf_suppresses_ubiquitous_words() {
+        // Add a word shared by every document; a query for it alone should
+        // not dominate topical matching.
+        let mut s = DocumentStore::new();
+        for (i, topic) in ["fraud crypto", "election ballot", "merger bank"]
+            .iter()
+            .enumerate()
+        {
+            s.add(
+                NewsSource::Reuters,
+                format!("report {i}"),
+                format!("market statement {topic} market statement"),
+                i as u32,
+            );
+        }
+        let eng = BertBaseline::build_flat(TextEmbedder::new(256), &s);
+        let res = eng.search("market statement election", 3);
+        assert_eq!(
+            res[0].0,
+            DocId::new(1),
+            "topical term must outweigh boilerplate"
+        );
+    }
+
+    #[test]
+    fn vocab_exposed() {
+        let eng = BertBaseline::build_flat(TextEmbedder::new(64), &store());
+        assert!(eng.vocab().num_docs() == 3);
+    }
+}

@@ -1,0 +1,288 @@
+//! Deterministic signed random-projection text embedder.
+//!
+//! Each distinct term hashes to a seed which expands (via SplitMix64) into
+//! a pseudo-random ±1 direction in `dim`-dimensional space. A text embeds
+//! as the log-TF-weighted sum of its term directions plus bigram
+//! directions, L2-normalised. The construction is a random projection of
+//! the (unigram + bigram) TF vector, so cosine similarity approximates
+//! lexical-overlap similarity — the behaviour the BERT baseline
+//! contributes to the paper's comparison.
+
+use ncx_text::stemmer::stem;
+use ncx_text::stopwords::is_stopword;
+use ncx_text::tokenizer::tokenize_lower;
+use rustc_hash::FxHashMap;
+
+/// Default embedding dimensionality (the paper's SBERT uses 768; 256 keeps
+/// experiments fast without changing ranking behaviour).
+pub const DEFAULT_DIM: usize = 256;
+
+/// SplitMix64 step.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a string (stable across runs and platforms).
+#[inline]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A deterministic text embedder.
+#[derive(Debug, Clone)]
+pub struct TextEmbedder {
+    dim: usize,
+    use_bigrams: bool,
+}
+
+impl Default for TextEmbedder {
+    fn default() -> Self {
+        Self::new(DEFAULT_DIM)
+    }
+}
+
+impl TextEmbedder {
+    /// Creates an embedder with the given dimensionality.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self {
+            dim,
+            use_bigrams: true,
+        }
+    }
+
+    /// Disables bigram features (unigrams only).
+    pub fn without_bigrams(mut self) -> Self {
+        self.use_bigrams = false;
+        self
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Adds `weight` times the pseudo-random ±1 direction of `feature`
+    /// into `acc`.
+    fn add_feature(&self, acc: &mut [f32], feature: &str, weight: f32) {
+        let mut state = fnv1a(feature);
+        let mut bits = 0u64;
+        let mut remaining = 0;
+        for slot in acc.iter_mut().take(self.dim) {
+            if remaining == 0 {
+                bits = splitmix64(&mut state);
+                remaining = 64;
+            }
+            let sign = if bits & 1 == 1 { weight } else { -weight };
+            bits >>= 1;
+            remaining -= 1;
+            *slot += sign;
+        }
+    }
+
+    /// Embeds pre-extracted features with weights (no normalisation of
+    /// the feature weights is applied; output is L2-normalised).
+    pub fn embed_features<'a>(
+        &self,
+        features: impl IntoIterator<Item = (&'a str, f32)>,
+    ) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        for (f, w) in features {
+            self.add_feature(&mut acc, f, w);
+        }
+        normalize(&mut acc);
+        acc
+    }
+
+    /// Embeds raw text with corpus-aware IDF weighting: ubiquitous words
+    /// contribute little, rare topical words dominate — mirroring how a
+    /// trained sentence encoder suppresses boilerplate. Terms unknown to
+    /// the vocabulary get the maximum IDF.
+    pub fn embed_text_idf(&self, text: &str, vocab: &ncx_text::Vocabulary) -> Vec<f32> {
+        let tokens = tokenize_lower(text);
+        let stems: Vec<String> = tokens
+            .iter()
+            .filter(|t| !is_stopword(t))
+            .map(|t| stem(t))
+            .collect();
+        let mut counts: FxHashMap<&str, u32> = FxHashMap::default();
+        for s in &stems {
+            *counts.entry(s.as_str()).or_insert(0) += 1;
+        }
+        let max_idf = (1.0 + (vocab.num_docs() as f64 + 0.5) / 0.5).ln() as f32;
+        let mut acc = vec![0.0f32; self.dim];
+        for (t, &c) in &counts {
+            let idf = vocab
+                .get(t)
+                .map(|id| vocab.idf(id) as f32)
+                .unwrap_or(max_idf);
+            let w = (1.0 + (c as f32).ln()) * idf;
+            self.add_feature(&mut acc, t, w);
+        }
+        if self.use_bigrams {
+            let mut bigram_counts: FxHashMap<String, u32> = FxHashMap::default();
+            for w in stems.windows(2) {
+                *bigram_counts
+                    .entry(format!("{} {}", w[0], w[1]))
+                    .or_insert(0) += 1;
+            }
+            for (bg, &c) in &bigram_counts {
+                let w = 0.5 * (1.0 + (c as f32).ln());
+                self.add_feature(&mut acc, bg, w);
+            }
+        }
+        normalize(&mut acc);
+        acc
+    }
+
+    /// Embeds raw text: tokenises, stems, drops stopwords, weights terms
+    /// by `1 + ln(tf)`, adds consecutive-term bigrams at half weight.
+    pub fn embed_text(&self, text: &str) -> Vec<f32> {
+        let tokens = tokenize_lower(text);
+        let stems: Vec<String> = tokens
+            .iter()
+            .filter(|t| !is_stopword(t))
+            .map(|t| stem(t))
+            .collect();
+        let mut counts: FxHashMap<&str, u32> = FxHashMap::default();
+        for s in &stems {
+            *counts.entry(s.as_str()).or_insert(0) += 1;
+        }
+        let mut acc = vec![0.0f32; self.dim];
+        for (t, &c) in &counts {
+            let w = 1.0 + (c as f32).ln();
+            self.add_feature(&mut acc, t, w);
+        }
+        if self.use_bigrams {
+            let mut bigram_counts: FxHashMap<String, u32> = FxHashMap::default();
+            for w in stems.windows(2) {
+                *bigram_counts
+                    .entry(format!("{} {}", w[0], w[1]))
+                    .or_insert(0) += 1;
+            }
+            for (bg, &c) in &bigram_counts {
+                let w = 0.5 * (1.0 + (c as f32).ln());
+                self.add_feature(&mut acc, bg, w);
+            }
+        }
+        normalize(&mut acc);
+        acc
+    }
+}
+
+/// L2-normalises in place (leaves the zero vector untouched).
+pub fn normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Dot product (cosine similarity for normalised inputs).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cos(e: &TextEmbedder, a: &str, b: &str) -> f32 {
+        dot(&e.embed_text(a), &e.embed_text(b))
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = TextEmbedder::new(128);
+        assert_eq!(e.embed_text("crypto fraud"), e.embed_text("crypto fraud"));
+    }
+
+    #[test]
+    fn normalised_output() {
+        let e = TextEmbedder::default();
+        let v = e.embed_text("bank merger acquisition crypto");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = TextEmbedder::default();
+        let v = e.embed_text("the of and");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identical_texts_have_cosine_one() {
+        let e = TextEmbedder::default();
+        let c = cos(&e, "ftx fraud trial", "ftx fraud trial");
+        assert!((c - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn overlapping_texts_more_similar_than_disjoint() {
+        let e = TextEmbedder::default();
+        let overlap = cos(
+            &e,
+            "crypto exchange fraud investigation regulators",
+            "regulators investigate crypto exchange over fraud",
+        );
+        let disjoint = cos(
+            &e,
+            "crypto exchange fraud investigation regulators",
+            "football championship weather sunny victory",
+        );
+        assert!(
+            overlap > disjoint + 0.3,
+            "overlap {overlap} vs disjoint {disjoint}"
+        );
+    }
+
+    #[test]
+    fn random_directions_near_orthogonal() {
+        let e = TextEmbedder::new(512).without_bigrams();
+        let c = cos(&e, "alpha", "omega");
+        assert!(c.abs() < 0.25, "unexpectedly correlated: {c}");
+    }
+
+    #[test]
+    fn stemming_bridges_word_forms() {
+        let e = TextEmbedder::default();
+        let c = cos(&e, "bank acquires rival", "banks acquired rivals");
+        assert!(c > 0.9, "inflected forms should embed nearly equal: {c}");
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a("ftx"), fnv1a("ftx"));
+        assert_ne!(fnv1a("ftx"), fnv1a("ftz"));
+    }
+
+    #[test]
+    fn embed_features_weighting() {
+        let e = TextEmbedder::new(64);
+        let heavy = e.embed_features([("fraud", 10.0), ("noise", 0.1)]);
+        let pure = e.embed_features([("fraud", 1.0)]);
+        assert!(dot(&heavy, &pure) > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        let _ = TextEmbedder::new(0);
+    }
+}

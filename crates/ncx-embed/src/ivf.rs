@@ -1,0 +1,246 @@
+//! IVF-Flat approximate vector index.
+//!
+//! Stands in for the Qdrant vector engine of the paper's BERT baselines:
+//! a seeded k-means coarse quantizer partitions the corpus into `nlist`
+//! cells; queries probe the `nprobe` nearest cells and scan only those.
+//! With `nprobe == nlist` the search is exact.
+
+use ncx_index::TopK;
+use ncx_kg::DocId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::embedder::{dot, normalize};
+use crate::vector::FlatIndex;
+
+/// IVF-Flat index built over a [`FlatIndex`].
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    flat: FlatIndex,
+    centroids: Vec<Vec<f32>>,
+    /// Cell id per document.
+    assignment: Vec<u32>,
+    /// Documents per cell.
+    cells: Vec<Vec<DocId>>,
+    nprobe: usize,
+}
+
+impl IvfIndex {
+    /// Builds an IVF index over the vectors of `flat`.
+    ///
+    /// * `nlist` — number of k-means cells (clamped to the corpus size);
+    /// * `nprobe` — cells probed per query (clamped to `nlist`);
+    /// * `seed` — k-means initialisation seed (deterministic builds).
+    pub fn build(flat: FlatIndex, nlist: usize, nprobe: usize, seed: u64) -> Self {
+        let n = flat.len();
+        let nlist = nlist.clamp(1, n.max(1));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = flat.dim();
+
+        // k-means++ style init: random distinct picks.
+        let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(nlist);
+        if n > 0 {
+            let mut picked = rustc_hash::FxHashSet::default();
+            while centroids.len() < nlist {
+                let i = rng.gen_range(0..n);
+                if picked.insert(i) {
+                    centroids.push(flat.get(DocId::from_index(i)).to_vec());
+                }
+            }
+        } else {
+            centroids.push(vec![0.0; dim]);
+        }
+
+        let mut assignment = vec![0u32; n];
+        for _iter in 0..8 {
+            // assign
+            let mut changed = false;
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                let v = flat.get(DocId::from_index(i));
+                let best = nearest_centroid(&centroids, v) as u32;
+                if *slot != best {
+                    *slot = best;
+                    changed = true;
+                }
+            }
+            // update
+            let mut sums = vec![vec![0.0f32; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (i, &cell) in assignment.iter().enumerate() {
+                let c = cell as usize;
+                counts[c] += 1;
+                for (s, x) in sums[c].iter_mut().zip(flat.get(DocId::from_index(i))) {
+                    *s += x;
+                }
+            }
+            for (c, sum) in sums.iter_mut().enumerate() {
+                if counts[c] > 0 {
+                    normalize(sum);
+                    centroids[c] = sum.clone();
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut cells: Vec<Vec<DocId>> = vec![Vec::new(); centroids.len()];
+        for i in 0..n {
+            cells[assignment[i] as usize].push(DocId::from_index(i));
+        }
+
+        Self {
+            flat,
+            nprobe: nprobe.clamp(1, nlist),
+            centroids,
+            assignment,
+            cells,
+        }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+
+    /// Number of cells.
+    pub fn nlist(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The cell a document was assigned to.
+    pub fn cell_of(&self, id: DocId) -> u32 {
+        self.assignment[id.index()]
+    }
+
+    /// Approximate top-`k` search probing `nprobe` cells.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<(DocId, f64)> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        // rank cells by centroid similarity
+        let mut cell_scores: Vec<(usize, f32)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, dot(c, query)))
+            .collect();
+        cell_scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut top = TopK::new(k);
+        for &(cell, _) in cell_scores.iter().take(self.nprobe) {
+            for &doc in &self.cells[cell] {
+                top.push(doc, dot(query, self.flat.get(doc)) as f64);
+            }
+        }
+        top.into_sorted_vec()
+    }
+}
+
+fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_sim = f32::NEG_INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let s = dot(c, v);
+        if s > best_sim {
+            best_sim = s;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedder::TextEmbedder;
+
+    fn clustered_corpus() -> (FlatIndex, Vec<&'static str>) {
+        let texts = vec![
+            "crypto exchange fraud bitcoin trading",
+            "bitcoin crypto market exchange slump",
+            "crypto regulators exchange bitcoin probe",
+            "election campaign votes president ballot",
+            "president election victory campaign rally",
+            "votes counted election ballot recount",
+        ];
+        let e = TextEmbedder::new(128);
+        let mut flat = FlatIndex::new(128);
+        for t in &texts {
+            flat.add(&e.embed_text(t));
+        }
+        (flat, texts)
+    }
+
+    #[test]
+    fn exact_when_probing_all_cells() {
+        let (flat, _) = clustered_corpus();
+        let e = TextEmbedder::new(128);
+        let q = e.embed_text("bitcoin exchange fraud");
+        let exact = flat.clone().search(&q, 3);
+        let ivf = IvfIndex::build(flat, 2, 2, 7);
+        let approx = ivf.search(&q, 3);
+        assert_eq!(
+            exact.iter().map(|&(d, _)| d).collect::<Vec<_>>(),
+            approx.iter().map(|&(d, _)| d).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_probe_finds_topical_cluster() {
+        let (flat, _) = clustered_corpus();
+        let e = TextEmbedder::new(128);
+        let ivf = IvfIndex::build(flat, 2, 1, 7);
+        let q = e.embed_text("crypto bitcoin fraud");
+        let res = ivf.search(&q, 2);
+        assert_eq!(res.len(), 2);
+        // both results should be crypto documents (ids 0..3)
+        for (d, _) in res {
+            assert!(d.raw() < 3, "expected crypto doc, got {d:?}");
+        }
+    }
+
+    #[test]
+    fn kmeans_separates_topics() {
+        let (flat, _) = clustered_corpus();
+        let ivf = IvfIndex::build(flat, 2, 2, 7);
+        // docs 0-2 in one cell, 3-5 in the other
+        let c0 = ivf.cell_of(DocId::new(0));
+        assert_eq!(ivf.cell_of(DocId::new(1)), c0);
+        assert_eq!(ivf.cell_of(DocId::new(2)), c0);
+        let c3 = ivf.cell_of(DocId::new(3));
+        assert_ne!(c0, c3);
+        assert_eq!(ivf.cell_of(DocId::new(4)), c3);
+        assert_eq!(ivf.cell_of(DocId::new(5)), c3);
+    }
+
+    #[test]
+    fn deterministic_builds() {
+        let (flat, _) = clustered_corpus();
+        let a = IvfIndex::build(flat.clone(), 3, 1, 42);
+        let b = IvfIndex::build(flat, 3, 1, 42);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn nlist_clamped_to_corpus() {
+        let e = TextEmbedder::new(32);
+        let mut flat = FlatIndex::new(32);
+        flat.add(&e.embed_text("only document"));
+        let ivf = IvfIndex::build(flat, 100, 100, 0);
+        assert_eq!(ivf.nlist(), 1);
+        assert_eq!(ivf.search(&e.embed_text("document"), 5).len(), 1);
+    }
+
+    #[test]
+    fn empty_index_searches_empty() {
+        let flat = FlatIndex::new(8);
+        let ivf = IvfIndex::build(flat, 4, 2, 0);
+        assert!(ivf.search(&[0.0; 8], 3).is_empty());
+    }
+}

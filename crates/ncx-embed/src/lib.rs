@@ -1,0 +1,28 @@
+//! # ncx-embed — embedding substrate (SBERT / Qdrant substitute)
+//!
+//! The paper's BERT baseline maps each news article to a dense vector with
+//! a pre-trained sentence encoder and retrieves by cosine similarity from
+//! a vector engine (Qdrant). Neither a 110M-parameter transformer nor an
+//! external vector database belongs in a self-contained reproduction, so
+//! this crate supplies behaviour-preserving substitutes:
+//!
+//! * [`embedder`] — a deterministic signed random-projection text
+//!   embedder: every stemmed term deterministically seeds a pseudo-random
+//!   ±1 direction, term vectors are combined with log-TF (optionally IDF)
+//!   weights and L2-normalised. Lexically/topically overlapping texts get
+//!   high cosine similarity — the property the baseline comparison
+//!   actually exercises.
+//! * [`vector`] — an exact (flat) top-K cosine index;
+//! * [`ivf`] — an IVF-Flat approximate index (seeded k-means coarse
+//!   quantizer + cluster probing), standing in for Qdrant's ANN search;
+//! * [`bert`] — the assembled **BERT baseline** engine of the paper.
+
+pub mod bert;
+pub mod embedder;
+pub mod ivf;
+pub mod vector;
+
+pub use bert::BertBaseline;
+pub use embedder::TextEmbedder;
+pub use ivf::IvfIndex;
+pub use vector::FlatIndex;

@@ -1,0 +1,120 @@
+//! Exact (flat) vector index: brute-force top-K cosine retrieval.
+
+use ncx_index::TopK;
+use ncx_kg::DocId;
+
+use crate::embedder::dot;
+
+/// A flat vector store indexed by [`DocId`] insertion order.
+#[derive(Debug, Default, Clone)]
+pub struct FlatIndex {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl FlatIndex {
+    /// Creates an empty index for `dim`-dimensional vectors.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            data: Vec::new(),
+        }
+    }
+
+    /// Adds the next vector; returns its [`DocId`].
+    ///
+    /// # Panics
+    /// Panics if the vector has the wrong dimensionality.
+    pub fn add(&mut self, v: &[f32]) -> DocId {
+        assert_eq!(v.len(), self.dim, "dimension mismatch");
+        let id = DocId::from_index(self.len());
+        self.data.extend_from_slice(v);
+        id
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The stored vector of `id`.
+    pub fn get(&self, id: DocId) -> &[f32] {
+        let start = id.index() * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Exact top-`k` by inner product (cosine for normalised vectors),
+    /// descending.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<(DocId, f64)> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        let mut top = TopK::new(k);
+        for i in 0..self.len() {
+            let id = DocId::from_index(i);
+            top.push(id, dot(query, self.get(id)) as f64);
+        }
+        top.into_sorted_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut idx = FlatIndex::new(3);
+        let a = idx.add(&[1.0, 0.0, 0.0]);
+        let b = idx.add(&[0.0, 1.0, 0.0]);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get(a), &[1.0, 0.0, 0.0]);
+        assert_eq!(idx.get(b), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn search_orders_by_similarity() {
+        let mut idx = FlatIndex::new(2);
+        idx.add(&[1.0, 0.0]); // d0
+        idx.add(&[
+            std::f32::consts::FRAC_1_SQRT_2,
+            std::f32::consts::FRAC_1_SQRT_2,
+        ]); // d1
+        idx.add(&[0.0, 1.0]); // d2
+        let res = idx.search(&[1.0, 0.0], 3);
+        let ids: Vec<u32> = res.iter().map(|&(d, _)| d.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert!(res[0].1 > res[1].1 && res[1].1 > res[2].1);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let mut idx = FlatIndex::new(2);
+        for i in 0..10 {
+            idx.add(&[i as f32, 1.0]);
+        }
+        assert_eq!(idx.search(&[1.0, 0.0], 3).len(), 3);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = FlatIndex::new(4);
+        assert!(idx.is_empty());
+        assert!(idx.search(&[0.0; 4], 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let mut idx = FlatIndex::new(3);
+        idx.add(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests for the embedding substrate.
+
+use ncx_embed::embedder::{dot, normalize};
+use ncx_embed::{FlatIndex, IvfIndex, TextEmbedder};
+use proptest::prelude::*;
+
+proptest! {
+    /// Embeddings are unit-norm (or zero) and cosine is within [-1, 1].
+    #[test]
+    fn embeddings_unit_norm_and_cosine_bounded(
+        a in "[a-z ]{0,80}",
+        b in "[a-z ]{0,80}",
+    ) {
+        let e = TextEmbedder::new(64);
+        let va = e.embed_text(&a);
+        let vb = e.embed_text(&b);
+        for v in [&va, &vb] {
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            prop_assert!(norm.abs() < 1e-3 || (norm - 1.0).abs() < 1e-3, "norm {norm}");
+        }
+        let c = dot(&va, &vb);
+        prop_assert!((-1.0 - 1e-3..=1.0 + 1e-3).contains(&c), "cosine {c}");
+    }
+
+    /// normalize is idempotent.
+    #[test]
+    fn normalize_idempotent(mut v in prop::collection::vec(-10.0f32..10.0, 1..32)) {
+        normalize(&mut v);
+        let once = v.clone();
+        normalize(&mut v);
+        for (x, y) in once.iter().zip(&v) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    /// IVF results are a subset of the corpus and scored identically to
+    /// the flat index; with nprobe == nlist the top-1 matches exactly.
+    #[test]
+    fn ivf_consistent_with_flat(
+        texts in prop::collection::vec("[a-z]{2,8}( [a-z]{2,8}){1,6}", 2..12),
+        seed in 0u64..100,
+    ) {
+        let e = TextEmbedder::new(64);
+        let mut flat = FlatIndex::new(64);
+        for t in &texts {
+            flat.add(&e.embed_text(t));
+        }
+        let q = e.embed_text(&texts[0]);
+        let exact = flat.search(&q, 3);
+        let ivf = IvfIndex::build(flat, 4, 4, seed);
+        let approx = ivf.search(&q, 3);
+        prop_assert_eq!(
+            exact.iter().map(|&(d, _)| d).collect::<Vec<_>>(),
+            approx.iter().map(|&(d, _)| d).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Estimation-error metrics for the sampling study (Fig. 7).
+
+/// Relative error `|est − truth| / truth`. When the truth is 0 the error
+/// is 0 if the estimate is also 0, else 1 (fully wrong).
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            1.0
+        }
+    } else {
+        (estimate - truth).abs() / truth.abs()
+    }
+}
+
+/// Mean relative error over paired `(estimate, truth)` samples.
+pub fn mean_relative_error(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs
+        .iter()
+        .map(|&(e, t)| relative_error(e, t))
+        .sum::<f64>()
+        / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimate_is_zero_error() {
+        assert_eq!(relative_error(3.0, 3.0), 0.0);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn proportional_error() {
+        assert!((relative_error(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(0.9, 1.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(2.0, 4.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_truth_nonzero_estimate() {
+        assert_eq!(relative_error(0.5, 0.0), 1.0);
+    }
+
+    #[test]
+    fn mean_over_pairs() {
+        let pairs = [(1.0, 1.0), (2.0, 1.0), (0.5, 1.0)];
+        assert!((mean_relative_error(&pairs) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_relative_error(&[]), 0.0);
+    }
+}

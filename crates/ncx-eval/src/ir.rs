@@ -1,0 +1,101 @@
+//! Set-based IR metrics complementing NDCG: precision@K, recall@K,
+//! average precision, and mean reciprocal rank. Used by the extended
+//! analysis in the benchmark suite (the paper reports NDCG only; these
+//! make ranking failures easier to localise).
+
+/// Precision@K: fraction of the top-K retrieved that are relevant.
+/// `retrieved_relevant[i]` is whether the i-th retrieved item is relevant.
+pub fn precision_at_k(retrieved_relevant: &[bool], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let k = k.min(retrieved_relevant.len());
+    if k == 0 {
+        return 0.0;
+    }
+    retrieved_relevant[..k].iter().filter(|&&r| r).count() as f64 / k as f64
+}
+
+/// Recall@K: fraction of all `total_relevant` items found in the top-K.
+pub fn recall_at_k(retrieved_relevant: &[bool], k: usize, total_relevant: usize) -> f64 {
+    if total_relevant == 0 {
+        return 1.0;
+    }
+    let k = k.min(retrieved_relevant.len());
+    retrieved_relevant[..k].iter().filter(|&&r| r).count() as f64 / total_relevant as f64
+}
+
+/// Average precision over a ranked list (AP): mean of precision@i at each
+/// relevant rank i, normalised by `total_relevant`.
+pub fn average_precision(retrieved_relevant: &[bool], total_relevant: usize) -> f64 {
+    if total_relevant == 0 {
+        return 1.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, &rel) in retrieved_relevant.iter().enumerate() {
+        if rel {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total_relevant as f64
+}
+
+/// Reciprocal rank of the first relevant item (0 if none).
+pub fn reciprocal_rank(retrieved_relevant: &[bool]) -> f64 {
+    retrieved_relevant
+        .iter()
+        .position(|&r| r)
+        .map(|i| 1.0 / (i + 1) as f64)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIST: [bool; 5] = [true, false, true, false, false];
+
+    #[test]
+    fn precision() {
+        assert_eq!(precision_at_k(&LIST, 1), 1.0);
+        assert_eq!(precision_at_k(&LIST, 2), 0.5);
+        assert!((precision_at_k(&LIST, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&LIST, 0), 0.0);
+        // K beyond the list falls back to the list length.
+        assert_eq!(precision_at_k(&LIST, 10), 0.4);
+        assert_eq!(precision_at_k(&[], 5), 0.0);
+    }
+
+    #[test]
+    fn recall() {
+        assert_eq!(recall_at_k(&LIST, 5, 4), 0.5);
+        assert_eq!(recall_at_k(&LIST, 1, 4), 0.25);
+        assert_eq!(recall_at_k(&LIST, 5, 0), 1.0);
+    }
+
+    #[test]
+    fn ap_known_value() {
+        // relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2 when 2 relevant
+        assert!((average_precision(&LIST, 2) - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+        // if 4 relevant exist overall, AP is halved
+        assert!((average_precision(&LIST, 4) - (1.0 + 2.0 / 3.0) / 4.0).abs() < 1e-12);
+        assert_eq!(average_precision(&[], 0), 1.0);
+    }
+
+    #[test]
+    fn mrr() {
+        assert_eq!(reciprocal_rank(&LIST), 1.0);
+        assert_eq!(reciprocal_rank(&[false, false, true]), 1.0 / 3.0);
+        assert_eq!(reciprocal_rank(&[false, false]), 0.0);
+    }
+
+    #[test]
+    fn perfect_list() {
+        let all = [true, true, true];
+        assert_eq!(precision_at_k(&all, 3), 1.0);
+        assert_eq!(recall_at_k(&all, 3, 3), 1.0);
+        assert_eq!(average_precision(&all, 3), 1.0);
+    }
+}

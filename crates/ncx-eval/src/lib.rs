@@ -1,0 +1,19 @@
+//! # ncx-eval — evaluation utilities
+//!
+//! Metrics and statistics used by the experiment harness:
+//!
+//! * [`ndcg`] — DCG / NDCG@K over graded relevance (Table I/II);
+//! * [`stats`] — means, standard deviations, Welch's one-sided t-test
+//!   (the p-values of Table III);
+//! * [`error`] — relative estimation error (Fig. 7);
+//! * [`tables`] — fixed-width ASCII table rendering for experiment output.
+
+pub mod error;
+pub mod ir;
+pub mod ndcg;
+pub mod stats;
+pub mod tables;
+
+pub use ndcg::{dcg_at_k, ndcg_at_k};
+pub use stats::{mean, std_dev, welch_t_test_one_sided};
+pub use tables::Table;

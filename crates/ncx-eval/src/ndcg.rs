@@ -1,0 +1,111 @@
+//! Normalised Discounted Cumulative Gain.
+//!
+//! The paper evaluates relevance ranking with NDCG@K over graded 0–5
+//! relevance ratings from AMT evaluators (Table I). We use the classic
+//! formulation `DCG@K = Σ_{i=1..K} rel_i / log2(i + 1)` and normalise by
+//! the ideal ordering of the *same* rating multiset.
+
+/// DCG@K of a ranked list of graded relevances.
+pub fn dcg_at_k(rels: &[f64], k: usize) -> f64 {
+    rels.iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, &r)| r / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// NDCG@K: `DCG@K / IDCG@K`, where the ideal ranking sorts the given
+/// relevances descending. Returns 1.0 for an empty or all-zero list (a
+/// method cannot be penalised when nothing relevant exists to rank).
+pub fn ndcg_at_k(rels: &[f64], k: usize) -> f64 {
+    let dcg = dcg_at_k(rels, k);
+    let mut ideal = rels.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let idcg = dcg_at_k(&ideal, k);
+    if idcg <= 0.0 {
+        1.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// NDCG@K against an external ideal: normalises by the best achievable
+/// DCG given `all_rels`, the relevance grades of *every* candidate (not
+/// just the retrieved ones). Stricter than [`ndcg_at_k`]: a method that
+/// misses highly relevant documents entirely is penalised.
+pub fn ndcg_at_k_with_ideal(retrieved_rels: &[f64], all_rels: &[f64], k: usize) -> f64 {
+    let dcg = dcg_at_k(retrieved_rels, k);
+    let mut ideal = all_rels.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let idcg = dcg_at_k(&ideal, k);
+    if idcg <= 0.0 {
+        1.0
+    } else {
+        (dcg / idcg).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let rels = [5.0, 4.0, 3.0, 2.0];
+        assert!((ndcg_at_k(&rels, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_ranking_below_one() {
+        let rels = [1.0, 2.0, 3.0, 5.0];
+        let n = ndcg_at_k(&rels, 4);
+        assert!(n < 1.0);
+        assert!(n > 0.0);
+    }
+
+    #[test]
+    fn dcg_known_value() {
+        // DCG@2 of [3, 2] = 3/log2(2) + 2/log2(3) = 3 + 1.26186
+        let d = dcg_at_k(&[3.0, 2.0], 2);
+        assert!((d - (3.0 + 2.0 / 3f64.log2())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let rels = [0.0, 0.0, 5.0];
+        assert_eq!(dcg_at_k(&rels, 2), 0.0);
+        assert!(dcg_at_k(&rels, 3) > 0.0);
+    }
+
+    #[test]
+    fn all_zero_is_one() {
+        assert_eq!(ndcg_at_k(&[0.0, 0.0], 2), 1.0);
+        assert_eq!(ndcg_at_k(&[], 5), 1.0);
+    }
+
+    #[test]
+    fn swap_at_top_hurts_more_than_at_bottom() {
+        // ideal [5,4,3,2,1]
+        let top_swapped = ndcg_at_k(&[4.0, 5.0, 3.0, 2.0, 1.0], 5);
+        let bottom_swapped = ndcg_at_k(&[5.0, 4.0, 3.0, 1.0, 2.0], 5);
+        assert!(top_swapped < bottom_swapped);
+    }
+
+    #[test]
+    fn external_ideal_penalises_missed_docs() {
+        // The corpus contains a 5-rated doc the method never retrieved.
+        let retrieved = [3.0, 2.0];
+        let all = [5.0, 3.0, 2.0, 0.0];
+        let strict = ndcg_at_k_with_ideal(&retrieved, &all, 2);
+        let lenient = ndcg_at_k(&retrieved, 2);
+        assert!(strict < lenient);
+        assert_eq!(lenient, 1.0);
+    }
+
+    #[test]
+    fn external_ideal_caps_at_one() {
+        let retrieved = [5.0, 5.0];
+        let all = [5.0, 4.0];
+        assert!(ndcg_at_k_with_ideal(&retrieved, &all, 2) <= 1.0);
+    }
+}

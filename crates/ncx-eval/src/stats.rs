@@ -1,0 +1,252 @@
+//! Basic statistics and Welch's t-test.
+//!
+//! Table III of the paper reports one-sided p-values (H1: NCExplorer
+//! produces more answers than keyword search, n = 10 per condition).
+//! Welch's unequal-variance t-test with the Welch–Satterthwaite degrees of
+//! freedom reproduces that analysis. The Student-t CDF is evaluated
+//! through the regularised incomplete beta function (continued-fraction
+//! form, Numerical Recipes §6.4).
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator; 0 for n < 2).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Natural log of the gamma function (Lanczos approximation).
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` by continued fraction.
+fn betai(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let bt = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        bt * betacf(a, b, x) / a
+    } else {
+        1.0 - bt * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Upper-tail probability `P(T_df > t)` of the Student-t distribution.
+pub fn t_sf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return if t > 0.0 { 0.0 } else { 1.0 };
+    }
+    let p = betai(df / 2.0, 0.5, df / (df + t * t)) / 2.0;
+    if t > 0.0 {
+        p
+    } else {
+        1.0 - p
+    }
+}
+
+/// Result of a Welch t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTest {
+    /// The t statistic for `mean(a) − mean(b)`.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// One-sided p-value for H1: `mean(a) > mean(b)`.
+    pub p_one_sided: f64,
+}
+
+/// Welch's unequal-variance t-test, one-sided (H1: mean(a) > mean(b)).
+pub fn welch_t_test_one_sided(a: &[f64], b: &[f64]) -> TTest {
+    assert!(a.len() >= 2 && b.len() >= 2, "need ≥2 samples per group");
+    let (ma, mb) = (mean(a), mean(b));
+    let (sa, sb) = (std_dev(a), std_dev(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let va = sa * sa / na;
+    let vb = sb * sb / nb;
+    let se = (va + vb).sqrt();
+    if se == 0.0 {
+        // Identical constant samples: no evidence either way.
+        let p = if ma > mb { 0.0 } else { 1.0 };
+        return TTest {
+            t: if ma > mb { f64::INFINITY } else { 0.0 },
+            df: na + nb - 2.0,
+            p_one_sided: p,
+        };
+    }
+    let t = (ma - mb) / se;
+    let df = (va + vb).powi(2) / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    TTest {
+        t,
+        df,
+        p_one_sided: t_sf(t, df),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // sample std of this classic set is ~2.138
+        assert!((std_dev(&xs) - 2.13809).abs() < 1e-4);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn t_sf_symmetry_and_known_values() {
+        // P(T > 0) = 0.5 for any df.
+        assert!((t_sf(0.0, 5.0) - 0.5).abs() < 1e-10);
+        // t=2.015, df=5 → one-sided p ≈ 0.05 (classic table value 2.0150).
+        assert!((t_sf(2.015, 5.0) - 0.05).abs() < 2e-3);
+        // t=1.833, df=9 → p ≈ 0.05.
+        assert!((t_sf(1.833, 9.0) - 0.05).abs() < 2e-3);
+        // symmetry
+        assert!((t_sf(1.5, 7.0) + t_sf(-1.5, 7.0) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welch_detects_clear_difference() {
+        let a = [4.0, 5.0, 4.5, 5.5, 4.8, 5.2, 4.6, 5.1, 4.9, 5.0];
+        let b = [1.0, 0.5, 1.5, 0.8, 1.2, 0.9, 1.1, 1.3, 0.7, 1.0];
+        let r = welch_t_test_one_sided(&a, &b);
+        assert!(r.p_one_sided < 0.001, "p = {}", r.p_one_sided);
+        assert!(r.t > 5.0);
+    }
+
+    #[test]
+    fn welch_no_difference_high_p() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.1, 2.1, 2.9, 3.9, 5.0];
+        let r = welch_t_test_one_sided(&a, &b);
+        assert!(r.p_one_sided > 0.2);
+    }
+
+    #[test]
+    fn welch_wrong_direction_near_one() {
+        let a = [1.0, 1.1, 0.9, 1.0, 1.05];
+        let b = [5.0, 5.1, 4.9, 5.0, 5.05];
+        let r = welch_t_test_one_sided(&a, &b);
+        assert!(r.p_one_sided > 0.99);
+    }
+
+    #[test]
+    fn welch_identical_constant_samples() {
+        let a = [2.0, 2.0, 2.0];
+        let b = [2.0, 2.0, 2.0];
+        let r = welch_t_test_one_sided(&a, &b);
+        assert_eq!(r.p_one_sided, 1.0);
+    }
+
+    #[test]
+    fn welch_matches_reference_example() {
+        // Reference values computed independently (CPython, incomplete
+        // beta): t = -2.94924, df = 27.3116, two-sided p = 0.0064604.
+        let a = [
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7,
+            21.4,
+        ];
+        let b = [
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5,
+            31.3,
+        ];
+        let r = welch_t_test_one_sided(&a, &b);
+        assert!((r.t - (-2.94924)).abs() < 1e-4, "t = {}", r.t);
+        assert!((r.df - 27.3116).abs() < 1e-3, "df = {}", r.df);
+        // one-sided p for H1 a>b with negative t = 1 − 0.0064604/2.
+        assert!(
+            (r.p_one_sided - 0.99677).abs() < 1e-4,
+            "p = {}",
+            r.p_one_sided
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "samples")]
+    fn welch_requires_samples() {
+        welch_t_test_one_sided(&[1.0], &[2.0, 3.0]);
+    }
+}

@@ -1,0 +1,194 @@
+//! The news-article store.
+//!
+//! The paper's corpus mixes three portals — SeekingAlpha, The New York
+//! Times and Reuters — with very different profiles (Reuters dominates
+//! with ~172k of 200k articles). [`NewsSource`] carries that provenance so
+//! the indexing-time experiment (Fig. 4) can report per-source costs.
+
+use ncx_kg::DocId;
+use serde::{Deserialize, Serialize};
+
+/// The news portal an article came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NewsSource {
+    /// seekingalpha.com — investor-focused analysis, entity dense.
+    SeekingAlpha,
+    /// nytimes.com — general/politics reporting.
+    Nyt,
+    /// reuters.com — wire service, the bulk of the corpus.
+    Reuters,
+}
+
+impl NewsSource {
+    /// All sources in the paper's dataset-statistics order.
+    pub const ALL: [NewsSource; 3] = [
+        NewsSource::SeekingAlpha,
+        NewsSource::Nyt,
+        NewsSource::Reuters,
+    ];
+
+    /// Short display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            NewsSource::SeekingAlpha => "seekingalpha",
+            NewsSource::Nyt => "nyt",
+            NewsSource::Reuters => "reuters",
+        }
+    }
+}
+
+impl std::fmt::Display for NewsSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One news article.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NewsArticle {
+    /// Stable id within the [`DocumentStore`].
+    pub id: DocId,
+    /// Originating portal.
+    pub source: NewsSource,
+    /// Headline.
+    pub title: String,
+    /// Body text.
+    pub body: String,
+    /// Publication day as an ordinal (synthetic corpora use generation
+    /// ticks; only ordering matters).
+    pub published: u32,
+}
+
+impl NewsArticle {
+    /// Title and body joined — the text every engine indexes.
+    pub fn full_text(&self) -> String {
+        if self.title.is_empty() {
+            self.body.clone()
+        } else {
+            format!("{}. {}", self.title, self.body)
+        }
+    }
+}
+
+/// Append-only article store; `DocId` is the insertion index.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DocumentStore {
+    docs: Vec<NewsArticle>,
+}
+
+impl DocumentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an article, assigning and returning its [`DocId`].
+    pub fn add(
+        &mut self,
+        source: NewsSource,
+        title: String,
+        body: String,
+        published: u32,
+    ) -> DocId {
+        let id = DocId::from_index(self.docs.len());
+        self.docs.push(NewsArticle {
+            id,
+            source,
+            title,
+            body,
+            published,
+        });
+        id
+    }
+
+    /// Fetches an article.
+    pub fn get(&self, id: DocId) -> &NewsArticle {
+        &self.docs[id.index()]
+    }
+
+    /// Number of stored articles.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Iterates over all articles in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &NewsArticle> {
+        self.docs.iter()
+    }
+
+    /// Iterates over the ids of articles from one source.
+    pub fn by_source(&self, source: NewsSource) -> impl Iterator<Item = &NewsArticle> {
+        self.docs.iter().filter(move |d| d.source == source)
+    }
+
+    /// Article count per source, in [`NewsSource::ALL`] order.
+    pub fn source_counts(&self) -> [(NewsSource, usize); 3] {
+        let mut counts = [0usize; 3];
+        for d in &self.docs {
+            let i = NewsSource::ALL
+                .iter()
+                .position(|&s| s == d.source)
+                .expect("known source");
+            counts[i] += 1;
+        }
+        [
+            (NewsSource::ALL[0], counts[0]),
+            (NewsSource::ALL[1], counts[1]),
+            (NewsSource::ALL[2], counts[2]),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut s = DocumentStore::new();
+        let a = s.add(NewsSource::Reuters, "t1".into(), "b1".into(), 0);
+        let b = s.add(NewsSource::Nyt, "t2".into(), "b2".into(), 1);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a).title, "t1");
+    }
+
+    #[test]
+    fn full_text_joins_title_and_body() {
+        let mut s = DocumentStore::new();
+        let id = s.add(
+            NewsSource::Reuters,
+            "FTX collapses".into(),
+            "Details.".into(),
+            0,
+        );
+        assert_eq!(s.get(id).full_text(), "FTX collapses. Details.");
+        let id2 = s.add(NewsSource::Reuters, String::new(), "Only body.".into(), 0);
+        assert_eq!(s.get(id2).full_text(), "Only body.");
+    }
+
+    #[test]
+    fn filtering_by_source() {
+        let mut s = DocumentStore::new();
+        s.add(NewsSource::Reuters, "a".into(), "".into(), 0);
+        s.add(NewsSource::Nyt, "b".into(), "".into(), 0);
+        s.add(NewsSource::Reuters, "c".into(), "".into(), 0);
+        assert_eq!(s.by_source(NewsSource::Reuters).count(), 2);
+        assert_eq!(s.by_source(NewsSource::SeekingAlpha).count(), 0);
+        let counts = s.source_counts();
+        assert_eq!(counts[2], (NewsSource::Reuters, 2));
+        assert_eq!(counts[0], (NewsSource::SeekingAlpha, 0));
+    }
+
+    #[test]
+    fn source_names() {
+        assert_eq!(NewsSource::Reuters.to_string(), "reuters");
+        assert_eq!(NewsSource::SeekingAlpha.name(), "seekingalpha");
+    }
+}

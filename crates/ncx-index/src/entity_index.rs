@@ -1,0 +1,158 @@
+//! Entity → document postings with TF-IDF entity term weights.
+//!
+//! The paper's ontology relevance (Eq. 3) selects a *pivot entity* per
+//! (concept, document) pair: the matched entity with the highest term
+//! weight `tw(v, d)` in the document. This index stores, for every entity,
+//! which documents mention it and how often, and computes `tw` with the
+//! standard TF-IDF scheme over entity mentions.
+
+use ncx_kg::{DocId, InstanceId};
+use ncx_text::weighting::tf_idf;
+use rustc_hash::FxHashMap;
+
+/// Entity postings over a corpus.
+#[derive(Debug, Default, Clone)]
+pub struct EntityIndex {
+    postings: FxHashMap<InstanceId, Vec<(DocId, u32)>>,
+    /// Entities per document, with mention counts (the document's entity
+    /// "bag" used as roll-up context).
+    doc_entities: Vec<Vec<(InstanceId, u32)>>,
+}
+
+impl EntityIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the next document's entity mention counts. Must be called in
+    /// ascending [`DocId`] order; returns the assigned id.
+    pub fn add_document(&mut self, entity_counts: &FxHashMap<InstanceId, u32>) -> DocId {
+        let doc = DocId::from_index(self.doc_entities.len());
+        let mut ents: Vec<(InstanceId, u32)> =
+            entity_counts.iter().map(|(&v, &c)| (v, c)).collect();
+        ents.sort_unstable_by_key(|&(v, _)| v);
+        for &(v, c) in &ents {
+            self.postings.entry(v).or_default().push((doc, c));
+        }
+        self.doc_entities.push(ents);
+        doc
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_entities.len()
+    }
+
+    /// Number of distinct entities seen.
+    pub fn num_entities(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Documents mentioning `v`, with mention counts, ascending by doc.
+    pub fn docs_with(&self, v: InstanceId) -> &[(DocId, u32)] {
+        self.postings.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Document frequency of an entity.
+    pub fn entity_df(&self, v: InstanceId) -> u32 {
+        self.docs_with(v).len() as u32
+    }
+
+    /// Mention count of `v` in `doc`.
+    pub fn mention_count(&self, v: InstanceId, doc: DocId) -> u32 {
+        let list = self.docs_with(v);
+        match list.binary_search_by_key(&doc, |&(d, _)| d) {
+            Ok(i) => list[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Entities of a document with mention counts, ascending by entity id.
+    pub fn entities_of(&self, doc: DocId) -> &[(InstanceId, u32)] {
+        &self.doc_entities[doc.index()]
+    }
+
+    /// The entity term weight `tw(v, d)`: TF-IDF over entity mentions
+    /// (Eq. 3's "term weight reflects the importance of v in d").
+    pub fn term_weight(&self, v: InstanceId, doc: DocId) -> f64 {
+        let tf = self.mention_count(v, doc);
+        if tf == 0 {
+            return 0.0;
+        }
+        tf_idf(tf, self.entity_df(v), self.num_docs() as u32)
+    }
+
+    /// Whether `doc` mentions `v`.
+    pub fn mentions(&self, v: InstanceId, doc: DocId) -> bool {
+        self.mention_count(v, doc) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(u32, u32)]) -> FxHashMap<InstanceId, u32> {
+        pairs
+            .iter()
+            .map(|&(v, c)| (InstanceId::new(v), c))
+            .collect()
+    }
+
+    fn sample() -> EntityIndex {
+        let mut idx = EntityIndex::new();
+        idx.add_document(&counts(&[(0, 3), (1, 1)])); // d0: e0 x3, e1 x1
+        idx.add_document(&counts(&[(1, 2)])); // d1: e1 x2
+        idx.add_document(&counts(&[(0, 1), (2, 5)])); // d2: e0 x1, e2 x5
+        idx
+    }
+
+    #[test]
+    fn postings_and_counts() {
+        let idx = sample();
+        let e0 = InstanceId::new(0);
+        assert_eq!(idx.num_docs(), 3);
+        assert_eq!(idx.num_entities(), 3);
+        assert_eq!(idx.entity_df(e0), 2);
+        assert_eq!(idx.mention_count(e0, DocId::new(0)), 3);
+        assert_eq!(idx.mention_count(e0, DocId::new(1)), 0);
+        assert!(idx.mentions(e0, DocId::new(2)));
+    }
+
+    #[test]
+    fn doc_entity_bags_sorted() {
+        let idx = sample();
+        let ents = idx.entities_of(DocId::new(2));
+        assert_eq!(ents.len(), 2);
+        assert!(ents.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn term_weight_prefers_frequent_rare_entities() {
+        let idx = sample();
+        let e0 = InstanceId::new(0);
+        let e2 = InstanceId::new(2);
+        // e2: tf 5, df 1 — dominant entity of d2.
+        assert!(idx.term_weight(e2, DocId::new(2)) > idx.term_weight(e0, DocId::new(2)));
+        // absent entity weights zero
+        assert_eq!(idx.term_weight(e2, DocId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn empty_document_allowed() {
+        let mut idx = EntityIndex::new();
+        let d = idx.add_document(&FxHashMap::default());
+        assert_eq!(idx.entities_of(d).len(), 0);
+        assert_eq!(idx.num_docs(), 1);
+    }
+
+    #[test]
+    fn unknown_entity_queries() {
+        let idx = sample();
+        let ghost = InstanceId::new(99);
+        assert!(idx.docs_with(ghost).is_empty());
+        assert_eq!(idx.entity_df(ghost), 0);
+        assert_eq!(idx.term_weight(ghost, DocId::new(0)), 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Term → postings inverted index with BM25 scoring.
+
+use crate::topk::TopK;
+use ncx_kg::{DocId, TermId};
+use ncx_text::weighting::{bm25_term, Bm25Params};
+use ncx_text::Vocabulary;
+use rustc_hash::FxHashMap;
+
+/// One posting: a document and the term's frequency in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Document id.
+    pub doc: DocId,
+    /// Term frequency.
+    pub tf: u32,
+}
+
+/// An inverted index over stemmed, stopword-free terms.
+///
+/// Documents must be added in ascending [`DocId`] order (the store's
+/// natural order), which keeps postings lists sorted for free.
+#[derive(Debug, Default, Clone)]
+pub struct InvertedIndex {
+    vocab: Vocabulary,
+    postings: Vec<Vec<Posting>>,
+    doc_lens: Vec<u32>,
+    total_len: u64,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the next document's term counts. Returns its [`DocId`].
+    pub fn add_document(&mut self, term_counts: &FxHashMap<String, u32>) -> DocId {
+        let doc = DocId::from_index(self.doc_lens.len());
+        let mut doc_len = 0u64;
+        self.vocab
+            .add_document(term_counts.keys().map(String::as_str));
+        for (term, &tf) in term_counts {
+            let tid = self.vocab.intern(term);
+            if self.postings.len() <= tid.index() {
+                self.postings.resize_with(tid.index() + 1, Vec::new);
+            }
+            self.postings[tid.index()].push(Posting { doc, tf });
+            doc_len += tf as u64;
+        }
+        // Postings are appended per-term out of key order within one doc,
+        // but doc ids are monotone across documents, so each list stays
+        // sorted by doc.
+        self.doc_lens.push(doc_len as u32);
+        self.total_len += doc_len;
+        doc
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_lens.len()
+    }
+
+    /// The vocabulary behind this index.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Mean document length in terms.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_lens.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.doc_lens.len() as f64
+        }
+    }
+
+    /// Length (total term count) of one document.
+    pub fn doc_len(&self, doc: DocId) -> u32 {
+        self.doc_lens[doc.index()]
+    }
+
+    /// The postings list of a term (empty slice if unseen).
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        self.postings
+            .get(term.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Term frequency of `term` in `doc` (binary search).
+    pub fn tf(&self, term: TermId, doc: DocId) -> u32 {
+        let list = self.postings(term);
+        match list.binary_search_by_key(&doc, |p| p.doc) {
+            Ok(i) => list[i].tf,
+            Err(_) => 0,
+        }
+    }
+
+    /// BM25 retrieval: scores every document containing at least one query
+    /// term and returns the top `k` as `(doc, score)` descending.
+    pub fn search_bm25(
+        &self,
+        params: Bm25Params,
+        query_terms: &[&str],
+        k: usize,
+    ) -> Vec<(DocId, f64)> {
+        let n = self.num_docs() as u32;
+        let avg = self.avg_doc_len();
+        let mut scores: FxHashMap<DocId, f64> = FxHashMap::default();
+        for term in query_terms {
+            let Some(tid) = self.vocab.get(term) else {
+                continue;
+            };
+            let df = self.vocab.df(tid);
+            for p in self.postings(tid) {
+                let s = bm25_term(params, p.tf, df, n, self.doc_lens[p.doc.index()], avg);
+                *scores.entry(p.doc).or_insert(0.0) += s;
+            }
+        }
+        let mut top = TopK::new(k);
+        for (doc, score) in scores {
+            top.push(doc, score);
+        }
+        top.into_sorted_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, u32)]) -> FxHashMap<String, u32> {
+        pairs.iter().map(|&(t, c)| (t.to_string(), c)).collect()
+    }
+
+    fn sample_index() -> InvertedIndex {
+        let mut idx = InvertedIndex::new();
+        idx.add_document(&counts(&[("fraud", 3), ("bank", 1)]));
+        idx.add_document(&counts(&[("bank", 5), ("merger", 2)]));
+        idx.add_document(&counts(&[("fraud", 1), ("crypto", 4), ("exchange", 2)]));
+        idx
+    }
+
+    #[test]
+    fn doc_bookkeeping() {
+        let idx = sample_index();
+        assert_eq!(idx.num_docs(), 3);
+        assert_eq!(idx.doc_len(DocId::new(0)), 4);
+        assert_eq!(idx.doc_len(DocId::new(1)), 7);
+        assert!((idx.avg_doc_len() - (4.0 + 7.0 + 7.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tf_lookup() {
+        let idx = sample_index();
+        let fraud = idx.vocab().get("fraud").unwrap();
+        assert_eq!(idx.tf(fraud, DocId::new(0)), 3);
+        assert_eq!(idx.tf(fraud, DocId::new(1)), 0);
+        assert_eq!(idx.tf(fraud, DocId::new(2)), 1);
+    }
+
+    #[test]
+    fn postings_sorted_by_doc() {
+        let idx = sample_index();
+        let bank = idx.vocab().get("bank").unwrap();
+        let list = idx.postings(bank);
+        assert_eq!(list.len(), 2);
+        assert!(list.windows(2).all(|w| w[0].doc < w[1].doc));
+    }
+
+    #[test]
+    fn bm25_ranks_heavier_tf_higher() {
+        let idx = sample_index();
+        let res = idx.search_bm25(Bm25Params::default(), &["fraud"], 10);
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].0, DocId::new(0)); // tf 3 beats tf 1
+        assert!(res[0].1 > res[1].1);
+    }
+
+    #[test]
+    fn bm25_multi_term_accumulates() {
+        let idx = sample_index();
+        let res = idx.search_bm25(Bm25Params::default(), &["fraud", "crypto"], 10);
+        assert_eq!(res[0].0, DocId::new(2)); // matches both terms
+    }
+
+    #[test]
+    fn bm25_unknown_terms_are_ignored() {
+        let idx = sample_index();
+        let res = idx.search_bm25(Bm25Params::default(), &["zzz"], 10);
+        assert!(res.is_empty());
+        let res2 = idx.search_bm25(Bm25Params::default(), &["zzz", "merger"], 10);
+        assert_eq!(res2.len(), 1);
+        assert_eq!(res2[0].0, DocId::new(1));
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let idx = sample_index();
+        let res = idx.search_bm25(Bm25Params::default(), &["bank", "fraud"], 1);
+        assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn empty_index_searches_empty() {
+        let idx = InvertedIndex::new();
+        assert!(idx
+            .search_bm25(Bm25Params::default(), &["anything"], 5)
+            .is_empty());
+    }
+}

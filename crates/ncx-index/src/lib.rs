@@ -1,0 +1,26 @@
+//! # ncx-index — document store and inverted indexes
+//!
+//! Storage substrate shared by every retrieval method in the reproduction:
+//!
+//! * [`docstore`] — the news-article store with per-source metadata
+//!   (Reuters / SeekingAlpha / NYT in the paper's corpus);
+//! * [`inverted`] — a classic term → postings inverted index with BM25
+//!   scoring;
+//! * [`entity_index`] — entity → document postings with TF-IDF entity
+//!   term weights (`tw(v, d)` of Eq. 3);
+//! * [`lucene`] — the **Lucene baseline** of the paper: bag-of-words BM25
+//!   keyword retrieval over stemmed, stopword-filtered text;
+//! * [`topk`] — a bounded min-heap for top-K selection, shared by all
+//!   engines.
+
+pub mod docstore;
+pub mod entity_index;
+pub mod inverted;
+pub mod lucene;
+pub mod topk;
+
+pub use docstore::{DocumentStore, NewsArticle, NewsSource};
+pub use entity_index::EntityIndex;
+pub use inverted::{InvertedIndex, Posting};
+pub use lucene::LuceneEngine;
+pub use topk::TopK;

@@ -1,0 +1,154 @@
+//! The **Lucene baseline**: bag-of-words BM25 keyword retrieval.
+//!
+//! The paper compares against "a typical bag-of-words keyword match model
+//! \[using\] BM25 for the term weighting scheme with the default library
+//! settings". This engine tokenizes, removes stopwords, stems, and scores
+//! with BM25 (k1 = 1.2, b = 0.75 — Lucene's defaults).
+
+use crate::docstore::DocumentStore;
+use crate::inverted::InvertedIndex;
+use ncx_kg::DocId;
+use ncx_text::stemmer::stem;
+use ncx_text::stopwords::is_stopword;
+use ncx_text::tokenizer::tokenize_lower;
+use ncx_text::weighting::Bm25Params;
+use rustc_hash::FxHashMap;
+
+/// A BM25 keyword search engine.
+#[derive(Debug, Default, Clone)]
+pub struct LuceneEngine {
+    index: InvertedIndex,
+    params: Bm25Params,
+}
+
+impl LuceneEngine {
+    /// Creates an empty engine with default BM25 parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an engine with custom BM25 parameters.
+    pub fn with_params(params: Bm25Params) -> Self {
+        Self {
+            index: InvertedIndex::new(),
+            params,
+        }
+    }
+
+    /// Converts raw text to stemmed, stopword-free term counts.
+    pub fn analyze(text: &str) -> FxHashMap<String, u32> {
+        let mut counts: FxHashMap<String, u32> = FxHashMap::default();
+        for t in tokenize_lower(text) {
+            if is_stopword(&t) {
+                continue;
+            }
+            *counts.entry(stem(&t)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Indexes one document's text; returns its id (sequential).
+    pub fn index_document(&mut self, text: &str) -> DocId {
+        self.index.add_document(&Self::analyze(text))
+    }
+
+    /// Indexes a whole document store in id order.
+    pub fn index_store(&mut self, store: &DocumentStore) {
+        for article in store.iter() {
+            self.index_document(&article.full_text());
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.index.num_docs()
+    }
+
+    /// The underlying inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Keyword search: analyzes the query text and returns the top `k`
+    /// documents by BM25, descending.
+    pub fn search(&self, query: &str, k: usize) -> Vec<(DocId, f64)> {
+        let analyzed = Self::analyze(query);
+        let terms: Vec<&str> = analyzed.keys().map(String::as_str).collect();
+        self.index.search_bm25(self.params, &terms, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> LuceneEngine {
+        let mut e = LuceneEngine::new();
+        e.index_document("FTX fraud trial begins as prosecutors detail crypto fraud scheme");
+        e.index_document("Central bank raises interest rates again amid inflation fears");
+        e.index_document("Regulators probe crypto exchange over alleged fraud");
+        e
+    }
+
+    #[test]
+    fn relevant_doc_ranks_first() {
+        let e = engine();
+        let res = e.search("crypto fraud", 10);
+        assert!(!res.is_empty());
+        assert_eq!(res[0].0, DocId::new(0)); // two fraud mentions + crypto
+    }
+
+    #[test]
+    fn stopwords_in_query_ignored() {
+        let e = engine();
+        let a = e.search("the fraud of the crypto", 10);
+        let b = e.search("fraud crypto", 10);
+        let ids = |v: &Vec<(DocId, f64)>| v.iter().map(|&(d, _)| d).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b));
+    }
+
+    #[test]
+    fn stemming_bridges_inflections() {
+        let e = engine();
+        // "frauds" should still match documents containing "fraud".
+        let res = e.search("frauds", 10);
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let e = engine();
+        assert!(e.search("football", 10).is_empty());
+        assert!(e.search("", 10).is_empty());
+    }
+
+    #[test]
+    fn index_store_roundtrip() {
+        use crate::docstore::{DocumentStore, NewsSource};
+        let mut store = DocumentStore::new();
+        store.add(
+            NewsSource::Reuters,
+            "Bank fined".into(),
+            "for laundering".into(),
+            0,
+        );
+        store.add(
+            NewsSource::Nyt,
+            "Elections".into(),
+            "campaign news".into(),
+            1,
+        );
+        let mut e = LuceneEngine::new();
+        e.index_store(&store);
+        assert_eq!(e.num_docs(), 2);
+        let res = e.search("laundering bank", 5);
+        assert_eq!(res[0].0, DocId::new(0));
+    }
+
+    #[test]
+    fn analyze_counts_stems() {
+        let counts = LuceneEngine::analyze("Banks banking the banked bank");
+        assert_eq!(counts.get("bank").copied(), Some(4));
+        assert!(!counts.contains_key("the"));
+    }
+}

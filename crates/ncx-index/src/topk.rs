@@ -1,0 +1,162 @@
+//! Bounded top-K selection.
+//!
+//! Every engine in the workspace returns "top-K documents by score"; this
+//! min-heap keeps the K best items seen so far in O(n log K) with ties
+//! broken by ascending key (stable, deterministic output across runs).
+
+use std::collections::BinaryHeap;
+
+/// An item in the heap: `(score, key)` ordered so the heap root is the
+/// *worst* retained item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry<K: Ord + Copy> {
+    score: f64,
+    key: K,
+}
+
+impl<K: Ord + Copy> Eq for Entry<K> {}
+
+impl<K: Ord + Copy> PartialOrd for Entry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord + Copy> Ord for Entry<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse on score so BinaryHeap (max-heap) pops the smallest
+        // score first; ties: larger key pops first so smaller keys win.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| self.key.cmp(&other.key))
+    }
+}
+
+/// Collects the K items with the highest scores.
+#[derive(Debug, Clone)]
+pub struct TopK<K: Ord + Copy> {
+    k: usize,
+    heap: BinaryHeap<Entry<K>>,
+}
+
+impl<K: Ord + Copy> TopK<K> {
+    /// Creates a collector retaining at most `k` items.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers an item; non-finite scores are rejected.
+    pub fn push(&mut self, key: K, score: f64) {
+        if self.k == 0 || !score.is_finite() {
+            return;
+        }
+        self.heap.push(Entry { score, key });
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current threshold score (the worst retained item), if full.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|e| e.score)
+        } else {
+            None
+        }
+    }
+
+    /// Finishes, returning `(key, score)` sorted by descending score
+    /// (ties: ascending key).
+    pub fn into_sorted_vec(self) -> Vec<(K, f64)> {
+        let mut v: Vec<(K, f64)> = self.heap.into_iter().map(|e| (e.key, e.score)).collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut t = TopK::new(3);
+        for (k, s) in [(1u32, 0.5), (2, 0.9), (3, 0.1), (4, 0.7), (5, 0.3)] {
+            t.push(k, s);
+        }
+        let out = t.into_sorted_vec();
+        assert_eq!(
+            out.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![2, 4, 1]
+        );
+    }
+
+    #[test]
+    fn fewer_items_than_k() {
+        let mut t = TopK::new(10);
+        t.push(1u32, 1.0);
+        t.push(2, 2.0);
+        let out = t.into_sorted_vec();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 2);
+    }
+
+    #[test]
+    fn ties_broken_by_key() {
+        let mut t = TopK::new(2);
+        t.push(9u32, 1.0);
+        t.push(3, 1.0);
+        t.push(5, 1.0);
+        let out = t.into_sorted_vec();
+        assert_eq!(out.iter().map(|&(k, _)| k).collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    fn zero_k() {
+        let mut t = TopK::new(0);
+        t.push(1u32, 1.0);
+        assert!(t.is_empty());
+        assert!(t.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let mut t = TopK::new(2);
+        t.push(1u32, f64::NAN);
+        t.push(2, 1.0);
+        let out = t.into_sorted_vec();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2);
+    }
+
+    #[test]
+    fn threshold_reports_worst_kept() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), None);
+        t.push(1u32, 5.0);
+        assert_eq!(t.threshold(), None);
+        t.push(2, 3.0);
+        assert_eq!(t.threshold(), Some(3.0));
+        t.push(3, 4.0);
+        assert_eq!(t.threshold(), Some(4.0));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the inverted index and BM25 engine.
+
+use ncx_index::{InvertedIndex, LuceneEngine};
+use ncx_text::weighting::Bm25Params;
+use proptest::prelude::*;
+use rustc_hash::FxHashMap;
+
+fn counts(words: &[String]) -> FxHashMap<String, u32> {
+    let mut m = FxHashMap::default();
+    for w in words {
+        *m.entry(w.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    /// tf lookups agree with the source counts; postings stay sorted.
+    #[test]
+    fn index_tf_roundtrip(
+        docs in prop::collection::vec(
+            prop::collection::vec("[a-e]{1,2}", 1..12),
+            1..10,
+        ),
+    ) {
+        let mut idx = InvertedIndex::new();
+        let all_counts: Vec<FxHashMap<String, u32>> =
+            docs.iter().map(|d| counts(d)).collect();
+        for c in &all_counts {
+            idx.add_document(c);
+        }
+        for (i, c) in all_counts.iter().enumerate() {
+            let doc = ncx_kg::DocId::new(i as u32);
+            for (term, &tf) in c {
+                let tid = idx.vocab().get(term).unwrap();
+                prop_assert_eq!(idx.tf(tid, doc), tf);
+                let list = idx.postings(tid);
+                prop_assert!(list.windows(2).all(|w| w[0].doc < w[1].doc));
+            }
+        }
+    }
+
+    /// Every BM25 result actually contains at least one query term, and
+    /// scores are positive and descending.
+    #[test]
+    fn bm25_results_contain_query_terms(
+        docs in prop::collection::vec(
+            prop::collection::vec("[a-e]{1,2}", 1..12),
+            1..10,
+        ),
+        query in prop::collection::vec("[a-e]{1,2}", 1..4),
+    ) {
+        let mut idx = InvertedIndex::new();
+        let all_counts: Vec<FxHashMap<String, u32>> =
+            docs.iter().map(|d| counts(d)).collect();
+        for c in &all_counts {
+            idx.add_document(c);
+        }
+        let qrefs: Vec<&str> = query.iter().map(String::as_str).collect();
+        let res = idx.search_bm25(Bm25Params::default(), &qrefs, 100);
+        let mut prev = f64::INFINITY;
+        for (doc, score) in res {
+            prop_assert!(score > 0.0);
+            prop_assert!(score <= prev);
+            prev = score;
+            let has = query.iter().any(|t| all_counts[doc.index()].contains_key(t));
+            prop_assert!(has, "result without any query term");
+        }
+    }
+
+    /// The analyzer never produces stopwords or empty terms.
+    #[test]
+    fn analyzer_output_clean(text in ".{0,200}") {
+        for term in LuceneEngine::analyze(&text).keys() {
+            prop_assert!(!term.is_empty());
+            prop_assert!(!ncx_text::stopwords::is_stopword(term));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Mutable construction of a [`KnowledgeGraph`].
+//!
+//! The builder deduplicates nodes by label and edges by endpoint pair,
+//! sorts all adjacency rows, and produces the immutable CSR representation
+//! in one pass.
+
+use crate::graph::{Csr, KnowledgeGraph};
+use crate::ids::{ConceptId, InstanceId, RelationId, Symbol};
+use crate::interner::Interner;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Builder for [`KnowledgeGraph`]. See crate docs for an example.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    interner: Interner,
+
+    concept_labels: Vec<Symbol>,
+    concept_by_label: FxHashMap<Symbol, ConceptId>,
+    broader_edges: FxHashSet<(ConceptId, ConceptId)>,
+
+    instance_labels: Vec<Symbol>,
+    instance_by_label: FxHashMap<Symbol, InstanceId>,
+    instance_aliases: Vec<Vec<Symbol>>,
+
+    relation_labels: Vec<Symbol>,
+    relation_by_label: FxHashMap<Symbol, RelationId>,
+    // undirected facts keyed by normalised (min, max) endpoints
+    facts: FxHashMap<(InstanceId, InstanceId), RelationId>,
+
+    memberships: FxHashSet<(ConceptId, InstanceId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or finds) a concept node by label.
+    pub fn concept(&mut self, label: &str) -> ConceptId {
+        let sym = self.interner.intern(label);
+        if let Some(&c) = self.concept_by_label.get(&sym) {
+            return c;
+        }
+        let c = ConceptId::from_index(self.concept_labels.len());
+        self.concept_labels.push(sym);
+        self.concept_by_label.insert(sym, c);
+        c
+    }
+
+    /// Adds (or finds) an instance node by label.
+    pub fn instance(&mut self, label: &str) -> InstanceId {
+        let sym = self.interner.intern(label);
+        if let Some(&v) = self.instance_by_label.get(&sym) {
+            return v;
+        }
+        let v = InstanceId::from_index(self.instance_labels.len());
+        self.instance_labels.push(sym);
+        self.instance_by_label.insert(sym, v);
+        self.instance_aliases.push(Vec::new());
+        v
+    }
+
+    /// Registers an alias surface form for an instance (used by the entity
+    /// linker, e.g. "Meta" for "Meta Platforms").
+    pub fn alias(&mut self, v: InstanceId, alias: &str) {
+        let sym = self.interner.intern(alias);
+        let aliases = &mut self.instance_aliases[v.index()];
+        if !aliases.contains(&sym) {
+            aliases.push(sym);
+        }
+    }
+
+    /// Adds (or finds) a relation label.
+    pub fn relation(&mut self, label: &str) -> RelationId {
+        let sym = self.interner.intern(label);
+        if let Some(&r) = self.relation_by_label.get(&sym) {
+            return r;
+        }
+        let r = RelationId::from_index(self.relation_labels.len());
+        self.relation_labels.push(sym);
+        self.relation_by_label.insert(sym, r);
+        r
+    }
+
+    /// Adds a `broader` edge: `child` is-a-kind-of `parent`.
+    /// Self-loops and duplicates are ignored.
+    pub fn broader(&mut self, child: ConceptId, parent: ConceptId) {
+        if child != parent {
+            self.broader_edges.insert((child, parent));
+        }
+    }
+
+    /// Adds an undirected fact edge between two instances with a relation
+    /// label. Self-loops are ignored; re-adding an existing pair keeps the
+    /// first relation (the graph is a multigraph in the paper, but parallel
+    /// edges do not change simple-path semantics, so we store one).
+    pub fn fact(&mut self, u: InstanceId, rel: &str, v: InstanceId) {
+        if u == v {
+            return;
+        }
+        let r = self.relation(rel);
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.facts.entry(key).or_insert(r);
+    }
+
+    /// Declares `v ∈ Ψ(c)`.
+    pub fn member(&mut self, c: ConceptId, v: InstanceId) {
+        self.memberships.insert((c, v));
+    }
+
+    /// Number of concepts added so far.
+    pub fn num_concepts(&self) -> usize {
+        self.concept_labels.len()
+    }
+
+    /// Number of instances added so far.
+    pub fn num_instances(&self) -> usize {
+        self.instance_labels.len()
+    }
+
+    /// Number of undirected facts added so far.
+    pub fn num_facts(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Finalises into the immutable [`KnowledgeGraph`].
+    pub fn build(self) -> KnowledgeGraph {
+        let nc = self.concept_labels.len();
+        let ni = self.instance_labels.len();
+
+        // ---- concept taxonomy ----
+        let mut broader_lists: Vec<Vec<ConceptId>> = vec![Vec::new(); nc];
+        let mut narrower_lists: Vec<Vec<ConceptId>> = vec![Vec::new(); nc];
+        for &(child, parent) in &self.broader_edges {
+            broader_lists[child.index()].push(parent);
+            narrower_lists[parent.index()].push(child);
+        }
+        for l in broader_lists.iter_mut().chain(narrower_lists.iter_mut()) {
+            l.sort_unstable();
+        }
+
+        // ---- instance adjacency (bidirected: store both directions) ----
+        let mut adj_lists: Vec<Vec<(InstanceId, RelationId)>> = vec![Vec::new(); ni];
+        for (&(u, v), &r) in &self.facts {
+            adj_lists[u.index()].push((v, r));
+            adj_lists[v.index()].push((u, r));
+        }
+        let mut adj_targets: Vec<Vec<InstanceId>> = Vec::with_capacity(ni);
+        let mut adj_rels: Vec<RelationId> = Vec::with_capacity(self.facts.len() * 2);
+        for l in &mut adj_lists {
+            l.sort_unstable_by_key(|&(t, _)| t);
+            adj_targets.push(l.iter().map(|&(t, _)| t).collect());
+            adj_rels.extend(l.iter().map(|&(_, r)| r));
+        }
+
+        // ---- ontology relation ----
+        let mut psi_lists: Vec<Vec<InstanceId>> = vec![Vec::new(); nc];
+        let mut psi_inv_lists: Vec<Vec<ConceptId>> = vec![Vec::new(); ni];
+        for &(c, v) in &self.memberships {
+            psi_lists[c.index()].push(v);
+            psi_inv_lists[v.index()].push(c);
+        }
+        for l in &mut psi_lists {
+            l.sort_unstable();
+        }
+        for l in &mut psi_inv_lists {
+            l.sort_unstable();
+        }
+
+        KnowledgeGraph {
+            interner: self.interner,
+            concept_labels: self.concept_labels,
+            concept_by_label: self.concept_by_label,
+            broader: Csr::from_lists(&broader_lists),
+            narrower: Csr::from_lists(&narrower_lists),
+            instance_labels: self.instance_labels,
+            instance_by_label: self.instance_by_label,
+            instance_aliases: self
+                .instance_aliases
+                .into_iter()
+                .map(Vec::into_boxed_slice)
+                .collect(),
+            adj: Csr::from_lists(&adj_targets),
+            adj_rels,
+            relation_labels: self.relation_labels,
+            psi: Csr::from_lists(&psi_lists),
+            psi_inv: Csr::from_lists(&psi_inv_lists),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_dedup_by_label() {
+        let mut b = GraphBuilder::new();
+        let a = b.instance("FTX");
+        let a2 = b.instance("FTX");
+        assert_eq!(a, a2);
+        assert_eq!(b.num_instances(), 1);
+        let c = b.concept("Company");
+        let c2 = b.concept("Company");
+        assert_eq!(c, c2);
+        assert_eq!(b.num_concepts(), 1);
+    }
+
+    #[test]
+    fn facts_dedup_and_ignore_self_loops() {
+        let mut b = GraphBuilder::new();
+        let u = b.instance("a");
+        let v = b.instance("b");
+        b.fact(u, "rel", v);
+        b.fact(v, "rel", u);
+        b.fact(u, "rel2", v);
+        b.fact(u, "self", u);
+        assert_eq!(b.num_facts(), 1);
+        let g = b.build();
+        assert_eq!(g.num_instance_edges(), 2);
+    }
+
+    #[test]
+    fn broader_ignores_self_loop() {
+        let mut b = GraphBuilder::new();
+        let c = b.concept("X");
+        b.broader(c, c);
+        let g = b.build();
+        assert_eq!(g.num_broader_edges(), 0);
+    }
+
+    #[test]
+    fn aliases_dedup() {
+        let mut b = GraphBuilder::new();
+        let v = b.instance("Meta Platforms");
+        b.alias(v, "Meta");
+        b.alias(v, "Facebook");
+        b.alias(v, "Meta");
+        let g = b.build();
+        let aliases: Vec<&str> = g.instance_aliases(v).collect();
+        assert_eq!(aliases, vec!["Meta", "Facebook"]);
+    }
+
+    #[test]
+    fn membership_dedup() {
+        let mut b = GraphBuilder::new();
+        let c = b.concept("Company");
+        let v = b.instance("FTX");
+        b.member(c, v);
+        b.member(c, v);
+        let g = b.build();
+        assert_eq!(g.num_memberships(), 1);
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_concepts(), 0);
+        assert_eq!(g.num_instances(), 0);
+        assert_eq!(g.num_instance_edges(), 0);
+    }
+
+    #[test]
+    fn relation_rows_parallel_to_targets() {
+        let mut b = GraphBuilder::new();
+        let u = b.instance("u");
+        let x = b.instance("x");
+        let y = b.instance("y");
+        b.fact(u, "r1", x);
+        b.fact(u, "r2", y);
+        let g = b.build();
+        for (t, r) in g.neighbors_with_relations(u) {
+            let expect = if t == x { "r1" } else { "r2" };
+            assert_eq!(g.relation_label(r), expect);
+        }
+    }
+}

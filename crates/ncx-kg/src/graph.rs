@@ -1,0 +1,376 @@
+//! The immutable knowledge-graph storage.
+//!
+//! A [`KnowledgeGraph`] is built once (via [`crate::builder::GraphBuilder`])
+//! and then queried read-only from many threads. All adjacency is stored in
+//! compressed sparse row (CSR) form with sorted neighbour lists, so
+//! membership tests are binary searches and traversal touches contiguous
+//! memory.
+
+use crate::ids::{ConceptId, InstanceId, RelationId, Symbol};
+use crate::interner::Interner;
+
+/// A compressed-sparse-row adjacency list with `u32`-typed targets.
+#[derive(Debug, Clone)]
+pub struct Csr<T> {
+    offsets: Vec<usize>,
+    targets: Vec<T>,
+}
+
+impl<T> Default for Csr<T> {
+    fn default() -> Self {
+        Self {
+            offsets: vec![0],
+            targets: Vec::new(),
+        }
+    }
+}
+
+impl<T: Copy> Csr<T> {
+    /// Builds a CSR from per-source neighbour lists.
+    pub fn from_lists(lists: &[Vec<T>]) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut targets = Vec::with_capacity(total);
+        offsets.push(0);
+        for l in lists {
+            targets.extend_from_slice(l);
+            offsets.push(targets.len());
+        }
+        Self { offsets, targets }
+    }
+
+    /// Neighbour slice of source `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Half-open target range of source `i` (for parallel arrays).
+    #[inline]
+    pub fn range(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
+    /// Number of sources.
+    pub fn num_sources(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of stored targets.
+    pub fn num_targets(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// The bidirected multigraph `G = (V_C ∪ V_I, E_C ∪ E_I, Ψ)` of the paper.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeGraph {
+    pub(crate) interner: Interner,
+
+    // ---- concept space V_C ----
+    pub(crate) concept_labels: Vec<Symbol>,
+    pub(crate) concept_by_label: rustc_hash::FxHashMap<Symbol, ConceptId>,
+    /// `broader` edges: concept -> more general concepts.
+    pub(crate) broader: Csr<ConceptId>,
+    /// inverse of `broader`: concept -> more specific concepts.
+    pub(crate) narrower: Csr<ConceptId>,
+
+    // ---- instance space V_I ----
+    pub(crate) instance_labels: Vec<Symbol>,
+    pub(crate) instance_by_label: rustc_hash::FxHashMap<Symbol, InstanceId>,
+    pub(crate) instance_aliases: Vec<Box<[Symbol]>>,
+    /// Bidirected fact edges (each undirected fact stored both ways).
+    pub(crate) adj: Csr<InstanceId>,
+    /// Relation label of each stored edge, parallel to `adj` targets.
+    pub(crate) adj_rels: Vec<RelationId>,
+    pub(crate) relation_labels: Vec<Symbol>,
+
+    // ---- ontology relation Ψ ----
+    /// `Ψ(c)`: concept -> sorted member instances.
+    pub(crate) psi: Csr<InstanceId>,
+    /// `Ψ⁻¹(v)`: instance -> sorted concepts it instantiates.
+    pub(crate) psi_inv: Csr<ConceptId>,
+}
+
+impl KnowledgeGraph {
+    /// Number of concept nodes `|V_C|`.
+    pub fn num_concepts(&self) -> usize {
+        self.concept_labels.len()
+    }
+
+    /// Number of instance nodes `|V_I|`.
+    pub fn num_instances(&self) -> usize {
+        self.instance_labels.len()
+    }
+
+    /// Number of stored (directed) instance edges. The undirected fact count
+    /// is half of this, matching the paper's bidirected construction.
+    pub fn num_instance_edges(&self) -> usize {
+        self.adj.num_targets()
+    }
+
+    /// Number of `broader` edges in the concept taxonomy.
+    pub fn num_broader_edges(&self) -> usize {
+        self.broader.num_targets()
+    }
+
+    /// Number of distinct relation labels.
+    pub fn num_relations(&self) -> usize {
+        self.relation_labels.len()
+    }
+
+    /// Total `Ψ` membership pairs.
+    pub fn num_memberships(&self) -> usize {
+        self.psi.num_targets()
+    }
+
+    // ---- label access ----
+
+    /// The string interner backing all labels.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Label of a concept.
+    pub fn concept_label(&self, c: ConceptId) -> &str {
+        self.interner.resolve(self.concept_labels[c.index()])
+    }
+
+    /// Label of an instance entity.
+    pub fn instance_label(&self, v: InstanceId) -> &str {
+        self.interner.resolve(self.instance_labels[v.index()])
+    }
+
+    /// Label of a relation.
+    pub fn relation_label(&self, r: RelationId) -> &str {
+        self.interner.resolve(self.relation_labels[r.index()])
+    }
+
+    /// Alias surface forms of an instance (not including its primary label).
+    pub fn instance_aliases(&self, v: InstanceId) -> impl Iterator<Item = &str> {
+        self.instance_aliases[v.index()]
+            .iter()
+            .map(|s| self.interner.resolve(*s))
+    }
+
+    /// Looks up a concept by its exact label.
+    pub fn concept_by_name(&self, name: &str) -> Option<ConceptId> {
+        let sym = self.interner.get(name)?;
+        self.concept_by_label.get(&sym).copied()
+    }
+
+    /// Looks up an instance by its exact label.
+    pub fn instance_by_name(&self, name: &str) -> Option<InstanceId> {
+        let sym = self.interner.get(name)?;
+        self.instance_by_label.get(&sym).copied()
+    }
+
+    // ---- instance space ----
+
+    /// Sorted neighbours of `v` in the instance space.
+    #[inline]
+    pub fn neighbors(&self, v: InstanceId) -> &[InstanceId] {
+        self.adj.row(v.index())
+    }
+
+    /// Degree of `v` in the (bidirected) instance space.
+    #[inline]
+    pub fn degree(&self, v: InstanceId) -> usize {
+        self.adj.row(v.index()).len()
+    }
+
+    /// Neighbours of `v` with the relation label on each edge.
+    pub fn neighbors_with_relations(
+        &self,
+        v: InstanceId,
+    ) -> impl Iterator<Item = (InstanceId, RelationId)> + '_ {
+        let range = self.adj.range(v.index());
+        self.adj
+            .row(v.index())
+            .iter()
+            .copied()
+            .zip(self.adj_rels[range].iter().copied())
+    }
+
+    /// Whether an instance edge `u – v` exists (binary search on sorted row).
+    pub fn has_edge(&self, u: InstanceId, v: InstanceId) -> bool {
+        self.adj.row(u.index()).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all instance ids.
+    pub fn instances(&self) -> impl Iterator<Item = InstanceId> {
+        (0..self.num_instances() as u32).map(InstanceId::new)
+    }
+
+    // ---- concept space ----
+
+    /// `broader` parents of concept `c` (more general concepts).
+    #[inline]
+    pub fn broader_of(&self, c: ConceptId) -> &[ConceptId] {
+        self.broader.row(c.index())
+    }
+
+    /// `narrower` children of concept `c` (more specific concepts).
+    #[inline]
+    pub fn narrower_of(&self, c: ConceptId) -> &[ConceptId] {
+        self.narrower.row(c.index())
+    }
+
+    /// Iterates over all concept ids.
+    pub fn concepts(&self) -> impl Iterator<Item = ConceptId> {
+        (0..self.num_concepts() as u32).map(ConceptId::new)
+    }
+
+    // ---- ontology relation Ψ ----
+
+    /// `Ψ(c)`: sorted member instances of a concept.
+    #[inline]
+    pub fn members(&self, c: ConceptId) -> &[InstanceId] {
+        self.psi.row(c.index())
+    }
+
+    /// `Ψ⁻¹(v)`: sorted concepts the instance belongs to (direct types only;
+    /// see [`crate::ontology`] for transitive closure along `broader`).
+    #[inline]
+    pub fn concepts_of(&self, v: InstanceId) -> &[ConceptId] {
+        self.psi_inv.row(v.index())
+    }
+
+    /// Whether `v ∈ Ψ(c)`.
+    #[inline]
+    pub fn is_member(&self, c: ConceptId, v: InstanceId) -> bool {
+        self.psi.row(c.index()).binary_search(&v).is_ok()
+    }
+
+    /// Concept specificity `log(|V_I| / |Ψ(c)|)` (natural log), the weight
+    /// used by both Eq. 3 (ontology relevance) and the drill-down
+    /// specificity factor. A concept with no members has specificity 0 so it
+    /// can never dominate a ranking.
+    pub fn specificity(&self, c: ConceptId) -> f64 {
+        let m = self.members(c).len();
+        if m == 0 || self.num_instances() == 0 {
+            return 0.0;
+        }
+        (self.num_instances() as f64 / m as f64).ln().max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn tiny() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let org = b.concept("Organization");
+        let exch = b.concept("Bitcoin Exchange");
+        b.broader(exch, org);
+        let ftx = b.instance("FTX");
+        let bnb = b.instance("Binance");
+        let sbf = b.instance("Sam Bankman-Fried");
+        b.member(exch, ftx);
+        b.member(exch, bnb);
+        b.member(org, ftx);
+        b.fact(ftx, "foundedBy", sbf);
+        b.fact(ftx, "competitor", bnb);
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = tiny();
+        assert_eq!(g.num_concepts(), 2);
+        assert_eq!(g.num_instances(), 3);
+        // two undirected facts -> four directed edges
+        assert_eq!(g.num_instance_edges(), 4);
+        assert_eq!(g.num_broader_edges(), 1);
+        assert_eq!(g.num_memberships(), 3);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let g = tiny();
+        let exch = g.concept_by_name("Bitcoin Exchange").unwrap();
+        assert_eq!(g.concept_label(exch), "Bitcoin Exchange");
+        let ftx = g.instance_by_name("FTX").unwrap();
+        assert_eq!(g.instance_label(ftx), "FTX");
+        assert_eq!(g.concept_by_name("nope"), None);
+        assert_eq!(g.instance_by_name("nope"), None);
+    }
+
+    #[test]
+    fn bidirected_edges() {
+        let g = tiny();
+        let ftx = g.instance_by_name("FTX").unwrap();
+        let sbf = g.instance_by_name("Sam Bankman-Fried").unwrap();
+        assert!(g.has_edge(ftx, sbf));
+        assert!(g.has_edge(sbf, ftx));
+        assert_eq!(g.degree(ftx), 2);
+        assert_eq!(g.degree(sbf), 1);
+    }
+
+    #[test]
+    fn relations_preserved() {
+        let g = tiny();
+        let ftx = g.instance_by_name("FTX").unwrap();
+        let rels: Vec<&str> = g
+            .neighbors_with_relations(ftx)
+            .map(|(_, r)| g.relation_label(r))
+            .collect();
+        assert!(rels.contains(&"foundedBy"));
+        assert!(rels.contains(&"competitor"));
+    }
+
+    #[test]
+    fn ontology_relation() {
+        let g = tiny();
+        let exch = g.concept_by_name("Bitcoin Exchange").unwrap();
+        let org = g.concept_by_name("Organization").unwrap();
+        let ftx = g.instance_by_name("FTX").unwrap();
+        let sbf = g.instance_by_name("Sam Bankman-Fried").unwrap();
+        assert!(g.is_member(exch, ftx));
+        assert!(!g.is_member(exch, sbf));
+        assert_eq!(g.members(exch).len(), 2);
+        assert_eq!(g.concepts_of(ftx), &[org, exch]);
+        assert!(g.concepts_of(sbf).is_empty());
+    }
+
+    #[test]
+    fn taxonomy_edges() {
+        let g = tiny();
+        let exch = g.concept_by_name("Bitcoin Exchange").unwrap();
+        let org = g.concept_by_name("Organization").unwrap();
+        assert_eq!(g.broader_of(exch), &[org]);
+        assert_eq!(g.narrower_of(org), &[exch]);
+        assert!(g.broader_of(org).is_empty());
+    }
+
+    #[test]
+    fn specificity_monotone_in_membership() {
+        let g = tiny();
+        let exch = g.concept_by_name("Bitcoin Exchange").unwrap();
+        let org = g.concept_by_name("Organization").unwrap();
+        // |Ψ(exchange)| = 2 > |Ψ(org)| = 1, so org is *more* specific here.
+        assert!(g.specificity(org) > g.specificity(exch));
+        assert!(g.specificity(exch) > 0.0);
+    }
+
+    #[test]
+    fn neighbor_rows_are_sorted() {
+        let g = tiny();
+        for v in g.instances() {
+            let row = g.neighbors(v);
+            assert!(row.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn csr_from_lists_roundtrip() {
+        let csr = Csr::from_lists(&[vec![1u32, 2], vec![], vec![0]]);
+        assert_eq!(csr.num_sources(), 3);
+        assert_eq!(csr.num_targets(), 3);
+        assert_eq!(csr.row(0), &[1, 2]);
+        assert_eq!(csr.row(1), &[] as &[u32]);
+        assert_eq!(csr.row(2), &[0]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Strongly-typed identifiers used across the workspace.
+//!
+//! All identifiers are `u32` newtypes: the paper's largest graph (DBpedia
+//! 2021-06, 5.2 M nodes) fits comfortably, and 4-byte ids keep adjacency
+//! arrays and postings cache-friendly (see the Rust Performance Book's
+//! "Smaller Integers" guidance).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[repr(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw index widened to `usize` for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs from a `usize` index, panicking on overflow.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize, "id overflow");
+                Self(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(v: $name) -> usize {
+                v.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A node in the KG **concept space** `V_C` (e.g. *Bitcoin Exchange*).
+    ConceptId,
+    "c"
+);
+id_type!(
+    /// A node in the KG **instance space** `V_I` (e.g. *FTX*).
+    InstanceId,
+    "i"
+);
+id_type!(
+    /// A relation (edge label) in the instance space (e.g. `foundedBy`).
+    RelationId,
+    "r"
+);
+id_type!(
+    /// An interned string.
+    Symbol,
+    "s"
+);
+id_type!(
+    /// A document in the news corpus.
+    DocId,
+    "d"
+);
+id_type!(
+    /// A term in the text vocabulary.
+    TermId,
+    "t"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw() {
+        let c = ConceptId::new(42);
+        assert_eq!(c.raw(), 42);
+        assert_eq!(c.index(), 42usize);
+        assert_eq!(ConceptId::from_index(42), c);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(InstanceId::new(1) < InstanceId::new(2));
+        assert_eq!(InstanceId::new(7), InstanceId::new(7));
+    }
+
+    #[test]
+    fn debug_formats_with_tag() {
+        assert_eq!(format!("{:?}", ConceptId::new(3)), "c3");
+        assert_eq!(format!("{}", InstanceId::new(9)), "i9");
+        assert_eq!(format!("{:?}", DocId::new(0)), "d0");
+    }
+
+    #[test]
+    fn usize_conversion() {
+        let d: usize = DocId::new(5).into();
+        assert_eq!(d, 5);
+    }
+
+    #[test]
+    fn ids_are_four_bytes() {
+        assert_eq!(std::mem::size_of::<ConceptId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<InstanceId>>(), 8);
+    }
+}

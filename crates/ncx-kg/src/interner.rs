@@ -1,0 +1,131 @@
+//! A simple string interner.
+//!
+//! Every human-readable name in the system (entity labels, concept labels,
+//! relation names, aliases) lives in one [`Interner`] so that the rest of
+//! the code can pass 4-byte [`Symbol`]s around instead of `String`s.
+
+use crate::ids::Symbol;
+use rustc_hash::FxHashMap;
+
+/// Interns strings, handing out stable [`Symbol`] ids.
+///
+/// Lookup by string is `O(1)` (hash map); lookup by symbol is `O(1)`
+/// (vector index). Interning the same string twice returns the same symbol.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner with room for `cap` strings.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            map: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+            strings: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Interns `s`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol::from_index(self.strings.len());
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Returns the symbol for `s` if it has been interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol::from_index(i), &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("FTX");
+        let b = i.intern("FTX");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("FTX");
+        let b = i.intern("Binance");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "FTX");
+        assert_eq!(i.resolve(b), "Binance");
+    }
+
+    #[test]
+    fn get_without_interning() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("missing"), None);
+        let s = i.intern("present");
+        assert_eq!(i.get("present"), Some(s));
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let pairs: Vec<_> = i.iter().collect();
+        assert_eq!(pairs, vec![(a, "a"), (b, "b")]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+
+    #[test]
+    fn unicode_labels() {
+        let mut i = Interner::new();
+        let s = i.intern("Société Générale");
+        assert_eq!(i.resolve(s), "Société Générale");
+    }
+}

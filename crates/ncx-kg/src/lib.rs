@@ -1,0 +1,60 @@
+//! # ncx-kg — knowledge-graph substrate for NCExplorer
+//!
+//! This crate implements the knowledge-graph model of the NCExplorer paper
+//! (ICDE 2024): a bidirected multigraph `G = (V_C ∪ V_I, E_C ∪ E_I, Ψ)`
+//! where
+//!
+//! * `V_C` is the **concept space** (ontology nodes such as *Bitcoin
+//!   Exchange*), connected by `broader` edges `E_C` forming a taxonomy DAG;
+//! * `V_I` is the **instance space** (fact entities such as *FTX*),
+//!   connected by typed fact edges `E_I` (each edge is stored in both
+//!   directions, matching the paper's bidirected construction);
+//! * `Ψ : V_C → 2^{V_I}` is the **ontology relation** mapping a concept to
+//!   its member instances, with inverse `Ψ⁻¹` mapping an instance to the
+//!   concepts it instantiates.
+//!
+//! On top of the storage layer the crate provides the graph primitives the
+//! paper's ranking machinery needs:
+//!
+//! * hop-bounded BFS ([`traversal`]),
+//! * hop-constrained *simple* s-t path counting and enumeration with
+//!   distance-barrier pruning ([`paths`]), used by the exact connectivity
+//!   score (Eq. 4 of the paper),
+//! * taxonomy utilities for roll-up chains ([`ontology`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ncx_kg::builder::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! let exchange = b.concept("Bitcoin Exchange");
+//! let company = b.concept("Company");
+//! b.broader(exchange, company);
+//! let ftx = b.instance("FTX");
+//! let binance = b.instance("Binance");
+//! b.member(exchange, ftx);
+//! b.member(exchange, binance);
+//! b.fact(ftx, "competitor", binance);
+//! let kg = b.build();
+//!
+//! assert_eq!(kg.members(exchange).len(), 2);
+//! assert!(kg.broader_of(exchange).contains(&company));
+//! assert_eq!(kg.neighbors(ftx), &[binance]);
+//! ```
+
+pub mod builder;
+pub mod graph;
+pub mod ids;
+pub mod interner;
+pub mod ontology;
+pub mod paths;
+pub mod snapshot;
+pub mod stats;
+pub mod subgraph;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use graph::KnowledgeGraph;
+pub use ids::{ConceptId, DocId, InstanceId, RelationId, Symbol, TermId};
+pub use interner::Interner;

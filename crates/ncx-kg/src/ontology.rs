@@ -1,0 +1,251 @@
+//! Taxonomy utilities over the concept space.
+//!
+//! Roll-up replaces an entity with one of its concepts and can then climb
+//! the `broader` hierarchy; drill-down needs descendant closures to decide
+//! whether a candidate subtopic specialises the query. These helpers are
+//! pure graph algorithms over the `broader`/`narrower` CSR rows.
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::{ConceptId, InstanceId};
+use rustc_hash::FxHashSet;
+
+/// All ancestors of `c` along `broader` edges (excluding `c`), BFS order.
+pub fn ancestors(kg: &KnowledgeGraph, c: ConceptId) -> Vec<ConceptId> {
+    closure(kg, c, |g, x| g.broader_of(x))
+}
+
+/// All descendants of `c` along `narrower` edges (excluding `c`), BFS order.
+pub fn descendants(kg: &KnowledgeGraph, c: ConceptId) -> Vec<ConceptId> {
+    closure(kg, c, |g, x| g.narrower_of(x))
+}
+
+fn closure<'g>(
+    kg: &'g KnowledgeGraph,
+    c: ConceptId,
+    step: impl Fn(&'g KnowledgeGraph, ConceptId) -> &'g [ConceptId],
+) -> Vec<ConceptId> {
+    let mut seen = FxHashSet::default();
+    seen.insert(c);
+    let mut order = Vec::new();
+    let mut frontier = vec![c];
+    while let Some(x) = frontier.pop() {
+        for &p in step(kg, x) {
+            if seen.insert(p) {
+                order.push(p);
+                frontier.push(p);
+            }
+        }
+    }
+    order
+}
+
+/// Whether `general` is reachable from `specific` along `broader` edges
+/// (i.e. `specific` roll-ups to `general`). A concept subsumes itself.
+pub fn subsumes(kg: &KnowledgeGraph, general: ConceptId, specific: ConceptId) -> bool {
+    if general == specific {
+        return true;
+    }
+    let mut seen = FxHashSet::default();
+    seen.insert(specific);
+    let mut frontier = vec![specific];
+    while let Some(x) = frontier.pop() {
+        for &p in kg.broader_of(x) {
+            if p == general {
+                return true;
+            }
+            if seen.insert(p) {
+                frontier.push(p);
+            }
+        }
+    }
+    false
+}
+
+/// Roll-up options for an instance entity: its direct concepts `Ψ⁻¹(v)`
+/// followed by each level of `broader` ancestors, ordered near-to-far and
+/// deduplicated. `max_levels` bounds the climb (0 = direct concepts only).
+pub fn rollup_options(kg: &KnowledgeGraph, v: InstanceId, max_levels: usize) -> Vec<ConceptId> {
+    let mut seen: FxHashSet<ConceptId> = FxHashSet::default();
+    let mut out = Vec::new();
+    let mut level: Vec<ConceptId> = Vec::new();
+    for &c in kg.concepts_of(v) {
+        if seen.insert(c) {
+            out.push(c);
+            level.push(c);
+        }
+    }
+    for _ in 0..max_levels {
+        let mut next = Vec::new();
+        for &c in &level {
+            for &p in kg.broader_of(c) {
+                if seen.insert(p) {
+                    out.push(p);
+                    next.push(p);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        level = next;
+    }
+    out
+}
+
+/// Members of `c` including those of all descendant concepts (the
+/// "extended Ψ" used when a broad concept has few direct instances).
+pub fn extended_members(kg: &KnowledgeGraph, c: ConceptId) -> Vec<InstanceId> {
+    let mut set: FxHashSet<InstanceId> = kg.members(c).iter().copied().collect();
+    for d in descendants(kg, c) {
+        set.extend(kg.members(d).iter().copied());
+    }
+    let mut v: Vec<InstanceId> = set.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Depth of a concept: longest `broader` chain from `c` to a root, capped
+/// at `cap` to tolerate cycles in noisy ontologies.
+pub fn depth(kg: &KnowledgeGraph, c: ConceptId, cap: usize) -> usize {
+    let mut frontier = vec![c];
+    let mut seen = FxHashSet::default();
+    seen.insert(c);
+    let mut d = 0;
+    while d < cap {
+        let mut next = Vec::new();
+        for &x in &frontier {
+            for &p in kg.broader_of(x) {
+                if seen.insert(p) {
+                    next.push(p);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        d += 1;
+        frontier = next;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// taxonomy:  Thing <- Organization <- Company <- {Bank, Exchange}
+    fn taxo() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let thing = b.concept("Thing");
+        let org = b.concept("Organization");
+        let company = b.concept("Company");
+        let bank = b.concept("Bank");
+        let exch = b.concept("Exchange");
+        b.broader(org, thing);
+        b.broader(company, org);
+        b.broader(bank, company);
+        b.broader(exch, company);
+        let dbs = b.instance("DBS");
+        let ftx = b.instance("FTX");
+        b.member(bank, dbs);
+        b.member(exch, ftx);
+        b.member(company, ftx);
+        b.build()
+    }
+
+    #[test]
+    fn ancestors_climb_to_root() {
+        let g = taxo();
+        let bank = g.concept_by_name("Bank").unwrap();
+        let names: Vec<&str> = ancestors(&g, bank)
+            .into_iter()
+            .map(|c| g.concept_label(c))
+            .collect();
+        assert_eq!(names, vec!["Company", "Organization", "Thing"]);
+    }
+
+    #[test]
+    fn descendants_reach_leaves() {
+        let g = taxo();
+        let org = g.concept_by_name("Organization").unwrap();
+        let mut names: Vec<&str> = descendants(&g, org)
+            .into_iter()
+            .map(|c| g.concept_label(c))
+            .collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["Bank", "Company", "Exchange"]);
+    }
+
+    #[test]
+    fn subsumption() {
+        let g = taxo();
+        let thing = g.concept_by_name("Thing").unwrap();
+        let bank = g.concept_by_name("Bank").unwrap();
+        let exch = g.concept_by_name("Exchange").unwrap();
+        assert!(subsumes(&g, thing, bank));
+        assert!(!subsumes(&g, bank, thing));
+        assert!(!subsumes(&g, bank, exch));
+        assert!(subsumes(&g, bank, bank));
+    }
+
+    #[test]
+    fn rollup_options_ordered_near_to_far() {
+        let g = taxo();
+        let ftx = g.instance_by_name("FTX").unwrap();
+        let names: Vec<&str> = rollup_options(&g, ftx, 10)
+            .into_iter()
+            .map(|c| g.concept_label(c))
+            .collect();
+        // direct types first (Company, Exchange — sorted by id), then the
+        // broader climb.
+        assert_eq!(names[0], "Company");
+        assert_eq!(names[1], "Exchange");
+        assert!(names.contains(&"Organization"));
+        assert!(names.contains(&"Thing"));
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn rollup_levels_bound() {
+        let g = taxo();
+        let ftx = g.instance_by_name("FTX").unwrap();
+        let opts = rollup_options(&g, ftx, 0);
+        assert_eq!(opts.len(), 2); // direct concepts only
+        let opts1 = rollup_options(&g, ftx, 1);
+        assert_eq!(opts1.len(), 3); // + Organization
+    }
+
+    #[test]
+    fn extended_members_include_descendants() {
+        let g = taxo();
+        let company = g.concept_by_name("Company").unwrap();
+        let dbs = g.instance_by_name("DBS").unwrap();
+        let ftx = g.instance_by_name("FTX").unwrap();
+        // direct members of Company: only FTX; extended adds DBS via Bank
+        assert_eq!(g.members(company), &[ftx]);
+        assert_eq!(extended_members(&g, company), vec![dbs, ftx]);
+    }
+
+    #[test]
+    fn depth_measures_longest_chain() {
+        let g = taxo();
+        let thing = g.concept_by_name("Thing").unwrap();
+        let bank = g.concept_by_name("Bank").unwrap();
+        assert_eq!(depth(&g, thing, 16), 0);
+        assert_eq!(depth(&g, bank, 16), 3);
+    }
+
+    #[test]
+    fn cycle_tolerance() {
+        let mut b = GraphBuilder::new();
+        let a = b.concept("A");
+        let c = b.concept("B");
+        b.broader(a, c);
+        b.broader(c, a); // noisy cycle
+        let g = b.build();
+        assert_eq!(ancestors(&g, a), vec![c]);
+        assert!(subsumes(&g, c, a));
+        assert!(depth(&g, a, 16) <= 16);
+    }
+}

@@ -1,0 +1,446 @@
+//! Hop-constrained s-t *simple* path counting and enumeration.
+//!
+//! The context-relevance score of the paper (Eq. 4) needs
+//! `|paths^{<l>}_{u,v}|`, the number of simple paths of exactly `l` hops
+//! between two instance entities, for `l ≤ τ`. Exhaustive DFS is
+//! exponential in the worst case, so — following the hop-constrained path
+//! enumeration literature the paper cites (Qin et al., PathEnum) — the DFS
+//! is pruned with a *distance barrier*: a backward BFS from the target
+//! records `dist(w, v)`, and the search abandons any prefix that provably
+//! cannot reach `v` within the remaining hop budget.
+//!
+//! This exact counter is the ground truth that the random-walk estimator in
+//! `ncx-core` is validated against (Fig. 7 of the paper).
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::InstanceId;
+use crate::traversal::{bounded_bfs, DistMap, Hops};
+
+/// Per-length simple-path counts: `per_length[l-1]` is the number of simple
+/// paths with exactly `l` hops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathCounts {
+    per_length: Vec<u64>,
+}
+
+impl PathCounts {
+    /// Creates a zeroed count vector for hop bound `tau`.
+    pub fn zero(tau: Hops) -> Self {
+        Self {
+            per_length: vec![0; tau as usize],
+        }
+    }
+
+    /// Count of simple paths with exactly `l` hops (`1 ≤ l ≤ τ`).
+    pub fn of_length(&self, l: Hops) -> u64 {
+        if l == 0 {
+            return 0;
+        }
+        self.per_length.get(l as usize - 1).copied().unwrap_or(0)
+    }
+
+    /// Total number of simple paths of any length up to τ.
+    pub fn total(&self) -> u64 {
+        self.per_length.iter().sum()
+    }
+
+    /// The β-damped path score `Σ_l β^l · |paths^{<l>}|` used inside the
+    /// connectivity score (Eq. 4).
+    pub fn damped(&self, beta: f64) -> f64 {
+        let mut score = 0.0;
+        let mut b = 1.0;
+        for &c in &self.per_length {
+            b *= beta;
+            score += b * c as f64;
+        }
+        score
+    }
+
+    /// The hop bound this count vector was computed for.
+    pub fn tau(&self) -> Hops {
+        self.per_length.len() as Hops
+    }
+
+    #[inline]
+    fn bump(&mut self, l: usize) {
+        self.per_length[l - 1] += 1;
+    }
+}
+
+/// Reusable workspace for exact path counting; amortises the distance map
+/// and visited stack across the thousands of (u, v) pairs scored per
+/// document.
+#[derive(Debug, Clone)]
+pub struct PathCounter {
+    dist_to_target: DistMap,
+    on_path: Vec<bool>,
+}
+
+impl PathCounter {
+    /// Creates a counter for the given graph.
+    pub fn new(kg: &KnowledgeGraph) -> Self {
+        Self {
+            dist_to_target: DistMap::new(kg.num_instances()),
+            on_path: vec![false; kg.num_instances()],
+        }
+    }
+
+    /// Counts simple paths from `u` to `v` with at most `tau` hops.
+    ///
+    /// Returns all-zero counts when `u == v` (a 0-hop path is not a path in
+    /// the paper's formulation) or when `v` is unreachable within `tau`.
+    pub fn count(
+        &mut self,
+        kg: &KnowledgeGraph,
+        u: InstanceId,
+        v: InstanceId,
+        tau: Hops,
+    ) -> PathCounts {
+        let mut counts = PathCounts::zero(tau);
+        if u == v || tau == 0 {
+            return counts;
+        }
+        // Distance barrier: backward BFS from v (graph is bidirected, so
+        // forward == backward adjacency).
+        bounded_bfs(kg, &[v], tau, &mut self.dist_to_target);
+        if self.dist_to_target.get(u).is_none_or(|d| d > tau) {
+            return counts;
+        }
+        self.on_path[u.index()] = true;
+        self.dfs_count(kg, u, v, 0, tau, &mut counts);
+        self.on_path[u.index()] = false;
+        counts
+    }
+
+    fn dfs_count(
+        &mut self,
+        kg: &KnowledgeGraph,
+        cur: InstanceId,
+        target: InstanceId,
+        depth: Hops,
+        tau: Hops,
+        counts: &mut PathCounts,
+    ) {
+        for &w in kg.neighbors(cur) {
+            if w == target {
+                counts.bump(depth as usize + 1);
+                continue;
+            }
+            if depth + 1 >= tau || self.on_path[w.index()] {
+                continue;
+            }
+            // Barrier prune: can w still reach the target in the remaining
+            // budget along *some* walk? (Simple-path feasibility is harder;
+            // the BFS distance is a sound lower bound.)
+            match self.dist_to_target.get(w) {
+                Some(d) if (depth + 1 + d) <= tau => {
+                    self.on_path[w.index()] = true;
+                    self.dfs_count(kg, w, target, depth + 1, tau, counts);
+                    self.on_path[w.index()] = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Enumerates up to `limit` simple paths (each as the full node sequence
+    /// `u, ..., v`), shortest-first by DFS depth order. Used for result
+    /// explanations.
+    pub fn enumerate(
+        &mut self,
+        kg: &KnowledgeGraph,
+        u: InstanceId,
+        v: InstanceId,
+        tau: Hops,
+        limit: usize,
+    ) -> Vec<Vec<InstanceId>> {
+        let mut out = Vec::new();
+        if u == v || tau == 0 || limit == 0 {
+            return out;
+        }
+        bounded_bfs(kg, &[v], tau, &mut self.dist_to_target);
+        if self.dist_to_target.get(u).is_none() {
+            return out;
+        }
+        let mut stack = vec![u];
+        self.on_path[u.index()] = true;
+        self.dfs_enum(kg, u, v, tau, limit, &mut stack, &mut out);
+        self.on_path[u.index()] = false;
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs_enum(
+        &mut self,
+        kg: &KnowledgeGraph,
+        cur: InstanceId,
+        target: InstanceId,
+        tau: Hops,
+        limit: usize,
+        stack: &mut Vec<InstanceId>,
+        out: &mut Vec<Vec<InstanceId>>,
+    ) {
+        let depth = (stack.len() - 1) as Hops;
+        for &w in kg.neighbors(cur) {
+            if out.len() >= limit {
+                return;
+            }
+            if w == target {
+                let mut path = stack.clone();
+                path.push(target);
+                out.push(path);
+                continue;
+            }
+            if depth + 1 >= tau || self.on_path[w.index()] {
+                continue;
+            }
+            match self.dist_to_target.get(w) {
+                Some(d) if (depth + 1 + d) <= tau => {
+                    self.on_path[w.index()] = true;
+                    stack.push(w);
+                    self.dfs_enum(kg, w, target, tau, limit, stack, out);
+                    stack.pop();
+                    self.on_path[w.index()] = false;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: one-shot count without a reusable workspace.
+pub fn count_simple_paths(
+    kg: &KnowledgeGraph,
+    u: InstanceId,
+    v: InstanceId,
+    tau: Hops,
+) -> PathCounts {
+    PathCounter::new(kg).count(kg, u, v, tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn build(
+        edges: &[(&str, &str)],
+    ) -> (KnowledgeGraph, impl Fn(&KnowledgeGraph, &str) -> InstanceId) {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in edges {
+            let ui = b.instance(u);
+            let vi = b.instance(v);
+            b.fact(ui, "r", vi);
+        }
+        (b.build(), |g: &KnowledgeGraph, n: &str| {
+            g.instance_by_name(n).unwrap()
+        })
+    }
+
+    #[test]
+    fn single_edge() {
+        let (g, id) = build(&[("a", "b")]);
+        let c = count_simple_paths(&g, id(&g, "a"), id(&g, "b"), 3);
+        assert_eq!(c.of_length(1), 1);
+        assert_eq!(c.of_length(2), 0);
+        assert_eq!(c.total(), 1);
+    }
+
+    #[test]
+    fn diamond_has_two_two_hop_paths() {
+        // a-b-d and a-c-d
+        let (g, id) = build(&[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]);
+        let c = count_simple_paths(&g, id(&g, "a"), id(&g, "d"), 3);
+        assert_eq!(c.of_length(1), 0);
+        assert_eq!(c.of_length(2), 2);
+        // 3-hop simple paths a-b-?-d: via c? a-b has no edge to c. None.
+        assert_eq!(c.of_length(3), 0);
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn triangle_counts_direct_and_detour() {
+        let (g, id) = build(&[("a", "b"), ("b", "c"), ("a", "c")]);
+        let c = count_simple_paths(&g, id(&g, "a"), id(&g, "c"), 3);
+        assert_eq!(c.of_length(1), 1); // a-c
+        assert_eq!(c.of_length(2), 1); // a-b-c
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn hop_bound_cuts_long_paths() {
+        let (g, id) = build(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        assert_eq!(
+            count_simple_paths(&g, id(&g, "a"), id(&g, "d"), 2).total(),
+            0
+        );
+        assert_eq!(
+            count_simple_paths(&g, id(&g, "a"), id(&g, "d"), 3).total(),
+            1
+        );
+    }
+
+    #[test]
+    fn same_node_has_no_paths() {
+        let (g, id) = build(&[("a", "b")]);
+        assert_eq!(
+            count_simple_paths(&g, id(&g, "a"), id(&g, "a"), 3).total(),
+            0
+        );
+    }
+
+    #[test]
+    fn unreachable_target() {
+        let (g, id) = build(&[("a", "b"), ("x", "y")]);
+        assert_eq!(
+            count_simple_paths(&g, id(&g, "a"), id(&g, "x"), 4).total(),
+            0
+        );
+    }
+
+    #[test]
+    fn simple_paths_do_not_revisit() {
+        // K4: a,b,c,d all connected. Count a->b simple paths up to 3 hops:
+        // length 1: a-b (1)
+        // length 2: a-c-b, a-d-b (2)
+        // length 3: a-c-d-b, a-d-c-b (2)
+        let (g, id) = build(&[
+            ("a", "b"),
+            ("a", "c"),
+            ("a", "d"),
+            ("b", "c"),
+            ("b", "d"),
+            ("c", "d"),
+        ]);
+        let c = count_simple_paths(&g, id(&g, "a"), id(&g, "b"), 3);
+        assert_eq!(c.of_length(1), 1);
+        assert_eq!(c.of_length(2), 2);
+        assert_eq!(c.of_length(3), 2);
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn damped_score() {
+        let (g, id) = build(&[("a", "b"), ("b", "c"), ("a", "c")]);
+        let c = count_simple_paths(&g, id(&g, "a"), id(&g, "c"), 3);
+        let beta = 0.5;
+        // 1 path of length 1 + 1 path of length 2: 0.5*1 + 0.25*1 = 0.75
+        assert!((c.damped(beta) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumerate_matches_count() {
+        let (g, id) = build(&[
+            ("a", "b"),
+            ("a", "c"),
+            ("a", "d"),
+            ("b", "c"),
+            ("b", "d"),
+            ("c", "d"),
+        ]);
+        let mut pc = PathCounter::new(&g);
+        let (u, v) = (id(&g, "a"), id(&g, "b"));
+        let paths = pc.enumerate(&g, u, v, 3, usize::MAX);
+        let counts = pc.count(&g, u, v, 3);
+        assert_eq!(paths.len() as u64, counts.total());
+        for p in &paths {
+            assert_eq!(p[0], u);
+            assert_eq!(*p.last().unwrap(), v);
+            // simple: no repeated nodes
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), p.len());
+            // consecutive nodes adjacent
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let (g, id) = build(&[
+            ("a", "b"),
+            ("a", "c"),
+            ("a", "d"),
+            ("b", "c"),
+            ("b", "d"),
+            ("c", "d"),
+        ]);
+        let mut pc = PathCounter::new(&g);
+        let paths = pc.enumerate(&g, id(&g, "a"), id(&g, "b"), 3, 2);
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn counter_is_reusable() {
+        let (g, id) = build(&[("a", "b"), ("b", "c"), ("a", "c")]);
+        let mut pc = PathCounter::new(&g);
+        let c1 = pc.count(&g, id(&g, "a"), id(&g, "c"), 3);
+        let c2 = pc.count(&g, id(&g, "a"), id(&g, "c"), 3);
+        assert_eq!(c1, c2);
+        let c3 = pc.count(&g, id(&g, "a"), id(&g, "b"), 1);
+        assert_eq!(c3.total(), 1);
+    }
+
+    /// Brute-force reference: enumerate all simple paths by unpruned DFS.
+    fn brute_force(kg: &KnowledgeGraph, u: InstanceId, v: InstanceId, tau: Hops) -> PathCounts {
+        fn rec(
+            kg: &KnowledgeGraph,
+            cur: InstanceId,
+            v: InstanceId,
+            tau: Hops,
+            visited: &mut Vec<InstanceId>,
+            counts: &mut PathCounts,
+        ) {
+            for &w in kg.neighbors(cur) {
+                if w == v {
+                    let l = visited.len();
+                    if l <= tau as usize {
+                        counts.per_length[l - 1] += 1;
+                    }
+                    continue;
+                }
+                if visited.len() < tau as usize && !visited.contains(&w) {
+                    visited.push(w);
+                    rec(kg, w, v, tau, visited, counts);
+                    visited.pop();
+                }
+            }
+        }
+        let mut counts = PathCounts::zero(tau);
+        if u == v || tau == 0 {
+            return counts;
+        }
+        let mut visited = vec![u];
+        rec(kg, u, v, tau, &mut visited, &mut counts);
+        counts
+    }
+
+    proptest::proptest! {
+        /// Pruned counting agrees with brute force on random graphs.
+        #[test]
+        fn prop_count_matches_brute_force(
+            edges in proptest::collection::vec((0u32..10, 0u32..10), 1..25),
+            tau in 1u8..=4,
+        ) {
+            let mut b = GraphBuilder::new();
+            let nodes: Vec<InstanceId> =
+                (0..10).map(|i| b.instance(&format!("n{i}"))).collect();
+            for (u, v) in edges {
+                b.fact(nodes[u as usize], "r", nodes[v as usize]);
+            }
+            let g = b.build();
+            let mut pc = PathCounter::new(&g);
+            for u in 0..3u32 {
+                for v in 7..10u32 {
+                    let (u, v) = (InstanceId::new(u), InstanceId::new(v));
+                    let fast = pc.count(&g, u, v, tau);
+                    let slow = brute_force(&g, u, v, tau);
+                    proptest::prop_assert_eq!(fast, slow);
+                }
+            }
+        }
+    }
+}

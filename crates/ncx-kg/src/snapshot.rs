@@ -1,0 +1,287 @@
+//! Binary snapshot serialization for [`KnowledgeGraph`].
+//!
+//! The paper releases its annotated KG as a downloadable artifact;
+//! rebuilding Ψ and the CSR arrays from triples on every start would
+//! dominate small-experiment runtimes. The snapshot is a simple
+//! length-prefixed little-endian format with a magic header and version
+//! byte — no external dependencies, O(|G|) read/write.
+
+use crate::builder::GraphBuilder;
+use crate::graph::KnowledgeGraph;
+use crate::ids::{ConceptId, InstanceId};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"NCXKG\0\0\x01";
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let len = read_u32(r)? as usize;
+    if len > 1 << 24 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "string too long",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Serializes the graph into `w`.
+pub fn save(kg: &KnowledgeGraph, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+
+    // Concepts.
+    write_u32(w, kg.num_concepts() as u32)?;
+    for c in kg.concepts() {
+        write_str(w, kg.concept_label(c))?;
+    }
+    // Instances with aliases.
+    write_u32(w, kg.num_instances() as u32)?;
+    for v in kg.instances() {
+        write_str(w, kg.instance_label(v))?;
+        let aliases: Vec<&str> = kg.instance_aliases(v).collect();
+        write_u32(w, aliases.len() as u32)?;
+        for a in aliases {
+            write_str(w, a)?;
+        }
+    }
+    // Broader edges.
+    write_u32(w, kg.num_broader_edges() as u32)?;
+    for c in kg.concepts() {
+        for &p in kg.broader_of(c) {
+            write_u32(w, c.raw())?;
+            write_u32(w, p.raw())?;
+        }
+    }
+    // Facts (undirected: emit once per pair, u < v).
+    let mut fact_count = 0u32;
+    for u in kg.instances() {
+        for (v, _) in kg.neighbors_with_relations(u) {
+            if u < v {
+                fact_count += 1;
+            }
+        }
+    }
+    write_u32(w, fact_count)?;
+    for u in kg.instances() {
+        for (v, r) in kg.neighbors_with_relations(u) {
+            if u < v {
+                write_u32(w, u.raw())?;
+                write_u32(w, v.raw())?;
+                write_str(w, kg.relation_label(r))?;
+            }
+        }
+    }
+    // Memberships.
+    write_u32(w, kg.num_memberships() as u32)?;
+    for c in kg.concepts() {
+        for &v in kg.members(c) {
+            write_u32(w, c.raw())?;
+            write_u32(w, v.raw())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a graph from `r`.
+pub fn load(r: &mut impl Read) -> io::Result<KnowledgeGraph> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an NCXKG snapshot (bad magic)",
+        ));
+    }
+    let mut b = GraphBuilder::new();
+
+    let nc = read_u32(r)?;
+    let mut concepts = Vec::with_capacity(nc as usize);
+    for _ in 0..nc {
+        concepts.push(b.concept(&read_str(r)?));
+    }
+    let ni = read_u32(r)?;
+    let mut instances = Vec::with_capacity(ni as usize);
+    for _ in 0..ni {
+        let v = b.instance(&read_str(r)?);
+        let na = read_u32(r)?;
+        for _ in 0..na {
+            let alias = read_str(r)?;
+            b.alias(v, &alias);
+        }
+        instances.push(v);
+    }
+    let resolve_c = |i: u32| -> io::Result<ConceptId> {
+        concepts
+            .get(i as usize)
+            .copied()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "concept id out of range"))
+    };
+    let resolve_i = |i: u32| -> io::Result<InstanceId> {
+        instances
+            .get(i as usize)
+            .copied()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "instance id out of range"))
+    };
+
+    let nb = read_u32(r)?;
+    for _ in 0..nb {
+        let c = resolve_c(read_u32(r)?)?;
+        let p = resolve_c(read_u32(r)?)?;
+        b.broader(c, p);
+    }
+    let nf = read_u32(r)?;
+    for _ in 0..nf {
+        let u = resolve_i(read_u32(r)?)?;
+        let v = resolve_i(read_u32(r)?)?;
+        let rel = read_str(r)?;
+        b.fact(u, &rel, v);
+    }
+    let nm = read_u32(r)?;
+    for _ in 0..nm {
+        let c = resolve_c(read_u32(r)?)?;
+        let v = resolve_i(read_u32(r)?)?;
+        b.member(c, v);
+    }
+    Ok(b.build())
+}
+
+/// Saves to a file path.
+pub fn save_to_path(kg: &KnowledgeGraph, path: &std::path::Path) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    save(kg, &mut f)
+}
+
+/// Loads from a file path.
+pub fn load_from_path(path: &std::path::Path) -> io::Result<KnowledgeGraph> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    load(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let exch = b.concept("Exchange");
+        let org = b.concept("Organization");
+        b.broader(exch, org);
+        let ftx = b.instance("FTX");
+        let sbf = b.instance("Sam Bankman-Fried");
+        b.alias(sbf, "SBF");
+        let fraud = b.instance("fraud");
+        b.member(exch, ftx);
+        b.fact(ftx, "accusedOf", fraud);
+        b.fact(sbf, "founded", ftx);
+        b.build()
+    }
+
+    fn roundtrip(kg: &KnowledgeGraph) -> KnowledgeGraph {
+        let mut buf = Vec::new();
+        save(kg, &mut buf).unwrap();
+        load(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let a = sample();
+        let b = roundtrip(&a);
+        assert_eq!(a.num_concepts(), b.num_concepts());
+        assert_eq!(a.num_instances(), b.num_instances());
+        assert_eq!(a.num_instance_edges(), b.num_instance_edges());
+        assert_eq!(a.num_broader_edges(), b.num_broader_edges());
+        assert_eq!(a.num_memberships(), b.num_memberships());
+    }
+
+    #[test]
+    fn roundtrip_preserves_labels_and_relations() {
+        let a = sample();
+        let b = roundtrip(&a);
+        let ftx = b.instance_by_name("FTX").unwrap();
+        let fraud = b.instance_by_name("fraud").unwrap();
+        assert!(b.has_edge(ftx, fraud));
+        let rels: Vec<&str> = b
+            .neighbors_with_relations(ftx)
+            .map(|(_, r)| b.relation_label(r))
+            .collect();
+        assert!(rels.contains(&"accusedOf"));
+        let sbf = b.instance_by_name("Sam Bankman-Fried").unwrap();
+        let aliases: Vec<&str> = b.instance_aliases(sbf).collect();
+        assert_eq!(aliases, vec!["SBF"]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_ontology() {
+        let a = sample();
+        let b = roundtrip(&a);
+        let exch = b.concept_by_name("Exchange").unwrap();
+        let org = b.concept_by_name("Organization").unwrap();
+        let ftx = b.instance_by_name("FTX").unwrap();
+        assert!(b.is_member(exch, ftx));
+        assert_eq!(b.broader_of(exch), &[org]);
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let a = GraphBuilder::new().build();
+        let b = roundtrip(&a);
+        assert_eq!(b.num_concepts(), 0);
+        assert_eq!(b.num_instances(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"GARBAGE!rest".to_vec();
+        let err = load(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let a = sample();
+        let mut buf = Vec::new();
+        save(&a, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = sample();
+        let dir = std::env::temp_dir().join("ncxkg_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kg.bin");
+        save_to_path(&a, &path).unwrap();
+        let b = load_from_path(&path).unwrap();
+        assert_eq!(a.num_instances(), b.num_instances());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn double_roundtrip_is_stable() {
+        let a = sample();
+        let b = roundtrip(&a);
+        let c = roundtrip(&b);
+        let mut buf_b = Vec::new();
+        let mut buf_c = Vec::new();
+        save(&b, &mut buf_b).unwrap();
+        save(&c, &mut buf_c).unwrap();
+        assert_eq!(buf_b, buf_c, "snapshot must be canonical after one pass");
+    }
+}

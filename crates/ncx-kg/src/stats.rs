@@ -1,0 +1,194 @@
+//! Descriptive statistics over a knowledge graph, used by the data
+//! generator's self-checks and reported by the experiment binaries.
+
+use crate::graph::KnowledgeGraph;
+
+/// Summary statistics of a [`KnowledgeGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KgStats {
+    /// `|V_C|`.
+    pub num_concepts: usize,
+    /// `|V_I|`.
+    pub num_instances: usize,
+    /// Directed instance-edge count (2× undirected facts).
+    pub num_instance_edges: usize,
+    /// `broader` edge count.
+    pub num_broader_edges: usize,
+    /// Total `Ψ` pairs.
+    pub num_memberships: usize,
+    /// Mean instance degree.
+    pub avg_degree: f64,
+    /// Maximum instance degree.
+    pub max_degree: usize,
+    /// Mean `|Ψ(c)|` over concepts with at least one member.
+    pub avg_members: f64,
+    /// Number of instances with no concept (unlinked entities).
+    pub orphan_instances: usize,
+    /// Number of concepts with no member.
+    pub empty_concepts: usize,
+}
+
+impl KgStats {
+    /// Computes statistics for `kg`.
+    pub fn compute(kg: &KnowledgeGraph) -> Self {
+        let ni = kg.num_instances();
+        let nc = kg.num_concepts();
+        let mut max_degree = 0;
+        let mut orphan_instances = 0;
+        for v in kg.instances() {
+            max_degree = max_degree.max(kg.degree(v));
+            if kg.concepts_of(v).is_empty() {
+                orphan_instances += 1;
+            }
+        }
+        let mut populated = 0usize;
+        let mut member_sum = 0usize;
+        let mut empty_concepts = 0usize;
+        for c in kg.concepts() {
+            let m = kg.members(c).len();
+            if m == 0 {
+                empty_concepts += 1;
+            } else {
+                populated += 1;
+                member_sum += m;
+            }
+        }
+        Self {
+            num_concepts: nc,
+            num_instances: ni,
+            num_instance_edges: kg.num_instance_edges(),
+            num_broader_edges: kg.num_broader_edges(),
+            num_memberships: kg.num_memberships(),
+            avg_degree: if ni == 0 {
+                0.0
+            } else {
+                kg.num_instance_edges() as f64 / ni as f64
+            },
+            max_degree,
+            avg_members: if populated == 0 {
+                0.0
+            } else {
+                member_sum as f64 / populated as f64
+            },
+            orphan_instances,
+            empty_concepts,
+        }
+    }
+}
+
+impl std::fmt::Display for KgStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "KG statistics:")?;
+        writeln!(f, "  concepts          {:>10}", self.num_concepts)?;
+        writeln!(f, "  instances         {:>10}", self.num_instances)?;
+        writeln!(f, "  instance edges    {:>10}", self.num_instance_edges)?;
+        writeln!(f, "  broader edges     {:>10}", self.num_broader_edges)?;
+        writeln!(f, "  memberships       {:>10}", self.num_memberships)?;
+        writeln!(f, "  avg degree        {:>13.2}", self.avg_degree)?;
+        writeln!(f, "  max degree        {:>10}", self.max_degree)?;
+        writeln!(f, "  avg |Ψ(c)|        {:>13.2}", self.avg_members)?;
+        writeln!(f, "  orphan instances  {:>10}", self.orphan_instances)?;
+        write!(f, "  empty concepts    {:>10}", self.empty_concepts)
+    }
+}
+
+/// Degree histogram with logarithmic buckets (1, 2, 3-4, 5-8, ...).
+pub fn degree_histogram(kg: &KnowledgeGraph) -> Vec<(String, usize)> {
+    let mut buckets: Vec<usize> = Vec::new();
+    for v in kg.instances() {
+        let d = kg.degree(v);
+        let b = if d == 0 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize
+        };
+        if buckets.len() <= b {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(b, n)| {
+            let label = if b == 0 {
+                "0".to_string()
+            } else {
+                let lo = 1usize << (b - 1);
+                let hi = (1usize << b) - 1;
+                if lo == hi {
+                    format!("{lo}")
+                } else {
+                    format!("{lo}-{hi}")
+                }
+            };
+            (label, n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let mut b = GraphBuilder::new();
+        let c = b.concept("C");
+        let empty = b.concept("Empty");
+        let _ = empty;
+        let x = b.instance("x");
+        let y = b.instance("y");
+        let z = b.instance("z");
+        b.member(c, x);
+        b.fact(x, "r", y);
+        b.fact(y, "r", z);
+        let g = b.build();
+        let s = KgStats::compute(&g);
+        assert_eq!(s.num_concepts, 2);
+        assert_eq!(s.num_instances, 3);
+        assert_eq!(s.num_instance_edges, 4);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.orphan_instances, 2);
+        assert_eq!(s.empty_concepts, 1);
+        assert!((s.avg_degree - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.avg_members - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let g = GraphBuilder::new().build();
+        let s = KgStats::compute(&g);
+        assert_eq!(s.num_instances, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.avg_members, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut b = GraphBuilder::new();
+        let hub = b.instance("hub");
+        for i in 0..5 {
+            let v = b.instance(&format!("v{i}"));
+            b.fact(hub, "r", v);
+        }
+        let lone = b.instance("lone");
+        let _ = lone;
+        let g = b.build();
+        let h = degree_histogram(&g);
+        // lone has degree 0; five spokes have degree 1; hub has degree 5.
+        assert_eq!(h[0], ("0".to_string(), 1));
+        assert_eq!(h[1], ("1".to_string(), 5));
+        let total: usize = h.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        let g = GraphBuilder::new().build();
+        let text = format!("{}", KgStats::compute(&g));
+        assert!(text.contains("concepts"));
+        assert!(text.contains("instances"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Subgraph extraction around a set of instance entities.
+//!
+//! The paper's UI renders, for each result, the piece of the KG that
+//! connects the matched entities (Fig. 1's coloured entity links). A
+//! [`Subgraph`] is a self-contained copy of the induced neighbourhood:
+//! the focus entities, every node on a short path between them, and the
+//! edges among those nodes, with labels resolved.
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::InstanceId;
+use crate::paths::PathCounter;
+use crate::traversal::Hops;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// An extracted, label-resolved subgraph.
+#[derive(Debug, Clone, Default)]
+pub struct Subgraph {
+    /// Nodes (KG instance ids) in insertion order; focus nodes first.
+    pub nodes: Vec<InstanceId>,
+    /// Labels parallel to `nodes`.
+    pub labels: Vec<String>,
+    /// Edges as index pairs into `nodes`, with relation labels.
+    pub edges: Vec<(usize, usize, String)>,
+    /// How many of the leading `nodes` are focus entities.
+    pub num_focus: usize,
+}
+
+impl Subgraph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Renders as a DOT graph (for graphviz / quick inspection).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("graph kg {\n");
+        for (i, label) in self.labels.iter().enumerate() {
+            let shape = if i < self.num_focus { "box" } else { "ellipse" };
+            out.push_str(&format!("  n{i} [label=\"{label}\", shape={shape}];\n"));
+        }
+        for (a, b, rel) in &self.edges {
+            out.push_str(&format!("  n{a} -- n{b} [label=\"{rel}\"];\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Extracts the subgraph connecting `focus` entities: all nodes on simple
+/// paths of at most `tau` hops between any pair of focus entities (up to
+/// `max_paths_per_pair` paths each), plus the induced edges.
+pub fn connecting_subgraph(
+    kg: &KnowledgeGraph,
+    focus: &[InstanceId],
+    tau: Hops,
+    max_paths_per_pair: usize,
+) -> Subgraph {
+    let mut node_set: FxHashSet<InstanceId> = FxHashSet::default();
+    let mut order: Vec<InstanceId> = Vec::new();
+    for &f in focus {
+        if node_set.insert(f) {
+            order.push(f);
+        }
+    }
+    let num_focus = order.len();
+
+    let mut counter = PathCounter::new(kg);
+    for (i, &u) in focus.iter().enumerate() {
+        for &v in focus.iter().skip(i + 1) {
+            for path in counter.enumerate(kg, u, v, tau, max_paths_per_pair) {
+                for node in path {
+                    if node_set.insert(node) {
+                        order.push(node);
+                    }
+                }
+            }
+        }
+    }
+
+    // Induced edges among collected nodes (each undirected edge once).
+    let index_of: FxHashMap<InstanceId, usize> =
+        order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut edges = Vec::new();
+    for (&u, &ui) in &index_of {
+        for (v, r) in kg.neighbors_with_relations(u) {
+            if u < v {
+                if let Some(&vi) = index_of.get(&v) {
+                    edges.push((ui, vi, kg.relation_label(r).to_string()));
+                }
+            }
+        }
+    }
+    edges.sort();
+
+    Subgraph {
+        labels: order
+            .iter()
+            .map(|&v| kg.instance_label(v).to_string())
+            .collect(),
+        nodes: order,
+        edges,
+        num_focus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// FTX—fraud—SEC triangle plus a far-away node.
+    fn setup() -> (KnowledgeGraph, Vec<InstanceId>) {
+        let mut b = GraphBuilder::new();
+        let ftx = b.instance("FTX");
+        let fraud = b.instance("fraud");
+        let sec = b.instance("SEC");
+        let far = b.instance("far");
+        let farther = b.instance("farther");
+        b.fact(ftx, "accusedOf", fraud);
+        b.fact(sec, "prosecutes", fraud);
+        b.fact(sec, "investigated", ftx);
+        b.fact(far, "r", farther);
+        (b.build(), vec![ftx, fraud, sec, far])
+    }
+
+    #[test]
+    fn focus_pair_connected_by_paths() {
+        let (kg, ids) = setup();
+        let sg = connecting_subgraph(&kg, &[ids[0], ids[1]], 2, 10);
+        // FTX, fraud focus; SEC appears on the 2-hop path FTX—SEC—fraud.
+        assert_eq!(sg.num_focus, 2);
+        assert!(sg.labels.contains(&"SEC".to_string()));
+        assert_eq!(sg.num_nodes(), 3);
+        // induced edges: all three triangle edges.
+        assert_eq!(sg.num_edges(), 3);
+    }
+
+    #[test]
+    fn unreachable_focus_included_without_paths() {
+        let (kg, ids) = setup();
+        let sg = connecting_subgraph(&kg, &[ids[0], ids[3]], 2, 10);
+        assert_eq!(sg.num_nodes(), 2, "both focus nodes, no connectors");
+        assert_eq!(sg.num_edges(), 0);
+    }
+
+    #[test]
+    fn single_focus() {
+        let (kg, ids) = setup();
+        let sg = connecting_subgraph(&kg, &[ids[0]], 2, 10);
+        assert_eq!(sg.num_nodes(), 1);
+        assert_eq!(sg.labels[0], "FTX");
+    }
+
+    #[test]
+    fn duplicate_focus_deduped() {
+        let (kg, ids) = setup();
+        let sg = connecting_subgraph(&kg, &[ids[0], ids[0]], 2, 10);
+        assert_eq!(sg.num_focus, 1);
+    }
+
+    #[test]
+    fn dot_rendering() {
+        let (kg, ids) = setup();
+        let sg = connecting_subgraph(&kg, &[ids[0], ids[1]], 2, 10);
+        let dot = sg.to_dot();
+        assert!(dot.starts_with("graph kg {"));
+        assert!(dot.contains("FTX"));
+        assert!(dot.contains("accusedOf"));
+        assert!(dot.contains("shape=box"), "focus nodes are boxes");
+    }
+
+    #[test]
+    fn path_cap_limits_size() {
+        // A dense graph where many paths exist; cap 1 keeps it small.
+        let mut b = GraphBuilder::new();
+        let a = b.instance("a");
+        let z = b.instance("z");
+        for i in 0..6 {
+            let m = b.instance(&format!("m{i}"));
+            b.fact(a, "r", m);
+            b.fact(m, "r", z);
+        }
+        let kg = b.build();
+        let sg = connecting_subgraph(&kg, &[a, z], 2, 1);
+        assert_eq!(sg.num_nodes(), 3, "one connector only");
+    }
+}

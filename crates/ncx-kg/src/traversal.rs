@@ -1,0 +1,261 @@
+//! Hop-bounded traversal primitives over the instance space.
+//!
+//! The central structure is [`DistMap`], a reusable distance buffer using
+//! version stamps so that clearing between queries is `O(1)` instead of
+//! `O(|V_I|)` — path-counting and walk-guidance issue thousands of bounded
+//! BFS queries per document.
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::InstanceId;
+
+/// Distance values are small (hop constraint τ ≤ ~6 in practice), so a byte
+/// suffices.
+pub type Hops = u8;
+
+/// A reusable "distance to target set" buffer with O(1) reset.
+#[derive(Debug, Clone)]
+pub struct DistMap {
+    stamp: Vec<u32>,
+    dist: Vec<Hops>,
+    version: u32,
+}
+
+impl DistMap {
+    /// Creates a buffer for a graph with `n` instance nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            stamp: vec![0; n],
+            dist: vec![0; n],
+            version: 0,
+        }
+    }
+
+    /// Clears all recorded distances in O(1).
+    pub fn reset(&mut self) {
+        self.version = self.version.wrapping_add(1);
+        if self.version == 0 {
+            // Wrapped: stamps from 2^32 queries ago could alias; flush.
+            self.stamp.fill(0);
+            self.version = 1;
+        }
+    }
+
+    /// Records `dist(v) = d` for the current version.
+    #[inline]
+    pub fn set(&mut self, v: InstanceId, d: Hops) {
+        self.stamp[v.index()] = self.version;
+        self.dist[v.index()] = d;
+    }
+
+    /// Distance of `v` if recorded in the current version.
+    #[inline]
+    pub fn get(&self, v: InstanceId) -> Option<Hops> {
+        if self.stamp[v.index()] == self.version {
+            Some(self.dist[v.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Whether `v` has a recorded distance.
+    #[inline]
+    pub fn contains(&self, v: InstanceId) -> bool {
+        self.stamp[v.index()] == self.version
+    }
+
+    /// Number of nodes this buffer covers.
+    pub fn capacity(&self) -> usize {
+        self.stamp.len()
+    }
+}
+
+/// Runs a BFS from `sources` (distance 0) bounded by `max_hops`, writing
+/// distances into `dist` (which is reset first). Returns the number of
+/// nodes reached (including sources).
+pub fn bounded_bfs(
+    kg: &KnowledgeGraph,
+    sources: &[InstanceId],
+    max_hops: Hops,
+    dist: &mut DistMap,
+) -> usize {
+    dist.reset();
+    let mut frontier: Vec<InstanceId> = Vec::with_capacity(sources.len());
+    for &s in sources {
+        if !dist.contains(s) {
+            dist.set(s, 0);
+            frontier.push(s);
+        }
+    }
+    let mut reached = frontier.len();
+    let mut next = Vec::new();
+    for d in 1..=max_hops {
+        for &u in &frontier {
+            for &w in kg.neighbors(u) {
+                if !dist.contains(w) {
+                    dist.set(w, d);
+                    next.push(w);
+                    reached += 1;
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    reached
+}
+
+/// Collects the nodes within `max_hops` of `source` (excluding the source
+/// itself), in BFS order.
+pub fn k_hop_neighborhood(
+    kg: &KnowledgeGraph,
+    source: InstanceId,
+    max_hops: Hops,
+) -> Vec<InstanceId> {
+    let mut dist = DistMap::new(kg.num_instances());
+    bounded_bfs(kg, &[source], max_hops, &mut dist);
+    let mut out = Vec::new();
+    for v in kg.instances() {
+        if v != source && dist.contains(v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Exact hop distance between two nodes, if within `max_hops`.
+pub fn hop_distance(
+    kg: &KnowledgeGraph,
+    u: InstanceId,
+    v: InstanceId,
+    max_hops: Hops,
+    dist: &mut DistMap,
+) -> Option<Hops> {
+    if u == v {
+        return Some(0);
+    }
+    dist.reset();
+    dist.set(u, 0);
+    let mut frontier = vec![u];
+    let mut next = Vec::new();
+    for d in 1..=max_hops {
+        for &x in &frontier {
+            for &w in kg.neighbors(x) {
+                if w == v {
+                    return Some(d);
+                }
+                if !dist.contains(w) {
+                    dist.set(w, d);
+                    next.push(w);
+                }
+            }
+        }
+        if next.is_empty() {
+            return None;
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Path graph a-b-c-d plus a triangle a-b-e.
+    fn path_graph() -> (KnowledgeGraph, Vec<InstanceId>) {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<InstanceId> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|n| b.instance(n))
+            .collect();
+        b.fact(nodes[0], "r", nodes[1]);
+        b.fact(nodes[1], "r", nodes[2]);
+        b.fact(nodes[2], "r", nodes[3]);
+        b.fact(nodes[0], "r", nodes[4]);
+        b.fact(nodes[1], "r", nodes[4]);
+        (b.build(), nodes)
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let (g, n) = path_graph();
+        let mut dist = DistMap::new(g.num_instances());
+        let reached = bounded_bfs(&g, &[n[0]], 3, &mut dist);
+        assert_eq!(reached, 5);
+        assert_eq!(dist.get(n[0]), Some(0));
+        assert_eq!(dist.get(n[1]), Some(1));
+        assert_eq!(dist.get(n[4]), Some(1));
+        assert_eq!(dist.get(n[2]), Some(2));
+        assert_eq!(dist.get(n[3]), Some(3));
+    }
+
+    #[test]
+    fn bfs_respects_bound() {
+        let (g, n) = path_graph();
+        let mut dist = DistMap::new(g.num_instances());
+        bounded_bfs(&g, &[n[0]], 1, &mut dist);
+        assert!(dist.contains(n[1]));
+        assert!(!dist.contains(n[2]));
+        assert!(!dist.contains(n[3]));
+    }
+
+    #[test]
+    fn bfs_multi_source() {
+        let (g, n) = path_graph();
+        let mut dist = DistMap::new(g.num_instances());
+        bounded_bfs(&g, &[n[0], n[3]], 1, &mut dist);
+        assert_eq!(dist.get(n[2]), Some(1)); // from d
+        assert_eq!(dist.get(n[1]), Some(1)); // from a
+    }
+
+    #[test]
+    fn distmap_reset_is_effective() {
+        let (g, n) = path_graph();
+        let mut dist = DistMap::new(g.num_instances());
+        bounded_bfs(&g, &[n[0]], 3, &mut dist);
+        assert!(dist.contains(n[3]));
+        bounded_bfs(&g, &[n[3]], 0, &mut dist);
+        assert!(dist.contains(n[3]));
+        assert!(!dist.contains(n[0]));
+    }
+
+    #[test]
+    fn hop_distance_matches_bfs() {
+        let (g, n) = path_graph();
+        let mut dist = DistMap::new(g.num_instances());
+        assert_eq!(hop_distance(&g, n[0], n[3], 5, &mut dist), Some(3));
+        assert_eq!(hop_distance(&g, n[0], n[3], 2, &mut dist), None);
+        assert_eq!(hop_distance(&g, n[0], n[0], 0, &mut dist), Some(0));
+        assert_eq!(hop_distance(&g, n[4], n[2], 5, &mut dist), Some(2));
+    }
+
+    #[test]
+    fn k_hop_neighborhood_excludes_source() {
+        let (g, n) = path_graph();
+        let hood = k_hop_neighborhood(&g, n[0], 2);
+        assert!(!hood.contains(&n[0]));
+        assert!(hood.contains(&n[1]));
+        assert!(hood.contains(&n[2]));
+        assert!(hood.contains(&n[4]));
+        assert!(!hood.contains(&n[3]));
+    }
+
+    #[test]
+    fn disconnected_node_unreached() {
+        let mut b = GraphBuilder::new();
+        let a = b.instance("a");
+        let bb = b.instance("b");
+        let lone = b.instance("lone");
+        b.fact(a, "r", bb);
+        let g = b.build();
+        let mut dist = DistMap::new(g.num_instances());
+        let reached = bounded_bfs(&g, &[a], 10, &mut dist);
+        assert_eq!(reached, 2);
+        assert!(!dist.contains(lone));
+    }
+}

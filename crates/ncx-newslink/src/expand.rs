@@ -1,0 +1,198 @@
+//! NewsLink's joint seed expansion.
+//!
+//! Seeds are expanded ring by ring until their balls overlap (a common
+//! ancestor subgraph exists) or the radius cap is reached. The expansion
+//! result assigns each reached node the minimal radius at which any seed
+//! reached it; *hidden* nodes (reached by ≥ 2 seeds) are the auxiliary
+//! connective tissue NewsLink adds to the representation.
+
+use ncx_kg::traversal::{bounded_bfs, DistMap, Hops};
+use ncx_kg::{InstanceId, KnowledgeGraph};
+use rustc_hash::FxHashMap;
+
+/// An expanded node with its provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpandedNode {
+    /// Minimum hops from the nearest seed.
+    pub dist: Hops,
+    /// How many distinct seeds reached this node within the final radius.
+    pub reached_by: u32,
+}
+
+/// The expansion result: node → provenance.
+pub type Expansion = FxHashMap<InstanceId, ExpandedNode>;
+
+/// Expands `seeds` jointly. Growth stops at the first radius `r ≤ max_hops`
+/// where **every** seed joins one connected cluster through overlapping
+/// balls (NewsLink's common-ancestor subgraph connects *all* query
+/// entities) — or at `max_hops` when the seeds never connect (the
+/// degenerate "single entity plus N-hop neighbours" case the NCExplorer
+/// paper calls out). A single seed expands exactly one ring.
+pub fn expand_seeds(kg: &KnowledgeGraph, seeds: &[InstanceId], max_hops: Hops) -> Expansion {
+    let mut expansion = Expansion::default();
+    if seeds.is_empty() {
+        return expansion;
+    }
+    let radius_cap = if seeds.len() == 1 { 1 } else { max_hops };
+    let mut dist = DistMap::new(kg.num_instances());
+    let mut per_seed: Vec<Vec<(InstanceId, Hops)>> = Vec::with_capacity(seeds.len());
+    for r in 0..=radius_cap {
+        per_seed.clear();
+        let mut reach_count: FxHashMap<InstanceId, u32> = FxHashMap::default();
+        // union-find over seeds: seeds sharing any ball node are joined.
+        let mut parent: Vec<usize> = (0..seeds.len()).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        let mut node_owner: FxHashMap<InstanceId, usize> = FxHashMap::default();
+        for (si, &s) in seeds.iter().enumerate() {
+            bounded_bfs(kg, &[s], r, &mut dist);
+            let mut ball = Vec::new();
+            for v in kg.instances() {
+                if let Some(d) = dist.get(v) {
+                    ball.push((v, d));
+                    *reach_count.entry(v).or_insert(0) += 1;
+                    match node_owner.get(&v) {
+                        Some(&other) => {
+                            let (a, b) = (find(&mut parent, si), find(&mut parent, other));
+                            if a != b {
+                                parent[a] = b;
+                            }
+                        }
+                        None => {
+                            node_owner.insert(v, si);
+                        }
+                    }
+                }
+            }
+            per_seed.push(ball);
+        }
+        let root0 = find(&mut parent, 0);
+        let connected = seeds.len() > 1 && (1..seeds.len()).all(|i| find(&mut parent, i) == root0);
+        if connected || r == radius_cap {
+            for ball in &per_seed {
+                for &(v, d) in ball {
+                    let e = expansion.entry(v).or_insert(ExpandedNode {
+                        dist: d,
+                        reached_by: 0,
+                    });
+                    e.dist = e.dist.min(d);
+                }
+            }
+            for (v, c) in reach_count {
+                if let Some(e) = expansion.get_mut(&v) {
+                    e.reached_by = c;
+                }
+            }
+            return expansion;
+        }
+    }
+    expansion
+}
+
+/// The expansion as weighted entity features: seeds weigh 1, each hop
+/// halves the weight, and nodes connecting several seeds get a bonus
+/// proportional to how many seeds reached them.
+pub fn expansion_weights(expansion: &Expansion) -> Vec<(InstanceId, f64)> {
+    let mut out: Vec<(InstanceId, f64)> = expansion
+        .iter()
+        .map(|(&v, e)| {
+            let base = 0.5f64.powi(e.dist as i32);
+            let bonus = 1.0 + 0.5 * (e.reached_by.saturating_sub(1)) as f64;
+            (v, base * bonus)
+        })
+        .collect();
+    out.sort_unstable_by_key(|&(v, _)| v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_kg::GraphBuilder;
+
+    /// a - m - b (two seeds joined through m), plus a pendant p off a.
+    fn bridge() -> (
+        KnowledgeGraph,
+        InstanceId,
+        InstanceId,
+        InstanceId,
+        InstanceId,
+    ) {
+        let mut bld = GraphBuilder::new();
+        let a = bld.instance("a");
+        let b = bld.instance("b");
+        let m = bld.instance("m");
+        let p = bld.instance("p");
+        bld.fact(a, "r", m);
+        bld.fact(m, "r", b);
+        bld.fact(a, "r", p);
+        (bld.build(), a, b, m, p)
+    }
+
+    #[test]
+    fn seeds_connect_through_middle() {
+        let (kg, a, b, m, _) = bridge();
+        let exp = expand_seeds(&kg, &[a, b], 3);
+        assert!(exp.contains_key(&m), "hidden node m must be found");
+        assert_eq!(exp[&m].reached_by, 2);
+        assert_eq!(exp[&m].dist, 1);
+        assert_eq!(exp[&a].dist, 0);
+    }
+
+    #[test]
+    fn stops_at_first_connecting_radius() {
+        let (kg, a, b, _, p) = bridge();
+        let exp = expand_seeds(&kg, &[a, b], 3);
+        // Radius 1 already connects (both reach m); pendant p is in a's
+        // ring-1 ball, but nothing at distance 2 should be present.
+        assert!(exp.contains_key(&p));
+        assert!(exp.values().all(|e| e.dist <= 1));
+    }
+
+    #[test]
+    fn single_seed_expands_one_ring() {
+        let (kg, a, _, m, p) = bridge();
+        let exp = expand_seeds(&kg, &[a], 3);
+        assert!(exp.contains_key(&a));
+        assert!(exp.contains_key(&m));
+        assert!(exp.contains_key(&p));
+        assert_eq!(exp.len(), 3, "only the 1-hop ring");
+    }
+
+    #[test]
+    fn disconnected_seeds_expand_to_cap() {
+        let mut bld = GraphBuilder::new();
+        let a = bld.instance("a");
+        let b = bld.instance("b");
+        let a1 = bld.instance("a1");
+        let b1 = bld.instance("b1");
+        bld.fact(a, "r", a1);
+        bld.fact(b, "r", b1);
+        let kg = bld.build();
+        let exp = expand_seeds(&kg, &[a, b], 2);
+        // No common node exists; both balls grow to the cap.
+        assert_eq!(exp.len(), 4);
+        assert!(exp.values().all(|e| e.reached_by <= 1));
+    }
+
+    #[test]
+    fn empty_seeds() {
+        let (kg, ..) = bridge();
+        assert!(expand_seeds(&kg, &[], 3).is_empty());
+    }
+
+    #[test]
+    fn weights_decay_with_distance_and_reward_connectors() {
+        let (kg, a, b, m, _) = bridge();
+        let exp = expand_seeds(&kg, &[a, b], 3);
+        let w: FxHashMap<InstanceId, f64> = expansion_weights(&exp).into_iter().collect();
+        assert!(w[&a] > w[&m] * 0.9, "seed weight should be high");
+        // m is 1 hop but reached by both seeds: 0.5 * 1.5 = 0.75.
+        assert!((w[&m] - 0.75).abs() < 1e-12);
+    }
+}

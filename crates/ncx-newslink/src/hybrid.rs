@@ -1,0 +1,116 @@
+//! The NEWSLINK-BERT hybrid baseline.
+//!
+//! Per the paper: "expands query entities into a subgraph using
+//! NewsLink's algorithm and concatenates them to form a long text query",
+//! which is then answered by the BERT (embedding) engine.
+
+use crate::search::{NewsLinkConfig, NewsLinkEngine};
+use ncx_embed::{BertBaseline, TextEmbedder};
+use ncx_index::DocumentStore;
+use ncx_kg::{DocId, KnowledgeGraph};
+use ncx_text::NlpPipeline;
+
+/// The hybrid engine: NewsLink expansion feeding a dense retriever.
+pub struct NewsLinkBert {
+    newslink: NewsLinkEngine,
+    bert: BertBaseline,
+}
+
+impl NewsLinkBert {
+    /// Builds both legs over the same corpus.
+    pub fn build(
+        kg: &KnowledgeGraph,
+        nlp: &NlpPipeline,
+        store: &DocumentStore,
+        config: NewsLinkConfig,
+        embedder: TextEmbedder,
+    ) -> Self {
+        Self {
+            newslink: NewsLinkEngine::build(kg, nlp, store, config),
+            bert: BertBaseline::build_flat(embedder, store),
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.bert.num_docs()
+    }
+
+    /// Searches: expand the query through the KG, embed the long query,
+    /// retrieve by cosine.
+    pub fn search(
+        &self,
+        kg: &KnowledgeGraph,
+        nlp: &NlpPipeline,
+        query: &str,
+        k: usize,
+    ) -> Vec<(DocId, f64)> {
+        let long_query = self.newslink.expanded_query_text(kg, nlp, query);
+        self.bert.search(&long_query, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_index::NewsSource;
+    use ncx_kg::GraphBuilder;
+    use ncx_text::GazetteerLinker;
+
+    fn setup() -> (KnowledgeGraph, NlpPipeline, DocumentStore) {
+        let mut b = GraphBuilder::new();
+        let ftx = b.instance("FTX");
+        let fraud = b.instance("fraud");
+        let sec = b.instance("SEC");
+        b.fact(ftx, "accusedOf", fraud);
+        b.fact(sec, "investigated", ftx);
+        let kg = b.build();
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let mut store = DocumentStore::new();
+        store.add(
+            NewsSource::Reuters,
+            "Fraud enforcement grows".into(),
+            "Regulators and the SEC pursued fraud cases across markets.".into(),
+            0,
+        );
+        store.add(
+            NewsSource::Nyt,
+            "Gardening tips".into(),
+            "Tomatoes thrive with morning sunlight and compost.".into(),
+            1,
+        );
+        (kg, nlp, store)
+    }
+
+    #[test]
+    fn expansion_bridges_vocabulary_gap() {
+        let (kg, nlp, store) = setup();
+        let eng = NewsLinkBert::build(
+            &kg,
+            &nlp,
+            &store,
+            NewsLinkConfig::default(),
+            TextEmbedder::new(128),
+        );
+        // "FTX" alone shares no words with doc 0; the expansion adds
+        // "fraud"/"SEC", which the embedder matches.
+        let res = eng.search(&kg, &nlp, "FTX", 2);
+        assert_eq!(res[0].0, DocId::new(0));
+        assert!(res[0].1 > res[1].1);
+        assert_eq!(eng.num_docs(), 2);
+    }
+
+    #[test]
+    fn plain_text_queries_still_work() {
+        let (kg, nlp, store) = setup();
+        let eng = NewsLinkBert::build(
+            &kg,
+            &nlp,
+            &store,
+            NewsLinkConfig::default(),
+            TextEmbedder::new(128),
+        );
+        let res = eng.search(&kg, &nlp, "tomatoes compost sunlight", 1);
+        assert_eq!(res[0].0, DocId::new(1));
+    }
+}

@@ -1,0 +1,21 @@
+//! # ncx-newslink — the NewsLink baselines, reimplemented
+//!
+//! NewsLink (Yang, Li & Tung, ICDE 2021) is the state-of-the-art implicit
+//! news-search comparator in the NCExplorer paper. It represents a query
+//! and a document by **expanding their seed entities** through the KG fact
+//! network until the seeds join into a common subgraph, then matches the
+//! expanded bag-of-entities. Two engines are provided:
+//!
+//! * [`search::NewsLinkEngine`] — pure NewsLink: expanded-entity inverted
+//!   index with damped weights for hidden (expansion-only) nodes;
+//! * [`hybrid::NewsLinkBert`] — the NEWSLINK-BERT hybrid of the paper:
+//!   NewsLink's expansion labels are concatenated onto the text query and
+//!   fed into the BERT (embedding) baseline.
+
+pub mod expand;
+pub mod hybrid;
+pub mod search;
+
+pub use expand::expand_seeds;
+pub use hybrid::NewsLinkBert;
+pub use search::NewsLinkEngine;

@@ -1,0 +1,309 @@
+//! Landmark distance-labelling k-hop reachability index.
+//!
+//! Build: pick the `L` highest-degree instance nodes as landmarks and run
+//! a bounded BFS from each, recording `dist(landmark, ·)` up to `k_max`
+//! (the graph is bidirected, so one direction suffices). Queries use the
+//! triangle inequality:
+//!
+//! * **upper bound** — `min_λ d(u,λ) + d(λ,v)`: if ≤ k, reachable.
+//! * **lower bound** — `max_λ |d(u,λ) − d(λ,v)|`: if > k, unreachable.
+//!
+//! When the bounds disagree an exact bounded bidirectional BFS decides.
+//! The index exists to make `reachable_within(u, v, k)` cheap for the
+//! millions of (entity, context-entity) pairs scored during indexing.
+
+use ncx_kg::traversal::{bounded_bfs, DistMap, Hops};
+use ncx_kg::{InstanceId, KnowledgeGraph};
+
+/// Sentinel for "beyond k_max / unreachable".
+const FAR: u8 = u8::MAX;
+
+/// The landmark index.
+#[derive(Debug, Clone)]
+pub struct KHopIndex {
+    k_max: Hops,
+    landmarks: Vec<InstanceId>,
+    /// `labels[l][v]` = hop distance from landmark `l` to node `v`, or
+    /// [`FAR`].
+    labels: Vec<Box<[u8]>>,
+    /// Wall-clock build time.
+    pub build_time: std::time::Duration,
+}
+
+/// Outcome of a bound-only query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundVerdict {
+    /// Upper bound proves reachability within k.
+    Reachable,
+    /// Lower bound proves unreachability within k.
+    Unreachable,
+    /// Bounds are inconclusive; an exact search is needed.
+    Unknown,
+}
+
+impl KHopIndex {
+    /// Builds the index with `num_landmarks` hubs and label radius `k_max`.
+    pub fn build(kg: &KnowledgeGraph, num_landmarks: usize, k_max: Hops) -> Self {
+        let start = std::time::Instant::now();
+        let n = kg.num_instances();
+        let mut by_degree: Vec<InstanceId> = kg.instances().collect();
+        by_degree.sort_unstable_by_key(|&v| std::cmp::Reverse(kg.degree(v)));
+        let landmarks: Vec<InstanceId> = by_degree.into_iter().take(num_landmarks).collect();
+
+        let mut labels = Vec::with_capacity(landmarks.len());
+        let mut dist = DistMap::new(n);
+        for &lm in &landmarks {
+            bounded_bfs(kg, &[lm], k_max, &mut dist);
+            let mut row = vec![FAR; n].into_boxed_slice();
+            for v in kg.instances() {
+                if let Some(d) = dist.get(v) {
+                    row[v.index()] = d;
+                }
+            }
+            labels.push(row);
+        }
+        Self {
+            k_max,
+            landmarks,
+            labels,
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// The label radius.
+    pub fn k_max(&self) -> Hops {
+        self.k_max
+    }
+
+    /// The landmark nodes, highest degree first.
+    pub fn landmarks(&self) -> &[InstanceId] {
+        &self.landmarks
+    }
+
+    /// Approximate resident memory of the labels in bytes (the quantity
+    /// the paper reports as "100 GB" for full DBpedia).
+    pub fn memory_bytes(&self) -> usize {
+        self.labels.iter().map(|r| r.len()).sum()
+    }
+
+    /// Bound-only verdict for "is `v` within `k` hops of `u`?".
+    pub fn bound_check(&self, u: InstanceId, v: InstanceId, k: Hops) -> BoundVerdict {
+        if u == v {
+            return BoundVerdict::Reachable;
+        }
+        let mut lower = 0u16;
+        for row in &self.labels {
+            let du = row[u.index()];
+            let dv = row[v.index()];
+            if du != FAR && dv != FAR {
+                if du.saturating_add(dv) <= k {
+                    return BoundVerdict::Reachable;
+                }
+                let diff = du.abs_diff(dv) as u16;
+                lower = lower.max(diff);
+            } else if du != FAR || dv != FAR {
+                // One endpoint within k_max of the landmark, the other
+                // beyond: distance exceeds k_max - d(known side).
+                let known = if du != FAR { du } else { dv };
+                let gap = (self.k_max as u16 + 1).saturating_sub(known as u16);
+                lower = lower.max(gap);
+            }
+        }
+        if lower > k as u16 {
+            BoundVerdict::Unreachable
+        } else {
+            BoundVerdict::Unknown
+        }
+    }
+
+    /// Exact k-hop reachability: bounds first, bidirectional BFS fallback.
+    ///
+    /// `scratch` is a reusable [`DistMap`] sized for `kg`.
+    pub fn reachable_within(
+        &self,
+        kg: &KnowledgeGraph,
+        u: InstanceId,
+        v: InstanceId,
+        k: Hops,
+        scratch: &mut DistMap,
+    ) -> bool {
+        match self.bound_check(u, v, k) {
+            BoundVerdict::Reachable => true,
+            BoundVerdict::Unreachable => false,
+            BoundVerdict::Unknown => bidirectional_within(kg, u, v, k, scratch),
+        }
+    }
+}
+
+/// Exact bounded reachability check with a bidirectional BFS: forward from
+/// `u` for ⌈k/2⌉ hops, backward from `v` for ⌊k/2⌋ hops, meet in the
+/// middle. (The graph is bidirected, so both searches use `neighbors`.)
+pub fn bidirectional_within(
+    kg: &KnowledgeGraph,
+    u: InstanceId,
+    v: InstanceId,
+    k: Hops,
+    scratch: &mut DistMap,
+) -> bool {
+    if u == v {
+        return true;
+    }
+    if k == 0 {
+        return false;
+    }
+    let back = k / 2;
+    let forward = k - back;
+    // Backward ball around v.
+    bounded_bfs(kg, &[v], back, scratch);
+    if let Some(d) = scratch.get(u) {
+        debug_assert!(d <= back);
+        return true;
+    }
+    // Forward BFS from u, testing membership in the backward ball.
+    // A private frontier here (not DistMap) keeps the backward ball intact.
+    let mut visited = rustc_hash::FxHashSet::default();
+    visited.insert(u);
+    let mut frontier = vec![u];
+    for _ in 0..forward {
+        let mut next = Vec::new();
+        for &x in &frontier {
+            for &w in kg.neighbors(x) {
+                if scratch.contains(w) {
+                    return true;
+                }
+                if visited.insert(w) {
+                    next.push(w);
+                }
+            }
+        }
+        if next.is_empty() {
+            return false;
+        }
+        frontier = next;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_kg::traversal::hop_distance;
+    use ncx_kg::GraphBuilder;
+
+    /// A 12-node graph: a hub star plus a long tail.
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let hub = b.instance("hub");
+        for i in 0..6 {
+            let v = b.instance(&format!("spoke{i}"));
+            b.fact(hub, "r", v);
+        }
+        // tail: hub - t1 - t2 - t3 - t4
+        let mut prev = hub;
+        for i in 1..=4 {
+            let t = b.instance(&format!("t{i}"));
+            b.fact(prev, "r", t);
+            prev = t;
+        }
+        b.build()
+    }
+
+    #[test]
+    fn landmarks_are_high_degree() {
+        let g = graph();
+        let idx = KHopIndex::build(&g, 1, 3);
+        assert_eq!(idx.landmarks().len(), 1);
+        assert_eq!(g.instance_label(idx.landmarks()[0]), "hub");
+        assert!(idx.build_time.as_nanos() > 0);
+        assert_eq!(idx.memory_bytes(), g.num_instances());
+    }
+
+    #[test]
+    fn reachability_agrees_with_bfs_everywhere() {
+        let g = graph();
+        let idx = KHopIndex::build(&g, 2, 3);
+        let mut scratch = DistMap::new(g.num_instances());
+        let mut probe = DistMap::new(g.num_instances());
+        for u in g.instances() {
+            for v in g.instances() {
+                for k in 0..=4u8 {
+                    let truth = hop_distance(&g, u, v, k, &mut probe).is_some();
+                    let got = idx.reachable_within(&g, u, v, k, &mut scratch);
+                    assert_eq!(got, truth, "u={u:?} v={v:?} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_check_is_sound() {
+        let g = graph();
+        let idx = KHopIndex::build(&g, 2, 3);
+        let mut probe = DistMap::new(g.num_instances());
+        for u in g.instances() {
+            for v in g.instances() {
+                for k in 0..=4u8 {
+                    let truth = hop_distance(&g, u, v, k, &mut probe).is_some();
+                    match idx.bound_check(u, v, k) {
+                        BoundVerdict::Reachable => {
+                            assert!(truth, "false positive u={u:?} v={v:?} k={k}")
+                        }
+                        BoundVerdict::Unreachable => {
+                            assert!(!truth, "false negative u={u:?} v={v:?} k={k}")
+                        }
+                        BoundVerdict::Unknown => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_handles_disconnected() {
+        let mut b = GraphBuilder::new();
+        let a = b.instance("a");
+        let z = b.instance("z");
+        let g = b.build();
+        let mut scratch = DistMap::new(g.num_instances());
+        assert!(!bidirectional_within(&g, a, z, 10, &mut scratch));
+        assert!(bidirectional_within(&g, a, a, 0, &mut scratch));
+    }
+
+    #[test]
+    fn zero_landmarks_still_correct() {
+        let g = graph();
+        let idx = KHopIndex::build(&g, 0, 3);
+        let mut scratch = DistMap::new(g.num_instances());
+        let hub = g.instance_by_name("hub").unwrap();
+        let t4 = g.instance_by_name("t4").unwrap();
+        assert!(idx.reachable_within(&g, hub, t4, 4, &mut scratch));
+        assert!(!idx.reachable_within(&g, hub, t4, 3, &mut scratch));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_index_matches_bfs(
+            edges in proptest::collection::vec((0u32..16, 0u32..16), 1..40),
+            k in 0u8..=5,
+            lm in 0usize..4,
+        ) {
+            let mut b = GraphBuilder::new();
+            let nodes: Vec<InstanceId> =
+                (0..16).map(|i| b.instance(&format!("n{i}"))).collect();
+            for (u, v) in edges {
+                b.fact(nodes[u as usize], "r", nodes[v as usize]);
+            }
+            let g = b.build();
+            let idx = KHopIndex::build(&g, lm, 3);
+            let mut scratch = DistMap::new(g.num_instances());
+            let mut probe = DistMap::new(g.num_instances());
+            for &u in nodes.iter().take(4) {
+                for &v in nodes.iter().rev().take(4) {
+                    let truth = hop_distance(&g, u, v, k, &mut probe).is_some();
+                    let got = idx.reachable_within(&g, u, v, k, &mut scratch);
+                    proptest::prop_assert_eq!(got, truth);
+                }
+            }
+        }
+    }
+}

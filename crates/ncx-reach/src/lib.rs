@@ -1,0 +1,22 @@
+//! # ncx-reach — k-hop reachability substrate
+//!
+//! The paper accelerates its random-walk connectivity estimator with a
+//! "reachability index \[31\] on the KG instance space", sampling "only
+//! eligible neighbours that satisfy the hop constraint". This crate
+//! provides the two pieces that make that guidance work:
+//!
+//! * [`khop`] — a landmark distance-labelling **k-hop reachability index**
+//!   (after Cheng et al., *Efficient processing of k-hop reachability
+//!   queries*, VLDBJ 2014): bounded BFS labels from high-degree hub nodes
+//!   give constant-time lower/upper bounds on hop distance, with an exact
+//!   bounded bidirectional BFS fallback;
+//! * [`oracle`] — a per-target distance oracle: one bounded BFS from a
+//!   walk target yields exact `dist(w → target)` lookups for every step of
+//!   every walk towards that target, cached across (concept, document)
+//!   scoring pairs.
+
+pub mod khop;
+pub mod oracle;
+
+pub use khop::KHopIndex;
+pub use oracle::TargetDistanceOracle;

@@ -1,0 +1,209 @@
+//! Per-target distance oracle for guided random walks.
+//!
+//! A guided walk towards a context entity `v` needs, at every step, the
+//! exact remaining hop distance `dist(w → v)` for each candidate
+//! neighbour `w`. One bounded BFS from `v` answers all of those lookups;
+//! the oracle caches the resulting distance arrays so that the many walks
+//! (and many source entities `u ∈ Ψ(c)`) that share a target pay for the
+//! BFS once.
+
+use ncx_kg::traversal::{bounded_bfs, DistMap, Hops};
+use ncx_kg::{InstanceId, KnowledgeGraph};
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+/// Sentinel distance for "not within τ hops".
+pub const UNREACHED: u8 = u8::MAX;
+
+/// Distances from every node *to* one target, bounded by τ.
+#[derive(Debug, Clone)]
+pub struct TargetDistances {
+    target: InstanceId,
+    tau: Hops,
+    dist: Arc<[u8]>,
+}
+
+impl TargetDistances {
+    /// The target these distances refer to.
+    pub fn target(&self) -> InstanceId {
+        self.target
+    }
+
+    /// The hop bound.
+    pub fn tau(&self) -> Hops {
+        self.tau
+    }
+
+    /// `dist(w → target)` if within τ.
+    #[inline]
+    pub fn get(&self, w: InstanceId) -> Option<Hops> {
+        let d = self.dist[w.index()];
+        if d == UNREACHED {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Whether `w` can reach the target within `budget` hops.
+    #[inline]
+    pub fn within(&self, w: InstanceId, budget: Hops) -> bool {
+        self.dist[w.index()] <= budget.min(self.tau)
+    }
+}
+
+/// A caching oracle producing [`TargetDistances`].
+pub struct TargetDistanceOracle {
+    tau: Hops,
+    cache: Mutex<FxHashMap<InstanceId, TargetDistances>>,
+    capacity: usize,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl TargetDistanceOracle {
+    /// Creates an oracle with hop bound `tau`, caching up to `capacity`
+    /// targets (the cache is cleared wholesale when full — targets within
+    /// one document batch repeat heavily, across batches rarely).
+    pub fn new(tau: Hops, capacity: usize) -> Self {
+        Self {
+            tau,
+            cache: Mutex::new(FxHashMap::default()),
+            capacity: capacity.max(1),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The hop bound.
+    pub fn tau(&self) -> Hops {
+        self.tau
+    }
+
+    /// Distances to `target`, computing and caching on miss.
+    pub fn distances(&self, kg: &KnowledgeGraph, target: InstanceId) -> TargetDistances {
+        use std::sync::atomic::Ordering::Relaxed;
+        {
+            let cache = self.cache.lock();
+            if let Some(td) = cache.get(&target) {
+                self.hits.fetch_add(1, Relaxed);
+                return td.clone();
+            }
+        }
+        self.misses.fetch_add(1, Relaxed);
+        let td = compute_target_distances(kg, target, self.tau);
+        let mut cache = self.cache.lock();
+        if cache.len() >= self.capacity {
+            cache.clear();
+        }
+        cache.insert(target, td.clone());
+        td
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    }
+}
+
+/// One bounded BFS from `target`, materialised as a dense byte array.
+pub fn compute_target_distances(
+    kg: &KnowledgeGraph,
+    target: InstanceId,
+    tau: Hops,
+) -> TargetDistances {
+    let n = kg.num_instances();
+    let mut map = DistMap::new(n);
+    bounded_bfs(kg, &[target], tau, &mut map);
+    let mut dist = vec![UNREACHED; n];
+    for v in kg.instances() {
+        if let Some(d) = map.get(v) {
+            dist[v.index()] = d;
+        }
+    }
+    TargetDistances {
+        target,
+        tau,
+        dist: dist.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_kg::GraphBuilder;
+
+    fn chain() -> (KnowledgeGraph, Vec<InstanceId>) {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<InstanceId> = (0..5).map(|i| b.instance(&format!("n{i}"))).collect();
+        for w in nodes.windows(2) {
+            b.fact(w[0], "r", w[1]);
+        }
+        (b.build(), nodes)
+    }
+
+    #[test]
+    fn distances_are_exact() {
+        let (g, n) = chain();
+        let td = compute_target_distances(&g, n[4], 3);
+        assert_eq!(td.get(n[4]), Some(0));
+        assert_eq!(td.get(n[3]), Some(1));
+        assert_eq!(td.get(n[1]), Some(3));
+        assert_eq!(td.get(n[0]), None); // 4 hops > τ=3
+    }
+
+    #[test]
+    fn within_respects_budget() {
+        let (g, n) = chain();
+        let td = compute_target_distances(&g, n[4], 3);
+        assert!(td.within(n[3], 1));
+        assert!(td.within(n[3], 3));
+        assert!(!td.within(n[1], 2));
+        assert!(!td.within(n[0], 3));
+    }
+
+    #[test]
+    fn oracle_caches() {
+        let (g, n) = chain();
+        let oracle = TargetDistanceOracle::new(3, 8);
+        let a = oracle.distances(&g, n[4]);
+        let b = oracle.distances(&g, n[4]);
+        assert_eq!(a.get(n[2]), b.get(n[2]));
+        let (hits, misses) = oracle.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn oracle_evicts_when_full() {
+        let (g, n) = chain();
+        let oracle = TargetDistanceOracle::new(3, 2);
+        oracle.distances(&g, n[0]);
+        oracle.distances(&g, n[1]);
+        oracle.distances(&g, n[2]); // clears, inserts n2
+        oracle.distances(&g, n[0]); // miss again
+        let (_, misses) = oracle.stats();
+        assert_eq!(misses, 4);
+    }
+
+    #[test]
+    fn oracle_shared_across_threads() {
+        let (g, n) = chain();
+        let oracle = std::sync::Arc::new(TargetDistanceOracle::new(3, 8));
+        let g = std::sync::Arc::new(g);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let oracle = oracle.clone();
+            let g = g.clone();
+            let target = n[4];
+            handles.push(std::thread::spawn(move || {
+                let td = oracle.distances(&g, target);
+                td.get(InstanceId::new(3))
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Some(1));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # ncx-text — NLP substrate for NCExplorer
+//!
+//! The paper runs each incoming news article through a pipeline of
+//! "tokenization, entity recognition and entity linking" (spaCy in the
+//! original system) to transform a document into a list of KG instance
+//! entities, then weights terms with TF-IDF / BM25. This crate implements
+//! that pipeline from scratch:
+//!
+//! * [`tokenizer`] — Unicode-aware word tokenizer with spans;
+//! * [`stopwords`] — English stopword list;
+//! * [`stemmer`] — light suffix-stripping stemmer (Porter-style subset);
+//! * [`vocab`] — corpus vocabulary with document frequencies;
+//! * [`weighting`] — TF-IDF and BM25 weighting schemes;
+//! * [`ner`] — gazetteer-trie entity recognizer + linker over KG surface
+//!   forms (labels and aliases), greedy longest match;
+//! * [`pipeline`] — ties everything together: text → [`AnnotatedDoc`] with
+//!   tokens, entity mentions, and per-entity term weights.
+//!
+//! # Example
+//!
+//! ```
+//! use ncx_kg::GraphBuilder;
+//! use ncx_text::{ner::GazetteerLinker, pipeline::NlpPipeline};
+//!
+//! let mut b = GraphBuilder::new();
+//! let ftx = b.instance("FTX");
+//! let sbf = b.instance("Sam Bankman-Fried");
+//! b.alias(sbf, "SBF");
+//! let kg = b.build();
+//!
+//! let linker = GazetteerLinker::build(&kg);
+//! let nlp = NlpPipeline::new(linker);
+//! let doc = nlp.process("FTX collapsed after SBF was arrested; FTX filed for bankruptcy.");
+//! assert_eq!(doc.count_of(ftx), 2);
+//! assert_eq!(doc.count_of(sbf), 1);
+//! ```
+
+pub mod ner;
+pub mod phrase;
+pub mod pipeline;
+pub mod stemmer;
+pub mod stopwords;
+pub mod tokenizer;
+pub mod vocab;
+pub mod weighting;
+
+pub use ner::{GazetteerLinker, Mention};
+pub use pipeline::{AnnotatedDoc, NlpPipeline};
+pub use vocab::Vocabulary;

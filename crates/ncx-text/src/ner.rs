@@ -1,0 +1,273 @@
+//! Gazetteer-based entity recognition and linking.
+//!
+//! Substitutes the spaCy NER + entity-linking stage of the paper's
+//! pipeline: every KG instance contributes its label and aliases as
+//! surface forms; recognition is greedy longest-match over a token-level
+//! trie, case-insensitive. Matching runs *before* stopword removal so that
+//! multiword names ("Bank of America") link correctly.
+
+use crate::tokenizer;
+use ncx_kg::{InstanceId, KnowledgeGraph};
+use rustc_hash::FxHashMap;
+
+/// An entity mention: a token range linked to a KG instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mention {
+    /// The linked KG instance entity.
+    pub instance: InstanceId,
+    /// First token index of the surface form.
+    pub start_token: usize,
+    /// One past the last token index.
+    pub end_token: usize,
+}
+
+#[derive(Debug, Default, Clone)]
+struct TrieNode {
+    children: FxHashMap<u32, u32>,
+    /// Instances whose surface form ends at this node (usually 0 or 1;
+    /// ambiguous surfaces link to every candidate).
+    terminal: Vec<InstanceId>,
+}
+
+/// Longest-match dictionary entity linker over KG surface forms.
+#[derive(Debug, Clone)]
+pub struct GazetteerLinker {
+    gterms: FxHashMap<Box<str>, u32>,
+    nodes: Vec<TrieNode>,
+    num_surfaces: usize,
+}
+
+impl GazetteerLinker {
+    /// Builds the linker from every instance label and alias in `kg`.
+    ///
+    /// Single-token surfaces that are stopwords or shorter than two
+    /// characters are skipped (they would link on virtually every
+    /// document).
+    pub fn build(kg: &KnowledgeGraph) -> Self {
+        let mut linker = Self {
+            gterms: FxHashMap::default(),
+            nodes: vec![TrieNode::default()],
+            num_surfaces: 0,
+        };
+        for v in kg.instances() {
+            linker.add_surface(kg.instance_label(v), v);
+            for alias in kg.instance_aliases(v) {
+                linker.add_surface(alias, v);
+            }
+        }
+        linker
+    }
+
+    /// Creates an empty linker (useful for tests and custom gazetteers).
+    pub fn empty() -> Self {
+        Self {
+            gterms: FxHashMap::default(),
+            nodes: vec![TrieNode::default()],
+            num_surfaces: 0,
+        }
+    }
+
+    /// Registers one surface form for an instance.
+    pub fn add_surface(&mut self, surface: &str, instance: InstanceId) {
+        let toks = tokenizer::tokenize_lower(surface);
+        if toks.is_empty() {
+            return;
+        }
+        if toks.len() == 1 && (toks[0].len() < 2 || crate::stopwords::is_stopword(&toks[0])) {
+            return;
+        }
+        let mut node = 0u32;
+        for t in &toks {
+            let next_id = self.nodes.len() as u32;
+            let next_gt = self.gterms.len() as u32;
+            let gt = *self.gterms.entry(t.as_str().into()).or_insert(next_gt);
+            let entry = self.nodes[node as usize]
+                .children
+                .entry(gt)
+                .or_insert(next_id);
+            if *entry == next_id {
+                node = next_id;
+                self.nodes.push(TrieNode::default());
+            } else {
+                node = *entry;
+            }
+        }
+        let term = &mut self.nodes[node as usize].terminal;
+        if !term.contains(&instance) {
+            term.push(instance);
+            self.num_surfaces += 1;
+        }
+    }
+
+    /// Number of registered (surface, instance) pairs.
+    pub fn num_surfaces(&self) -> usize {
+        self.num_surfaces
+    }
+
+    /// Finds all mentions in a lowercase token stream, greedy longest match
+    /// left-to-right. Overlapping matches are resolved in favour of the
+    /// longer (earlier-starting) one.
+    pub fn annotate(&self, lower_tokens: &[String]) -> Vec<Mention> {
+        let mut mentions = Vec::new();
+        let mut i = 0;
+        while i < lower_tokens.len() {
+            let mut node = 0u32;
+            let mut best: Option<(usize, u32)> = None; // (end_token, node)
+            let mut j = i;
+            while j < lower_tokens.len() {
+                let Some(&gt) = self.gterms.get(lower_tokens[j].as_str()) else {
+                    break;
+                };
+                let Some(&child) = self.nodes[node as usize].children.get(&gt) else {
+                    break;
+                };
+                node = child;
+                j += 1;
+                if !self.nodes[node as usize].terminal.is_empty() {
+                    best = Some((j, node));
+                }
+            }
+            if let Some((end, node)) = best {
+                for &inst in &self.nodes[node as usize].terminal {
+                    mentions.push(Mention {
+                        instance: inst,
+                        start_token: i,
+                        end_token: end,
+                    });
+                }
+                i = end;
+            } else {
+                i += 1;
+            }
+        }
+        mentions
+    }
+
+    /// Convenience: tokenizes raw text and annotates it.
+    pub fn annotate_text(&self, text: &str) -> Vec<Mention> {
+        self.annotate(&tokenizer::tokenize_lower(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_kg::GraphBuilder;
+
+    fn kg() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let ftx = b.instance("FTX");
+        let boa = b.instance("Bank of America");
+        let sbf = b.instance("Sam Bankman-Fried");
+        b.alias(sbf, "SBF");
+        b.alias(sbf, "Bankman-Fried");
+        let _ = (ftx, boa);
+        b.build()
+    }
+
+    #[test]
+    fn single_token_match() {
+        let g = kg();
+        let linker = GazetteerLinker::build(&g);
+        let m = linker.annotate_text("FTX collapsed.");
+        assert_eq!(m.len(), 1);
+        assert_eq!(g.instance_label(m[0].instance), "FTX");
+        assert_eq!((m[0].start_token, m[0].end_token), (0, 1));
+    }
+
+    #[test]
+    fn multiword_with_stopword_inside() {
+        let g = kg();
+        let linker = GazetteerLinker::build(&g);
+        let m = linker.annotate_text("Regulators fined Bank of America today");
+        assert_eq!(m.len(), 1);
+        assert_eq!(g.instance_label(m[0].instance), "Bank of America");
+        assert_eq!((m[0].start_token, m[0].end_token), (2, 5));
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut b = GraphBuilder::new();
+        let short = b.instance("Bank");
+        let long = b.instance("Bank of America");
+        let g = b.build();
+        let linker = GazetteerLinker::build(&g);
+        let m = linker.annotate_text("Bank of America reported earnings");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].instance, long);
+        let m2 = linker.annotate_text("the Bank said");
+        assert_eq!(m2.len(), 1);
+        assert_eq!(m2[0].instance, short);
+    }
+
+    #[test]
+    fn aliases_link_to_same_instance() {
+        let g = kg();
+        let sbf = g.instance_by_name("Sam Bankman-Fried").unwrap();
+        let linker = GazetteerLinker::build(&g);
+        for text in [
+            "SBF testified",
+            "Bankman-Fried testified",
+            "Sam Bankman-Fried testified",
+        ] {
+            let m = linker.annotate_text(text);
+            assert_eq!(m.len(), 1, "{text}");
+            assert_eq!(m[0].instance, sbf, "{text}");
+        }
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let g = kg();
+        let linker = GazetteerLinker::build(&g);
+        assert_eq!(linker.annotate_text("ftx and FTX and Ftx").len(), 3);
+    }
+
+    #[test]
+    fn stopword_surfaces_skipped() {
+        let mut b = GraphBuilder::new();
+        let the = b.instance("The");
+        let _ = the;
+        let g = b.build();
+        let linker = GazetteerLinker::build(&g);
+        assert_eq!(linker.num_surfaces(), 0);
+        assert!(linker.annotate_text("the the the").is_empty());
+    }
+
+    #[test]
+    fn ambiguous_surface_links_all() {
+        let mut linker = GazetteerLinker::empty();
+        let a = InstanceId::new(0);
+        let b = InstanceId::new(1);
+        linker.add_surface("Mercury", a);
+        linker.add_surface("Mercury", b);
+        let m = linker.annotate(&["mercury".to_string()]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn no_partial_prefix_match() {
+        let mut linker = GazetteerLinker::empty();
+        linker.add_surface("New York Times", InstanceId::new(0));
+        // "New York" alone must not match.
+        assert!(linker
+            .annotate(&["new".into(), "york".into(), "post".into()])
+            .is_empty());
+    }
+
+    #[test]
+    fn consecutive_entities() {
+        let g = kg();
+        let linker = GazetteerLinker::build(&g);
+        let m = linker.annotate_text("FTX SBF FTX");
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_surface_registration_is_idempotent() {
+        let mut linker = GazetteerLinker::empty();
+        linker.add_surface("FTX", InstanceId::new(0));
+        linker.add_surface("FTX", InstanceId::new(0));
+        assert_eq!(linker.num_surfaces(), 1);
+    }
+}

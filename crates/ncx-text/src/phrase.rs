@@ -1,0 +1,151 @@
+//! Key-phrase extraction for query assistance.
+//!
+//! The paper's UI shows analysts candidate terms extracted from result
+//! documents (the "array of related subtopics" in Fig. 1's green boxes).
+//! This module scores candidate noun-ish phrases (consecutive
+//! non-stopword token runs) by frequency × length, a light-weight
+//! substitute for a keyphrase model.
+
+use crate::stopwords::is_stopword;
+use crate::tokenizer::tokenize_lower;
+use rustc_hash::FxHashMap;
+
+/// A scored key phrase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyPhrase {
+    /// The phrase (lowercased, space-joined tokens).
+    pub text: String,
+    /// Occurrence count.
+    pub count: u32,
+    /// Score: `count × len_tokens` (longer exact repeats matter more).
+    pub score: f64,
+}
+
+/// Extracts the top `k` key phrases of up to `max_len` tokens from `text`.
+/// Single-token phrases must occur at least twice; longer phrases qualify
+/// with a single occurrence only if `min_count` allows.
+pub fn key_phrases(text: &str, max_len: usize, min_count: u32, k: usize) -> Vec<KeyPhrase> {
+    let tokens = tokenize_lower(text);
+    // Split into stopword-free runs.
+    let mut runs: Vec<Vec<&str>> = Vec::new();
+    let mut cur: Vec<&str> = Vec::new();
+    for t in &tokens {
+        if is_stopword(t)
+            || t.chars()
+                .all(|c| c.is_ascii_digit() || c == '.' || c == ',')
+        {
+            if !cur.is_empty() {
+                runs.push(std::mem::take(&mut cur));
+            }
+        } else {
+            cur.push(t);
+        }
+    }
+    if !cur.is_empty() {
+        runs.push(cur);
+    }
+
+    let mut counts: FxHashMap<String, u32> = FxHashMap::default();
+    for run in &runs {
+        for len in 1..=max_len.min(run.len()) {
+            for window in run.windows(len) {
+                *counts.entry(window.join(" ")).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut phrases: Vec<KeyPhrase> = counts
+        .into_iter()
+        .filter(|&(ref p, c)| {
+            let len = p.split(' ').count();
+            c >= min_count && (len > 1 || c >= 2)
+        })
+        .map(|(text, count)| {
+            let len = text.split(' ').count();
+            KeyPhrase {
+                score: count as f64 * len as f64,
+                text,
+                count,
+            }
+        })
+        .collect();
+    phrases.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.text.cmp(&b.text))
+    });
+    // Drop phrases wholly contained in a higher-ranked phrase with the
+    // same count (they carry no extra information).
+    let mut kept: Vec<KeyPhrase> = Vec::new();
+    for p in phrases {
+        let subsumed = kept
+            .iter()
+            .any(|q| q.count == p.count && q.text.contains(&p.text));
+        if !subsumed {
+            kept.push(p);
+        }
+        if kept.len() >= k {
+            break;
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_phrase_wins() {
+        let text = "Money laundering probe widens. The money laundering case \
+                    involves several banks. Regulators called money laundering \
+                    a systemic risk.";
+        let phrases = key_phrases(text, 3, 1, 5);
+        assert_eq!(phrases[0].text, "money laundering");
+        assert_eq!(phrases[0].count, 3);
+    }
+
+    #[test]
+    fn singletons_need_two_occurrences() {
+        let text = "unique words only here";
+        assert!(key_phrases(text, 1, 1, 5).is_empty());
+        let text2 = "repeat repeat";
+        let p = key_phrases(text2, 2, 1, 5);
+        assert!(p.iter().any(|x| x.text == "repeat"));
+    }
+
+    #[test]
+    fn stopwords_break_runs() {
+        let text = "bank of america bank of america";
+        let phrases = key_phrases(text, 3, 1, 10);
+        // "of" breaks the run: no phrase may contain it.
+        for p in &phrases {
+            assert!(!p.text.contains(" of "), "{}", p.text);
+        }
+        assert!(phrases.iter().any(|p| p.text == "bank"));
+    }
+
+    #[test]
+    fn subsumed_phrases_dropped() {
+        let text = "class action lawsuit filed. class action lawsuit settled.";
+        let phrases = key_phrases(text, 3, 1, 10);
+        let texts: Vec<&str> = phrases.iter().map(|p| p.text.as_str()).collect();
+        assert!(texts.contains(&"class action lawsuit"));
+        // "class action" (same count 2, contained) must be subsumed.
+        assert!(!texts.contains(&"class action"), "{texts:?}");
+    }
+
+    #[test]
+    fn k_limits_output() {
+        let text = "alpha alpha beta beta gamma gamma delta delta";
+        assert_eq!(key_phrases(text, 1, 1, 2).len(), 2);
+    }
+
+    #[test]
+    fn numbers_excluded() {
+        let text = "3.45 3.45 3.45 profit profit";
+        let phrases = key_phrases(text, 2, 1, 5);
+        assert!(phrases.iter().all(|p| !p.text.contains("3.45")));
+    }
+}

@@ -1,0 +1,153 @@
+//! The document-processing pipeline: text → tokens → entity mentions →
+//! per-entity counts, mirroring the paper's "tokenization, entity
+//! recognition and entity linking" NLP stage (§III, Fig. 3).
+
+use crate::ner::{GazetteerLinker, Mention};
+use crate::stemmer::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenizer;
+use ncx_kg::InstanceId;
+use rustc_hash::FxHashMap;
+
+/// A processed document: tokens, entity mentions and aggregate counts.
+#[derive(Debug, Clone, Default)]
+pub struct AnnotatedDoc {
+    /// All lowercase tokens in order (stopwords included).
+    pub tokens: Vec<String>,
+    /// Entity mentions found by the linker.
+    pub mentions: Vec<Mention>,
+    /// Total mention count per distinct entity.
+    pub entity_counts: FxHashMap<InstanceId, u32>,
+    /// Stemmed, stopword-free index terms with frequencies.
+    pub term_counts: FxHashMap<String, u32>,
+}
+
+impl AnnotatedDoc {
+    /// Number of mentions of `v` in the document (0 if absent).
+    pub fn count_of(&self, v: InstanceId) -> u32 {
+        self.entity_counts.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Distinct entities mentioned, in ascending id order.
+    pub fn entities(&self) -> Vec<InstanceId> {
+        let mut v: Vec<InstanceId> = self.entity_counts.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Token length of the document (for BM25 normalisation).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the document has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// The NLP pipeline: tokenizer + stopword filter + stemmer + entity linker.
+#[derive(Debug, Clone)]
+pub struct NlpPipeline {
+    linker: GazetteerLinker,
+}
+
+impl NlpPipeline {
+    /// Creates a pipeline around a pre-built entity linker.
+    pub fn new(linker: GazetteerLinker) -> Self {
+        Self { linker }
+    }
+
+    /// The underlying linker.
+    pub fn linker(&self) -> &GazetteerLinker {
+        &self.linker
+    }
+
+    /// Processes raw text into an [`AnnotatedDoc`].
+    pub fn process(&self, text: &str) -> AnnotatedDoc {
+        let tokens = tokenizer::tokenize_lower(text);
+        let mentions = self.linker.annotate(&tokens);
+        let mut entity_counts: FxHashMap<InstanceId, u32> = FxHashMap::default();
+        for m in &mentions {
+            *entity_counts.entry(m.instance).or_insert(0) += 1;
+        }
+        let mut term_counts: FxHashMap<String, u32> = FxHashMap::default();
+        for t in &tokens {
+            if is_stopword(t) {
+                continue;
+            }
+            *term_counts.entry(stem(t)).or_insert(0) += 1;
+        }
+        AnnotatedDoc {
+            tokens,
+            mentions,
+            entity_counts,
+            term_counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_kg::GraphBuilder;
+
+    fn pipeline() -> (ncx_kg::KnowledgeGraph, NlpPipeline) {
+        let mut b = GraphBuilder::new();
+        b.instance("FTX");
+        let sbf = b.instance("Sam Bankman-Fried");
+        b.alias(sbf, "SBF");
+        let kg = b.build();
+        let linker = GazetteerLinker::build(&kg);
+        (kg, NlpPipeline::new(linker))
+    }
+
+    #[test]
+    fn counts_aggregate_mentions() {
+        let (kg, nlp) = pipeline();
+        let doc = nlp.process("FTX collapsed. SBF ran FTX. Sam Bankman-Fried denied fraud.");
+        let ftx = kg.instance_by_name("FTX").unwrap();
+        let sbf = kg.instance_by_name("Sam Bankman-Fried").unwrap();
+        assert_eq!(doc.count_of(ftx), 2);
+        assert_eq!(doc.count_of(sbf), 2);
+        assert_eq!(doc.entities(), vec![ftx, sbf]);
+    }
+
+    #[test]
+    fn term_counts_are_stemmed_and_stopword_free() {
+        let (_, nlp) = pipeline();
+        let doc = nlp.process("The banks banked the banking banks");
+        assert!(!doc.term_counts.contains_key("the"));
+        assert_eq!(doc.term_counts.get("bank").copied(), Some(4));
+    }
+
+    #[test]
+    fn empty_text() {
+        let (_, nlp) = pipeline();
+        let doc = nlp.process("");
+        assert!(doc.is_empty());
+        assert!(doc.mentions.is_empty());
+        assert!(doc.entity_counts.is_empty());
+    }
+
+    #[test]
+    fn unknown_entities_ignored() {
+        let (kg, nlp) = pipeline();
+        let doc = nlp.process("Binance expanded in Asia");
+        assert!(doc.entity_counts.is_empty());
+        let _ = kg;
+        assert_eq!(doc.len(), 4);
+    }
+
+    #[test]
+    fn mention_spans_index_tokens() {
+        let (_, nlp) = pipeline();
+        let doc = nlp.process("yesterday Sam Bankman-Fried testified");
+        assert_eq!(doc.mentions.len(), 1);
+        let m = doc.mentions[0];
+        assert_eq!(
+            &doc.tokens[m.start_token..m.end_token],
+            &["sam", "bankman-fried"]
+        );
+    }
+}

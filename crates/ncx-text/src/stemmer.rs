@@ -1,0 +1,156 @@
+//! A light suffix-stripping stemmer (a conservative Porter subset).
+//!
+//! The goal is recall for keyword search ("regulations" ↔ "regulation",
+//! "laundering" ↔ "launder"), not linguistic perfection. The stemmer never
+//! reduces a word below three characters and only handles the inflectional
+//! suffixes that matter for news text.
+
+/// Stems a lowercase word. Applies the suffix-stripping passes until a
+/// fixpoint, so the stemmer is idempotent (`stem(stem(w)) == stem(w)`)
+/// even when one strip exposes another strippable suffix
+/// ("aaaalse" → "aaaals" → "aaaal").
+pub fn stem(word: &str) -> String {
+    let mut w = word.to_string();
+    for _ in 0..4 {
+        let next = stem_once(&w);
+        if next == w {
+            break;
+        }
+        w = next;
+    }
+    w
+}
+
+/// One pass of suffix stripping.
+fn stem_once(word: &str) -> String {
+    let w = word;
+    if w.len() <= 3 || !w.chars().all(|c| c.is_ascii_alphabetic()) {
+        return w.to_string();
+    }
+
+    // Plural / verbal -s endings.
+    let w = if let Some(base) = w.strip_suffix("sses") {
+        format!("{base}ss")
+    } else if let Some(base) = w.strip_suffix("ies") {
+        format!("{base}y")
+    } else if w.ends_with("ss") || w.ends_with("us") || w.ends_with("is") {
+        w.to_string()
+    } else if let Some(base) = w.strip_suffix('s') {
+        base.to_string()
+    } else {
+        w.to_string()
+    };
+
+    // -ed / -ing with minimal restoration.
+    let w = strip_verbal(&w);
+
+    // Adverbial -ly.
+    let w = if w.len() > 5 {
+        w.strip_suffix("ly").map(str::to_string).unwrap_or(w)
+    } else {
+        w
+    };
+
+    // Normalise away trailing 'e's so that "acquire"/"acquired" and
+    // "collapse"/"collapsed" share a stem. Looped so the stemmer is
+    // idempotent even for words ending in "ee"/"ees".
+    let mut w = w;
+    while w.len() > 3 && w.ends_with('e') {
+        w.truncate(w.len() - 1);
+    }
+    w
+}
+
+fn strip_verbal(w: &str) -> String {
+    for (suffix, min_stem) in [("ing", 4), ("ed", 3)] {
+        if let Some(base) = w.strip_suffix(suffix) {
+            if base.len() < min_stem {
+                return w.to_string();
+            }
+            if !base.chars().any(is_vowel) {
+                return w.to_string();
+            }
+            // Undouble final consonant: "stopped" -> "stop".
+            let bytes = base.as_bytes();
+            if bytes.len() >= 2
+                && bytes[bytes.len() - 1] == bytes[bytes.len() - 2]
+                && !is_vowel(bytes[bytes.len() - 1] as char)
+                && !matches!(bytes[bytes.len() - 1], b'l' | b's' | b'z')
+            {
+                return base[..base.len() - 1].to_string();
+            }
+            return base.to_string();
+        }
+    }
+    w.to_string()
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u' | 'y')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plurals() {
+        assert_eq!(stem("banks"), "bank");
+        assert_eq!(stem("companies"), "company");
+        assert_eq!(stem("classes"), "class");
+        assert_eq!(stem("lawsuits"), "lawsuit");
+    }
+
+    #[test]
+    fn keeps_ss_us_is() {
+        assert_eq!(stem("business"), "business");
+        assert_eq!(stem("analysis"), "analysis");
+        assert_eq!(stem("bonus"), "bonus");
+    }
+
+    #[test]
+    fn past_tense() {
+        assert_eq!(stem("collapsed"), stem("collapse"));
+        assert_eq!(stem("fined"), stem("fine"));
+        assert_eq!(stem("stopped"), "stop");
+    }
+
+    #[test]
+    fn gerunds() {
+        assert_eq!(stem("trading"), stem("trade"));
+        assert_eq!(stem("banking"), "bank");
+        assert_eq!(stem("running"), "run");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("gas"), "gas");
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("red"), "red");
+    }
+
+    #[test]
+    fn no_vowel_stems_untouched() {
+        assert_eq!(stem("bbced"), "bbced");
+    }
+
+    #[test]
+    fn numbers_untouched() {
+        assert_eq!(stem("1,250.75"), "1,250.75");
+        assert_eq!(stem("covid19s"), "covid19s");
+    }
+
+    #[test]
+    fn shared_stem_for_inflections() {
+        assert_eq!(stem("regulations"), stem("regulation"));
+        assert_eq!(stem("acquired"), stem("acquire"));
+        assert_eq!(stem("acquires"), stem("acquire"));
+    }
+
+    #[test]
+    fn never_empty() {
+        for w in ["a", "ab", "abc", "ing", "sed", "eds"] {
+            assert!(!stem(w).is_empty());
+        }
+    }
+}

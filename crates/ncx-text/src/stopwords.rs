@@ -1,0 +1,188 @@
+//! English stopword list used by the indexing and weighting layers.
+//!
+//! Entity linking runs *before* stopword removal (surface forms like "Bank
+//! of America" contain stopwords); only the bag-of-words index drops them.
+
+use rustc_hash::FxHashSet;
+use std::sync::OnceLock;
+
+const STOPWORDS: &[&str] = &[
+    "a",
+    "about",
+    "above",
+    "after",
+    "again",
+    "against",
+    "all",
+    "am",
+    "an",
+    "and",
+    "any",
+    "are",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "can",
+    "cannot",
+    "could",
+    "did",
+    "do",
+    "does",
+    "doing",
+    "down",
+    "during",
+    "each",
+    "few",
+    "for",
+    "from",
+    "further",
+    "had",
+    "has",
+    "have",
+    "having",
+    "he",
+    "her",
+    "here",
+    "hers",
+    "herself",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "i",
+    "if",
+    "in",
+    "into",
+    "is",
+    "it",
+    "its",
+    "itself",
+    "just",
+    "me",
+    "more",
+    "most",
+    "my",
+    "myself",
+    "no",
+    "nor",
+    "not",
+    "now",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "said",
+    "same",
+    "she",
+    "should",
+    "so",
+    "some",
+    "such",
+    "than",
+    "that",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "these",
+    "they",
+    "this",
+    "those",
+    "through",
+    "to",
+    "too",
+    "under",
+    "until",
+    "up",
+    "very",
+    "was",
+    "we",
+    "were",
+    "what",
+    "when",
+    "where",
+    "which",
+    "while",
+    "who",
+    "whom",
+    "why",
+    "will",
+    "with",
+    "would",
+    "you",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
+    "also",
+    "says",
+    "say",
+    "according",
+];
+
+fn set() -> &'static FxHashSet<&'static str> {
+    static SET: OnceLock<FxHashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Whether the (lowercased) word is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    set().contains(word)
+}
+
+/// Filters stopwords out of a token stream.
+pub fn remove_stopwords<'a>(tokens: impl IntoIterator<Item = &'a str>) -> Vec<&'a str> {
+    tokens.into_iter().filter(|t| !is_stopword(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "of", "and", "is", "a"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["fraud", "bank", "ftx", "laundering", "acquisition"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn filter_keeps_order() {
+        let toks = vec!["the", "bank", "of", "america", "collapsed"];
+        assert_eq!(remove_stopwords(toks), vec!["bank", "america", "collapsed"]);
+    }
+
+    #[test]
+    fn case_sensitive_by_contract() {
+        // Callers must lowercase first; "The" is not matched.
+        assert!(!is_stopword("The"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Word tokenizer with byte spans.
+//!
+//! A token is a maximal run of alphanumeric characters, with two
+//! extensions tuned for financial news: internal hyphens/apostrophes join
+//! words ("Bankman-Fried", "moody's") and internal dots/commas join digits
+//! ("3.45", "1,000,000").
+
+/// A token: byte span into the original text plus its lowercase form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Byte offset of the first char.
+    pub start: usize,
+    /// Byte offset one past the last char.
+    pub end: usize,
+    /// Lowercased text of the token.
+    pub lower: String,
+}
+
+impl Token {
+    /// The original slice of this token within `text`.
+    pub fn slice<'t>(&self, text: &'t str) -> &'t str {
+        &text[self.start..self.end]
+    }
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric()
+}
+
+fn is_joiner(c: char, prev: char, next: char) -> bool {
+    match c {
+        '-' | '\'' | '’' => prev.is_alphanumeric() && next.is_alphanumeric(),
+        '.' | ',' => prev.is_ascii_digit() && next.is_ascii_digit(),
+        _ => false,
+    }
+}
+
+/// Tokenizes `text` into word tokens.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if !is_word_char(chars[i].1) {
+            i += 1;
+            continue;
+        }
+        let start = chars[i].0;
+        let mut j = i;
+        while j + 1 < chars.len() {
+            let next = chars[j + 1].1;
+            if is_word_char(next) {
+                j += 1;
+            } else if j + 2 < chars.len() && is_joiner(next, chars[j].1, chars[j + 2].1) {
+                j += 2;
+            } else {
+                break;
+            }
+        }
+        let end = chars[j].0 + chars[j].1.len_utf8();
+        tokens.push(Token {
+            start,
+            end,
+            lower: text[start..end].to_lowercase(),
+        });
+        i = j + 1;
+    }
+    tokens
+}
+
+/// Tokenizes and returns only the lowercase strings (convenience).
+pub fn tokenize_lower(text: &str) -> Vec<String> {
+    tokenize(text).into_iter().map(|t| t.lower).collect()
+}
+
+/// Splits text into sentences on `.`, `!`, `?` followed by whitespace.
+/// Returns byte ranges.
+pub fn sentences(text: &str) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if (b == b'.' || b == b'!' || b == b'?')
+            && bytes.get(i + 1).is_none_or(|&n| n.is_ascii_whitespace())
+        {
+            // Avoid splitting decimal numbers like "3.45".
+            let prev_digit = i > 0 && bytes[i - 1].is_ascii_digit();
+            let next_digit = bytes.get(i + 2).is_some_and(|&n| n.is_ascii_digit());
+            if !(b == b'.' && prev_digit && next_digit) {
+                let end = i + 1;
+                if !text[start..end].trim().is_empty() {
+                    out.push(start..end);
+                }
+                start = end;
+            }
+        }
+        i += 1;
+    }
+    if !text[start..].trim().is_empty() {
+        out.push(start..text.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_words() {
+        let toks = tokenize_lower("FTX collapsed in November");
+        assert_eq!(toks, vec!["ftx", "collapsed", "in", "november"]);
+    }
+
+    #[test]
+    fn punctuation_is_skipped() {
+        let toks = tokenize_lower("Hello, world! (really)");
+        assert_eq!(toks, vec!["hello", "world", "really"]);
+    }
+
+    #[test]
+    fn hyphenated_names_stay_joined() {
+        let toks = tokenize_lower("Sam Bankman-Fried resigned");
+        assert_eq!(toks, vec!["sam", "bankman-fried", "resigned"]);
+    }
+
+    #[test]
+    fn apostrophes_join() {
+        let toks = tokenize_lower("Moody's outlook");
+        assert_eq!(toks, vec!["moody's", "outlook"]);
+    }
+
+    #[test]
+    fn numbers_keep_separators() {
+        let toks = tokenize_lower("raised $1,250.75 million");
+        assert_eq!(toks, vec!["raised", "1,250.75", "million"]);
+    }
+
+    #[test]
+    fn trailing_hyphen_not_joined() {
+        let toks = tokenize_lower("anti- money");
+        assert_eq!(toks, vec!["anti", "money"]);
+    }
+
+    #[test]
+    fn spans_point_into_text() {
+        let text = "DBS Bank fined.";
+        let toks = tokenize(text);
+        assert_eq!(toks[0].slice(text), "DBS");
+        assert_eq!(toks[1].slice(text), "Bank");
+        assert_eq!(toks[2].slice(text), "fined");
+    }
+
+    #[test]
+    fn unicode_words() {
+        let toks = tokenize_lower("Société Générale fined €1.3 billion");
+        assert_eq!(toks, vec!["société", "générale", "fined", "1.3", "billion"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n\t ").is_empty());
+    }
+
+    #[test]
+    fn sentence_split() {
+        let s = sentences("FTX collapsed. SBF was arrested! Why? Prices fell 3.45 percent.");
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn sentence_split_keeps_decimals() {
+        let text = "The index fell 3.45 points today.";
+        let s = sentences(text);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn sentence_without_terminator() {
+        let s = sentences("no terminator here");
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Corpus vocabulary: term ↔ id mapping with document frequencies.
+
+use ncx_kg::TermId;
+use rustc_hash::FxHashMap;
+
+/// A growable vocabulary tracking document frequency per term.
+///
+/// Terms are expected to be lowercased (and optionally stemmed) before
+/// insertion; the vocabulary itself is a dumb string table.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    by_term: FxHashMap<Box<str>, TermId>,
+    terms: Vec<Box<str>>,
+    doc_freq: Vec<u32>,
+    num_docs: u32,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a term (without touching document frequency).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId::from_index(self.terms.len());
+        let boxed: Box<str> = term.into();
+        self.terms.push(boxed.clone());
+        self.by_term.insert(boxed, id);
+        self.doc_freq.push(0);
+        id
+    }
+
+    /// Looks up a term id without inserting.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The string of a term id.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id.index()]
+    }
+
+    /// Registers one document's distinct terms, bumping document
+    /// frequencies and the document count.
+    pub fn add_document<'a>(&mut self, distinct_terms: impl IntoIterator<Item = &'a str>) {
+        self.num_docs += 1;
+        for t in distinct_terms {
+            let id = self.intern(t);
+            self.doc_freq[id.index()] += 1;
+        }
+    }
+
+    /// Document frequency of a term id.
+    pub fn df(&self, id: TermId) -> u32 {
+        self.doc_freq[id.index()]
+    }
+
+    /// Total number of documents registered.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the vocabulary has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Smoothed inverse document frequency `ln(1 + (N - df + 0.5)/(df + 0.5))`
+    /// (the BM25 idf; always positive).
+    pub fn idf(&self, id: TermId) -> f64 {
+        let n = self.num_docs as f64;
+        let df = self.df(id) as f64;
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("bank");
+        let b = v.intern("bank");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.term(a), "bank");
+    }
+
+    #[test]
+    fn document_frequencies() {
+        let mut v = Vocabulary::new();
+        v.add_document(["bank", "fraud"]);
+        v.add_document(["bank", "merger"]);
+        let bank = v.get("bank").unwrap();
+        let fraud = v.get("fraud").unwrap();
+        assert_eq!(v.df(bank), 2);
+        assert_eq!(v.df(fraud), 1);
+        assert_eq!(v.num_docs(), 2);
+    }
+
+    #[test]
+    fn idf_orders_rare_above_common() {
+        let mut v = Vocabulary::new();
+        v.add_document(["bank", "fraud"]);
+        v.add_document(["bank"]);
+        v.add_document(["bank"]);
+        let bank = v.get("bank").unwrap();
+        let fraud = v.get("fraud").unwrap();
+        assert!(v.idf(fraud) > v.idf(bank));
+        assert!(v.idf(bank) > 0.0);
+    }
+
+    #[test]
+    fn get_missing() {
+        let v = Vocabulary::new();
+        assert_eq!(v.get("nothing"), None);
+        assert!(v.is_empty());
+    }
+}

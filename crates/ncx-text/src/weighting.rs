@@ -1,0 +1,142 @@
+//! Term weighting schemes: TF-IDF (used for the paper's `tw(v, d)` pivot
+//! entity weight, Eq. 3) and Okapi BM25 (used by the Lucene baseline).
+
+/// Parameters for BM25.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (Lucene default 1.2).
+    pub k1: f64,
+    /// Length normalisation (Lucene default 0.75).
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Log-scaled term frequency: `1 + ln(tf)` for `tf ≥ 1`, else 0.
+pub fn log_tf(tf: u32) -> f64 {
+    if tf == 0 {
+        0.0
+    } else {
+        1.0 + (tf as f64).ln()
+    }
+}
+
+/// Smoothed IDF `ln(N / (1 + df)) + 1`, clamped at 0.
+pub fn idf(df: u32, num_docs: u32) -> f64 {
+    if num_docs == 0 {
+        return 0.0;
+    }
+    ((num_docs as f64 / (1.0 + df as f64)).ln() + 1.0).max(0.0)
+}
+
+/// TF-IDF weight of a term occurring `tf` times in a document, given its
+/// corpus document frequency. This is the `tw(v, d)` scheme of the paper
+/// ("We use the typical TF-IDF scheme for term weighting").
+pub fn tf_idf(tf: u32, df: u32, num_docs: u32) -> f64 {
+    log_tf(tf) * idf(df, num_docs)
+}
+
+/// BM25 idf component (always ≥ 0 with this smoothing).
+pub fn bm25_idf(df: u32, num_docs: u32) -> f64 {
+    let n = num_docs as f64;
+    let d = df as f64;
+    (1.0 + (n - d + 0.5) / (d + 0.5)).ln()
+}
+
+/// BM25 score contribution of one query term against one document.
+pub fn bm25_term(
+    params: Bm25Params,
+    tf: u32,
+    df: u32,
+    num_docs: u32,
+    doc_len: u32,
+    avg_doc_len: f64,
+) -> f64 {
+    if tf == 0 {
+        return 0.0;
+    }
+    let tf = tf as f64;
+    let norm = if avg_doc_len > 0.0 {
+        params.k1 * (1.0 - params.b + params.b * doc_len as f64 / avg_doc_len)
+    } else {
+        params.k1
+    };
+    bm25_idf(df, num_docs) * (tf * (params.k1 + 1.0)) / (tf + norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_tf_shape() {
+        assert_eq!(log_tf(0), 0.0);
+        assert_eq!(log_tf(1), 1.0);
+        assert!(log_tf(10) > log_tf(2));
+        // saturating: doubling tf adds a constant
+        let d1 = log_tf(4) - log_tf(2);
+        let d2 = log_tf(8) - log_tf(4);
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idf_decreases_with_df() {
+        assert!(idf(1, 100) > idf(10, 100));
+        assert!(idf(10, 100) > idf(99, 100));
+        assert!(idf(99, 100) >= 0.0);
+    }
+
+    #[test]
+    fn tf_idf_favours_rare_frequent_terms() {
+        let rare_frequent = tf_idf(5, 2, 1000);
+        let common_frequent = tf_idf(5, 800, 1000);
+        let rare_once = tf_idf(1, 2, 1000);
+        assert!(rare_frequent > common_frequent);
+        assert!(rare_frequent > rare_once);
+    }
+
+    #[test]
+    fn bm25_zero_tf_scores_zero() {
+        assert_eq!(bm25_term(Bm25Params::default(), 0, 5, 100, 50, 40.0), 0.0);
+    }
+
+    #[test]
+    fn bm25_tf_saturates() {
+        let p = Bm25Params::default();
+        let s1 = bm25_term(p, 1, 5, 100, 40, 40.0);
+        let s2 = bm25_term(p, 2, 5, 100, 40, 40.0);
+        let s20 = bm25_term(p, 20, 5, 100, 40, 40.0);
+        let s40 = bm25_term(p, 40, 5, 100, 40, 40.0);
+        assert!(s2 > s1);
+        assert!(s40 > s20);
+        assert!(s2 - s1 > s40 - s20, "gains must diminish");
+        // Bounded by (k1+1) * idf.
+        assert!(s40 < (p.k1 + 1.0) * bm25_idf(5, 100));
+    }
+
+    #[test]
+    fn bm25_penalises_long_docs() {
+        let p = Bm25Params::default();
+        let short = bm25_term(p, 3, 5, 100, 20, 40.0);
+        let long = bm25_term(p, 3, 5, 100, 200, 40.0);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn bm25_idf_positive() {
+        for df in [0, 1, 50, 99, 100] {
+            assert!(bm25_idf(df, 100) > 0.0, "df={df}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(idf(0, 0), 0.0);
+        let s = bm25_term(Bm25Params::default(), 3, 5, 100, 40, 0.0);
+        assert!(s.is_finite());
+    }
+}

@@ -1,0 +1,164 @@
+//! An interactive exploration shell over a generated corpus, built on the
+//! stateful [`Session`] API (OLAP-cube navigation with history).
+//!
+//! Commands:
+//!
+//! * `start <concept>[, <concept> …]` — begin a session
+//!   (e.g. `start Financial Crime, Bank`);
+//! * `entity <name>` — begin a session from an entity (e.g. `entity FTX`);
+//! * `results` — show the current roll-up results;
+//! * `suggest` — show drill-down suggestions;
+//! * `drill <concept>` — narrow with a subtopic;
+//! * `up <from> -> <to>` — roll a facet up to an ancestor
+//!   (e.g. `up Bitcoin Exchange -> Company`);
+//! * `remove <concept>` — drop a facet;
+//! * `back` — undo the last move;
+//! * `doc <id>` — print an article; `help`; `quit`.
+//!
+//! ```bash
+//! cargo run --release --example explore_cli
+//! ```
+//!
+//! Reads commands from stdin, so it also works non-interactively:
+//! `printf "start Financial Crime\nresults\n" | cargo run --example explore_cli`.
+
+use ncexplorer::core::session::Session;
+use ncexplorer::core::{ConceptQuery, NcExplorer, NcxConfig};
+use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+use ncexplorer::kg::DocId;
+use std::io::BufRead;
+use std::sync::Arc;
+
+fn main() {
+    let kg = Arc::new(generate_kg(&KgGenConfig::default()));
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles: 400,
+            ..CorpusConfig::default()
+        },
+    );
+    eprintln!("building engine over {} articles ...", corpus.store.len());
+    let engine = NcExplorer::build(
+        kg.clone(),
+        &corpus.store,
+        NcxConfig {
+            samples: 25,
+            ..NcxConfig::default()
+        },
+    );
+    eprintln!("ready. type 'help' for commands.");
+
+    let mut session: Option<Session> = None;
+    let resolve = |name: &str| kg.concept_by_name(name.trim());
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        let (cmd, rest) = match line.split_once(' ') {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "" => {}
+            "help" => println!(
+                "commands: start <concepts> | entity <name> | results | suggest | \
+                 drill <concept> | up <from> -> <to> | remove <concept> | back | \
+                 doc <id> | quit"
+            ),
+            "quit" | "exit" => break,
+            "start" => {
+                let names: Vec<&str> = rest.split(',').map(str::trim).collect();
+                match ConceptQuery::from_names(&kg, &names) {
+                    Err(e) => println!("error: {e}"),
+                    Ok(q) => {
+                        println!("session started: {}", q.describe(&kg));
+                        session = Some(Session::new(&engine, q));
+                    }
+                }
+            }
+            "entity" => match kg.instance_by_name(rest) {
+                None => println!("unknown entity: {rest}"),
+                Some(v) => match Session::start_from_entity(&engine, v) {
+                    None => println!("'{rest}' has no concepts to roll up to"),
+                    Some(s) => {
+                        println!("session started from '{rest}': {}", s.query().describe(&kg));
+                        session = Some(s);
+                    }
+                },
+            },
+            "results" | "suggest" | "drill" | "up" | "remove" | "back" => {
+                let Some(s) = session.as_mut() else {
+                    println!("no session; use 'start' or 'entity' first");
+                    continue;
+                };
+                match cmd {
+                    "results" => {
+                        let hits = s.results(5);
+                        if hits.is_empty() {
+                            println!("no documents match {}", s.query().describe(&kg));
+                        }
+                        for h in hits {
+                            let a = corpus.store.get(h.doc);
+                            println!("  d{} [{:.3}] {}", h.doc.raw(), h.score, a.title);
+                        }
+                    }
+                    "suggest" => {
+                        for sub in s.suggestions(8) {
+                            println!(
+                                "  {:<24} sbr {:.3} ({} docs)",
+                                kg.concept_label(sub.concept),
+                                sub.score,
+                                sub.matching_docs
+                            );
+                        }
+                    }
+                    "drill" => match resolve(rest) {
+                        None => println!("unknown concept: {rest}"),
+                        Some(c) => match s.drill_into(c) {
+                            Err(e) => println!("error: {e}"),
+                            Ok(()) => println!("query: {}", s.query().describe(&kg)),
+                        },
+                    },
+                    "up" => {
+                        let Some((from, to)) = rest.split_once("->") else {
+                            println!("usage: up <from> -> <to>");
+                            continue;
+                        };
+                        match (resolve(from), resolve(to)) {
+                            (Some(f), Some(t)) => match s.roll_up(f, t) {
+                                Err(e) => println!("error: {e}"),
+                                Ok(()) => println!("query: {}", s.query().describe(&kg)),
+                            },
+                            _ => println!("unknown concept in '{rest}'"),
+                        }
+                    }
+                    "remove" => match resolve(rest) {
+                        None => println!("unknown concept: {rest}"),
+                        Some(c) => match s.remove(c) {
+                            Err(e) => println!("error: {e}"),
+                            Ok(()) => println!("query: {}", s.query().describe(&kg)),
+                        },
+                    },
+                    "back" => {
+                        if s.back() {
+                            println!("query: {}", s.query().describe(&kg));
+                        } else {
+                            println!("already at the session start");
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            "doc" => match rest.parse::<u32>() {
+                Ok(id) if (id as usize) < corpus.store.len() => {
+                    let a = corpus.store.get(DocId::new(id));
+                    println!("({}) {}\n{}", a.source, a.title, a.body);
+                }
+                _ => println!("usage: doc <0..{}>", corpus.store.len() - 1),
+            },
+            other => println!("unknown command: {other} (try 'help')"),
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Quickstart: build a small KG + corpus, run one roll-up and one
+//! drill-down, print the results with explanations.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use ncexplorer::core::{NcExplorer, NcxConfig};
+use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+use ncexplorer::kg::stats::KgStats;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Generate a DBpedia-style knowledge graph (deterministic).
+    let kg = Arc::new(generate_kg(&KgGenConfig::default()));
+    println!("{}", KgStats::compute(&kg));
+
+    // 2. Generate a news corpus with latent topics.
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles: 300,
+            ..CorpusConfig::default()
+        },
+    );
+    println!("\ncorpus: {} articles", corpus.store.len());
+
+    // 3. Build the NCExplorer engine (entity linking + concept postings).
+    let engine = NcExplorer::build(
+        kg.clone(),
+        &corpus.store,
+        NcxConfig {
+            samples: 25,
+            ..NcxConfig::default()
+        },
+    );
+    let t = &engine.index().timing;
+    println!(
+        "indexed in {:.2?} wall ({:.1}% entity linking per-doc cost)",
+        t.total_wall,
+        t.linking_fraction() * 100.0
+    );
+
+    // 4. Roll-up: top documents for "Financial Crime ∧ Bank".
+    let query = engine
+        .query(&["Financial Crime", "Bank"])
+        .expect("concepts exist");
+    println!("\n== roll-up: {} ==", query.describe(&kg));
+    for hit in engine.rollup(&query, 5) {
+        let article = corpus.store.get(hit.doc);
+        println!("  [{:.3}] {}", hit.score, article.title);
+        for m in &hit.matches {
+            println!(
+                "      {} matched via {} (pivot: {}, cdr {:.3})",
+                kg.concept_label(m.concept),
+                kg.concept_label(m.via),
+                kg.instance_label(m.pivot),
+                m.cdr
+            );
+        }
+    }
+
+    // 5. Drill-down: suggested subtopics for the same query.
+    println!("\n== drill-down subtopics ==");
+    for s in engine.drilldown(&query, 8) {
+        println!(
+            "  {:<24} sbr {:.3} (coverage {:.2}, specificity {:.2}, diversity {:.2}, {} docs)",
+            kg.concept_label(s.concept),
+            s.score,
+            s.coverage,
+            s.specificity,
+            s.diversity,
+            s.matching_docs
+        );
+    }
+
+    // 6. Explain the top hit.
+    if let Some(hit) = engine.rollup(&query, 1).first() {
+        let crime = kg.concept_by_name("Financial Crime").unwrap();
+        if let Some(e) = engine.explain(crime, hit.doc, 3) {
+            println!("\n== explanation ==\n{}", engine.render_explanation(&e));
+        }
+    }
+}

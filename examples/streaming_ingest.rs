@@ -1,0 +1,94 @@
+//! Streaming ingestion: the Fig. 3 news stream, live.
+//!
+//! Builds an engine over an initial corpus, then ingests breaking
+//! articles one by one and shows how the roll-up results and drill-down
+//! suggestions update — including an interactive session with history.
+//!
+//! ```bash
+//! cargo run --release --example streaming_ingest
+//! ```
+
+use ncexplorer::core::session::Session;
+use ncexplorer::core::{NcExplorer, NcxConfig};
+use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+use std::sync::Arc;
+
+fn main() {
+    let kg = Arc::new(generate_kg(&KgGenConfig::default()));
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles: 150,
+            ..CorpusConfig::default()
+        },
+    );
+    let mut engine = NcExplorer::build(
+        kg.clone(),
+        &corpus.store,
+        NcxConfig {
+            samples: 25,
+            ..NcxConfig::default()
+        },
+    );
+
+    let query = engine
+        .query(&["Bitcoin Exchange", "Financial Crime"])
+        .expect("concepts exist");
+    let before = engine.rollup(&query, 100).len();
+    println!(
+        "initial corpus: {} articles; '{}' matches {} documents",
+        corpus.store.len(),
+        query.describe(&kg),
+        before
+    );
+
+    // Breaking news arrives.
+    let breaking = [
+        "FTX faces fresh fraud allegations as prosecutors widen the probe. \
+         Binance distanced itself from the collapsed exchange.",
+        "Kraken settled a money laundering investigation with the SEC. \
+         The exchange agreed to tighter compliance controls.",
+        "Coinbase disclosed a subpoena over alleged sanctions evasion \
+         involving offshore accounts.",
+    ];
+    println!("\ningesting {} breaking articles ...", breaking.len());
+    for (i, text) in breaking.iter().enumerate() {
+        let doc = engine.ingest(text);
+        println!("  [{i}] ingested as {doc}");
+    }
+
+    let after = engine.rollup(&query, 100);
+    println!(
+        "\nafter the stream: {} matches (was {})",
+        after.len(),
+        before
+    );
+    assert!(after.len() > before, "breaking news must surface");
+
+    // Explore interactively through a session.
+    let mut session = Session::new(&engine, query);
+    println!("\ntop results now:");
+    for hit in session.results(3) {
+        println!("  [{:.3}] doc {}", hit.score, hit.doc);
+    }
+    println!("\ndrill-down suggestions:");
+    let subs = session.suggestions(3);
+    for s in &subs {
+        println!(
+            "  {} ({} docs)",
+            kg.concept_label(s.concept),
+            s.matching_docs
+        );
+    }
+    if let Some(pick) = subs.first() {
+        session.drill_into(pick.concept).expect("fresh facet");
+        println!(
+            "\ndrilled into '{}': {} documents; history depth {}",
+            kg.concept_label(pick.concept),
+            session.results(100).len(),
+            session.history().count()
+        );
+        session.back();
+        println!("backed out; query is '{}'", session.query().describe(&kg));
+    }
+}

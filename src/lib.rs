@@ -1,0 +1,47 @@
+//! # ncexplorer — OLAP-style news exploration over knowledge graphs
+//!
+//! A Rust reproduction of **NCExplorer** (ICDE 2024): *Enabling Roll-up
+//! and Drill-down Operations in News Exploration with Knowledge Graphs
+//! for Due Diligence and Risk Management*.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`kg`] | knowledge-graph store, ontology relation, path counting |
+//! | [`text`] | tokenizer, stemmer, TF-IDF/BM25, gazetteer entity linking |
+//! | [`index`] | document store, inverted indexes, the Lucene baseline |
+//! | [`embed`] | hashing embedder + vector indexes, the BERT baseline |
+//! | [`reach`] | k-hop reachability index, target-distance oracle |
+//! | [`newslink`] | NewsLink and NewsLink-BERT baselines |
+//! | [`core`] | the NCExplorer engine: roll-up, drill-down, estimators |
+//! | [`datagen`] | synthetic KG/corpus generators and evaluation oracles |
+//! | [`eval`] | NDCG, statistics, tables |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ncexplorer::datagen::{generate_kg, generate_corpus, KgGenConfig, CorpusConfig};
+//! use ncexplorer::core::{NcExplorer, NcxConfig};
+//!
+//! let kg = Arc::new(generate_kg(&KgGenConfig::default()));
+//! let corpus = generate_corpus(&kg, &CorpusConfig { articles: 50, ..Default::default() });
+//! let engine = NcExplorer::build(kg, &corpus.store, NcxConfig { samples: 10, ..Default::default() });
+//!
+//! let query = engine.query(&["Financial Crime"]).unwrap();
+//! let hits = engine.rollup(&query, 5);
+//! let subtopics = engine.drilldown(&query, 5);
+//! assert!(!hits.is_empty());
+//! assert!(!subtopics.is_empty());
+//! ```
+
+pub use ncx_core as core;
+pub use ncx_datagen as datagen;
+pub use ncx_embed as embed;
+pub use ncx_eval as eval;
+pub use ncx_index as index;
+pub use ncx_kg as kg;
+pub use ncx_newslink as newslink;
+pub use ncx_reach as reach;
+pub use ncx_text as text;

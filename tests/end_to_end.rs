@@ -1,0 +1,189 @@
+//! End-to-end integration: generated KG → generated corpus → engine →
+//! roll-up/drill-down, validated against the generation ground truth.
+
+use ncexplorer::core::{NcExplorer, NcxConfig};
+use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+use std::sync::Arc;
+
+fn engine_fixture(
+    articles: usize,
+    samples: u32,
+) -> (
+    Arc<ncexplorer::kg::KnowledgeGraph>,
+    ncexplorer::datagen::GeneratedCorpus,
+    NcExplorer,
+) {
+    let kg = Arc::new(generate_kg(&KgGenConfig::default()));
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles,
+            ..CorpusConfig::default()
+        },
+    );
+    let engine = NcExplorer::build(
+        kg.clone(),
+        &corpus.store,
+        NcxConfig {
+            samples,
+            ..NcxConfig::default()
+        },
+    );
+    (kg, corpus, engine)
+}
+
+#[test]
+fn rollup_hits_are_topically_relevant() {
+    let (kg, corpus, engine) = engine_fixture(250, 20);
+    for topic in ["Financial Crime", "Lawsuits", "Elections"] {
+        let q = engine.query(&[topic]).unwrap();
+        let hits = engine.rollup(&q, 5);
+        assert!(!hits.is_empty(), "{topic} must match documents");
+        let tid = kg.concept_by_name(topic).unwrap();
+        // Top hits should be mostly ground-truth relevant.
+        let relevant = hits
+            .iter()
+            .filter(|h| corpus.relevance_to_concept(&kg, tid, h.doc) > 0.0)
+            .count();
+        assert!(
+            relevant * 2 >= hits.len(),
+            "{topic}: only {relevant}/{} top hits are truth-relevant",
+            hits.len()
+        );
+    }
+}
+
+#[test]
+fn conjunctive_queries_narrow_results() {
+    let (kg, _corpus, engine) = engine_fixture(250, 20);
+    let broad = engine.query(&["Financial Crime"]).unwrap();
+    let narrow = engine.query(&["Financial Crime", "Bank"]).unwrap();
+    let broad_hits = engine.rollup(&broad, 1000);
+    let narrow_hits = engine.rollup(&narrow, 1000);
+    assert!(narrow_hits.len() <= broad_hits.len());
+    assert!(!narrow_hits.is_empty());
+    let _ = kg;
+}
+
+#[test]
+fn drilldown_suggestions_lead_somewhere() {
+    let (kg, _corpus, engine) = engine_fixture(250, 20);
+    let q = engine.query(&["Financial Crime"]).unwrap();
+    let subs = engine.drilldown(&q, 5);
+    assert!(!subs.is_empty());
+    for s in &subs {
+        // Drilling into a suggestion must produce a non-empty result set.
+        let narrowed = q.with(s.concept);
+        let hits = engine.rollup(&narrowed, 10);
+        assert!(
+            !hits.is_empty(),
+            "drilling into {} must keep results",
+            kg.concept_label(s.concept)
+        );
+        assert!(!q.contains(s.concept), "suggestion must be new");
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let (_, _, e1) = engine_fixture(120, 15);
+    let (_, _, e2) = engine_fixture(120, 15);
+    let q1 = e1.query(&["Lawsuits", "Technology Company"]).unwrap();
+    let q2 = e2.query(&["Lawsuits", "Technology Company"]).unwrap();
+    let h1 = e1.rollup(&q1, 10);
+    let h2 = e2.rollup(&q2, 10);
+    assert_eq!(h1.len(), h2.len());
+    for (a, b) in h1.iter().zip(&h2) {
+        assert_eq!(a.doc, b.doc);
+        assert_eq!(a.score, b.score);
+    }
+}
+
+#[test]
+fn broad_concept_rollup_via_taxonomy() {
+    let (kg, _corpus, engine) = engine_fixture(150, 15);
+    // "Company" has no direct instances in articles' Ψ⁻¹ (entities carry
+    // leaf concepts), so matching must go through descendants.
+    let q = engine.query(&["Company"]).unwrap();
+    let hits = engine.rollup(&q, 10);
+    assert!(!hits.is_empty(), "edge-concept fallback must kick in");
+    let company = kg.concept_by_name("Company").unwrap();
+    for h in &hits {
+        assert_eq!(h.matches[0].concept, company);
+        assert_ne!(h.matches[0].via, company);
+    }
+}
+
+#[test]
+fn entity_journey_matches_fig1() {
+    let (kg, _corpus, engine) = engine_fixture(150, 15);
+    // FTX -> Bitcoin Exchange roll-up options.
+    let ftx = kg.instance_by_name("FTX").unwrap();
+    let opts = engine.rollup_options(ftx, 2);
+    let labels: Vec<&str> = opts.iter().map(|&c| kg.concept_label(c)).collect();
+    // Direct types first (Bitcoin Exchange plus the broad dual-membership
+    // type Company), then the broader climb.
+    assert!(labels[..2].contains(&"Bitcoin Exchange"), "{labels:?}");
+    assert!(labels.contains(&"Company"));
+}
+
+#[test]
+fn explanations_cover_top_results() {
+    let (kg, _corpus, engine) = engine_fixture(150, 15);
+    let q = engine.query(&["Financial Crime"]).unwrap();
+    let crime = kg.concept_by_name("Financial Crime").unwrap();
+    for hit in engine.rollup(&q, 3) {
+        let via = hit.matches[0].via;
+        let target = if via == crime { crime } else { via };
+        let e = engine.explain(target, hit.doc, 5).expect("explainable");
+        assert!(!e.matched_entities.is_empty());
+    }
+}
+
+#[test]
+fn dead_end_query_relaxation_journey() {
+    // The Fig. 1 scenario end-to-end on generated data: a query that
+    // matches nothing gets productive relaxation proposals, and a
+    // coverage-less entity gets covered peers.
+    let (kg, _corpus, engine) = engine_fixture(150, 15);
+    // Construct an unlikely conjunction until we find a dead end.
+    let labor = kg.concept_by_name("Labor Dispute").unwrap();
+    let elections = kg.concept_by_name("Elections").unwrap();
+    let crime = kg.concept_by_name("Financial Crime").unwrap();
+    let q = ncexplorer::core::ConceptQuery::new([labor, elections, crime]);
+    let hits = engine.rollup(&q, 10);
+    if hits.is_empty() {
+        let options = engine.relax(&q);
+        assert!(
+            !options.is_empty(),
+            "a dead-end query must get relaxation proposals"
+        );
+        assert!(options[0].matches > 0);
+        // Every proposal must genuinely match what it claims.
+        for opt in options.iter().take(3) {
+            assert_eq!(engine.rollup(&opt.query, 10_000).len(), opt.matches);
+        }
+    }
+    // Peer pivot: FTX's peers are other Bitcoin Exchange members with
+    // coverage.
+    let ftx = kg.instance_by_name("FTX").unwrap();
+    let peers = engine.peers(ftx, 5);
+    for &(peer, df) in &peers {
+        assert_ne!(peer, ftx);
+        assert!(df > 0);
+    }
+}
+
+#[test]
+fn annotated_export_covers_corpus() {
+    let (kg, corpus, engine) = engine_fixture(80, 10);
+    let mut buf = Vec::new();
+    ncexplorer::core::export::export_annotated_corpus(&kg, &corpus.store, engine.index(), &mut buf)
+        .unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let records = ncexplorer::core::export::parse_export(&text).unwrap();
+    assert_eq!(records.len(), corpus.store.len());
+    // Concept annotations in the export match the index postings count.
+    let total: usize = records.iter().map(|r| r.concepts.len()).sum();
+    assert_eq!(total, engine.index().num_postings());
+}

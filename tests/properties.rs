@@ -1,0 +1,294 @@
+//! Cross-crate property tests: invariants that must hold for *any* input,
+//! exercised through the public facade.
+
+use ncexplorer::eval::ir::{average_precision, precision_at_k, recall_at_k};
+use ncexplorer::eval::ndcg::{dcg_at_k, ndcg_at_k};
+use ncexplorer::index::TopK;
+use ncexplorer::kg::{GraphBuilder, InstanceId};
+use ncexplorer::text::stemmer::stem;
+use ncexplorer::text::tokenizer::tokenize;
+use proptest::prelude::*;
+
+proptest! {
+    /// TopK returns exactly the k best by score, matching a full sort.
+    #[test]
+    fn topk_matches_full_sort(
+        items in prop::collection::vec((0u32..1000, 0.0f64..100.0), 0..60),
+        k in 0usize..20,
+    ) {
+        // Deduplicate keys so the comparison is order-unambiguous.
+        let mut seen = std::collections::HashSet::new();
+        let items: Vec<(u32, f64)> = items
+            .into_iter()
+            .filter(|(key, _)| seen.insert(*key))
+            .collect();
+        let mut top = TopK::new(k);
+        for &(key, score) in &items {
+            top.push(key, score);
+        }
+        let got = top.into_sorted_vec();
+
+        let mut expect = items.clone();
+        expect.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap()
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        expect.truncate(k);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// NDCG is always within [0, 1] and equals 1 for a descending list.
+    #[test]
+    fn ndcg_bounded_and_sorted_is_perfect(
+        mut rels in prop::collection::vec(0.0f64..5.0, 1..30),
+        k in 1usize..15,
+    ) {
+        let n = ndcg_at_k(&rels, k);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&n), "ndcg {n}");
+        rels.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let sorted = ndcg_at_k(&rels, k);
+        prop_assert!((sorted - 1.0).abs() < 1e-9, "sorted ndcg {sorted}");
+    }
+
+    /// DCG never decreases when a rating increases.
+    #[test]
+    fn dcg_monotone_in_ratings(
+        rels in prop::collection::vec(0.0f64..5.0, 1..20),
+        idx in 0usize..20,
+        bump in 0.1f64..2.0,
+    ) {
+        let idx = idx % rels.len();
+        let mut better = rels.clone();
+        better[idx] += bump;
+        prop_assert!(dcg_at_k(&better, rels.len()) > dcg_at_k(&rels, rels.len()));
+    }
+
+    /// Precision and recall are bounded and consistent with each other.
+    #[test]
+    fn precision_recall_bounds(
+        flags in prop::collection::vec(any::<bool>(), 0..40),
+        k in 1usize..50,
+    ) {
+        let total = flags.iter().filter(|&&f| f).count();
+        let p = precision_at_k(&flags, k);
+        let r = recall_at_k(&flags, k, total);
+        let ap = average_precision(&flags, total);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+        // Retrieving everything recalls everything.
+        prop_assert_eq!(recall_at_k(&flags, flags.len().max(1), total), 1.0);
+    }
+
+    /// Stemming is idempotent: stem(stem(w)) == stem(w).
+    #[test]
+    fn stemmer_idempotent(word in "[a-z]{1,15}") {
+        let once = stem(&word);
+        let twice = stem(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Tokenization spans are in-bounds, ordered, and non-overlapping.
+    #[test]
+    fn tokenizer_spans_well_formed(text in ".{0,200}") {
+        let tokens = tokenize(&text);
+        let mut prev_end = 0;
+        for t in &tokens {
+            prop_assert!(t.start >= prev_end, "overlap at {}", t.start);
+            prop_assert!(t.end <= text.len());
+            prop_assert!(t.start < t.end);
+            prop_assert!(text.is_char_boundary(t.start) && text.is_char_boundary(t.end));
+            prop_assert!(!t.lower.is_empty());
+            prev_end = t.end;
+        }
+    }
+
+    /// KG builder invariants hold for arbitrary edge/membership soups:
+    /// bidirectedness, sorted rows, Ψ/Ψ⁻¹ consistency.
+    #[test]
+    fn kg_builder_invariants(
+        edges in prop::collection::vec((0u32..12, 0u32..12), 0..40),
+        members in prop::collection::vec((0u32..4, 0u32..12), 0..30),
+    ) {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<InstanceId> = (0..12).map(|i| b.instance(&format!("n{i}"))).collect();
+        let concepts: Vec<_> = (0..4).map(|i| b.concept(&format!("c{i}"))).collect();
+        for (u, v) in edges {
+            b.fact(nodes[u as usize], "r", nodes[v as usize]);
+        }
+        for (c, v) in members {
+            b.member(concepts[c as usize], nodes[v as usize]);
+        }
+        let kg = b.build();
+
+        // Bidirected: u in N(v) iff v in N(u); rows sorted and self-loop free.
+        for u in kg.instances() {
+            let row = kg.neighbors(u);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            for &v in row {
+                prop_assert!(v != u, "no self loops");
+                prop_assert!(kg.has_edge(v, u), "bidirected");
+            }
+        }
+        // Ψ and Ψ⁻¹ agree.
+        for c in kg.concepts() {
+            for &v in kg.members(c) {
+                prop_assert!(kg.concepts_of(v).contains(&c));
+            }
+        }
+        for v in kg.instances() {
+            for &c in kg.concepts_of(v) {
+                prop_assert!(kg.is_member(c, v));
+            }
+        }
+        // Edge count parity: every undirected fact appears exactly twice.
+        prop_assert_eq!(kg.num_instance_edges() % 2, 0);
+    }
+
+    /// Snapshot roundtrip preserves arbitrary generated graphs.
+    #[test]
+    fn snapshot_roundtrip_arbitrary(
+        edges in prop::collection::vec((0u32..10, 0u32..10), 0..25),
+        members in prop::collection::vec((0u32..3, 0u32..10), 0..15),
+    ) {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<InstanceId> = (0..10).map(|i| b.instance(&format!("n{i}"))).collect();
+        let concepts: Vec<_> = (0..3).map(|i| b.concept(&format!("c{i}"))).collect();
+        for (u, v) in edges {
+            b.fact(nodes[u as usize], "rel", nodes[v as usize]);
+        }
+        for (c, v) in members {
+            b.member(concepts[c as usize], nodes[v as usize]);
+        }
+        let kg = b.build();
+        let mut buf = Vec::new();
+        ncexplorer::kg::snapshot::save(&kg, &mut buf).unwrap();
+        let back = ncexplorer::kg::snapshot::load(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(kg.num_instances(), back.num_instances());
+        prop_assert_eq!(kg.num_instance_edges(), back.num_instance_edges());
+        prop_assert_eq!(kg.num_memberships(), back.num_memberships());
+        for u in kg.instances() {
+            prop_assert_eq!(kg.neighbors(u), back.neighbors(u));
+            prop_assert_eq!(kg.concepts_of(u), back.concepts_of(u));
+        }
+    }
+}
+
+mod reach_props {
+    use ncexplorer::kg::traversal::{hop_distance, DistMap};
+    use ncexplorer::kg::{GraphBuilder, InstanceId};
+    use ncexplorer::reach::oracle::compute_target_distances;
+    use ncexplorer::reach::KHopIndex;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The target-distance oracle agrees with direct BFS distances.
+        #[test]
+        fn oracle_matches_bfs(
+            edges in prop::collection::vec((0u32..10, 0u32..10), 1..30),
+            tau in 1u8..4,
+        ) {
+            let mut b = GraphBuilder::new();
+            let nodes: Vec<InstanceId> =
+                (0..10).map(|i| b.instance(&format!("n{i}"))).collect();
+            for (u, v) in edges {
+                b.fact(nodes[u as usize], "r", nodes[v as usize]);
+            }
+            let kg = b.build();
+            let mut probe = DistMap::new(kg.num_instances());
+            for &target in nodes.iter().take(3) {
+                let td = compute_target_distances(&kg, target, tau);
+                for &w in &nodes {
+                    let expect = hop_distance(&kg, w, target, tau, &mut probe);
+                    prop_assert_eq!(td.get(w), expect, "w={:?} target={:?}", w, target);
+                }
+            }
+        }
+
+        /// Landmark-count choice never changes reachability answers.
+        #[test]
+        fn khop_landmark_count_irrelevant_to_answers(
+            edges in prop::collection::vec((0u32..10, 0u32..10), 1..30),
+            k in 0u8..4,
+        ) {
+            let mut b = GraphBuilder::new();
+            let nodes: Vec<InstanceId> =
+                (0..10).map(|i| b.instance(&format!("n{i}"))).collect();
+            for (u, v) in edges {
+                b.fact(nodes[u as usize], "r", nodes[v as usize]);
+            }
+            let kg = b.build();
+            let idx0 = KHopIndex::build(&kg, 0, 3);
+            let idx4 = KHopIndex::build(&kg, 4, 3);
+            let mut s0 = DistMap::new(kg.num_instances());
+            let mut s4 = DistMap::new(kg.num_instances());
+            for &u in nodes.iter().take(4) {
+                for &v in nodes.iter().rev().take(4) {
+                    prop_assert_eq!(
+                        idx0.reachable_within(&kg, u, v, k, &mut s0),
+                        idx4.reachable_within(&kg, u, v, k, &mut s4)
+                    );
+                }
+            }
+        }
+    }
+}
+
+mod ontology_props {
+    use ncexplorer::kg::{ontology, GraphBuilder};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// `subsumes(a, b)` is exactly "a ∈ ancestors(b) ∪ {b}".
+        #[test]
+        fn subsumption_consistent_with_ancestors(
+            broader in prop::collection::vec((0u32..8, 0u32..8), 0..20),
+        ) {
+            let mut b = GraphBuilder::new();
+            let concepts: Vec<_> = (0..8).map(|i| b.concept(&format!("c{i}"))).collect();
+            for (child, parent) in broader {
+                b.broader(concepts[child as usize], concepts[parent as usize]);
+            }
+            let kg = b.build();
+            for &x in &concepts {
+                let ancestors = ontology::ancestors(&kg, x);
+                for &y in &concepts {
+                    let expect = x == y || ancestors.contains(&y);
+                    prop_assert_eq!(ontology::subsumes(&kg, y, x), expect);
+                }
+            }
+        }
+
+        /// Extended members ⊇ direct members, and every extended member
+        /// belongs to the concept or a descendant.
+        #[test]
+        fn extended_members_closure(
+            broader in prop::collection::vec((0u32..6, 0u32..6), 0..12),
+            members in prop::collection::vec((0u32..6, 0u32..10), 0..25),
+        ) {
+            let mut b = GraphBuilder::new();
+            let concepts: Vec<_> = (0..6).map(|i| b.concept(&format!("c{i}"))).collect();
+            let nodes: Vec<_> = (0..10).map(|i| b.instance(&format!("n{i}"))).collect();
+            for (child, parent) in broader {
+                b.broader(concepts[child as usize], concepts[parent as usize]);
+            }
+            for (c, v) in members {
+                b.member(concepts[c as usize], nodes[v as usize]);
+            }
+            let kg = b.build();
+            for &c in &concepts {
+                let ext = ontology::extended_members(&kg, c);
+                for v in kg.members(c) {
+                    prop_assert!(ext.contains(v));
+                }
+                let descendants = ontology::descendants(&kg, c);
+                for v in &ext {
+                    let direct = kg.is_member(c, *v);
+                    let via_desc = descendants.iter().any(|&d| kg.is_member(d, *v));
+                    prop_assert!(direct || via_desc);
+                }
+            }
+        }
+    }
+}

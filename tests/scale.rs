@@ -1,0 +1,103 @@
+//! Scale and config-cap behaviour across the whole pipeline.
+
+use ncexplorer::core::{NcExplorer, NcxConfig};
+use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+use std::sync::Arc;
+
+#[test]
+fn drilldown_doc_cap_limits_work_not_correctness() {
+    let kg = Arc::new(generate_kg(&KgGenConfig::default()));
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles: 150,
+            ..CorpusConfig::default()
+        },
+    );
+    let capped = NcExplorer::build(
+        kg.clone(),
+        &corpus.store,
+        NcxConfig {
+            samples: 10,
+            drilldown_doc_cap: 5,
+            ..NcxConfig::default()
+        },
+    );
+    let q = capped.query(&["Financial Crime"]).unwrap();
+    let subs = capped.drilldown(&q, 10);
+    // With only 5 docs examined, no subtopic can claim more than 5.
+    for s in &subs {
+        assert!(s.matching_docs <= 5, "{s:?}");
+    }
+    assert!(!subs.is_empty());
+}
+
+#[test]
+fn concept_cap_bounds_postings_per_doc() {
+    let kg = Arc::new(generate_kg(&KgGenConfig::default()));
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles: 60,
+            ..CorpusConfig::default()
+        },
+    );
+    let engine = NcExplorer::build(
+        kg.clone(),
+        &corpus.store,
+        NcxConfig {
+            samples: 10,
+            max_concepts_per_doc: 3,
+            ..NcxConfig::default()
+        },
+    );
+    for i in 0..engine.index().num_docs() {
+        let n = engine
+            .index()
+            .concepts_of_doc(ncexplorer::kg::DocId::from_index(i))
+            .len();
+        assert!(n <= 3, "doc {i} has {n} concepts");
+    }
+}
+
+/// Medium-scale end-to-end smoke test (a few thousand articles, bigger
+/// KG). Run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "slow: medium-scale build"]
+fn medium_scale_pipeline() {
+    let kg = Arc::new(generate_kg(&KgGenConfig {
+        synth_per_group: 200,
+        orphan_entities: 500,
+        ..KgGenConfig::default()
+    }));
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles: 3000,
+            ..CorpusConfig::default()
+        },
+    );
+    let t0 = std::time::Instant::now();
+    let engine = NcExplorer::build(
+        kg.clone(),
+        &corpus.store,
+        NcxConfig {
+            samples: 25,
+            ..NcxConfig::default()
+        },
+    );
+    eprintln!(
+        "built {} docs / {} postings in {:?}",
+        engine.index().num_docs(),
+        engine.index().num_postings(),
+        t0.elapsed()
+    );
+    assert_eq!(engine.index().num_docs(), 3000);
+    for topic in ["Financial Crime", "Elections", "Mergers & Acquisitions"] {
+        let q = engine.query(&[topic]).unwrap();
+        let hits = engine.rollup(&q, 10);
+        assert_eq!(hits.len(), 10, "{topic} must fill top-10 at this scale");
+        let subs = engine.drilldown(&q, 10);
+        assert!(subs.len() >= 5, "{topic} drill-down too thin");
+    }
+}

@@ -1,0 +1,133 @@
+//! Streaming-ingestion integration tests: building the index one article
+//! at a time must agree with the batch build on everything that does not
+//! depend on global document frequencies.
+
+use ncexplorer::core::{NcExplorer, NcxConfig};
+use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+use ncexplorer::index::DocumentStore;
+use std::sync::Arc;
+
+fn fixture(
+    n: usize,
+) -> (
+    Arc<ncexplorer::kg::KnowledgeGraph>,
+    ncexplorer::datagen::GeneratedCorpus,
+) {
+    let kg = Arc::new(generate_kg(&KgGenConfig::default()));
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles: n,
+            ..CorpusConfig::default()
+        },
+    );
+    (kg, corpus)
+}
+
+fn config() -> NcxConfig {
+    NcxConfig {
+        samples: 15,
+        threads: 1,
+        ..NcxConfig::default()
+    }
+}
+
+#[test]
+fn streamed_matching_agrees_with_batch() {
+    let (kg, corpus) = fixture(60);
+    // Batch build.
+    let batch = NcExplorer::build(kg.clone(), &corpus.store, config());
+    // Streamed build: empty store, then ingest every article in order.
+    let mut streamed = NcExplorer::build(kg.clone(), &DocumentStore::new(), config());
+    for article in corpus.store.iter() {
+        streamed.ingest(&article.full_text());
+    }
+    assert_eq!(streamed.index().num_docs(), batch.index().num_docs());
+
+    // Matching (which documents match which concepts) is df-independent,
+    // so the posting *sets* must be identical even though scores differ.
+    for c in kg.concepts() {
+        let batch_docs: Vec<u32> = batch
+            .index()
+            .postings(c)
+            .iter()
+            .map(|p| p.doc.raw())
+            .collect();
+        let stream_docs: Vec<u32> = streamed
+            .index()
+            .postings(c)
+            .iter()
+            .map(|p| p.doc.raw())
+            .collect();
+        assert_eq!(
+            batch_docs,
+            stream_docs,
+            "posting sets differ for {}",
+            kg.concept_label(c)
+        );
+    }
+
+    // Roll-up result *sets* agree for conjunctive queries.
+    for names in [
+        &["Financial Crime"][..],
+        &["Lawsuits", "Technology Company"][..],
+    ] {
+        let qb = batch.query(names).unwrap();
+        let qs = streamed.query(names).unwrap();
+        let mut b: Vec<u32> = batch
+            .rollup(&qb, 1000)
+            .into_iter()
+            .map(|h| h.doc.raw())
+            .collect();
+        let mut s: Vec<u32> = streamed
+            .rollup(&qs, 1000)
+            .into_iter()
+            .map(|h| h.doc.raw())
+            .collect();
+        b.sort_unstable();
+        s.sort_unstable();
+        assert_eq!(b, s, "matched sets differ for {names:?}");
+    }
+}
+
+#[test]
+fn ingest_empty_text_is_harmless() {
+    let (kg, _) = fixture(0);
+    let mut engine = NcExplorer::build(kg, &DocumentStore::new(), config());
+    let doc = engine.ingest("");
+    assert_eq!(doc.index(), 0);
+    assert_eq!(engine.index().num_docs(), 1);
+    assert!(engine.index().concepts_of_doc(doc).is_empty());
+}
+
+#[test]
+fn ingested_docs_rank_by_relevance() {
+    let (kg, _) = fixture(0);
+    let mut engine = NcExplorer::build(kg.clone(), &DocumentStore::new(), config());
+    // A fraud-heavy article and a barely-related one.
+    let heavy = engine.ingest(
+        "FTX fraud scandal deepens. Prosecutors cite fraud and money laundering. \
+         Binance also faces fraud claims.",
+    );
+    let light = engine.ingest("Microsoft mentioned fraud once in its annual filing.");
+    let q = engine.query(&["Financial Crime"]).unwrap();
+    let hits = engine.rollup(&q, 10);
+    assert_eq!(hits.len(), 2);
+    assert_eq!(hits[0].doc, heavy, "fraud-heavy doc must rank first");
+    assert_eq!(hits[1].doc, light);
+}
+
+#[test]
+fn drilldown_sees_streamed_documents() {
+    let (kg, _) = fixture(0);
+    let mut engine = NcExplorer::build(kg.clone(), &DocumentStore::new(), config());
+    engine.ingest("The SEC sued FTX over fraud. Binance faces money laundering probes.");
+    engine.ingest("CFTC settled fraud claims against Kraken.");
+    let q = engine.query(&["Bitcoin Exchange"]).unwrap();
+    let subs = engine.drilldown(&q, 10);
+    let labels: Vec<&str> = subs.iter().map(|s| kg.concept_label(s.concept)).collect();
+    assert!(
+        labels.contains(&"Financial Crime") || labels.contains(&"Regulator"),
+        "{labels:?}"
+    );
+}
