@@ -5,8 +5,8 @@
 //! paper). Pass 2 — **relevance scoring**: for each document, candidate
 //! concepts are gathered from `Ψ⁻¹` of its entities and scored with
 //! `cdr = cdr_o · cdr_c`, the connectivity part estimated by random walks
-//! (7.1 % of cost). Both passes run on a crossbeam worker pool; walk seeds
-//! derive from `(doc, concept)` so results are schedule-independent.
+//! (7.1 % of cost). Both passes fan out over scoped worker threads; walk
+//! seeds derive from `(doc, concept)` so results are schedule-independent.
 
 use crate::config::NcxConfig;
 use crate::relevance::context::cdrc_from_conn;
@@ -163,26 +163,24 @@ impl<'a> Indexer<'a> {
         let mut linking_time = Duration::ZERO;
         {
             let chunks = partition(n, threads);
-            let results: Vec<(usize, Vec<AnnotatedDoc>, Duration)> =
-                crossbeam::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for (start, end) in chunks {
-                        let nlp = self.nlp;
-                        handles.push(scope.spawn(move |_| {
-                            let mut docs = Vec::with_capacity(end - start);
-                            let mut elapsed = Duration::ZERO;
-                            for i in start..end {
-                                let text = store.get(DocId::from_index(i)).full_text();
-                                let t0 = Instant::now();
-                                docs.push(nlp.process(&text));
-                                elapsed += t0.elapsed();
-                            }
-                            (start, docs, elapsed)
-                        }));
-                    }
-                    handles.into_iter().map(|h| h.join().unwrap()).collect()
-                })
-                .expect("linking pool");
+            let results: Vec<(usize, Vec<AnnotatedDoc>, Duration)> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (start, end) in chunks {
+                    let nlp = self.nlp;
+                    handles.push(scope.spawn(move || {
+                        let mut docs = Vec::with_capacity(end - start);
+                        let mut elapsed = Duration::ZERO;
+                        for i in start..end {
+                            let text = store.get(DocId::from_index(i)).full_text();
+                            let t0 = Instant::now();
+                            docs.push(nlp.process(&text));
+                            elapsed += t0.elapsed();
+                        }
+                        (start, docs, elapsed)
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
             for (start, docs, elapsed) in results {
                 linking_time += elapsed;
                 for (off, d) in docs.into_iter().enumerate() {
@@ -210,13 +208,13 @@ impl<'a> Indexer<'a> {
             let chunks = partition(n, threads);
             let entity_index = &entity_index;
             type ScoreOut = (usize, Vec<Vec<(ConceptId, ConceptPosting)>>, Duration);
-            let results: Vec<ScoreOut> = crossbeam::thread::scope(|scope| {
+            let results: Vec<ScoreOut> = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (start, end) in chunks {
                     let oracle = self.oracle.clone();
                     let config = &self.config;
                     let kg = self.kg;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let estimator =
                             ConnEstimator::new(config.tau, config.beta, config.guided, oracle);
                         let mut out = Vec::with_capacity(end - start);
@@ -231,8 +229,7 @@ impl<'a> Indexer<'a> {
                     }));
                 }
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("scoring pool");
+            });
 
             for (start, per_doc, elapsed) in results {
                 scoring_time += elapsed;

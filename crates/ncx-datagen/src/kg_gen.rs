@@ -75,11 +75,16 @@ pub fn generate_kg(config: &KgGenConfig) -> KnowledgeGraph {
         for &e in seed.entities {
             let v = b.instance(e);
             b.member(c, v);
-            add_alias(&mut b, v, e);
             if is_topic {
                 // Topic terms appear inflected in news prose and queries
                 // ("lawsuits", "tariffs"); register the plural alias.
+                // No first-token alias here: a topic term is a common-noun
+                // phrase ("antitrust suit", "patent infringement") whose
+                // head word alone is ordinary prose, and aliasing it would
+                // link every document using that word to the topic.
                 b.alias(v, &format!("{e}s"));
+            } else {
+                add_alias(&mut b, v, e);
             }
             list.push(v);
         }

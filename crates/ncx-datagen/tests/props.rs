@@ -4,6 +4,10 @@ use ncx_datagen::{EvaluatorPool, GptReranker};
 use proptest::prelude::*;
 
 proptest! {
+    // Cap cases so the full workspace suite stays fast; override
+    // globally with PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// Ratings stay on the 0-5 scale for any truth/noise combination.
     #[test]
     fn ratings_bounded(

@@ -37,15 +37,44 @@ impl IvfIndex {
         let mut rng = StdRng::seed_from_u64(seed);
         let dim = flat.dim();
 
-        // k-means++ style init: random distinct picks.
+        // k-means++ init: first centroid uniform, later ones drawn with
+        // probability proportional to squared cosine distance from the
+        // nearest chosen centroid, so well-separated clusters each get one.
         let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(nlist);
         if n > 0 {
-            let mut picked = rustc_hash::FxHashSet::default();
+            centroids.push(flat.get(DocId::from_index(rng.gen_range(0..n))).to_vec());
+            let mut dist2 = vec![0.0f64; n];
             while centroids.len() < nlist {
-                let i = rng.gen_range(0..n);
-                if picked.insert(i) {
-                    centroids.push(flat.get(DocId::from_index(i)).to_vec());
+                let last = centroids.last().expect("nonempty");
+                let mut total = 0.0;
+                for (i, d2) in dist2.iter_mut().enumerate() {
+                    let v = flat.get(DocId::from_index(i));
+                    let d = (1.0 - dot(last, v) as f64).max(0.0);
+                    let cand = d * d;
+                    if centroids.len() == 1 || cand < *d2 {
+                        *d2 = cand;
+                    }
+                    total += *d2;
                 }
+                let next = if total > 0.0 {
+                    let mut target = rng.gen::<f64>() * total;
+                    // Fallback stays on a positive-weight point: rounding
+                    // in the subtraction chain must not select an index
+                    // that coincides with an existing centroid.
+                    let mut pick = dist2.iter().rposition(|&d2| d2 > 0.0).unwrap_or(n - 1);
+                    for (i, &d2) in dist2.iter().enumerate() {
+                        if d2 > 0.0 && target < d2 {
+                            pick = i;
+                            break;
+                        }
+                        target -= d2;
+                    }
+                    pick
+                } else {
+                    // All points coincide with a centroid already.
+                    rng.gen_range(0..n)
+                };
+                centroids.push(flat.get(DocId::from_index(next)).to_vec());
             }
         } else {
             centroids.push(vec![0.0; dim]);

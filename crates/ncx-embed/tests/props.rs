@@ -5,6 +5,10 @@ use ncx_embed::{FlatIndex, IvfIndex, TextEmbedder};
 use proptest::prelude::*;
 
 proptest! {
+    // Each IVF case builds a k-means index; cap cases to keep the full
+    // workspace suite fast. Override globally with PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
     /// Embeddings are unit-norm (or zero) and cosine is within [-1, 1].
     #[test]
     fn embeddings_unit_norm_and_cosine_bounded(

@@ -42,7 +42,13 @@ impl LuceneEngine {
             if is_stopword(&t) {
                 continue;
             }
-            *counts.entry(stem(&t)).or_insert(0) += 1;
+            // Stemming can land on a stopword ("ares" → "are"); filter
+            // both the raw token and the stem so none leak into the index.
+            let s = stem(&t);
+            if is_stopword(&s) {
+                continue;
+            }
+            *counts.entry(s).or_insert(0) += 1;
         }
         counts
     }

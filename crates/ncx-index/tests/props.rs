@@ -14,6 +14,10 @@ fn counts(words: &[String]) -> FxHashMap<String, u32> {
 }
 
 proptest! {
+    // Cap cases so the full workspace suite stays fast; override
+    // globally with PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// tf lookups agree with the source counts; postings stay sorted.
     #[test]
     fn index_tf_roundtrip(

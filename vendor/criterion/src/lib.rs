@@ -1,0 +1,158 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — with
+//! a simple warmup + timed-batch runner instead of criterion's full
+//! statistical machinery. Each benchmark prints its mean iteration time.
+//!
+//! Tuning via env vars: `CRITERION_WARMUP_MS` (default 50) and
+//! `CRITERION_MEASURE_MS` (default 300).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(key: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// Runs `f` repeatedly: first until the warmup budget elapses, then until
+/// the measurement budget elapses, and reports the measured mean.
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let warmup = env_ms("CRITERION_WARMUP_MS", 50);
+    let measure = env_ms("CRITERION_MEASURE_MS", 300);
+
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+        budget: warmup,
+    };
+    f(&mut b);
+
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+        budget: measure,
+    };
+    f(&mut b);
+
+    let mean = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / b.iters as u32
+    };
+    println!("bench: {label:<48} {mean:>12.2?}/iter ({} iters)", b.iters);
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times closure invocations until this phase's budget is exhausted
+    /// (always at least one invocation).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the shim's runner is
+    /// time-budgeted rather than sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// `criterion_group!(benches, fn_a, fn_b)` — a runner invoking each
+/// benchmark function with a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// `criterion_main!(benches)` — the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

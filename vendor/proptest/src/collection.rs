@@ -1,0 +1,74 @@
+//! `collection::vec` — the only collection strategy this workspace uses.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Length specifications accepted by [`vec`].
+pub trait IntoSizeRange {
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+pub struct VecStrategy<S> {
+    elem: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.min == self.max {
+            self.min
+        } else {
+            rng.gen_range(self.min..=self.max)
+        };
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// `vec(element_strategy, 1..12)` — vectors whose length is drawn from the
+/// given range and whose elements come from `elem`.
+pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { elem, min, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::fn_rng;
+
+    #[test]
+    fn lengths_respected() {
+        let mut rng = fn_rng("collection::tests");
+        for _ in 0..100 {
+            let v = vec(0u32..5, 1..4).generate(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+            let nested = vec(vec(0u8..2, 2..3), 0..3).generate(&mut rng);
+            assert!(nested.len() <= 2);
+            assert!(nested.iter().all(|inner| inner.len() == 2));
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Covers the subset this workspace uses: the `proptest!` macro (with an
+//! optional `#![proptest_config(..)]` header), `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!`, numeric-range and tuple
+//! strategies, `collection::vec`, `any::<T>()`, and string strategies from
+//! a regex subset (`[a-z]{1,5}`-style classes, groups, `.`, quantifiers).
+//!
+//! Unlike real proptest there is **no shrinking** — a failing case reports
+//! its case number and deterministic per-test seed instead. Case counts
+//! default to [`test_runner::DEFAULT_CASES`] and can be overridden with
+//! `PROPTEST_CASES` or `ProptestConfig::with_cases`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use arbitrary::any;
+
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of real proptest's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Fails the current property case (early-returns a `TestCaseError`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, with optional trailing format context.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, with optional trailing format context.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}", l, r, ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// The `proptest!` block: one or more `fn name(pat in strategy, ..) { .. }`
+/// items, each expanded into a `#[test]`-style function that samples its
+/// strategies for N cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let __cases = __config.resolved_cases();
+                let mut __rng = $crate::test_runner::fn_rng(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                    )+
+                    let __result: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(__e) = __result {
+                        ::core::panic!(
+                            "proptest {} case {}/{}: {}",
+                            stringify!($name), __case + 1, __cases, __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}

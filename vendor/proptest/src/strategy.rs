@@ -1,0 +1,90 @@
+//! The `Strategy` trait plus numeric-range, tuple, and string impls.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for producing random values. No shrinking in this shim; a
+/// strategy is just a deterministic-given-the-RNG sampler.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Always produces clones of one value (parity with proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_numeric_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_numeric_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// String strategies from a regex subset, e.g. `"[a-z ]{0,80}"`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_from_pattern(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::fn_rng;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = fn_rng("strategy::tests");
+        for _ in 0..200 {
+            let x = (3u32..10).generate(&mut rng);
+            assert!((3..10).contains(&x));
+            let f = (0.0f64..5.0).generate(&mut rng);
+            assert!((0.0..5.0).contains(&f));
+            let (a, b) = (0u64..4, 1u8..=2).generate(&mut rng);
+            assert!(a < 4 && (1..=2).contains(&b));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Random string generation from a regex subset.
+//!
+//! Supported syntax — enough for every pattern in this workspace:
+//! literal chars, `.` (mixed ASCII + multibyte sample set), classes
+//! `[a-z0-9 ]` with ranges and literals, groups `( .. )`, and the
+//! quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`. Unsupported constructs
+//! (alternation, negated classes, anchors) panic loudly rather than
+//! silently generating the wrong distribution.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Sample set for `.`: printable ASCII plus a few multibyte chars so
+/// UTF-8 boundary handling gets exercised.
+const ANY_EXTRA: &[char] = &['é', 'ß', 'λ', '中', '文', '—', '✓'];
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    Any,
+    Class(Vec<(char, char)>),
+    Group(Vec<Item>),
+}
+
+#[derive(Debug, Clone)]
+struct Item {
+    node: Node,
+    min: usize,
+    max: usize,
+}
+
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let items = parse_seq(&mut pattern.chars().collect::<Vec<_>>().as_slice(), pattern);
+    let mut out = String::new();
+    emit_seq(&items, rng, &mut out);
+    out
+}
+
+fn emit_seq(items: &[Item], rng: &mut TestRng, out: &mut String) {
+    for item in items {
+        let reps = if item.min == item.max {
+            item.min
+        } else {
+            rng.gen_range(item.min..=item.max)
+        };
+        for _ in 0..reps {
+            match &item.node {
+                Node::Lit(c) => out.push(*c),
+                Node::Any => {
+                    // ~1 in 8 draws picks a multibyte char.
+                    if rng.gen_range(0u32..8) == 0 {
+                        out.push(ANY_EXTRA[rng.gen_range(0..ANY_EXTRA.len())]);
+                    } else {
+                        out.push(rng.gen_range(0x20u32..0x7f) as u8 as char);
+                    }
+                }
+                Node::Class(ranges) => {
+                    let total: u32 = ranges
+                        .iter()
+                        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                        .sum();
+                    let mut pick = rng.gen_range(0..total);
+                    for &(lo, hi) in ranges {
+                        let span = hi as u32 - lo as u32 + 1;
+                        if pick < span {
+                            out.push(char::from_u32(lo as u32 + pick).expect("class char"));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+                Node::Group(inner) => emit_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// Parses until end of input or an unmatched `)`, consuming from `chars`.
+fn parse_seq(chars: &mut &[char], pattern: &str) -> Vec<Item> {
+    let mut items = Vec::new();
+    while let Some(&c) = chars.first() {
+        let node = match c {
+            ')' => break,
+            '(' => {
+                *chars = &chars[1..];
+                let inner = parse_seq(chars, pattern);
+                match chars.first() {
+                    Some(')') => *chars = &chars[1..],
+                    _ => panic!("unbalanced group in pattern {pattern:?}"),
+                }
+                Node::Group(inner)
+            }
+            '[' => {
+                *chars = &chars[1..];
+                Node::Class(parse_class(chars, pattern))
+            }
+            '.' => {
+                *chars = &chars[1..];
+                Node::Any
+            }
+            '\\' => {
+                *chars = &chars[1..];
+                let lit = *chars
+                    .first()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                *chars = &chars[1..];
+                Node::Lit(lit)
+            }
+            '|' | '^' | '$' => panic!("unsupported regex construct {c:?} in pattern {pattern:?}"),
+            lit => {
+                *chars = &chars[1..];
+                Node::Lit(lit)
+            }
+        };
+        let (min, max) = parse_quantifier(chars, pattern);
+        items.push(Item { node, min, max });
+    }
+    items
+}
+
+fn parse_class(chars: &mut &[char], pattern: &str) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        match chars.first() {
+            None => panic!("unterminated class in pattern {pattern:?}"),
+            Some(']') => {
+                *chars = &chars[1..];
+                break;
+            }
+            Some('^') if ranges.is_empty() => {
+                panic!("negated classes unsupported in pattern {pattern:?}")
+            }
+            Some(&lo) => {
+                let lo = if lo == '\\' {
+                    *chars = &chars[1..];
+                    *chars
+                        .first()
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"))
+                } else {
+                    lo
+                };
+                *chars = &chars[1..];
+                if chars.first() == Some(&'-') && chars.get(1).is_some_and(|&c| c != ']') {
+                    let hi = chars[1];
+                    *chars = &chars[2..];
+                    assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                    ranges.push((lo, hi));
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    ranges
+}
+
+fn parse_quantifier(chars: &mut &[char], pattern: &str) -> (usize, usize) {
+    match chars.first() {
+        Some('{') => {
+            let close = chars
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+            let body: String = chars[1..close].iter().collect();
+            *chars = &chars[close + 1..];
+            let parse = |s: &str| -> usize {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier {body:?} in pattern {pattern:?}"))
+            };
+            match body.split_once(',') {
+                None => {
+                    let n = parse(&body);
+                    (n, n)
+                }
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+            }
+        }
+        Some('?') => {
+            *chars = &chars[1..];
+            (0, 1)
+        }
+        Some('*') => {
+            *chars = &chars[1..];
+            (0, 8)
+        }
+        Some('+') => {
+            *chars = &chars[1..];
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::fn_rng;
+
+    #[test]
+    fn workspace_patterns() {
+        let mut rng = fn_rng("string::tests");
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z ]{0,80}", &mut rng);
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+
+            let s = generate_from_pattern("[a-z]{2,8}( [a-z]{2,8}){1,6}", &mut rng);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((2..=7).contains(&words.len()), "{s:?}");
+            assert!(words.iter().all(|w| (2..=8).contains(&w.len())), "{s:?}");
+
+            let s = generate_from_pattern(".{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+
+            let s = generate_from_pattern("[a-e]{1,2}", &mut rng);
+            assert!((1..=2).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='e').contains(&c)));
+        }
+    }
+}

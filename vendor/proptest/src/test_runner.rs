@@ -1,0 +1,75 @@
+//! Config, error type, and deterministic RNG plumbing for `proptest!`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default cases per property. Real proptest uses 256; this workspace caps
+/// lower so the full suite stays fast, and individual suites override via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// RNG handed to strategies. One deterministic stream per test function.
+pub type TestRng = StdRng;
+
+/// Deterministic per-function RNG: seeded from an FNV-1a hash of the test's
+/// module path + name, optionally perturbed by `PROPTEST_RNG_SEED`.
+pub fn fn_rng(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if let Ok(extra) = std::env::var("PROPTEST_RNG_SEED") {
+        if let Ok(n) = extra.trim().parse::<u64>() {
+            h ^= n.rotate_left(17);
+        }
+    }
+    TestRng::seed_from_u64(h)
+}
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// Explicit cases, unless `PROPTEST_CASES` overrides them globally.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.trim().parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// A failed property case; carries the `prop_assert!` message.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        Self { message }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

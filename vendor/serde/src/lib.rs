@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! `use serde::{Serialize, Deserialize}` imports both the marker traits
+//! below and the no-op derive macros re-exported from the `serde_derive`
+//! shim (a single `use` pulls from the type and macro namespaces at once,
+//! exactly as with real serde).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; real serialisation is not wired in this offline build.
+pub trait Serialize {}
+
+/// Marker trait; real deserialisation is not wired in this offline build.
+pub trait Deserialize<'de> {}
