@@ -1,7 +1,9 @@
-//! Roll-up and drill-down query latency (the subject of Fig. 5).
+//! Roll-up and drill-down query latency (the subject of Fig. 5), plus
+//! the sequential-vs-parallel comparison for the query worker pool.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ncx_bench::fixtures::{Engines, Fixture};
+use ncx_core::{NcExplorer, NcxConfig, Parallelism};
 
 fn bench_rollup(c: &mut Criterion) {
     let fixture = Fixture::standard(300, 42);
@@ -26,5 +28,41 @@ fn bench_rollup(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_rollup);
+/// The same operators with the query pool pinned sequential vs. wide —
+/// the speedup acceptance check for the parallel execution path. On a
+/// multi-core runner the `par` series should beat `seq` on the broad
+/// conjunctive query and on drill-down; on a single core the two series
+/// coincide (the pool degenerates to the sequential path).
+fn bench_parallel_modes(c: &mut Criterion) {
+    // Big enough that the posting volume crosses the parallel work
+    // floors (PAR_MIN_POSTINGS / PAR_MIN_DOCS) — below them the engine
+    // deliberately stays sequential.
+    let fixture = Fixture::standard(4000, 42);
+    let mut engine = NcExplorer::build(
+        fixture.kg.clone(),
+        &fixture.corpus.store,
+        NcxConfig {
+            samples: 25,
+            ..NcxConfig::default()
+        },
+    );
+    let broad = engine.query(&["Financial Crime", "Bank"]).unwrap();
+    let drill = engine.query(&["Financial Crime"]).unwrap();
+    let mut group = c.benchmark_group("query_parallelism");
+    for (label, parallelism) in [
+        ("seq", Parallelism::sequential()),
+        ("par", Parallelism::Auto),
+    ] {
+        engine.set_query_parallelism(parallelism);
+        group.bench_with_input(BenchmarkId::new("rollup", label), &broad, |b, q| {
+            b.iter(|| engine.rollup(q, 10));
+        });
+        group.bench_with_input(BenchmarkId::new("drilldown", label), &drill, |b, q| {
+            b.iter(|| engine.drilldown(q, 10));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollup, bench_parallel_modes);
 criterion_main!(benches);

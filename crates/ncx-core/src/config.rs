@@ -16,6 +16,65 @@ pub enum ScoreAblation {
     ContextOnly,
 }
 
+/// Worker-pool width for the parallel execution paths (query-time
+/// roll-up/drill-down sweeps and the pass-2 scoring pool).
+///
+/// `Fixed(1)` reproduces the sequential code path bit-for-bit: walk
+/// seeds derive from `(doc, concept)` via
+/// [`pair_seed`](crate::relevance::estimator::pair_seed), so scores
+/// never depend on scheduling, and the sequential operators are kept as
+/// the literal single-worker path.
+///
+/// ```
+/// use ncx_core::config::Parallelism;
+///
+/// assert!(Parallelism::Auto.workers() >= 1);
+/// assert_eq!(Parallelism::Fixed(4).workers(), 4);
+/// assert!(Parallelism::sequential().is_sequential());
+/// assert!(!Parallelism::Fixed(8).is_sequential());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One worker per available core.
+    #[default]
+    Auto,
+    /// Exactly this many workers (must be ≥ 1; validated by
+    /// [`NcxConfig::validate`]).
+    Fixed(usize),
+}
+
+/// Available cores, resolved once — `std::thread::available_parallelism`
+/// re-reads cgroup quota files on every call (microseconds of file I/O),
+/// which is too slow for per-query resolution.
+fn available_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+impl Parallelism {
+    /// The sequential configuration, `Fixed(1)`.
+    pub fn sequential() -> Self {
+        Parallelism::Fixed(1)
+    }
+
+    /// Resolved worker count (≥ 1).
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Auto => available_cores(),
+            Parallelism::Fixed(n) => n.max(1),
+        }
+    }
+
+    /// Whether this resolves to a single worker.
+    pub fn is_sequential(self) -> bool {
+        self.workers() == 1
+    }
+}
+
 /// Parameters of the NCExplorer engine. `Default` reproduces the paper's
 /// evaluation settings: τ = 2, β = 0.5, 50 samples per connectivity score,
 /// reachability-guided sampling on.
@@ -41,8 +100,15 @@ pub struct NcxConfig {
     pub max_member_fraction: f64,
     /// Worker threads for corpus indexing (0 = all available cores).
     pub threads: usize,
-    /// Capacity of the per-target distance cache.
+    /// Worker-pool width for query-time roll-up/drill-down execution.
+    /// `Fixed(1)` takes the sequential path bit-for-bit.
+    pub query_parallelism: Parallelism,
+    /// Capacity of the per-target distance cache (total across shards).
     pub oracle_cache: usize,
+    /// Shard count of the per-target distance cache (rounded up to a
+    /// power of two). More shards reduce lock contention between
+    /// concurrent scorers for different targets.
+    pub oracle_shards: usize,
     /// When a roll-up concept has no direct posting for a document, fall
     /// back to its narrower ("edge") concepts, as §III-A1 prescribes.
     pub edge_concept_fallback: bool,
@@ -63,7 +129,9 @@ impl Default for NcxConfig {
             max_concepts_per_doc: 64,
             max_member_fraction: 0.2,
             threads: 0,
+            query_parallelism: Parallelism::Auto,
             oracle_cache: 4096,
+            oracle_shards: 16,
             edge_concept_fallback: true,
             drilldown_doc_cap: 2000,
             ablation: ScoreAblation::default(),
@@ -77,9 +145,7 @@ impl NcxConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            available_cores()
         }
     }
 
@@ -97,6 +163,12 @@ impl NcxConfig {
         }
         if !(0.0..=1.0).contains(&self.max_member_fraction) {
             return Err("max_member_fraction must be in [0, 1]".into());
+        }
+        if self.query_parallelism == Parallelism::Fixed(0) {
+            return Err("query_parallelism must be Fixed(n ≥ 1) or Auto".into());
+        }
+        if self.oracle_shards == 0 {
+            return Err("oracle_shards must be at least 1".into());
         }
         Ok(())
     }
@@ -133,6 +205,23 @@ mod tests {
             ..NcxConfig::default()
         };
         assert!(bad_samples.validate().is_err());
+    }
+
+    #[test]
+    fn parallelism_knob_resolves() {
+        assert!(Parallelism::Auto.workers() >= 1);
+        assert_eq!(Parallelism::Fixed(3).workers(), 3);
+        assert!(Parallelism::sequential().is_sequential());
+        let bad = NcxConfig {
+            query_parallelism: Parallelism::Fixed(0),
+            ..NcxConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad_shards = NcxConfig {
+            oracle_shards: 0,
+            ..NcxConfig::default()
+        };
+        assert!(bad_shards.validate().is_err());
     }
 
     #[test]

@@ -14,14 +14,38 @@
 //! * `diversity` — `|∪_{d∈D(Q)} ME(c, d)| / |D(Q ∪ {c})|`: favour
 //!   subtopics backed by many *distinct* entities rather than one popular
 //!   entity repeated everywhere.
+//!
+//! # Parallel execution
+//!
+//! Both candidate sweeps iterate every matched document, which dominates
+//! drill-down latency on large result sets. With
+//! [`NcxConfig::query_parallelism`] above one worker, documents are
+//! processed in fixed-size batches on the shared pool of [`crate::par`]
+//! and the per-batch partial maps are merged **in batch order**, so any
+//! parallel worker count produces identical output. Coverage is a sum of
+//! floats, and the batched summation associates differently from the
+//! sequential left fold, so parallel scores can differ from sequential
+//! ones by float rounding (≲ 1e-12 relative) — `Fixed(1)` runs the
+//! literal sequential fold; document sets, entity sets and counts are
+//! always bit-identical.
 
 use crate::config::NcxConfig;
 use crate::indexer::NcxIndex;
+use crate::par::run_batched;
 use crate::query::ConceptQuery;
 use crate::rollup::matched_docs;
 use ncx_index::TopK;
 use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
 use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Documents per parallel sweep batch. Fixed (not worker-derived) so the
+/// merged coverage sums do not depend on the worker count.
+const SWEEP_BATCH: usize = 64;
+
+/// Minimum matched-document count before the parallel sweeps engage:
+/// below this, a sweep costs less than spawning the pool (a thread
+/// spawn is ~10 µs), so small result sets always sweep sequentially.
+const PAR_MIN_DOCS: usize = 256;
 
 /// A suggested drill-down subtopic with its score decomposition.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,28 +126,81 @@ pub fn drilldown_with_factors(
         excluded.extend(ontology::ancestors(kg, c));
     }
 
-    // Sweep 1: coverage and D(Q ∪ {c}) from the per-document concept lists.
-    let mut coverage: FxHashMap<ConceptId, f64> = FxHashMap::default();
-    let mut doc_count: FxHashMap<ConceptId, usize> = FxHashMap::default();
-    for &d in &docs {
+    let workers = config.query_parallelism.workers();
+    let parallel = workers > 1 && docs.len() >= PAR_MIN_DOCS;
+    let num_batches = docs.len().div_ceil(SWEEP_BATCH);
+    let batch_range = |bi: usize| {
+        let start = bi * SWEEP_BATCH;
+        start..(start + SWEEP_BATCH).min(docs.len())
+    };
+
+    // Sweep 1: coverage and D(Q ∪ {c}) from the per-document concept
+    // lists. One per-document body shared by both execution paths — the
+    // seq/par equivalence contract depends on them staying identical;
+    // only the fold structure (and thus float-sum association) differs.
+    type Sweep1 = (FxHashMap<ConceptId, f64>, FxHashMap<ConceptId, usize>);
+    let sweep1_doc = |d: DocId, (cov, cnt): &mut Sweep1| {
         for &(c, cdr) in index.concepts_of_doc(d) {
             if excluded.contains(&c) {
                 continue;
             }
-            *coverage.entry(c).or_insert(0.0) += cdr;
-            *doc_count.entry(c).or_insert(0) += 1;
+            *cov.entry(c).or_insert(0.0) += cdr;
+            *cnt.entry(c).or_insert(0) += 1;
+        }
+    };
+    let mut sweep1: Sweep1 = Default::default();
+    if parallel {
+        let parts: Vec<Sweep1> = run_batched(num_batches, workers, 1, |bi| {
+            let mut acc: Sweep1 = Default::default();
+            for &d in &docs[batch_range(bi)] {
+                sweep1_doc(d, &mut acc);
+            }
+            acc
+        });
+        for (cov, cnt) in parts {
+            for (c, x) in cov {
+                *sweep1.0.entry(c).or_insert(0.0) += x;
+            }
+            for (c, x) in cnt {
+                *sweep1.1.entry(c).or_insert(0) += x;
+            }
+        }
+    } else {
+        for &d in &docs {
+            sweep1_doc(d, &mut sweep1);
         }
     }
+    let (coverage, doc_count) = sweep1;
 
-    // Sweep 2: distinct matched entities per candidate.
-    let mut entity_sets: FxHashMap<ConceptId, FxHashSet<InstanceId>> = FxHashMap::default();
-    for &d in &docs {
+    // Sweep 2: distinct matched entities per candidate (set unions are
+    // order-independent, so the parallel merge is exact).
+    type Sweep2 = FxHashMap<ConceptId, FxHashSet<InstanceId>>;
+    let sweep2_doc = |d: DocId, sets: &mut Sweep2| {
         for &(v, _) in index.entity_index.entities_of(d) {
             for &c in kg.concepts_of(v) {
                 if coverage.contains_key(&c) {
-                    entity_sets.entry(c).or_default().insert(v);
+                    sets.entry(c).or_default().insert(v);
                 }
             }
+        }
+    };
+    let mut entity_sets: Sweep2 = Sweep2::default();
+    if parallel {
+        let parts: Vec<Sweep2> = run_batched(num_batches, workers, 1, |bi| {
+            let mut sets = Sweep2::default();
+            for &d in &docs[batch_range(bi)] {
+                sweep2_doc(d, &mut sets);
+            }
+            sets
+        });
+        for part in parts {
+            for (c, vs) in part {
+                entity_sets.entry(c).or_default().extend(vs);
+            }
+        }
+    } else {
+        for &d in &docs {
+            sweep2_doc(d, &mut entity_sets);
         }
     }
 
@@ -308,6 +385,66 @@ mod tests {
             assert!((s.score - s.coverage).abs() < 1e-12);
         }
         assert_eq!(SbrFactors::CSD.label(), "C + S + D");
+    }
+
+    #[test]
+    fn parallel_drilldown_equivalent_to_sequential() {
+        use crate::config::Parallelism;
+        // A corpus big enough to trip the batched sweeps (≥ PAR_MIN_DOCS
+        // matched docs).
+        let (kg, _) = setup();
+        let mut store = DocumentStore::new();
+        let texts = [
+            "SEC sued FTX over fraud. Sam Bankman-Fried responded.",
+            "SEC probed Binance for laundering.",
+            "CFTC settled with Kraken over fraud claims.",
+            "Binance and Kraken face fresh laundering scrutiny.",
+        ];
+        for i in 0..600 {
+            store.add(
+                NewsSource::Reuters,
+                format!("doc {i}"),
+                texts[i % texts.len()].into(),
+                i as u32,
+            );
+        }
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let base = NcxConfig {
+            threads: 1,
+            samples: 10,
+            max_member_fraction: 0.9,
+            ..NcxConfig::default()
+        };
+        let index = Indexer::new(&kg, &nlp, base.clone()).index_corpus(&store);
+        let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
+
+        let seq_cfg = NcxConfig {
+            query_parallelism: Parallelism::sequential(),
+            ..base.clone()
+        };
+        let seq = drilldown(&index, &kg, &q, 20, &seq_cfg);
+        assert!(!seq.is_empty());
+        for fixed in [2, 4, 7] {
+            let par_cfg = NcxConfig {
+                query_parallelism: Parallelism::Fixed(fixed),
+                ..base.clone()
+            };
+            let par = drilldown(&index, &kg, &q, 20, &par_cfg);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.concept, b.concept, "ranking diverged at {fixed} workers");
+                assert_eq!(a.matching_docs, b.matching_docs);
+                assert_eq!(a.distinct_entities, b.distinct_entities);
+                // Coverage sums may associate differently: allow float
+                // rounding only.
+                assert!(
+                    (a.score - b.score).abs() <= 1e-9 * a.score.abs().max(1.0),
+                    "score drift at {fixed} workers: {} vs {}",
+                    a.score,
+                    b.score
+                );
+            }
+        }
     }
 
     #[test]

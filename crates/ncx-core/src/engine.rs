@@ -5,17 +5,60 @@
 //! stream in, get linked to the KG, and become explorable through concept
 //! pattern queries.
 
-use crate::config::NcxConfig;
+use crate::config::{NcxConfig, Parallelism};
 use crate::drilldown::{self, SbrFactors, Subtopic};
 use crate::explain::{self, Explanation};
-use crate::indexer::{Indexer, NcxIndex};
+use crate::indexer::{IndexTiming, Indexer, NcxIndex};
 use crate::query::ConceptQuery;
+use crate::relevance::WalkStats;
 use crate::rollup::{self, RollupHit};
 use ncx_index::DocumentStore;
 use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
-use ncx_reach::TargetDistanceOracle;
+use ncx_reach::{OracleStats, TargetDistanceOracle};
 use ncx_text::{GazetteerLinker, NlpPipeline};
+use std::fmt;
 use std::sync::Arc;
+
+/// Point-in-time diagnostic counters of a running engine: aggregate
+/// random-walk statistics from relevance scoring, the distance oracle's
+/// cache behaviour, and the indexing-cost breakdown.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineDiagnostics {
+    /// Walks run across every connectivity estimate (build + ingest).
+    pub walk_stats: WalkStats,
+    /// Sharded distance-cache hit/miss counters.
+    pub oracle: OracleStats,
+    /// Build-cost breakdown (Fig. 4 quantities).
+    pub timing: IndexTiming,
+}
+
+impl fmt::Display for EngineDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "walks: {} ({} hits, {} dead ends, {:.1}% hit rate)",
+            self.walk_stats.walks,
+            self.walk_stats.hits,
+            self.walk_stats.dead_ends,
+            100.0 * self.walk_stats.hit_rate(),
+        )?;
+        writeln!(
+            f,
+            "oracle: {} lookups ({} hits / {} misses, {:.1}% hit rate)",
+            self.oracle.lookups(),
+            self.oracle.hits,
+            self.oracle.misses,
+            100.0 * self.oracle.hit_rate(),
+        )?;
+        write!(
+            f,
+            "build: {} docs in {:?} ({:.1}% entity linking)",
+            self.timing.docs,
+            self.timing.total_wall,
+            100.0 * self.timing.linking_fraction(),
+        )
+    }
+}
 
 /// The assembled news-exploration engine.
 pub struct NcExplorer {
@@ -82,6 +125,23 @@ impl NcExplorer {
     /// The NLP pipeline.
     pub fn nlp(&self) -> &NlpPipeline {
         &self.nlp
+    }
+
+    /// Aggregate diagnostics: walk statistics, oracle cache counters, and
+    /// the build-cost breakdown.
+    pub fn diagnostics(&self) -> EngineDiagnostics {
+        EngineDiagnostics {
+            walk_stats: self.index.walk_stats,
+            oracle: self.oracle.stats(),
+            timing: self.index.timing,
+        }
+    }
+
+    /// Reconfigures the query-time worker-pool width. Indexing is not
+    /// affected; `Parallelism::sequential()` pins roll-up/drill-down to
+    /// the sequential reference path.
+    pub fn set_query_parallelism(&mut self, parallelism: Parallelism) {
+        self.config.query_parallelism = parallelism;
     }
 
     /// Ingests one article from the stream (Fig. 3): links its entities,
@@ -310,5 +370,26 @@ mod tests {
         let eng = build_engine();
         assert_eq!(eng.index().timing.docs, 3);
         assert!(eng.index().timing.per_doc().as_nanos() > 0);
+    }
+
+    #[test]
+    fn diagnostics_expose_walks_and_oracle() {
+        let mut eng = build_engine();
+        let d = eng.diagnostics();
+        assert!(d.walk_stats.walks > 0, "{d:?}");
+        assert!(d.oracle.lookups() > 0, "guided scoring must hit the oracle");
+        assert_eq!(d.timing.docs, 3);
+        let rendered = d.to_string();
+        assert!(rendered.contains("walks:"), "{rendered}");
+        assert!(rendered.contains("oracle:"), "{rendered}");
+
+        // Query-parallelism can be switched at runtime without changing
+        // results.
+        let q = eng.query(&["Financial Crime"]).unwrap();
+        let before = eng.rollup(&q, 5);
+        eng.set_query_parallelism(crate::config::Parallelism::Fixed(4));
+        assert_eq!(eng.rollup(&q, 5), before);
+        eng.set_query_parallelism(crate::config::Parallelism::sequential());
+        assert_eq!(eng.rollup(&q, 5), before);
     }
 }

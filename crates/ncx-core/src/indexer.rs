@@ -5,12 +5,15 @@
 //! paper). Pass 2 — **relevance scoring**: for each document, candidate
 //! concepts are gathered from `Ψ⁻¹` of its entities and scored with
 //! `cdr = cdr_o · cdr_c`, the connectivity part estimated by random walks
-//! (7.1 % of cost). Both passes fan out over scoped worker threads; walk
+//! (7.1 % of cost). Both passes fan out over the batch-balanced scoped
+//! worker pool of [`crate::par`] (article lengths and candidate lists are
+//! skewed, so static chunking strands workers behind the long tail); walk
 //! seeds derive from `(doc, concept)` so results are schedule-independent.
 
 use crate::config::NcxConfig;
+use crate::par::{auto_batch, run_batched};
 use crate::relevance::context::cdrc_from_conn;
-use crate::relevance::estimator::{pair_seed, ConnEstimator};
+use crate::relevance::estimator::{pair_seed, ConnEstimator, WalkStats};
 use crate::relevance::ontology::ontology_relevance;
 use ncx_index::{DocumentStore, EntityIndex};
 use ncx_kg::{ConceptId, DocId, InstanceId, KnowledgeGraph};
@@ -80,6 +83,9 @@ pub struct NcxIndex {
     doc_concepts: Vec<Vec<(ConceptId, f64)>>,
     /// Build-cost breakdown.
     pub timing: IndexTiming,
+    /// Aggregate random-walk statistics over every connectivity estimate
+    /// run while building (and streaming into) this index.
+    pub walk_stats: WalkStats,
 }
 
 impl NcxIndex {
@@ -137,7 +143,11 @@ impl<'a> Indexer<'a> {
     /// Creates an indexer. Panics on invalid configuration.
     pub fn new(kg: &'a KnowledgeGraph, nlp: &'a NlpPipeline, config: NcxConfig) -> Self {
         config.validate().expect("invalid NcxConfig");
-        let oracle = Arc::new(TargetDistanceOracle::new(config.tau, config.oracle_cache));
+        let oracle = Arc::new(TargetDistanceOracle::with_shards(
+            config.tau,
+            config.oracle_cache,
+            config.oracle_shards,
+        ));
         Self {
             kg,
             nlp,
@@ -157,41 +167,25 @@ impl<'a> Indexer<'a> {
         let n = store.len();
         let threads = self.config.effective_threads().min(n.max(1));
 
-        // ---- pass 1: entity linking (parallel over chunks) ----
-        let mut annotated: Vec<Option<AnnotatedDoc>> = Vec::new();
-        annotated.resize_with(n, || None);
+        // ---- pass 1: entity linking (batch-balanced worker pool) ----
         let mut linking_time = Duration::ZERO;
-        {
-            let chunks = partition(n, threads);
-            let results: Vec<(usize, Vec<AnnotatedDoc>, Duration)> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (start, end) in chunks {
-                    let nlp = self.nlp;
-                    handles.push(scope.spawn(move || {
-                        let mut docs = Vec::with_capacity(end - start);
-                        let mut elapsed = Duration::ZERO;
-                        for i in start..end {
-                            let text = store.get(DocId::from_index(i)).full_text();
-                            let t0 = Instant::now();
-                            docs.push(nlp.process(&text));
-                            elapsed += t0.elapsed();
-                        }
-                        (start, docs, elapsed)
-                    }));
-                }
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            });
-            for (start, docs, elapsed) in results {
-                linking_time += elapsed;
-                for (off, d) in docs.into_iter().enumerate() {
-                    annotated[start + off] = Some(d);
-                }
-            }
-        }
-        let annotated: Vec<AnnotatedDoc> = annotated
-            .into_iter()
-            .map(|d| d.expect("annotated"))
-            .collect();
+        let annotated: Vec<AnnotatedDoc> = {
+            let nlp = self.nlp;
+            let results: Vec<(AnnotatedDoc, Duration)> =
+                run_batched(n, threads, auto_batch(n, threads), |i| {
+                    let text = store.get(DocId::from_index(i)).full_text();
+                    let t0 = Instant::now();
+                    let doc = nlp.process(&text);
+                    (doc, t0.elapsed())
+                });
+            results
+                .into_iter()
+                .map(|(doc, elapsed)| {
+                    linking_time += elapsed;
+                    doc
+                })
+                .collect()
+        };
 
         // Entity index must be built sequentially (doc-id order).
         let mut entity_index = EntityIndex::new();
@@ -199,46 +193,35 @@ impl<'a> Indexer<'a> {
             entity_index.add_document(&doc.entity_counts);
         }
 
-        // ---- pass 2: relevance scoring (parallel) ----
+        // ---- pass 2: relevance scoring (batch-balanced worker pool) ----
+        // Per-document work is skewed by candidate-concept counts, so
+        // batches are handed out dynamically; `pair_seed` keeps every
+        // (doc, concept) estimate schedule-independent.
         let mut scoring_time = Duration::ZERO;
+        let mut walk_stats = WalkStats::default();
         let mut doc_concepts: Vec<Vec<(ConceptId, f64)>> = Vec::new();
         doc_concepts.resize_with(n, Vec::new);
         let mut concept_postings: FxHashMap<ConceptId, Vec<ConceptPosting>> = FxHashMap::default();
         {
-            let chunks = partition(n, threads);
             let entity_index = &entity_index;
-            type ScoreOut = (usize, Vec<Vec<(ConceptId, ConceptPosting)>>, Duration);
-            let results: Vec<ScoreOut> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (start, end) in chunks {
-                    let oracle = self.oracle.clone();
-                    let config = &self.config;
-                    let kg = self.kg;
-                    handles.push(scope.spawn(move || {
-                        let estimator =
-                            ConnEstimator::new(config.tau, config.beta, config.guided, oracle);
-                        let mut out = Vec::with_capacity(end - start);
-                        let mut elapsed = Duration::ZERO;
-                        for i in start..end {
-                            let doc = DocId::from_index(i);
-                            let t0 = Instant::now();
-                            out.push(score_document(kg, entity_index, &estimator, config, doc));
-                            elapsed += t0.elapsed();
-                        }
-                        (start, out, elapsed)
-                    }));
-                }
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            let config = &self.config;
+            let kg = self.kg;
+            let oracle = &self.oracle;
+            type ScoreOut = (Vec<(ConceptId, ConceptPosting)>, WalkStats, Duration);
+            let results: Vec<ScoreOut> = run_batched(n, threads, auto_batch(n, threads), |i| {
+                let estimator =
+                    ConnEstimator::new(config.tau, config.beta, config.guided, oracle.clone());
+                let doc = DocId::from_index(i);
+                let t0 = Instant::now();
+                let (entries, stats) = score_document(kg, entity_index, &estimator, config, doc);
+                (entries, stats, t0.elapsed())
             });
-
-            for (start, per_doc, elapsed) in results {
+            for (doc_idx, (entries, stats, elapsed)) in results.into_iter().enumerate() {
                 scoring_time += elapsed;
-                for (off, entries) in per_doc.into_iter().enumerate() {
-                    let doc_idx = start + off;
-                    for (c, posting) in entries {
-                        doc_concepts[doc_idx].push((c, posting.cdr));
-                        concept_postings.entry(c).or_default().push(posting);
-                    }
+                walk_stats.merge(stats);
+                for (c, posting) in entries {
+                    doc_concepts[doc_idx].push((c, posting.cdr));
+                    concept_postings.entry(c).or_default().push(posting);
                 }
             }
         }
@@ -259,6 +242,7 @@ impl<'a> Indexer<'a> {
                 total_wall: wall.elapsed(),
                 docs: n,
             },
+            walk_stats,
         }
     }
 }
@@ -288,8 +272,9 @@ pub fn ingest_document(
 
     let t1 = Instant::now();
     let estimator = ConnEstimator::new(config.tau, config.beta, config.guided, oracle);
-    let entries = score_document(kg, &index.entity_index, &estimator, config, doc);
+    let (entries, stats) = score_document(kg, &index.entity_index, &estimator, config, doc);
     let scoring = t1.elapsed();
+    index.walk_stats.merge(stats);
 
     let mut doc_list = Vec::with_capacity(entries.len());
     for (c, posting) in entries {
@@ -308,17 +293,19 @@ pub fn ingest_document(
 
 /// Scores one document: candidate concepts from `Ψ⁻¹` of its entities,
 /// capped by ontology relevance, each completed with an estimated context
-/// relevance.
+/// relevance. Also returns the walk statistics accumulated across the
+/// document's estimates.
 fn score_document(
     kg: &KnowledgeGraph,
     entity_index: &EntityIndex,
     estimator: &ConnEstimator,
     config: &NcxConfig,
     doc: DocId,
-) -> Vec<(ConceptId, ConceptPosting)> {
+) -> (Vec<(ConceptId, ConceptPosting)>, WalkStats) {
+    let mut walk_stats = WalkStats::default();
     let entities = entity_index.entities_of(doc);
     if entities.is_empty() {
-        return Vec::new();
+        return (Vec::new(), walk_stats);
     }
     // Candidate concepts: the direct types of every document entity,
     // skipping trivially broad concepts.
@@ -356,8 +343,9 @@ fn score_document(
             }
         }
         let seed = pair_seed(config.seed, doc.raw(), c.raw());
-        let (conn, _) =
+        let (conn, stats) =
             estimator.estimate_conn(kg, kg.members(c), &context_buf, config.samples, seed);
+        walk_stats.merge(stats);
         let cdrc = cdrc_from_conn(conn);
         let cdr = match config.ablation {
             crate::config::ScoreAblation::Full => cdro * cdrc,
@@ -375,25 +363,7 @@ fn score_document(
             },
         ));
     }
-    out
-}
-
-/// Splits `n` items into up to `parts` contiguous ranges.
-fn partition(n: usize, parts: usize) -> Vec<(usize, usize)> {
-    if n == 0 {
-        return Vec::new();
-    }
-    let parts = parts.clamp(1, n);
-    let base = n / parts;
-    let extra = n % parts;
-    let mut out = Vec::with_capacity(parts);
-    let mut start = 0;
-    for i in 0..parts {
-        let len = base + usize::from(i < extra);
-        out.push((start, start + len));
-        start += len;
-    }
-    out
+    (out, walk_stats)
 }
 
 #[cfg(test)]
@@ -554,14 +524,34 @@ mod tests {
     }
 
     #[test]
-    fn partition_covers_range() {
-        assert_eq!(partition(0, 4), vec![]);
-        assert_eq!(partition(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
-        assert_eq!(partition(2, 8), vec![(0, 1), (1, 2)]);
-        let p = partition(100, 7);
-        assert_eq!(p.first().unwrap().0, 0);
-        assert_eq!(p.last().unwrap().1, 100);
-        let total: usize = p.iter().map(|(s, e)| e - s).sum();
-        assert_eq!(total, 100);
+    fn walk_stats_aggregated_across_build_and_ingest() {
+        let (kg, index) = build_index(2);
+        let built = index.walk_stats;
+        assert!(built.walks > 0, "scoring must have run walks: {built:?}");
+        assert!(built.hits <= built.walks);
+
+        // Streaming ingest keeps accumulating.
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let config = NcxConfig {
+            threads: 1,
+            samples: 200,
+            max_member_fraction: 1.0,
+            ..NcxConfig::default()
+        };
+        let indexer = Indexer::new(&kg, &nlp, config.clone());
+        let mut index = indexer.index_corpus(&{
+            let (_, store) = setup();
+            store
+        });
+        let before = index.walk_stats;
+        ingest_document(
+            &kg,
+            &nlp,
+            &config,
+            indexer.oracle(),
+            &mut index,
+            "FTX accused of fraud again.",
+        );
+        assert!(index.walk_stats.walks > before.walks);
     }
 }

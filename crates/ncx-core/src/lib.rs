@@ -13,6 +13,8 @@
 //! * [`indexer`] — the two-pass indexing pipeline (entity linking, then
 //!   concept-posting construction) with the timing breakdown reported in
 //!   Fig. 4;
+//! * [`par`] — the scoped worker pool with batch-level load balancing
+//!   shared by the indexer and the parallel query operators;
 //! * [`rollup`] — Definition 1: top-K documents by `rel(Q, d)`;
 //! * [`drilldown`] — Definition 2: top-K subtopics by
 //!   `sbr = coverage · specificity · diversity`;
@@ -25,13 +27,14 @@ pub mod engine;
 pub mod explain;
 pub mod export;
 pub mod indexer;
+pub mod par;
 pub mod query;
 pub mod relax;
 pub mod relevance;
 pub mod rollup;
 pub mod session;
 
-pub use config::{NcxConfig, ScoreAblation};
-pub use engine::NcExplorer;
+pub use config::{NcxConfig, Parallelism, ScoreAblation};
+pub use engine::{EngineDiagnostics, NcExplorer};
 pub use query::ConceptQuery;
 pub use session::Session;

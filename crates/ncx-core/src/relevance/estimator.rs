@@ -18,12 +18,28 @@
 //! with probability `(1/|Ψ(c)|) · Π_i 1/N(u_i)`; multiplying by `X`
 //! telescopes, leaving `E[X] = conn(c, d)` — the estimator is unbiased.
 //!
-//! **Guidance.** With the reachability oracle, "eligible" additionally
-//! requires `dist(w → v) ≤ remaining hop budget`. Neighbours failing that
-//! test cannot appear on *any* simple path to `v` within τ that extends
-//! the current prefix, so pruning them removes only zero-contribution
-//! outcomes while the importance weight uses the *restricted* count —
-//! unbiasedness is preserved and variance drops sharply (Fig. 7).
+//! **Guidance — the eligibility rule.** A neighbour `w` of the walk's
+//! current node is *eligible* at depth `i` iff all of:
+//!
+//! 1. `w` was not already visited (walks are non-repeating / simple);
+//! 2. without guidance, nothing else — any unvisited neighbour may be
+//!    sampled;
+//! 3. with the reachability oracle, additionally
+//!    `dist(w → v) ≤ τ − i − 1` (the remaining hop budget after
+//!    stepping onto `w`).
+//!
+//! Rule 3 relies on the oracle's τ-budget invariant (distances are exact
+//! up to τ and [`UNREACHED`](ncx_reach::oracle::UNREACHED) beyond):
+//! neighbours failing the test cannot appear on *any* simple path to `v`
+//! within τ that extends the current prefix, so pruning them removes only
+//! zero-contribution outcomes while the importance weight uses the
+//! *restricted* count — unbiasedness is preserved and variance drops
+//! sharply (Fig. 7).
+//!
+//! **Determinism.** Every estimate is driven by a caller-supplied seed;
+//! the indexer derives it from the `(document, concept)` pair via
+//! [`pair_seed`], so scores are reproducible regardless of how documents
+//! are scheduled across worker threads.
 
 use ncx_kg::traversal::Hops;
 use ncx_kg::{InstanceId, KnowledgeGraph};
@@ -41,6 +57,26 @@ pub struct WalkStats {
     pub hits: u64,
     /// Walks that died (no eligible neighbour) before the hop budget.
     pub dead_ends: u64,
+}
+
+impl WalkStats {
+    /// Accumulates another batch's counters into this one. Used to
+    /// aggregate per-document statistics across indexing workers (plain
+    /// integer sums, so the aggregate is schedule-independent).
+    pub fn merge(&mut self, other: WalkStats) {
+        self.walks += other.walks;
+        self.hits += other.hits;
+        self.dead_ends += other.dead_ends;
+    }
+
+    /// Fraction of walks that reached their target.
+    pub fn hit_rate(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.walks as f64
+        }
+    }
 }
 
 /// Connectivity-score estimator.
@@ -270,6 +306,25 @@ impl ConnEstimator {
 
 /// Mixes a base seed with a document/concept pair so that every (d, c)
 /// estimate is deterministic independent of thread scheduling.
+///
+/// The determinism contract: `pair_seed` is a pure function of
+/// `(base, doc, concept)`, so two workers scoring the same pair — in any
+/// order, on any thread — draw identical walk sequences, and a
+/// single-worker run reproduces a 64-worker run bit-for-bit.
+///
+/// ```
+/// use ncx_core::relevance::estimator::pair_seed;
+///
+/// // Pure: same inputs, same seed — across calls, threads, and runs.
+/// assert_eq!(pair_seed(7, 3, 9), pair_seed(7, 3, 9));
+/// // Sensitive to every component: changing any input changes the seed.
+/// let s = pair_seed(7, 3, 9);
+/// assert_ne!(s, pair_seed(8, 3, 9));
+/// assert_ne!(s, pair_seed(7, 4, 9));
+/// assert_ne!(s, pair_seed(7, 3, 10));
+/// // Asymmetric in (doc, concept): swapping them decorrelates.
+/// assert_ne!(pair_seed(7, 3, 9), pair_seed(7, 9, 3));
+/// ```
 pub fn pair_seed(base: u64, doc: u32, concept: u32) -> u64 {
     let mut h = base ^ 0x9E3779B97F4A7C15;
     for x in [doc as u64, concept as u64] {

@@ -5,9 +5,22 @@
 //! matches **every** concept in `Q`. A broad query concept with no direct
 //! posting for a document is represented by the best-scoring **edge
 //! concept** among its descendants (§III-A1).
+//!
+//! # Parallel execution
+//!
+//! With [`NcxConfig::query_parallelism`] above one worker, the
+//! per-concept document maps are built on the shared batch-balanced pool
+//! of [`crate::par`]: the unit of work is one `(query concept, via
+//! concept)` posting list — broad concepts fan out over many descendant
+//! lists of wildly different lengths, which is exactly the skew dynamic
+//! batching absorbs. Partial maps are merged back **in via order** with
+//! the same strictly-greater rule the sequential loop applies, so the
+//! parallel result is identical to the sequential one; `Fixed(1)` runs
+//! the literal sequential code path.
 
 use crate::config::NcxConfig;
 use crate::indexer::NcxIndex;
+use crate::par::run_batched;
 use crate::query::ConceptQuery;
 use ncx_index::TopK;
 use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
@@ -38,38 +51,141 @@ pub struct RollupHit {
     pub matches: Vec<ConceptMatch>,
 }
 
-/// Per-concept document match map: document → best match for the concept.
-fn concept_doc_map(
+/// The posting lists representing one query concept: the concept itself,
+/// then (with the fallback on) its descendant edge concepts, in the
+/// order the sequential absorb visits them.
+fn via_list(kg: &KnowledgeGraph, c: ConceptId, config: &NcxConfig) -> Vec<ConceptId> {
+    let mut vias = vec![c];
+    if config.edge_concept_fallback {
+        vias.extend(ontology::descendants(kg, c));
+    }
+    vias
+}
+
+/// The single upsert rule both execution paths share: a candidate
+/// replaces the stored match only when its `cdr` is strictly greater, so
+/// ties keep the earlier-absorbed via. Absorbing vias in order — or
+/// merging per-via partials in the same order — therefore produces
+/// identical maps.
+#[inline]
+fn upsert_match(map: &mut FxHashMap<DocId, ConceptMatch>, doc: DocId, candidate: ConceptMatch) {
+    map.entry(doc)
+        .and_modify(|m| {
+            if candidate.cdr > m.cdr {
+                *m = candidate;
+            }
+        })
+        .or_insert(candidate);
+}
+
+/// Folds the postings of one `via` concept into `map` via
+/// [`upsert_match`].
+fn absorb_via(
+    index: &NcxIndex,
+    c: ConceptId,
+    via: ConceptId,
+    map: &mut FxHashMap<DocId, ConceptMatch>,
+) {
+    for p in index.postings(via) {
+        let candidate = ConceptMatch {
+            concept: c,
+            via,
+            cdr: p.cdr,
+            pivot: p.pivot,
+        };
+        upsert_match(map, p.doc, candidate);
+    }
+}
+
+/// Merges a partial map into a concept map via [`upsert_match`]; merging
+/// partials in via order reproduces the sequential fold exactly.
+fn merge_concept_map(
+    dst: &mut FxHashMap<DocId, ConceptMatch>,
+    src: FxHashMap<DocId, ConceptMatch>,
+) {
+    for (doc, candidate) in src {
+        upsert_match(dst, doc, candidate);
+    }
+}
+
+/// Minimum total postings across the query's via lists before the
+/// parallel path engages: below this, the whole fold costs less than
+/// spawning the pool (a thread spawn is ~10 µs), so small queries always
+/// take the sequential path.
+const PAR_MIN_POSTINGS: usize = 1024;
+
+/// Minimum posting volume per parallel task. Consecutive vias of one
+/// query concept are grouped until they reach this, so an ontology with
+/// thousands of near-empty descendant lists does not dissolve into
+/// thousands of single-posting tasks (per-task dispatch, allocation, and
+/// merge would then dwarf the fold itself).
+const TASK_MIN_POSTINGS: usize = 256;
+
+/// Builds the per-query-concept document maps, fanning the `(concept,
+/// via-group)` posting lists out over the worker pool when more than one
+/// worker is configured and the posting volume is worth it.
+fn concept_doc_maps(
     index: &NcxIndex,
     kg: &KnowledgeGraph,
-    c: ConceptId,
+    query: &ConceptQuery,
     config: &NcxConfig,
-) -> FxHashMap<DocId, ConceptMatch> {
-    let mut map: FxHashMap<DocId, ConceptMatch> = FxHashMap::default();
-    let mut absorb = |via: ConceptId| {
-        for p in index.postings(via) {
-            let candidate = ConceptMatch {
-                concept: c,
-                via,
-                cdr: p.cdr,
-                pivot: p.pivot,
-            };
-            map.entry(p.doc)
-                .and_modify(|m| {
-                    if candidate.cdr > m.cdr {
-                        *m = candidate;
-                    }
-                })
-                .or_insert(candidate);
+) -> Vec<FxHashMap<DocId, ConceptMatch>> {
+    let workers = config.query_parallelism.workers();
+    let concepts = query.concepts();
+    // Via lists are computed once and shared by whichever path runs.
+    let vias: Vec<Vec<ConceptId>> = concepts.iter().map(|&c| via_list(kg, c, config)).collect();
+    if workers > 1 {
+        // Group each concept's vias (kept in absorb order) into tasks of
+        // at least TASK_MIN_POSTINGS postings.
+        let mut tasks: Vec<(usize, Vec<ConceptId>)> = Vec::new();
+        let mut total_postings = 0usize;
+        for (qi, concept_vias) in vias.iter().enumerate() {
+            let mut group: Vec<ConceptId> = Vec::new();
+            let mut volume = 0usize;
+            for &via in concept_vias {
+                group.push(via);
+                volume += index.postings(via).len();
+                if volume >= TASK_MIN_POSTINGS {
+                    tasks.push((qi, std::mem::take(&mut group)));
+                    total_postings += volume;
+                    volume = 0;
+                }
+            }
+            if !group.is_empty() {
+                tasks.push((qi, group));
+                total_postings += volume;
+            }
         }
-    };
-    absorb(c);
-    if config.edge_concept_fallback {
-        for d in ontology::descendants(kg, c) {
-            absorb(d);
+        if tasks.len() > 1 && total_postings >= PAR_MIN_POSTINGS {
+            let partials = run_batched(tasks.len(), workers, 1, |t| {
+                let (qi, group) = &tasks[t];
+                let mut map = FxHashMap::default();
+                for &via in group {
+                    absorb_via(index, concepts[*qi], via, &mut map);
+                }
+                map
+            });
+            let mut maps: Vec<FxHashMap<DocId, ConceptMatch>> =
+                (0..concepts.len()).map(|_| FxHashMap::default()).collect();
+            // Tasks are ordered (concept, via-run), so this merge is the
+            // sequential fold, regrouped.
+            for ((qi, _), partial) in tasks.iter().zip(partials) {
+                merge_concept_map(&mut maps[*qi], partial);
+            }
+            return maps;
         }
     }
-    map
+    concepts
+        .iter()
+        .zip(&vias)
+        .map(|(&c, concept_vias)| {
+            let mut map = FxHashMap::default();
+            for &via in concept_vias {
+                absorb_via(index, c, via, &mut map);
+            }
+            map
+        })
+        .collect()
 }
 
 /// All documents matching `Q`, with per-concept match details. Returns an
@@ -83,11 +199,7 @@ pub fn matched_docs(
     if query.is_empty() {
         return FxHashMap::default();
     }
-    let mut maps: Vec<FxHashMap<DocId, ConceptMatch>> = query
-        .concepts()
-        .iter()
-        .map(|&c| concept_doc_map(index, kg, c, config))
-        .collect();
+    let mut maps: Vec<FxHashMap<DocId, ConceptMatch>> = concept_doc_maps(index, kg, query, config);
     // Intersect starting from the smallest map.
     let smallest = maps
         .iter()
@@ -282,6 +394,83 @@ mod tests {
         // d0 mentions fraud three times vs d1's single laundering mention;
         // term weighting should rank d0 first.
         assert_eq!(hits[0].doc.raw(), 0);
+    }
+
+    #[test]
+    fn parallel_rollup_matches_sequential_exactly() {
+        use crate::config::Parallelism;
+        let (kg, index, config) = build();
+        let seq = NcxConfig {
+            query_parallelism: Parallelism::sequential(),
+            ..config.clone()
+        };
+        let par = NcxConfig {
+            query_parallelism: Parallelism::Fixed(4),
+            ..config
+        };
+        // "Company" exercises the multi-via fan-out (descendant edge
+        // concepts); the conjunction exercises the multi-concept one.
+        for names in [
+            vec!["Company"],
+            vec!["Exchange"],
+            vec!["Exchange", "Crime"],
+            vec!["Company", "Crime"],
+        ] {
+            let q = ConceptQuery::from_names(&kg, &names).unwrap();
+            let a = rollup(&index, &kg, &q, 10, &seq);
+            let b = rollup(&index, &kg, &q, 10, &par);
+            assert_eq!(a, b, "parallel rollup diverged for {names:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_rollup_matches_sequential_at_scale() {
+        use crate::config::Parallelism;
+        // Enough postings to cross PAR_MIN_POSTINGS so the worker pool
+        // actually engages (every doc matches both query concepts).
+        let (kg, _) = setup();
+        let mut store = DocumentStore::new();
+        let texts = [
+            "FTX accused of fraud. FTX executives charged with fraud.",
+            "DBS screens for laundering risks while FTX faces fraud claims.",
+            "FTX opened accounts at DBS amid laundering checks.",
+        ];
+        for i in 0..600 {
+            store.add(
+                NewsSource::Reuters,
+                format!("doc {i}"),
+                texts[i % texts.len()].into(),
+                i as u32,
+            );
+        }
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let base = NcxConfig {
+            threads: 1,
+            samples: 10,
+            max_member_fraction: 1.0,
+            ..NcxConfig::default()
+        };
+        let index = Indexer::new(&kg, &nlp, base.clone()).index_corpus(&store);
+        let seq = NcxConfig {
+            query_parallelism: Parallelism::sequential(),
+            ..base.clone()
+        };
+        for names in [vec!["Company", "Crime"], vec!["Exchange", "Crime"]] {
+            let q = ConceptQuery::from_names(&kg, &names).unwrap();
+            let a = rollup(&index, &kg, &q, 700, &seq);
+            assert!(a.len() >= 200, "fixture must match at scale: {}", a.len());
+            for fixed in [2, 4, 7] {
+                let par = NcxConfig {
+                    query_parallelism: Parallelism::Fixed(fixed),
+                    ..base.clone()
+                };
+                let b = rollup(&index, &kg, &q, 700, &par);
+                assert_eq!(
+                    a, b,
+                    "parallel rollup diverged for {names:?} at {fixed} workers"
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,10 +13,21 @@
 //! * [`oracle`] — a per-target distance oracle: one bounded BFS from a
 //!   walk target yields exact `dist(w → target)` lookups for every step of
 //!   every walk towards that target, cached across (concept, document)
-//!   scoring pairs.
+//!   scoring pairs. The cache is **sharded** by target hash so concurrent
+//!   scorers for different targets never serialise on one lock, and
+//!   deduplicated per target so contention never repeats a BFS.
+//!
+//! # Thread safety
+//!
+//! Both structures are safe to share across scorer threads: [`KHopIndex`]
+//! is build-once/read-many (no interior mutability), while
+//! [`TargetDistanceOracle`] is internally locked per shard and is
+//! normally shared behind an `Arc`.
+
+#![warn(missing_docs)]
 
 pub mod khop;
 pub mod oracle;
 
 pub use khop::KHopIndex;
-pub use oracle::TargetDistanceOracle;
+pub use oracle::{OracleStats, TargetDistanceOracle};

@@ -6,12 +6,36 @@
 //! the oracle caches the resulting distance arrays so that the many walks
 //! (and many source entities `u ∈ Ψ(c)`) that share a target pay for the
 //! BFS once.
+//!
+//! # Sharding
+//!
+//! Concurrent scorers hammer the oracle from every worker thread, and a
+//! single global lock would serialise them even when they ask about
+//! *different* targets. The cache is therefore split into `N` shards
+//! (`N` a power of two), each an independently locked map keyed by
+//! [`InstanceId`] hash — scorers for targets in different shards never
+//! contend. Within a shard, each target owns a [`OnceLock`] slot, so
+//! under contention exactly **one** thread runs the BFS for a given
+//! target while the rest block on the slot and reuse the result: no
+//! duplicate BFS work, ever (unless the target was evicted in between).
+//!
+//! # The τ-budget invariant
+//!
+//! Every distance array is computed by a BFS **bounded by the oracle's
+//! `tau`**: a stored entry is either an exact distance `d ≤ τ` or
+//! [`UNREACHED`]. Consequently [`TargetDistances::within`] can clamp any
+//! caller-supplied budget to `τ` — asking "within 5 hops?" of a τ = 2
+//! oracle is answered as "within 2", which is exactly the semantics the
+//! walk estimator needs, because a guided walk never has more than
+//! `τ - depth` hops of budget left. See the doctest on
+//! [`TargetDistanceOracle`].
 
 use ncx_kg::traversal::{bounded_bfs, DistMap, Hops};
 use ncx_kg::{InstanceId, KnowledgeGraph};
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock};
 
 /// Sentinel distance for "not within τ hops".
 pub const UNREACHED: u8 = u8::MAX;
@@ -47,32 +71,124 @@ impl TargetDistances {
     }
 
     /// Whether `w` can reach the target within `budget` hops.
+    ///
+    /// `budget` is clamped to the oracle's τ (the τ-budget invariant:
+    /// distances beyond τ were never computed, so a larger budget cannot
+    /// be certified and is treated as τ).
     #[inline]
     pub fn within(&self, w: InstanceId, budget: Hops) -> bool {
         self.dist[w.index()] <= budget.min(self.tau)
     }
 }
 
-/// A caching oracle producing [`TargetDistances`].
+/// Cache hit/miss counters of a [`TargetDistanceOracle`].
+///
+/// A **miss** is counted once per BFS actually executed; under
+/// contention, threads that wait on another thread's in-flight BFS for
+/// the same target count as **hits** (they performed no BFS).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Lookups answered from the cache (including waits on an in-flight
+    /// computation for the same target).
+    pub hits: u64,
+    /// Lookups that executed a bounded BFS.
+    pub misses: u64,
+}
+
+impl OracleStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// `hits / lookups`, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cache shard: an independently locked map of target → distance
+/// slot. The [`OnceLock`] indirection lets the BFS run *outside* the
+/// shard lock while still guaranteeing a single computation per target.
+type Slot = Arc<OnceLock<TargetDistances>>;
+
+struct Shard {
+    map: Mutex<FxHashMap<InstanceId, Slot>>,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: Mutex::new(FxHashMap::default()),
+            capacity: capacity.max(1),
+        }
+    }
+}
+
+/// A caching, sharded oracle producing [`TargetDistances`].
+///
+/// # Example: the τ-budget invariant
+///
+/// ```
+/// use ncx_kg::GraphBuilder;
+/// use ncx_reach::oracle::TargetDistanceOracle;
+///
+/// // chain a — b — c — d
+/// let mut b = GraphBuilder::new();
+/// let n: Vec<_> = (0..4).map(|i| b.instance(&format!("n{i}"))).collect();
+/// for w in n.windows(2) {
+///     b.fact(w[0], "r", w[1]);
+/// }
+/// let kg = b.build();
+///
+/// let oracle = TargetDistanceOracle::new(2, 16); // τ = 2
+/// let td = oracle.distances(&kg, n[3]);
+/// assert_eq!(td.get(n[1]), Some(2));
+/// // n0 is 3 hops away — beyond τ, so unknown to this oracle …
+/// assert_eq!(td.get(n[0]), None);
+/// // … and no budget, however large, can certify it (budget clamps to τ).
+/// assert!(!td.within(n[0], 200));
+/// ```
 pub struct TargetDistanceOracle {
     tau: Hops,
-    cache: Mutex<FxHashMap<InstanceId, TargetDistances>>,
-    capacity: usize,
-    hits: std::sync::atomic::AtomicU64,
-    misses: std::sync::atomic::AtomicU64,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
+
+/// Default shard count (power of two, sized for typical core counts).
+pub const DEFAULT_SHARDS: usize = 16;
 
 impl TargetDistanceOracle {
     /// Creates an oracle with hop bound `tau`, caching up to `capacity`
-    /// targets (the cache is cleared wholesale when full — targets within
-    /// one document batch repeat heavily, across batches rarely).
+    /// targets spread over [`DEFAULT_SHARDS`] shards.
     pub fn new(tau: Hops, capacity: usize) -> Self {
+        Self::with_shards(tau, capacity, DEFAULT_SHARDS)
+    }
+
+    /// Creates an oracle with an explicit shard count (rounded up to a
+    /// power of two). `capacity` is the *total* target budget; each shard
+    /// holds up to `capacity / shards` (at least 1) and clears itself
+    /// wholesale when full — targets within one document batch repeat
+    /// heavily, across batches rarely.
+    pub fn with_shards(tau: Hops, capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = capacity.max(1).div_ceil(shards);
+        let shards: Box<[Shard]> = (0..shards).map(|_| Shard::new(per_shard)).collect();
         Self {
             tau,
-            cache: Mutex::new(FxHashMap::default()),
-            capacity: capacity.max(1),
-            hits: std::sync::atomic::AtomicU64::new(0),
-            misses: std::sync::atomic::AtomicU64::new(0),
+            mask: shards.len() as u64 - 1,
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -81,30 +197,57 @@ impl TargetDistanceOracle {
         self.tau
     }
 
-    /// Distances to `target`, computing and caching on miss.
-    pub fn distances(&self, kg: &KnowledgeGraph, target: InstanceId) -> TargetDistances {
-        use std::sync::atomic::Ordering::Relaxed;
-        {
-            let cache = self.cache.lock();
-            if let Some(td) = cache.get(&target) {
-                self.hits.fetch_add(1, Relaxed);
-                return td.clone();
-            }
-        }
-        self.misses.fetch_add(1, Relaxed);
-        let td = compute_target_distances(kg, target, self.tau);
-        let mut cache = self.cache.lock();
-        if cache.len() >= self.capacity {
-            cache.clear();
-        }
-        cache.insert(target, td.clone());
-        td
+    /// Number of cache shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
     }
 
-    /// `(hits, misses)` counters.
-    pub fn stats(&self) -> (u64, u64) {
-        use std::sync::atomic::Ordering::Relaxed;
-        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    /// Targets currently cached (or in flight) across all shards.
+    pub fn cached_targets(&self) -> usize {
+        self.shards.iter().map(|s| s.map.lock().len()).sum()
+    }
+
+    #[inline]
+    fn shard_of(&self, target: InstanceId) -> &Shard {
+        // Fibonacci hashing spreads consecutive ids across shards.
+        let h = (target.index() as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Distances to `target`, computing and caching on miss.
+    ///
+    /// Lock discipline: the shard lock is held only to fetch or insert
+    /// the target's slot; the BFS itself runs outside the lock, so a slow
+    /// computation never blocks lookups of *other* targets in the same
+    /// shard. Concurrent callers for the same target block on the slot's
+    /// [`OnceLock`] and share the single result.
+    pub fn distances(&self, kg: &KnowledgeGraph, target: InstanceId) -> TargetDistances {
+        let shard = self.shard_of(target);
+        let slot: Slot = {
+            let mut map = shard.map.lock();
+            if let Some(slot) = map.get(&target) {
+                self.hits.fetch_add(1, Relaxed);
+                slot.clone()
+            } else {
+                if map.len() >= shard.capacity {
+                    map.clear();
+                }
+                self.misses.fetch_add(1, Relaxed);
+                let slot: Slot = Arc::new(OnceLock::new());
+                map.insert(target, slot.clone());
+                slot
+            }
+        };
+        slot.get_or_init(|| compute_target_distances(kg, target, self.tau))
+            .clone()
+    }
+
+    /// Cache counters since construction.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+        }
     }
 }
 
@@ -171,20 +314,49 @@ mod tests {
         let a = oracle.distances(&g, n[4]);
         let b = oracle.distances(&g, n[4]);
         assert_eq!(a.get(n[2]), b.get(n[2]));
-        let (hits, misses) = oracle.stats();
-        assert_eq!((hits, misses), (1, 1));
+        let stats = oracle.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.lookups(), 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
-    fn oracle_evicts_when_full() {
+    fn single_shard_evicts_when_full() {
         let (g, n) = chain();
-        let oracle = TargetDistanceOracle::new(3, 2);
+        // One shard reproduces the historical wholesale-clear semantics.
+        let oracle = TargetDistanceOracle::with_shards(3, 2, 1);
+        assert_eq!(oracle.num_shards(), 1);
         oracle.distances(&g, n[0]);
         oracle.distances(&g, n[1]);
         oracle.distances(&g, n[2]); // clears, inserts n2
         oracle.distances(&g, n[0]); // miss again
-        let (_, misses) = oracle.stats();
-        assert_eq!(misses, 4);
+        assert_eq!(oracle.stats().misses, 4);
+    }
+
+    #[test]
+    fn sharded_capacity_is_distributed() {
+        let (g, n) = chain();
+        let oracle = TargetDistanceOracle::with_shards(3, 64, 4);
+        assert_eq!(oracle.num_shards(), 4);
+        for &v in &n {
+            oracle.distances(&g, v);
+        }
+        assert_eq!(oracle.cached_targets(), n.len());
+        // Everything fits: repeat lookups all hit.
+        for &v in &n {
+            oracle.distances(&g, v);
+        }
+        let stats = oracle.stats();
+        assert_eq!(stats.misses, n.len() as u64);
+        assert_eq!(stats.hits, n.len() as u64);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let oracle = TargetDistanceOracle::with_shards(2, 128, 5);
+        assert_eq!(oracle.num_shards(), 8);
+        let oracle = TargetDistanceOracle::with_shards(2, 128, 0);
+        assert_eq!(oracle.num_shards(), 1);
     }
 
     #[test]
@@ -205,5 +377,66 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), Some(1));
         }
+    }
+
+    /// Under heavy contention, each distinct target is BFS-computed at
+    /// most once (misses == distinct targets), and the hit rate is
+    /// monotone over repeated query rounds.
+    #[test]
+    fn stress_no_duplicate_bfs_under_contention() {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<InstanceId> = (0..64).map(|i| b.instance(&format!("n{i}"))).collect();
+        for w in nodes.windows(2) {
+            b.fact(w[0], "r", w[1]);
+        }
+        for i in (0..60).step_by(3) {
+            b.fact(nodes[i], "x", nodes[i + 3]);
+        }
+        let g = Arc::new(b.build());
+        let oracle = Arc::new(TargetDistanceOracle::with_shards(3, 1024, 8));
+
+        let threads = 8;
+        let rounds = 4;
+        let barrier = Arc::new(std::sync::Barrier::new(threads));
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let oracle = oracle.clone();
+            let g = g.clone();
+            let nodes = nodes.clone();
+            let barrier = barrier.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rates = Vec::new();
+                for _ in 0..rounds {
+                    barrier.wait();
+                    // Each thread walks the full target set, offset so
+                    // threads collide on the same targets mid-round.
+                    for i in 0..nodes.len() {
+                        let v = nodes[(i + t * 7) % nodes.len()];
+                        let td = oracle.distances(&g, v);
+                        assert_eq!(td.target(), v);
+                        assert_eq!(td.get(v), Some(0));
+                    }
+                    rates.push(oracle.stats().hit_rate());
+                }
+                rates
+            }));
+        }
+        for h in handles {
+            let rates = h.join().unwrap();
+            // Hit rate only grows as rounds repeat the same targets.
+            for pair in rates.windows(2) {
+                assert!(pair[1] >= pair[0] - 1e-12, "hit rate regressed: {rates:?}");
+            }
+        }
+        let stats = oracle.stats();
+        // The cache never filled (capacity 1024 ≫ 64), so every target's
+        // BFS ran exactly once regardless of contention.
+        assert_eq!(stats.misses, nodes.len() as u64, "duplicate BFS detected");
+        assert_eq!(
+            stats.lookups(),
+            (threads * rounds * nodes.len()) as u64,
+            "every lookup accounted for"
+        );
+        assert_eq!(oracle.cached_targets(), nodes.len());
     }
 }

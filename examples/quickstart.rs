@@ -34,12 +34,7 @@ fn main() {
             ..NcxConfig::default()
         },
     );
-    let t = &engine.index().timing;
-    println!(
-        "indexed in {:.2?} wall ({:.1}% entity linking per-doc cost)",
-        t.total_wall,
-        t.linking_fraction() * 100.0
-    );
+    println!("{}", engine.diagnostics());
 
     // 4. Roll-up: top documents for "Financial Crime ∧ Bank".
     let query = engine

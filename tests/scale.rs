@@ -1,8 +1,10 @@
-//! Scale and config-cap behaviour across the whole pipeline.
+//! Scale and config-cap behaviour across the whole pipeline, plus the
+//! perf-regression harness that tracks `BENCH_scale.json`.
 
-use ncexplorer::core::{NcExplorer, NcxConfig};
+use ncexplorer::core::{NcExplorer, NcxConfig, Parallelism};
 use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 #[test]
 fn drilldown_doc_cap_limits_work_not_correctness() {
@@ -60,11 +62,38 @@ fn concept_cap_bounds_postings_per_doc() {
     }
 }
 
-/// Medium-scale end-to-end smoke test (a few thousand articles, bigger
-/// KG). Run with `cargo test --release -- --ignored`.
+/// Median of a latency sample.
+fn p50(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Pulls `"key": <number>` out of the baseline JSON (the file is written
+/// by this harness, so the trivial grammar is enough).
+fn json_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let end = rest.find([',', '}', '\n'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Medium-scale end-to-end perf harness. Builds the medium corpus,
+/// asserts sequential/parallel result equivalence, and records the
+/// baseline metrics tracked in `BENCH_scale.json`.
+///
+/// Always writes the freshly measured numbers to
+/// `target/BENCH_scale.json`; run with `NCX_UPDATE_BASELINE=1` (ideally
+/// `cargo test --release medium_scale_pipeline`) to refresh the
+/// committed baseline at the repo root. When a committed baseline with a
+/// matching build profile exists, regressions are reported (and fail the
+/// test only under `NCX_STRICT_BASELINE=1` — wall-clock asserts are too
+/// machine-dependent for unconditional CI failure).
 #[test]
-#[ignore = "slow: medium-scale build"]
 fn medium_scale_pipeline() {
+    let articles: usize = std::env::var("NCX_SCALE_ARTICLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3000);
     let kg = Arc::new(generate_kg(&KgGenConfig {
         synth_per_group: 200,
         orphan_entities: 500,
@@ -73,12 +102,12 @@ fn medium_scale_pipeline() {
     let corpus = generate_corpus(
         &kg,
         &CorpusConfig {
-            articles: 3000,
+            articles,
             ..CorpusConfig::default()
         },
     );
-    let t0 = std::time::Instant::now();
-    let engine = NcExplorer::build(
+    let t0 = Instant::now();
+    let mut engine = NcExplorer::build(
         kg.clone(),
         &corpus.store,
         NcxConfig {
@@ -86,18 +115,120 @@ fn medium_scale_pipeline() {
             ..NcxConfig::default()
         },
     );
-    eprintln!(
-        "built {} docs / {} postings in {:?}",
-        engine.index().num_docs(),
-        engine.index().num_postings(),
-        t0.elapsed()
-    );
-    assert_eq!(engine.index().num_docs(), 3000);
-    for topic in ["Financial Crime", "Elections", "Mergers & Acquisitions"] {
+    let build_seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(engine.index().num_docs(), articles);
+
+    let topics = ["Financial Crime", "Elections", "Mergers & Acquisitions"];
+    for topic in topics {
         let q = engine.query(&[topic]).unwrap();
         let hits = engine.rollup(&q, 10);
         assert_eq!(hits.len(), 10, "{topic} must fill top-10 at this scale");
         let subs = engine.drilldown(&q, 10);
         assert!(subs.len() >= 5, "{topic} drill-down too thin");
+    }
+
+    // ---- sequential ↔ parallel result equivalence ----
+    // Single topics exercise the drill-down sweeps; the conjunction
+    // fans roll-up out over multiple posting lists.
+    let equivalence_queries: [&[&str]; 4] = [
+        &["Financial Crime"],
+        &["Elections"],
+        &["Mergers & Acquisitions"],
+        &["Financial Crime", "Bank"],
+    ];
+    for topic in equivalence_queries {
+        let q = engine.query(topic).unwrap();
+        engine.set_query_parallelism(Parallelism::sequential());
+        let seq_hits = engine.rollup(&q, 50);
+        let seq_subs = engine.drilldown(&q, 20);
+        engine.set_query_parallelism(Parallelism::Fixed(4));
+        let par_hits = engine.rollup(&q, 50);
+        let par_subs = engine.drilldown(&q, 20);
+        assert_eq!(seq_hits, par_hits, "{topic:?}: parallel roll-up diverged");
+        assert_eq!(seq_subs.len(), par_subs.len());
+        for (a, b) in seq_subs.iter().zip(&par_subs) {
+            assert_eq!(a.concept, b.concept, "{topic:?}: drill-down rank diverged");
+            assert_eq!(a.matching_docs, b.matching_docs);
+            assert_eq!(a.distinct_entities, b.distinct_entities);
+            assert!(
+                (a.score - b.score).abs() <= 1e-9 * a.score.abs().max(1.0),
+                "{topic:?}: drill-down score drift {} vs {}",
+                a.score,
+                b.score
+            );
+        }
+    }
+
+    // ---- baseline metrics (parallel mode) ----
+    engine.set_query_parallelism(Parallelism::Auto);
+    let reps = 15;
+    let mut rollup_lat = Vec::with_capacity(reps * topics.len());
+    let mut drill_lat = Vec::with_capacity(reps * topics.len());
+    for topic in topics {
+        let q = engine.query(&[topic]).unwrap();
+        for _ in 0..reps {
+            let t = Instant::now();
+            let hits = engine.rollup(&q, 10);
+            rollup_lat.push(t.elapsed());
+            assert_eq!(hits.len(), 10);
+            let t = Instant::now();
+            let subs = engine.drilldown(&q, 10);
+            drill_lat.push(t.elapsed());
+            assert!(!subs.is_empty());
+        }
+    }
+    let rollup_p50_us = p50(&mut rollup_lat).as_secs_f64() * 1e6;
+    let drilldown_p50_us = p50(&mut drill_lat).as_secs_f64() * 1e6;
+
+    let d = engine.diagnostics();
+    let scoring_secs = d.timing.relevance_scoring.as_secs_f64();
+    let walks_per_sec = if scoring_secs > 0.0 {
+        d.walk_stats.walks as f64 / scoring_secs
+    } else {
+        0.0
+    };
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let json = format!(
+        "{{\n  \"profile\": \"{profile}\",\n  \"articles\": {articles},\n  \"postings\": {},\n  \"build_seconds\": {build_seconds:.3},\n  \"rollup_p50_us\": {rollup_p50_us:.1},\n  \"drilldown_p50_us\": {drilldown_p50_us:.1},\n  \"walks\": {},\n  \"walks_per_sec\": {walks_per_sec:.0},\n  \"oracle_hit_rate\": {:.4}\n}}\n",
+        engine.index().num_postings(),
+        d.walk_stats.walks,
+        d.oracle.hit_rate(),
+    );
+    eprintln!("scale harness metrics:\n{json}");
+    eprintln!("engine diagnostics:\n{d}");
+
+    let root = env!("CARGO_MANIFEST_DIR");
+    std::fs::create_dir_all(format!("{root}/target")).ok();
+    std::fs::write(format!("{root}/target/BENCH_scale.json"), &json).expect("write metrics");
+    let baseline_path = format!("{root}/BENCH_scale.json");
+    if std::env::var("NCX_UPDATE_BASELINE").is_ok() {
+        std::fs::write(&baseline_path, &json).expect("update committed baseline");
+    } else if let Ok(baseline) = std::fs::read_to_string(&baseline_path) {
+        let same_profile = baseline.contains(&format!("\"profile\": \"{profile}\""))
+            && json_f64(&baseline, "articles") == Some(articles as f64);
+        if same_profile {
+            let mut regressions = Vec::new();
+            for (key, current) in [
+                ("build_seconds", build_seconds),
+                ("rollup_p50_us", rollup_p50_us),
+                ("drilldown_p50_us", drilldown_p50_us),
+            ] {
+                if let Some(base) = json_f64(&baseline, key) {
+                    if base > 0.0 && current > 2.0 * base {
+                        regressions.push(format!("{key}: {current:.1} vs baseline {base:.1}"));
+                    }
+                }
+            }
+            if !regressions.is_empty() {
+                eprintln!("perf regression vs BENCH_scale.json: {regressions:?}");
+                if std::env::var("NCX_STRICT_BASELINE").is_ok() {
+                    panic!("perf regression: {regressions:?}");
+                }
+            }
+        }
     }
 }
