@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ncx_bench::fixtures::Fixture;
 use ncx_core::indexer::Indexer;
-use ncx_core::NcxConfig;
+use ncx_core::{NcxConfig, Parallelism};
 use ncx_index::LuceneEngine;
 
 fn bench_indexing(c: &mut Criterion) {
@@ -20,7 +20,7 @@ fn bench_indexing(c: &mut Criterion) {
     });
     group.bench_function("ncexplorer_seq", |b| {
         let config = NcxConfig {
-            threads: 1,
+            parallelism: Parallelism::sequential(),
             samples: 25,
             ..NcxConfig::default()
         };
@@ -32,7 +32,7 @@ fn bench_indexing(c: &mut Criterion) {
     });
     group.bench_function("ncexplorer_par", |b| {
         let config = NcxConfig {
-            threads: 0,
+            parallelism: Parallelism::Auto,
             samples: 25,
             ..NcxConfig::default()
         };

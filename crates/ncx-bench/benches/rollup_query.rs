@@ -1,9 +1,10 @@
 //! Roll-up and drill-down query latency (the subject of Fig. 5), plus
-//! the sequential-vs-parallel comparison for the query worker pool.
+//! the sequential-vs-parallel comparisons for the persistent query
+//! worker pool.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ncx_bench::fixtures::{Engines, Fixture};
-use ncx_core::{NcExplorer, NcxConfig, Parallelism};
+use ncx_core::{ConceptQuery, NcExplorer, NcxConfig, Parallelism};
 
 fn bench_rollup(c: &mut Criterion) {
     let fixture = Fixture::standard(300, 42);
@@ -28,15 +29,16 @@ fn bench_rollup(c: &mut Criterion) {
     });
 }
 
-/// The same operators with the query pool pinned sequential vs. wide —
-/// the speedup acceptance check for the parallel execution path. On a
-/// multi-core runner the `par` series should beat `seq` on the broad
-/// conjunctive query and on drill-down; on a single core the two series
-/// coincide (the pool degenerates to the sequential path).
+/// The same operators with the pool's execution width pinned sequential
+/// vs. machine-wide — the speedup acceptance check for the parallel
+/// execution path. On a multi-core runner the `par` series should beat
+/// `seq` on the broad conjunctive query and on drill-down; on a single
+/// core the two series coincide (an `Auto` pool has no extra workers,
+/// so the parallel path degenerates to the sequential one).
 fn bench_parallel_modes(c: &mut Criterion) {
-    // Big enough that the posting volume crosses the parallel work
-    // floors (PAR_MIN_POSTINGS / PAR_MIN_DOCS) — below them the engine
-    // deliberately stays sequential.
+    // Big enough that the posting volume crosses the (now much lower)
+    // parallel work floors (PAR_MIN_POSTINGS / PAR_MIN_DOCS) — below
+    // them the engine deliberately stays sequential.
     let fixture = Fixture::standard(4000, 42);
     let mut engine = NcExplorer::build(
         fixture.kg.clone(),
@@ -53,7 +55,7 @@ fn bench_parallel_modes(c: &mut Criterion) {
         ("seq", Parallelism::sequential()),
         ("par", Parallelism::Auto),
     ] {
-        engine.set_query_parallelism(parallelism);
+        engine.set_parallelism(parallelism);
         group.bench_with_input(BenchmarkId::new("rollup", label), &broad, |b, q| {
             b.iter(|| engine.rollup(q, 10));
         });
@@ -64,5 +66,53 @@ fn bench_parallel_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rollup, bench_parallel_modes);
+/// Small-query latency: the interactive regime the persistent pool
+/// exists for. Queries below the work floors must run the identical
+/// sequential code path in both modes, so `par` must be no worse than
+/// `seq` — this group is the acceptance check that lowering the floors
+/// did not put pool dispatch on the small-query hot path.
+fn bench_small_queries(c: &mut Criterion) {
+    let fixture = Fixture::standard(300, 42);
+    let mut engine = NcExplorer::build(
+        fixture.kg.clone(),
+        &fixture.corpus.store,
+        NcxConfig {
+            samples: 25,
+            parallelism: Parallelism::Fixed(4),
+            ..NcxConfig::default()
+        },
+    );
+    // The smallest real query this corpus can express — smallest in the
+    // quantity the work floors gate (total via-list posting volume).
+    let via_volume =
+        |c| ncx_core::rollup::via_posting_volume(engine.index(), engine.kg(), c, engine.config());
+    let small_concept = engine
+        .index()
+        .indexed_concepts()
+        .filter(|&c| engine.index().postings(c).len() >= 2)
+        .min_by_key(|&c| via_volume(c))
+        .expect("fixture indexes a small concept");
+    let q = ConceptQuery::new([small_concept]);
+    let mut group = c.benchmark_group("small_query");
+    for (label, parallelism) in [
+        ("seq", Parallelism::sequential()),
+        ("par", Parallelism::Fixed(4)),
+    ] {
+        engine.set_parallelism(parallelism);
+        group.bench_with_input(BenchmarkId::new("rollup", label), &q, |b, q| {
+            b.iter(|| engine.rollup(q, 10));
+        });
+        group.bench_with_input(BenchmarkId::new("drilldown", label), &q, |b, q| {
+            b.iter(|| engine.drilldown(q, 10));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rollup,
+    bench_parallel_modes,
+    bench_small_queries
+);
 criterion_main!(benches);

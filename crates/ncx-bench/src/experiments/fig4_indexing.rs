@@ -58,7 +58,7 @@ fn per_source_times(fixture: &Fixture, articles: &[&ncx_index::NewsArticle]) -> 
         sub.add(a.source, a.title.clone(), a.body.clone(), a.published);
     }
     let config = NcxConfig {
-        threads: 1,
+        parallelism: ncx_core::Parallelism::sequential(),
         samples: 50,
         ..NcxConfig::default()
     };
@@ -103,7 +103,7 @@ pub fn run(fixture: &Fixture, articles_per_source: usize) -> Output {
     // NCExplorer cost breakdown on the full corpus (the 91.8 % / 7.1 %
     // split reported in the paper).
     let config = NcxConfig {
-        threads: 1,
+        parallelism: ncx_core::Parallelism::sequential(),
         samples: 50,
         ..NcxConfig::default()
     };

@@ -13,7 +13,6 @@
 
 use crate::fixtures::{Engines, Fixture};
 use ncx_core::drilldown::SbrFactors;
-use ncx_core::rollup::matched_docs;
 use ncx_datagen::EvaluatorPool;
 use ncx_eval::tables::Table;
 
@@ -39,12 +38,7 @@ fn rate_subtopic(
     key: u64,
 ) -> f64 {
     let augmented = query.with(sub.concept);
-    let docs = matched_docs(
-        engines.ncx.index(),
-        &fixture.kg,
-        &augmented,
-        engines.ncx.config(),
-    );
+    let docs = engines.ncx.matched_docs(&augmented);
     if docs.is_empty() {
         return 1.0;
     }

@@ -16,8 +16,12 @@ pub enum ScoreAblation {
     ContextOnly,
 }
 
-/// Worker-pool width for the parallel execution paths (query-time
-/// roll-up/drill-down sweeps and the pass-2 scoring pool).
+/// Width of the engine's persistent worker pool
+/// ([`crate::par::Pool`]), shared by both indexing passes and the
+/// query-time roll-up/drill-down sweeps. Formerly two knobs — a
+/// `threads` count for indexing and a separate query parallelism — now
+/// one: the pool is a single long-lived resource sized once at engine
+/// construction.
 ///
 /// `Fixed(1)` reproduces the sequential code path bit-for-bit: walk
 /// seeds derive from `(doc, concept)` via
@@ -38,8 +42,9 @@ pub enum Parallelism {
     /// One worker per available core.
     #[default]
     Auto,
-    /// Exactly this many workers (must be ≥ 1; validated by
-    /// [`NcxConfig::validate`]).
+    /// Exactly this many workers (must be ≥ 1; a literal `Fixed(0)` is
+    /// rejected by [`NcxConfig::validate`] and clamped to 1 by
+    /// [`workers`](Self::workers) as a second line of defence).
     Fixed(usize),
 }
 
@@ -61,7 +66,8 @@ impl Parallelism {
         Parallelism::Fixed(1)
     }
 
-    /// Resolved worker count (≥ 1).
+    /// Resolved worker count (≥ 1 — a zero knob can neither divide by
+    /// zero in batch math nor silently disable execution).
     pub fn workers(self) -> usize {
         match self {
             Parallelism::Auto => available_cores(),
@@ -98,11 +104,13 @@ pub struct NcxConfig {
     /// Concepts with `|Ψ(c)|` above this fraction of `|V_I|` are skipped as
     /// trivially broad ("Thing", "Agent", …).
     pub max_member_fraction: f64,
-    /// Worker threads for corpus indexing (0 = all available cores).
-    pub threads: usize,
-    /// Worker-pool width for query-time roll-up/drill-down execution.
-    /// `Fixed(1)` takes the sequential path bit-for-bit.
-    pub query_parallelism: Parallelism,
+    /// Width of the engine's persistent worker pool, used by both
+    /// indexing passes and query-time roll-up/drill-down execution.
+    /// `Fixed(1)` takes the sequential path bit-for-bit. The pool is
+    /// sized once at engine construction;
+    /// [`NcExplorer::set_parallelism`](crate::engine::NcExplorer::set_parallelism)
+    /// can narrow (but not widen) the execution width afterwards.
+    pub parallelism: Parallelism,
     /// Capacity of the per-target distance cache (total across shards).
     pub oracle_cache: usize,
     /// Shard count of the per-target distance cache (rounded up to a
@@ -128,8 +136,7 @@ impl Default for NcxConfig {
             seed: 0x5ca1ab1e,
             max_concepts_per_doc: 64,
             max_member_fraction: 0.2,
-            threads: 0,
-            query_parallelism: Parallelism::Auto,
+            parallelism: Parallelism::Auto,
             oracle_cache: 4096,
             oracle_shards: 16,
             edge_concept_fallback: true,
@@ -140,15 +147,6 @@ impl Default for NcxConfig {
 }
 
 impl NcxConfig {
-    /// Resolved worker-thread count.
-    pub fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            available_cores()
-        }
-    }
-
     /// Validates parameter ranges, returning a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
@@ -164,8 +162,8 @@ impl NcxConfig {
         if !(0.0..=1.0).contains(&self.max_member_fraction) {
             return Err("max_member_fraction must be in [0, 1]".into());
         }
-        if self.query_parallelism == Parallelism::Fixed(0) {
-            return Err("query_parallelism must be Fixed(n ≥ 1) or Auto".into());
+        if self.parallelism == Parallelism::Fixed(0) {
+            return Err("parallelism must be Fixed(n ≥ 1) or Auto".into());
         }
         if self.oracle_shards == 0 {
             return Err("oracle_shards must be at least 1".into());
@@ -212,11 +210,6 @@ mod tests {
         assert!(Parallelism::Auto.workers() >= 1);
         assert_eq!(Parallelism::Fixed(3).workers(), 3);
         assert!(Parallelism::sequential().is_sequential());
-        let bad = NcxConfig {
-            query_parallelism: Parallelism::Fixed(0),
-            ..NcxConfig::default()
-        };
-        assert!(bad.validate().is_err());
         let bad_shards = NcxConfig {
             oracle_shards: 0,
             ..NcxConfig::default()
@@ -225,10 +218,16 @@ mod tests {
     }
 
     #[test]
-    fn effective_threads_positive() {
-        let mut c = NcxConfig::default();
-        assert!(c.effective_threads() >= 1);
-        c.threads = 3;
-        assert_eq!(c.effective_threads(), 3);
+    fn zero_parallelism_rejected_and_clamped() {
+        // Regression (`Fixed(0)`): the validator rejects the config …
+        let bad = NcxConfig {
+            parallelism: Parallelism::Fixed(0),
+            ..NcxConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        // … and even a value that slips past validation resolves to one
+        // worker, never zero.
+        assert_eq!(Parallelism::Fixed(0).workers(), 1);
+        assert!(Parallelism::Fixed(0).is_sequential());
     }
 }

@@ -19,19 +19,19 @@
 //!
 //! Both candidate sweeps iterate every matched document, which dominates
 //! drill-down latency on large result sets. With
-//! [`NcxConfig::query_parallelism`] above one worker, documents are
-//! processed in fixed-size batches on the shared pool of [`crate::par`]
-//! and the per-batch partial maps are merged **in batch order**, so any
-//! parallel worker count produces identical output. Coverage is a sum of
-//! floats, and the batched summation associates differently from the
-//! sequential left fold, so parallel scores can differ from sequential
-//! ones by float rounding (≲ 1e-12 relative) — `Fixed(1)` runs the
-//! literal sequential fold; document sets, entity sets and counts are
-//! always bit-identical.
+//! [`NcxConfig::parallelism`] above one worker, documents are processed
+//! in fixed-size batches on the engine's persistent worker pool
+//! ([`crate::par::Pool`]) and the per-batch partial maps are merged **in
+//! batch order**, so any parallel worker count produces identical
+//! output. Coverage is a sum of floats, and the batched summation
+//! associates differently from the sequential left fold, so parallel
+//! scores can differ from sequential ones by float rounding (≲ 1e-12
+//! relative) — `Fixed(1)` runs the literal sequential fold; document
+//! sets, entity sets and counts are always bit-identical.
 
 use crate::config::NcxConfig;
 use crate::indexer::NcxIndex;
-use crate::par::run_batched;
+use crate::par::Pool;
 use crate::query::ConceptQuery;
 use crate::rollup::matched_docs;
 use ncx_index::TopK;
@@ -43,9 +43,11 @@ use rustc_hash::{FxHashMap, FxHashSet};
 const SWEEP_BATCH: usize = 64;
 
 /// Minimum matched-document count before the parallel sweeps engage:
-/// below this, a sweep costs less than spawning the pool (a thread
-/// spawn is ~10 µs), so small result sets always sweep sequentially.
-const PAR_MIN_DOCS: usize = 256;
+/// two full batches, the smallest split that can overlap at all. The
+/// floor used to sit at 256 to amortise per-region thread spawns
+/// (~10 µs); dispatching to the persistent pool's parked workers costs
+/// ~1 µs, so anything worth splitting is worth dispatching.
+const PAR_MIN_DOCS: usize = 2 * SWEEP_BATCH;
 
 /// A suggested drill-down subtopic with its score decomposition.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,8 +97,9 @@ pub fn drilldown(
     query: &ConceptQuery,
     k: usize,
     config: &NcxConfig,
+    pool: &Pool,
 ) -> Vec<Subtopic> {
-    drilldown_with_factors(index, kg, query, k, config, SbrFactors::CSD)
+    drilldown_with_factors(index, kg, query, k, config, pool, SbrFactors::CSD)
 }
 
 /// Drill-down with a configurable factor set (used by the Fig. 8
@@ -107,9 +110,10 @@ pub fn drilldown_with_factors(
     query: &ConceptQuery,
     k: usize,
     config: &NcxConfig,
+    pool: &Pool,
     factors: SbrFactors,
 ) -> Vec<Subtopic> {
-    let matched = matched_docs(index, kg, query, config);
+    let matched = matched_docs(index, kg, query, config, pool);
     if matched.is_empty() {
         return Vec::new();
     }
@@ -126,7 +130,7 @@ pub fn drilldown_with_factors(
         excluded.extend(ontology::ancestors(kg, c));
     }
 
-    let workers = config.query_parallelism.workers();
+    let workers = config.parallelism.workers().min(pool.width());
     let parallel = workers > 1 && docs.len() >= PAR_MIN_DOCS;
     let num_batches = docs.len().div_ceil(SWEEP_BATCH);
     let batch_range = |bi: usize| {
@@ -150,7 +154,7 @@ pub fn drilldown_with_factors(
     };
     let mut sweep1: Sweep1 = Default::default();
     if parallel {
-        let parts: Vec<Sweep1> = run_batched(num_batches, workers, 1, |bi| {
+        let parts: Vec<Sweep1> = pool.run_batched(num_batches, workers, 1, |bi| {
             let mut acc: Sweep1 = Default::default();
             for &d in &docs[batch_range(bi)] {
                 sweep1_doc(d, &mut acc);
@@ -186,7 +190,7 @@ pub fn drilldown_with_factors(
     };
     let mut entity_sets: Sweep2 = Sweep2::default();
     if parallel {
-        let parts: Vec<Sweep2> = run_batched(num_batches, workers, 1, |bi| {
+        let parts: Vec<Sweep2> = pool.run_batched(num_batches, workers, 1, |bi| {
             let mut sets = Sweep2::default();
             for &d in &docs[batch_range(bi)] {
                 sweep2_doc(d, &mut sets);
@@ -248,6 +252,13 @@ mod tests {
     use ncx_kg::GraphBuilder;
     use ncx_text::{GazetteerLinker, NlpPipeline};
 
+    use crate::config::Parallelism;
+
+    /// A fresh pool wide enough for every `Fixed(n)` these tests use.
+    fn pool() -> Pool {
+        Pool::new(8)
+    }
+
     /// Corpus themed around crypto: querying Exchange should suggest
     /// Crime and Regulator subtopics.
     fn setup() -> (KnowledgeGraph, DocumentStore) {
@@ -308,7 +319,7 @@ mod tests {
         let (kg, store) = setup();
         let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
         let config = NcxConfig {
-            threads: 1,
+            parallelism: Parallelism::sequential(),
             samples: 200,
             // Allow broad concepts in this tiny KG.
             max_member_fraction: 0.9,
@@ -322,7 +333,7 @@ mod tests {
     fn suggests_cooccurring_subtopics() {
         let (kg, index, config) = build();
         let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
-        let subs = drilldown(&index, &kg, &q, 10, &config);
+        let subs = drilldown(&index, &kg, &q, 10, &config, &pool());
         let names: Vec<&str> = subs.iter().map(|s| kg.concept_label(s.concept)).collect();
         assert!(names.contains(&"Crime"), "{names:?}");
         assert!(names.contains(&"Regulator"), "{names:?}");
@@ -332,7 +343,7 @@ mod tests {
     fn query_concepts_and_ancestors_excluded() {
         let (kg, index, config) = build();
         let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
-        let subs = drilldown(&index, &kg, &q, 10, &config);
+        let subs = drilldown(&index, &kg, &q, 10, &config, &pool());
         for s in &subs {
             let label = kg.concept_label(s.concept);
             assert_ne!(label, "Exchange");
@@ -344,7 +355,7 @@ mod tests {
     fn score_decomposition_consistent() {
         let (kg, index, config) = build();
         let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
-        for s in drilldown(&index, &kg, &q, 10, &config) {
+        for s in drilldown(&index, &kg, &q, 10, &config, &pool()) {
             let expect = s.coverage * s.specificity * s.diversity;
             assert!((s.score - expect).abs() < 1e-9);
             assert!(s.matching_docs > 0);
@@ -356,7 +367,7 @@ mod tests {
     fn diversity_rewards_many_distinct_entities() {
         let (kg, index, config) = build();
         let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
-        let subs = drilldown(&index, &kg, &q, 10, &config);
+        let subs = drilldown(&index, &kg, &q, 10, &config, &pool());
         let get = |name: &str| {
             subs.iter()
                 .find(|s| kg.concept_label(s.concept) == name)
@@ -375,9 +386,9 @@ mod tests {
     fn ablation_factor_sets_differ() {
         let (kg, index, config) = build();
         let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
-        let c = drilldown_with_factors(&index, &kg, &q, 10, &config, SbrFactors::C);
-        let cs = drilldown_with_factors(&index, &kg, &q, 10, &config, SbrFactors::CS);
-        let csd = drilldown_with_factors(&index, &kg, &q, 10, &config, SbrFactors::CSD);
+        let c = drilldown_with_factors(&index, &kg, &q, 10, &config, &pool(), SbrFactors::C);
+        let cs = drilldown_with_factors(&index, &kg, &q, 10, &config, &pool(), SbrFactors::CS);
+        let csd = drilldown_with_factors(&index, &kg, &q, 10, &config, &pool(), SbrFactors::CSD);
         assert_eq!(c.len(), cs.len());
         assert_eq!(cs.len(), csd.len());
         // With C only, the score must equal coverage.
@@ -410,7 +421,7 @@ mod tests {
         }
         let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
         let base = NcxConfig {
-            threads: 1,
+            parallelism: Parallelism::sequential(),
             samples: 10,
             max_member_fraction: 0.9,
             ..NcxConfig::default()
@@ -419,17 +430,17 @@ mod tests {
         let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
 
         let seq_cfg = NcxConfig {
-            query_parallelism: Parallelism::sequential(),
+            parallelism: Parallelism::sequential(),
             ..base.clone()
         };
-        let seq = drilldown(&index, &kg, &q, 20, &seq_cfg);
+        let seq = drilldown(&index, &kg, &q, 20, &seq_cfg, &pool());
         assert!(!seq.is_empty());
         for fixed in [2, 4, 7] {
             let par_cfg = NcxConfig {
-                query_parallelism: Parallelism::Fixed(fixed),
+                parallelism: Parallelism::Fixed(fixed),
                 ..base.clone()
             };
-            let par = drilldown(&index, &kg, &q, 20, &par_cfg);
+            let par = drilldown(&index, &kg, &q, 20, &par_cfg, &pool());
             assert_eq!(seq.len(), par.len());
             for (a, b) in seq.iter().zip(&par) {
                 assert_eq!(a.concept, b.concept, "ranking diverged at {fixed} workers");
@@ -455,18 +466,18 @@ mod tests {
         let mut b = GraphBuilder::new();
         let ghost = b.concept("Ghost");
         let _ = ghost;
-        let subs = drilldown(&index, &kg, &person_only, 10, &config);
+        let subs = drilldown(&index, &kg, &person_only, 10, &config, &pool());
         // d0's other concepts suggested.
         assert!(!subs.is_empty());
         let q_empty = ConceptQuery::new([]);
-        assert!(drilldown(&index, &kg, &q_empty, 10, &config).is_empty());
+        assert!(drilldown(&index, &kg, &q_empty, 10, &config, &pool()).is_empty());
     }
 
     #[test]
     fn k_limits_suggestions() {
         let (kg, index, config) = build();
         let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
-        let subs = drilldown(&index, &kg, &q, 1, &config);
+        let subs = drilldown(&index, &kg, &q, 1, &config, &pool());
         assert_eq!(subs.len(), 1);
     }
 
@@ -474,14 +485,14 @@ mod tests {
     fn drilldown_narrows_results() {
         let (kg, index, config) = build();
         let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
-        let subs = drilldown(&index, &kg, &q, 10, &config);
+        let subs = drilldown(&index, &kg, &q, 10, &config, &pool());
         let crime = subs
             .iter()
             .find(|s| kg.concept_label(s.concept) == "Crime")
             .unwrap();
         let augmented = q.with(crime.concept);
-        let narrowed = crate::rollup::matched_docs(&index, &kg, &augmented, &config);
-        let original = crate::rollup::matched_docs(&index, &kg, &q, &config);
+        let narrowed = crate::rollup::matched_docs(&index, &kg, &augmented, &config, &pool());
+        let original = crate::rollup::matched_docs(&index, &kg, &q, &config, &pool());
         assert!(narrowed.len() <= original.len());
         assert_eq!(narrowed.len(), crime.matching_docs);
     }

@@ -9,13 +9,15 @@ use crate::config::{NcxConfig, Parallelism};
 use crate::drilldown::{self, SbrFactors, Subtopic};
 use crate::explain::{self, Explanation};
 use crate::indexer::{IndexTiming, Indexer, NcxIndex};
+use crate::par::Pool;
 use crate::query::ConceptQuery;
 use crate::relevance::WalkStats;
-use crate::rollup::{self, RollupHit};
+use crate::rollup::{self, ConceptMatch, RollupHit};
 use ncx_index::DocumentStore;
 use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
 use ncx_reach::{OracleStats, TargetDistanceOracle};
 use ncx_text::{GazetteerLinker, NlpPipeline};
+use rustc_hash::FxHashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -61,12 +63,19 @@ impl fmt::Display for EngineDiagnostics {
 }
 
 /// The assembled news-exploration engine.
+///
+/// Owns the persistent worker [`Pool`] that backs every parallel
+/// execution path — both indexing passes at build time, and the
+/// roll-up/drill-down/relaxation sweeps at query time. The pool is
+/// sized once from [`NcxConfig::parallelism`]; its workers stay parked
+/// between parallel regions and are joined when the engine drops.
 pub struct NcExplorer {
     kg: Arc<KnowledgeGraph>,
     nlp: NlpPipeline,
     config: NcxConfig,
     index: NcxIndex,
     oracle: Arc<TargetDistanceOracle>,
+    pool: Arc<Pool>,
 }
 
 impl NcExplorer {
@@ -75,16 +84,7 @@ impl NcExplorer {
     pub fn build(kg: Arc<KnowledgeGraph>, store: &DocumentStore, config: NcxConfig) -> Self {
         config.validate().expect("invalid NcxConfig");
         let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
-        let indexer = Indexer::new(&kg, &nlp, config.clone());
-        let oracle = indexer.oracle();
-        let index = indexer.index_corpus(store);
-        Self {
-            kg,
-            nlp,
-            config,
-            index,
-            oracle,
-        }
+        Self::assemble(kg, nlp, store, config)
     }
 
     /// Builds with a caller-supplied NLP pipeline (custom gazetteers).
@@ -95,7 +95,17 @@ impl NcExplorer {
         config: NcxConfig,
     ) -> Self {
         config.validate().expect("invalid NcxConfig");
-        let indexer = Indexer::new(&kg, &nlp, config.clone());
+        Self::assemble(kg, nlp, store, config)
+    }
+
+    fn assemble(
+        kg: Arc<KnowledgeGraph>,
+        nlp: NlpPipeline,
+        store: &DocumentStore,
+        config: NcxConfig,
+    ) -> Self {
+        let pool = Arc::new(Pool::new(config.parallelism.workers()));
+        let indexer = Indexer::with_pool(&kg, &nlp, config.clone(), pool.clone());
         let oracle = indexer.oracle();
         let index = indexer.index_corpus(store);
         Self {
@@ -104,6 +114,7 @@ impl NcExplorer {
             config,
             index,
             oracle,
+            pool,
         }
     }
 
@@ -137,11 +148,17 @@ impl NcExplorer {
         }
     }
 
-    /// Reconfigures the query-time worker-pool width. Indexing is not
-    /// affected; `Parallelism::sequential()` pins roll-up/drill-down to
-    /// the sequential reference path.
-    pub fn set_query_parallelism(&mut self, parallelism: Parallelism) {
-        self.config.query_parallelism = parallelism;
+    /// The persistent worker pool backing every parallel execution path.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Reconfigures the query-time execution width on the existing pool.
+    /// `Parallelism::sequential()` pins roll-up/drill-down to the
+    /// sequential reference path; widths above the pool's build-time
+    /// width are capped to it (the pool is sized once at construction).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.config.parallelism = parallelism;
     }
 
     /// Ingests one article from the stream (Fig. 3): links its entities,
@@ -165,12 +182,18 @@ impl NcExplorer {
 
     /// **Roll-up** (Definition 1): top-`k` documents for `Q`.
     pub fn rollup(&self, query: &ConceptQuery, k: usize) -> Vec<RollupHit> {
-        rollup::rollup(&self.index, &self.kg, query, k, &self.config)
+        rollup::rollup(&self.index, &self.kg, query, k, &self.config, &self.pool)
+    }
+
+    /// All documents matching `Q`, with per-concept match details (the
+    /// un-truncated roll-up result set).
+    pub fn matched_docs(&self, query: &ConceptQuery) -> FxHashMap<DocId, Vec<ConceptMatch>> {
+        rollup::matched_docs(&self.index, &self.kg, query, &self.config, &self.pool)
     }
 
     /// **Drill-down** (Definition 2): top-`k` subtopics for `Q`.
     pub fn drilldown(&self, query: &ConceptQuery, k: usize) -> Vec<Subtopic> {
-        drilldown::drilldown(&self.index, &self.kg, query, k, &self.config)
+        drilldown::drilldown(&self.index, &self.kg, query, k, &self.config, &self.pool)
     }
 
     /// Drill-down with an ablated factor set (Fig. 8).
@@ -180,7 +203,15 @@ impl NcExplorer {
         k: usize,
         factors: SbrFactors,
     ) -> Vec<Subtopic> {
-        drilldown::drilldown_with_factors(&self.index, &self.kg, query, k, &self.config, factors)
+        drilldown::drilldown_with_factors(
+            &self.index,
+            &self.kg,
+            query,
+            k,
+            &self.config,
+            &self.pool,
+            factors,
+        )
     }
 
     /// Roll-up options for an entity: its concepts and their `broader`
@@ -201,7 +232,7 @@ impl NcExplorer {
     /// dropping or broadening facets, ranked by resulting match count
     /// (the Fig. 1 dead-end pivot).
     pub fn relax(&self, query: &ConceptQuery) -> Vec<crate::relax::RelaxOption> {
-        crate::relax::relax(&self.index, &self.kg, query, &self.config)
+        crate::relax::relax(&self.index, &self.kg, query, &self.config, &self.pool)
     }
 
     /// Peer entities of `entity` ranked by news coverage (the "FTX is a
@@ -283,7 +314,7 @@ mod tests {
             kg,
             &store,
             NcxConfig {
-                threads: 2,
+                parallelism: Parallelism::Fixed(2),
                 samples: 200,
                 max_member_fraction: 1.0,
                 ..NcxConfig::default()
@@ -387,9 +418,9 @@ mod tests {
         // results.
         let q = eng.query(&["Financial Crime"]).unwrap();
         let before = eng.rollup(&q, 5);
-        eng.set_query_parallelism(crate::config::Parallelism::Fixed(4));
+        eng.set_parallelism(crate::config::Parallelism::Fixed(4));
         assert_eq!(eng.rollup(&q, 5), before);
-        eng.set_query_parallelism(crate::config::Parallelism::sequential());
+        eng.set_parallelism(crate::config::Parallelism::sequential());
         assert_eq!(eng.rollup(&q, 5), before);
     }
 }

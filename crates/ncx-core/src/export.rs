@@ -224,7 +224,7 @@ mod tests {
         );
         let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
         let config = NcxConfig {
-            threads: 1,
+            parallelism: crate::config::Parallelism::sequential(),
             max_member_fraction: 1.0,
             ..NcxConfig::default()
         };

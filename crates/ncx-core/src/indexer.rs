@@ -5,13 +5,14 @@
 //! paper). Pass 2 — **relevance scoring**: for each document, candidate
 //! concepts are gathered from `Ψ⁻¹` of its entities and scored with
 //! `cdr = cdr_o · cdr_c`, the connectivity part estimated by random walks
-//! (7.1 % of cost). Both passes fan out over the batch-balanced scoped
-//! worker pool of [`crate::par`] (article lengths and candidate lists are
-//! skewed, so static chunking strands workers behind the long tail); walk
-//! seeds derive from `(doc, concept)` so results are schedule-independent.
+//! (7.1 % of cost). Both passes fan out over the engine's persistent
+//! batch-balanced worker pool ([`crate::par::Pool`]; article lengths and
+//! candidate lists are skewed, so static chunking strands workers behind
+//! the long tail); walk seeds derive from `(doc, concept)` so results are
+//! schedule-independent.
 
 use crate::config::NcxConfig;
-use crate::par::{auto_batch, run_batched};
+use crate::par::{auto_batch, Pool};
 use crate::relevance::context::cdrc_from_conn;
 use crate::relevance::estimator::{pair_seed, ConnEstimator, WalkStats};
 use crate::relevance::ontology::ontology_relevance;
@@ -131,17 +132,61 @@ impl NcxIndex {
     }
 }
 
+#[cfg(test)]
+impl NcxIndex {
+    /// Test-only: builds an index directly from raw concept postings, so
+    /// property tests can place posting-list lengths exactly on parallel
+    /// task-grouping boundaries without synthesising a matching corpus.
+    pub(crate) fn from_raw_postings(
+        num_docs: usize,
+        postings: Vec<(ConceptId, Vec<ConceptPosting>)>,
+    ) -> Self {
+        let mut concept_postings: FxHashMap<ConceptId, Vec<ConceptPosting>> = FxHashMap::default();
+        let mut doc_concepts: Vec<Vec<(ConceptId, f64)>> = vec![Vec::new(); num_docs];
+        for (c, mut list) in postings {
+            list.sort_unstable_by_key(|p| p.doc);
+            for p in &list {
+                doc_concepts[p.doc.index()].push((c, p.cdr));
+            }
+            concept_postings.insert(c, list);
+        }
+        for list in &mut doc_concepts {
+            list.sort_unstable_by_key(|&(c, _)| c);
+        }
+        Self {
+            concept_postings,
+            doc_concepts,
+            ..Self::default()
+        }
+    }
+}
+
 /// Corpus indexer.
 pub struct Indexer<'a> {
     kg: &'a KnowledgeGraph,
     nlp: &'a NlpPipeline,
     config: NcxConfig,
     oracle: Arc<TargetDistanceOracle>,
+    pool: Arc<Pool>,
 }
 
 impl<'a> Indexer<'a> {
-    /// Creates an indexer. Panics on invalid configuration.
+    /// Creates an indexer with its own worker pool sized by
+    /// `config.parallelism`. Panics on invalid configuration.
     pub fn new(kg: &'a KnowledgeGraph, nlp: &'a NlpPipeline, config: NcxConfig) -> Self {
+        let pool = Arc::new(Pool::new(config.parallelism.workers()));
+        Self::with_pool(kg, nlp, config, pool)
+    }
+
+    /// Creates an indexer that fans out over a caller-owned pool (the
+    /// engine shares one pool between indexing and query execution).
+    /// Panics on invalid configuration.
+    pub fn with_pool(
+        kg: &'a KnowledgeGraph,
+        nlp: &'a NlpPipeline,
+        config: NcxConfig,
+        pool: Arc<Pool>,
+    ) -> Self {
         config.validate().expect("invalid NcxConfig");
         let oracle = Arc::new(TargetDistanceOracle::with_shards(
             config.tau,
@@ -153,6 +198,7 @@ impl<'a> Indexer<'a> {
             nlp,
             config,
             oracle,
+            pool,
         }
     }
 
@@ -165,14 +211,14 @@ impl<'a> Indexer<'a> {
     pub fn index_corpus(&self, store: &DocumentStore) -> NcxIndex {
         let wall = Instant::now();
         let n = store.len();
-        let threads = self.config.effective_threads().min(n.max(1));
+        let width = self.config.parallelism.workers().min(n.max(1));
 
-        // ---- pass 1: entity linking (batch-balanced worker pool) ----
+        // ---- pass 1: entity linking (persistent worker pool) ----
         let mut linking_time = Duration::ZERO;
         let annotated: Vec<AnnotatedDoc> = {
             let nlp = self.nlp;
             let results: Vec<(AnnotatedDoc, Duration)> =
-                run_batched(n, threads, auto_batch(n, threads), |i| {
+                self.pool.run_batched(n, width, auto_batch(n, width), |i| {
                     let text = store.get(DocId::from_index(i)).full_text();
                     let t0 = Instant::now();
                     let doc = nlp.process(&text);
@@ -193,7 +239,7 @@ impl<'a> Indexer<'a> {
             entity_index.add_document(&doc.entity_counts);
         }
 
-        // ---- pass 2: relevance scoring (batch-balanced worker pool) ----
+        // ---- pass 2: relevance scoring (persistent worker pool) ----
         // Per-document work is skewed by candidate-concept counts, so
         // batches are handed out dynamically; `pair_seed` keeps every
         // (doc, concept) estimate schedule-independent.
@@ -208,14 +254,16 @@ impl<'a> Indexer<'a> {
             let kg = self.kg;
             let oracle = &self.oracle;
             type ScoreOut = (Vec<(ConceptId, ConceptPosting)>, WalkStats, Duration);
-            let results: Vec<ScoreOut> = run_batched(n, threads, auto_batch(n, threads), |i| {
-                let estimator =
-                    ConnEstimator::new(config.tau, config.beta, config.guided, oracle.clone());
-                let doc = DocId::from_index(i);
-                let t0 = Instant::now();
-                let (entries, stats) = score_document(kg, entity_index, &estimator, config, doc);
-                (entries, stats, t0.elapsed())
-            });
+            let results: Vec<ScoreOut> =
+                self.pool.run_batched(n, width, auto_batch(n, width), |i| {
+                    let estimator =
+                        ConnEstimator::new(config.tau, config.beta, config.guided, oracle.clone());
+                    let doc = DocId::from_index(i);
+                    let t0 = Instant::now();
+                    let (entries, stats) =
+                        score_document(kg, entity_index, &estimator, config, doc);
+                    (entries, stats, t0.elapsed())
+                });
             for (doc_idx, (entries, stats, elapsed)) in results.into_iter().enumerate() {
                 scoring_time += elapsed;
                 walk_stats.merge(stats);
@@ -417,11 +465,11 @@ mod tests {
         (kg, store)
     }
 
-    fn build_index(threads: usize) -> (KnowledgeGraph, NcxIndex) {
+    fn build_index(width: usize) -> (KnowledgeGraph, NcxIndex) {
         let (kg, store) = setup();
         let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
         let config = NcxConfig {
-            threads,
+            parallelism: crate::config::Parallelism::Fixed(width),
             samples: 200,
             max_member_fraction: 1.0,
             ..NcxConfig::default()
@@ -504,7 +552,7 @@ mod tests {
         store.add(NewsSource::Reuters, "".into(), "e0 e1 e2".into(), 0);
         let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
         let config = NcxConfig {
-            threads: 1,
+            parallelism: crate::config::Parallelism::sequential(),
             max_member_fraction: 0.5,
             ..NcxConfig::default()
         };
@@ -533,7 +581,7 @@ mod tests {
         // Streaming ingest keeps accumulating.
         let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
         let config = NcxConfig {
-            threads: 1,
+            parallelism: crate::config::Parallelism::sequential(),
             samples: 200,
             max_member_fraction: 1.0,
             ..NcxConfig::default()

@@ -13,8 +13,9 @@
 //! * [`indexer`] — the two-pass indexing pipeline (entity linking, then
 //!   concept-posting construction) with the timing breakdown reported in
 //!   Fig. 4;
-//! * [`par`] — the scoped worker pool with batch-level load balancing
-//!   shared by the indexer and the parallel query operators;
+//! * [`par`] — the persistent worker pool with batch-level load
+//!   balancing, owned by the engine and shared by the indexer and the
+//!   parallel query operators;
 //! * [`rollup`] — Definition 1: top-K documents by `rel(Q, d)`;
 //! * [`drilldown`] — Definition 2: top-K subtopics by
 //!   `sbr = coverage · specificity · diversity`;
@@ -36,5 +37,6 @@ pub mod session;
 
 pub use config::{NcxConfig, Parallelism, ScoreAblation};
 pub use engine::{EngineDiagnostics, NcExplorer};
+pub use par::Pool;
 pub use query::ConceptQuery;
 pub use session::Session;

@@ -1,22 +1,62 @@
-//! Scoped worker pool with batch-level load balancing.
+//! Persistent worker pool with batch-level load balancing.
 //!
-//! The indexer's original idiom — `std::thread::scope` over contiguous
-//! chunks — assigns each worker a fixed slice of the work up front. That
-//! is optimal when items cost the same, but document lengths and
-//! candidate-concept lists are heavily skewed: one long article (or one
-//! broad concept with thousands of postings) can leave every other
-//! worker idle. This module keeps the scoped-thread idiom but hands out
-//! work in **small batches from a shared atomic cursor**, so fast
-//! workers steal the tail of the queue instead of waiting.
+//! # Why a persistent pool
 //!
-//! Determinism contract: `f` is called once per index `0..n` and results
-//! are returned **in index order**, whatever the scheduling. Callers
-//! whose per-item computation is itself deterministic (for example
-//! walk scoring seeded by
-//! [`pair_seed`](crate::relevance::estimator::pair_seed)) therefore get
-//! schedule-independent output.
+//! Earlier revisions spawned `std::thread::scope` threads per parallel
+//! region. A thread spawn costs ~10 µs, which forced work floors
+//! (`PAR_MIN_*` in `rollup`/`drilldown`) that kept small queries
+//! sequential — exactly the interactive-latency regime NCExplorer
+//! targets. This module instead keeps **long-lived parked workers**:
+//! dispatching a region costs one lock acquisition and a condvar wake
+//! (~1 µs), so the floors can sit an order of magnitude lower and the
+//! pool is cheap enough to be the default execution substrate.
+//!
+//! # Lifecycle
+//!
+//! * [`Pool::new`]`(width)` spawns `width − 1` workers (the submitting
+//!   thread is always the `width`-th participant) which immediately park
+//!   on a condvar. A `width` of 0 or 1 spawns no threads at all.
+//! * [`Pool::run_batched`] publishes a **job** — a type-erased,
+//!   batch-draining closure — to the shared injector, wakes the workers,
+//!   and participates itself. Idle workers join any published job (up to
+//!   its width cap), pulling batches of consecutive indices from the
+//!   job's atomic cursor, so skewed items cannot strand workers behind a
+//!   static partition. Multiple jobs may be in flight at once: concurrent
+//!   callers (`NcExplorer` queries take `&self`) share the same workers.
+//! * Dropping the pool sets a shutdown flag, wakes every parked worker,
+//!   and joins them. `Drop` requires `&mut self`, so no job can still be
+//!   running.
+//!
+//! # Determinism contract
+//!
+//! `f` is called once per index `0..n` and results are returned **in
+//! index order**, whatever the scheduling. Callers whose per-item
+//! computation is itself deterministic (for example walk scoring seeded
+//! by [`pair_seed`](crate::relevance::estimator::pair_seed)) therefore
+//! get schedule-independent output. A `width` of 1 runs the literal
+//! sequential loop on the calling thread — bit-for-bit the reference
+//! path, no pool machinery involved.
+//!
+//! # Panics
+//!
+//! If `f` panics on a worker, the **original payload** is captured,
+//! remaining batches are abandoned, and the payload is re-raised on the
+//! submitting thread via [`std::panic::resume_unwind`] — a failing
+//! assertion inside a parallel region surfaces to the caller with its
+//! message intact. Workers survive job panics; the pool stays usable.
 
+// The pool hands long-lived workers type-erased pointers to job state
+// living on the submitting caller's stack. That lifetime erasure cannot
+// be expressed in safe Rust (`std::thread::scope` is the only safe
+// alternative, and per-region spawning is exactly what this module
+// replaces), so the workspace-wide `unsafe_code = "deny"` is relaxed for
+// this module only. The safety protocol is documented on [`Job`].
+#![allow(unsafe_code)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// A reasonable batch size for `n` items over `workers` workers: small
 /// enough to balance skew (several batches per worker), large enough to
@@ -28,62 +68,286 @@ pub fn auto_batch(n: usize, workers: usize) -> usize {
     (n / (workers * 8)).clamp(1, 64)
 }
 
-/// Runs `f(i)` for every `i in 0..n` over `workers` scoped threads,
-/// dispatching batches of `batch` consecutive indices from a shared
-/// cursor, and returns the results in index order.
+/// One published parallel region: a type-erased handle to the concrete
+/// job closure in the submitting `run_batched` frame.
 ///
-/// With `workers <= 1` (or `n <= 1`) this degenerates to a plain
-/// sequential loop on the calling thread — no threads are spawned, so a
-/// single-worker configuration reproduces the sequential path exactly.
-pub fn run_batched<T, F>(n: usize, workers: usize, batch: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if n == 0 {
-        return Vec::new();
+/// # Safety protocol
+///
+/// `data` points into the stack frame of the `run_batched` call that
+/// published the job, so it is only valid while that call is blocked.
+/// Validity is guaranteed by a rendezvous:
+///
+/// 1. workers may only discover a job through the injector list, and
+///    they increment `running` **under the pool lock** before invoking
+///    `call`;
+/// 2. before returning, the submitter delists the job **under the same
+///    lock** — after which no new worker can discover it — and then
+///    blocks until `running == 0`, i.e. until every worker that did
+///    discover it has returned from `call`.
+///
+/// Hence no worker can dereference `data` after `run_batched` returns.
+struct Job {
+    /// Erased pointer to the concrete job closure.
+    data: *const (),
+    /// Monomorphised shim that invokes the closure behind `data` once.
+    /// Each invocation drains the job's batch cursor until exhausted and
+    /// never unwinds (panics are captured inside the closure).
+    call: unsafe fn(*const ()),
+    /// Workers currently inside `call` (the submitter is not counted).
+    running: AtomicUsize,
+    /// Workers that have ever joined, for the `cap` check. Monotone:
+    /// a worker only leaves `call` when the job is exhausted, so
+    /// re-joining is never useful.
+    joined: AtomicUsize,
+    /// Maximum number of pool workers allowed to join (the configured
+    /// width minus the submitter).
+    cap: usize,
+}
+
+// SAFETY: `data` is only dereferenced through `call` while the
+// publishing `run_batched` frame is alive — see the protocol above. The
+// closure it points to is `Sync` (enforced by the `shim` constructor),
+// so concurrent invocation from several workers is sound.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// Returns the erased caller for a concrete job-closure type. Keeping
+/// the generic here (rather than naming the closure type, which is
+/// impossible) lets `run_batched` build the shim by inference.
+fn shim<B: Fn() + Sync>(_: &B) -> unsafe fn(*const ()) {
+    unsafe fn call<B: Fn() + Sync>(data: *const ()) {
+        // SAFETY: `data` was produced from an `&B` by `run_batched` and
+        // per the `Job` protocol the referent is still alive.
+        unsafe { (*data.cast::<B>())() }
     }
-    let workers = workers.clamp(1, n);
-    if workers == 1 {
-        return (0..n).map(f).collect();
-    }
-    let batch = batch.max(1);
-    let num_batches = n.div_ceil(batch);
-    let cursor = AtomicUsize::new(0);
-    let mut parts: Vec<(usize, Vec<T>)> = std::thread::scope(|scope| {
-        let cursor = &cursor;
-        let f = &f;
-        let mut handles = Vec::with_capacity(workers.min(num_batches));
-        for _ in 0..workers.min(num_batches) {
-            handles.push(scope.spawn(move || {
-                let mut local = Vec::new();
-                loop {
-                    let b = cursor.fetch_add(1, Ordering::Relaxed);
-                    if b >= num_batches {
-                        break;
-                    }
-                    let start = b * batch;
-                    let end = (start + batch).min(n);
-                    let mut items = Vec::with_capacity(end - start);
-                    for i in start..end {
-                        items.push(f(i));
-                    }
-                    local.push((b, items));
-                }
-                local
-            }));
+    call::<B>
+}
+
+/// Injector state behind the pool mutex.
+struct State {
+    /// Published jobs that may still accept workers.
+    jobs: Vec<Arc<Job>>,
+    /// Set once by `Drop`; parked workers exit when they observe it.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here waiting for published jobs (or shutdown).
+    work: Condvar,
+    /// Submitters park here waiting for their job's workers to drain.
+    done: Condvar,
+}
+
+/// The persistent worker pool. See the module docs for lifecycle,
+/// determinism, and panic semantics.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    width: usize,
+}
+
+impl Pool {
+    /// Creates a pool of the given width: `width − 1` parked worker
+    /// threads plus the submitting caller. A width of 0 is clamped to 1
+    /// (a zero knob must not disable execution); widths of 0 and 1 spawn
+    /// no threads and make [`run_batched`](Self::run_batched) a plain
+    /// sequential loop.
+    pub fn new(width: usize) -> Self {
+        let width = width.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: Vec::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..width)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ncx-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            width,
         }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    parts.sort_unstable_by_key(|&(b, _)| b);
-    let mut out = Vec::with_capacity(n);
-    for (_, items) in parts {
-        out.extend(items);
     }
-    out
+
+    /// The configured width (submitter included); always ≥ 1.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `f(i)` for every `i in 0..n`, dispatching batches of `batch`
+    /// consecutive indices from a shared cursor to at most `width`
+    /// participants (clamped to the pool width; the submitting thread
+    /// always participates), and returns the results in index order.
+    ///
+    /// With an effective width of 1 — or a single batch — this
+    /// degenerates to a plain sequential loop on the calling thread, so
+    /// a single-worker configuration reproduces the sequential path
+    /// exactly. If `f` panics, the first panic payload is re-raised on
+    /// the calling thread unchanged.
+    pub fn run_batched<T, F>(&self, n: usize, width: usize, batch: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let width = width.clamp(1, self.width).min(n);
+        let batch = batch.max(1);
+        let num_batches = n.div_ceil(batch);
+        if width == 1 || num_batches == 1 {
+            return (0..n).map(f).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        type Parts<T> = Mutex<Vec<(usize, Vec<T>)>>;
+        let parts: Parts<T> = Mutex::new(Vec::new());
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        // Drains the batch cursor; run concurrently by the submitter and
+        // every joined worker.
+        let drain = || {
+            let mut local: Vec<(usize, Vec<T>)> = Vec::new();
+            loop {
+                let b = cursor.fetch_add(1, Ordering::Relaxed);
+                if b >= num_batches {
+                    break;
+                }
+                let start = b * batch;
+                let end = (start + batch).min(n);
+                let mut items = Vec::with_capacity(end - start);
+                for i in start..end {
+                    items.push(f(i));
+                }
+                local.push((b, items));
+            }
+            if !local.is_empty() {
+                parts.lock().expect("pool parts lock").extend(local);
+            }
+        };
+        let body = || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(&drain)) {
+                let mut slot = panic_slot.lock().expect("pool panic lock");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                // Abandon remaining batches so other participants stop
+                // promptly; batches already claimed still complete.
+                cursor.store(num_batches, Ordering::Relaxed);
+            }
+        };
+
+        // The submitter takes one slot; never involve more workers than
+        // there are batches to steal.
+        let cap = (width - 1).min(num_batches - 1);
+        let job = Arc::new(Job {
+            data: std::ptr::from_ref(&body).cast::<()>(),
+            call: shim(&body),
+            running: AtomicUsize::new(0),
+            joined: AtomicUsize::new(0),
+            cap,
+        });
+        {
+            let mut st = self.shared.state.lock().expect("pool state lock");
+            st.jobs.push(job.clone());
+        }
+        // Wake only as many parked workers as the job admits — a blanket
+        // notify_all would stampede every worker of a wide pool through
+        // the state mutex just to find `joined >= cap` and re-park. A
+        // notification with no parked waiter is simply dropped; busy
+        // workers rescan the injector anyway when their current job ends.
+        for _ in 0..cap {
+            self.shared.work.notify_one();
+        }
+
+        // Participate: the submitter is always the first worker, so a
+        // busy pool degrades to (at worst) the sequential path instead
+        // of deadlocking — which also makes nested submission safe.
+        body();
+
+        // Retire: delist under the lock (no new worker can join), then
+        // wait until every joined worker has left the job body.
+        let mut st = self.shared.state.lock().expect("pool state lock");
+        st.jobs.retain(|j| !Arc::ptr_eq(j, &job));
+        while job.running.load(Ordering::Acquire) > 0 {
+            st = self.shared.done.wait(st).expect("pool done wait");
+        }
+        drop(st);
+
+        if let Some(payload) = panic_slot.lock().expect("pool panic lock").take() {
+            resume_unwind(payload);
+        }
+        let mut parts = parts.into_inner().expect("pool parts lock");
+        parts.sort_unstable_by_key(|&(b, _)| b);
+        let mut out = Vec::with_capacity(n);
+        for (_, items) in parts {
+            out.extend(items);
+        }
+        debug_assert_eq!(out.len(), n, "every index must be produced once");
+        out
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("pool state lock").shutdown = true;
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("width", &self.width).finish()
+    }
+}
+
+/// What a parked worker runs: wait for a joinable job, drain it, delist
+/// it when exhausted, repeat until shutdown.
+fn worker_loop(shared: &Shared) {
+    let mut st = shared.state.lock().expect("pool state lock");
+    loop {
+        if st.shutdown {
+            return;
+        }
+        let job = st
+            .jobs
+            .iter()
+            .find(|j| j.joined.load(Ordering::Relaxed) < j.cap)
+            .cloned();
+        match job {
+            Some(job) => {
+                // Both counters move under the pool lock, paired with the
+                // submitter's delist-then-check — see `Job`'s protocol.
+                job.joined.fetch_add(1, Ordering::Relaxed);
+                job.running.fetch_add(1, Ordering::Relaxed);
+                drop(st);
+                // SAFETY: `running` was incremented under the lock before
+                // the submitter could delist, so the job frame is pinned
+                // until the decrement below.
+                unsafe { (job.call)(job.data) };
+                st = shared.state.lock().expect("pool state lock");
+                // `call` only returns once the cursor is exhausted, so no
+                // later worker can make progress on this job: delist it.
+                st.jobs.retain(|j| !Arc::ptr_eq(j, &job));
+                if job.running.fetch_sub(1, Ordering::Release) == 1 {
+                    shared.done.notify_all();
+                }
+            }
+            None => st = shared.work.wait(st).expect("pool work wait"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -93,19 +357,21 @@ mod tests {
 
     #[test]
     fn results_in_index_order() {
-        for workers in [1, 2, 3, 8] {
+        for width in [1, 2, 3, 8] {
+            let pool = Pool::new(width);
             for batch in [1, 3, 7, 100] {
-                let out = run_batched(23, workers, batch, |i| i * i);
+                let out = pool.run_batched(23, width, batch, |i| i * i);
                 let expect: Vec<usize> = (0..23).map(|i| i * i).collect();
-                assert_eq!(out, expect, "workers={workers} batch={batch}");
+                assert_eq!(out, expect, "width={width} batch={batch}");
             }
         }
     }
 
     #[test]
     fn every_index_called_exactly_once() {
+        let pool = Pool::new(4);
         let calls = AtomicU64::new(0);
-        let out = run_batched(1000, 4, 8, |i| {
+        let out = pool.run_batched(1000, 4, 8, |i| {
             calls.fetch_add(1, Ordering::Relaxed);
             i
         });
@@ -115,8 +381,27 @@ mod tests {
 
     #[test]
     fn empty_and_tiny_inputs() {
-        assert!(run_batched(0, 4, 8, |i| i).is_empty());
-        assert_eq!(run_batched(1, 4, 8, |i| i + 1), vec![1]);
+        let pool = Pool::new(4);
+        assert!(pool.run_batched(0, 4, 8, |i| i).is_empty());
+        assert_eq!(pool.run_batched(1, 4, 8, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn zero_width_clamps_to_sequential() {
+        // A zero knob must neither divide by zero in batch math nor
+        // disable execution (regression: `Parallelism::Fixed(0)`).
+        let pool = Pool::new(0);
+        assert_eq!(pool.width(), 1);
+        let out = pool.run_batched(10, 0, 0, |i| i * 2);
+        assert_eq!(out, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(auto_batch(100, 0), 100);
+    }
+
+    #[test]
+    fn width_caps_at_pool_width() {
+        let pool = Pool::new(2);
+        let out = pool.run_batched(100, 64, 4, |i| i);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
@@ -125,13 +410,78 @@ mod tests {
         // rest behind it: with batch = 1 the huge item occupies one
         // worker while others drain the queue. (Correctness check only —
         // timing is not asserted.)
-        let out = run_batched(64, 4, 1, |i| {
+        let pool = Pool::new(4);
+        let out = pool.run_batched(64, 4, 1, |i| {
             if i == 0 {
                 std::thread::sleep(std::time::Duration::from_millis(20));
             }
             i
         });
         assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_payload_reaches_caller_intact() {
+        // Regression: joining with `.expect("worker panicked")` destroyed
+        // the original payload; the caller must see the real message.
+        let pool = Pool::new(4);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batched(256, 4, 1, |i| {
+                assert!(i != 97, "original assertion about item {i}");
+                i
+            })
+        }))
+        .expect_err("the panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("payload must stay a message");
+        assert!(
+            msg.contains("original assertion about item 97"),
+            "payload lost: {msg}"
+        );
+
+        // The pool must stay usable after a job panicked.
+        let out = pool.run_batched(100, 4, 4, |i| i + 1);
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let pool = Pool::new(4);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let out = pool.run_batched(97, 4, 2, |i| i + t);
+                        assert_eq!(out, (t..97 + t).collect::<Vec<_>>());
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn nested_submission_does_not_deadlock() {
+        let pool = Pool::new(3);
+        let out = pool.run_batched(6, 3, 1, |i| {
+            // Inner regions run on the same pool; the submitter always
+            // participates, so this completes even with all workers busy.
+            pool.run_batched(5, 3, 1, |j| j).len() + i
+        });
+        assert_eq!(out, (5..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_shuts_down_promptly() {
+        for _ in 0..50 {
+            let pool = Pool::new(4);
+            let out = pool.run_batched(32, 4, 1, |i| i);
+            assert_eq!(out.len(), 32);
+            drop(pool);
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::config::NcxConfig;
 use crate::indexer::NcxIndex;
+use crate::par::Pool;
 use crate::query::ConceptQuery;
 use crate::rollup::matched_docs;
 use ncx_kg::{ontology, ConceptId, InstanceId, KnowledgeGraph};
@@ -51,6 +52,7 @@ pub fn relax(
     kg: &KnowledgeGraph,
     query: &ConceptQuery,
     config: &NcxConfig,
+    pool: &Pool,
 ) -> Vec<RelaxOption> {
     let mut out = Vec::new();
     for &facet in query.concepts() {
@@ -63,7 +65,7 @@ pub fn relax(
                 .filter(|&c| c != facet)
                 .collect();
             let q = ConceptQuery::new(rest);
-            let matches = matched_docs(index, kg, &q, config).len();
+            let matches = matched_docs(index, kg, &q, config, pool).len();
             if matches > 0 {
                 out.push(RelaxOption {
                     relaxation: Relaxation::Drop(facet),
@@ -83,7 +85,7 @@ pub fn relax(
                 .map(|&c| if c == facet { to } else { c })
                 .collect();
             let q = ConceptQuery::new(concepts);
-            let matches = matched_docs(index, kg, &q, config).len();
+            let matches = matched_docs(index, kg, &q, config, pool).len();
             if matches > 0 {
                 out.push(RelaxOption {
                     relaxation: Relaxation::Broaden { from: facet, to },
@@ -190,7 +192,7 @@ mod tests {
         );
         let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
         let config = NcxConfig {
-            threads: 1,
+            parallelism: crate::config::Parallelism::sequential(),
             samples: 50,
             max_member_fraction: 1.0,
             ..NcxConfig::default()
@@ -204,8 +206,8 @@ mod tests {
         let (kg, index, config) = build();
         // "Financial Crime ∧ Labor Dispute" matches nothing (no doc has both).
         let q = ConceptQuery::from_names(&kg, &["Financial Crime", "Labor Dispute"]).unwrap();
-        assert!(matched_docs(&index, &kg, &q, &config).is_empty());
-        let options = relax(&index, &kg, &q, &config);
+        assert!(matched_docs(&index, &kg, &q, &config, &Pool::new(1)).is_empty());
+        let options = relax(&index, &kg, &q, &config, &Pool::new(1));
         assert!(!options.is_empty());
         // Dropping either facet yields exactly one match.
         for opt in &options {
@@ -221,7 +223,7 @@ mod tests {
         // Single facet "Bitcoin Exchange": broadening to Company keeps the
         // same two matches (dropping is not offered for single facets).
         let q = ConceptQuery::from_names(&kg, &["Bitcoin Exchange"]).unwrap();
-        let options = relax(&index, &kg, &q, &config);
+        let options = relax(&index, &kg, &q, &config, &Pool::new(1));
         assert!(!options.is_empty());
         assert!(matches!(options[0].relaxation, Relaxation::Broaden { .. }));
         // Broadened to Company: DBS article joins the matches.
@@ -232,7 +234,7 @@ mod tests {
     fn relax_nothing_when_query_already_empty() {
         let (kg, index, config) = build();
         let q = ConceptQuery::new([]);
-        assert!(relax(&index, &kg, &q, &config).is_empty());
+        assert!(relax(&index, &kg, &q, &config, &Pool::new(1)).is_empty());
     }
 
     #[test]

@@ -8,19 +8,19 @@
 //!
 //! # Parallel execution
 //!
-//! With [`NcxConfig::query_parallelism`] above one worker, the
-//! per-concept document maps are built on the shared batch-balanced pool
-//! of [`crate::par`]: the unit of work is one `(query concept, via
-//! concept)` posting list — broad concepts fan out over many descendant
-//! lists of wildly different lengths, which is exactly the skew dynamic
-//! batching absorbs. Partial maps are merged back **in via order** with
-//! the same strictly-greater rule the sequential loop applies, so the
-//! parallel result is identical to the sequential one; `Fixed(1)` runs
-//! the literal sequential code path.
+//! With [`NcxConfig::parallelism`] above one worker, the per-concept
+//! document maps are built on the engine's persistent batch-balanced
+//! worker pool ([`crate::par::Pool`]): the unit of work is one `(query
+//! concept, via concept)` posting list — broad concepts fan out over
+//! many descendant lists of wildly different lengths, which is exactly
+//! the skew dynamic batching absorbs. Partial maps are merged back **in
+//! via order** with the same strictly-greater rule the sequential loop
+//! applies, so the parallel result is identical to the sequential one;
+//! `Fixed(1)` runs the literal sequential code path.
 
 use crate::config::NcxConfig;
 use crate::indexer::NcxIndex;
-use crate::par::run_batched;
+use crate::par::Pool;
 use crate::query::ConceptQuery;
 use ncx_index::TopK;
 use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
@@ -60,6 +60,23 @@ fn via_list(kg: &KnowledgeGraph, c: ConceptId, config: &NcxConfig) -> Vec<Concep
         vias.extend(ontology::descendants(kg, c));
     }
     vias
+}
+
+/// Total posting volume across the via list of `c` — the concept itself
+/// plus (with the fallback on) its descendant edge concepts. This is
+/// the quantity the parallel work floor gates on, exposed so harnesses
+/// picking a "smallest real query" measure the same thing the engine
+/// gates (see `tests/scale.rs` and the `rollup_query` bench).
+pub fn via_posting_volume(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    c: ConceptId,
+    config: &NcxConfig,
+) -> usize {
+    via_list(kg, c, config)
+        .iter()
+        .map(|&via| index.postings(via).len())
+        .sum()
 }
 
 /// The single upsert rule both execution paths share: a candidate
@@ -110,9 +127,11 @@ fn merge_concept_map(
 
 /// Minimum total postings across the query's via lists before the
 /// parallel path engages: below this, the whole fold costs less than
-/// spawning the pool (a thread spawn is ~10 µs), so small queries always
+/// dispatching to the pool's parked workers (~1 µs — a lock acquisition
+/// plus a condvar wake, an order of magnitude below the ~10 µs thread
+/// spawns this floor originally guarded against), so tiny queries still
 /// take the sequential path.
-const PAR_MIN_POSTINGS: usize = 1024;
+const PAR_MIN_POSTINGS: usize = 128;
 
 /// Minimum posting volume per parallel task. Consecutive vias of one
 /// query concept are grouped until they reach this, so an ontology with
@@ -129,8 +148,9 @@ fn concept_doc_maps(
     kg: &KnowledgeGraph,
     query: &ConceptQuery,
     config: &NcxConfig,
+    pool: &Pool,
 ) -> Vec<FxHashMap<DocId, ConceptMatch>> {
-    let workers = config.query_parallelism.workers();
+    let workers = config.parallelism.workers().min(pool.width());
     let concepts = query.concepts();
     // Via lists are computed once and shared by whichever path runs.
     let vias: Vec<Vec<ConceptId>> = concepts.iter().map(|&c| via_list(kg, c, config)).collect();
@@ -157,7 +177,7 @@ fn concept_doc_maps(
             }
         }
         if tasks.len() > 1 && total_postings >= PAR_MIN_POSTINGS {
-            let partials = run_batched(tasks.len(), workers, 1, |t| {
+            let partials = pool.run_batched(tasks.len(), workers, 1, |t| {
                 let (qi, group) = &tasks[t];
                 let mut map = FxHashMap::default();
                 for &via in group {
@@ -195,11 +215,13 @@ pub fn matched_docs(
     kg: &KnowledgeGraph,
     query: &ConceptQuery,
     config: &NcxConfig,
+    pool: &Pool,
 ) -> FxHashMap<DocId, Vec<ConceptMatch>> {
     if query.is_empty() {
         return FxHashMap::default();
     }
-    let mut maps: Vec<FxHashMap<DocId, ConceptMatch>> = concept_doc_maps(index, kg, query, config);
+    let mut maps: Vec<FxHashMap<DocId, ConceptMatch>> =
+        concept_doc_maps(index, kg, query, config, pool);
     // Intersect starting from the smallest map.
     let smallest = maps
         .iter()
@@ -239,8 +261,9 @@ pub fn rollup(
     query: &ConceptQuery,
     k: usize,
     config: &NcxConfig,
+    pool: &Pool,
 ) -> Vec<RollupHit> {
-    let docs = matched_docs(index, kg, query, config);
+    let docs = matched_docs(index, kg, query, config, pool);
     let mut top = TopK::new(k);
     let mut details: FxHashMap<DocId, Vec<ConceptMatch>> = docs;
     for (doc, matches) in &details {
@@ -260,10 +283,12 @@ pub fn rollup(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::indexer::Indexer;
+    use crate::config::Parallelism;
+    use crate::indexer::{ConceptPosting, Indexer};
     use ncx_index::{DocumentStore, NewsSource};
     use ncx_kg::GraphBuilder;
     use ncx_text::{GazetteerLinker, NlpPipeline};
+    use proptest::prelude::*;
 
     /// KG with a two-level taxonomy:
     /// Company <- {Exchange, Bank}; Crime = {fraud, laundering}.
@@ -314,7 +339,7 @@ mod tests {
         let (kg, store) = setup();
         let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
         let config = NcxConfig {
-            threads: 1,
+            parallelism: Parallelism::sequential(),
             samples: 300,
             max_member_fraction: 1.0,
             ..NcxConfig::default()
@@ -323,11 +348,16 @@ mod tests {
         (kg, index, config)
     }
 
+    /// A fresh pool wide enough for every `Fixed(n)` these tests use.
+    fn pool() -> Pool {
+        Pool::new(8)
+    }
+
     #[test]
     fn single_concept_rollup() {
         let (kg, index, config) = build();
         let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
-        let hits = rollup(&index, &kg, &q, 10, &config);
+        let hits = rollup(&index, &kg, &q, 10, &config, &pool());
         // FTX appears in d0 and d2.
         let ids: Vec<u32> = hits.iter().map(|h| h.doc.raw()).collect();
         assert!(ids.contains(&0) && ids.contains(&2));
@@ -342,7 +372,7 @@ mod tests {
     fn conjunctive_matching() {
         let (kg, index, config) = build();
         let q = ConceptQuery::from_names(&kg, &["Exchange", "Crime"]).unwrap();
-        let hits = rollup(&index, &kg, &q, 10, &config);
+        let hits = rollup(&index, &kg, &q, 10, &config, &pool());
         // Only d0 mentions both an exchange and a crime term.
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].doc.raw(), 0);
@@ -358,7 +388,7 @@ mod tests {
         // "Company" has no direct members; matching goes through
         // Exchange/Bank descendants.
         let q = ConceptQuery::from_names(&kg, &["Company"]).unwrap();
-        let hits = rollup(&index, &kg, &q, 10, &config);
+        let hits = rollup(&index, &kg, &q, 10, &config, &pool());
         assert_eq!(hits.len(), 3, "all docs mention some company");
         let company = kg.concept_by_name("Company").unwrap();
         for h in &hits {
@@ -372,15 +402,15 @@ mod tests {
         let (kg, index, mut config) = build();
         config.edge_concept_fallback = false;
         let q = ConceptQuery::from_names(&kg, &["Company"]).unwrap();
-        assert!(rollup(&index, &kg, &q, 10, &config).is_empty());
+        assert!(rollup(&index, &kg, &q, 10, &config, &pool()).is_empty());
     }
 
     #[test]
     fn k_truncates_by_score() {
         let (kg, index, config) = build();
         let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
-        let all = rollup(&index, &kg, &q, 10, &config);
-        let top1 = rollup(&index, &kg, &q, 1, &config);
+        let all = rollup(&index, &kg, &q, 10, &config, &pool());
+        let top1 = rollup(&index, &kg, &q, 1, &config, &pool());
         assert_eq!(top1.len(), 1);
         assert_eq!(top1[0].doc, all[0].doc);
         assert!(all[0].score >= all[1].score);
@@ -390,7 +420,7 @@ mod tests {
     fn fraud_heavy_doc_outranks() {
         let (kg, index, config) = build();
         let q = ConceptQuery::from_names(&kg, &["Crime"]).unwrap();
-        let hits = rollup(&index, &kg, &q, 10, &config);
+        let hits = rollup(&index, &kg, &q, 10, &config, &pool());
         // d0 mentions fraud three times vs d1's single laundering mention;
         // term weighting should rank d0 first.
         assert_eq!(hits[0].doc.raw(), 0);
@@ -401,11 +431,11 @@ mod tests {
         use crate::config::Parallelism;
         let (kg, index, config) = build();
         let seq = NcxConfig {
-            query_parallelism: Parallelism::sequential(),
+            parallelism: Parallelism::sequential(),
             ..config.clone()
         };
         let par = NcxConfig {
-            query_parallelism: Parallelism::Fixed(4),
+            parallelism: Parallelism::Fixed(4),
             ..config
         };
         // "Company" exercises the multi-via fan-out (descendant edge
@@ -417,8 +447,8 @@ mod tests {
             vec!["Company", "Crime"],
         ] {
             let q = ConceptQuery::from_names(&kg, &names).unwrap();
-            let a = rollup(&index, &kg, &q, 10, &seq);
-            let b = rollup(&index, &kg, &q, 10, &par);
+            let a = rollup(&index, &kg, &q, 10, &seq, &pool());
+            let b = rollup(&index, &kg, &q, 10, &par, &pool());
             assert_eq!(a, b, "parallel rollup diverged for {names:?}");
         }
     }
@@ -445,26 +475,26 @@ mod tests {
         }
         let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
         let base = NcxConfig {
-            threads: 1,
+            parallelism: Parallelism::sequential(),
             samples: 10,
             max_member_fraction: 1.0,
             ..NcxConfig::default()
         };
         let index = Indexer::new(&kg, &nlp, base.clone()).index_corpus(&store);
         let seq = NcxConfig {
-            query_parallelism: Parallelism::sequential(),
+            parallelism: Parallelism::sequential(),
             ..base.clone()
         };
         for names in [vec!["Company", "Crime"], vec!["Exchange", "Crime"]] {
             let q = ConceptQuery::from_names(&kg, &names).unwrap();
-            let a = rollup(&index, &kg, &q, 700, &seq);
+            let a = rollup(&index, &kg, &q, 700, &seq, &pool());
             assert!(a.len() >= 200, "fixture must match at scale: {}", a.len());
             for fixed in [2, 4, 7] {
                 let par = NcxConfig {
-                    query_parallelism: Parallelism::Fixed(fixed),
+                    parallelism: Parallelism::Fixed(fixed),
                     ..base.clone()
                 };
-                let b = rollup(&index, &kg, &q, 700, &par);
+                let b = rollup(&index, &kg, &q, 700, &par, &pool());
                 assert_eq!(
                     a, b,
                     "parallel rollup diverged for {names:?} at {fixed} workers"
@@ -477,7 +507,7 @@ mod tests {
     fn empty_query_returns_nothing() {
         let (kg, index, config) = build();
         let q = ConceptQuery::new([]);
-        assert!(rollup(&index, &kg, &q, 5, &config).is_empty());
+        assert!(rollup(&index, &kg, &q, 5, &config, &pool()).is_empty());
     }
 
     #[test]
@@ -490,11 +520,156 @@ mod tests {
         let kg2 = b.build();
         let nlp = NlpPipeline::new(GazetteerLinker::build(&kg2));
         let config = NcxConfig {
-            threads: 1,
+            parallelism: Parallelism::sequential(),
             ..NcxConfig::default()
         };
         let index = Indexer::new(&kg2, &nlp, config.clone()).index_corpus(&DocumentStore::new());
         let q = ConceptQuery::new([unused]);
-        assert!(rollup(&index, &kg2, &q, 5, &config).is_empty());
+        assert!(rollup(&index, &kg2, &q, 5, &config, &pool()).is_empty());
+    }
+
+    // ---- task-grouping accounting at boundaries (property tests) ----
+    //
+    // `concept_doc_maps` groups each concept's via posting lists into
+    // parallel tasks of ≥ TASK_MIN_POSTINGS postings and gates the
+    // parallel path on the accumulated `total_postings`. These tests pin
+    // the boundary behaviour — lists landing exactly on
+    // TASK_MIN_POSTINGS, empty posting lists, single-via concepts — by
+    // asserting the parallel fold always equals the sequential one.
+
+    /// A KG whose root concept fans out over `num_vias` descendant edge
+    /// concepts (plus one direct-member via: the root itself).
+    fn boundary_kg(num_vias: usize) -> (KnowledgeGraph, ConceptId, Vec<ConceptId>, InstanceId) {
+        let mut b = GraphBuilder::new();
+        let root = b.concept("Root");
+        let mut vias = vec![root];
+        for i in 0..num_vias {
+            let c = b.concept(&format!("Via{i}"));
+            b.broader(c, root);
+            vias.push(c);
+        }
+        let pivot = b.instance("pivot");
+        let kg = b.build();
+        (kg, root, vias, pivot)
+    }
+
+    /// Builds a synthetic index assigning `lens[i]` postings to via `i`
+    /// (documents ids are disjoint across vias, with a configurable
+    /// overlap running through every non-empty via to exercise the
+    /// strictly-greater upsert tie-break).
+    fn boundary_index(
+        vias: &[ConceptId],
+        lens: &[usize],
+        pivot: InstanceId,
+        overlap: bool,
+    ) -> NcxIndex {
+        let mut postings = Vec::new();
+        let mut next_doc = 1u32;
+        let mut num_docs = 1;
+        for (&via, &len) in vias.iter().zip(lens) {
+            let mut list = Vec::with_capacity(len);
+            if overlap && len > 0 {
+                // Doc 0 appears in every non-empty via with a cdr that
+                // ties between consecutive vias — the earlier via must
+                // win per the strictly-greater rule.
+                list.push(ConceptPosting {
+                    doc: DocId::new(0),
+                    cdr: 0.5,
+                    cdro: 0.5,
+                    cdrc: 1.0,
+                    pivot,
+                });
+            }
+            while list.len() < len {
+                list.push(ConceptPosting {
+                    doc: DocId::new(next_doc),
+                    cdr: f64::from(next_doc % 7) * 0.1 + 0.1,
+                    cdro: 1.0,
+                    cdrc: 1.0,
+                    pivot,
+                });
+                next_doc += 1;
+            }
+            num_docs = num_docs.max(next_doc as usize);
+            postings.push((via, list));
+        }
+        NcxIndex::from_raw_postings(num_docs, postings)
+    }
+
+    /// Asserts the parallel `concept_doc_maps` equals the sequential one
+    /// for the given via posting-list lengths.
+    fn assert_grouping_equivalent(lens: &[usize], overlap: bool) {
+        let (kg, root, vias, pivot) = boundary_kg(lens.len().saturating_sub(1));
+        let index = boundary_index(&vias, lens, pivot, overlap);
+        let q = ConceptQuery::new([root]);
+        let seq_cfg = NcxConfig {
+            parallelism: Parallelism::sequential(),
+            max_member_fraction: 1.0,
+            ..NcxConfig::default()
+        };
+        let seq = concept_doc_maps(&index, &kg, &q, &seq_cfg, &Pool::new(1));
+        for width in [2, 3, 5] {
+            let par_cfg = NcxConfig {
+                parallelism: Parallelism::Fixed(width),
+                ..seq_cfg.clone()
+            };
+            let par = concept_doc_maps(&index, &kg, &q, &par_cfg, &pool());
+            assert_eq!(
+                seq, par,
+                "task grouping diverged for lens={lens:?} width={width} overlap={overlap}"
+            );
+        }
+    }
+
+    #[test]
+    fn task_grouping_boundary_cases() {
+        let t = TASK_MIN_POSTINGS;
+        // Lists landing exactly on the task boundary, just below, just
+        // above; empty posting lists interleaved; a single-via concept;
+        // and totals straddling PAR_MIN_POSTINGS.
+        for lens in [
+            vec![t],                    // single via, exactly one task quantum
+            vec![t, t],                 // two exact quanta
+            vec![t - 1, 1],             // boundary reached by the second list
+            vec![t - 1, 1, 0, 0],       // trailing empties after a flush
+            vec![0, 0, t, 0],           // leading/trailing empties
+            vec![t + 1, t - 1],         // overshoot then residual
+            vec![1; 9],                 // many tiny lists, all residual
+            vec![PAR_MIN_POSTINGS, 0],  // exactly on the parallel floor
+            vec![PAR_MIN_POSTINGS - 1], // just below the floor
+            vec![t, t - 1],             // flushed quantum + residual tail
+        ] {
+            assert_grouping_equivalent(&lens, false);
+            assert_grouping_equivalent(&lens, true);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// For arbitrary via counts and posting-list lengths biased to
+        /// the TASK_MIN_POSTINGS boundary, the parallel task fold equals
+        /// the sequential fold — so `total_postings` gating can never
+        /// diverge from the true result.
+        #[test]
+        fn task_grouping_matches_sequential_fold(
+            raw in prop::collection::vec((0usize..8, 0usize..2 * TASK_MIN_POSTINGS), 1..6),
+            overlap in 0usize..2,
+        ) {
+            // Snap half the draws onto the exact boundary values the
+            // grouping loop branches on.
+            let lens: Vec<usize> = raw
+                .into_iter()
+                .map(|(kind, free)| match kind {
+                    0 => 0,
+                    1 => 1,
+                    2 => TASK_MIN_POSTINGS - 1,
+                    3 => TASK_MIN_POSTINGS,
+                    4 => TASK_MIN_POSTINGS + 1,
+                    _ => free,
+                })
+                .collect();
+            assert_grouping_equivalent(&lens, overlap == 1);
+        }
     }
 }

@@ -201,7 +201,7 @@ mod tests {
             kg,
             &store,
             NcxConfig {
-                threads: 1,
+                parallelism: crate::config::Parallelism::sequential(),
                 samples: 50,
                 max_member_fraction: 1.0,
                 ..NcxConfig::default()
@@ -291,7 +291,7 @@ mod tests {
             kg,
             &DocumentStore::new(),
             NcxConfig {
-                threads: 1,
+                parallelism: crate::config::Parallelism::sequential(),
                 ..NcxConfig::default()
             },
         );

@@ -1,0 +1,110 @@
+//! Worker-pool stress: scheduling races, shutdown deadlocks, and
+//! cross-mode result stability under the conditions most likely to
+//! expose them — a pool much wider than the machine, many repeated
+//! small queries, concurrent callers, and rapid engine build/drop
+//! cycles.
+//!
+//! CI runs this suite in release with `NCX_POOL_STRESS_ITERS` raised
+//! (see `.github/workflows/ci.yml`); the default iteration count keeps
+//! the tier-1 debug run cheap.
+
+use ncexplorer::core::{NcExplorer, NcxConfig, Parallelism};
+use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+use std::sync::Arc;
+
+fn iters(default: usize) -> usize {
+    std::env::var("NCX_POOL_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn build_engine(articles: usize, width: usize) -> NcExplorer {
+    let kg = Arc::new(generate_kg(&KgGenConfig::default()));
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles,
+            ..CorpusConfig::default()
+        },
+    );
+    NcExplorer::build(
+        kg,
+        &corpus.store,
+        NcxConfig {
+            samples: 5,
+            parallelism: Parallelism::Fixed(width),
+            ..NcxConfig::default()
+        },
+    )
+}
+
+/// Many threads hammer small queries through one wide pool; every
+/// result must equal the sequential reference computed up front.
+#[test]
+fn concurrent_small_queries_match_sequential_reference() {
+    let mut engine = build_engine(150, 8);
+    let topics = ["Financial Crime", "Elections", "Bank"];
+
+    engine.set_parallelism(Parallelism::sequential());
+    let reference: Vec<_> = topics
+        .iter()
+        .map(|t| {
+            let q = engine.query(&[t]).unwrap();
+            (q.clone(), engine.rollup(&q, 20), engine.drilldown(&q, 10))
+        })
+        .collect();
+    engine.set_parallelism(Parallelism::Fixed(8));
+
+    let n = iters(25);
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let engine = &engine;
+            let reference = &reference;
+            scope.spawn(move || {
+                for i in 0..n {
+                    let (q, hits, subs) = &reference[(worker + i) % reference.len()];
+                    assert_eq!(&engine.rollup(q, 20), hits, "roll-up diverged");
+                    let got = engine.drilldown(q, 10);
+                    assert_eq!(got.len(), subs.len(), "drill-down diverged");
+                    for (a, b) in got.iter().zip(subs) {
+                        assert_eq!(a.concept, b.concept, "drill-down rank diverged");
+                        assert_eq!(a.matching_docs, b.matching_docs);
+                        assert_eq!(a.distinct_entities, b.distinct_entities);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Rapid build → query → drop cycles: every drop joins the pool's
+/// parked workers, so a shutdown deadlock hangs this test immediately.
+#[test]
+fn rapid_build_drop_cycles_shut_down_cleanly() {
+    for _ in 0..iters(8) {
+        let engine = build_engine(40, 8);
+        let q = engine.query(&["Financial Crime"]).unwrap();
+        assert!(!engine.rollup(&q, 5).is_empty());
+        drop(engine);
+    }
+}
+
+/// Flipping the execution width between queries must never change
+/// roll-up results or wedge the pool.
+#[test]
+fn runtime_width_switching_is_stable() {
+    let mut engine = build_engine(150, 8);
+    let q = engine.query(&["Financial Crime"]).unwrap();
+    engine.set_parallelism(Parallelism::sequential());
+    let reference = engine.rollup(&q, 20);
+    for i in 0..iters(25) {
+        let width = [1, 2, 8, 5][i % 4];
+        engine.set_parallelism(Parallelism::Fixed(width));
+        assert_eq!(
+            engine.rollup(&q, 20),
+            reference,
+            "width {width} diverged at iteration {i}"
+        );
+    }
+}

@@ -27,7 +27,7 @@ fn fixture(
 fn config() -> NcxConfig {
     NcxConfig {
         samples: 15,
-        threads: 1,
+        parallelism: ncexplorer::core::Parallelism::sequential(),
         ..NcxConfig::default()
     }
 }
