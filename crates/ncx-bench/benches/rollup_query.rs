@@ -42,7 +42,7 @@ fn bench_parallel_modes(c: &mut Criterion) {
     let fixture = Fixture::standard(4000, 42);
     let mut engine = NcExplorer::build(
         fixture.kg.clone(),
-        &fixture.corpus.store,
+        fixture.corpus.store.clone(),
         NcxConfig {
             samples: 25,
             ..NcxConfig::default()
@@ -55,7 +55,7 @@ fn bench_parallel_modes(c: &mut Criterion) {
         ("seq", Parallelism::sequential()),
         ("par", Parallelism::Auto),
     ] {
-        engine.set_parallelism(parallelism);
+        engine.set_parallelism(parallelism).unwrap();
         group.bench_with_input(BenchmarkId::new("rollup", label), &broad, |b, q| {
             b.iter(|| engine.rollup(q, 10));
         });
@@ -75,7 +75,7 @@ fn bench_small_queries(c: &mut Criterion) {
     let fixture = Fixture::standard(300, 42);
     let mut engine = NcExplorer::build(
         fixture.kg.clone(),
-        &fixture.corpus.store,
+        fixture.corpus.store.clone(),
         NcxConfig {
             samples: 25,
             parallelism: Parallelism::Fixed(4),
@@ -98,7 +98,7 @@ fn bench_small_queries(c: &mut Criterion) {
         ("seq", Parallelism::sequential()),
         ("par", Parallelism::Fixed(4)),
     ] {
-        engine.set_parallelism(parallelism);
+        engine.set_parallelism(parallelism).unwrap();
         group.bench_with_input(BenchmarkId::new("rollup", label), &q, |b, q| {
             b.iter(|| engine.rollup(q, 10));
         });

@@ -21,7 +21,7 @@ pub fn run(fixture: &Fixture, samples: u32) -> String {
     let build = |ablation: ScoreAblation| -> NcExplorer {
         NcExplorer::build(
             fixture.kg.clone(),
-            &fixture.corpus.store,
+            fixture.corpus.store.clone(),
             NcxConfig {
                 samples,
                 ablation,

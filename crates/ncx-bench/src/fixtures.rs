@@ -113,9 +113,11 @@ impl Engines {
             NewsLinkConfig::default(),
             TextEmbedder::new(EMBED_DIM),
         );
+        // NCExplorer owns its corpus; the fixture's store stays shared
+        // with the baselines, so the engine gets a clone.
         let ncx = NcExplorer::build(
             fixture.kg.clone(),
-            &fixture.corpus.store,
+            fixture.corpus.store.clone(),
             NcxConfig {
                 samples,
                 ..NcxConfig::default()

@@ -124,6 +124,12 @@ pub struct NcxConfig {
     pub drilldown_doc_cap: usize,
     /// Scoring-design ablation (default: the paper's full product).
     pub ablation: ScoreAblation,
+    /// Number of hash-partitioned concept-posting shards written by
+    /// [`NcExplorer::save`](crate::engine::NcExplorer::save). More shards
+    /// let a follow-up serving tier load partitions independently;
+    /// reading accepts whatever shard count the snapshot was written
+    /// with.
+    pub snapshot_shards: u32,
 }
 
 impl Default for NcxConfig {
@@ -142,6 +148,7 @@ impl Default for NcxConfig {
             edge_concept_fallback: true,
             drilldown_doc_cap: 2000,
             ablation: ScoreAblation::default(),
+            snapshot_shards: 8,
         }
     }
 }
@@ -167,6 +174,9 @@ impl NcxConfig {
         }
         if self.oracle_shards == 0 {
             return Err("oracle_shards must be at least 1".into());
+        }
+        if self.snapshot_shards == 0 {
+            return Err("snapshot_shards must be at least 1".into());
         }
         Ok(())
     }
@@ -215,6 +225,11 @@ mod tests {
             ..NcxConfig::default()
         };
         assert!(bad_shards.validate().is_err());
+        let bad_snapshot_shards = NcxConfig {
+            snapshot_shards: 0,
+            ..NcxConfig::default()
+        };
+        assert!(bad_snapshot_shards.validate().is_err());
     }
 
     #[test]

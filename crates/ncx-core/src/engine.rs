@@ -10,15 +10,18 @@ use crate::drilldown::{self, SbrFactors, Subtopic};
 use crate::explain::{self, Explanation};
 use crate::indexer::{IndexTiming, Indexer, NcxIndex};
 use crate::par::Pool;
+use crate::persist;
 use crate::query::ConceptQuery;
 use crate::relevance::WalkStats;
 use crate::rollup::{self, ConceptMatch, RollupHit};
-use ncx_index::DocumentStore;
+use ncx_index::{DocumentStore, NewsArticle, NewsSource};
 use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
 use ncx_reach::{OracleStats, TargetDistanceOracle};
+use ncx_store::StoreError;
 use ncx_text::{GazetteerLinker, NlpPipeline};
 use rustc_hash::FxHashMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Point-in-time diagnostic counters of a running engine: aggregate
@@ -69,19 +72,28 @@ impl fmt::Display for EngineDiagnostics {
 /// roll-up/drill-down/relaxation sweeps at query time. The pool is
 /// sized once from [`NcxConfig::parallelism`]; its workers stay parked
 /// between parallel regions and are joined when the engine drops.
+///
+/// The engine also owns its corpus: [`build`](Self::build) takes the
+/// [`DocumentStore`] by value, [`ingest`](Self::ingest) appends to it,
+/// and [`save`](Self::save)/[`open`](Self::open) persist and restore
+/// index **and** articles together, so a snapshot is always
+/// self-consistent.
 pub struct NcExplorer {
     kg: Arc<KnowledgeGraph>,
     nlp: NlpPipeline,
     config: NcxConfig,
     index: NcxIndex,
+    store: DocumentStore,
     oracle: Arc<TargetDistanceOracle>,
     pool: Arc<Pool>,
 }
 
 impl NcExplorer {
     /// Builds the engine: constructs the gazetteer linker from the KG and
-    /// indexes the whole corpus.
-    pub fn build(kg: Arc<KnowledgeGraph>, store: &DocumentStore, config: NcxConfig) -> Self {
+    /// indexes the whole corpus. The engine takes ownership of the store
+    /// (retrieve articles through [`store`](Self::store) /
+    /// [`document`](Self::document) afterwards).
+    pub fn build(kg: Arc<KnowledgeGraph>, store: DocumentStore, config: NcxConfig) -> Self {
         config.validate().expect("invalid NcxConfig");
         let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
         Self::assemble(kg, nlp, store, config)
@@ -91,7 +103,7 @@ impl NcExplorer {
     pub fn build_with_pipeline(
         kg: Arc<KnowledgeGraph>,
         nlp: NlpPipeline,
-        store: &DocumentStore,
+        store: DocumentStore,
         config: NcxConfig,
     ) -> Self {
         config.validate().expect("invalid NcxConfig");
@@ -101,21 +113,76 @@ impl NcExplorer {
     fn assemble(
         kg: Arc<KnowledgeGraph>,
         nlp: NlpPipeline,
-        store: &DocumentStore,
+        store: DocumentStore,
         config: NcxConfig,
     ) -> Self {
         let pool = Arc::new(Pool::new(config.parallelism.workers()));
         let indexer = Indexer::with_pool(&kg, &nlp, config.clone(), pool.clone());
         let oracle = indexer.oracle();
-        let index = indexer.index_corpus(store);
+        let index = indexer.index_corpus(&store);
         Self {
             kg,
             nlp,
             config,
             index,
+            store,
             oracle,
             pool,
         }
+    }
+
+    /// Persists the built index and its corpus as an `ncx-store`
+    /// snapshot directory: a manifest plus checksummed segments, with
+    /// concept postings hash-partitioned into
+    /// [`NcxConfig::snapshot_shards`] shards. A later
+    /// [`open`](Self::open) serves queries without re-running the
+    /// two-pass build.
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), StoreError> {
+        persist::save_snapshot(
+            dir.as_ref(),
+            &self.kg,
+            &self.index,
+            &self.store,
+            self.config.snapshot_shards,
+        )
+    }
+
+    /// Cold-opens a snapshot written by [`save`](Self::save): verifies
+    /// the manifest (format version, checksums, knowledge-graph
+    /// fingerprint), reloads index and corpus, and assembles a serving
+    /// engine — no entity linking, no relevance scoring.
+    ///
+    /// `kg` must be the same graph the snapshot was built against
+    /// (checked; [`StoreError::Incompatible`] otherwise). `config`
+    /// supplies the **runtime** knobs (parallelism, caps, oracle cache);
+    /// the scoring parameters that shaped the stored cdr scores (τ, β,
+    /// samples, seed) are baked into the snapshot and only affect
+    /// articles ingested *after* the open.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        kg: Arc<KnowledgeGraph>,
+        config: NcxConfig,
+    ) -> Result<Self, StoreError> {
+        config
+            .validate()
+            .map_err(|detail| StoreError::Incompatible { detail })?;
+        let (index, store) = persist::open_snapshot(dir.as_ref(), &kg)?;
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let pool = Arc::new(Pool::new(config.parallelism.workers()));
+        let oracle = Arc::new(TargetDistanceOracle::with_shards(
+            config.tau,
+            config.oracle_cache,
+            config.oracle_shards,
+        ));
+        Ok(Self {
+            kg,
+            nlp,
+            config,
+            index,
+            store,
+            oracle,
+            pool,
+        })
     }
 
     /// The knowledge graph.
@@ -131,6 +198,17 @@ impl NcExplorer {
     /// The built index (postings, timings).
     pub fn index(&self) -> &NcxIndex {
         &self.index
+    }
+
+    /// The engine-owned article store (grows with
+    /// [`ingest`](Self::ingest)).
+    pub fn store(&self) -> &DocumentStore {
+        &self.store
+    }
+
+    /// Fetches one article by the id a roll-up hit reported.
+    pub fn document(&self, doc: DocId) -> &NewsArticle {
+        self.store.get(doc)
     }
 
     /// The NLP pipeline.
@@ -154,25 +232,75 @@ impl NcExplorer {
     }
 
     /// Reconfigures the query-time execution width on the existing pool.
-    /// `Parallelism::sequential()` pins roll-up/drill-down to the
-    /// sequential reference path; widths above the pool's build-time
-    /// width are capped to it (the pool is sized once at construction).
-    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+    ///
+    /// The pool is sized once at construction, so an explicit
+    /// `Fixed(n)` wider than the pool cannot be honoured and is
+    /// **rejected** (formerly it was silently capped — callers sizing
+    /// for throughput deserve to know the width they asked for does not
+    /// exist). `Parallelism::Auto` means "whatever is available" by
+    /// definition, so it is accepted and documented to clamp to the pool
+    /// width at execution time. `Parallelism::sequential()` pins
+    /// roll-up/drill-down to the sequential reference path.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) -> Result<(), String> {
+        if let Parallelism::Fixed(n) = parallelism {
+            if n == 0 {
+                return Err("parallelism must be Fixed(n ≥ 1) or Auto".into());
+            }
+            if n > self.pool.width() {
+                return Err(format!(
+                    "requested execution width {n} exceeds the pool's build-time \
+                     width {} (the pool is sized once at engine construction; \
+                     rebuild with a wider NcxConfig::parallelism, or pass \
+                     Parallelism::Auto to use every pooled worker)",
+                    self.pool.width()
+                ));
+            }
+        }
         self.config.parallelism = parallelism;
+        Ok(())
     }
 
     /// Ingests one article from the stream (Fig. 3): links its entities,
-    /// scores its candidate concepts, and extends the index in place. The
-    /// returned [`DocId`] is valid for subsequent roll-up results.
+    /// scores its candidate concepts, extends the index in place, and
+    /// records the text in the engine-owned store (so a subsequent
+    /// [`save`](Self::save) captures it). The returned [`DocId`] is
+    /// valid for subsequent roll-up results.
+    ///
+    /// Plain-text ingestion is attributed to the wire-service default
+    /// ([`NewsSource::Reuters`]) with an empty title; use
+    /// [`ingest_article`](Self::ingest_article) to keep real metadata.
     pub fn ingest(&mut self, text: &str) -> DocId {
-        crate::indexer::ingest_document(
+        let published = self.store.len() as u32;
+        self.ingest_article(
+            NewsSource::Reuters,
+            String::new(),
+            text.to_string(),
+            published,
+        )
+    }
+
+    /// Ingests one article with full metadata. Indexes exactly the text
+    /// a batch build would see for the same article
+    /// ([`NewsArticle::full_text`]).
+    pub fn ingest_article(
+        &mut self,
+        source: NewsSource,
+        title: String,
+        body: String,
+        published: u32,
+    ) -> DocId {
+        let stored = self.store.add(source, title, body, published);
+        let text = self.store.get(stored).full_text();
+        let doc = crate::indexer::ingest_document(
             &self.kg,
             &self.nlp,
             &self.config,
             self.oracle.clone(),
             &mut self.index,
-            text,
-        )
+            &text,
+        );
+        debug_assert_eq!(doc, stored, "store and index doc ids must stay aligned");
+        doc
     }
 
     /// Parses a concept pattern query from labels.
@@ -312,7 +440,7 @@ mod tests {
         );
         NcExplorer::build(
             kg,
-            &store,
+            store,
             NcxConfig {
                 parallelism: Parallelism::Fixed(2),
                 samples: 200,
@@ -418,9 +546,96 @@ mod tests {
         // results.
         let q = eng.query(&["Financial Crime"]).unwrap();
         let before = eng.rollup(&q, 5);
-        eng.set_parallelism(crate::config::Parallelism::Fixed(4));
+        eng.set_parallelism(crate::config::Parallelism::Fixed(2))
+            .unwrap();
         assert_eq!(eng.rollup(&q, 5), before);
-        eng.set_parallelism(crate::config::Parallelism::sequential());
+        eng.set_parallelism(crate::config::Parallelism::sequential())
+            .unwrap();
         assert_eq!(eng.rollup(&q, 5), before);
+    }
+
+    #[test]
+    fn set_parallelism_rejects_widths_beyond_the_pool() {
+        // Regression: widths above the build-time pool width used to be
+        // silently capped; they must now be an explicit error.
+        let mut eng = build_engine(); // pool width 2
+        assert_eq!(eng.pool().width(), 2);
+        let err = eng
+            .set_parallelism(crate::config::Parallelism::Fixed(4))
+            .unwrap_err();
+        assert!(err.contains("width 4") && err.contains("2"), "{err}");
+        assert!(eng
+            .set_parallelism(crate::config::Parallelism::Fixed(0))
+            .is_err());
+        // The rejected call must not have changed the configuration.
+        assert_eq!(
+            eng.config().parallelism,
+            crate::config::Parallelism::Fixed(2)
+        );
+        // Auto is the documented clamp-to-pool escape hatch, and widths
+        // within the pool are accepted.
+        eng.set_parallelism(crate::config::Parallelism::Auto)
+            .unwrap();
+        eng.set_parallelism(crate::config::Parallelism::Fixed(2))
+            .unwrap();
+        eng.set_parallelism(crate::config::Parallelism::sequential())
+            .unwrap();
+    }
+
+    #[test]
+    fn engine_owns_and_extends_its_store() {
+        let mut eng = build_engine();
+        assert_eq!(eng.store().len(), 3);
+        assert_eq!(eng.document(DocId::new(0)).title, "FTX collapse");
+        let doc = eng.ingest_article(
+            NewsSource::Nyt,
+            "Kraken probed".into(),
+            "The SEC sued Kraken over fraud claims.".into(),
+            9,
+        );
+        assert_eq!(eng.store().len(), 4);
+        assert_eq!(eng.index().num_docs(), 4);
+        let a = eng.document(doc);
+        assert_eq!(a.source, NewsSource::Nyt);
+        assert_eq!(a.title, "Kraken probed");
+        assert_eq!(a.published, 9);
+    }
+
+    #[test]
+    fn save_open_roundtrip_serves_identical_results() {
+        let eng = build_engine();
+        let q = eng.query(&["Bitcoin Exchange", "Financial Crime"]).unwrap();
+        let hits = eng.rollup(&q, 10);
+        let subs = eng.drilldown(&q, 10);
+
+        let dir = std::env::temp_dir().join(format!("ncx_engine_snapshot_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        eng.save(&dir).unwrap();
+
+        let cold = NcExplorer::open(&dir, eng.kg.clone(), eng.config().clone()).unwrap();
+        let cq = cold
+            .query(&["Bitcoin Exchange", "Financial Crime"])
+            .unwrap();
+        assert_eq!(cold.rollup(&cq, 10), hits, "cold-open roll-up diverged");
+        assert_eq!(
+            cold.drilldown(&cq, 10),
+            subs,
+            "cold-open drill-down diverged"
+        );
+        assert_eq!(cold.store().len(), eng.store().len());
+        assert_eq!(cold.document(DocId::new(1)).title, "Binance under scrutiny");
+        // Diagnostics survive: the stored walk counters come back.
+        assert_eq!(cold.index().walk_stats.walks, eng.index().walk_stats.walks);
+        assert_eq!(cold.index().timing.docs, 3);
+
+        // A different KG is refused before any segment decoding.
+        let mut b = GraphBuilder::new();
+        b.concept("Unrelated");
+        let other = Arc::new(b.build());
+        assert!(matches!(
+            NcExplorer::open(&dir, other, NcxConfig::default()),
+            Err(ncx_store::StoreError::Incompatible { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -14,7 +14,7 @@
 //! ```
 
 use crate::indexer::NcxIndex;
-use ncx_index::DocumentStore;
+use ncx_index::{DocumentStore, NewsSource};
 use ncx_kg::{DocId, KnowledgeGraph};
 use std::io::{self, Write};
 
@@ -94,8 +94,10 @@ pub fn export_annotated_corpus(
 pub struct ExportRecord {
     /// Document id.
     pub doc: DocId,
-    /// Source name.
-    pub source: String,
+    /// Originating portal, parsed back into the typed enum (unknown
+    /// source names are a parse error — the format only ever emits
+    /// [`NewsSource::name`] values).
+    pub source: NewsSource,
     /// Title.
     pub title: String,
     /// `(entity label, mention count)` annotations.
@@ -160,9 +162,11 @@ pub fn parse_export(text: &str) -> Result<Vec<ExportRecord>, String> {
                     .map_err(|e| e.to_string())
             })
             .collect::<Result<Vec<_>, _>>()?;
+        let source = NewsSource::from_name(fields[1])
+            .ok_or_else(|| format!("line {}: unknown source {:?}", lineno + 2, fields[1]))?;
         out.push(ExportRecord {
             doc,
-            source: fields[1].to_string(),
+            source,
             title: unescape(fields[2]),
             entities,
             concepts,
@@ -243,7 +247,7 @@ mod tests {
 
         let r0 = &records[0];
         assert_eq!(r0.doc, DocId::new(0));
-        assert_eq!(r0.source, "reuters");
+        assert_eq!(r0.source, NewsSource::Reuters);
         assert_eq!(r0.title, "FTX fraud; a title: with separators\tand tabs");
         // entities: FTX appears in title+body (×2), fraud ×3.
         let get = |name: &str| r0.entities.iter().find(|(l, _)| l == name).map(|&(_, c)| c);
@@ -272,11 +276,62 @@ mod tests {
         }
     }
 
+    /// Adversarial titles must survive the full export → parse pipeline,
+    /// not just the raw escape functions: sequences that *look like*
+    /// escapes (`\t` spelled as backslash-t), trailing backslashes,
+    /// carriage returns, and every separator the format itself uses.
+    #[test]
+    fn adversarial_titles_roundtrip_through_export() {
+        let adversarial = [
+            "newline\nin title",
+            "CRLF\r\nin title",
+            "trailing backslash \\",
+            "literal \\t backslash-t (not a tab)",
+            "double \\\\ backslash",
+            "tab\tsemi;colon:mix\\;\\:",
+            ";starts with separator",
+            ":\t\n\\", // every special in a row
+            "",
+        ];
+        let mut b = GraphBuilder::new();
+        b.concept("Unused");
+        let kg = b.build();
+        let mut store = DocumentStore::new();
+        for (i, title) in adversarial.iter().enumerate() {
+            store.add(NewsSource::ALL[i % 3], (*title).into(), "body".into(), 0);
+        }
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let index = Indexer::new(
+            &kg,
+            &nlp,
+            NcxConfig {
+                parallelism: crate::config::Parallelism::sequential(),
+                ..NcxConfig::default()
+            },
+        )
+        .index_corpus(&store);
+        let mut buf = Vec::new();
+        export_annotated_corpus(&kg, &store, &index, &mut buf).unwrap();
+        let records = parse_export(&String::from_utf8(buf).unwrap()).unwrap();
+        assert_eq!(records.len(), adversarial.len());
+        for (i, (record, title)) in records.iter().zip(&adversarial).enumerate() {
+            assert_eq!(record.doc, DocId::from_index(i));
+            assert_eq!(&record.title, title, "title {i} mangled");
+            assert_eq!(record.source, NewsSource::ALL[i % 3]);
+        }
+    }
+
     #[test]
     fn parse_rejects_garbage() {
         assert!(parse_export("no header\n").is_err());
         assert!(parse_export("#ncx-annotated-corpus v1\nbad line").is_err());
         assert!(parse_export("#ncx-annotated-corpus v1\nx\ta\tb\tc\td").is_err());
+        // Unknown sources are refused, not passed through as strings.
+        let err = parse_export("#ncx-annotated-corpus v1\n0\tbloomberg\tt\t\t\n").unwrap_err();
+        assert!(err.contains("bloomberg"), "{err}");
+        // A raw tab smuggled into a field shifts the field count and
+        // must fail loudly rather than mis-assign columns.
+        assert!(parse_export("#ncx-annotated-corpus v1\n0\treuters\ta\tb\tc\td\n").is_err());
     }
 
     #[test]
@@ -288,5 +343,42 @@ mod tests {
         export_annotated_corpus(&kg, &empty_store, &empty_index, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(parse_export(&text).unwrap().len(), 0);
+    }
+
+    mod props {
+        use super::super::{escape, split_unescaped, unescape};
+        use proptest::prelude::*;
+
+        proptest! {
+            /// escape/unescape is the identity for arbitrary strings
+            /// drawn over the separator-heavy alphabet, and the escaped
+            /// form never leaks an unescaped separator.
+            #[test]
+            fn escape_is_injective_and_clean(s in "[a-z\\\\;: \t\n\r]{0,40}") {
+                let escaped = escape(&s);
+                prop_assert_eq!(unescape(&escaped), s);
+                prop_assert!(!escaped.contains('\t'));
+                prop_assert!(!escaped.contains('\n'));
+                prop_assert!(!escaped.contains('\r'));
+            }
+
+            /// Splitting an escaped join recovers the original items —
+            /// the invariant the annotation lists rely on.
+            #[test]
+            fn split_inverts_escaped_join(
+                items in prop::collection::vec("[a-z;:\\\\]{0,12}", 1..6),
+            ) {
+                let joined = items
+                    .iter()
+                    .map(|s| escape(s))
+                    .collect::<Vec<_>>()
+                    .join(";");
+                let split: Vec<String> = split_unescaped(&joined, ';')
+                    .into_iter()
+                    .map(|p| unescape(&p))
+                    .collect();
+                prop_assert_eq!(split, items);
+            }
+        }
     }
 }

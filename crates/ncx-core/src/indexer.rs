@@ -130,6 +130,27 @@ impl NcxIndex {
     pub fn indexed_concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
         self.concept_postings.keys().copied()
     }
+
+    /// Assembles an index from snapshot-decoded parts (the cold-open
+    /// path in [`crate::persist`]). The caller guarantees the structural
+    /// invariants the builder normally establishes: posting lists sorted
+    /// by doc id, per-doc concept lists sorted by concept id, and the
+    /// two views describing the same ⟨c, d⟩ set.
+    pub(crate) fn from_parts(
+        entity_index: EntityIndex,
+        concept_postings: FxHashMap<ConceptId, Vec<ConceptPosting>>,
+        doc_concepts: Vec<Vec<(ConceptId, f64)>>,
+        timing: IndexTiming,
+        walk_stats: WalkStats,
+    ) -> Self {
+        Self {
+            entity_index,
+            concept_postings,
+            doc_concepts,
+            timing,
+            walk_stats,
+        }
+    }
 }
 
 #[cfg(test)]

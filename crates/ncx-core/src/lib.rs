@@ -20,6 +20,8 @@
 //! * [`drilldown`] — Definition 2: top-K subtopics by
 //!   `sbr = coverage · specificity · diversity`;
 //! * [`explain`] — per-result explanations (pivot entities, witness paths);
+//! * [`persist`] — the `ncx-store` snapshot bridge: save a built index,
+//!   cold-open it and serve without rebuilding;
 //! * [`engine`] — the [`engine::NcExplorer`] facade tying it together.
 
 pub mod config;
@@ -29,6 +31,7 @@ pub mod explain;
 pub mod export;
 pub mod indexer;
 pub mod par;
+pub mod persist;
 pub mod query;
 pub mod relax;
 pub mod relevance;

@@ -1,0 +1,590 @@
+//! Snapshot save/open for a built [`NcxIndex`] — the cold-open path.
+//!
+//! Layout (see `ncx-store` for the container format):
+//!
+//! * **`concepts-NNN.seg`** ([`SEGMENT_KIND_CONCEPTS`]) — the ⟨c, d⟩
+//!   inverted index, **hash-partitioned by concept id** into
+//!   [`NcxConfig::snapshot_shards`](crate::config::NcxConfig) shards via
+//!   [`ncx_store::shard_of`], so a later PR can load or serve shards
+//!   independently. Within a shard, concepts are sorted ascending and
+//!   each posting list stores delta-varint doc ids with fixed-width
+//!   `f64` score bits (`cdr`, `cdro`, `cdrc`) and the pivot entity —
+//!   bit-exact round-trips are a format invariant.
+//! * **`doclists.seg`** ([`SEGMENT_KIND_DOCLISTS`]) — per-document
+//!   `(concept, cdr)` lists (the drill-down sweep input), delta-encoded
+//!   on concept id.
+//! * **`entities.seg`** / **`docstore.seg`** — encoded by
+//!   [`ncx_index::persist`].
+//!
+//! The manifest records corpus stats, the build timing/walk counters
+//! (so [`diagnostics`](crate::engine::NcExplorer::diagnostics) survive a
+//! cold open), and a **knowledge-graph fingerprint** (node/edge/
+//! membership counts). Opening under a different KG than the index was
+//! built against is refused with [`StoreError::Incompatible`]: concept
+//! and entity ids are meaningless outside their graph.
+//!
+//! Reads decode through [`ShardCursor`], a zero-copy streaming reader
+//! over a shard's byte buffer — no per-posting allocation, ready for an
+//! `mmap`-backed buffer when a real `memmap2` is available.
+
+use crate::indexer::{ConceptPosting, IndexTiming, NcxIndex};
+use crate::relevance::WalkStats;
+use ncx_index::persist::{read_docstore, read_entity_index, write_docstore, write_entity_index};
+use ncx_index::DocumentStore;
+use ncx_kg::{ConceptId, DocId, InstanceId, KnowledgeGraph};
+use ncx_store::{shard_of, SegView, Segment, SegmentWriter, Snapshot, SnapshotWriter, StoreError};
+use rustc_hash::FxHashMap;
+use std::path::Path;
+use std::time::Duration;
+
+/// Segment kind tag of concept-posting shards.
+pub const SEGMENT_KIND_CONCEPTS: u16 = 1;
+/// Segment kind tag of the per-document concept-list segment.
+pub const SEGMENT_KIND_DOCLISTS: u16 = 2;
+
+/// File name of the per-document concept-list segment.
+pub const DOCLISTS_FILE: &str = "doclists.seg";
+/// File name of the entity-index segment.
+pub const ENTITIES_FILE: &str = "entities.seg";
+/// File name of the document-store segment.
+pub const DOCSTORE_FILE: &str = "docstore.seg";
+
+// Minimum encoded sizes, used to bound declared counts by the bytes
+// actually present: a count that could not possibly fit in the
+// remaining payload is corruption, refused *before* any allocation —
+// a crafted snapshot must not be able to request absurd capacity.
+/// Concept header: u32 id + ≥1-byte posting-count varint.
+const MIN_CONCEPT_BYTES: u64 = 5;
+/// Posting: ≥1-byte doc delta + 3 × f64 + u32 pivot.
+const MIN_POSTING_BYTES: u64 = 29;
+/// Doc-list item: ≥1-byte concept delta + f64 cdr.
+const MIN_DOCLIST_ITEM_BYTES: u64 = 9;
+
+/// File name of concept-posting shard `i`.
+pub fn shard_file(i: u32) -> String {
+    format!("concepts-{i:03}.seg")
+}
+
+/// Writes a complete snapshot of a built index (plus its corpus) into
+/// `dir`. The manifest is written last, so an interrupted save never
+/// leaves an openable directory.
+pub fn save_snapshot(
+    dir: &Path,
+    kg: &KnowledgeGraph,
+    index: &NcxIndex,
+    store: &DocumentStore,
+    shards: u32,
+) -> Result<(), StoreError> {
+    let shards = shards.max(1);
+    let mut writer = SnapshotWriter::create(dir, shards)?;
+
+    // ---- concept shards: hash-partitioned, canonical order ----
+    let mut by_shard: Vec<Vec<ConceptId>> = vec![Vec::new(); shards as usize];
+    for c in index.indexed_concepts() {
+        by_shard[shard_of(u64::from(c.raw()), shards) as usize].push(c);
+    }
+    for (i, concepts) in by_shard.iter_mut().enumerate() {
+        concepts.sort_unstable();
+        let mut seg = SegmentWriter::new(SEGMENT_KIND_CONCEPTS);
+        seg.put_varint(concepts.len() as u64);
+        for &c in concepts.iter() {
+            let postings = index.postings(c);
+            seg.put_u32(c.raw());
+            seg.put_varint(postings.len() as u64);
+            let mut prev = 0u32;
+            for p in postings {
+                // Lists are sorted by doc id; deltas are non-negative.
+                seg.put_varint(u64::from(p.doc.raw() - prev));
+                seg.put_f64(p.cdr);
+                seg.put_f64(p.cdro);
+                seg.put_f64(p.cdrc);
+                seg.put_u32(p.pivot.raw());
+                prev = p.doc.raw();
+            }
+        }
+        writer.write_segment(&shard_file(i as u32), seg)?;
+    }
+
+    // ---- per-document concept lists ----
+    let mut seg = SegmentWriter::new(SEGMENT_KIND_DOCLISTS);
+    seg.put_varint(index.num_docs() as u64);
+    for i in 0..index.num_docs() {
+        let list = index.concepts_of_doc(DocId::from_index(i));
+        seg.put_varint(list.len() as u64);
+        let mut prev = 0u32;
+        for &(c, cdr) in list {
+            seg.put_varint(u64::from(c.raw() - prev));
+            seg.put_f64(cdr);
+            prev = c.raw();
+        }
+    }
+    writer.write_segment(DOCLISTS_FILE, seg)?;
+
+    // ---- entity index and document store ----
+    writer.write_segment(ENTITIES_FILE, write_entity_index(&index.entity_index))?;
+    writer.write_segment(DOCSTORE_FILE, write_docstore(store))?;
+
+    // ---- stats: corpus, KG fingerprint, diagnostics ----
+    writer.set_stat("num_docs", index.num_docs() as u64);
+    writer.set_stat("num_postings", index.num_postings() as u64);
+    writer.set_stat("num_indexed_concepts", index.num_indexed_concepts() as u64);
+    writer.set_stat("num_entities", index.entity_index.num_entities() as u64);
+    writer.set_stat("kg_concepts", kg.num_concepts() as u64);
+    writer.set_stat("kg_instances", kg.num_instances() as u64);
+    writer.set_stat("kg_memberships", kg.num_memberships() as u64);
+    writer.set_stat("walks", index.walk_stats.walks);
+    writer.set_stat("walk_hits", index.walk_stats.hits);
+    writer.set_stat("walk_dead_ends", index.walk_stats.dead_ends);
+    writer.set_stat(
+        "timing_linking_nanos",
+        index.timing.entity_linking.as_nanos() as u64,
+    );
+    writer.set_stat(
+        "timing_scoring_nanos",
+        index.timing.relevance_scoring.as_nanos() as u64,
+    );
+    writer.set_stat(
+        "timing_wall_nanos",
+        index.timing.total_wall.as_nanos() as u64,
+    );
+    writer.finish()?;
+    Ok(())
+}
+
+/// Opens a snapshot directory and reassembles the index and corpus.
+/// `kg` must be the graph the snapshot was built against (checked via
+/// the manifest fingerprint).
+pub fn open_snapshot(
+    dir: &Path,
+    kg: &KnowledgeGraph,
+) -> Result<(NcxIndex, DocumentStore), StoreError> {
+    let snapshot = Snapshot::open(dir)?;
+    let manifest = snapshot.manifest();
+
+    // KG fingerprint gate, before any segment is decoded.
+    let fingerprint = [
+        ("kg_concepts", kg.num_concepts() as u64),
+        ("kg_instances", kg.num_instances() as u64),
+        ("kg_memberships", kg.num_memberships() as u64),
+    ];
+    for (key, actual) in fingerprint {
+        match manifest.stat(key) {
+            Some(recorded) if recorded == actual => {}
+            Some(recorded) => {
+                return Err(StoreError::Incompatible {
+                    detail: format!(
+                        "snapshot was built against a different knowledge graph \
+                         ({key}: snapshot {recorded}, runtime {actual})"
+                    ),
+                });
+            }
+            None => {
+                return Err(StoreError::corrupt(
+                    ncx_store::MANIFEST_NAME,
+                    format!("missing stat {key}"),
+                ));
+            }
+        }
+    }
+
+    let num_docs = manifest
+        .stat("num_docs")
+        .ok_or_else(|| StoreError::corrupt(ncx_store::MANIFEST_NAME, "missing stat num_docs"))?
+        as usize;
+
+    // ---- concept shards ----
+    let mut concept_postings: FxHashMap<ConceptId, Vec<ConceptPosting>> = FxHashMap::default();
+    let mut total_postings = 0u64;
+    for i in 0..manifest.shards {
+        let segment = snapshot.read_segment(&shard_file(i))?;
+        let mut cursor = ShardCursor::new(&segment)?;
+        while let Some((concept, count)) = cursor.next_concept()? {
+            if shard_of(u64::from(concept.raw()), manifest.shards) != i {
+                return Err(StoreError::corrupt(
+                    segment.name(),
+                    format!("concept {} does not belong to shard {i}", concept.raw()),
+                ));
+            }
+            let mut list = Vec::with_capacity(count);
+            while let Some(posting) = cursor.next_posting()? {
+                if posting.doc.index() >= num_docs {
+                    return Err(StoreError::corrupt(
+                        segment.name(),
+                        format!("doc id {} out of range", posting.doc.raw()),
+                    ));
+                }
+                list.push(posting);
+            }
+            total_postings += list.len() as u64;
+            if concept_postings.insert(concept, list).is_some() {
+                return Err(StoreError::corrupt(
+                    segment.name(),
+                    format!("concept {} appears twice", concept.raw()),
+                ));
+            }
+        }
+        cursor.finish()?;
+    }
+    if Some(total_postings) != manifest.stat("num_postings") {
+        return Err(StoreError::corrupt(
+            ncx_store::MANIFEST_NAME,
+            format!(
+                "shards hold {total_postings} postings, manifest says {:?}",
+                manifest.stat("num_postings")
+            ),
+        ));
+    }
+
+    // ---- per-document concept lists ----
+    let segment = snapshot.read_segment(DOCLISTS_FILE)?;
+    let doc_concepts = read_doclists(&segment, num_docs)?;
+
+    // ---- entity index and document store ----
+    let segment = snapshot.read_segment(ENTITIES_FILE)?;
+    let entity_index = read_entity_index(&segment)?;
+    let segment = snapshot.read_segment(DOCSTORE_FILE)?;
+    let store = read_docstore(&segment)?;
+
+    // Cross-segment consistency: every view must agree on corpus size.
+    for (what, n) in [
+        ("doclists.seg documents", doc_concepts.len()),
+        ("entities.seg documents", entity_index.num_docs()),
+        ("docstore.seg documents", store.len()),
+    ] {
+        if n != num_docs {
+            return Err(StoreError::Incompatible {
+                detail: format!("{what}: {n}, manifest num_docs: {num_docs}"),
+            });
+        }
+    }
+
+    let timing = IndexTiming {
+        entity_linking: stat_duration(manifest, "timing_linking_nanos"),
+        relevance_scoring: stat_duration(manifest, "timing_scoring_nanos"),
+        total_wall: stat_duration(manifest, "timing_wall_nanos"),
+        docs: num_docs,
+    };
+    let walk_stats = WalkStats {
+        walks: manifest.stat("walks").unwrap_or(0),
+        hits: manifest.stat("walk_hits").unwrap_or(0),
+        dead_ends: manifest.stat("walk_dead_ends").unwrap_or(0),
+    };
+    let index = NcxIndex::from_parts(
+        entity_index,
+        concept_postings,
+        doc_concepts,
+        timing,
+        walk_stats,
+    );
+    Ok((index, store))
+}
+
+fn stat_duration(manifest: &ncx_store::Manifest, key: &str) -> Duration {
+    Duration::from_nanos(manifest.stat(key).unwrap_or(0))
+}
+
+fn read_doclists(
+    segment: &Segment,
+    num_docs: usize,
+) -> Result<Vec<Vec<(ConceptId, f64)>>, StoreError> {
+    if segment.kind() != SEGMENT_KIND_DOCLISTS {
+        return Err(StoreError::corrupt(
+            segment.name(),
+            format!("expected doclists kind, found {}", segment.kind()),
+        ));
+    }
+    let mut v = segment.view();
+    // Each document contributes at least its 1-byte count varint.
+    let n = v.get_count(v.remaining() as u64)?;
+    if n != num_docs {
+        // Caught again by the cross-segment check, but failing here keeps
+        // the error anchored to the offending file.
+        return Err(StoreError::corrupt(
+            segment.name(),
+            format!("segment holds {n} documents, manifest says {num_docs}"),
+        ));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = v.get_count(v.remaining() as u64 / MIN_DOCLIST_ITEM_BYTES)?;
+        let mut list = Vec::with_capacity(m);
+        let mut prev = 0u32;
+        for j in 0..m {
+            let delta = v.get_varint()?;
+            let raw = u32::try_from(u64::from(prev) + delta).map_err(|_| {
+                StoreError::corrupt(segment.name(), "concept id delta overflows u32")
+            })?;
+            if j > 0 && delta == 0 {
+                return Err(StoreError::corrupt(
+                    segment.name(),
+                    "duplicate concept in a document list",
+                ));
+            }
+            let cdr = v.get_f64()?;
+            list.push((ConceptId::new(raw), cdr));
+            prev = raw;
+        }
+        out.push(list);
+    }
+    v.finish()?;
+    Ok(out)
+}
+
+/// Zero-copy streaming reader over one concept-posting shard: decodes
+/// `(concept, postings…)` straight out of the segment's byte slice with
+/// no per-posting allocation. Skipping a concept's remaining postings is
+/// handled transparently by the next [`next_concept`](Self::next_concept)
+/// call, so partial consumers (e.g. a single-concept lookup) stay
+/// correct.
+pub struct ShardCursor<'a> {
+    view: SegView<'a>,
+    file: String,
+    concepts_left: usize,
+    postings_left: usize,
+    prev_doc: u32,
+    first_in_list: bool,
+}
+
+impl<'a> ShardCursor<'a> {
+    /// Starts decoding a shard segment.
+    pub fn new(segment: &'a Segment) -> Result<Self, StoreError> {
+        if segment.kind() != SEGMENT_KIND_CONCEPTS {
+            return Err(StoreError::corrupt(
+                segment.name(),
+                format!("expected concept-shard kind, found {}", segment.kind()),
+            ));
+        }
+        let mut view = segment.view();
+        let concepts_left = view.get_count(view.remaining() as u64 / MIN_CONCEPT_BYTES)?;
+        Ok(Self {
+            view,
+            file: segment.name().to_string(),
+            concepts_left,
+            postings_left: 0,
+            prev_doc: 0,
+            first_in_list: true,
+        })
+    }
+
+    /// Advances to the next concept, returning its id and posting count,
+    /// or `None` at the end of the shard.
+    pub fn next_concept(&mut self) -> Result<Option<(ConceptId, usize)>, StoreError> {
+        while self.postings_left > 0 {
+            self.next_posting()?;
+        }
+        if self.concepts_left == 0 {
+            return Ok(None);
+        }
+        self.concepts_left -= 1;
+        let concept = ConceptId::new(self.view.get_u32()?);
+        self.postings_left = self
+            .view
+            .get_count(self.view.remaining() as u64 / MIN_POSTING_BYTES)?;
+        self.prev_doc = 0;
+        self.first_in_list = true;
+        Ok(Some((concept, self.postings_left)))
+    }
+
+    /// Decodes the next posting of the current concept, or `None` when
+    /// its list is exhausted.
+    pub fn next_posting(&mut self) -> Result<Option<ConceptPosting>, StoreError> {
+        if self.postings_left == 0 {
+            return Ok(None);
+        }
+        self.postings_left -= 1;
+        let delta = self.view.get_varint()?;
+        let doc = u32::try_from(u64::from(self.prev_doc) + delta)
+            .map_err(|_| StoreError::corrupt(&self.file, "doc id delta overflows u32"))?;
+        if delta == 0 && !self.first_in_list {
+            return Err(StoreError::corrupt(
+                &self.file,
+                "duplicate doc id in a posting list",
+            ));
+        }
+        self.first_in_list = false;
+        self.prev_doc = doc;
+        let cdr = self.view.get_f64()?;
+        let cdro = self.view.get_f64()?;
+        let cdrc = self.view.get_f64()?;
+        let pivot = InstanceId::new(self.view.get_u32()?);
+        Ok(Some(ConceptPosting {
+            doc: DocId::new(doc),
+            cdr,
+            cdro,
+            cdrc,
+            pivot,
+        }))
+    }
+
+    /// Asserts the shard is fully consumed with no trailing bytes.
+    pub fn finish(self) -> Result<(), StoreError> {
+        if self.concepts_left != 0 || self.postings_left != 0 {
+            return Err(StoreError::corrupt(
+                &self.file,
+                "shard cursor finished before the shard ended",
+            ));
+        }
+        self.view.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn posting(doc: u32, cdr: f64) -> ConceptPosting {
+        ConceptPosting {
+            doc: DocId::new(doc),
+            cdr,
+            cdro: cdr * 0.5,
+            cdrc: 2.0,
+            pivot: InstanceId::new(doc + 100),
+        }
+    }
+
+    fn shard_with(concepts: &[(u32, Vec<ConceptPosting>)]) -> Segment {
+        let mut seg = SegmentWriter::new(SEGMENT_KIND_CONCEPTS);
+        seg.put_varint(concepts.len() as u64);
+        for (c, postings) in concepts {
+            seg.put_u32(*c);
+            seg.put_varint(postings.len() as u64);
+            let mut prev = 0u32;
+            for p in postings {
+                seg.put_varint(u64::from(p.doc.raw() - prev));
+                seg.put_f64(p.cdr);
+                seg.put_f64(p.cdro);
+                seg.put_f64(p.cdrc);
+                seg.put_u32(p.pivot.raw());
+                prev = p.doc.raw();
+            }
+        }
+        Segment::from_bytes("concepts-000.seg", seg.into_bytes()).unwrap()
+    }
+
+    #[test]
+    fn shard_cursor_streams_exact_postings() {
+        let lists = vec![
+            (
+                3u32,
+                vec![posting(0, 0.25), posting(5, 0.5), posting(6, 1.0)],
+            ),
+            (9u32, vec![posting(2, 0.125)]),
+        ];
+        let segment = shard_with(&lists);
+        let mut cursor = ShardCursor::new(&segment).unwrap();
+        for (c, expected) in &lists {
+            let (concept, count) = cursor.next_concept().unwrap().unwrap();
+            assert_eq!(concept.raw(), *c);
+            assert_eq!(count, expected.len());
+            for want in expected {
+                let got = cursor.next_posting().unwrap().unwrap();
+                assert_eq!(got, *want);
+            }
+            assert!(cursor.next_posting().unwrap().is_none());
+        }
+        assert!(cursor.next_concept().unwrap().is_none());
+        cursor.finish().unwrap();
+    }
+
+    #[test]
+    fn shard_cursor_skips_unconsumed_postings() {
+        let lists = vec![
+            (
+                1u32,
+                vec![posting(0, 1.0), posting(1, 2.0), posting(2, 3.0)],
+            ),
+            (2u32, vec![posting(7, 4.0)]),
+        ];
+        let segment = shard_with(&lists);
+        let mut cursor = ShardCursor::new(&segment).unwrap();
+        cursor.next_concept().unwrap().unwrap();
+        // Read only one of three postings, then jump to the next concept.
+        cursor.next_posting().unwrap().unwrap();
+        let (concept, _) = cursor.next_concept().unwrap().unwrap();
+        assert_eq!(concept.raw(), 2);
+        assert_eq!(cursor.next_posting().unwrap().unwrap().doc.raw(), 7);
+        assert!(cursor.next_concept().unwrap().is_none());
+        cursor.finish().unwrap();
+    }
+
+    #[test]
+    fn duplicate_doc_ids_are_corrupt() {
+        // Two postings with delta 0 (same doc) must be refused.
+        let mut seg = SegmentWriter::new(SEGMENT_KIND_CONCEPTS);
+        seg.put_varint(1);
+        seg.put_u32(1);
+        seg.put_varint(2);
+        for _ in 0..2 {
+            seg.put_varint(3); // first: doc 3; second: delta 3 → doc 6 (ok)
+            seg.put_f64(1.0);
+            seg.put_f64(1.0);
+            seg.put_f64(1.0);
+            seg.put_u32(0);
+        }
+        let segment = Segment::from_bytes("concepts-000.seg", seg.into_bytes()).unwrap();
+        let mut cursor = ShardCursor::new(&segment).unwrap();
+        cursor.next_concept().unwrap();
+        assert!(cursor.next_posting().is_ok());
+        assert!(cursor.next_posting().is_ok(), "distinct docs decode fine");
+
+        let mut seg = SegmentWriter::new(SEGMENT_KIND_CONCEPTS);
+        seg.put_varint(1);
+        seg.put_u32(1);
+        seg.put_varint(2);
+        for delta in [5u64, 0] {
+            seg.put_varint(delta);
+            seg.put_f64(1.0);
+            seg.put_f64(1.0);
+            seg.put_f64(1.0);
+            seg.put_u32(0);
+        }
+        let segment = Segment::from_bytes("concepts-000.seg", seg.into_bytes()).unwrap();
+        let mut cursor = ShardCursor::new(&segment).unwrap();
+        cursor.next_concept().unwrap();
+        cursor.next_posting().unwrap();
+        assert!(matches!(
+            cursor.next_posting(),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_kind_is_refused() {
+        let seg = SegmentWriter::new(SEGMENT_KIND_DOCLISTS);
+        let segment = Segment::from_bytes("doclists.seg", seg.into_bytes()).unwrap();
+        assert!(ShardCursor::new(&segment).is_err());
+    }
+
+    #[test]
+    fn absurd_declared_counts_are_corrupt_not_allocations() {
+        // A crafted shard declaring trillions of concepts (or postings)
+        // must be refused by the bytes-available bound before any
+        // capacity is reserved.
+        let mut seg = SegmentWriter::new(SEGMENT_KIND_CONCEPTS);
+        seg.put_varint(1 << 40);
+        let segment = Segment::from_bytes("concepts-000.seg", seg.into_bytes()).unwrap();
+        assert!(matches!(
+            ShardCursor::new(&segment),
+            Err(StoreError::Corrupt { .. })
+        ));
+
+        let mut seg = SegmentWriter::new(SEGMENT_KIND_CONCEPTS);
+        seg.put_varint(1); // one concept…
+        seg.put_u32(7);
+        seg.put_varint(1 << 40); // …claiming 2^40 postings
+        let segment = Segment::from_bytes("concepts-000.seg", seg.into_bytes()).unwrap();
+        let mut cursor = ShardCursor::new(&segment).unwrap();
+        assert!(matches!(
+            cursor.next_concept(),
+            Err(StoreError::Corrupt { .. })
+        ));
+
+        let mut seg = SegmentWriter::new(SEGMENT_KIND_DOCLISTS);
+        seg.put_varint(1 << 40);
+        let segment = Segment::from_bytes("doclists.seg", seg.into_bytes()).unwrap();
+        assert!(matches!(
+            read_doclists(&segment, 1 << 40),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+}

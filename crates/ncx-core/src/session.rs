@@ -199,7 +199,7 @@ mod tests {
         );
         NcExplorer::build(
             kg,
-            &store,
+            store,
             NcxConfig {
                 parallelism: crate::config::Parallelism::sequential(),
                 samples: 50,
@@ -289,7 +289,7 @@ mod tests {
         let kg = Arc::new(b.build());
         let eng2 = NcExplorer::build(
             kg,
-            &DocumentStore::new(),
+            DocumentStore::new(),
             NcxConfig {
                 parallelism: crate::config::Parallelism::sequential(),
                 ..NcxConfig::default()

@@ -35,6 +35,12 @@ impl NewsSource {
             NewsSource::Reuters => "reuters",
         }
     }
+
+    /// Parses the [`name`](Self::name) form back into a source — the
+    /// import counterpart used by the annotated-corpus parser.
+    pub fn from_name(name: &str) -> Option<Self> {
+        NewsSource::ALL.into_iter().find(|s| s.name() == name)
+    }
 }
 
 impl std::fmt::Display for NewsSource {
@@ -190,5 +196,15 @@ mod tests {
     fn source_names() {
         assert_eq!(NewsSource::Reuters.to_string(), "reuters");
         assert_eq!(NewsSource::SeekingAlpha.name(), "seekingalpha");
+    }
+
+    #[test]
+    fn source_names_roundtrip() {
+        for s in NewsSource::ALL {
+            assert_eq!(NewsSource::from_name(s.name()), Some(s));
+        }
+        assert_eq!(NewsSource::from_name("bloomberg"), None);
+        assert_eq!(NewsSource::from_name(""), None);
+        assert_eq!(NewsSource::from_name("Reuters"), None, "names are exact");
     }
 }

@@ -11,12 +11,15 @@
 //! * [`lucene`] — the **Lucene baseline** of the paper: bag-of-words BM25
 //!   keyword retrieval over stemmed, stopword-filtered text;
 //! * [`topk`] — a bounded min-heap for top-K selection, shared by all
-//!   engines.
+//!   engines;
+//! * [`persist`] — `ncx-store` snapshot segment encodings for the
+//!   entity index and the document store.
 
 pub mod docstore;
 pub mod entity_index;
 pub mod inverted;
 pub mod lucene;
+pub mod persist;
 pub mod topk;
 
 pub use docstore::{DocumentStore, NewsArticle, NewsSource};

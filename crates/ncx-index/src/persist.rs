@@ -1,0 +1,279 @@
+//! Snapshot segment encodings for [`EntityIndex`] and [`DocumentStore`].
+//!
+//! Part of the `ncx-store` snapshot format (see that crate's docs for
+//! the directory layout and integrity model). Each type owns its wire
+//! encoding here, next to its in-memory definition:
+//!
+//! * **entities.seg** ([`SEGMENT_KIND_ENTITIES`]) — per-document entity
+//!   bags: entity ids delta-encoded ascending (they are stored sorted),
+//!   mention counts as varints. The entity → document postings are *not*
+//!   stored: [`EntityIndex::add_document`] rebuilds them deterministically
+//!   from the bags in doc-id order, so the reloaded index is
+//!   structurally identical to the built one, term weights included.
+//! * **docstore.seg** ([`SEGMENT_KIND_DOCSTORE`]) — the articles:
+//!   source tag, title, body, publication ordinal. Doc ids are implicit
+//!   (insertion order), exactly as [`DocumentStore::add`] assigns them.
+
+use crate::docstore::{DocumentStore, NewsSource};
+use crate::entity_index::EntityIndex;
+use ncx_kg::{DocId, InstanceId};
+use ncx_store::{SegView, Segment, SegmentWriter, StoreError};
+use rustc_hash::FxHashMap;
+
+/// Segment kind tag of the entity-index segment.
+pub const SEGMENT_KIND_ENTITIES: u16 = 3;
+/// Segment kind tag of the document-store segment.
+pub const SEGMENT_KIND_DOCSTORE: u16 = 4;
+
+// Minimum encoded sizes, used to bound declared counts by the bytes
+// actually present: a count that could not fit the remaining payload is
+// corruption, refused *before* any allocation — a crafted snapshot must
+// not be able to request absurd capacity.
+/// Entity-bag entry: ≥1-byte id-delta varint + ≥1-byte count varint.
+const MIN_ENTITY_ENTRY_BYTES: u64 = 2;
+/// Article: source byte + two ≥1-byte length varints + u32 ordinal.
+const MIN_ARTICLE_BYTES: u64 = 7;
+
+/// Encodes the entity index into a fresh segment.
+pub fn write_entity_index(index: &EntityIndex) -> SegmentWriter {
+    let mut w = SegmentWriter::new(SEGMENT_KIND_ENTITIES);
+    let n = index.num_docs();
+    w.put_varint(n as u64);
+    for i in 0..n {
+        let ents = index.entities_of(DocId::from_index(i));
+        w.put_varint(ents.len() as u64);
+        let mut prev = 0u32;
+        for &(v, count) in ents {
+            // Bags are sorted by entity id, so deltas are non-negative.
+            w.put_varint(u64::from(v.raw() - prev));
+            w.put_varint(u64::from(count));
+            prev = v.raw();
+        }
+    }
+    w
+}
+
+/// Decodes an entity index from its segment, rebuilding the postings
+/// deterministically in doc-id order.
+pub fn read_entity_index(segment: &Segment) -> Result<EntityIndex, StoreError> {
+    expect_kind(segment, SEGMENT_KIND_ENTITIES)?;
+    let mut v = segment.view();
+    // Each document contributes at least its 1-byte count varint.
+    let n = v.get_count(v.remaining() as u64)?;
+    let mut index = EntityIndex::new();
+    let mut counts: FxHashMap<InstanceId, u32> = FxHashMap::default();
+    for _ in 0..n {
+        counts.clear();
+        let m = v.get_count(v.remaining() as u64 / MIN_ENTITY_ENTRY_BYTES)?;
+        let mut prev = 0u32;
+        for _ in 0..m {
+            let delta = read_u32(&mut v, segment.name())?;
+            let count = read_u32(&mut v, segment.name())?;
+            let raw = prev.checked_add(delta).ok_or_else(|| {
+                StoreError::corrupt(segment.name(), "entity id delta overflows u32")
+            })?;
+            prev = raw;
+            counts.insert(InstanceId::new(raw), count);
+        }
+        if counts.len() != m {
+            return Err(StoreError::corrupt(
+                segment.name(),
+                "duplicate entity id within a document bag",
+            ));
+        }
+        index.add_document(&counts);
+    }
+    v.finish()?;
+    Ok(index)
+}
+
+/// Encodes the document store into a fresh segment.
+pub fn write_docstore(store: &DocumentStore) -> SegmentWriter {
+    let mut w = SegmentWriter::new(SEGMENT_KIND_DOCSTORE);
+    w.put_varint(store.len() as u64);
+    for article in store.iter() {
+        w.put_u8(source_tag(article.source));
+        w.put_len_str(&article.title);
+        w.put_len_str(&article.body);
+        w.put_u32(article.published);
+    }
+    w
+}
+
+/// Decodes a document store from its segment.
+pub fn read_docstore(segment: &Segment) -> Result<DocumentStore, StoreError> {
+    expect_kind(segment, SEGMENT_KIND_DOCSTORE)?;
+    let mut v = segment.view();
+    let n = v.get_count(v.remaining() as u64 / MIN_ARTICLE_BYTES)?;
+    let mut store = DocumentStore::new();
+    for _ in 0..n {
+        let tag = v.get_u8()?;
+        let source = source_from_tag(tag)
+            .ok_or_else(|| StoreError::corrupt(segment.name(), format!("bad source tag {tag}")))?;
+        let title = v.get_len_str()?.to_string();
+        let body = v.get_len_str()?.to_string();
+        let published = v.get_u32()?;
+        store.add(source, title, body, published);
+    }
+    v.finish()?;
+    Ok(store)
+}
+
+fn expect_kind(segment: &Segment, kind: u16) -> Result<(), StoreError> {
+    if segment.kind() != kind {
+        return Err(StoreError::corrupt(
+            segment.name(),
+            format!("expected segment kind {kind}, found {}", segment.kind()),
+        ));
+    }
+    Ok(())
+}
+
+fn read_u32(v: &mut SegView<'_>, file: &str) -> Result<u32, StoreError> {
+    let raw = v.get_varint()?;
+    u32::try_from(raw).map_err(|_| StoreError::corrupt(file, format!("value {raw} exceeds u32")))
+}
+
+/// Stable wire tag for a news source. The discriminant order is frozen
+/// by the snapshot format — append new sources, never renumber.
+fn source_tag(source: NewsSource) -> u8 {
+    match source {
+        NewsSource::SeekingAlpha => 0,
+        NewsSource::Nyt => 1,
+        NewsSource::Reuters => 2,
+    }
+}
+
+fn source_from_tag(tag: u8) -> Option<NewsSource> {
+    match tag {
+        0 => Some(NewsSource::SeekingAlpha),
+        1 => Some(NewsSource::Nyt),
+        2 => Some(NewsSource::Reuters),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(u32, u32)]) -> FxHashMap<InstanceId, u32> {
+        pairs
+            .iter()
+            .map(|&(v, c)| (InstanceId::new(v), c))
+            .collect()
+    }
+
+    fn seal(w: SegmentWriter, name: &str) -> Segment {
+        Segment::from_bytes(name, w.into_bytes()).unwrap()
+    }
+
+    #[test]
+    fn entity_index_roundtrips_structurally() {
+        let mut idx = EntityIndex::new();
+        idx.add_document(&counts(&[(0, 3), (7, 1), (1000, 2)]));
+        idx.add_document(&counts(&[]));
+        idx.add_document(&counts(&[(7, 5)]));
+        let seg = seal(write_entity_index(&idx), "entities.seg");
+        let back = read_entity_index(&seg).unwrap();
+        assert_eq!(back.num_docs(), idx.num_docs());
+        assert_eq!(back.num_entities(), idx.num_entities());
+        for i in 0..idx.num_docs() {
+            let d = DocId::from_index(i);
+            assert_eq!(back.entities_of(d), idx.entities_of(d));
+        }
+        // Term weights are derived state; they must match bit-for-bit.
+        for &(v, _) in idx.entities_of(DocId::new(0)) {
+            assert_eq!(
+                back.term_weight(v, DocId::new(0)).to_bits(),
+                idx.term_weight(v, DocId::new(0)).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn docstore_roundtrips_with_hostile_strings() {
+        let mut store = DocumentStore::new();
+        store.add(
+            NewsSource::Reuters,
+            "tabs\tand\nnewlines\\".into(),
+            "body with \u{0} nul and é λ".into(),
+            42,
+        );
+        store.add(NewsSource::SeekingAlpha, String::new(), String::new(), 0);
+        store.add(NewsSource::Nyt, "plain".into(), "text".into(), 7);
+        let seg = seal(write_docstore(&store), "docstore.seg");
+        let back = read_docstore(&seg).unwrap();
+        assert_eq!(back.len(), store.len());
+        for (a, b) in store.iter().zip(back.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.title, b.title);
+            assert_eq!(a.body, b.body);
+            assert_eq!(a.published, b.published);
+        }
+    }
+
+    #[test]
+    fn wrong_kind_is_refused() {
+        let store = DocumentStore::new();
+        let seg = seal(write_docstore(&store), "docstore.seg");
+        assert!(matches!(
+            read_entity_index(&seg),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_source_tag_is_corrupt() {
+        let mut w = SegmentWriter::new(SEGMENT_KIND_DOCSTORE);
+        w.put_varint(1);
+        w.put_u8(99);
+        w.put_len_str("t");
+        w.put_len_str("b");
+        w.put_u32(0);
+        let seg = seal(w, "docstore.seg");
+        assert!(matches!(
+            read_docstore(&seg),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn absurd_declared_counts_are_corrupt_not_allocations() {
+        // Crafted segments declaring counts that cannot fit the payload
+        // must be refused before any capacity is reserved.
+        let mut w = SegmentWriter::new(SEGMENT_KIND_DOCSTORE);
+        w.put_varint(1 << 40);
+        let seg = seal(w, "docstore.seg");
+        assert!(matches!(
+            read_docstore(&seg),
+            Err(StoreError::Corrupt { .. })
+        ));
+
+        let mut w = SegmentWriter::new(SEGMENT_KIND_ENTITIES);
+        w.put_varint(1); // one doc…
+        w.put_varint(1 << 40); // …claiming 2^40 entity entries
+        let seg = seal(w, "entities.seg");
+        assert!(matches!(
+            read_entity_index(&seg),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_entity_in_bag_is_corrupt() {
+        let mut w = SegmentWriter::new(SEGMENT_KIND_ENTITIES);
+        w.put_varint(1); // one doc
+        w.put_varint(2); // two entries…
+        w.put_varint(5); // entity 5
+        w.put_varint(1);
+        w.put_varint(0); // …delta 0: entity 5 again
+        w.put_varint(2);
+        let seg = seal(w, "entities.seg");
+        assert!(matches!(
+            read_entity_index(&seg),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+}

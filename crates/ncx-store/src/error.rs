@@ -1,0 +1,168 @@
+//! Typed snapshot errors.
+//!
+//! Every failure mode an operator can act on gets its own variant: a
+//! checksum mismatch means "restore this file from a replica", a version
+//! mismatch means "upgrade the reader", a truncated segment means "the
+//! copy was interrupted". Stringly-typed `io::Error`s cannot carry that
+//! distinction across the engine boundary.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Result alias for snapshot operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Why a snapshot could not be written or read.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure (permissions, disk full, …).
+    Io {
+        /// The path being read or written.
+        path: PathBuf,
+        /// The operating-system error.
+        source: io::Error,
+    },
+    /// The directory does not contain a snapshot (no readable manifest,
+    /// or the manifest does not start with the expected magic line).
+    NotASnapshot {
+        /// The directory that was probed.
+        dir: PathBuf,
+    },
+    /// The snapshot was written by a newer (unsupported) format version.
+    VersionMismatch {
+        /// The version recorded in the manifest.
+        found: u32,
+        /// The newest version this reader understands.
+        supported: u32,
+    },
+    /// A file's contents do not match its recorded checksum.
+    ChecksumMismatch {
+        /// The offending file (relative to the snapshot directory).
+        file: String,
+    },
+    /// A file is shorter (or longer) than the manifest says it must be.
+    Truncated {
+        /// The offending file.
+        file: String,
+        /// Expected byte length per the manifest.
+        expected: u64,
+        /// Actual byte length on disk.
+        actual: u64,
+    },
+    /// A file listed in the manifest is missing from the directory.
+    MissingFile {
+        /// The missing file.
+        file: String,
+    },
+    /// A file decoded to structurally invalid data (bad magic, length
+    /// fields pointing outside the buffer, invalid UTF-8, …).
+    Corrupt {
+        /// The offending file.
+        file: String,
+        /// What exactly failed to decode.
+        detail: String,
+    },
+    /// The snapshot is internally valid but incompatible with the
+    /// runtime it is being opened under (e.g. a different knowledge
+    /// graph than the one the index was built against).
+    Incompatible {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// Convenience constructor for [`StoreError::Corrupt`].
+    pub fn corrupt(file: impl Into<String>, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            file: file.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Wraps an [`io::Error`] with the path it occurred on. Missing
+    /// manifest paths should use [`StoreError::NotASnapshot`] instead.
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StoreError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "snapshot I/O error on {}: {source}", path.display())
+            }
+            StoreError::NotASnapshot { dir } => {
+                write!(f, "{} is not an ncx-store snapshot", dir.display())
+            }
+            StoreError::VersionMismatch { found, supported } => write!(
+                f,
+                "snapshot format version {found} is newer than supported version {supported}"
+            ),
+            StoreError::ChecksumMismatch { file } => {
+                write!(f, "checksum mismatch in snapshot file {file}")
+            }
+            StoreError::Truncated {
+                file,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "snapshot file {file} truncated: expected {expected} bytes, found {actual}"
+            ),
+            StoreError::MissingFile { file } => {
+                write!(f, "snapshot file {file} listed in manifest but missing")
+            }
+            StoreError::Corrupt { file, detail } => {
+                write!(f, "snapshot file {file} corrupt: {detail}")
+            }
+            StoreError::Incompatible { detail } => {
+                write!(f, "snapshot incompatible with this runtime: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_file() {
+        let e = StoreError::ChecksumMismatch {
+            file: "concepts-003.seg".into(),
+        };
+        assert!(e.to_string().contains("concepts-003.seg"));
+        let e = StoreError::Truncated {
+            file: "entities.seg".into(),
+            expected: 100,
+            actual: 40,
+        };
+        let s = e.to_string();
+        assert!(s.contains("entities.seg") && s.contains("100") && s.contains("40"));
+    }
+
+    #[test]
+    fn io_errors_chain_source() {
+        let e = StoreError::io(
+            "/tmp/x",
+            io::Error::new(io::ErrorKind::PermissionDenied, "no"),
+        );
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("/tmp/x"));
+    }
+}

@@ -1,0 +1,65 @@
+//! # ncx-store — persistent sharded snapshot format
+//!
+//! Every NCExplorer process used to rebuild the full index from the raw
+//! corpus before serving a single query. This crate is the on-disk layer
+//! that turns the expensive two-pass build into a one-time cost: a
+//! snapshot is a **directory** holding a manifest plus checksummed binary
+//! *segment* files, designed so a cold process can open and serve in
+//! milliseconds.
+//!
+//! ```text
+//! snapshot-dir/
+//! ├── MANIFEST.ncx        text manifest: format version, corpus stats,
+//! │                       shard map, per-file checksums (written last,
+//! │                       so a crashed writer leaves no valid snapshot)
+//! ├── concepts-000.seg    concept-posting shard 0   (hash-partitioned)
+//! ├── …                   …
+//! ├── concepts-NNN.seg    concept-posting shard N−1
+//! ├── doclists.seg        per-document concept lists
+//! ├── entities.seg        per-document entity bags → entity postings
+//! └── docstore.seg        the article store
+//! ```
+//!
+//! The crate is deliberately **domain-agnostic**: it knows about
+//! segments, manifests, checksums and shard assignment, but not about
+//! postings or articles. The encoding of each segment kind lives next to
+//! the type it persists (`ncx-index` for the entity index and document
+//! store, `ncx-core` for concept postings) — this crate just guarantees
+//! that what comes back is byte-for-byte what was written, or a typed
+//! [`StoreError`] saying why not.
+//!
+//! ## Integrity and compatibility
+//!
+//! * every segment file carries a magic header and a trailing FNV-1a64
+//!   checksum over its full contents; the manifest additionally records
+//!   each file's byte length and whole-file checksum, and is itself
+//!   checksummed;
+//! * the manifest's `format_version` gates reads: a snapshot written by
+//!   a **newer** format is refused with
+//!   [`StoreError::VersionMismatch`], never misparsed;
+//! * corruption surfaces as [`StoreError::ChecksumMismatch`], truncation
+//!   as [`StoreError::Truncated`], structural damage as
+//!   [`StoreError::Corrupt`] — callers can tell an operator exactly
+//!   which file to restore.
+//!
+//! ## Zero-copy reads
+//!
+//! [`Segment`] owns one contiguous byte buffer per file; [`SegView`] is
+//! a cursor over that buffer handing out `&[u8]`/`&str` slices and
+//! fixed-width scalars without per-record allocation. Readers decode
+//! postings straight out of the slice, so swapping the backing buffer
+//! for an `mmap` region (when a real `memmap2` is available) changes no
+//! decoding code.
+
+pub mod checksum;
+pub mod error;
+pub mod manifest;
+pub mod segment;
+pub mod snapshot;
+pub mod varint;
+
+pub use checksum::fnv1a64;
+pub use error::StoreError;
+pub use manifest::{FileEntry, Manifest, FORMAT_VERSION, MANIFEST_NAME};
+pub use segment::{SegView, Segment, SegmentWriter};
+pub use snapshot::{shard_of, Snapshot, SnapshotWriter};

@@ -1,0 +1,314 @@
+//! The snapshot manifest: `MANIFEST.ncx`.
+//!
+//! A deliberately **textual** format — one `key value…` pair per line —
+//! so an operator can inspect a snapshot with `cat` and a foreign tool
+//! can audit checksums without linking this crate. It records:
+//!
+//! * the **format version** (readers refuse anything newer than
+//!   [`FORMAT_VERSION`] — the compatibility policy is "old readers never
+//!   misparse new snapshots");
+//! * the **shard count** of the concept-posting partition;
+//! * free-form named **stats** (corpus size, posting counts, KG
+//!   fingerprint, build timings) as `stat <name> <u64>` lines;
+//! * the **file table** — every segment's name, kind, byte length and
+//!   whole-file FNV-1a64 checksum — which doubles as the shard map
+//!   (shard files carry their partition index in the name and their
+//!   kind tag in the table);
+//! * a trailing checksum over the manifest's own bytes.
+//!
+//! The manifest is written **last** by the writer, so a crashed or
+//! interrupted save never leaves a directory that opens successfully.
+
+use crate::checksum::fnv1a64;
+use crate::error::{Result, StoreError};
+use std::collections::BTreeMap;
+
+/// Newest snapshot format this crate reads and the version it writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File name of the manifest inside a snapshot directory.
+pub const MANIFEST_NAME: &str = "MANIFEST.ncx";
+
+const MAGIC_LINE: &str = "#ncx-store-manifest";
+
+/// One segment file recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// File name relative to the snapshot directory.
+    pub name: String,
+    /// Domain kind tag (must match the segment header).
+    pub kind: u16,
+    /// Exact byte length of the file.
+    pub bytes: u64,
+    /// FNV-1a64 over the complete file contents.
+    pub checksum: u64,
+}
+
+/// Parsed manifest contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Snapshot format version.
+    pub format_version: u32,
+    /// Number of concept-posting shards.
+    pub shards: u32,
+    /// Named statistics (corpus stats, KG fingerprint, timings).
+    pub stats: BTreeMap<String, u64>,
+    /// The file table, in writer order.
+    pub files: Vec<FileEntry>,
+}
+
+impl Manifest {
+    /// Looks up a file entry by name.
+    pub fn file(&self, name: &str) -> Option<&FileEntry> {
+        self.files.iter().find(|f| f.name == name)
+    }
+
+    /// A stat by name.
+    pub fn stat(&self, name: &str) -> Option<u64> {
+        self.stats.get(name).copied()
+    }
+
+    /// Serialises the manifest, appending the self-checksum line.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = String::new();
+        body.push_str(MAGIC_LINE);
+        body.push('\n');
+        body.push_str(&format!("format_version {}\n", self.format_version));
+        body.push_str(&format!("shards {}\n", self.shards));
+        for (k, v) in &self.stats {
+            debug_assert!(!k.contains(char::is_whitespace), "stat key {k:?}");
+            body.push_str(&format!("stat {k} {v}\n"));
+        }
+        for f in &self.files {
+            debug_assert!(!f.name.contains(char::is_whitespace), "file {:?}", f.name);
+            body.push_str(&format!(
+                "file {} {} {} {:016x}\n",
+                f.name, f.kind, f.bytes, f.checksum
+            ));
+        }
+        let mut out = body.into_bytes();
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(format!("manifest_checksum {sum:016x}\n").as_bytes());
+        out
+    }
+
+    /// Parses and integrity-checks manifest bytes.
+    ///
+    /// Order of checks matters for error quality: the magic line proves
+    /// this *is* a manifest, the version gate runs **before** the
+    /// self-checksum (a newer format may legitimately checksum
+    /// differently — it must still be refused as a version mismatch,
+    /// not misreported as corruption), then the checksum guards every
+    /// remaining field.
+    pub fn parse(bytes: &[u8]) -> Result<Self> {
+        let file = MANIFEST_NAME;
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| StoreError::corrupt(file, format!("bad UTF-8: {e}")))?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(l) if l == MAGIC_LINE => {}
+            _ => return Err(StoreError::corrupt(file, "missing manifest magic line")),
+        }
+        let version_line = lines
+            .next()
+            .ok_or_else(|| StoreError::corrupt(file, "missing format_version"))?;
+        let format_version = match version_line.strip_prefix("format_version ") {
+            Some(v) => v
+                .trim()
+                .parse::<u32>()
+                .map_err(|e| StoreError::corrupt(file, format!("bad format_version: {e}")))?,
+            None => return Err(StoreError::corrupt(file, "missing format_version")),
+        };
+        if format_version > FORMAT_VERSION {
+            return Err(StoreError::VersionMismatch {
+                found: format_version,
+                supported: FORMAT_VERSION,
+            });
+        }
+
+        // Self-checksum: the last line covers everything before it.
+        let body_end = text
+            .trim_end_matches('\n')
+            .rfind('\n')
+            .map(|i| i + 1)
+            .ok_or_else(|| StoreError::corrupt(file, "manifest too short"))?;
+        let last = text[body_end..].trim_end();
+        let recorded = last
+            .strip_prefix("manifest_checksum ")
+            .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+            .ok_or_else(|| StoreError::corrupt(file, "missing manifest_checksum line"))?;
+        if fnv1a64(&bytes[..body_end]) != recorded {
+            return Err(StoreError::ChecksumMismatch { file: file.into() });
+        }
+
+        let mut shards = None;
+        let mut stats = BTreeMap::new();
+        let mut files = Vec::new();
+        for line in text[..body_end].lines().skip(2) {
+            let mut parts = line.split_ascii_whitespace();
+            match parts.next() {
+                Some("shards") => {
+                    let v = parts
+                        .next()
+                        .and_then(|v| v.parse::<u32>().ok())
+                        .ok_or_else(|| StoreError::corrupt(file, "bad shards line"))?;
+                    shards = Some(v);
+                }
+                Some("stat") => {
+                    let k = parts.next();
+                    let v = parts.next().and_then(|v| v.parse::<u64>().ok());
+                    match (k, v, parts.next()) {
+                        (Some(k), Some(v), None) => {
+                            stats.insert(k.to_string(), v);
+                        }
+                        _ => return Err(StoreError::corrupt(file, format!("bad stat: {line}"))),
+                    }
+                }
+                Some("file") => {
+                    let name = parts.next();
+                    let kind = parts.next().and_then(|v| v.parse::<u16>().ok());
+                    let bytes = parts.next().and_then(|v| v.parse::<u64>().ok());
+                    let checksum = parts.next().and_then(|h| u64::from_str_radix(h, 16).ok());
+                    match (name, kind, bytes, checksum, parts.next()) {
+                        (Some(name), Some(kind), Some(bytes), Some(checksum), None) => {
+                            files.push(FileEntry {
+                                name: name.to_string(),
+                                kind,
+                                bytes,
+                                checksum,
+                            });
+                        }
+                        _ => {
+                            return Err(StoreError::corrupt(
+                                file,
+                                format!("bad file entry: {line}"),
+                            ))
+                        }
+                    }
+                }
+                Some(other) => {
+                    // Same-version strictness: within format version 1
+                    // every line kind is known; an unknown key means the
+                    // bytes are not what the writer produced.
+                    return Err(StoreError::corrupt(
+                        file,
+                        format!("unknown manifest key: {other}"),
+                    ));
+                }
+                None => {} // blank line
+            }
+        }
+        let shards = shards.ok_or_else(|| StoreError::corrupt(file, "missing shards line"))?;
+        Ok(Self {
+            format_version,
+            shards,
+            stats,
+            files,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            format_version: FORMAT_VERSION,
+            shards: 4,
+            stats: [("num_docs".to_string(), 3000), ("walks".to_string(), 12)]
+                .into_iter()
+                .collect(),
+            files: vec![
+                FileEntry {
+                    name: "concepts-000.seg".into(),
+                    kind: 1,
+                    bytes: 1234,
+                    checksum: 0xdead_beef_0bad_cafe,
+                },
+                FileEntry {
+                    name: "docstore.seg".into(),
+                    kind: 4,
+                    bytes: 99,
+                    checksum: 7,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let parsed = Manifest::parse(&m.to_bytes()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.file("docstore.seg").unwrap().bytes, 99);
+        assert_eq!(parsed.stat("num_docs"), Some(3000));
+        assert_eq!(parsed.stat("missing"), None);
+    }
+
+    #[test]
+    fn future_version_is_refused_even_with_alien_layout() {
+        // A hypothetical v99 manifest whose body this version cannot
+        // parse; the version gate must fire before anything else.
+        let alien = format!("{MAGIC_LINE}\nformat_version 99\nhologram_index aa bb cc\n");
+        let err = Manifest::parse(alien.as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::VersionMismatch {
+                    found: 99,
+                    supported: FORMAT_VERSION
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn byte_flips_are_checksum_mismatches() {
+        let bytes = sample().to_bytes();
+        // Flip a digit inside a file entry (not the magic/version header,
+        // which has its own errors, and not whitespace).
+        let pos = bytes
+            .windows(4)
+            .position(|w| w == b"1234")
+            .expect("literal byte count present");
+        let mut bad = bytes.clone();
+        bad[pos] = b'9';
+        let err = Manifest::parse(&bad).unwrap_err();
+        assert!(matches!(err, StoreError::ChecksumMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn structural_garbage_is_corrupt() {
+        assert!(matches!(
+            Manifest::parse(b"not a manifest").unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        assert!(matches!(
+            Manifest::parse(format!("{MAGIC_LINE}\n").as_bytes()).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        assert!(matches!(
+            Manifest::parse(&[0xff, 0xfe, MAGIC_LINE.as_bytes()[0]]).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_keys_within_current_version_are_rejected() {
+        let m = sample().to_bytes();
+        // Splice an unknown line before the trailer, recomputing the
+        // trailer so only the key (not the checksum) is at issue.
+        let text = String::from_utf8(m).unwrap();
+        let body = text
+            .rsplit_once("manifest_checksum")
+            .map(|(b, _)| b.to_string())
+            .unwrap();
+        let body = format!("{body}mystery_key 42\n");
+        let sum = fnv1a64(body.as_bytes());
+        let m = format!("{body}manifest_checksum {sum:016x}\n").into_bytes();
+        let err = Manifest::parse(&m).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+}

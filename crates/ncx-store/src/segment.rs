@@ -1,0 +1,422 @@
+//! Checksummed binary segment files and the zero-copy view over them.
+//!
+//! A segment is one self-validating file:
+//!
+//! ```text
+//! ┌─────────────┬──────────┬──────────┬─────────────┬─────────┬──────────┐
+//! │ magic (8 B) │ kind u16 │ rsvd u16 │ len u64 LE  │ payload │ fnv64 LE │
+//! └─────────────┴──────────┴──────────┴─────────────┴─────────┴──────────┘
+//! ```
+//!
+//! The trailing checksum covers header **and** payload, so a bit flip
+//! anywhere in the file is caught even before the manifest cross-check.
+//! `kind` is a small domain-assigned tag (concept shard, entity index,
+//! …) letting readers refuse a swapped file with a precise error.
+//!
+//! [`SegView`] is the read path: a cursor over the payload slice that
+//! hands out scalars, varints and sub-slices without copying. Decoders
+//! built on it do no per-record allocation, which keeps the format ready
+//! for `mmap`-backed buffers — only [`Segment`]'s buffer ownership would
+//! change, none of the decoding.
+
+use crate::checksum::fnv1a64;
+use crate::error::{Result, StoreError};
+use crate::varint;
+
+/// Magic prefix of every segment file; the final byte is the container
+/// layout version (bumped only if the header/trailer shape itself
+/// changes — payload evolution is governed by the manifest version).
+pub const SEGMENT_MAGIC: [u8; 8] = *b"NCXSEG\x00\x01";
+
+const HEADER_LEN: usize = 8 + 2 + 2 + 8;
+const TRAILER_LEN: usize = 8;
+
+/// Builds one segment's payload and serialises it with header and
+/// checksum. Purely in-memory; [`SnapshotWriter`](crate::SnapshotWriter)
+/// handles file placement and manifest bookkeeping.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    kind: u16,
+    payload: Vec<u8>,
+}
+
+impl SegmentWriter {
+    /// Starts a segment of the given domain kind.
+    pub fn new(kind: u16) -> Self {
+        Self {
+            kind,
+            payload: Vec::new(),
+        }
+    }
+
+    /// The domain kind tag.
+    pub fn kind(&self) -> u16 {
+        self.kind
+    }
+
+    /// Current payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.payload.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.payload.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.payload.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its exact little-endian bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.payload.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a LEB128 varint.
+    pub fn put_varint(&mut self, v: u64) {
+        varint::write_u64(&mut self.payload, v);
+    }
+
+    /// Appends raw bytes (caller frames the length).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.payload.extend_from_slice(bytes);
+    }
+
+    /// Appends a varint length followed by the bytes.
+    pub fn put_len_bytes(&mut self, bytes: &[u8]) {
+        self.put_varint(bytes.len() as u64);
+        self.put_bytes(bytes);
+    }
+
+    /// Appends a varint length followed by the string's UTF-8 bytes.
+    pub fn put_len_str(&mut self, s: &str) {
+        self.put_len_bytes(s.as_bytes());
+    }
+
+    /// Serialises the complete file image: header, payload, checksum.
+    pub fn into_bytes(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + TRAILER_LEN);
+        out.extend_from_slice(&SEGMENT_MAGIC);
+        out.extend_from_slice(&self.kind.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+}
+
+/// One loaded, checksum-verified segment.
+#[derive(Debug)]
+pub struct Segment {
+    name: String,
+    kind: u16,
+    /// The whole file image; the payload is `bytes[HEADER_LEN..len-8]`.
+    bytes: Vec<u8>,
+}
+
+impl Segment {
+    /// Validates and adopts a full file image. `name` is used only for
+    /// error reporting (the file's name relative to the snapshot dir).
+    pub fn from_bytes(name: impl Into<String>, bytes: Vec<u8>) -> Result<Self> {
+        let name = name.into();
+        if bytes.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(StoreError::Truncated {
+                file: name,
+                expected: (HEADER_LEN + TRAILER_LEN) as u64,
+                actual: bytes.len() as u64,
+            });
+        }
+        if bytes[..8] != SEGMENT_MAGIC {
+            return Err(StoreError::corrupt(name, "bad segment magic"));
+        }
+        let kind = u16::from_le_bytes([bytes[8], bytes[9]]);
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        // Checked: `payload_len` is untrusted, and a value near u64::MAX
+        // must be a typed error, not an overflow panic.
+        let expected_len = payload_len
+            .checked_add((HEADER_LEN + TRAILER_LEN) as u64)
+            .ok_or_else(|| StoreError::corrupt(name.clone(), "payload length overflows u64"))?;
+        if bytes.len() as u64 != expected_len {
+            return Err(StoreError::Truncated {
+                file: name,
+                expected: expected_len,
+                actual: bytes.len() as u64,
+            });
+        }
+        let body_end = bytes.len() - TRAILER_LEN;
+        let recorded = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+        if fnv1a64(&bytes[..body_end]) != recorded {
+            return Err(StoreError::ChecksumMismatch { file: name });
+        }
+        Ok(Self { name, kind, bytes })
+    }
+
+    /// The file name this segment was loaded from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The domain kind tag recorded in the header.
+    pub fn kind(&self) -> u16 {
+        self.kind
+    }
+
+    /// The raw payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.bytes[HEADER_LEN..self.bytes.len() - TRAILER_LEN]
+    }
+
+    /// A zero-copy cursor over the payload.
+    pub fn view(&self) -> SegView<'_> {
+        SegView {
+            file: &self.name,
+            buf: self.payload(),
+            pos: 0,
+        }
+    }
+}
+
+/// Zero-copy cursor over a segment payload. Every accessor either
+/// returns borrowed data or a fixed-width scalar; running off the end of
+/// the buffer is a typed [`StoreError::Truncated`], and malformed
+/// variable-width data a [`StoreError::Corrupt`] — a snapshot reader
+/// never panics on hostile bytes.
+#[derive(Debug, Clone)]
+pub struct SegView<'a> {
+    file: &'a str,
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SegView<'a> {
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn truncated(&self, need: usize) -> StoreError {
+        StoreError::Truncated {
+            file: self.file.to_string(),
+            expected: (self.pos + need) as u64,
+            actual: self.buf.len() as u64,
+        }
+    }
+
+    /// Takes `n` raw bytes as a borrowed slice.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.truncated(n));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.get_bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.get_bytes(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.get_bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` from its exact bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn get_varint(&mut self) -> Result<u64> {
+        match varint::read_u64(&self.buf[self.pos..]) {
+            Some((v, used)) => {
+                self.pos += used;
+                Ok(v)
+            }
+            None if self.remaining() < 10 => Err(self.truncated(self.remaining() + 1)),
+            None => Err(StoreError::corrupt(self.file, "overlong varint")),
+        }
+    }
+
+    /// Reads a varint that must fit `usize`/`u32`-sized in-memory
+    /// structures; values beyond `limit` are corruption by definition
+    /// (they would ask the reader to allocate absurd capacity).
+    pub fn get_count(&mut self, limit: u64) -> Result<usize> {
+        let v = self.get_varint()?;
+        if v > limit {
+            return Err(StoreError::corrupt(
+                self.file,
+                format!("count {v} exceeds limit {limit}"),
+            ));
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads a varint-length-prefixed byte slice.
+    pub fn get_len_bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.get_count(self.remaining() as u64)?;
+        self.get_bytes(n)
+    }
+
+    /// Reads a varint-length-prefixed UTF-8 string slice.
+    pub fn get_len_str(&mut self) -> Result<&'a str> {
+        let file = self.file;
+        let bytes = self.get_len_bytes()?;
+        std::str::from_utf8(bytes).map_err(|e| StoreError::corrupt(file, format!("bad UTF-8: {e}")))
+    }
+
+    /// Asserts the payload is fully consumed (trailing garbage is
+    /// corruption — a well-formed writer never leaves slack).
+    pub fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(StoreError::corrupt(
+                self.file,
+                format!("{} trailing bytes after payload", self.remaining()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SegmentWriter::new(7);
+        w.put_u32(0xdead_beef);
+        w.put_varint(300);
+        w.put_f64(std::f64::consts::PI);
+        w.put_len_str("héllo");
+        w.into_bytes()
+    }
+
+    #[test]
+    fn roundtrip_all_scalar_kinds() {
+        let seg = Segment::from_bytes("t.seg", sample()).unwrap();
+        assert_eq!(seg.kind(), 7);
+        let mut v = seg.view();
+        assert_eq!(v.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(v.get_varint().unwrap(), 300);
+        assert_eq!(v.get_f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(v.get_len_str().unwrap(), "héllo");
+        v.finish().unwrap();
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = sample();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                Segment::from_bytes("t.seg", bad).is_err(),
+                "flip at byte {i} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_detected() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            let err = Segment::from_bytes("t.seg", bytes[..cut].to_vec()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Truncated { .. } | StoreError::ChecksumMismatch { .. }
+                ),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected_by_finish() {
+        let mut w = SegmentWriter::new(1);
+        w.put_u32(1);
+        w.put_u8(0);
+        let seg = Segment::from_bytes("t.seg", w.into_bytes()).unwrap();
+        let mut v = seg.view();
+        v.get_u32().unwrap();
+        assert!(matches!(v.finish(), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn view_reads_past_end_are_typed_errors() {
+        let seg = Segment::from_bytes("t.seg", SegmentWriter::new(0).into_bytes()).unwrap();
+        let mut v = seg.view();
+        assert!(matches!(v.get_u32(), Err(StoreError::Truncated { .. })));
+        assert!(matches!(
+            v.clone().get_varint(),
+            Err(StoreError::Truncated { .. })
+        ));
+        v.finish().unwrap();
+    }
+
+    #[test]
+    fn absurd_counts_are_corruption_not_allocation() {
+        let mut w = SegmentWriter::new(0);
+        w.put_varint(u64::MAX / 2);
+        let seg = Segment::from_bytes("t.seg", w.into_bytes()).unwrap();
+        let mut v = seg.view();
+        assert!(matches!(
+            v.get_count(1 << 32),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn huge_declared_length_is_typed_error_not_overflow() {
+        // A crafted header whose length field is near u64::MAX must be
+        // refused, not panic on checked arithmetic (debug) or wrap
+        // around to an accepted bogus header (release).
+        for len in [u64::MAX, u64::MAX - 10, u64::MAX - 27] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&SEGMENT_MAGIC);
+            bytes.extend_from_slice(&1u16.to_le_bytes());
+            bytes.extend_from_slice(&0u16.to_le_bytes());
+            bytes.extend_from_slice(&len.to_le_bytes());
+            bytes.extend_from_slice(&[0u8; 16]);
+            let err = Segment::from_bytes("h.seg", bytes).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Corrupt { .. } | StoreError::Truncated { .. }
+                ),
+                "len={len}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_payload_is_valid() {
+        let seg = Segment::from_bytes("e.seg", SegmentWriter::new(3).into_bytes()).unwrap();
+        assert_eq!(seg.payload().len(), 0);
+        seg.view().finish().unwrap();
+    }
+}

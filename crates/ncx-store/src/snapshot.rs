@@ -1,0 +1,378 @@
+//! Snapshot directories: the writer and the cold-open reader.
+//!
+//! [`SnapshotWriter`] owns the save protocol: segments are written
+//! first, the manifest **last** — so a crash mid-save leaves a directory
+//! without a valid manifest, which [`Snapshot::open`] refuses as
+//! [`StoreError::NotASnapshot`] instead of serving half an index.
+//!
+//! [`Snapshot`] is the read side: it parses and integrity-checks the
+//! manifest on open (cheap — no segment is touched), then loads segments
+//! on demand with full verification: byte length against the manifest,
+//! whole-file checksum against the manifest, the segment's own trailer
+//! checksum, and the kind tag against the file table. [`Snapshot::verify`]
+//! runs the same checks over every listed file for offline auditing.
+
+use crate::checksum::fnv1a64;
+use crate::error::{Result, StoreError};
+use crate::manifest::{FileEntry, Manifest, FORMAT_VERSION, MANIFEST_NAME};
+use crate::segment::{Segment, SegmentWriter};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Deterministic shard assignment for a partition key (concept ids on
+/// the write path). FNV-1a over the little-endian key bytes, reduced
+/// modulo the shard count — stable across processes and platforms, so a
+/// snapshot's shard map never depends on who wrote it.
+///
+/// ```
+/// use ncx_store::shard_of;
+/// assert_eq!(shard_of(42, 8), shard_of(42, 8));
+/// assert!(shard_of(42, 8) < 8);
+/// assert_eq!(shard_of(7, 1), 0);
+/// ```
+pub fn shard_of(key: u64, shards: u32) -> u32 {
+    let shards = shards.max(1);
+    (fnv1a64(&key.to_le_bytes()) % u64::from(shards)) as u32
+}
+
+/// Writes one snapshot directory. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    dir: PathBuf,
+    shards: u32,
+    stats: BTreeMap<String, u64>,
+    files: Vec<FileEntry>,
+}
+
+impl SnapshotWriter {
+    /// Creates (or reuses) the snapshot directory. Any stale manifest
+    /// from a previous snapshot at the same path is removed up front, so
+    /// the directory is never openable while this writer is mid-save —
+    /// and so are stale `*.seg` files (a re-save with fewer shards must
+    /// not leave orphan segments no manifest references).
+    pub fn create(dir: impl AsRef<Path>, shards: u32) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+        let manifest_path = dir.join(MANIFEST_NAME);
+        if manifest_path.exists() {
+            std::fs::remove_file(&manifest_path).map_err(|e| StoreError::io(&manifest_path, e))?;
+        }
+        for entry in std::fs::read_dir(&dir).map_err(|e| StoreError::io(&dir, e))? {
+            let entry = entry.map_err(|e| StoreError::io(&dir, e))?;
+            let path = entry.path();
+            if path.extension().is_some_and(|ext| ext == "seg") {
+                std::fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))?;
+            }
+        }
+        Ok(Self {
+            dir,
+            shards: shards.max(1),
+            stats: BTreeMap::new(),
+            files: Vec::new(),
+        })
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Records a named statistic for the manifest.
+    pub fn set_stat(&mut self, name: impl Into<String>, value: u64) {
+        self.stats.insert(name.into(), value);
+    }
+
+    /// Serialises a segment to `<dir>/<name>` and records it in the file
+    /// table. Names must be unique and whitespace-free.
+    pub fn write_segment(&mut self, name: &str, segment: SegmentWriter) -> Result<()> {
+        assert!(
+            !name.contains(char::is_whitespace) && !name.is_empty(),
+            "segment name {name:?} must be non-empty and whitespace-free"
+        );
+        assert!(
+            self.files.iter().all(|f| f.name != name),
+            "duplicate segment name {name:?}"
+        );
+        let kind = segment.kind();
+        let bytes = segment.into_bytes();
+        let path = self.dir.join(name);
+        std::fs::write(&path, &bytes).map_err(|e| StoreError::io(&path, e))?;
+        self.files.push(FileEntry {
+            name: name.to_string(),
+            kind,
+            bytes: bytes.len() as u64,
+            checksum: fnv1a64(&bytes),
+        });
+        Ok(())
+    }
+
+    /// Writes the manifest, completing the snapshot. Only after this
+    /// returns does the directory open as a valid snapshot.
+    pub fn finish(self) -> Result<Manifest> {
+        let manifest = Manifest {
+            format_version: FORMAT_VERSION,
+            shards: self.shards,
+            stats: self.stats,
+            files: self.files,
+        };
+        let path = self.dir.join(MANIFEST_NAME);
+        std::fs::write(&path, manifest.to_bytes()).map_err(|e| StoreError::io(&path, e))?;
+        Ok(manifest)
+    }
+}
+
+/// An opened snapshot directory.
+#[derive(Debug)]
+pub struct Snapshot {
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+impl Snapshot {
+    /// Opens a snapshot: reads and verifies the manifest (version gate,
+    /// self-checksum). Segment files are not touched until
+    /// [`read_segment`](Self::read_segment).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let bytes = match std::fs::read(&manifest_path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::NotASnapshot { dir });
+            }
+            Err(e) => return Err(StoreError::io(&manifest_path, e)),
+        };
+        let manifest = Manifest::parse(&bytes)?;
+        Ok(Self { dir, manifest })
+    }
+
+    /// The parsed manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The snapshot directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Loads and fully verifies one segment by file name.
+    pub fn read_segment(&self, name: &str) -> Result<Segment> {
+        let entry = self
+            .manifest
+            .file(name)
+            .ok_or_else(|| StoreError::MissingFile { file: name.into() })?;
+        let path = self.dir.join(name);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::MissingFile { file: name.into() });
+            }
+            Err(e) => return Err(StoreError::io(&path, e)),
+        };
+        if bytes.len() as u64 != entry.bytes {
+            return Err(StoreError::Truncated {
+                file: name.into(),
+                expected: entry.bytes,
+                actual: bytes.len() as u64,
+            });
+        }
+        if fnv1a64(&bytes) != entry.checksum {
+            return Err(StoreError::ChecksumMismatch { file: name.into() });
+        }
+        let segment = Segment::from_bytes(name, bytes)?;
+        if segment.kind() != entry.kind {
+            return Err(StoreError::corrupt(
+                name,
+                format!(
+                    "segment kind {} does not match manifest kind {}",
+                    segment.kind(),
+                    entry.kind
+                ),
+            ));
+        }
+        Ok(segment)
+    }
+
+    /// Verifies every file listed in the manifest (lengths, checksums,
+    /// headers) without decoding payloads.
+    pub fn verify(&self) -> Result<()> {
+        for f in &self.manifest.files {
+            self.read_segment(&f.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ncx_store_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_sample(dir: &Path) -> Manifest {
+        let mut w = SnapshotWriter::create(dir, 4).unwrap();
+        let mut seg = SegmentWriter::new(1);
+        seg.put_varint(3);
+        seg.put_len_str("abc");
+        w.write_segment("a.seg", seg).unwrap();
+        let mut seg = SegmentWriter::new(2);
+        seg.put_u64(0x0123_4567_89ab_cdef);
+        w.write_segment("b.seg", seg).unwrap();
+        w.set_stat("num_docs", 17);
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn write_open_verify_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let manifest = write_sample(&dir);
+        assert_eq!(manifest.files.len(), 2);
+        let snap = Snapshot::open(&dir).unwrap();
+        assert_eq!(snap.manifest(), &manifest);
+        snap.verify().unwrap();
+        let seg = snap.read_segment("a.seg").unwrap();
+        let mut v = seg.view();
+        assert_eq!(v.get_varint().unwrap(), 3);
+        assert_eq!(v.get_len_str().unwrap(), "abc");
+        v.finish().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_is_not_a_snapshot() {
+        let dir = temp_dir("nomanifest");
+        assert!(matches!(
+            Snapshot::open(&dir).unwrap_err(),
+            StoreError::NotASnapshot { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_save_is_not_openable() {
+        let dir = temp_dir("interrupted");
+        write_sample(&dir);
+        // A new writer over the same directory invalidates the old
+        // manifest immediately; until finish(), opens must fail.
+        let mut w = SnapshotWriter::create(&dir, 2).unwrap();
+        let seg = SegmentWriter::new(9);
+        w.write_segment("c.seg", seg).unwrap();
+        assert!(matches!(
+            Snapshot::open(&dir).unwrap_err(),
+            StoreError::NotASnapshot { .. }
+        ));
+        w.finish().unwrap();
+        Snapshot::open(&dir).unwrap().verify().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recreate_removes_stale_segments() {
+        // Re-saving into the same directory with fewer segments must not
+        // leave orphan .seg files no manifest references.
+        let dir = temp_dir("restale");
+        write_sample(&dir); // a.seg + b.seg
+        let mut w = SnapshotWriter::create(&dir, 1).unwrap();
+        assert!(!dir.join("a.seg").exists(), "stale a.seg survived");
+        assert!(!dir.join("b.seg").exists(), "stale b.seg survived");
+        w.write_segment("only.seg", SegmentWriter::new(5)).unwrap();
+        w.finish().unwrap();
+        let snap = Snapshot::open(&dir).unwrap();
+        snap.verify().unwrap();
+        let on_disk: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".seg"))
+            .collect();
+        assert_eq!(on_disk, vec!["only.seg".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deleted_segment_is_missing_file() {
+        let dir = temp_dir("missing");
+        write_sample(&dir);
+        std::fs::remove_file(dir.join("b.seg")).unwrap();
+        let snap = Snapshot::open(&dir).unwrap();
+        assert!(matches!(
+            snap.verify().unwrap_err(),
+            StoreError::MissingFile { .. }
+        ));
+        assert!(matches!(
+            snap.read_segment("nonexistent.seg").unwrap_err(),
+            StoreError::MissingFile { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_segment_byte_is_checksum_mismatch() {
+        let dir = temp_dir("flip");
+        write_sample(&dir);
+        let path = dir.join("a.seg");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, bytes).unwrap();
+        let snap = Snapshot::open(&dir).unwrap();
+        assert!(matches!(
+            snap.read_segment("a.seg").unwrap_err(),
+            StoreError::ChecksumMismatch { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_segment_is_typed() {
+        let dir = temp_dir("trunc");
+        write_sample(&dir);
+        let path = dir.join("b.seg");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let snap = Snapshot::open(&dir).unwrap();
+        assert!(matches!(
+            snap.read_segment("b.seg").unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn swapped_segment_files_are_refused() {
+        // Swapping two validly-checksummed files must still fail: the
+        // manifest pins length+checksum per *name*.
+        let dir = temp_dir("swap");
+        write_sample(&dir);
+        let a = std::fs::read(dir.join("a.seg")).unwrap();
+        let b = std::fs::read(dir.join("b.seg")).unwrap();
+        std::fs::write(dir.join("a.seg"), &b).unwrap();
+        std::fs::write(dir.join("b.seg"), &a).unwrap();
+        let snap = Snapshot::open(&dir).unwrap();
+        assert!(snap.read_segment("a.seg").is_err());
+        assert!(snap.read_segment("b.seg").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_bounded() {
+        for key in 0..1000u64 {
+            let s = shard_of(key, 8);
+            assert!(s < 8);
+            assert_eq!(s, shard_of(key, 8));
+        }
+        // All shards of a small partition get some keys (sanity that the
+        // hash actually spreads).
+        let mut seen = [false; 4];
+        for key in 0..1000u64 {
+            seen[shard_of(key, 4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        assert_eq!(shard_of(123, 0), 0, "zero shards clamps to one");
+    }
+}

@@ -1,0 +1,100 @@
+//! LEB128 variable-width integers.
+//!
+//! Doc ids inside a posting list are stored as **deltas** from their
+//! predecessor; deltas are small, so LEB128 encodes the common case in
+//! one byte where a fixed `u32` would spend four. Scores stay
+//! fixed-width `f64` (bit-exact round-trips are a format invariant), so
+//! varints are only used where the value distribution earns it.
+
+/// Appends `v` to `out` as LEB128 (7 bits per byte, high bit = more).
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a LEB128 integer from the front of `buf`, returning the value
+/// and the number of bytes consumed, or `None` on truncation/overflow.
+pub fn read_u64(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    for (i, &byte) in buf.iter().enumerate().take(10) {
+        let payload = u64::from(byte & 0x7f);
+        // The 10th byte may only contribute the single remaining bit.
+        if i == 9 && payload > 1 {
+            return None;
+        }
+        v |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        let (got, used) = read_u64(&buf).expect("decodes");
+        assert_eq!(got, v);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn edge_values_roundtrip() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            255,
+            300,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn encoding_is_minimal_for_small_values() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 5);
+        assert_eq!(buf, vec![5]);
+        buf.clear();
+        write_u64(&mut buf, 200);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert!(read_u64(&buf[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn overlong_encoding_is_rejected() {
+        // 11 continuation bytes can never be a valid u64.
+        let buf = [0x80u8; 11];
+        assert!(read_u64(&buf).is_none());
+        // A 10th byte carrying more than the final bit overflows.
+        let mut buf = vec![0xff; 9];
+        buf.push(0x7f);
+        assert!(read_u64(&buf).is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property/fuzz tests for the snapshot substrate: arbitrary payloads
+//! round-trip exactly, and arbitrary corruption is always a typed error,
+//! never a panic or a silent wrong read.
+
+use ncx_store::segment::{Segment, SegmentWriter};
+use ncx_store::varint;
+use ncx_store::{fnv1a64, Manifest, StoreError};
+use proptest::prelude::*;
+
+proptest! {
+    /// Varints round-trip any u64 and consume exactly their own bytes.
+    #[test]
+    fn varint_roundtrip(v in any::<u64>(), trailing in prop::collection::vec(any::<u8>(), 0..8)) {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        let encoded_len = buf.len();
+        buf.extend_from_slice(&trailing);
+        let (got, used) = varint::read_u64(&buf).expect("valid encoding decodes");
+        prop_assert_eq!(got, v);
+        prop_assert_eq!(used, encoded_len);
+    }
+
+    /// Arbitrary byte soup fed to the varint decoder never panics and
+    /// never reports consuming more bytes than exist.
+    #[test]
+    fn varint_decoder_total(bytes in prop::collection::vec(any::<u8>(), 0..16)) {
+        if let Some((_, used)) = varint::read_u64(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+
+    /// A segment built from arbitrary records reads back bit-for-bit:
+    /// u32 ids, f64 scores (including NaN payloads and infinities via
+    /// raw bit patterns), and length-framed strings.
+    #[test]
+    fn segment_records_roundtrip(
+        kind in any::<u16>(),
+        records in prop::collection::vec((any::<u32>(), any::<u64>(), "[a-zéλ0-9 ]{0,24}"), 0..40),
+    ) {
+        let mut w = SegmentWriter::new(kind);
+        w.put_varint(records.len() as u64);
+        for (id, bits, s) in &records {
+            w.put_u32(*id);
+            w.put_f64(f64::from_bits(*bits));
+            w.put_len_str(s);
+        }
+        let seg = Segment::from_bytes("p.seg", w.into_bytes()).expect("fresh bytes verify");
+        prop_assert_eq!(seg.kind(), kind);
+        let mut v = seg.view();
+        prop_assert_eq!(v.get_varint().unwrap() as usize, records.len());
+        for (id, bits, s) in &records {
+            prop_assert_eq!(v.get_u32().unwrap(), *id);
+            prop_assert_eq!(v.get_f64().unwrap().to_bits(), *bits);
+            prop_assert_eq!(v.get_len_str().unwrap(), s.as_str());
+        }
+        v.finish().unwrap();
+    }
+
+    /// Any single-byte mutation of a valid segment image is rejected
+    /// with a typed error — the checksum leaves no blind spots.
+    #[test]
+    fn segment_mutations_always_detected(
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        flip_at in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let mut w = SegmentWriter::new(3);
+        w.put_bytes(&payload);
+        let mut bytes = w.into_bytes();
+        let i = flip_at % bytes.len();
+        bytes[i] ^= xor;
+        prop_assert!(Segment::from_bytes("m.seg", bytes).is_err());
+    }
+
+    /// Truncating a valid segment anywhere is rejected.
+    #[test]
+    fn segment_truncations_always_detected(
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+        cut_at in any::<usize>(),
+    ) {
+        let mut w = SegmentWriter::new(1);
+        w.put_bytes(&payload);
+        let bytes = w.into_bytes();
+        let cut = cut_at % bytes.len();
+        let err = Segment::from_bytes("t.seg", bytes[..cut].to_vec()).unwrap_err();
+        let typed = matches!(
+            err,
+            StoreError::Truncated { .. } | StoreError::ChecksumMismatch { .. }
+        );
+        prop_assert!(typed, "unexpected error: {err}");
+    }
+
+    /// The manifest parser is total over arbitrary bytes: it returns an
+    /// error (or, vanishingly unlikely, a manifest) but never panics.
+    #[test]
+    fn manifest_parser_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Manifest::parse(&bytes);
+    }
+
+    /// Checksum determinism: equal inputs hash equal, and an appended
+    /// byte always changes the hash (FNV-1a has no trivial absorbing
+    /// suffix state).
+    #[test]
+    fn checksum_sensitivity(bytes in prop::collection::vec(any::<u8>(), 0..64), extra in any::<u8>()) {
+        let h = fnv1a64(&bytes);
+        prop_assert_eq!(h, fnv1a64(&bytes));
+        let mut longer = bytes.clone();
+        longer.push(extra);
+        prop_assert_ne!(fnv1a64(&longer), h);
+    }
+}

@@ -25,7 +25,7 @@ fn main() {
     );
     let engine = NcExplorer::build(
         kg.clone(),
-        &corpus.store,
+        corpus.store,
         NcxConfig {
             samples: 25,
             ..NcxConfig::default()
@@ -64,7 +64,7 @@ fn main() {
     println!("\nstep 3: roll-up '{}'", query.describe(&kg));
     let hits = engine.rollup(&query, 5);
     for hit in &hits {
-        let a = corpus.store.get(hit.doc);
+        let a = engine.document(hit.doc);
         println!("  [{:.3}] ({}) {}", hit.score, a.source, a.title);
         for m in &hit.matches {
             println!(

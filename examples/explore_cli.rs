@@ -41,7 +41,7 @@ fn main() {
     eprintln!("building engine over {} articles ...", corpus.store.len());
     let engine = NcExplorer::build(
         kg.clone(),
-        &corpus.store,
+        corpus.store,
         NcxConfig {
             samples: 25,
             ..NcxConfig::default()
@@ -100,7 +100,7 @@ fn main() {
                             println!("no documents match {}", s.query().describe(&kg));
                         }
                         for h in hits {
-                            let a = corpus.store.get(h.doc);
+                            let a = engine.document(h.doc);
                             println!("  d{} [{:.3}] {}", h.doc.raw(), h.score, a.title);
                         }
                     }
@@ -152,11 +152,11 @@ fn main() {
                 }
             }
             "doc" => match rest.parse::<u32>() {
-                Ok(id) if (id as usize) < corpus.store.len() => {
-                    let a = corpus.store.get(DocId::new(id));
+                Ok(id) if (id as usize) < engine.store().len() => {
+                    let a = engine.document(DocId::new(id));
                     println!("({}) {}\n{}", a.source, a.title, a.body);
                 }
-                _ => println!("usage: doc <0..{}>", corpus.store.len() - 1),
+                _ => println!("usage: doc <0..{}>", engine.store().len() - 1),
             },
             other => println!("unknown command: {other} (try 'help')"),
         }

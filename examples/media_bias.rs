@@ -22,7 +22,7 @@ fn main() {
     );
     let engine = NcExplorer::build(
         kg.clone(),
-        &corpus.store,
+        corpus.store,
         NcxConfig {
             samples: 25,
             ..NcxConfig::default()
@@ -56,7 +56,7 @@ fn main() {
     println!("\nroll-up '{}':", query.describe(&kg));
     let hits = engine.rollup(&query, 10);
     for hit in &hits {
-        let a = corpus.store.get(hit.doc);
+        let a = engine.document(hit.doc);
         let execs: Vec<&str> = hit
             .matches
             .iter()
@@ -74,7 +74,7 @@ fn main() {
     // Per-source skew: which outlets carry this storyline?
     let mut by_source = [0usize; 3];
     for hit in &hits {
-        let s = corpus.store.get(hit.doc).source;
+        let s = engine.document(hit.doc).source;
         let i = ncexplorer::index::NewsSource::ALL
             .iter()
             .position(|&x| x == s)

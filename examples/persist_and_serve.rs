@@ -1,0 +1,115 @@
+//! Build once, serve from snapshots: the `ncx-store` cold-open path.
+//!
+//! Builds an engine over a generated corpus (the expensive two-pass
+//! index), saves it as a sharded snapshot directory, drops the engine,
+//! then cold-opens the snapshot and serves the same queries — comparing
+//! wall-clock cost and verifying the answers are bit-for-bit identical.
+//! This is the deployment shape the production north star asks for: one
+//! builder, many cheap serving replicas.
+//!
+//! ```bash
+//! cargo run --release --example persist_and_serve
+//! ```
+
+use ncexplorer::core::{NcExplorer, NcxConfig};
+use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let kg = Arc::new(generate_kg(&KgGenConfig::default()));
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles: 1000,
+            ..CorpusConfig::default()
+        },
+    );
+
+    // 1. The expensive part: entity linking + relevance scoring.
+    let t = Instant::now();
+    let engine = NcExplorer::build(
+        kg.clone(),
+        corpus.store,
+        NcxConfig {
+            samples: 25,
+            ..NcxConfig::default()
+        },
+    );
+    let build_time = t.elapsed();
+    println!(
+        "built: {} docs, {} postings in {:.2?}",
+        engine.index().num_docs(),
+        engine.index().num_postings(),
+        build_time
+    );
+
+    // 2. Persist. The snapshot directory holds a manifest plus
+    //    checksummed segments; concept postings are hash-partitioned
+    //    into NcxConfig::snapshot_shards shard files.
+    let dir = std::env::temp_dir().join("ncx_persist_and_serve");
+    let _ = std::fs::remove_dir_all(&dir);
+    let t = Instant::now();
+    engine.save(&dir).expect("snapshot save");
+    println!("saved to {} in {:.2?}", dir.display(), t.elapsed());
+    let mut bytes = 0u64;
+    let mut files: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("list snapshot") {
+        let entry = entry.expect("dir entry");
+        bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+        files.push(entry.file_name().to_string_lossy().into_owned());
+    }
+    files.sort();
+    println!("layout ({bytes} bytes): {}", files.join(", "));
+
+    // Capture reference answers, then drop the hot engine entirely.
+    let query = engine
+        .query(&["Financial Crime", "Bank"])
+        .expect("concepts exist");
+    let reference_hits = engine.rollup(&query, 5);
+    let reference_subs = engine.drilldown(&query, 5);
+    let config = engine.config().clone();
+    drop(engine);
+
+    // 3. Cold open: a fresh process would start here — no corpus scan,
+    //    no linking, no scoring. Just checksum-verified segment loads.
+    let t = Instant::now();
+    let cold = NcExplorer::open(&dir, kg.clone(), config).expect("snapshot open");
+    let open_time = t.elapsed();
+    println!(
+        "\ncold-opened in {open_time:.2?} ({:.0}× faster than the build)",
+        build_time.as_secs_f64() / open_time.as_secs_f64().max(1e-9)
+    );
+
+    // 4. Serve: answers must be bit-for-bit what the builder produced.
+    let q = cold
+        .query(&["Financial Crime", "Bank"])
+        .expect("concepts exist");
+    let hits = cold.rollup(&q, 5);
+    let subs = cold.drilldown(&q, 5);
+    assert_eq!(hits, reference_hits, "cold-open roll-up must be identical");
+    assert_eq!(
+        subs, reference_subs,
+        "cold-open drill-down must be identical"
+    );
+
+    println!("\n== roll-up from the snapshot: {} ==", q.describe(&kg));
+    for hit in &hits {
+        let article = cold.document(hit.doc);
+        println!(
+            "  [{:.3}] ({}) {}",
+            hit.score, article.source, article.title
+        );
+    }
+    println!("\n== drill-down subtopics ==");
+    for s in &subs {
+        println!(
+            "  {:<24} sbr {:.3} ({} docs)",
+            kg.concept_label(s.concept),
+            s.score,
+            s.matching_docs
+        );
+    }
+    println!("\nserved bit-for-bit identical results from the snapshot.");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -26,9 +26,11 @@ fn main() {
     println!("\ncorpus: {} articles", corpus.store.len());
 
     // 3. Build the NCExplorer engine (entity linking + concept postings).
+    // The engine takes ownership of the store; articles are fetched back
+    // through `engine.document(...)`.
     let engine = NcExplorer::build(
         kg.clone(),
-        &corpus.store,
+        corpus.store,
         NcxConfig {
             samples: 25,
             ..NcxConfig::default()
@@ -42,7 +44,7 @@ fn main() {
         .expect("concepts exist");
     println!("\n== roll-up: {} ==", query.describe(&kg));
     for hit in engine.rollup(&query, 5) {
-        let article = corpus.store.get(hit.doc);
+        let article = engine.document(hit.doc);
         println!("  [{:.3}] {}", hit.score, article.title);
         for m in &hit.matches {
             println!(

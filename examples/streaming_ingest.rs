@@ -24,7 +24,7 @@ fn main() {
     );
     let mut engine = NcExplorer::build(
         kg.clone(),
-        &corpus.store,
+        corpus.store,
         NcxConfig {
             samples: 25,
             ..NcxConfig::default()
@@ -37,7 +37,7 @@ fn main() {
     let before = engine.rollup(&query, 100).len();
     println!(
         "initial corpus: {} articles; '{}' matches {} documents",
-        corpus.store.len(),
+        engine.store().len(),
         query.describe(&kg),
         before
     );

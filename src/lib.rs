@@ -15,6 +15,7 @@
 //! | [`reach`] | k-hop reachability index, target-distance oracle |
 //! | [`newslink`] | NewsLink and NewsLink-BERT baselines |
 //! | [`core`] | the NCExplorer engine: roll-up, drill-down, estimators |
+//! | [`store`] | persistent sharded snapshot format (save/cold-open) |
 //! | [`datagen`] | synthetic KG/corpus generators and evaluation oracles |
 //! | [`eval`] | NDCG, statistics, tables |
 //!
@@ -27,7 +28,7 @@
 //!
 //! let kg = Arc::new(generate_kg(&KgGenConfig::default()));
 //! let corpus = generate_corpus(&kg, &CorpusConfig { articles: 50, ..Default::default() });
-//! let engine = NcExplorer::build(kg, &corpus.store, NcxConfig { samples: 10, ..Default::default() });
+//! let engine = NcExplorer::build(kg, corpus.store, NcxConfig { samples: 10, ..Default::default() });
 //!
 //! let query = engine.query(&["Financial Crime"]).unwrap();
 //! let hits = engine.rollup(&query, 5);
@@ -35,6 +36,10 @@
 //! assert!(!hits.is_empty());
 //! assert!(!subtopics.is_empty());
 //! ```
+//!
+//! Built engines persist: `engine.save(dir)` writes an `ncx-store`
+//! snapshot and `NcExplorer::open(dir, kg, config)` cold-opens it,
+//! serving identical results without re-running the two-pass build.
 
 pub use ncx_core as core;
 pub use ncx_datagen as datagen;
@@ -44,4 +49,5 @@ pub use ncx_index as index;
 pub use ncx_kg as kg;
 pub use ncx_newslink as newslink;
 pub use ncx_reach as reach;
+pub use ncx_store as store;
 pub use ncx_text as text;

@@ -44,9 +44,11 @@ fn fixture() -> Fixture {
         NewsLinkConfig::default(),
         TextEmbedder::new(128),
     );
+    // NCExplorer owns its corpus; the fixture keeps the generated store
+    // for the other engines and the ground truth, so hand it a clone.
     let ncx = NcExplorer::build(
         kg.clone(),
-        &corpus.store,
+        corpus.store.clone(),
         NcxConfig {
             samples: 15,
             ..NcxConfig::default()
@@ -195,7 +197,7 @@ fn engines_agree_on_obvious_lexical_match() {
     // Take an actual article title as the query: everyone should rank
     // that article first (or near-first).
     let target = DocId::new(0);
-    let title = f.corpus.store.get(target).title.clone();
+    let title = f.ncx.store().get(target).title.clone();
     let lucene_top = f.lucene.search(&title, 3);
     assert!(
         lucene_top.iter().any(|&(d, _)| d == target),

@@ -21,9 +21,11 @@ fn engine_fixture(
             ..CorpusConfig::default()
         },
     );
+    // The engine owns its store; keep the generated corpus alongside for
+    // the ground-truth grades.
     let engine = NcExplorer::build(
         kg.clone(),
-        &corpus.store,
+        corpus.store.clone(),
         NcxConfig {
             samples,
             ..NcxConfig::default()
@@ -176,13 +178,18 @@ fn dead_end_query_relaxation_journey() {
 
 #[test]
 fn annotated_export_covers_corpus() {
-    let (kg, corpus, engine) = engine_fixture(80, 10);
+    let (kg, _corpus, engine) = engine_fixture(80, 10);
     let mut buf = Vec::new();
-    ncexplorer::core::export::export_annotated_corpus(&kg, &corpus.store, engine.index(), &mut buf)
-        .unwrap();
+    ncexplorer::core::export::export_annotated_corpus(
+        &kg,
+        engine.store(),
+        engine.index(),
+        &mut buf,
+    )
+    .unwrap();
     let text = String::from_utf8(buf).unwrap();
     let records = ncexplorer::core::export::parse_export(&text).unwrap();
-    assert_eq!(records.len(), corpus.store.len());
+    assert_eq!(records.len(), engine.store().len());
     // Concept annotations in the export match the index postings count.
     let total: usize = records.iter().map(|r| r.concepts.len()).sum();
     assert_eq!(total, engine.index().num_postings());

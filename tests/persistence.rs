@@ -1,0 +1,359 @@
+//! Snapshot integration tests: random corpora must round-trip
+//! **bit-for-bit** (identical roll-up and drill-down results before and
+//! after a cold open), and every corruption mode must surface as the
+//! right typed [`StoreError`] — never a panic, never silently wrong
+//! results.
+
+use ncexplorer::core::{NcExplorer, NcxConfig, Parallelism};
+use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+use ncexplorer::kg::DocId;
+use ncexplorer::store::{fnv1a64, StoreError, MANIFEST_NAME};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ncx_persistence_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn build_engine(
+    articles: usize,
+    seed: u64,
+    shards: u32,
+) -> (Arc<ncexplorer::kg::KnowledgeGraph>, NcExplorer) {
+    let kg = Arc::new(generate_kg(&KgGenConfig::default()));
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles,
+            seed,
+            ..CorpusConfig::default()
+        },
+    );
+    let engine = NcExplorer::build(
+        kg.clone(),
+        corpus.store,
+        NcxConfig {
+            samples: 10,
+            parallelism: Parallelism::sequential(),
+            snapshot_shards: shards,
+            ..NcxConfig::default()
+        },
+    );
+    (kg, engine)
+}
+
+/// Every query result a snapshot must preserve, captured for comparison.
+fn fingerprint(engine: &NcExplorer, topics: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    for topic in topics {
+        let q = engine.query(&[topic]).unwrap();
+        for h in engine.rollup(&q, 100) {
+            // Exact f64 bits, not a display rounding.
+            out.push(format!(
+                "{topic}/r/{}/{:016x}",
+                h.doc.raw(),
+                h.score.to_bits()
+            ));
+        }
+        for s in engine.drilldown(&q, 25) {
+            out.push(format!(
+                "{topic}/d/{}/{}/{}/{:016x}",
+                s.concept.raw(),
+                s.matching_docs,
+                s.distinct_entities,
+                s.score.to_bits()
+            ));
+        }
+    }
+    out
+}
+
+const TOPICS: [&str; 4] = ["Financial Crime", "Elections", "Bank", "Lawsuits"];
+
+#[test]
+fn cold_open_answers_bit_for_bit() {
+    let (kg, engine) = build_engine(120, 7, 4);
+    let dir = temp_dir("roundtrip");
+    engine.save(&dir).unwrap();
+    let cold = NcExplorer::open(&dir, kg, engine.config().clone()).unwrap();
+    assert_eq!(fingerprint(&engine, &TOPICS), fingerprint(&cold, &TOPICS));
+    // The corpus came back byte-identical too.
+    assert_eq!(cold.store().len(), engine.store().len());
+    for (a, b) in engine.store().iter().zip(cold.store().iter()) {
+        assert_eq!(
+            (&a.title, &a.body, a.source, a.published),
+            (&b.title, &b.body, b.source, b.published)
+        );
+    }
+    // And the per-posting score decomposition survives exactly.
+    for c in cold.index().indexed_concepts() {
+        let before = engine.index().postings(c);
+        let after = cold.index().postings(c);
+        assert_eq!(before.len(), after.len());
+        for (x, y) in before.iter().zip(after) {
+            assert_eq!(x.doc, y.doc);
+            assert_eq!(x.cdr.to_bits(), y.cdr.to_bits());
+            assert_eq!(x.cdro.to_bits(), y.cdro.to_bits());
+            assert_eq!(x.cdrc.to_bits(), y.cdrc.to_bits());
+            assert_eq!(x.pivot, y.pivot);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reopened_engine_keeps_streaming() {
+    // A cold-opened engine is a full engine: ingestion keeps working and
+    // extends both index and store.
+    let (kg, engine) = build_engine(40, 3, 2);
+    let dir = temp_dir("stream");
+    engine.save(&dir).unwrap();
+    let mut cold = NcExplorer::open(&dir, kg, engine.config().clone()).unwrap();
+    let before = {
+        let q = cold.query(&["Financial Crime"]).unwrap();
+        cold.rollup(&q, 1000).len()
+    };
+    let doc = cold.ingest("DBS bank faces fraud and money laundering charges.");
+    assert_eq!(doc.index(), 40);
+    assert_eq!(cold.store().len(), 41);
+    let q = cold.query(&["Financial Crime"]).unwrap();
+    assert!(cold.rollup(&q, 1000).len() > before);
+    // …and the extended engine snapshots again.
+    let dir2 = temp_dir("stream2");
+    cold.save(&dir2).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
+#[test]
+fn shard_count_does_not_change_answers() {
+    // The shard map is a storage layout, not a semantic choice.
+    let (kg, engine) = build_engine(80, 11, 1);
+    let reference = fingerprint(&engine, &TOPICS);
+    for shards in [1u32, 3, 16] {
+        let mut config = engine.config().clone();
+        config.snapshot_shards = shards;
+        let dir = temp_dir(&format!("shards{shards}"));
+        // Re-save under a different shard count via a rebuilt engine
+        // config: save uses config.snapshot_shards.
+        let (kg2, engine2) = build_engine(80, 11, shards);
+        let _ = kg2;
+        engine2.save(&dir).unwrap();
+        let cold = NcExplorer::open(&dir, kg.clone(), config).unwrap();
+        assert_eq!(fingerprint(&cold, &TOPICS), reference, "shards={shards}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random small corpora round-trip bit-for-bit whatever the corpus
+    /// seed, size, and shard count.
+    #[test]
+    fn random_corpora_roundtrip(
+        articles in 5usize..60,
+        seed in 0u64..1000,
+        shards in 1u32..9,
+    ) {
+        let (kg, engine) = build_engine(articles, seed, shards);
+        let dir = temp_dir(&format!("prop_{articles}_{seed}_{shards}"));
+        engine.save(&dir).unwrap();
+        let cold = NcExplorer::open(&dir, kg, engine.config().clone()).unwrap();
+        prop_assert_eq!(fingerprint(&engine, &TOPICS), fingerprint(&cold, &TOPICS));
+        prop_assert_eq!(cold.index().num_postings(), engine.index().num_postings());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---- corruption: every failure is a typed error ----
+
+fn saved_snapshot(tag: &str) -> (Arc<ncexplorer::kg::KnowledgeGraph>, NcExplorer, PathBuf) {
+    let (kg, engine) = build_engine(30, 5, 3);
+    let dir = temp_dir(tag);
+    engine.save(&dir).unwrap();
+    (kg, engine, dir)
+}
+
+fn open_err(
+    dir: &Path,
+    kg: &Arc<ncexplorer::kg::KnowledgeGraph>,
+    engine: &NcExplorer,
+) -> StoreError {
+    NcExplorer::open(dir, kg.clone(), engine.config().clone())
+        .err()
+        .expect("corrupted snapshot must not open")
+}
+
+#[test]
+fn flipped_byte_in_any_file_is_detected() {
+    let (kg, engine, dir) = saved_snapshot("flip");
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let original = std::fs::read(&path).unwrap();
+        // Flip a byte at several positions through the file.
+        for frac in [0.1, 0.5, 0.9] {
+            let mut bad = original.clone();
+            let i = ((bad.len() as f64 * frac) as usize).min(bad.len() - 1);
+            bad[i] ^= 0x20;
+            std::fs::write(&path, &bad).unwrap();
+            let err = open_err(&dir, &kg, &engine);
+            assert!(
+                matches!(
+                    err,
+                    StoreError::ChecksumMismatch { .. }
+                        | StoreError::Corrupt { .. }
+                        | StoreError::Truncated { .. }
+                        | StoreError::VersionMismatch { .. }
+                        | StoreError::Incompatible { .. }
+                ),
+                "{name} flip at {frac}: unexpected {err}"
+            );
+        }
+        std::fs::write(&path, &original).unwrap();
+        // Restored: opens again.
+        NcExplorer::open(&dir, kg.clone(), engine.config().clone()).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_segment_is_typed_error() {
+    let (kg, engine, dir) = saved_snapshot("trunc");
+    let path = dir.join("concepts-000.seg");
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    let err = open_err(&dir, &kg, &engine);
+    assert!(
+        matches!(err, StoreError::Truncated { .. }),
+        "expected Truncated, got {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_segment_is_typed_error() {
+    let (kg, engine, dir) = saved_snapshot("missing");
+    std::fs::remove_file(dir.join("entities.seg")).unwrap();
+    let err = open_err(&dir, &kg, &engine);
+    assert!(
+        matches!(err, StoreError::MissingFile { ref file } if file == "entities.seg"),
+        "expected MissingFile, got {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn future_format_version_is_refused() {
+    let (kg, engine, dir) = saved_snapshot("future");
+    // Rewrite the manifest claiming format version 99, with a correct
+    // self-checksum so the version gate (not the checksum) is what fires.
+    let path = dir.join(MANIFEST_NAME);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let body = text
+        .rsplit_once("manifest_checksum")
+        .map(|(b, _)| b.to_string())
+        .unwrap()
+        .replace("format_version 1", "format_version 99");
+    let sum = fnv1a64(body.as_bytes());
+    std::fs::write(&path, format!("{body}manifest_checksum {sum:016x}\n")).unwrap();
+    let err = open_err(&dir, &kg, &engine);
+    assert!(
+        matches!(
+            err,
+            StoreError::VersionMismatch {
+                found: 99,
+                supported: 1
+            }
+        ),
+        "expected VersionMismatch, got {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_and_foreign_directories_are_not_snapshots() {
+    let (kg, engine, dir) = saved_snapshot("foreign");
+    let empty = temp_dir("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    assert!(matches!(
+        open_err(&empty, &kg, &engine),
+        StoreError::NotASnapshot { .. }
+    ));
+    // A directory with a garbage manifest is corrupt, not a panic.
+    std::fs::write(empty.join(MANIFEST_NAME), b"\xff\xfe not a manifest").unwrap();
+    assert!(matches!(
+        open_err(&empty, &kg, &engine),
+        StoreError::Corrupt { .. }
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&empty).ok();
+}
+
+#[test]
+fn wrong_knowledge_graph_is_incompatible() {
+    let (_kg, engine, dir) = saved_snapshot("wrongkg");
+    let other = Arc::new(generate_kg(&KgGenConfig {
+        orphan_entities: 3,
+        synth_per_group: 2,
+        ..KgGenConfig::default()
+    }));
+    let err = NcExplorer::open(&dir, other, engine.config().clone())
+        .err()
+        .expect("foreign KG must be refused");
+    assert!(
+        matches!(err, StoreError::Incompatible { .. }),
+        "expected Incompatible, got {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_is_canonical() {
+    // Saving the same engine twice produces byte-identical directories —
+    // no iteration-order leakage from hash maps into the format.
+    let (kg, engine) = build_engine(40, 9, 4);
+    let (dir_a, dir_b) = (temp_dir("canon_a"), temp_dir("canon_b"));
+    engine.save(&dir_a).unwrap();
+    engine.save(&dir_b).unwrap();
+    // And an open → save cycle reproduces the same bytes again.
+    let cold = NcExplorer::open(&dir_a, kg, engine.config().clone()).unwrap();
+    let dir_c = temp_dir("canon_c");
+    cold.save(&dir_c).unwrap();
+    for entry in std::fs::read_dir(&dir_a).unwrap() {
+        let name = entry.unwrap().file_name();
+        let a = std::fs::read(dir_a.join(&name)).unwrap();
+        let b = std::fs::read(dir_b.join(&name)).unwrap();
+        let c = std::fs::read(dir_c.join(&name)).unwrap();
+        assert_eq!(a, b, "{name:?} differs across saves");
+        assert_eq!(a, c, "{name:?} differs after an open→save cycle");
+    }
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+    std::fs::remove_dir_all(&dir_c).ok();
+}
+
+#[test]
+fn document_ids_stay_aligned_after_reload() {
+    let (kg, engine) = build_engine(25, 13, 2);
+    let dir = temp_dir("align");
+    engine.save(&dir).unwrap();
+    let cold = NcExplorer::open(&dir, kg, engine.config().clone()).unwrap();
+    for i in 0..engine.store().len() {
+        let d = DocId::from_index(i);
+        assert_eq!(engine.document(d).title, cold.document(d).title);
+        assert_eq!(
+            engine.index().concepts_of_doc(d),
+            cold.index().concepts_of_doc(d)
+        );
+        assert_eq!(
+            engine.index().entity_index.entities_of(d),
+            cold.index().entity_index.entities_of(d)
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -30,7 +30,7 @@ fn build_engine(articles: usize, width: usize) -> NcExplorer {
     );
     NcExplorer::build(
         kg,
-        &corpus.store,
+        corpus.store,
         NcxConfig {
             samples: 5,
             parallelism: Parallelism::Fixed(width),
@@ -46,7 +46,7 @@ fn concurrent_small_queries_match_sequential_reference() {
     let mut engine = build_engine(150, 8);
     let topics = ["Financial Crime", "Elections", "Bank"];
 
-    engine.set_parallelism(Parallelism::sequential());
+    engine.set_parallelism(Parallelism::sequential()).unwrap();
     let reference: Vec<_> = topics
         .iter()
         .map(|t| {
@@ -54,7 +54,7 @@ fn concurrent_small_queries_match_sequential_reference() {
             (q.clone(), engine.rollup(&q, 20), engine.drilldown(&q, 10))
         })
         .collect();
-    engine.set_parallelism(Parallelism::Fixed(8));
+    engine.set_parallelism(Parallelism::Fixed(8)).unwrap();
 
     let n = iters(25);
     std::thread::scope(|scope| {
@@ -96,11 +96,11 @@ fn rapid_build_drop_cycles_shut_down_cleanly() {
 fn runtime_width_switching_is_stable() {
     let mut engine = build_engine(150, 8);
     let q = engine.query(&["Financial Crime"]).unwrap();
-    engine.set_parallelism(Parallelism::sequential());
+    engine.set_parallelism(Parallelism::sequential()).unwrap();
     let reference = engine.rollup(&q, 20);
     for i in 0..iters(25) {
         let width = [1, 2, 8, 5][i % 4];
-        engine.set_parallelism(Parallelism::Fixed(width));
+        engine.set_parallelism(Parallelism::Fixed(width)).unwrap();
         assert_eq!(
             engine.rollup(&q, 20),
             reference,

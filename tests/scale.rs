@@ -18,7 +18,7 @@ fn drilldown_doc_cap_limits_work_not_correctness() {
     );
     let capped = NcExplorer::build(
         kg.clone(),
-        &corpus.store,
+        corpus.store,
         NcxConfig {
             samples: 10,
             drilldown_doc_cap: 5,
@@ -46,7 +46,7 @@ fn concept_cap_bounds_postings_per_doc() {
     );
     let engine = NcExplorer::build(
         kg.clone(),
-        &corpus.store,
+        corpus.store,
         NcxConfig {
             samples: 10,
             max_concepts_per_doc: 3,
@@ -112,7 +112,7 @@ fn medium_scale_pipeline() {
     // `Auto` would build a width-1 pool and pin everything sequential).
     let mut engine = NcExplorer::build(
         kg.clone(),
-        &corpus.store,
+        corpus.store,
         NcxConfig {
             samples: 25,
             parallelism: Parallelism::Fixed(4),
@@ -142,10 +142,10 @@ fn medium_scale_pipeline() {
     ];
     for topic in equivalence_queries {
         let q = engine.query(topic).unwrap();
-        engine.set_parallelism(Parallelism::sequential());
+        engine.set_parallelism(Parallelism::sequential()).unwrap();
         let seq_hits = engine.rollup(&q, 50);
         let seq_subs = engine.drilldown(&q, 20);
-        engine.set_parallelism(Parallelism::Fixed(4));
+        engine.set_parallelism(Parallelism::Fixed(4)).unwrap();
         let par_hits = engine.rollup(&q, 50);
         let par_subs = engine.drilldown(&q, 20);
         assert_eq!(seq_hits, par_hits, "{topic:?}: parallel roll-up diverged");
@@ -168,7 +168,7 @@ fn medium_scale_pipeline() {
     // which is what a production deployment runs; pinning `Fixed(4)`
     // here would charge single-core runners for four workers contending
     // over one CPU and make the baseline meaningless across machines.
-    engine.set_parallelism(Parallelism::Auto);
+    engine.set_parallelism(Parallelism::Auto).unwrap();
     let reps = 15;
     let mut rollup_lat = Vec::with_capacity(reps * topics.len());
     let mut drill_lat = Vec::with_capacity(reps * topics.len());
@@ -206,7 +206,7 @@ fn medium_scale_pipeline() {
     );
     let mut small_engine = NcExplorer::build(
         kg.clone(),
-        &small_corpus.store,
+        small_corpus.store,
         NcxConfig {
             samples: 25,
             parallelism: Parallelism::Fixed(4),
@@ -232,7 +232,7 @@ fn medium_scale_pipeline() {
     let small_q = ConceptQuery::new([small_concept]);
     let small_reps = 60;
     let mut small = |mode: Parallelism| {
-        small_engine.set_parallelism(mode);
+        small_engine.set_parallelism(mode).unwrap();
         let mut roll = Vec::with_capacity(small_reps);
         let mut drill = Vec::with_capacity(small_reps);
         for _ in 0..small_reps {
@@ -268,6 +268,62 @@ fn medium_scale_pipeline() {
         );
     }
 
+    // ---- cold_open group: snapshot save + cold-open vs rebuild ----
+    // Persist the built engine, cold-open it, and require (a) bit-for-bit
+    // identical answers to the harness query set and (b) an open at
+    // least 5× faster than the two-pass rebuild — the acceptance bar for
+    // the snapshot subsystem (in practice it is orders of magnitude).
+    let root = env!("CARGO_MANIFEST_DIR");
+    let snap_dir = std::path::PathBuf::from(root).join("target/scale_snapshot");
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let t = Instant::now();
+    engine.save(&snap_dir).expect("snapshot save");
+    let save_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut cold = NcExplorer::open(
+        &snap_dir,
+        kg.clone(),
+        NcxConfig {
+            samples: 25,
+            parallelism: Parallelism::Fixed(4),
+            ..NcxConfig::default()
+        },
+    )
+    .expect("snapshot open");
+    let cold_open_seconds = t.elapsed().as_secs_f64();
+    assert_eq!(cold.index().num_docs(), articles);
+    assert_eq!(cold.index().num_postings(), engine.index().num_postings());
+    for modes in [Parallelism::sequential(), Parallelism::Fixed(4)] {
+        engine.set_parallelism(modes).unwrap();
+        cold.set_parallelism(modes).unwrap();
+        for topic in equivalence_queries {
+            let qw = engine.query(topic).unwrap();
+            let qc = cold.query(topic).unwrap();
+            assert_eq!(
+                engine.rollup(&qw, 50),
+                cold.rollup(&qc, 50),
+                "{topic:?}: cold-open roll-up diverged"
+            );
+            assert_eq!(
+                engine.drilldown(&qw, 20),
+                cold.drilldown(&qc, 20),
+                "{topic:?}: cold-open drill-down diverged"
+            );
+        }
+    }
+    drop(cold);
+    engine.set_parallelism(Parallelism::Auto).unwrap();
+    let cold_open_speedup = build_seconds / cold_open_seconds.max(1e-9);
+    eprintln!(
+        "cold_open: save {save_seconds:.3}s, open {cold_open_seconds:.3}s, \
+         rebuild {build_seconds:.3}s ({cold_open_speedup:.0}× faster than rebuild)"
+    );
+    assert!(
+        cold_open_seconds * 5.0 <= build_seconds,
+        "cold open ({cold_open_seconds:.3}s) must be at least 5× faster than \
+         the rebuild ({build_seconds:.3}s)"
+    );
+
     let d = engine.diagnostics();
     let scoring_secs = d.timing.relevance_scoring.as_secs_f64();
     let walks_per_sec = if scoring_secs > 0.0 {
@@ -281,7 +337,7 @@ fn medium_scale_pipeline() {
         "release"
     };
     let json = format!(
-        "{{\n  \"profile\": \"{profile}\",\n  \"articles\": {articles},\n  \"postings\": {},\n  \"build_seconds\": {build_seconds:.3},\n  \"rollup_p50_us\": {rollup_p50_us:.1},\n  \"drilldown_p50_us\": {drilldown_p50_us:.1},\n  \"small_rollup_seq_p50_us\": {small_rollup_seq_us:.1},\n  \"small_rollup_par_p50_us\": {small_rollup_par_us:.1},\n  \"small_drilldown_seq_p50_us\": {small_drill_seq_us:.1},\n  \"small_drilldown_par_p50_us\": {small_drill_par_us:.1},\n  \"walks\": {},\n  \"walks_per_sec\": {walks_per_sec:.0},\n  \"oracle_hit_rate\": {:.4}\n}}\n",
+        "{{\n  \"profile\": \"{profile}\",\n  \"articles\": {articles},\n  \"postings\": {},\n  \"build_seconds\": {build_seconds:.3},\n  \"rollup_p50_us\": {rollup_p50_us:.1},\n  \"drilldown_p50_us\": {drilldown_p50_us:.1},\n  \"small_rollup_seq_p50_us\": {small_rollup_seq_us:.1},\n  \"small_rollup_par_p50_us\": {small_rollup_par_us:.1},\n  \"small_drilldown_seq_p50_us\": {small_drill_seq_us:.1},\n  \"small_drilldown_par_p50_us\": {small_drill_par_us:.1},\n  \"save_seconds\": {save_seconds:.3},\n  \"cold_open_seconds\": {cold_open_seconds:.3},\n  \"cold_open_speedup\": {cold_open_speedup:.0},\n  \"walks\": {},\n  \"walks_per_sec\": {walks_per_sec:.0},\n  \"oracle_hit_rate\": {:.4}\n}}\n",
         engine.index().num_postings(),
         d.walk_stats.walks,
         d.oracle.hit_rate(),
@@ -289,7 +345,6 @@ fn medium_scale_pipeline() {
     eprintln!("scale harness metrics:\n{json}");
     eprintln!("engine diagnostics:\n{d}");
 
-    let root = env!("CARGO_MANIFEST_DIR");
     std::fs::create_dir_all(format!("{root}/target")).ok();
     std::fs::write(format!("{root}/target/BENCH_scale.json"), &json).expect("write metrics");
     let baseline_path = format!("{root}/BENCH_scale.json");

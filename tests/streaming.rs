@@ -35,14 +35,16 @@ fn config() -> NcxConfig {
 #[test]
 fn streamed_matching_agrees_with_batch() {
     let (kg, corpus) = fixture(60);
-    // Batch build.
-    let batch = NcExplorer::build(kg.clone(), &corpus.store, config());
+    // Batch build (the engine owns the store, so the streamed engine
+    // replays from the batch engine's copy).
+    let batch = NcExplorer::build(kg.clone(), corpus.store, config());
     // Streamed build: empty store, then ingest every article in order.
-    let mut streamed = NcExplorer::build(kg.clone(), &DocumentStore::new(), config());
-    for article in corpus.store.iter() {
+    let mut streamed = NcExplorer::build(kg.clone(), DocumentStore::new(), config());
+    for article in batch.store().iter() {
         streamed.ingest(&article.full_text());
     }
     assert_eq!(streamed.index().num_docs(), batch.index().num_docs());
+    assert_eq!(streamed.store().len(), batch.store().len());
 
     // Matching (which documents match which concepts) is df-independent,
     // so the posting *sets* must be identical even though scores differ.
@@ -93,7 +95,7 @@ fn streamed_matching_agrees_with_batch() {
 #[test]
 fn ingest_empty_text_is_harmless() {
     let (kg, _) = fixture(0);
-    let mut engine = NcExplorer::build(kg, &DocumentStore::new(), config());
+    let mut engine = NcExplorer::build(kg, DocumentStore::new(), config());
     let doc = engine.ingest("");
     assert_eq!(doc.index(), 0);
     assert_eq!(engine.index().num_docs(), 1);
@@ -103,7 +105,7 @@ fn ingest_empty_text_is_harmless() {
 #[test]
 fn ingested_docs_rank_by_relevance() {
     let (kg, _) = fixture(0);
-    let mut engine = NcExplorer::build(kg.clone(), &DocumentStore::new(), config());
+    let mut engine = NcExplorer::build(kg.clone(), DocumentStore::new(), config());
     // A fraud-heavy article and a barely-related one.
     let heavy = engine.ingest(
         "FTX fraud scandal deepens. Prosecutors cite fraud and money laundering. \
@@ -120,7 +122,7 @@ fn ingested_docs_rank_by_relevance() {
 #[test]
 fn drilldown_sees_streamed_documents() {
     let (kg, _) = fixture(0);
-    let mut engine = NcExplorer::build(kg.clone(), &DocumentStore::new(), config());
+    let mut engine = NcExplorer::build(kg.clone(), DocumentStore::new(), config());
     engine.ingest("The SEC sued FTX over fraud. Binance faces money laundering probes.");
     engine.ingest("CFTC settled fraud claims against Kraken.");
     let q = engine.query(&["Bitcoin Exchange"]).unwrap();
