@@ -1,0 +1,80 @@
+//! Walk-engine microbenchmarks: the connectivity-estimate hot path that
+//! dominates pass-2 indexing cost.
+//!
+//! Groups:
+//!
+//! * `walk_engine/estimate_conn_*` — full estimates at the indexer's
+//!   working point (τ = 2, medium-KG concept, document-sized context)
+//!   for the guided, unguided, and adaptive configurations;
+//! * `walk_engine/walks_only_250` — the same estimate with 10× the
+//!   samples, isolating marginal per-walk cost from the per-target
+//!   setup (oracle lookup + restricted source list) that a 25-sample
+//!   estimate amortises poorly;
+//! * `walk_engine/oracle_warm_lookup` — the per-target distance fetch
+//!   on a warm cache, the setup cost floor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncx_core::config::WalkBudget;
+use ncx_core::relevance::estimator::ConnEstimator;
+use ncx_datagen::{generate_kg, KgGenConfig};
+use ncx_kg::InstanceId;
+use ncx_reach::TargetDistanceOracle;
+use std::sync::Arc;
+
+fn bench_walk_engine(c: &mut Criterion) {
+    let kg = generate_kg(&KgGenConfig {
+        synth_per_group: 200,
+        orphan_entities: 500,
+        ..KgGenConfig::default()
+    });
+    let concept = kg.concept_by_name("Financial Crime").unwrap();
+    let members: Vec<InstanceId> = kg.members(concept).to_vec();
+    // A document-sized context: entities from another group, the shape
+    // `score_document` feeds the estimator.
+    let bank = kg.concept_by_name("Bank").unwrap();
+    let context: Vec<InstanceId> = kg.members(bank).iter().copied().take(12).collect();
+    assert!(!members.is_empty() && !context.is_empty());
+
+    let oracle = Arc::new(TargetDistanceOracle::new(2, 4096));
+    let guided = ConnEstimator::new(2, 0.5, true, oracle.clone());
+    let unguided = ConnEstimator::new(2, 0.5, false, oracle.clone());
+    let adaptive = ConnEstimator::with_budget(2, 0.5, true, oracle.clone(), WalkBudget::default());
+
+    let mut group = c.benchmark_group("walk_engine");
+    let mut seed = 0u64;
+    group.bench_function("estimate_conn_guided_25", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            guided.estimate_conn(&kg, &members, &context, 25, seed)
+        });
+    });
+    group.bench_function("estimate_conn_adaptive_25", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            adaptive.estimate_conn(&kg, &members, &context, 25, seed)
+        });
+    });
+    group.bench_function("estimate_conn_unguided_25", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            unguided.estimate_conn(&kg, &members, &context, 25, seed)
+        });
+    });
+    group.bench_function("walks_only_250", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            guided.estimate_conn(&kg, &members, &context, 250, seed)
+        });
+    });
+    group.bench_function("oracle_warm_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % context.len();
+            oracle.distances(&kg, context[i])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk_engine);
+criterion_main!(benches);

@@ -81,6 +81,71 @@ impl Parallelism {
     }
 }
 
+/// Adaptive walk-budget rule for connectivity estimates.
+///
+/// [`NcxConfig::samples`] stays the *maximum* walks per `(document,
+/// concept)` estimate; this rule lets an estimate stop early once a
+/// deterministic convergence criterion says more walks cannot move the
+/// score: once at least [`min_walks`](Self::min_walks) samples are in,
+/// the rule is checked at every consumed-sample count divisible by
+/// [`check_interval`](Self::check_interval), and the estimate stops if
+/// the **relative standard error** of the running mean (`s / (x̄·√n)`,
+/// Welford-accumulated) has dropped to
+/// [`target_rse`](Self::target_rse).
+///
+/// The rule is a pure function of the walk values, which are themselves
+/// a pure function of the per-pair seed — so adaptivity preserves the
+/// determinism contract bit-for-bit: the same estimate stops at the same
+/// sample on one worker or sixty-four, across runs and machines.
+///
+/// Like any value-dependent stopping rule, early stopping trades a
+/// small optional-stopping bias — bounded by `target_rse`, since an
+/// estimate only stops once its mean is pinned that tightly — for the
+/// saved walks. Disable the rule where strict fixed-sample
+/// unbiasedness matters.
+///
+/// `target_rse <= 0` disables the rule entirely
+/// ([`WalkBudget::disabled`]); every estimate then runs its full sample
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkBudget {
+    /// Minimum samples an estimate always consumes before the stopping
+    /// rule may fire (≥ 2 when adaptive: a variance needs two samples).
+    pub min_walks: u32,
+    /// Stopping-rule cadence, in samples, after the minimum (≥ 1).
+    pub check_interval: u32,
+    /// Relative-standard-error threshold; `<= 0.0` disables adaptivity.
+    pub target_rse: f64,
+}
+
+impl WalkBudget {
+    /// No adaptive stopping: every estimate runs its full sample budget.
+    pub const fn disabled() -> Self {
+        Self {
+            min_walks: 0,
+            check_interval: 1,
+            target_rse: 0.0,
+        }
+    }
+
+    /// Whether the stopping rule is active.
+    pub fn is_adaptive(&self) -> bool {
+        self.target_rse > 0.0
+    }
+}
+
+impl Default for WalkBudget {
+    /// Conservative adaptivity: stop only once the score is pinned to
+    /// ±15 % relative standard error, never before 12 samples.
+    fn default() -> Self {
+        Self {
+            min_walks: 12,
+            check_interval: 4,
+            target_rse: 0.15,
+        }
+    }
+}
+
 /// Parameters of the NCExplorer engine. `Default` reproduces the paper's
 /// evaluation settings: τ = 2, β = 0.5, 50 samples per connectivity score,
 /// reachability-guided sampling on.
@@ -90,8 +155,13 @@ pub struct NcxConfig {
     pub tau: Hops,
     /// Damping factor β penalising longer paths (Eq. 4).
     pub beta: f64,
-    /// Random-walk samples per (concept, document) connectivity estimate.
+    /// Random-walk samples per (concept, document) connectivity estimate
+    /// (the *maximum* — see [`walk_budget`](Self::walk_budget)).
     pub samples: u32,
+    /// Adaptive early-stopping rule for connectivity estimates; see
+    /// [`WalkBudget`]. Deterministic, so it never breaks the
+    /// schedule-independence of scores.
+    pub walk_budget: WalkBudget,
     /// Guide walks with the k-hop reachability oracle (paper's default;
     /// turning this off reproduces the "w/o reachability index" series of
     /// Fig. 7).
@@ -138,6 +208,7 @@ impl Default for NcxConfig {
             tau: 2,
             beta: 0.5,
             samples: 50,
+            walk_budget: WalkBudget::default(),
             guided: true,
             seed: 0x5ca1ab1e,
             max_concepts_per_doc: 64,
@@ -165,6 +236,20 @@ impl NcxConfig {
         }
         if self.samples == 0 {
             return Err("samples must be at least 1".into());
+        }
+        if !self.walk_budget.target_rse.is_finite() || self.walk_budget.target_rse < 0.0 {
+            return Err(format!(
+                "walk_budget.target_rse must be finite and >= 0, got {}",
+                self.walk_budget.target_rse
+            ));
+        }
+        if self.walk_budget.is_adaptive() {
+            if self.walk_budget.min_walks < 2 {
+                return Err("walk_budget.min_walks must be at least 2 when adaptive".into());
+            }
+            if self.walk_budget.check_interval == 0 {
+                return Err("walk_budget.check_interval must be at least 1".into());
+            }
         }
         if !(0.0..=1.0).contains(&self.max_member_fraction) {
             return Err("max_member_fraction must be in [0, 1]".into());
@@ -213,6 +298,44 @@ mod tests {
             ..NcxConfig::default()
         };
         assert!(bad_samples.validate().is_err());
+    }
+
+    #[test]
+    fn walk_budget_validation() {
+        assert!(!WalkBudget::disabled().is_adaptive());
+        assert!(WalkBudget::default().is_adaptive());
+        let ok = NcxConfig::default();
+        assert!(ok.validate().is_ok());
+        let bad_rse = NcxConfig {
+            walk_budget: WalkBudget {
+                target_rse: f64::NAN,
+                ..WalkBudget::default()
+            },
+            ..NcxConfig::default()
+        };
+        assert!(bad_rse.validate().is_err());
+        let bad_min = NcxConfig {
+            walk_budget: WalkBudget {
+                min_walks: 1,
+                ..WalkBudget::default()
+            },
+            ..NcxConfig::default()
+        };
+        assert!(bad_min.validate().is_err());
+        let bad_interval = NcxConfig {
+            walk_budget: WalkBudget {
+                check_interval: 0,
+                ..WalkBudget::default()
+            },
+            ..NcxConfig::default()
+        };
+        assert!(bad_interval.validate().is_err());
+        // A disabled rule ignores the other knobs entirely.
+        let disabled = NcxConfig {
+            walk_budget: WalkBudget::disabled(),
+            ..NcxConfig::default()
+        };
+        assert!(disabled.validate().is_ok());
     }
 
     #[test]

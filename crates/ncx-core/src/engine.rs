@@ -41,11 +41,12 @@ impl fmt::Display for EngineDiagnostics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "walks: {} ({} hits, {} dead ends, {:.1}% hit rate)",
+            "walks: {} ({} hits, {} dead ends, {:.1}% hit rate, {} adaptive early stops)",
             self.walk_stats.walks,
             self.walk_stats.hits,
             self.walk_stats.dead_ends,
             100.0 * self.walk_stats.hit_rate(),
+            self.walk_stats.early_stops,
         )?;
         writeln!(
             f,

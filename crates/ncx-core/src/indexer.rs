@@ -14,8 +14,7 @@
 use crate::config::NcxConfig;
 use crate::par::{auto_batch, Pool};
 use crate::relevance::context::cdrc_from_conn;
-use crate::relevance::estimator::{pair_seed, ConnEstimator, WalkStats};
-use crate::relevance::ontology::ontology_relevance;
+use crate::relevance::estimator::{pair_seed, ConnEstimator, MemberSetCache, WalkStats};
 use ncx_index::{DocumentStore, EntityIndex};
 use ncx_kg::{ConceptId, DocId, InstanceId, KnowledgeGraph};
 use ncx_reach::TargetDistanceOracle;
@@ -188,6 +187,9 @@ pub struct Indexer<'a> {
     nlp: &'a NlpPipeline,
     config: NcxConfig,
     oracle: Arc<TargetDistanceOracle>,
+    /// Per-concept member bitsets, built once and shared by all scoring
+    /// workers (see [`MemberSetCache`]).
+    member_sets: Arc<MemberSetCache>,
     pool: Arc<Pool>,
 }
 
@@ -219,6 +221,7 @@ impl<'a> Indexer<'a> {
             nlp,
             config,
             oracle,
+            member_sets: Arc::new(MemberSetCache::new()),
             pool,
         }
     }
@@ -274,11 +277,18 @@ impl<'a> Indexer<'a> {
             let config = &self.config;
             let kg = self.kg;
             let oracle = &self.oracle;
+            let member_sets = &self.member_sets;
             type ScoreOut = (Vec<(ConceptId, ConceptPosting)>, WalkStats, Duration);
             let results: Vec<ScoreOut> =
                 self.pool.run_batched(n, width, auto_batch(n, width), |i| {
-                    let estimator =
-                        ConnEstimator::new(config.tau, config.beta, config.guided, oracle.clone());
+                    let estimator = ConnEstimator::with_budget(
+                        config.tau,
+                        config.beta,
+                        config.guided,
+                        oracle.clone(),
+                        config.walk_budget,
+                    )
+                    .with_member_cache(member_sets.clone());
                     let doc = DocId::from_index(i);
                     let t0 = Instant::now();
                     let (entries, stats) =
@@ -340,7 +350,13 @@ pub fn ingest_document(
     debug_assert_eq!(doc.index(), index.doc_concepts.len());
 
     let t1 = Instant::now();
-    let estimator = ConnEstimator::new(config.tau, config.beta, config.guided, oracle);
+    let estimator = ConnEstimator::with_budget(
+        config.tau,
+        config.beta,
+        config.guided,
+        oracle,
+        config.walk_budget,
+    );
     let (entries, stats) = score_document(kg, &index.entity_index, &estimator, config, doc);
     let scoring = t1.elapsed();
     index.walk_stats.merge(stats);
@@ -376,24 +392,44 @@ fn score_document(
     if entities.is_empty() {
         return (Vec::new(), walk_stats);
     }
-    // Candidate concepts: the direct types of every document entity,
-    // skipping trivially broad concepts.
+    // Candidate concepts — the direct types of every document entity,
+    // skipping trivially broad concepts — scored with Eq. 3 in the same
+    // sweep: each (entity, concept) incidence updates the concept's
+    // running-best term weight, so ontology relevance costs one pass
+    // over `Ψ⁻¹` of the document's entities instead of one pass over
+    // the entities per candidate. Term weights are per-document
+    // quantities, computed once up front.
     let member_cap = (kg.num_instances() as f64 * config.max_member_fraction).max(1.0) as usize;
-    let mut candidates: Vec<ConceptId> = Vec::new();
+    let weights = entity_index.term_weights_of(doc);
+    // A document yields a handful of candidates: linear scans over two
+    // small vecs beat hash maps here.
+    let mut best: Vec<(ConceptId, f64, InstanceId)> = Vec::new();
     {
-        let mut seen = rustc_hash::FxHashSet::default();
-        for &(v, _) in entities {
+        let mut skipped: Vec<ConceptId> = Vec::new();
+        for (&(v, _), &tw) in entities.iter().zip(&weights) {
             for &c in kg.concepts_of(v) {
-                if seen.insert(c) && kg.members(c).len() <= member_cap {
-                    candidates.push(c);
+                // Entities iterate in document order and only a strictly
+                // greater weight replaces, so the pivot is the *first*
+                // entity attaining the maximum — the same tie-break the
+                // per-candidate sweep had.
+                if let Some(slot) = best.iter_mut().find(|s| s.0 == c) {
+                    if tw > slot.1 {
+                        slot.1 = tw;
+                        slot.2 = v;
+                    }
+                } else if !skipped.contains(&c) {
+                    if kg.members(c).len() > member_cap {
+                        skipped.push(c);
+                    } else {
+                        best.push((c, tw, v));
+                    }
                 }
             }
         }
     }
-    // Rank candidates by ontology relevance; keep the strongest.
-    let mut scored: Vec<(ConceptId, f64, InstanceId)> = candidates
+    let mut scored: Vec<(ConceptId, f64, InstanceId)> = best
         .into_iter()
-        .filter_map(|c| ontology_relevance(kg, entity_index, c, doc).map(|r| (c, r.score, r.pivot)))
+        .map(|(c, tw, pivot)| (c, kg.specificity(c) * tw, pivot))
         .collect();
     scored.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
@@ -407,13 +443,15 @@ fn score_document(
     for (c, cdro, pivot) in scored {
         context_buf.clear();
         for &(v, _) in entities {
-            if !kg.is_member(c, v) {
+            // Membership via Ψ⁻¹: an entity's direct-concept list is a
+            // handful of ids, far cheaper to probe than Ψ(c).
+            if kg.concepts_of(v).binary_search(&c).is_err() {
                 context_buf.push(v);
             }
         }
         let seed = pair_seed(config.seed, doc.raw(), c.raw());
         let (conn, stats) =
-            estimator.estimate_conn(kg, kg.members(c), &context_buf, config.samples, seed);
+            estimator.estimate_conn_concept(kg, c, &context_buf, config.samples, seed);
         walk_stats.merge(stats);
         let cdrc = cdrc_from_conn(conn);
         let cdr = match config.ablation {
@@ -543,6 +581,30 @@ mod tests {
                 assert_eq!(x.cdr, y.cdr, "seed-determinism violated");
             }
         }
+    }
+
+    #[test]
+    fn fused_scoring_sweep_matches_reference_ontology_relevance() {
+        // `score_document` computes Eq. 3 fused into its candidate
+        // sweep; every posting's cdro/pivot must equal the reference
+        // per-candidate implementation in `relevance::ontology`.
+        let (kg, index) = build_index(1);
+        let mut checked = 0;
+        for c in kg.concepts() {
+            for p in index.postings(c) {
+                let r = crate::relevance::ontology::ontology_relevance(
+                    &kg,
+                    &index.entity_index,
+                    c,
+                    p.doc,
+                )
+                .expect("posting implies a matched entity");
+                assert_eq!(p.cdro, r.score, "{}", kg.concept_label(c));
+                assert_eq!(p.pivot, r.pivot, "{}", kg.concept_label(c));
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod relevance;
 pub mod rollup;
 pub mod session;
 
-pub use config::{NcxConfig, Parallelism, ScoreAblation};
+pub use config::{NcxConfig, Parallelism, ScoreAblation, WalkBudget};
 pub use engine::{EngineDiagnostics, NcExplorer};
 pub use par::Pool;
 pub use query::ConceptQuery;

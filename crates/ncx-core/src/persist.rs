@@ -135,6 +135,7 @@ pub fn save_snapshot(
     writer.set_stat("walks", index.walk_stats.walks);
     writer.set_stat("walk_hits", index.walk_stats.hits);
     writer.set_stat("walk_dead_ends", index.walk_stats.dead_ends);
+    writer.set_stat("walk_early_stops", index.walk_stats.early_stops);
     writer.set_stat(
         "timing_linking_nanos",
         index.timing.entity_linking.as_nanos() as u64,
@@ -268,6 +269,8 @@ pub fn open_snapshot(
         walks: manifest.stat("walks").unwrap_or(0),
         hits: manifest.stat("walk_hits").unwrap_or(0),
         dead_ends: manifest.stat("walk_dead_ends").unwrap_or(0),
+        // Absent in pre-walk-engine snapshots; 0 is the faithful default.
+        early_stops: manifest.stat("walk_early_stops").unwrap_or(0),
     };
     let index = NcxIndex::from_parts(
         entity_index,

@@ -36,27 +36,182 @@
 //! *restricted* count — unbiasedness is preserved and variance drops
 //! sharply (Fig. 7).
 //!
+//! **Execution.** This module decides *what* to sample; the walks
+//! themselves run on the allocation-free engine in [`super::walker`]
+//! (epoch-stamped visited set, bitset eligibility, two-pass CSR pick).
+//! [`estimate_conn`](ConnEstimator::estimate_conn) **stratifies** its
+//! samples: every sample's target is drawn up front (deterministically,
+//! from the seed), each distinct target's distance array and restricted
+//! source list then resolve exactly once, and the walks execute in draw
+//! order — so any prefix of the sample sequence is still an i.i.d.
+//! sample of the estimand. (Grouping walks by target instead would make
+//! an early-stopped prefix over-represent front-of-context targets — an
+//! unbounded bias; draw-order execution removes it.)
+//!
+//! **Adaptive budgets.** With an adaptive
+//! [`WalkBudget`], an estimate stops early
+//! once the relative standard error of the running mean reaches the
+//! configured target (checked at a fixed cadence after a fixed minimum;
+//! see [`Convergence`]). The rule is a pure function of the walk values
+//! — adaptivity preserves reproducibility. Like any value-dependent
+//! stopping rule it trades a small optional-stopping bias (bounded by
+//! the RSE target — stopping requires the mean to be pinned within it)
+//! for fewer walks; disable the budget where strict fixed-sample
+//! unbiasedness matters (the unbiasedness tests do).
+//!
 //! **Determinism.** Every estimate is driven by a caller-supplied seed;
 //! the indexer derives it from the `(document, concept)` pair via
 //! [`pair_seed`], so scores are reproducible regardless of how documents
 //! are scheduled across worker threads.
 
+use crate::config::WalkBudget;
 use ncx_kg::traversal::Hops;
-use ncx_kg::{InstanceId, KnowledgeGraph};
+use ncx_kg::{ConceptId, InstanceId, KnowledgeGraph};
 use ncx_reach::oracle::{TargetDistanceOracle, TargetDistances};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use std::sync::Arc;
+use rand::SeedableRng;
+use rustc_hash::FxHashMap;
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::{Arc, RwLock};
+
+use super::walker::{
+    fast_uniform, load_member_bits, select_kth_source, source_count, Convergence, MemberSet, Walker,
+};
+
+/// Cross-document cache of per-concept [`MemberSet`] bitsets, shared by
+/// every indexing worker. `Ψ(c)` is immutable per graph and a corpus
+/// scores each concept once per matching document, so the bitset —
+/// which the walk engine intersects against every target's reachable
+/// ball — is built exactly once per concept instead of once per
+/// estimate.
+#[derive(Default)]
+pub struct MemberSetCache {
+    /// Read-mostly: after warm-up every lookup is a hit, so reads share
+    /// the lock (a single mutex here would serialise all scoring
+    /// workers on the estimate hot path).
+    map: RwLock<FxHashMap<ConceptId, Arc<MemberSet>>>,
+}
+
+impl MemberSetCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The member set of `c`, built on first use. Like the distance
+    /// oracle, a cache is bound to the graph it was first used with.
+    pub fn get(&self, kg: &KnowledgeGraph, c: ConceptId) -> Arc<MemberSet> {
+        if let Some(set) = self.map.read().expect("member-set cache poisoned").get(&c) {
+            return set.clone();
+        }
+        let mut map = self.map.write().expect("member-set cache poisoned");
+        map.entry(c)
+            .or_insert_with(|| Arc::new(MemberSet::build(kg.num_instances(), kg.members(c))))
+            .clone()
+    }
+}
+
+/// How a target's source draws are executed (picked once per distinct
+/// target from its restricted source count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DrawMode {
+    /// No source reaches the target: zero-value samples.
+    Degenerate,
+    /// Every (distinct) member is a source: index the member slice.
+    Slice,
+    /// Most members are sources: rejection-sample the slice (expected
+    /// < 2 draws, one ball bit test per attempt).
+    Reject,
+    /// Sparse sources: select the k-th live intersection bit.
+    Select,
+}
+
+/// Reusable per-estimate buffers: the walk engine plus the
+/// stratification scratch (sample order, per-target resolutions). One
+/// heap-allocated set per estimator, reused across every estimate it
+/// runs.
+#[derive(Default)]
+struct Scratch {
+    walker: Walker,
+    /// Reusable member bitset for the slice API (the cached API shares
+    /// [`MemberSet`]s instead).
+    member_bits: Vec<u64>,
+    /// Scratch for duplicate-collapsed member slices (set semantics).
+    dedup_buf: Vec<InstanceId>,
+    /// Drawn target position per sample, in draw order.
+    order: Vec<u32>,
+    /// Resolved `(target-store index, restricted source count, draw
+    /// mode)` per drawn context position — plain `Copy` data, so the
+    /// per-estimate reset shuffles no reference counts.
+    per_target: Vec<Option<(u32, u32, DrawMode)>>,
+    /// Estimator-lifetime memo of target distance arrays (index map +
+    /// append-only store). The contexts of one document's concepts
+    /// overlap almost entirely, so the ~8 estimates an indexing worker
+    /// runs per document resolve the same targets over and over; this
+    /// skips the oracle's shard lock — and any `Arc` churn — on the
+    /// repeats. Ties the estimator to a single graph — the same
+    /// contract its oracle already has.
+    target_idx: FxHashMap<InstanceId, u32>,
+    target_store: Vec<TargetDistances>,
+}
+
+/// Collapses a member slice to its distinct set (`Ψ(c)` is a set; both
+/// estimate entry points use set semantics on every path). Returns the
+/// original slice untouched when it is already duplicate-free — the
+/// only case the engine produces — or the distinct members in
+/// ascending id order otherwise. Leaves `bits` holding exactly the
+/// member bitset either way.
+fn dedup_members<'a>(
+    bits: &mut Vec<u64>,
+    buf: &'a mut Vec<InstanceId>,
+    n: usize,
+    members: &'a [InstanceId],
+) -> &'a [InstanceId] {
+    let distinct = load_member_bits(bits, n, members);
+    if distinct == members.len() {
+        return members;
+    }
+    buf.clear();
+    for (i, &w0) in bits[..n.div_ceil(64)].iter().enumerate() {
+        let mut w = w0;
+        while w != 0 {
+            buf.push(InstanceId::new(
+                (i * 64 + w.trailing_zeros() as usize) as u32,
+            ));
+            w &= w - 1;
+        }
+    }
+    buf
+}
 
 /// Aggregate statistics over a batch of walks (diagnostics only).
+///
+/// # Counting convention
+///
+/// `walks` counts every **consumed sample** of an estimate, and both
+/// estimate entry points ([`ConnEstimator::estimate_conn`] and
+/// [`ConnEstimator::estimate_sum_to_target`]) follow the same rule:
+///
+/// * a sample whose target no source can reach is **degenerate** — it
+///   contributes value 0 without stepping, but still counts as one
+///   walk (it consumed one slot of the sample budget);
+/// * under an adaptive [`WalkBudget`] an
+///   estimate may stop before its full budget: only the samples
+///   actually consumed are counted, and `early_stops` records that the
+///   estimate was truncated;
+/// * `hits` and `dead_ends` count walks that actually stepped; a
+///   degenerate sample is neither.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WalkStats {
-    /// Total walks run.
+    /// Samples consumed (degenerate zero-value samples included).
     pub walks: u64,
     /// Walks that reached their target.
     pub hits: u64,
     /// Walks that died (no eligible neighbour) before the hop budget.
     pub dead_ends: u64,
+    /// Estimates truncated early by the adaptive walk budget.
+    pub early_stops: u64,
 }
 
 impl WalkStats {
@@ -67,6 +222,7 @@ impl WalkStats {
         self.walks += other.walks;
         self.hits += other.hits;
         self.dead_ends += other.dead_ends;
+        self.early_stops += other.early_stops;
     }
 
     /// Fraction of walks that reached their target.
@@ -80,17 +236,38 @@ impl WalkStats {
 }
 
 /// Connectivity-score estimator.
+///
+/// Owns a reusable [`Walker`] scratch (the epoch-stamped visited array),
+/// which makes the estimator **`!Sync`** — construct one per worker
+/// (construction is cheap; the heavy state, the distance oracle, is the
+/// shared `Arc` handed in).
 pub struct ConnEstimator {
     tau: Hops,
     beta: f64,
     guided: bool,
     oracle: Arc<TargetDistanceOracle>,
+    budget: WalkBudget,
+    member_cache: Option<Arc<MemberSetCache>>,
+    scratch: RefCell<Scratch>,
 }
 
 impl ConnEstimator {
-    /// Creates an estimator. `guided == false` reproduces the paper's
-    /// "w/o reachability index" baseline.
+    /// Creates an estimator with adaptivity disabled (every estimate
+    /// runs its full sample budget). `guided == false` reproduces the
+    /// paper's "w/o reachability index" baseline.
     pub fn new(tau: Hops, beta: f64, guided: bool, oracle: Arc<TargetDistanceOracle>) -> Self {
+        Self::with_budget(tau, beta, guided, oracle, WalkBudget::disabled())
+    }
+
+    /// Creates an estimator with an adaptive walk budget (the engine
+    /// passes [`NcxConfig::walk_budget`](crate::config::NcxConfig)).
+    pub fn with_budget(
+        tau: Hops,
+        beta: f64,
+        guided: bool,
+        oracle: Arc<TargetDistanceOracle>,
+        budget: WalkBudget,
+    ) -> Self {
         assert!(tau >= 1, "tau must be at least 1");
         assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
         Self {
@@ -98,7 +275,18 @@ impl ConnEstimator {
             beta,
             guided,
             oracle,
+            budget,
+            member_cache: None,
+            scratch: RefCell::new(Scratch::default()),
         }
+    }
+
+    /// Attaches a shared per-concept member-bitset cache, enabling the
+    /// [`estimate_conn_concept`](Self::estimate_conn_concept) fast path
+    /// across workers (the indexer shares one cache engine-wide).
+    pub fn with_member_cache(mut self, cache: Arc<MemberSetCache>) -> Self {
+        self.member_cache = Some(cache);
+        self
     }
 
     /// The shared target-distance oracle.
@@ -111,80 +299,51 @@ impl ConnEstimator {
         self.tau
     }
 
-    /// Runs one walk from a uniformly drawn member of `members` towards
-    /// `target`, returning the sample value `X` (0 on miss).
-    #[allow(clippy::too_many_arguments)]
-    fn walk_once(
-        &self,
-        kg: &KnowledgeGraph,
-        members: &[InstanceId],
-        target: InstanceId,
-        dist: Option<&TargetDistances>,
-        rng: &mut SmallRng,
-        stats: &mut WalkStats,
-        visited: &mut Vec<InstanceId>,
-        eligible: &mut Vec<InstanceId>,
-    ) -> f64 {
-        stats.walks += 1;
-        let u = members[rng.gen_range(0..members.len())];
-        if u == target {
-            return 0.0;
-        }
-        visited.clear();
-        visited.push(u);
-        let mut cur = u;
-        let mut weight = members.len() as f64;
-        let mut damp = 1.0;
-        for depth in 0..self.tau {
-            let remaining = self.tau - depth - 1;
-            eligible.clear();
-            for &w in kg.neighbors(cur) {
-                if visited.contains(&w) {
-                    continue;
-                }
-                if let Some(td) = dist {
-                    if !td.within(w, remaining) {
-                        continue;
-                    }
-                }
-                eligible.push(w);
-            }
-            if eligible.is_empty() {
-                stats.dead_ends += 1;
-                return 0.0;
-            }
-            let w = eligible[rng.gen_range(0..eligible.len())];
-            weight *= eligible.len() as f64;
-            damp *= self.beta;
-            if w == target {
-                stats.hits += 1;
-                return weight * damp;
-            }
-            visited.push(w);
-            cur = w;
-        }
-        0.0
+    /// The adaptive walk budget in force.
+    pub fn budget(&self) -> WalkBudget {
+        self.budget
+    }
+
+    /// Whether the adaptive stopping rule fires at `consumed` samples.
+    #[inline]
+    fn should_stop(&self, conv: &Convergence, consumed: u32, samples: u32) -> bool {
+        consumed >= self.budget.min_walks
+            && consumed < samples
+            && consumed % self.budget.check_interval == 0
+            && conv.rse() <= self.budget.target_rse
     }
 
     /// Sources that can contribute at least one path to `target` within
     /// τ. Sampling only these (and reweighting by the restricted count)
     /// removes guaranteed-zero walks without biasing the estimate — the
     /// second way the reachability index accelerates convergence.
-    fn reachable_sources(
-        members: &[InstanceId],
+    ///
+    /// Borrows `members` unchanged when every member qualifies (the
+    /// common case on well-connected concepts): no allocation.
+    fn reachable_sources<'m>(
+        members: &'m [InstanceId],
         target: InstanceId,
         td: &TargetDistances,
-    ) -> Vec<InstanceId> {
-        members
-            .iter()
-            .copied()
-            .filter(|&u| u != target && td.get(u).is_some())
-            .collect()
+    ) -> Cow<'m, [InstanceId]> {
+        for (i, &u) in members.iter().enumerate() {
+            if u == target || td.get(u).is_none() {
+                let mut v: Vec<InstanceId> = Vec::with_capacity(members.len() - 1);
+                v.extend_from_slice(&members[..i]);
+                v.extend(
+                    members[i + 1..]
+                        .iter()
+                        .copied()
+                        .filter(|&u| u != target && td.get(u).is_some()),
+                );
+                return Cow::Owned(v);
+            }
+        }
+        Cow::Borrowed(members)
     }
 
     /// Estimates `S_v = Σ_{u∈Ψ(c)} Σ_l β^l |paths^{<l>}_{u,v}|` for one
-    /// target with `samples` walks. Exposed for the unbiasedness tests and
-    /// the Fig. 7 experiment.
+    /// target with up to `samples` walks. Exposed for the unbiasedness
+    /// tests and the Fig. 7 experiment.
     pub fn estimate_sum_to_target(
         &self,
         kg: &KnowledgeGraph,
@@ -198,52 +357,157 @@ impl ConnEstimator {
         }
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut stats = WalkStats::default();
+        let mut guard = self.scratch.borrow_mut();
+        let s = &mut *guard;
+        let members = dedup_members(
+            &mut s.member_bits,
+            &mut s.dedup_buf,
+            kg.num_instances(),
+            members,
+        );
+        let walker = &mut s.walker;
+        if self.tau > 2 || !self.guided {
+            // The stamp array is only read on these paths (guided τ ≤ 2
+            // provably never touches it — see `Walker::walk_from`).
+            walker.ensure(kg.num_instances());
+        }
+        let adaptive = self.budget.is_adaptive();
+        let mut conv = Convergence::default();
         let mut total = 0.0;
-        let mut visited = Vec::with_capacity(self.tau as usize + 1);
-        let mut eligible = Vec::new();
+        let mut consumed = 0u32;
         if self.guided {
             let td = self.oracle.distances(kg, target);
             let sources = Self::reachable_sources(members, target, &td);
             if sources.is_empty() {
+                // Every sample is degenerate: the target is unreachable
+                // from all members (see the WalkStats convention).
                 stats.walks = samples as u64;
                 return (0.0, stats);
             }
+            let elig = td.eligibility();
             for _ in 0..samples {
-                total += self.walk_once(
+                let k = if sources.len() == 1 {
+                    0
+                } else {
+                    fast_uniform(&mut rng, sources.len())
+                };
+                let x = walker.walk_from(
                     kg,
-                    &sources,
+                    sources[k],
+                    sources.len(),
                     target,
-                    Some(&td),
+                    elig,
+                    self.tau,
+                    self.beta,
                     &mut rng,
                     &mut stats,
-                    &mut visited,
-                    &mut eligible,
                 );
+                total += x;
+                consumed += 1;
+                if adaptive {
+                    conv.push(x);
+                    if self.should_stop(&conv, consumed, samples) {
+                        stats.early_stops += 1;
+                        break;
+                    }
+                }
             }
         } else {
             for _ in 0..samples {
-                total += self.walk_once(
-                    kg,
-                    members,
-                    target,
-                    None,
-                    &mut rng,
-                    &mut stats,
-                    &mut visited,
-                    &mut eligible,
+                let x = Self::unguided_sample(
+                    kg, walker, members, target, self.tau, self.beta, &mut rng, &mut stats,
                 );
+                total += x;
+                consumed += 1;
+                if adaptive {
+                    conv.push(x);
+                    if self.should_stop(&conv, consumed, samples) {
+                        stats.early_stops += 1;
+                        break;
+                    }
+                }
             }
         }
-        (total / samples as f64, stats)
+        (total / consumed as f64, stats)
+    }
+
+    /// Draws one unguided sample: a uniform member, then a free walk.
+    /// Drawing the target itself is a legitimate zero-value sample (it
+    /// consumes budget without stepping — see the WalkStats convention).
+    #[allow(clippy::too_many_arguments)]
+    fn unguided_sample(
+        kg: &KnowledgeGraph,
+        walker: &mut Walker,
+        members: &[InstanceId],
+        target: InstanceId,
+        tau: Hops,
+        beta: f64,
+        rng: &mut SmallRng,
+        stats: &mut WalkStats,
+    ) -> f64 {
+        let k = if members.len() == 1 {
+            0
+        } else {
+            fast_uniform(rng, members.len())
+        };
+        let u = members[k];
+        if u == target {
+            stats.walks += 1;
+            return 0.0;
+        }
+        walker.walk_from_unguided(kg, u, members.len(), target, tau, beta, rng, stats)
     }
 
     /// Estimates the full connectivity score `conn(c, d)` (Eq. 4): each
     /// sample draws a target uniformly from `context` and a source
     /// uniformly from `members`. `E[estimate] = conn`.
+    ///
+    /// Samples are stratified: all target draws happen up front, each
+    /// distinct drawn target's distances and restricted source count
+    /// resolve exactly once (one oracle lookup + one bitset popcount
+    /// per distinct target), and walks then execute in draw order so
+    /// every prefix stays an i.i.d. sample — an adaptive budget cut
+    /// never over-represents any target. Members are treated as a *set*
+    /// on every path (`Ψ(c)` is one): duplicate entries collapse before
+    /// sampling, guided or not.
     pub fn estimate_conn(
         &self,
         kg: &KnowledgeGraph,
         members: &[InstanceId],
+        context: &[InstanceId],
+        samples: u32,
+        seed: u64,
+    ) -> (f64, WalkStats) {
+        self.estimate_conn_impl(kg, members, None, context, samples, seed)
+    }
+
+    /// [`estimate_conn`](Self::estimate_conn) over `Ψ(concept)`. With a
+    /// [`MemberSetCache`] attached the concept's member bitset is
+    /// fetched from the shared cache (built once per concept for the
+    /// whole indexing run); without one this is plain `estimate_conn`
+    /// on `kg.members(concept)`. Both paths draw identical walks.
+    pub fn estimate_conn_concept(
+        &self,
+        kg: &KnowledgeGraph,
+        concept: ConceptId,
+        context: &[InstanceId],
+        samples: u32,
+        seed: u64,
+    ) -> (f64, WalkStats) {
+        let members = kg.members(concept);
+        let set = if self.guided && !members.is_empty() {
+            self.member_cache.as_ref().map(|c| c.get(kg, concept))
+        } else {
+            None
+        };
+        self.estimate_conn_impl(kg, members, set.as_deref(), context, samples, seed)
+    }
+
+    fn estimate_conn_impl(
+        &self,
+        kg: &KnowledgeGraph,
+        members: &[InstanceId],
+        member_set: Option<&MemberSet>,
         context: &[InstanceId],
         samples: u32,
         seed: u64,
@@ -253,54 +517,210 @@ impl ConnEstimator {
         }
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut stats = WalkStats::default();
-        let mut total = 0.0;
-        let mut visited = Vec::with_capacity(self.tau as usize + 1);
-        let mut eligible = Vec::new();
-        // Resolve distance arrays and reachable-source lists lazily per
-        // distinct target.
-        type PerTarget = (TargetDistances, Vec<InstanceId>);
-        let mut dist_cache: rustc_hash::FxHashMap<InstanceId, PerTarget> =
-            rustc_hash::FxHashMap::default();
+        let mut guard = self.scratch.borrow_mut();
+        let s = &mut *guard;
+        // Set semantics on every path: duplicates collapse up front, so
+        // guided and unguided estimates of the same inputs agree on the
+        // draw space and the importance weight. With a cached
+        // [`MemberSet`] in hand the slice is `kg.members(c)` — sorted
+        // and duplicate-free by CSR construction — so the scan is
+        // skipped entirely (the estimate hot path); otherwise
+        // `member_bits` is left holding the member bitset, which the
+        // guided slice path below reuses directly.
+        let members = match member_set {
+            Some(set) => {
+                debug_assert_eq!(set.distinct(), members.len());
+                members
+            }
+            None => dedup_members(
+                &mut s.member_bits,
+                &mut s.dedup_buf,
+                kg.num_instances(),
+                members,
+            ),
+        };
+        if self.tau > 2 || !self.guided {
+            // The stamp array is only read on these paths (guided τ ≤ 2
+            // provably never touches it — see `Walker::walk_from`); at
+            // the default configuration no per-estimator O(n) fill runs.
+            s.walker.ensure(kg.num_instances());
+        }
+
+        // Stratify: draw every sample's target up front. The multiset of
+        // targets is identical in distribution to per-walk draws, and
+        // fixing it before the walks lets each distinct target resolve
+        // exactly once, lazily, at its first appearance in draw order.
+        s.order.clear();
         for _ in 0..samples {
-            let target = context[rng.gen_range(0..context.len())];
-            if self.guided {
-                let (td, sources) = dist_cache.entry(target).or_insert_with(|| {
-                    let td = self.oracle.distances(kg, target);
-                    let sources = Self::reachable_sources(members, target, &td);
-                    (td, sources)
-                });
-                if sources.is_empty() {
-                    stats.walks += 1;
-                    continue;
-                }
-                let (td, sources) = (td.clone(), std::mem::take(sources));
-                total += self.walk_once(
+            s.order.push(fast_uniform(&mut rng, context.len()) as u32);
+        }
+
+        if self.guided {
+            let (mwords, distinct) = match member_set {
+                Some(set) => (set.words(), set.distinct()),
+                // `dedup_members` above already loaded the bitset.
+                None => (&s.member_bits[..], members.len()),
+            };
+            let total = self.run_guided_walks(
+                kg,
+                members,
+                mwords,
+                distinct,
+                context,
+                samples,
+                &mut rng,
+                &mut s.walker,
+                &s.order,
+                &mut s.per_target,
+                &mut s.target_idx,
+                &mut s.target_store,
+                &mut stats,
+            );
+            (total, stats)
+        } else {
+            let adaptive = self.budget.is_adaptive();
+            let mut conv = Convergence::default();
+            let mut total = 0.0;
+            let mut consumed = 0u32;
+            for &pos in &s.order {
+                let x = Self::unguided_sample(
                     kg,
-                    &sources,
-                    target,
-                    Some(&td),
-                    &mut rng,
-                    &mut stats,
-                    &mut visited,
-                    &mut eligible,
-                );
-                if let Some(slot) = dist_cache.get_mut(&target) {
-                    slot.1 = sources;
-                }
-            } else {
-                total += self.walk_once(
-                    kg,
+                    &mut s.walker,
                     members,
-                    target,
-                    None,
+                    context[pos as usize],
+                    self.tau,
+                    self.beta,
                     &mut rng,
                     &mut stats,
-                    &mut visited,
-                    &mut eligible,
                 );
+                total += x;
+                consumed += 1;
+                if adaptive {
+                    conv.push(x);
+                    if self.should_stop(&conv, consumed, samples) {
+                        stats.early_stops += 1;
+                        break;
+                    }
+                }
+            }
+            (total / consumed as f64, stats)
+        }
+    }
+
+    /// Executes the guided sample sequence in draw order, resolving
+    /// each target exactly once (one oracle lookup — or estimator-memo
+    /// hit — plus one bitset popcount), lazily at its first
+    /// appearance: targets drawn only in a tail that an adaptive stop
+    /// truncates are never resolved at all. Resolution consumes no RNG,
+    /// so laziness cannot perturb the walk sequence. Returns the
+    /// estimate (mean over consumed samples).
+    #[allow(clippy::too_many_arguments)]
+    fn run_guided_walks(
+        &self,
+        kg: &KnowledgeGraph,
+        members: &[InstanceId],
+        mwords: &[u64],
+        distinct: usize,
+        context: &[InstanceId],
+        samples: u32,
+        rng: &mut SmallRng,
+        walker: &mut Walker,
+        order: &[u32],
+        per_target: &mut Vec<Option<(u32, u32, DrawMode)>>,
+        target_idx: &mut FxHashMap<InstanceId, u32>,
+        target_store: &mut Vec<TargetDistances>,
+        stats: &mut WalkStats,
+    ) -> f64 {
+        per_target.clear();
+        per_target.resize(context.len(), None);
+        let distinct_slice = distinct == members.len();
+        let adaptive = self.budget.is_adaptive();
+        let mut conv = Convergence::default();
+        let mut total = 0.0;
+        let mut consumed = 0u32;
+        for &pos in order {
+            let target = context[pos as usize];
+            let (idx, count, mode) = match per_target[pos as usize] {
+                Some(resolved) => resolved,
+                None => {
+                    let idx = match target_idx.get(&target) {
+                        Some(&i) => i,
+                        None => {
+                            let td = self.oracle.distances(kg, target);
+                            let i = target_store.len() as u32;
+                            target_store.push(td);
+                            target_idx.insert(target, i);
+                            i
+                        }
+                    };
+                    let td = &target_store[idx as usize];
+                    let count = source_count(mwords, td.eligibility().level(self.tau), target);
+                    // Draw-mode choice, cheapest viable first. The
+                    // slice modes need a duplicate-free member slice,
+                    // or slice draws would overweight repeated entries.
+                    let mode = if count == 0 {
+                        DrawMode::Degenerate
+                    } else if distinct_slice && count == members.len() {
+                        DrawMode::Slice
+                    } else if distinct_slice && count * 2 >= members.len() {
+                        DrawMode::Reject
+                    } else {
+                        DrawMode::Select
+                    };
+                    let resolved = (idx, count as u32, mode);
+                    per_target[pos as usize] = Some(resolved);
+                    resolved
+                }
+            };
+            let count = count as usize;
+            let td = &target_store[idx as usize];
+            let x = if mode == DrawMode::Degenerate {
+                // Degenerate sample; counts as a consumed walk.
+                stats.walks += 1;
+                0.0
+            } else {
+                let elig = td.eligibility();
+                let u = match mode {
+                    DrawMode::Slice => {
+                        let k = if members.len() == 1 {
+                            0
+                        } else {
+                            fast_uniform(rng, members.len())
+                        };
+                        members[k]
+                    }
+                    DrawMode::Reject => {
+                        let ball = elig.level(self.tau);
+                        loop {
+                            let cand = members[fast_uniform(rng, members.len())];
+                            if cand != target && ball.contains(cand) {
+                                break cand;
+                            }
+                        }
+                    }
+                    DrawMode::Select => {
+                        let k = if count == 1 {
+                            0
+                        } else {
+                            fast_uniform(rng, count)
+                        };
+                        select_kth_source(mwords, elig.level(self.tau), target, k)
+                    }
+                    DrawMode::Degenerate => unreachable!(),
+                };
+                walker.walk_from(kg, u, count, target, elig, self.tau, self.beta, rng, stats)
+            };
+            total += x;
+            consumed += 1;
+            if adaptive {
+                conv.push(x);
+                if self.should_stop(&conv, consumed, samples) {
+                    stats.early_stops += 1;
+                    break;
+                }
             }
         }
-        (total / samples as f64, stats)
+        total / consumed as f64
     }
 }
 
@@ -450,9 +870,6 @@ mod tests {
     #[test]
     fn estimate_conn_averages_over_context() {
         let (kg, members, v) = diamond();
-        // context = {v, isolated}: isolated contributes 0, so conn = S_v/2.
-        let b2 = GraphBuilder::new();
-        let _ = b2;
         let exact_v = exact_sum(&kg, &members, v, 2, 0.5);
         // m1 is a context entity too (not a member): compute S_m1.
         let m1 = kg.instance_by_name("m1").unwrap();
@@ -494,6 +911,166 @@ mod tests {
         assert_eq!(got, 0.0);
     }
 
+    /// Satellite regression: the stratified `estimate_conn` resolves
+    /// each distinct drawn target's distances **exactly once** — one
+    /// oracle lookup (and one BFS) per distinct target, not one per
+    /// walk. The old per-walk cache shuffle kept lookups low but cost a
+    /// hash-map round trip per sample; the new path must keep the
+    /// lookup count at the floor.
+    #[test]
+    fn distances_resolved_once_per_distinct_target() {
+        let (kg, members, v) = diamond();
+        let m1 = kg.instance_by_name("m1").unwrap();
+        let o = oracle(2);
+        let est = ConnEstimator::new(2, 0.5, true, o.clone());
+        let (_, stats) = est.estimate_conn(&kg, &members, &[v, m1], 200, 42);
+        assert_eq!(stats.walks, 200);
+        let os = o.stats();
+        // 200 samples over 2 targets: both drawn, each BFS'd once, and
+        // looked up exactly once (misses == lookups == distinct targets).
+        assert_eq!(os.misses, 2, "one BFS per distinct target");
+        assert_eq!(os.lookups(), 2, "one lookup per distinct target");
+        // A second estimate hits the estimator's own memo: no further
+        // oracle traffic at all, let alone a BFS.
+        est.estimate_conn(&kg, &members, &[v, m1], 200, 43);
+        let os = o.stats();
+        assert_eq!(os.misses, 2, "no duplicate BFS across estimates");
+        assert_eq!(os.lookups(), 2, "repeat estimates resolve from the memo");
+        // A fresh estimator sharing the oracle re-looks-up (cache hit),
+        // still without re-running the BFS.
+        let est2 = ConnEstimator::new(2, 0.5, true, o.clone());
+        est2.estimate_conn(&kg, &members, &[v, m1], 200, 44);
+        let os = o.stats();
+        assert_eq!(os.misses, 2);
+        assert_eq!(os.lookups(), 4);
+    }
+
+    /// Satellite regression: both estimate entry points count
+    /// unreachable-target samples the same way — the full requested
+    /// budget is consumed as degenerate zero-value walks.
+    #[test]
+    fn skipped_walk_counting_is_consistent() {
+        let mut b = GraphBuilder::new();
+        let u = b.instance("u");
+        let island = b.instance("island");
+        let m = b.instance("m");
+        b.fact(u, "r", m);
+        let kg = b.build();
+        let members = vec![u];
+        let est = ConnEstimator::new(2, 0.5, true, oracle(2));
+        let (sum, sum_stats) = est.estimate_sum_to_target(&kg, &members, island, 64, 9);
+        let (conn, conn_stats) = est.estimate_conn(&kg, &members, &[island], 64, 9);
+        assert_eq!(sum, 0.0);
+        assert_eq!(conn, 0.0);
+        assert_eq!(sum_stats.walks, 64);
+        assert_eq!(conn_stats.walks, 64, "conventions must agree");
+        assert_eq!(sum_stats, conn_stats);
+        assert_eq!(sum_stats.hits + sum_stats.dead_ends, 0);
+    }
+
+    #[test]
+    fn adaptive_budget_never_stops_before_minimum() {
+        // Zero-variance workload: a single viable line makes every walk
+        // value identical, so RSE hits 0 at the first possible check.
+        let mut b = GraphBuilder::new();
+        let u = b.instance("u");
+        let m = b.instance("m");
+        let v = b.instance("v");
+        b.fact(u, "r", m);
+        b.fact(m, "r", v);
+        let kg = b.build();
+        let budget = WalkBudget {
+            min_walks: 8,
+            check_interval: 1,
+            target_rse: 0.2,
+        };
+        let est = ConnEstimator::with_budget(2, 0.5, true, oracle(2), budget);
+        let (got, stats) = est.estimate_sum_to_target(&kg, &[u], v, 10_000, 5);
+        assert_eq!(
+            stats.walks, 8,
+            "converged instantly, but the minimum is binding"
+        );
+        assert_eq!(stats.early_stops, 1);
+        assert_eq!(got, 0.25, "prefix mean of identical values");
+    }
+
+    #[test]
+    fn adaptive_budget_consumes_at_most_samples() {
+        let (kg, members, v) = diamond();
+        let budget = WalkBudget {
+            min_walks: 12,
+            check_interval: 4,
+            target_rse: 0.15,
+        };
+        let est = ConnEstimator::with_budget(2, 0.5, true, oracle(2), budget);
+        let (_, stats) = est.estimate_conn(&kg, &members, &[v], 500, 77);
+        assert!(stats.walks >= 12);
+        assert!(stats.walks <= 500);
+        // Disabled budget always consumes the full request.
+        let full = ConnEstimator::new(2, 0.5, true, oracle(2));
+        let (_, stats) = full.estimate_conn(&kg, &members, &[v], 500, 77);
+        assert_eq!(stats.walks, 500);
+        assert_eq!(stats.early_stops, 0);
+    }
+
+    #[test]
+    fn adaptive_budget_deterministic_across_runs_and_threads() {
+        let (kg, members, v) = diamond();
+        let m1 = kg.instance_by_name("m1").unwrap();
+        let budget = WalkBudget {
+            min_walks: 4,
+            check_interval: 2,
+            target_rse: 0.3,
+        };
+        let run = move |kg: &KnowledgeGraph, members: &[InstanceId]| {
+            let est = ConnEstimator::with_budget(2, 0.5, true, oracle(2), budget);
+            est.estimate_conn(kg, members, &[v, m1], 400, 2024)
+        };
+        let (want, want_stats) = run(&kg, &members);
+        let (again, again_stats) = run(&kg, &members);
+        assert_eq!(want, again, "same seed, same estimate");
+        assert_eq!(want_stats, again_stats, "same seed, same stop point");
+        // Worker threads each build their own estimator (the engine's
+        // pattern): every one must reproduce the same value bit-for-bit.
+        let kg = std::sync::Arc::new(kg);
+        let members = std::sync::Arc::new(members);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let kg = kg.clone();
+                let members = members.clone();
+                std::thread::spawn(move || run(&kg, &members))
+            })
+            .collect();
+        for h in handles {
+            let (got, got_stats) = h.join().unwrap();
+            assert_eq!(got.to_bits(), want.to_bits());
+            assert_eq!(got_stats, want_stats);
+        }
+    }
+
+    /// Set semantics hold on every path: an estimate over a member
+    /// slice with duplicates is bit-identical to the estimate over its
+    /// distinct set, guided and unguided alike.
+    #[test]
+    fn duplicate_members_collapse_on_all_paths() {
+        let (kg, members, v) = diamond();
+        let m1 = kg.instance_by_name("m1").unwrap();
+        let mut dup = members.clone();
+        dup.push(members[0]);
+        dup.push(members[1]);
+        for guided in [true, false] {
+            let clean = ConnEstimator::new(2, 0.5, guided, oracle(2));
+            let dirty = ConnEstimator::new(2, 0.5, guided, oracle(2));
+            let (a, sa) = clean.estimate_conn(&kg, &members, &[v, m1], 300, 7);
+            let (b, sb) = dirty.estimate_conn(&kg, &dup, &[v, m1], 300, 7);
+            assert_eq!(a.to_bits(), b.to_bits(), "guided={guided}");
+            assert_eq!(sa, sb);
+            let (a, _) = clean.estimate_sum_to_target(&kg, &members, v, 300, 7);
+            let (b, _) = dirty.estimate_sum_to_target(&kg, &dup, v, 300, 7);
+            assert_eq!(a.to_bits(), b.to_bits(), "guided={guided}");
+        }
+    }
+
     #[test]
     fn pair_seed_spreads() {
         let a = pair_seed(1, 0, 0);
@@ -505,7 +1082,7 @@ mod tests {
 
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
-        /// On random small graphs the guided estimator's mean tracks the
+        /// On random small graphs the guided walker's mean tracks the
         /// exact damped path sum (unbiasedness).
         #[test]
         fn prop_unbiased_on_random_graphs(
@@ -529,6 +1106,38 @@ mod tests {
             } else {
                 proptest::prop_assert!(
                     (got - exact).abs() / exact < 0.15,
+                    "est {} vs exact {}", got, exact
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        /// The unguided walker is unbiased too (the estimator's two
+        /// paths must agree on the estimand, not just the guided one).
+        #[test]
+        fn prop_unbiased_unguided_on_random_graphs(
+            edges in proptest::collection::vec((0u32..8, 0u32..8), 4..20),
+            seed in 0u64..1000,
+        ) {
+            let mut b = GraphBuilder::new();
+            let nodes: Vec<InstanceId> =
+                (0..8).map(|i| b.instance(&format!("n{i}"))).collect();
+            for (u, v) in edges {
+                b.fact(nodes[u as usize], "r", nodes[v as usize]);
+            }
+            let kg = b.build();
+            let members = vec![nodes[0], nodes[1]];
+            let target = nodes[7];
+            let exact = exact_sum(&kg, &members, target, 2, 0.5);
+            let est = ConnEstimator::new(2, 0.5, false, oracle(2));
+            let (got, _) = est.estimate_sum_to_target(&kg, &members, target, 60_000, seed);
+            if exact == 0.0 {
+                proptest::prop_assert_eq!(got, 0.0);
+            } else {
+                proptest::prop_assert!(
+                    (got - exact).abs() / exact < 0.25,
                     "est {} vs exact {}", got, exact
                 );
             }

@@ -6,12 +6,18 @@
 //!   entities, computed exactly by hop-bounded path counting (Eq. 4–5);
 //! * [`estimator`] — the unbiased single-random-walk estimator of the
 //!   connectivity score (Eq. 6), optionally guided by the k-hop
-//!   reachability oracle.
+//!   reachability oracle;
+//! * [`walker`] — the allocation-free walk engine underneath the
+//!   estimator: epoch-stamped visited set, bitset-guided eligibility,
+//!   two-pass CSR sampling, and the adaptive-budget convergence
+//!   accumulator.
 
 pub mod context;
 pub mod estimator;
 pub mod ontology;
+pub mod walker;
 
 pub use context::{cdrc_from_conn, exact_conn, ContextSplit};
-pub use estimator::{ConnEstimator, WalkStats};
+pub use estimator::{ConnEstimator, MemberSetCache, WalkStats};
 pub use ontology::{matched_entities, ontology_relevance};
+pub use walker::{MemberSet, Walker};

@@ -36,6 +36,10 @@ pub struct OntologyRelevance {
 /// Computes `cdr_o(c, d)` over a document's entity bag. Returns `None`
 /// when `ME(c, d)` is empty (the concept has no direct link to the
 /// document; §III-A1's edge-concept fallback applies at query time).
+/// This per-candidate form is the **reference implementation**: the
+/// indexer's scoring sweep computes the same quantity fused into its
+/// candidate-collection pass (one pass over `Ψ⁻¹` of the document's
+/// entities), and a test in `indexer.rs` pins the two to each other.
 pub fn ontology_relevance(
     kg: &KnowledgeGraph,
     entity_index: &EntityIndex,

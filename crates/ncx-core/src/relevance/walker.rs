@@ -1,0 +1,753 @@
+//! The random-walk engine — the allocation-free hot loop under every
+//! connectivity estimate.
+//!
+//! [`super::estimator::ConnEstimator`] decides *what* to sample (which
+//! targets, how many walks, when to stop); this module executes the
+//! walks themselves. The engine's job is to make one walk as close to
+//! free as the memory system allows:
+//!
+//! * **Epoch-stamped visited set.** Non-repeating walks need a "was this
+//!   node already visited?" predicate. The walker keeps **one `u32`
+//!   stamp per KG node**, reused across all walks of an estimate. A
+//!   walk "visits" a node by writing the current epoch; membership is
+//!   one load + compare. Starting a walk is a single counter increment
+//!   — no clearing, no allocation. When the epoch counter wraps (once
+//!   every 2³² walks) the stamp array is zeroed once and the counter
+//!   restarts at 1, so a stale stamp can never alias a live epoch.
+//!
+//! * **Bitset-guided eligibility.** The guided walk's inner predicate —
+//!   "can neighbour `w` still reach the target within my remaining hop
+//!   budget?" — is answered by the per-budget
+//!   [`EligibilityBitsets`] cached on
+//!   each [`TargetDistances`](ncx_reach::oracle::TargetDistances): one
+//!   bit test per neighbour. Sampling among eligible neighbours is a
+//!   **two-pass scan over the CSR row** (count, then pick the k-th
+//!   survivor) with no materialised `eligible` vector.
+//!
+//! * **Bitset source sets.** The restricted source set of a guided
+//!   estimate — `members ∩ ball(target, τ) \ {target}` — used to be a
+//!   materialised `Vec` built by scanning every member per target. A
+//!   concept's members live in a [`MemberSet`] bitset instead (built
+//!   once per concept and shared across documents, or loaded once per
+//!   estimate into reusable scratch); each target's source count is a
+//!   word-wise AND + popcount against the cached level-τ eligibility
+//!   bitset (`source_count`), and a source draw either indexes the
+//!   member slice directly, rejection-samples it (one bit test per
+//!   attempt), or selects the k-th live intersection bit
+//!   (`select_kth_source`) when the eligible fraction is small. No
+//!   per-target scan, no allocation, and the importance weight
+//!   (`|sources|`) falls out of the popcount.
+//!
+//! * **Final-step shortcut.** At remaining budget 0 the guided
+//!   eligibility set is `{target}` (level-0 bitset), and the target can
+//!   never be stamped — walks return the moment they reach it. The last
+//!   step therefore reduces to a binary search of the sorted CSR row:
+//!   hit (eligible count 1, importance weight unchanged) or dead end.
+//!   At τ = 2 — the paper's default — this halves the scanned steps.
+//!
+//! * **RNG discipline.** One draw per decision that has more than one
+//!   outcome: the estimator draws the source (skipped when only one
+//!   source exists), the walker draws one neighbour per step *unless
+//!   the eligible count is 1*. All draws come from the caller's seeded
+//!   RNG, so a walk sequence is a pure function of `(seed, graph,
+//!   parameters)` — the determinism contract
+//!   ([`pair_seed`](super::estimator::pair_seed)) holds bit-for-bit on
+//!   one worker or sixty-four.
+//!
+//! The walker also hosts [`Convergence`], the Welford accumulator behind
+//! the adaptive [`WalkBudget`](crate::config::WalkBudget) stopping rule:
+//! deterministic streaming mean/variance over the walk values, checked
+//! by the estimator at its configured cadence.
+
+use ncx_kg::traversal::Hops;
+use ncx_kg::{InstanceId, KnowledgeGraph};
+use ncx_reach::{EligibilityBitsets, EligibilityLevel};
+use rand::rngs::SmallRng;
+use rand::RngCore;
+
+use super::estimator::WalkStats;
+
+/// One uniform draw in `[0, n)` via Lemire's multiply-shift — a 64×64
+/// widening multiply instead of `gen_range`'s 128-bit modulo. The
+/// ≤ n/2⁶⁴ bias is immeasurable at walk-engine spans (n ≤ a few
+/// thousand) and the draw stays a pure function of the RNG stream, so
+/// determinism is untouched.
+#[inline]
+pub(crate) fn fast_uniform(rng: &mut SmallRng, n: usize) -> usize {
+    debug_assert!(n > 0);
+    (((rng.next_u64() as u128) * (n as u128)) >> 64) as usize
+}
+
+/// A member set as a bitset — the walker-side representation of `Ψ(c)`.
+///
+/// Built once per concept
+/// ([`MemberSetCache`](super::estimator::MemberSetCache) shares it
+/// across every document an indexing run scores against that concept)
+/// or loaded into reusable scratch by the slice API. Restricted source
+/// counts are then one word-wise AND + popcount against a target's
+/// reachable ball.
+#[derive(Debug, Clone)]
+pub struct MemberSet {
+    bits: Box<[u64]>,
+    distinct: usize,
+}
+
+impl MemberSet {
+    /// Builds the bitset for a graph with `n` nodes. Duplicate members
+    /// collapse (`Ψ(c)` is a set).
+    pub fn build(n: usize, members: &[InstanceId]) -> Self {
+        let mut bits = vec![0u64; n.div_ceil(64)];
+        let distinct = load_member_bits(&mut bits, n, members);
+        Self {
+            bits: bits.into_boxed_slice(),
+            distinct,
+        }
+    }
+
+    /// The raw bitset words.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Distinct members.
+    pub fn distinct(&self) -> usize {
+        self.distinct
+    }
+}
+
+/// Fills `buf` (grown to cover `n` nodes) with the member bitset,
+/// returning the distinct-member count. Shared by [`MemberSet::build`]
+/// and the estimator's reusable scratch path.
+pub(crate) fn load_member_bits(buf: &mut Vec<u64>, n: usize, members: &[InstanceId]) -> usize {
+    let words = n.div_ceil(64);
+    if buf.len() < words {
+        buf.resize(words, 0);
+    }
+    buf[..words].fill(0);
+    for &m in members {
+        buf[m.index() >> 6] |= 1 << (m.index() & 63);
+    }
+    buf[..words].iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// `|members ∩ ball \ {target}|` — the restricted source count of one
+/// target, via word-wise AND + popcount against its reachable ball (the
+/// level-τ eligibility bitset). This is the importance weight's base
+/// and the size of the source draw space.
+pub(crate) fn source_count(
+    member_bits: &[u64],
+    ball: EligibilityLevel<'_>,
+    target: InstanceId,
+) -> usize {
+    let words = ball.words();
+    debug_assert!(words.len() <= member_bits.len());
+    let mut count = 0usize;
+    for (i, &w) in words.iter().enumerate() {
+        count += (member_bits[i] & w).count_ones() as usize;
+    }
+    // The target is always in its own ball (dist 0): subtract it when
+    // it is a member, so sources never include the target.
+    let t_member = (member_bits[target.index() >> 6] >> (target.index() & 63)) & 1 == 1;
+    if t_member && ball.contains(target) {
+        count -= 1;
+    }
+    count
+}
+
+/// The `k`-th source (0-based) of `members ∩ ball \ {target}`, in
+/// node-id order. `k` must be below the matching [`source_count`].
+pub(crate) fn select_kth_source(
+    member_bits: &[u64],
+    ball: EligibilityLevel<'_>,
+    target: InstanceId,
+    mut k: usize,
+) -> InstanceId {
+    let t_word = target.index() >> 6;
+    let t_bit = 1u64 << (target.index() & 63);
+    for (i, &lw) in ball.words().iter().enumerate() {
+        let mut w = member_bits[i] & lw;
+        if i == t_word {
+            w &= !t_bit;
+        }
+        let c = w.count_ones() as usize;
+        if k < c {
+            // Clear the k lowest set bits, the survivor's position is
+            // the answer.
+            for _ in 0..k {
+                w &= w - 1;
+            }
+            return InstanceId::new((i * 64 + w.trailing_zeros() as usize) as u32);
+        }
+        k -= c;
+    }
+    unreachable!("select_kth_source called with k >= source_count")
+}
+
+/// Reusable walk-execution state: the epoch-stamped visited array. One
+/// `Walker` serves every walk of every estimate run through its owning
+/// [`ConnEstimator`](super::estimator::ConnEstimator) — construction is
+/// cheap and the array is sized to the graph on first use.
+#[derive(Debug, Default)]
+pub struct Walker {
+    /// One stamp per KG node; `stamps[v] == epoch` ⇔ v visited by the
+    /// current walk.
+    stamps: Vec<u32>,
+    /// The current walk's epoch. 0 is never a live epoch (stamps start
+    /// at 0), so a fresh array is "nothing visited".
+    epoch: u32,
+}
+
+impl Walker {
+    /// Creates an empty walker; the stamp array is sized lazily.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures the stamp array covers `n` nodes. Growth fills with 0,
+    /// which no live epoch equals — newly covered nodes are unvisited.
+    pub fn ensure(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+    }
+
+    /// Starts a new walk: bumps the epoch, clearing the visited set in
+    /// O(1). On `u32` wraparound (every 2³² walks) the stamp array is
+    /// zeroed once and the epoch restarts at 1, so stale stamps from
+    /// ~4.3 billion walks ago cannot alias the new epoch.
+    #[inline]
+    fn next_epoch(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+
+    /// Test-only: forces the epoch counter, to exercise wraparound.
+    #[cfg(test)]
+    pub(crate) fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    /// One guided walk from the already-drawn source `u` towards
+    /// `target`, returning the importance-weighted sample value `X`
+    /// (0 on miss). `source_count` is the size of the restricted source
+    /// set `u` was drawn from (the importance weight's base); `elig`
+    /// must be the bitsets of this walk's target, and `u` must not be
+    /// the target.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn walk_from(
+        &mut self,
+        kg: &KnowledgeGraph,
+        u: InstanceId,
+        source_count: usize,
+        target: InstanceId,
+        elig: &EligibilityBitsets,
+        tau: Hops,
+        beta: f64,
+        rng: &mut SmallRng,
+        stats: &mut WalkStats,
+    ) -> f64 {
+        stats.walks += 1;
+        debug_assert_ne!(u, target, "restricted sources exclude the target");
+        // τ ≤ 2 never *reads* the visited set: step 0's set is exactly
+        // {u} (checked as a register compare), and the final step tests
+        // only the never-visited target. Skip the stamp bookkeeping
+        // entirely on that path — the default configuration's walks
+        // touch no per-node state at all.
+        let track_visited = tau > 2;
+        let epoch = if track_visited {
+            let e = self.next_epoch();
+            self.stamps[u.index()] = e;
+            e
+        } else {
+            0
+        };
+        let adj = kg.adjacency();
+        let mut cur = u;
+        let mut weight = source_count as f64;
+        let mut damp = 1.0;
+        for depth in 0..tau {
+            let remaining = tau - depth - 1;
+            damp *= beta;
+            if remaining == 0 {
+                // Final step: the level-0 eligibility set is {target},
+                // and the target is never stamped (walks return on
+                // reaching it) — binary-search a sorted row instead of
+                // scanning. Eligible count is 1, weight unchanged. The
+                // graph is bidirected, so the probe runs against the
+                // *target's* row: it stays cache-hot across all of an
+                // estimate's walks, while `cur` changes every walk.
+                if adj.row(target.index()).binary_search(&cur).is_ok() {
+                    stats.hits += 1;
+                    return weight * damp;
+                }
+                stats.dead_ends += 1;
+                return 0.0;
+            }
+            let level = elig.level(remaining);
+            let nbrs = adj.row(cur.index());
+            let unvisited = |stamps: &[u32], w: InstanceId| -> bool {
+                if depth == 0 {
+                    w != u
+                } else {
+                    stamps[w.index()] != epoch
+                }
+            };
+            // Two-pass pick: count the eligible neighbours, then walk to
+            // the k-th survivor. No eligible vector, no stores. The
+            // first survivor is remembered during the count pass, so
+            // pick 0 (always, when only one neighbour is eligible)
+            // skips the second pass.
+            let mut count = 0usize;
+            let mut first = target;
+            for &w in nbrs {
+                if level.contains(w) && unvisited(&self.stamps, w) {
+                    if count == 0 {
+                        first = w;
+                    }
+                    count += 1;
+                }
+            }
+            if count == 0 {
+                stats.dead_ends += 1;
+                return 0.0;
+            }
+            let pick = if count == 1 {
+                0
+            } else {
+                fast_uniform(rng, count)
+            };
+            let mut chosen = first;
+            if pick > 0 {
+                let mut seen = 0usize;
+                for &w in nbrs {
+                    if level.contains(w) && unvisited(&self.stamps, w) {
+                        if seen == pick {
+                            chosen = w;
+                            break;
+                        }
+                        seen += 1;
+                    }
+                }
+            }
+            weight *= count as f64;
+            if chosen == target {
+                stats.hits += 1;
+                return weight * damp;
+            }
+            if track_visited {
+                self.stamps[chosen.index()] = epoch;
+            }
+            cur = chosen;
+        }
+        0.0
+    }
+
+    /// One unguided walk (the paper's "w/o reachability index"
+    /// baseline) from the already-drawn source `u`: any unvisited
+    /// neighbour is eligible. `u` must not be the target (the estimator
+    /// accounts a drawn target as a zero-value sample itself).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn walk_from_unguided(
+        &mut self,
+        kg: &KnowledgeGraph,
+        u: InstanceId,
+        source_count: usize,
+        target: InstanceId,
+        tau: Hops,
+        beta: f64,
+        rng: &mut SmallRng,
+        stats: &mut WalkStats,
+    ) -> f64 {
+        stats.walks += 1;
+        debug_assert_ne!(u, target);
+        let epoch = self.next_epoch();
+        self.stamps[u.index()] = epoch;
+        let adj = kg.adjacency();
+        let mut cur = u;
+        let mut weight = source_count as f64;
+        let mut damp = 1.0;
+        for _ in 0..tau {
+            damp *= beta;
+            let nbrs = adj.row(cur.index());
+            let mut count = 0usize;
+            let mut first = target;
+            for &w in nbrs {
+                if self.stamps[w.index()] != epoch {
+                    if count == 0 {
+                        first = w;
+                    }
+                    count += 1;
+                }
+            }
+            if count == 0 {
+                stats.dead_ends += 1;
+                return 0.0;
+            }
+            let pick = if count == 1 {
+                0
+            } else {
+                fast_uniform(rng, count)
+            };
+            let mut chosen = first;
+            if pick > 0 {
+                let mut seen = 0usize;
+                for &w in nbrs {
+                    if self.stamps[w.index()] != epoch {
+                        if seen == pick {
+                            chosen = w;
+                            break;
+                        }
+                        seen += 1;
+                    }
+                }
+            }
+            weight *= count as f64;
+            if chosen == target {
+                stats.hits += 1;
+                return weight * damp;
+            }
+            self.stamps[chosen.index()] = epoch;
+            cur = chosen;
+        }
+        0.0
+    }
+}
+
+/// Streaming mean/variance (Welford) over walk sample values, driving
+/// the adaptive [`WalkBudget`](crate::config::WalkBudget) stopping rule.
+///
+/// Deterministic: the accumulated state is a pure fold over the walk
+/// values in sample order, which are themselves a pure function of the
+/// estimate's seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Convergence {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Convergence {
+    /// Folds one sample value in.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Samples folded so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Relative standard error of the running mean, `s / (x̄ √n)`.
+    /// Infinite while fewer than two samples are in, or while the mean
+    /// is ≤ 0 (an all-zero prefix never certifies convergence — a later
+    /// walk could still hit).
+    pub fn rse(&self) -> f64 {
+        if self.n < 2 || self.mean <= 0.0 {
+            return f64::INFINITY;
+        }
+        let var = self.m2 / (self.n - 1) as f64;
+        (var / self.n as f64).sqrt() / self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_kg::GraphBuilder;
+    use ncx_reach::oracle::compute_target_distances;
+    use rand::SeedableRng;
+
+    /// u — m — v line plus a dead-end branch.
+    fn line() -> (KnowledgeGraph, InstanceId, InstanceId) {
+        let mut b = GraphBuilder::new();
+        let u = b.instance("u");
+        let m = b.instance("m");
+        let v = b.instance("v");
+        let stub = b.instance("stub");
+        b.fact(u, "r", m);
+        b.fact(m, "r", v);
+        b.fact(u, "r", stub);
+        let kg = b.build();
+        (kg, u, v)
+    }
+
+    fn run_walks(w: &mut Walker, n: u32, seed: u64) -> (f64, WalkStats) {
+        let (kg, u, v) = line();
+        let td = compute_target_distances(&kg, v, 2);
+        let elig = td.eligibility();
+        w.ensure(kg.num_instances());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut stats = WalkStats::default();
+        let mut total = 0.0;
+        for _ in 0..n {
+            total += w.walk_from(&kg, u, 1, v, elig, 2, 0.5, &mut rng, &mut stats);
+        }
+        (total, stats)
+    }
+
+    /// τ = 3 walks on a branchy graph — the configuration that actually
+    /// exercises the epoch-stamped visited set (τ ≤ 2 elides it).
+    fn run_stamped_walks(w: &mut Walker, n: u32, seed: u64) -> (f64, WalkStats) {
+        let mut b = GraphBuilder::new();
+        let u = b.instance("u");
+        let m1 = b.instance("m1");
+        let m2 = b.instance("m2");
+        let m3 = b.instance("m3");
+        let v = b.instance("v");
+        b.fact(u, "r", m1);
+        b.fact(u, "r", m2);
+        b.fact(m1, "r", m2);
+        b.fact(m1, "r", m3);
+        b.fact(m2, "r", m3);
+        b.fact(m3, "r", v);
+        let kg = b.build();
+        let td = compute_target_distances(&kg, v, 3);
+        let elig = td.eligibility();
+        w.ensure(kg.num_instances());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut stats = WalkStats::default();
+        let mut total = 0.0;
+        for _ in 0..n {
+            total += w.walk_from(&kg, u, 1, v, elig, 3, 0.5, &mut rng, &mut stats);
+        }
+        (total, stats)
+    }
+
+    #[test]
+    fn guided_walk_on_line_always_hits() {
+        let mut w = Walker::new();
+        let (total, stats) = run_walks(&mut w, 100, 7);
+        assert_eq!(stats.walks, 100);
+        assert_eq!(stats.hits, 100, "single viable line: every walk hits");
+        assert_eq!(stats.dead_ends, 0);
+        // Each walk: |sources|=1, one eligible step (m), then the final
+        // hop: X = 1 · 1 · 0.5² = 0.25.
+        assert!((total - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_wraparound_is_invisible() {
+        // A walker about to wrap its epoch counter must behave exactly
+        // like a fresh one: the wrap clears the stamp array, so stale
+        // stamps never alias the restarted epoch. τ = 3 so stamps are
+        // actually exercised.
+        let mut fresh = Walker::new();
+        let (want, fresh_stats) = run_stamped_walks(&mut fresh, 50, 99);
+        assert!(fresh_stats.hits > 0, "fixture walks must reach v");
+        let mut wrapping = Walker::new();
+        wrapping.set_epoch(u32::MAX - 10); // wraps mid-run
+        let (got, wrap_stats) = run_stamped_walks(&mut wrapping, 50, 99);
+        assert_eq!(want, got);
+        assert_eq!(fresh_stats, wrap_stats);
+        // And the wrap really happened.
+        assert!(wrapping.epoch < 50, "epoch restarted after wrap");
+    }
+
+    #[test]
+    fn stale_stamps_never_leak_across_walks() {
+        // Walk twice with the same RNG state: identical values — the
+        // first walk's visited set must not constrain the second (τ = 3
+        // exercises the stamped path).
+        let mut w = Walker::new();
+        let (x1, s1) = run_stamped_walks(&mut w, 1, 5);
+        let mut w2 = Walker::new();
+        let (x2, s2) = run_stamped_walks(&mut w2, 1, 5);
+        // Re-running on the *same* walker (dirty stamps, later epochs)
+        // reproduces a fresh walker exactly.
+        let (x3, s3) = run_stamped_walks(&mut w, 1, 5);
+        assert_eq!(x1, x2);
+        assert_eq!(x1, x3);
+        assert_eq!(s1, s2);
+        assert_eq!(s1, s3);
+    }
+
+    #[test]
+    fn tau_three_visited_set_prunes_revisits() {
+        // Triangle u — a — v — u, τ = 3, source weight 2. From u a walk
+        // either hits v directly (X = 2·2·β) or steps to a; at a, the
+        // *bitset* still allows stepping back to u (dist(u) = 1 ≤
+        // remaining 1), so only the visited set prevents the revisit,
+        // forcing count = 1 and a hit (X = 2·2·β²). A broken visited
+        // set would sometimes walk u → a → u → v, yielding 2·2·2·β³ —
+        // a third value distinct from both for β = 0.4.
+        let mut b = GraphBuilder::new();
+        let u = b.instance("u");
+        let a = b.instance("a");
+        let v = b.instance("v");
+        b.fact(u, "r", v);
+        b.fact(u, "r", a);
+        b.fact(a, "r", v);
+        let kg = b.build();
+        let td = compute_target_distances(&kg, v, 3);
+        let mut w = Walker::new();
+        w.ensure(kg.num_instances());
+        let mut stats = WalkStats::default();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (direct, via_a) = (2.0 * 2.0 * 0.4, 2.0 * 2.0 * 0.4 * 0.4);
+        let mut seen_via_a = false;
+        for _ in 0..100 {
+            let x = w.walk_from(&kg, u, 2, v, td.eligibility(), 3, 0.4, &mut rng, &mut stats);
+            assert!(
+                x == direct || x == via_a,
+                "unexpected sample {x}: a revisit slipped past the visited set"
+            );
+            seen_via_a |= x == via_a;
+        }
+        assert_eq!(stats.hits, 100);
+        assert!(seen_via_a, "both branches exercised");
+    }
+
+    #[test]
+    fn member_bitset_source_selection() {
+        // 70 nodes so the bitset spans two words; members scattered.
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<InstanceId> = (0..70).map(|i| b.instance(&format!("n{i}"))).collect();
+        // Chain everything to node 69 so distances exist.
+        for &n in &nodes[..69] {
+            b.fact(n, "r", nodes[69]);
+        }
+        let kg = b.build();
+        let target = nodes[69];
+        let td = compute_target_distances(&kg, target, 2);
+        let ball = td.eligibility().level(2);
+
+        // Members straddle both words and include the target.
+        let members = vec![nodes[3], nodes[40], nodes[65], nodes[69]];
+        let set = MemberSet::build(kg.num_instances(), &members);
+        assert_eq!(set.distinct(), 4);
+        // The target is excluded from the source set.
+        assert_eq!(source_count(set.words(), ball, target), 3);
+        let selected: Vec<InstanceId> = (0..3)
+            .map(|k| select_kth_source(set.words(), ball, target, k))
+            .collect();
+        assert_eq!(selected, vec![nodes[3], nodes[40], nodes[65]]);
+
+        // Duplicates collapse.
+        let dup = MemberSet::build(kg.num_instances(), &[nodes[7], nodes[7]]);
+        assert_eq!(dup.distinct(), 1);
+        assert_eq!(source_count(dup.words(), ball, target), 1);
+        assert_eq!(select_kth_source(dup.words(), ball, target, 0), nodes[7]);
+
+        // A member outside the ball is not a source.
+        let mut b2 = GraphBuilder::new();
+        let a = b2.instance("a");
+        let far = b2.instance("far");
+        let t = b2.instance("t");
+        b2.fact(a, "r", t);
+        let _ = far; // no edges: unreachable
+        let kg2 = b2.build();
+        let td2 = compute_target_distances(&kg2, t, 2);
+        let ball2 = td2.eligibility().level(2);
+        let set2 = MemberSet::build(kg2.num_instances(), &[a, far]);
+        assert_eq!(
+            source_count(set2.words(), ball2, t),
+            1,
+            "far is unreachable"
+        );
+        assert_eq!(select_kth_source(set2.words(), ball2, t, 0), a);
+
+        // The reusable-scratch loader agrees with MemberSet::build.
+        let mut buf = vec![0u64; kg.num_instances().div_ceil(64)];
+        let distinct = load_member_bits(&mut buf, kg.num_instances(), &members);
+        assert_eq!(distinct, 4);
+        assert_eq!(&buf[..], set.words());
+    }
+
+    #[test]
+    fn tau_one_is_a_single_adjacency_probe() {
+        let mut b = GraphBuilder::new();
+        let u = b.instance("u");
+        let v = b.instance("v");
+        let far = b.instance("far");
+        b.fact(u, "r", v);
+        b.fact(v, "r", far);
+        let kg = b.build();
+        let mut w = Walker::new();
+        w.ensure(kg.num_instances());
+        let mut stats = WalkStats::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+
+        // u — v adjacent: τ = 1 walk hits with X = 1 · β.
+        let td = compute_target_distances(&kg, v, 1);
+        let x = w.walk_from(&kg, u, 1, v, td.eligibility(), 1, 0.5, &mut rng, &mut stats);
+        assert_eq!(x, 0.5);
+        assert_eq!((stats.walks, stats.hits, stats.dead_ends), (1, 1, 0));
+
+        // far is 2 hops from u: τ = 1 walk dead-ends immediately.
+        let td = compute_target_distances(&kg, far, 1);
+        let x = w.walk_from(
+            &kg,
+            u,
+            1,
+            far,
+            td.eligibility(),
+            1,
+            0.5,
+            &mut rng,
+            &mut stats,
+        );
+        assert_eq!(x, 0.0);
+        assert_eq!((stats.walks, stats.hits, stats.dead_ends), (2, 1, 1));
+    }
+
+    #[test]
+    fn unguided_walk_steps_and_hits() {
+        let (kg, u, v) = line();
+        let mut w = Walker::new();
+        w.ensure(kg.num_instances());
+        let mut stats = WalkStats::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut total = 0.0;
+        for _ in 0..2000 {
+            total += w.walk_from_unguided(&kg, u, 1, v, 2, 0.5, &mut rng, &mut stats);
+        }
+        assert!(total > 0.0, "some unguided walks reach v");
+        assert!(stats.hits > 0 && stats.hits < stats.walks);
+    }
+
+    #[test]
+    fn isolated_source_walks_are_dead_ends() {
+        // Unguided walk from a node with no neighbours: immediate dead
+        // end, no panic — the single-node boundary case.
+        let mut b = GraphBuilder::new();
+        let a = b.instance("a");
+        let z = b.instance("z");
+        let kg = b.build();
+        let mut w = Walker::new();
+        w.ensure(kg.num_instances());
+        let mut stats = WalkStats::default();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let x = w.walk_from_unguided(&kg, a, 1, z, 2, 0.5, &mut rng, &mut stats);
+        assert_eq!(x, 0.0);
+        assert_eq!(stats.dead_ends, 1);
+    }
+
+    #[test]
+    fn convergence_accumulator_matches_closed_form() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let mut c = Convergence::default();
+        assert_eq!(c.rse(), f64::INFINITY);
+        for x in xs {
+            c.push(x);
+        }
+        assert_eq!(c.n(), 4);
+        // mean 2.5, var 5/3, se = sqrt(var/4), rse = se / mean.
+        let want = ((5.0 / 3.0) / 4.0_f64).sqrt() / 2.5;
+        assert!((c.rse() - want).abs() < 1e-12);
+
+        // All-zero prefixes never certify convergence.
+        let mut z = Convergence::default();
+        for _ in 0..100 {
+            z.push(0.0);
+        }
+        assert_eq!(z.rse(), f64::INFINITY);
+    }
+}

@@ -87,6 +87,18 @@ impl EntityIndex {
     pub fn mentions(&self, v: InstanceId, doc: DocId) -> bool {
         self.mention_count(v, doc) > 0
     }
+
+    /// Term weights of every entity of `doc`, parallel to
+    /// [`entities_of`](Self::entities_of). The tf comes straight from
+    /// the stored per-document mention counts — no per-entity postings
+    /// probe — so scoring a whole document costs one df lookup per
+    /// entity instead of a binary search per (entity, caller) pair.
+    pub fn term_weights_of(&self, doc: DocId) -> Vec<f64> {
+        self.entities_of(doc)
+            .iter()
+            .map(|&(v, tf)| tf_idf(tf, self.entity_df(v), self.num_docs() as u32))
+            .collect()
+    }
 }
 
 #[cfg(test)]

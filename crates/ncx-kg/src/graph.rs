@@ -51,6 +51,12 @@ impl<T: Copy> Csr<T> {
         self.offsets[i]..self.offsets[i + 1]
     }
 
+    /// Row length of source `i` without materialising the slice.
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
     /// Number of sources.
     pub fn num_sources(&self) -> usize {
         self.offsets.len().saturating_sub(1)
@@ -171,6 +177,14 @@ impl KnowledgeGraph {
     #[inline]
     pub fn neighbors(&self, v: InstanceId) -> &[InstanceId] {
         self.adj.row(v.index())
+    }
+
+    /// The instance-space adjacency CSR itself. The walk engine fetches
+    /// rows straight off this (one bounds-checked slice per step) instead
+    /// of going through per-call accessors.
+    #[inline]
+    pub fn adjacency(&self) -> &Csr<InstanceId> {
+        &self.adj
     }
 
     /// Degree of `v` in the (bidirected) instance space.
@@ -372,5 +386,19 @@ mod tests {
         assert_eq!(csr.row(0), &[1, 2]);
         assert_eq!(csr.row(1), &[] as &[u32]);
         assert_eq!(csr.row(2), &[0]);
+    }
+
+    #[test]
+    fn csr_degree_helpers() {
+        let csr = Csr::from_lists(&[vec![1u32, 2], vec![], vec![0, 3, 4]]);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(1), 0);
+        assert_eq!(csr.degree(2), 3);
+
+        let g = tiny();
+        for v in g.instances() {
+            assert_eq!(g.adjacency().degree(v.index()), g.degree(v));
+            assert_eq!(g.adjacency().row(v.index()), g.neighbors(v));
+        }
     }
 }

@@ -55,6 +55,6 @@ pub mod subgraph;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
-pub use graph::KnowledgeGraph;
+pub use graph::{Csr, KnowledgeGraph};
 pub use ids::{ConceptId, DocId, InstanceId, RelationId, Symbol, TermId};
 pub use interner::Interner;

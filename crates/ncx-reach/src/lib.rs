@@ -15,7 +15,9 @@
 //!   every walk towards that target, cached across (concept, document)
 //!   scoring pairs. The cache is **sharded** by target hash so concurrent
 //!   scorers for different targets never serialise on one lock, and
-//!   deduplicated per target so contention never repeats a BFS.
+//!   deduplicated per target so contention never repeats a BFS. Each
+//!   distance array lazily derives per-budget [`EligibilityBitsets`], so
+//!   the walker's innermost hop-constraint predicate is one bit test.
 //!
 //! # Thread safety
 //!
@@ -30,4 +32,4 @@ pub mod khop;
 pub mod oracle;
 
 pub use khop::KHopIndex;
-pub use oracle::{OracleStats, TargetDistanceOracle};
+pub use oracle::{EligibilityBitsets, EligibilityLevel, OracleStats, TargetDistanceOracle};

@@ -30,7 +30,7 @@
 //! `τ - depth` hops of budget left. See the doctest on
 //! [`TargetDistanceOracle`].
 
-use ncx_kg::traversal::{bounded_bfs, DistMap, Hops};
+use ncx_kg::traversal::Hops;
 use ncx_kg::{InstanceId, KnowledgeGraph};
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
@@ -40,12 +40,147 @@ use std::sync::{Arc, OnceLock};
 /// Sentinel distance for "not within τ hops".
 pub const UNREACHED: u8 = u8::MAX;
 
+/// Per-budget eligibility bitsets derived from a [`TargetDistances`]:
+/// level `r` (for every `r ≤ τ`) holds one bit per KG node, set iff
+/// `dist(node → target) ≤ r`.
+///
+/// The guided walk estimator asks "is neighbour `w` still able to reach
+/// the target within my remaining hop budget?" once per neighbour per
+/// step — the innermost predicate of the whole indexing hot path.
+/// Precomputing the answer per budget level collapses that predicate to
+/// a single bit test over a cache-resident array (τ levels × `⌈n/64⌉`
+/// words), instead of a byte load, a clamp, and a compare against the
+/// distance array.
+///
+/// Levels are monotone (`level(r)` ⊆ `level(r+1)`); level `τ` is the
+/// whole reachable set. Built lazily by
+/// [`TargetDistances::eligibility`] and cached alongside the distance
+/// array, so every estimate sharing a target (across documents, via the
+/// oracle cache) shares one build.
+#[derive(Clone)]
+pub struct EligibilityBitsets {
+    tau: Hops,
+    words_per_level: usize,
+    bits: Box<[u64]>,
+}
+
+impl EligibilityBitsets {
+    /// Builds from a dense distance array (the lazy fallback path).
+    fn build(dist: &[u8], tau: Hops) -> Self {
+        let mut b = Self::empty(dist.len(), tau);
+        for (node, &d) in dist.iter().enumerate() {
+            if d != UNREACHED {
+                b.mark_exact(node, d);
+            }
+        }
+        b.finish_levels();
+        b
+    }
+
+    /// Builds from the BFS's reached list — `O(ball)` instead of
+    /// `O(n)`, used by [`compute_target_distances`] which has the list
+    /// in hand. `reached` holds `(node, dist)` pairs with `dist ≤ τ`.
+    fn build_sparse(n: usize, tau: Hops, reached: &[(InstanceId, Hops)]) -> Self {
+        let mut b = Self::empty(n, tau);
+        for &(node, d) in reached {
+            b.mark_exact(node.index(), d);
+        }
+        b.finish_levels();
+        b
+    }
+
+    fn empty(n: usize, tau: Hops) -> Self {
+        let words = n.div_ceil(64);
+        Self {
+            tau,
+            words_per_level: words,
+            bits: vec![0u64; words * (tau as usize + 1)].into_boxed_slice(),
+        }
+    }
+
+    /// Marks `node` at its exact distance level only; levels become
+    /// cumulative in [`finish_levels`](Self::finish_levels).
+    #[inline]
+    fn mark_exact(&mut self, node: usize, d: Hops) {
+        debug_assert!(d <= self.tau);
+        self.bits[d as usize * self.words_per_level + node / 64] |= 1 << (node % 64);
+    }
+
+    /// Turns per-exact-distance marks into cumulative ≤-budget levels
+    /// with one word-wise OR pass per level.
+    fn finish_levels(&mut self) {
+        let w = self.words_per_level;
+        for level in 1..=self.tau as usize {
+            let (prev, cur) = self.bits.split_at_mut(level * w);
+            let prev = &prev[(level - 1) * w..];
+            for (c, &p) in cur[..w].iter_mut().zip(prev) {
+                *c |= p;
+            }
+        }
+    }
+
+    /// The hop bound these bitsets were built for.
+    pub fn tau(&self) -> Hops {
+        self.tau
+    }
+
+    /// The bitset of nodes within `budget` hops of the target. `budget`
+    /// clamps to τ, mirroring [`TargetDistances::within`].
+    #[inline]
+    pub fn level(&self, budget: Hops) -> EligibilityLevel<'_> {
+        let level = budget.min(self.tau) as usize;
+        let w = self.words_per_level;
+        EligibilityLevel(&self.bits[level * w..(level + 1) * w])
+    }
+}
+
+impl std::fmt::Debug for EligibilityBitsets {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EligibilityBitsets")
+            .field("tau", &self.tau)
+            .field("words_per_level", &self.words_per_level)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One budget level of an [`EligibilityBitsets`]: a borrowed bitset
+/// answering `dist(node → target) ≤ budget` with a single bit test.
+#[derive(Clone, Copy)]
+pub struct EligibilityLevel<'a>(&'a [u64]);
+
+impl<'a> EligibilityLevel<'a> {
+    /// Whether `w` can reach the target within this level's budget.
+    #[inline]
+    pub fn contains(self, w: InstanceId) -> bool {
+        let i = w.index();
+        (self.0[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// The raw bitset words (bit `i` ⇔ node `i` eligible), for callers
+    /// that intersect eligibility with their own node sets (e.g. the
+    /// walk engine's members ∩ ball source counting).
+    #[inline]
+    pub fn words(self) -> &'a [u64] {
+        self.0
+    }
+
+    /// Number of eligible nodes at this level (diagnostics/tests).
+    pub fn count(self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
 /// Distances from every node *to* one target, bounded by τ.
 #[derive(Debug, Clone)]
 pub struct TargetDistances {
     target: InstanceId,
     tau: Hops,
     dist: Arc<[u8]>,
+    /// Eligibility bitsets, shared across clones (and thus across every
+    /// cached lookup of this target). Pre-seeded by
+    /// [`compute_target_distances`] from the BFS's reached list; built
+    /// lazily from the dense array otherwise.
+    elig: Arc<OnceLock<EligibilityBitsets>>,
 }
 
 impl TargetDistances {
@@ -78,6 +213,14 @@ impl TargetDistances {
     #[inline]
     pub fn within(&self, w: InstanceId, budget: Hops) -> bool {
         self.dist[w.index()] <= budget.min(self.tau)
+    }
+
+    /// The per-budget eligibility bitsets for this target, built on
+    /// first use and cached alongside the distance array (every clone —
+    /// and therefore every oracle cache hit — shares the same build).
+    pub fn eligibility(&self) -> &EligibilityBitsets {
+        self.elig
+            .get_or_init(|| EligibilityBitsets::build(&self.dist, self.tau))
     }
 }
 
@@ -252,24 +395,53 @@ impl TargetDistanceOracle {
 }
 
 /// One bounded BFS from `target`, materialised as a dense byte array.
+///
+/// The BFS writes straight into the dense array (UNREACHED doubles as
+/// the "unvisited" marker), touching only the target's ball — no
+/// scratch distance map and no full-graph densify pass. With thousands
+/// of distinct targets per indexing run, this cold path is itself part
+/// of the scoring budget.
 pub fn compute_target_distances(
     kg: &KnowledgeGraph,
     target: InstanceId,
     tau: Hops,
 ) -> TargetDistances {
     let n = kg.num_instances();
-    let mut map = DistMap::new(n);
-    bounded_bfs(kg, &[target], tau, &mut map);
     let mut dist = vec![UNREACHED; n];
-    for v in kg.instances() {
-        if let Some(d) = map.get(v) {
-            dist[v.index()] = d;
+    let mut reached: Vec<(InstanceId, Hops)> = Vec::new();
+    if n > 0 {
+        dist[target.index()] = 0;
+        reached.push((target, 0));
+        let mut frontier = vec![target];
+        let mut next: Vec<InstanceId> = Vec::new();
+        for d in 1..=tau.min(UNREACHED - 1) {
+            for &u in &frontier {
+                for &w in kg.neighbors(u) {
+                    let slot = &mut dist[w.index()];
+                    if *slot == UNREACHED {
+                        *slot = d;
+                        reached.push((w, d));
+                        next.push(w);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear();
         }
     }
+    // The eligibility bitsets are built here while the reached list is
+    // in hand (O(ball), not O(n)) and pre-seeded into the shared slot;
+    // `eligibility()`'s lazy build is the fallback for other paths.
+    let elig = OnceLock::new();
+    let _ = elig.set(EligibilityBitsets::build_sparse(n, tau, &reached));
     TargetDistances {
         target,
         tau,
         dist: dist.into(),
+        elig: Arc::new(elig),
     }
 }
 
@@ -305,6 +477,60 @@ mod tests {
         assert!(td.within(n[3], 3));
         assert!(!td.within(n[1], 2));
         assert!(!td.within(n[0], 3));
+    }
+
+    #[test]
+    fn eligibility_bitsets_match_within() {
+        let (g, n) = chain();
+        for tau in [1u8, 2, 3] {
+            let td = compute_target_distances(&g, n[4], tau);
+            let elig = td.eligibility();
+            assert_eq!(elig.tau(), tau);
+            // Every (node, budget) answer must agree with the distance
+            // array — including budgets beyond τ (both clamp).
+            for budget in 0..=tau + 2 {
+                let level = elig.level(budget);
+                for &v in &n {
+                    assert_eq!(
+                        level.contains(v),
+                        td.within(v, budget),
+                        "tau={tau} budget={budget} node={v:?}"
+                    );
+                }
+            }
+            // Monotone: each level is a superset of the one below.
+            for budget in 1..=tau {
+                assert!(elig.level(budget).count() >= elig.level(budget - 1).count());
+            }
+            // Level 0 is exactly the target.
+            assert_eq!(elig.level(0).count(), 1);
+            assert!(elig.level(0).contains(n[4]));
+        }
+    }
+
+    #[test]
+    fn eligibility_built_once_and_shared_across_clones() {
+        let (g, n) = chain();
+        let oracle = TargetDistanceOracle::new(3, 8);
+        let a = oracle.distances(&g, n[4]);
+        let built = a.eligibility() as *const EligibilityBitsets;
+        // A second lookup returns a clone backed by the same slot: the
+        // bitsets must not be rebuilt.
+        let b = oracle.distances(&g, n[4]);
+        assert_eq!(b.eligibility() as *const EligibilityBitsets, built);
+        let c = a.clone();
+        assert_eq!(c.eligibility() as *const EligibilityBitsets, built);
+    }
+
+    #[test]
+    fn eligibility_on_single_node_graph() {
+        let mut b = GraphBuilder::new();
+        let only = b.instance("only");
+        let g = b.build();
+        let td = compute_target_distances(&g, only, 1);
+        let elig = td.eligibility();
+        assert!(elig.level(0).contains(only));
+        assert_eq!(elig.level(1).count(), 1);
     }
 
     #[test]
