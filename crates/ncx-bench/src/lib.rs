@@ -10,8 +10,11 @@
 //! * [`fixtures`] — the standard KG/corpus/engine bundle;
 //! * [`methods`] — the five compared methods behind one interface;
 //! * [`experiments`] — one module per table/figure, each returning a
-//!   rendered report string so binaries stay thin.
+//!   rendered report string so binaries stay thin;
+//! * [`loadgen`] — the closed-loop load generator driving `ncx-serve`
+//!   for the concurrency groups of `BENCH_scale.json`.
 
 pub mod experiments;
 pub mod fixtures;
+pub mod loadgen;
 pub mod methods;

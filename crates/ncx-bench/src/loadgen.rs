@@ -1,0 +1,142 @@
+//! Closed-loop load generator for the serving layer (`ncx-serve`).
+//!
+//! Drives an [`NcxServe`] with N concurrent sessions, each issuing a
+//! fixed number of queries back-to-back (closed loop: a session's next
+//! query starts when its previous one finishes — the model of an
+//! interactive analyst, which is what the paper's exploration sessions
+//! are). Collects per-query wall latencies and reports p50/p99 and
+//! aggregate throughput, the numbers `BENCH_scale.json` tracks for the
+//! serving groups.
+
+use ncx_core::ConceptQuery;
+use ncx_serve::NcxServe;
+use std::time::{Duration, Instant};
+
+/// What to run: sessions × queries over a query mix.
+#[derive(Debug, Clone)]
+pub struct LoadSpec<'a> {
+    /// Concurrent sessions (each one OS thread).
+    pub sessions: usize,
+    /// Queries each session issues.
+    pub queries_per_session: usize,
+    /// The query mix; sessions walk it round-robin with per-session
+    /// offsets so concurrent sessions mix cache hits and misses.
+    pub queries: &'a [ConceptQuery],
+    /// Result size for both operators.
+    pub k: usize,
+    /// Per-query deadline applied by every session (`None` = unlimited).
+    pub deadline: Option<Duration>,
+    /// Issue a drill-down every `drilldown_every`-th query (0 = roll-up
+    /// only).
+    pub drilldown_every: usize,
+}
+
+/// Aggregate outcome of one load run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadReport {
+    /// Sessions that ran.
+    pub sessions: usize,
+    /// Queries that returned a result.
+    pub completed: u64,
+    /// Queries rejected (overload or deadline).
+    pub rejected: u64,
+    /// Median per-query latency (completed queries only).
+    pub p50: Duration,
+    /// 99th-percentile per-query latency.
+    pub p99: Duration,
+    /// Completed queries per wall-clock second.
+    pub qps: f64,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+}
+
+/// The `q`-quantile of a latency sample (nearest-rank; `samples` is
+/// sorted in place). Empty samples report zero.
+pub fn percentile(samples: &mut [Duration], q: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    let rank = ((samples.len() as f64) * q).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
+/// Runs the closed loop. Panics on [`QueryError::UnknownConcept`]
+/// (a spec bug, not load shedding); overload/deadline rejections are
+/// counted, not fatal.
+///
+/// [`QueryError::UnknownConcept`]: ncx_core::error::QueryError
+pub fn closed_loop(serve: &NcxServe, spec: &LoadSpec) -> LoadReport {
+    assert!(
+        !spec.queries.is_empty(),
+        "load spec needs at least one query"
+    );
+    let t0 = Instant::now();
+    let mut per_session: Vec<(u64, u64, Vec<Duration>)> = Vec::with_capacity(spec.sessions);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.sessions)
+            .map(|s| {
+                scope.spawn(move || {
+                    let mut session = serve.session();
+                    session.set_deadline(spec.deadline);
+                    let mut completed = 0u64;
+                    let mut rejected = 0u64;
+                    let mut lat = Vec::with_capacity(spec.queries_per_session);
+                    for i in 0..spec.queries_per_session {
+                        let q = &spec.queries[(s + i) % spec.queries.len()];
+                        let drill = spec.drilldown_every != 0 && i % spec.drilldown_every == 0;
+                        let t = Instant::now();
+                        let outcome = if drill {
+                            session.drilldown(q, spec.k).map(|_| ())
+                        } else {
+                            session.rollup(q, spec.k).map(|_| ())
+                        };
+                        match outcome {
+                            Ok(()) => {
+                                lat.push(t.elapsed());
+                                completed += 1;
+                            }
+                            Err(e @ ncx_core::error::QueryError::UnknownConcept { .. }) => {
+                                panic!("load spec references an unknown concept: {e}")
+                            }
+                            Err(_) => rejected += 1,
+                        }
+                    }
+                    (completed, rejected, lat)
+                })
+            })
+            .collect();
+        for h in handles {
+            per_session.push(h.join().expect("load session panicked"));
+        }
+    });
+    let wall = t0.elapsed();
+    let completed: u64 = per_session.iter().map(|(c, _, _)| c).sum();
+    let rejected: u64 = per_session.iter().map(|(_, r, _)| r).sum();
+    let mut lat: Vec<Duration> = per_session.into_iter().flat_map(|(_, _, l)| l).collect();
+    LoadReport {
+        sessions: spec.sessions,
+        completed,
+        rejected,
+        p50: percentile(&mut lat, 0.50),
+        p99: percentile(&mut lat, 0.99),
+        qps: completed as f64 / wall.as_secs_f64().max(1e-9),
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut s: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        assert_eq!(percentile(&mut s, 0.50), Duration::from_micros(50));
+        assert_eq!(percentile(&mut s, 0.99), Duration::from_micros(99));
+        assert_eq!(percentile(&mut s, 1.0), Duration::from_micros(100));
+        let mut one = vec![Duration::from_micros(7)];
+        assert_eq!(percentile(&mut one, 0.99), Duration::from_micros(7));
+        assert_eq!(percentile(&mut [], 0.5), Duration::ZERO);
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-query time budgets and runtime deadlines.
+//!
+//! [`QueryBudget`] is the *configuration* side: an optional wall-clock
+//! limit plus a check cadence, carried in
+//! [`NcxConfig`](crate::config::NcxConfig) so every layer — the serving
+//! multiplexer's admission queue, the roll-up/drill-down operators, and
+//! the anytime walk estimator — agrees on one budget. [`Deadline`] is
+//! the *runtime* side: a started clock against a limit, created once at
+//! admission and threaded by reference through the query.
+//!
+//! # Where deadlines are checked
+//!
+//! Checks are cooperative and cadence-bounded, never preemptive:
+//!
+//! * the admission queue re-checks while a query waits for a slot;
+//! * roll-up checks between via-group absorbs, every
+//!   [`check_every`](QueryBudget::check_every) postings on the
+//!   sequential fold, and around each parallel dispatch;
+//! * drill-down checks every `check_every` documents per sweep and
+//!   around each parallel dispatch;
+//! * the walk estimator (when explicitly given a deadline) checks at
+//!   its [`WalkBudget`](crate::config::WalkBudget) cadence.
+//!
+//! So a query can overshoot its deadline by at most one check interval
+//! of work — the contract `tests/serve.rs` pins down. Results computed
+//! *without* a deadline (or with one that never fires) are bit-for-bit
+//! identical to the pre-budget engine: the checks only decide whether to
+//! keep going, never what is computed.
+
+use crate::error::QueryError;
+use std::time::{Duration, Instant};
+
+/// Configured time budget for a single query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryBudget {
+    /// Wall-clock limit per query; `None` disables deadline enforcement
+    /// (the default — batch and experiment workloads run unbounded).
+    pub time_limit: Option<Duration>,
+    /// Deadline-check cadence, in work items (postings absorbed,
+    /// documents swept), on the sequential execution paths. Must be
+    /// ≥ 1. Smaller values bound overshoot more tightly; larger values
+    /// keep `Instant::now` off the hot loop.
+    pub check_every: u32,
+}
+
+impl QueryBudget {
+    /// No time limit (checks compile to nothing on the query path).
+    pub const fn unlimited() -> Self {
+        Self {
+            time_limit: None,
+            check_every: 256,
+        }
+    }
+
+    /// A budget with the given wall-clock limit and the default cadence.
+    pub fn with_limit(limit: Duration) -> Self {
+        Self {
+            time_limit: Some(limit),
+            ..Self::unlimited()
+        }
+    }
+
+    /// Starts the clock: a [`Deadline`] for one query under this budget,
+    /// or `None` when the budget is unlimited.
+    pub fn start(&self) -> Option<Deadline> {
+        self.time_limit.map(Deadline::after)
+    }
+}
+
+impl Default for QueryBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// A started wall-clock deadline: `start + limit`.
+///
+/// Plain `Copy` data — create one at admission, pass `Option<&Deadline>`
+/// down the query path.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant,
+    limit: Duration,
+}
+
+impl Deadline {
+    /// A deadline `limit` from now.
+    pub fn after(limit: Duration) -> Self {
+        Self {
+            start: Instant::now(),
+            limit,
+        }
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> Duration {
+        self.limit
+    }
+
+    /// Wall time since the deadline started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.elapsed() > self.limit
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.limit.saturating_sub(self.elapsed())
+    }
+
+    /// The typed rejection for this deadline, stamped with the elapsed
+    /// time at the moment of the call.
+    pub fn exceeded(&self) -> QueryError {
+        QueryError::DeadlineExceeded {
+            elapsed: self.elapsed(),
+            limit: self.limit,
+        }
+    }
+
+    /// `Err` iff the deadline has passed — the one-line check the query
+    /// operators use between work chunks.
+    #[inline]
+    pub fn check(&self) -> Result<(), QueryError> {
+        if self.expired() {
+            Err(self.exceeded())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// [`Deadline::check`] lifted over the `Option` the operators carry:
+/// no deadline, no check, no clock read.
+#[inline]
+pub fn check_deadline(deadline: Option<&Deadline>) -> Result<(), QueryError> {
+    match deadline {
+        Some(d) => d.check(),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_starts_a_clock() {
+        let b = QueryBudget::unlimited();
+        assert!(b.time_limit.is_none());
+        assert!(b.start().is_none());
+        assert!(check_deadline(None).is_ok());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        assert!(matches!(
+            d.check(),
+            Err(QueryError::DeadlineExceeded { .. })
+        ));
+        match d.exceeded() {
+            QueryError::DeadlineExceeded { limit, .. } => assert_eq!(limit, Duration::ZERO),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_does_not_expire() {
+        let b = QueryBudget::with_limit(Duration::from_secs(3600));
+        let d = b.start().unwrap();
+        assert!(!d.expired());
+        assert!(d.check().is_ok());
+        assert!(check_deadline(Some(&d)).is_ok());
+        assert!(d.remaining() > Duration::from_secs(3500));
+        assert_eq!(d.limit(), Duration::from_secs(3600));
+    }
+}

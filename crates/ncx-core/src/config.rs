@@ -1,5 +1,7 @@
 //! Engine configuration.
 
+use crate::budget::QueryBudget;
+use crate::error::ConfigError;
 use ncx_kg::traversal::Hops;
 
 /// Which factors of `cdr(c, d)` to use — the scoring-design ablation
@@ -200,6 +202,12 @@ pub struct NcxConfig {
     /// reading accepts whatever shard count the snapshot was written
     /// with.
     pub snapshot_shards: u32,
+    /// Per-query time budget honoured by the deadline-aware query
+    /// entry points and the serving layer's admission queue; see
+    /// [`QueryBudget`]. Unlimited by default — the plain
+    /// `rollup`/`drilldown` methods always run to completion
+    /// regardless of this knob.
+    pub query_budget: QueryBudget,
 }
 
 impl Default for NcxConfig {
@@ -220,48 +228,69 @@ impl Default for NcxConfig {
             drilldown_doc_cap: 2000,
             ablation: ScoreAblation::default(),
             snapshot_shards: 8,
+            query_budget: QueryBudget::default(),
         }
     }
 }
 
 impl NcxConfig {
-    /// Validates parameter ranges, returning a description of the first
-    /// problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates parameter ranges, returning the first problem found as
+    /// a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn invalid(param: &'static str, detail: impl Into<String>) -> Result<(), ConfigError> {
+            Err(ConfigError::Invalid {
+                param,
+                detail: detail.into(),
+            })
+        }
         if self.tau == 0 {
-            return Err("tau must be at least 1".into());
+            return invalid("tau", "must be at least 1");
         }
         if !(0.0..=1.0).contains(&self.beta) {
-            return Err(format!("beta must be in [0, 1], got {}", self.beta));
+            return invalid("beta", format!("must be in [0, 1], got {}", self.beta));
         }
         if self.samples == 0 {
-            return Err("samples must be at least 1".into());
+            return invalid("samples", "must be at least 1");
         }
         if !self.walk_budget.target_rse.is_finite() || self.walk_budget.target_rse < 0.0 {
-            return Err(format!(
-                "walk_budget.target_rse must be finite and >= 0, got {}",
-                self.walk_budget.target_rse
-            ));
+            return invalid(
+                "walk_budget.target_rse",
+                format!(
+                    "must be finite and >= 0, got {}",
+                    self.walk_budget.target_rse
+                ),
+            );
         }
         if self.walk_budget.is_adaptive() {
             if self.walk_budget.min_walks < 2 {
-                return Err("walk_budget.min_walks must be at least 2 when adaptive".into());
+                return invalid("walk_budget.min_walks", "must be at least 2 when adaptive");
             }
             if self.walk_budget.check_interval == 0 {
-                return Err("walk_budget.check_interval must be at least 1".into());
+                return invalid("walk_budget.check_interval", "must be at least 1");
             }
         }
         if !(0.0..=1.0).contains(&self.max_member_fraction) {
-            return Err("max_member_fraction must be in [0, 1]".into());
+            return invalid("max_member_fraction", "must be in [0, 1]");
         }
         if self.parallelism == Parallelism::Fixed(0) {
-            return Err("parallelism must be Fixed(n ≥ 1) or Auto".into());
+            return invalid("parallelism", "must be Fixed(n ≥ 1) or Auto");
         }
         if self.oracle_shards == 0 {
-            return Err("oracle_shards must be at least 1".into());
+            return invalid("oracle_shards", "must be at least 1");
         }
         if self.snapshot_shards == 0 {
-            return Err("snapshot_shards must be at least 1".into());
+            return invalid("snapshot_shards", "must be at least 1");
+        }
+        if self.query_budget.check_every == 0 {
+            return invalid("query_budget.check_every", "must be at least 1");
+        }
+        if let Some(limit) = self.query_budget.time_limit {
+            if limit == std::time::Duration::ZERO {
+                return invalid(
+                    "query_budget.time_limit",
+                    "must be positive (use None to disable deadlines)",
+                );
+            }
         }
         Ok(())
     }
@@ -353,6 +382,37 @@ mod tests {
             ..NcxConfig::default()
         };
         assert!(bad_snapshot_shards.validate().is_err());
+    }
+
+    #[test]
+    fn query_budget_validation_and_typed_params() {
+        // Unlimited by default; a positive limit validates.
+        let ok = NcxConfig {
+            query_budget: QueryBudget::with_limit(std::time::Duration::from_millis(50)),
+            ..NcxConfig::default()
+        };
+        assert!(ok.validate().is_ok());
+        // Zero cadence and zero limits are rejected with the parameter
+        // path in the typed error.
+        let bad_cadence = NcxConfig {
+            query_budget: QueryBudget {
+                check_every: 0,
+                ..QueryBudget::unlimited()
+            },
+            ..NcxConfig::default()
+        };
+        match bad_cadence.validate().unwrap_err() {
+            ConfigError::Invalid { param, .. } => assert_eq!(param, "query_budget.check_every"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let bad_limit = NcxConfig {
+            query_budget: QueryBudget::with_limit(std::time::Duration::ZERO),
+            ..NcxConfig::default()
+        };
+        match bad_limit.validate().unwrap_err() {
+            ConfigError::Invalid { param, .. } => assert_eq!(param, "query_budget.time_limit"),
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

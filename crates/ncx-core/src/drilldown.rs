@@ -29,11 +29,13 @@
 //! relative) — `Fixed(1)` runs the literal sequential fold; document
 //! sets, entity sets and counts are always bit-identical.
 
+use crate::budget::{check_deadline, Deadline};
 use crate::config::NcxConfig;
+use crate::error::QueryError;
 use crate::indexer::NcxIndex;
 use crate::par::Pool;
 use crate::query::ConceptQuery;
-use crate::rollup::matched_docs;
+use crate::rollup::matched_docs_bounded;
 use ncx_index::TopK;
 use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -113,10 +115,33 @@ pub fn drilldown_with_factors(
     pool: &Pool,
     factors: SbrFactors,
 ) -> Vec<Subtopic> {
-    let matched = matched_docs(index, kg, query, config, pool);
+    drilldown_bounded(index, kg, query, k, config, pool, factors, None)
+        .expect("unbounded drilldown cannot miss a deadline")
+}
+
+/// [`drilldown_with_factors`] under an optional [`Deadline`]. `None`
+/// reproduces the unbounded operation exactly. With a live deadline the
+/// clock is tested between pipeline stages, every
+/// [`QueryBudget::check_every`](crate::budget::QueryBudget) documents on
+/// the sequential sweeps, and before each parallel dispatch — an
+/// expired deadline fails the query (never silently truncates the
+/// suggestion list).
+#[allow(clippy::too_many_arguments)]
+pub fn drilldown_bounded(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    query: &ConceptQuery,
+    k: usize,
+    config: &NcxConfig,
+    pool: &Pool,
+    factors: SbrFactors,
+    deadline: Option<&Deadline>,
+) -> Result<Vec<Subtopic>, QueryError> {
+    let matched = matched_docs_bounded(index, kg, query, config, pool, deadline)?;
     if matched.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
+    let check_every = (config.query_budget.check_every as usize).max(1);
     // Deterministic, capped document set.
     let mut docs: Vec<DocId> = matched.into_keys().collect();
     docs.sort_unstable();
@@ -154,6 +179,7 @@ pub fn drilldown_with_factors(
     };
     let mut sweep1: Sweep1 = Default::default();
     if parallel {
+        check_deadline(deadline)?;
         let parts: Vec<Sweep1> = pool.run_batched(num_batches, workers, 1, |bi| {
             let mut acc: Sweep1 = Default::default();
             for &d in &docs[batch_range(bi)] {
@@ -170,8 +196,13 @@ pub fn drilldown_with_factors(
             }
         }
     } else {
-        for &d in &docs {
-            sweep1_doc(d, &mut sweep1);
+        // Chunked for the deadline cadence; the per-document body (and
+        // thus the fold) is identical to an unchunked loop.
+        for chunk in docs.chunks(check_every) {
+            check_deadline(deadline)?;
+            for &d in chunk {
+                sweep1_doc(d, &mut sweep1);
+            }
         }
     }
     let (coverage, doc_count) = sweep1;
@@ -190,6 +221,7 @@ pub fn drilldown_with_factors(
     };
     let mut entity_sets: Sweep2 = Sweep2::default();
     if parallel {
+        check_deadline(deadline)?;
         let parts: Vec<Sweep2> = pool.run_batched(num_batches, workers, 1, |bi| {
             let mut sets = Sweep2::default();
             for &d in &docs[batch_range(bi)] {
@@ -203,10 +235,14 @@ pub fn drilldown_with_factors(
             }
         }
     } else {
-        for &d in &docs {
-            sweep2_doc(d, &mut entity_sets);
+        for chunk in docs.chunks(check_every) {
+            check_deadline(deadline)?;
+            for &d in chunk {
+                sweep2_doc(d, &mut entity_sets);
+            }
         }
     }
+    check_deadline(deadline)?;
 
     let mut top = TopK::new(k);
     let mut details: FxHashMap<ConceptId, Subtopic> = FxHashMap::default();
@@ -238,10 +274,11 @@ pub fn drilldown_with_factors(
             },
         );
     }
-    top.into_sorted_vec()
+    Ok(top
+        .into_sorted_vec()
         .into_iter()
         .map(|(c, _)| details.remove(&c).expect("scored"))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -456,6 +493,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn bounded_drilldown_matches_unbounded_and_rejects_expired() {
+        use crate::budget::Deadline;
+        use crate::error::QueryError;
+        let (kg, index, config) = build();
+        let p = pool();
+        let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
+        let plain = drilldown(&index, &kg, &q, 10, &config, &p);
+        let live = Deadline::after(std::time::Duration::from_secs(3600));
+        assert_eq!(
+            drilldown_bounded(
+                &index,
+                &kg,
+                &q,
+                10,
+                &config,
+                &p,
+                SbrFactors::CSD,
+                Some(&live)
+            )
+            .unwrap(),
+            plain
+        );
+        let dead = Deadline::after(std::time::Duration::ZERO);
+        assert!(matches!(
+            drilldown_bounded(
+                &index,
+                &kg,
+                &q,
+                10,
+                &config,
+                &p,
+                SbrFactors::CSD,
+                Some(&dead)
+            ),
+            Err(QueryError::DeadlineExceeded { .. })
+        ));
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! stream in, get linked to the KG, and become explorable through concept
 //! pattern queries.
 
+use crate::budget::Deadline;
 use crate::config::{NcxConfig, Parallelism};
 use crate::drilldown::{self, SbrFactors, Subtopic};
+use crate::error::{ConfigError, QueryError};
 use crate::explain::{self, Explanation};
 use crate::indexer::{IndexTiming, Indexer, NcxIndex};
 use crate::par::Pool;
@@ -164,9 +166,9 @@ impl NcExplorer {
         kg: Arc<KnowledgeGraph>,
         config: NcxConfig,
     ) -> Result<Self, StoreError> {
-        config
-            .validate()
-            .map_err(|detail| StoreError::Incompatible { detail })?;
+        config.validate().map_err(|e| StoreError::Incompatible {
+            detail: e.to_string(),
+        })?;
         let (index, store) = persist::open_snapshot(dir.as_ref(), &kg)?;
         let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
         let pool = Arc::new(Pool::new(config.parallelism.workers()));
@@ -186,9 +188,59 @@ impl NcExplorer {
         })
     }
 
+    /// Cold-opens one snapshot directory as `replicas` independent
+    /// serving engines (the multi-replica counterpart of
+    /// [`open`](Self::open)): the directory is read and checksummed
+    /// once, then each replica decodes its own index and corpus from the
+    /// shared bytes — so the engines share no mutable state and can
+    /// serve queries from different threads without contention.
+    ///
+    /// Every replica gets the same `config`; since the snapshot pins the
+    /// scoring parameters, identical configs make the replicas
+    /// bit-for-bit interchangeable (the serving layer relies on this to
+    /// round-robin queries).
+    pub fn open_replicas(
+        dir: impl AsRef<Path>,
+        kg: Arc<KnowledgeGraph>,
+        config: NcxConfig,
+        replicas: usize,
+    ) -> Result<Vec<Self>, StoreError> {
+        config.validate().map_err(|e| StoreError::Incompatible {
+            detail: e.to_string(),
+        })?;
+        persist::open_replicas(dir.as_ref(), &kg, replicas)?
+            .into_iter()
+            .map(|(index, store)| {
+                let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+                let pool = Arc::new(Pool::new(config.parallelism.workers()));
+                let oracle = Arc::new(TargetDistanceOracle::with_shards(
+                    config.tau,
+                    config.oracle_cache,
+                    config.oracle_shards,
+                ));
+                Ok(Self {
+                    kg: kg.clone(),
+                    nlp,
+                    config: config.clone(),
+                    index,
+                    store,
+                    oracle,
+                    pool,
+                })
+            })
+            .collect()
+    }
+
     /// The knowledge graph.
     pub fn kg(&self) -> &KnowledgeGraph {
         &self.kg
+    }
+
+    /// The shared knowledge-graph handle — what [`open`](Self::open) and
+    /// [`open_replicas`](Self::open_replicas) need when reopening the
+    /// engine's own snapshot.
+    pub fn kg_handle(&self) -> Arc<KnowledgeGraph> {
+        self.kg.clone()
     }
 
     /// The engine configuration.
@@ -242,19 +294,19 @@ impl NcExplorer {
     /// definition, so it is accepted and documented to clamp to the pool
     /// width at execution time. `Parallelism::sequential()` pins
     /// roll-up/drill-down to the sequential reference path.
-    pub fn set_parallelism(&mut self, parallelism: Parallelism) -> Result<(), String> {
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) -> Result<(), ConfigError> {
         if let Parallelism::Fixed(n) = parallelism {
             if n == 0 {
-                return Err("parallelism must be Fixed(n ≥ 1) or Auto".into());
+                return Err(ConfigError::Invalid {
+                    param: "parallelism",
+                    detail: "must be Fixed(n ≥ 1) or Auto".into(),
+                });
             }
             if n > self.pool.width() {
-                return Err(format!(
-                    "requested execution width {n} exceeds the pool's build-time \
-                     width {} (the pool is sized once at engine construction; \
-                     rebuild with a wider NcxConfig::parallelism, or pass \
-                     Parallelism::Auto to use every pooled worker)",
-                    self.pool.width()
-                ));
+                return Err(ConfigError::WidthExceedsPool {
+                    requested: n,
+                    pool: self.pool.width(),
+                });
             }
         }
         self.config.parallelism = parallelism;
@@ -270,8 +322,16 @@ impl NcExplorer {
     /// Plain-text ingestion is attributed to the wire-service default
     /// ([`NewsSource::Reuters`]) with an empty title; use
     /// [`ingest_article`](Self::ingest_article) to keep real metadata.
+    ///
+    /// With no metadata to go on, the article is stamped with the
+    /// newest `published` timestamp seen so far — plain-text ingest
+    /// means "this just arrived on the stream", and a fresh article must
+    /// never sort *older* than corpus history. (It used to be stamped
+    /// with the store length, which is not a timestamp at all: after any
+    /// ingest with real metadata the two scales interleave
+    /// incoherently.)
     pub fn ingest(&mut self, text: &str) -> DocId {
-        let published = self.store.len() as u32;
+        let published = self.store.max_published();
         self.ingest_article(
             NewsSource::Reuters,
             String::new(),
@@ -305,13 +365,35 @@ impl NcExplorer {
     }
 
     /// Parses a concept pattern query from labels.
-    pub fn query(&self, names: &[&str]) -> Result<ConceptQuery, String> {
+    pub fn query(&self, names: &[&str]) -> Result<ConceptQuery, QueryError> {
         ConceptQuery::from_names(&self.kg, names)
     }
 
     /// **Roll-up** (Definition 1): top-`k` documents for `Q`.
     pub fn rollup(&self, query: &ConceptQuery, k: usize) -> Vec<RollupHit> {
         rollup::rollup(&self.index, &self.kg, query, k, &self.config, &self.pool)
+    }
+
+    /// Roll-up under an optional [`Deadline`]. `None` reproduces
+    /// [`rollup`](Self::rollup) exactly; a live deadline is checked at
+    /// the [`QueryBudget`](crate::budget::QueryBudget) cadence and an
+    /// expiry surfaces as [`QueryError::DeadlineExceeded`] rather than a
+    /// partial result.
+    pub fn rollup_deadline(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        deadline: Option<&Deadline>,
+    ) -> Result<Vec<RollupHit>, QueryError> {
+        rollup::rollup_bounded(
+            &self.index,
+            &self.kg,
+            query,
+            k,
+            &self.config,
+            &self.pool,
+            deadline,
+        )
     }
 
     /// All documents matching `Q`, with per-concept match details (the
@@ -323,6 +405,26 @@ impl NcExplorer {
     /// **Drill-down** (Definition 2): top-`k` subtopics for `Q`.
     pub fn drilldown(&self, query: &ConceptQuery, k: usize) -> Vec<Subtopic> {
         drilldown::drilldown(&self.index, &self.kg, query, k, &self.config, &self.pool)
+    }
+
+    /// Drill-down under an optional [`Deadline`] (the counterpart of
+    /// [`rollup_deadline`](Self::rollup_deadline)).
+    pub fn drilldown_deadline(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        deadline: Option<&Deadline>,
+    ) -> Result<Vec<Subtopic>, QueryError> {
+        drilldown::drilldown_bounded(
+            &self.index,
+            &self.kg,
+            query,
+            k,
+            &self.config,
+            &self.pool,
+            SbrFactors::CSD,
+            deadline,
+        )
     }
 
     /// Drill-down with an ablated factor set (Fig. 8).
@@ -387,6 +489,14 @@ impl NcExplorer {
         explain::render(&self.kg, e)
     }
 }
+
+// The serving layer shares one engine across sessions (`&NcExplorer`
+// from many threads, `&mut` only under a write lock), so thread safety
+// is part of the public contract — break it and this fails to compile.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<NcExplorer>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -564,7 +674,15 @@ mod tests {
         let err = eng
             .set_parallelism(crate::config::Parallelism::Fixed(4))
             .unwrap_err();
-        assert!(err.contains("width 4") && err.contains("2"), "{err}");
+        assert_eq!(
+            err,
+            crate::error::ConfigError::WidthExceedsPool {
+                requested: 4,
+                pool: 2
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("width 4") && msg.contains('2'), "{msg}");
         assert!(eng
             .set_parallelism(crate::config::Parallelism::Fixed(0))
             .is_err());
@@ -581,6 +699,38 @@ mod tests {
             .unwrap();
         eng.set_parallelism(crate::config::Parallelism::sequential())
             .unwrap();
+    }
+
+    #[test]
+    fn plain_ingest_defaults_to_newest_timestamp_seen() {
+        // Regression: plain-text ingest used to stamp `published` with
+        // the store *length*, so after a metadata ingest with a real
+        // timestamp the scales interleaved — a fresh stream article
+        // could sort older than corpus history.
+        let mut eng = build_engine(); // built docs carry published 0, 1, 2
+        let a = eng.ingest_article(
+            NewsSource::Nyt,
+            "Kraken probed".into(),
+            "The SEC sued Kraken over fraud claims.".into(),
+            1_700_000_000, // a real epoch-style timestamp
+        );
+        assert_eq!(eng.document(a).published, 1_700_000_000);
+        // A plain ingest right after must inherit the stream frontier,
+        // not `store.len()` (which would be 4 — millennia older).
+        let b = eng.ingest("Another exchange faces fraud scrutiny from the SEC.");
+        assert_eq!(eng.document(b).published, 1_700_000_000);
+        assert!(eng.document(b).published >= eng.document(a).published);
+        // Order of ingestion styles doesn't matter: one more of each.
+        let c = eng.ingest("More fraud news reaches the SEC.");
+        let d = eng.ingest_article(
+            NewsSource::Reuters,
+            "Follow-up".into(),
+            "Fraud follow-up.".into(),
+            1_700_000_500,
+        );
+        assert_eq!(eng.document(c).published, 1_700_000_000);
+        let e = eng.ingest("Late wire flash on the fraud case.");
+        assert_eq!(eng.document(e).published, eng.document(d).published);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Typed errors for configuration and the query path.
+//!
+//! The serving layer maps errors to rejection codes, which makes
+//! stringly-typed `Result<_, String>` a liability: matching on message
+//! substrings breaks the moment a message is reworded. These enums are
+//! hand-rolled `thiserror`-style (no proc-macro dependency): a variant
+//! per failure class, structured fields, `Display` for humans,
+//! `std::error::Error` for composition.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A configuration parameter was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A parameter failed range validation
+    /// ([`NcxConfig::validate`](crate::config::NcxConfig::validate)).
+    Invalid {
+        /// The offending parameter, dotted-path style
+        /// (`"walk_budget.min_walks"`).
+        param: &'static str,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A requested execution width exceeds the worker pool built at
+    /// engine construction
+    /// ([`NcExplorer::set_parallelism`](crate::engine::NcExplorer::set_parallelism)).
+    WidthExceedsPool {
+        /// The width the caller asked for.
+        requested: usize,
+        /// The pool's build-time width.
+        pool: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Invalid { param, detail } => write!(f, "invalid {param}: {detail}"),
+            ConfigError::WidthExceedsPool { requested, pool } => write!(
+                f,
+                "requested execution width {requested} exceeds the pool's build-time \
+                 width {pool} (the pool is sized once at engine construction; rebuild \
+                 with a wider NcxConfig::parallelism, or pass Parallelism::Auto to use \
+                 every pooled worker)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A query was rejected — at admission, during parsing, or mid-execution.
+///
+/// The first two variants are the serving layer's typed rejection codes:
+/// [`Overloaded`](Self::Overloaded) is retryable back-pressure,
+/// [`DeadlineExceeded`](Self::DeadlineExceeded) means the caller's time
+/// budget ran out (whether waiting in the admission queue or executing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The server's bounded in-flight queue is full; retry later.
+    Overloaded {
+        /// Queries executing when the rejection was issued.
+        in_flight: usize,
+        /// Queries already waiting for a slot.
+        queued: usize,
+    },
+    /// The query's deadline passed before it finished (or started).
+    DeadlineExceeded {
+        /// Wall time consumed when the deadline check fired.
+        elapsed: Duration,
+        /// The budget that was exceeded.
+        limit: Duration,
+    },
+    /// A query label did not resolve to any KG concept.
+    UnknownConcept {
+        /// The unresolvable label.
+        name: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Overloaded { in_flight, queued } => write!(
+                f,
+                "overloaded: {in_flight} queries in flight and {queued} queued"
+            ),
+            QueryError::DeadlineExceeded { elapsed, limit } => write!(
+                f,
+                "deadline exceeded: {elapsed:?} elapsed against a {limit:?} budget"
+            ),
+            QueryError::UnknownConcept { name } => write!(f, "unknown concept: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_structured_fields() {
+        let e = ConfigError::WidthExceedsPool {
+            requested: 4,
+            pool: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("width 4") && s.contains('2'), "{s}");
+
+        let e = QueryError::Overloaded {
+            in_flight: 8,
+            queued: 16,
+        };
+        assert!(e.to_string().contains("8 queries in flight"));
+
+        let e = QueryError::DeadlineExceeded {
+            elapsed: Duration::from_millis(7),
+            limit: Duration::from_millis(5),
+        };
+        assert!(e.to_string().contains("deadline exceeded"));
+
+        let e = QueryError::UnknownConcept {
+            name: "Nope".into(),
+        };
+        assert!(e.to_string().contains("Nope"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&ConfigError::Invalid {
+            param: "tau",
+            detail: "must be at least 1".into(),
+        });
+        takes_error(&QueryError::UnknownConcept { name: "x".into() });
+    }
+}

@@ -21,12 +21,19 @@
 //!   `sbr = coverage · specificity · diversity`;
 //! * [`explain`] — per-result explanations (pivot entities, witness paths);
 //! * [`persist`] — the `ncx-store` snapshot bridge: save a built index,
-//!   cold-open it and serve without rebuilding;
+//!   cold-open it (once, or as N serving replicas) and serve without
+//!   rebuilding;
+//! * [`budget`] — per-query time budgets and the [`budget::Deadline`]
+//!   runtime handle the bounded operators honour;
+//! * [`error`] — typed configuration and query errors
+//!   ([`error::ConfigError`], [`error::QueryError`]);
 //! * [`engine`] — the [`engine::NcExplorer`] facade tying it together.
 
+pub mod budget;
 pub mod config;
 pub mod drilldown;
 pub mod engine;
+pub mod error;
 pub mod explain;
 pub mod export;
 pub mod indexer;
@@ -38,8 +45,10 @@ pub mod relevance;
 pub mod rollup;
 pub mod session;
 
+pub use budget::{Deadline, QueryBudget};
 pub use config::{NcxConfig, Parallelism, ScoreAblation, WalkBudget};
 pub use engine::{EngineDiagnostics, NcExplorer};
+pub use error::{ConfigError, QueryError};
 pub use par::Pool;
 pub use query::ConceptQuery;
 pub use session::Session;

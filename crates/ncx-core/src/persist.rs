@@ -34,6 +34,7 @@ use ncx_index::DocumentStore;
 use ncx_kg::{ConceptId, DocId, InstanceId, KnowledgeGraph};
 use ncx_store::{shard_of, SegView, Segment, SegmentWriter, Snapshot, SnapshotWriter, StoreError};
 use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::time::Duration;
 
@@ -159,127 +160,187 @@ pub fn open_snapshot(
     dir: &Path,
     kg: &KnowledgeGraph,
 ) -> Result<(NcxIndex, DocumentStore), StoreError> {
-    let snapshot = Snapshot::open(dir)?;
-    let manifest = snapshot.manifest();
+    LoadedSnapshot::load(dir, kg)?.decode()
+}
 
-    // KG fingerprint gate, before any segment is decoded.
-    let fingerprint = [
-        ("kg_concepts", kg.num_concepts() as u64),
-        ("kg_instances", kg.num_instances() as u64),
-        ("kg_memberships", kg.num_memberships() as u64),
-    ];
-    for (key, actual) in fingerprint {
-        match manifest.stat(key) {
-            Some(recorded) if recorded == actual => {}
-            Some(recorded) => {
-                return Err(StoreError::Incompatible {
-                    detail: format!(
-                        "snapshot was built against a different knowledge graph \
-                         ({key}: snapshot {recorded}, runtime {actual})"
-                    ),
-                });
-            }
-            None => {
-                return Err(StoreError::corrupt(
-                    ncx_store::MANIFEST_NAME,
-                    format!("missing stat {key}"),
-                ));
-            }
-        }
-    }
+/// Opens one snapshot directory as `replicas` independent
+/// (index, corpus) pairs for concurrent serving: the manifest is
+/// verified and every segment is read and checksummed **once**, then
+/// decoded per replica from the shared in-memory bytes — disk I/O does
+/// not scale with the replica count. Each decode is independent, so the
+/// resulting indexes share no mutable state.
+pub fn open_replicas(
+    dir: &Path,
+    kg: &KnowledgeGraph,
+    replicas: usize,
+) -> Result<Vec<(NcxIndex, DocumentStore)>, StoreError> {
+    let loaded = LoadedSnapshot::load(dir, kg)?;
+    (0..replicas.max(1)).map(|_| loaded.decode()).collect()
+}
 
-    let num_docs = manifest
-        .stat("num_docs")
-        .ok_or_else(|| StoreError::corrupt(ncx_store::MANIFEST_NAME, "missing stat num_docs"))?
-        as usize;
+/// A snapshot's segments held in memory, verified and ready to decode.
+///
+/// Splits the cold open into its two costs: [`load`](Self::load) (disk
+/// I/O, checksums, manifest gates — paid once) and
+/// [`decode`](Self::decode) (materialising an index — paid per replica).
+pub struct LoadedSnapshot {
+    segments: BTreeMap<String, Segment>,
+    shards: u32,
+    num_docs: usize,
+    num_postings: Option<u64>,
+    timing: IndexTiming,
+    walk_stats: WalkStats,
+}
 
-    // ---- concept shards ----
-    let mut concept_postings: FxHashMap<ConceptId, Vec<ConceptPosting>> = FxHashMap::default();
-    let mut total_postings = 0u64;
-    for i in 0..manifest.shards {
-        let segment = snapshot.read_segment(&shard_file(i))?;
-        let mut cursor = ShardCursor::new(&segment)?;
-        while let Some((concept, count)) = cursor.next_concept()? {
-            if shard_of(u64::from(concept.raw()), manifest.shards) != i {
-                return Err(StoreError::corrupt(
-                    segment.name(),
-                    format!("concept {} does not belong to shard {i}", concept.raw()),
-                ));
-            }
-            let mut list = Vec::with_capacity(count);
-            while let Some(posting) = cursor.next_posting()? {
-                if posting.doc.index() >= num_docs {
+impl LoadedSnapshot {
+    /// Opens `dir`, runs the manifest gates (format version, KG
+    /// fingerprint), and reads every segment into memory with full
+    /// verification. No decoding happens yet.
+    pub fn load(dir: &Path, kg: &KnowledgeGraph) -> Result<Self, StoreError> {
+        let snapshot = Snapshot::open(dir)?;
+        let manifest = snapshot.manifest();
+
+        // KG fingerprint gate, before any segment is read.
+        let fingerprint = [
+            ("kg_concepts", kg.num_concepts() as u64),
+            ("kg_instances", kg.num_instances() as u64),
+            ("kg_memberships", kg.num_memberships() as u64),
+        ];
+        for (key, actual) in fingerprint {
+            match manifest.stat(key) {
+                Some(recorded) if recorded == actual => {}
+                Some(recorded) => {
+                    return Err(StoreError::Incompatible {
+                        detail: format!(
+                            "snapshot was built against a different knowledge graph \
+                             ({key}: snapshot {recorded}, runtime {actual})"
+                        ),
+                    });
+                }
+                None => {
                     return Err(StoreError::corrupt(
-                        segment.name(),
-                        format!("doc id {} out of range", posting.doc.raw()),
+                        ncx_store::MANIFEST_NAME,
+                        format!("missing stat {key}"),
                     ));
                 }
-                list.push(posting);
-            }
-            total_postings += list.len() as u64;
-            if concept_postings.insert(concept, list).is_some() {
-                return Err(StoreError::corrupt(
-                    segment.name(),
-                    format!("concept {} appears twice", concept.raw()),
-                ));
             }
         }
-        cursor.finish()?;
+
+        let num_docs = manifest
+            .stat("num_docs")
+            .ok_or_else(|| StoreError::corrupt(ncx_store::MANIFEST_NAME, "missing stat num_docs"))?
+            as usize;
+
+        let timing = IndexTiming {
+            entity_linking: stat_duration(manifest, "timing_linking_nanos"),
+            relevance_scoring: stat_duration(manifest, "timing_scoring_nanos"),
+            total_wall: stat_duration(manifest, "timing_wall_nanos"),
+            docs: num_docs,
+        };
+        let walk_stats = WalkStats {
+            walks: manifest.stat("walks").unwrap_or(0),
+            hits: manifest.stat("walk_hits").unwrap_or(0),
+            dead_ends: manifest.stat("walk_dead_ends").unwrap_or(0),
+            // Absent in pre-walk-engine snapshots; 0 is the faithful default.
+            early_stops: manifest.stat("walk_early_stops").unwrap_or(0),
+        };
+        Ok(Self {
+            segments: snapshot.read_all_segments()?,
+            shards: manifest.shards,
+            num_docs,
+            num_postings: manifest.stat("num_postings"),
+            timing,
+            walk_stats,
+        })
     }
-    if Some(total_postings) != manifest.stat("num_postings") {
-        return Err(StoreError::corrupt(
-            ncx_store::MANIFEST_NAME,
-            format!(
-                "shards hold {total_postings} postings, manifest says {:?}",
-                manifest.stat("num_postings")
-            ),
-        ));
+
+    /// Documents in the snapshot's corpus.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
     }
 
-    // ---- per-document concept lists ----
-    let segment = snapshot.read_segment(DOCLISTS_FILE)?;
-    let doc_concepts = read_doclists(&segment, num_docs)?;
+    fn segment(&self, name: &str) -> Result<&Segment, StoreError> {
+        self.segments
+            .get(name)
+            .ok_or_else(|| StoreError::MissingFile { file: name.into() })
+    }
 
-    // ---- entity index and document store ----
-    let segment = snapshot.read_segment(ENTITIES_FILE)?;
-    let entity_index = read_entity_index(&segment)?;
-    let segment = snapshot.read_segment(DOCSTORE_FILE)?;
-    let store = read_docstore(&segment)?;
-
-    // Cross-segment consistency: every view must agree on corpus size.
-    for (what, n) in [
-        ("doclists.seg documents", doc_concepts.len()),
-        ("entities.seg documents", entity_index.num_docs()),
-        ("docstore.seg documents", store.len()),
-    ] {
-        if n != num_docs {
-            return Err(StoreError::Incompatible {
-                detail: format!("{what}: {n}, manifest num_docs: {num_docs}"),
-            });
+    /// Decodes one independent (index, corpus) pair from the loaded
+    /// bytes. Callable any number of times; each call allocates fresh
+    /// structures.
+    pub fn decode(&self) -> Result<(NcxIndex, DocumentStore), StoreError> {
+        // ---- concept shards ----
+        let mut concept_postings: FxHashMap<ConceptId, Vec<ConceptPosting>> = FxHashMap::default();
+        let mut total_postings = 0u64;
+        for i in 0..self.shards {
+            let segment = self.segment(&shard_file(i))?;
+            let mut cursor = ShardCursor::new(segment)?;
+            while let Some((concept, count)) = cursor.next_concept()? {
+                if shard_of(u64::from(concept.raw()), self.shards) != i {
+                    return Err(StoreError::corrupt(
+                        segment.name(),
+                        format!("concept {} does not belong to shard {i}", concept.raw()),
+                    ));
+                }
+                let mut list = Vec::with_capacity(count);
+                while let Some(posting) = cursor.next_posting()? {
+                    if posting.doc.index() >= self.num_docs {
+                        return Err(StoreError::corrupt(
+                            segment.name(),
+                            format!("doc id {} out of range", posting.doc.raw()),
+                        ));
+                    }
+                    list.push(posting);
+                }
+                total_postings += list.len() as u64;
+                if concept_postings.insert(concept, list).is_some() {
+                    return Err(StoreError::corrupt(
+                        segment.name(),
+                        format!("concept {} appears twice", concept.raw()),
+                    ));
+                }
+            }
+            cursor.finish()?;
         }
-    }
+        if Some(total_postings) != self.num_postings {
+            return Err(StoreError::corrupt(
+                ncx_store::MANIFEST_NAME,
+                format!(
+                    "shards hold {total_postings} postings, manifest says {:?}",
+                    self.num_postings
+                ),
+            ));
+        }
 
-    let timing = IndexTiming {
-        entity_linking: stat_duration(manifest, "timing_linking_nanos"),
-        relevance_scoring: stat_duration(manifest, "timing_scoring_nanos"),
-        total_wall: stat_duration(manifest, "timing_wall_nanos"),
-        docs: num_docs,
-    };
-    let walk_stats = WalkStats {
-        walks: manifest.stat("walks").unwrap_or(0),
-        hits: manifest.stat("walk_hits").unwrap_or(0),
-        dead_ends: manifest.stat("walk_dead_ends").unwrap_or(0),
-        // Absent in pre-walk-engine snapshots; 0 is the faithful default.
-        early_stops: manifest.stat("walk_early_stops").unwrap_or(0),
-    };
-    let index = NcxIndex::from_parts(
-        entity_index,
-        concept_postings,
-        doc_concepts,
-        timing,
-        walk_stats,
-    );
-    Ok((index, store))
+        // ---- per-document concept lists ----
+        let doc_concepts = read_doclists(self.segment(DOCLISTS_FILE)?, self.num_docs)?;
+
+        // ---- entity index and document store ----
+        let entity_index = read_entity_index(self.segment(ENTITIES_FILE)?)?;
+        let store = read_docstore(self.segment(DOCSTORE_FILE)?)?;
+
+        // Cross-segment consistency: every view must agree on corpus size.
+        for (what, n) in [
+            ("doclists.seg documents", doc_concepts.len()),
+            ("entities.seg documents", entity_index.num_docs()),
+            ("docstore.seg documents", store.len()),
+        ] {
+            if n != self.num_docs {
+                return Err(StoreError::Incompatible {
+                    detail: format!("{what}: {n}, manifest num_docs: {}", self.num_docs),
+                });
+            }
+        }
+
+        let index = NcxIndex::from_parts(
+            entity_index,
+            concept_postings,
+            doc_concepts,
+            self.timing,
+            self.walk_stats,
+        );
+        Ok((index, store))
+    }
 }
 
 fn stat_duration(manifest: &ncx_store::Manifest, key: &str) -> Duration {

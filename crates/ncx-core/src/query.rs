@@ -3,6 +3,7 @@
 //! A query `Q` is a set of KG concepts. A document `d` *matches* `Q` when
 //! for every `c ∈ Q` some entity of `d` belongs to `Ψ(c)` (Definition 1).
 
+use crate::error::QueryError;
 use ncx_kg::{ConceptId, KnowledgeGraph};
 
 /// A concept pattern query: a non-empty, deduplicated set of concepts.
@@ -20,13 +21,17 @@ impl ConceptQuery {
     }
 
     /// Builds a query from concept labels, failing on the first unknown
-    /// label.
-    pub fn from_names(kg: &KnowledgeGraph, names: &[&str]) -> Result<Self, String> {
+    /// label with a typed [`QueryError::UnknownConcept`].
+    pub fn from_names(kg: &KnowledgeGraph, names: &[&str]) -> Result<Self, QueryError> {
         let mut ids = Vec::with_capacity(names.len());
         for name in names {
             match kg.concept_by_name(name) {
                 Some(c) => ids.push(c),
-                None => return Err(format!("unknown concept: {name}")),
+                None => {
+                    return Err(QueryError::UnknownConcept {
+                        name: (*name).to_string(),
+                    })
+                }
             }
         }
         Ok(Self::new(ids))
@@ -95,7 +100,14 @@ mod tests {
     fn from_names_rejects_unknown() {
         let g = kg();
         let err = ConceptQuery::from_names(&g, &["Fraud", "Nope"]).unwrap_err();
-        assert!(err.contains("Nope"));
+        // Typed: the serving layer matches on the variant, not a string.
+        assert_eq!(
+            err,
+            QueryError::UnknownConcept {
+                name: "Nope".into()
+            }
+        );
+        assert!(err.to_string().contains("Nope"));
     }
 
     #[test]

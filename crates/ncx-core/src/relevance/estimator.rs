@@ -64,6 +64,7 @@
 //! [`pair_seed`], so scores are reproducible regardless of how documents
 //! are scheduled across worker threads.
 
+use crate::budget::Deadline;
 use crate::config::WalkBudget;
 use ncx_kg::traversal::Hops;
 use ncx_kg::{ConceptId, InstanceId, KnowledgeGraph};
@@ -248,6 +249,10 @@ pub struct ConnEstimator {
     oracle: Arc<TargetDistanceOracle>,
     budget: WalkBudget,
     member_cache: Option<Arc<MemberSetCache>>,
+    /// Optional anytime deadline: estimates stop at the next
+    /// check-interval boundary once it expires, returning the prefix
+    /// mean. See [`set_deadline`](Self::set_deadline) for the contract.
+    deadline: Option<Deadline>,
     scratch: RefCell<Scratch>,
 }
 
@@ -277,8 +282,33 @@ impl ConnEstimator {
             oracle,
             budget,
             member_cache: None,
+            deadline: None,
             scratch: RefCell::new(Scratch::default()),
         }
+    }
+
+    /// Attaches (or clears) an **anytime** deadline: once it expires,
+    /// every estimate stops at its next check-interval boundary and
+    /// returns the mean over the samples consumed so far (counted as an
+    /// early stop in [`WalkStats`]).
+    ///
+    /// A stratified prefix is still an i.i.d. sample of the estimand,
+    /// so the truncated mean stays unbiased — but *which* prefix is
+    /// timing-dependent, so a deadline-bearing estimator **must not**
+    /// feed the index: the engine's determinism contract (identical
+    /// scores across runs and schedules) holds only for estimates that
+    /// run without a deadline or whose deadline never fires. The
+    /// indexer never sets one; this hook exists for serving-path
+    /// consumers wiring [`QueryBudget`](crate::budget::QueryBudget)
+    /// into ad-hoc connectivity estimates.
+    pub fn set_deadline(&mut self, deadline: Option<Deadline>) {
+        self.deadline = deadline;
+    }
+
+    /// Builder form of [`set_deadline`](Self::set_deadline).
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Attaches a shared per-concept member-bitset cache, enabling the
@@ -311,6 +341,18 @@ impl ConnEstimator {
             && consumed < samples
             && consumed % self.budget.check_interval == 0
             && conv.rse() <= self.budget.target_rse
+    }
+
+    /// Whether the anytime deadline cuts the estimate at `consumed`
+    /// samples — tested at the walk budget's check-interval cadence so
+    /// the clock stays off the per-walk hot path. Always false without
+    /// a deadline.
+    #[inline]
+    fn deadline_hit(&self, consumed: u32) -> bool {
+        match &self.deadline {
+            Some(d) => consumed % self.budget.check_interval.max(1) == 0 && d.expired(),
+            None => false,
+        }
     }
 
     /// Sources that can contribute at least one path to `target` within
@@ -411,6 +453,10 @@ impl ConnEstimator {
                         break;
                     }
                 }
+                if self.deadline_hit(consumed) {
+                    stats.early_stops += 1;
+                    break;
+                }
             }
         } else {
             for _ in 0..samples {
@@ -425,6 +471,10 @@ impl ConnEstimator {
                         stats.early_stops += 1;
                         break;
                     }
+                }
+                if self.deadline_hit(consumed) {
+                    stats.early_stops += 1;
+                    break;
                 }
             }
         }
@@ -602,6 +652,10 @@ impl ConnEstimator {
                         break;
                     }
                 }
+                if self.deadline_hit(consumed) {
+                    stats.early_stops += 1;
+                    break;
+                }
             }
             (total / consumed as f64, stats)
         }
@@ -718,6 +772,10 @@ impl ConnEstimator {
                     stats.early_stops += 1;
                     break;
                 }
+            }
+            if self.deadline_hit(consumed) {
+                stats.early_stops += 1;
+                break;
             }
         }
         total / consumed as f64
@@ -1046,6 +1104,34 @@ mod tests {
             assert_eq!(got.to_bits(), want.to_bits());
             assert_eq!(got_stats, want_stats);
         }
+    }
+
+    #[test]
+    fn expired_deadline_stops_at_first_check() {
+        let (kg, members, v) = diamond();
+        let budget = WalkBudget {
+            min_walks: 0,
+            check_interval: 16,
+            target_rse: 0.0, // disabled: only the deadline can stop us
+        };
+        for guided in [true, false] {
+            let mut est = ConnEstimator::with_budget(2, 0.5, guided, oracle(2), budget);
+            est.set_deadline(Some(Deadline::after(std::time::Duration::ZERO)));
+            let (got, stats) = est.estimate_conn(&kg, &members, &[v], 100_000, 42);
+            assert_eq!(
+                stats.walks, 16,
+                "guided={guided}: an already-expired deadline cuts the \
+                 estimate at the first check-interval boundary"
+            );
+            assert_eq!(stats.early_stops, 1);
+            assert!(got.is_finite(), "prefix mean over the consumed samples");
+        }
+        // A generous deadline never fires: full budget consumed.
+        let mut est = ConnEstimator::with_budget(2, 0.5, true, oracle(2), budget);
+        est.set_deadline(Some(Deadline::after(std::time::Duration::from_secs(3600))));
+        let (_, stats) = est.estimate_conn(&kg, &members, &[v], 500, 42);
+        assert_eq!(stats.walks, 500);
+        assert_eq!(stats.early_stops, 0);
     }
 
     /// Set semantics hold on every path: an estimate over a member

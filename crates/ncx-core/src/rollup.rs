@@ -18,8 +18,10 @@
 //! applies, so the parallel result is identical to the sequential one;
 //! `Fixed(1)` runs the literal sequential code path.
 
+use crate::budget::{check_deadline, Deadline};
 use crate::config::NcxConfig;
-use crate::indexer::NcxIndex;
+use crate::error::QueryError;
+use crate::indexer::{ConceptPosting, NcxIndex};
 use crate::par::Pool;
 use crate::query::ConceptQuery;
 use ncx_index::TopK;
@@ -96,14 +98,20 @@ fn upsert_match(map: &mut FxHashMap<DocId, ConceptMatch>, doc: DocId, candidate:
 }
 
 /// Folds the postings of one `via` concept into `map` via
-/// [`upsert_match`].
+/// [`upsert_match`]. With a deadline, the fold pauses every
+/// `check_every` postings to test the clock — the absorbed prefix is
+/// identical either way, so a deadline that never fires leaves the map
+/// bit-for-bit equal to the unbounded fold.
 fn absorb_via(
     index: &NcxIndex,
     c: ConceptId,
     via: ConceptId,
     map: &mut FxHashMap<DocId, ConceptMatch>,
-) {
-    for p in index.postings(via) {
+    deadline: Option<&Deadline>,
+    check_every: usize,
+) -> Result<(), QueryError> {
+    let postings = index.postings(via);
+    let absorb = |map: &mut FxHashMap<DocId, ConceptMatch>, p: &ConceptPosting| {
         let candidate = ConceptMatch {
             concept: c,
             via,
@@ -111,7 +119,23 @@ fn absorb_via(
             pivot: p.pivot,
         };
         upsert_match(map, p.doc, candidate);
+    };
+    match deadline {
+        None => {
+            for p in postings {
+                absorb(map, p);
+            }
+        }
+        Some(d) => {
+            for chunk in postings.chunks(check_every.max(1)) {
+                d.check()?;
+                for p in chunk {
+                    absorb(map, p);
+                }
+            }
+        }
     }
+    Ok(())
 }
 
 /// Merges a partial map into a concept map via [`upsert_match`]; merging
@@ -143,14 +167,23 @@ const TASK_MIN_POSTINGS: usize = 256;
 /// Builds the per-query-concept document maps, fanning the `(concept,
 /// via-group)` posting lists out over the worker pool when more than one
 /// worker is configured and the posting volume is worth it.
+///
+/// With a deadline: the sequential fold checks every
+/// [`QueryBudget::check_every`](crate::budget::QueryBudget) postings and
+/// between vias; the parallel path checks before dispatching (one
+/// parallel region is the coarsest uncheckpointed unit — workers never
+/// abandon a batch mid-fold, so the merged result of a region that ran
+/// is always the complete, deterministic one).
 fn concept_doc_maps(
     index: &NcxIndex,
     kg: &KnowledgeGraph,
     query: &ConceptQuery,
     config: &NcxConfig,
     pool: &Pool,
-) -> Vec<FxHashMap<DocId, ConceptMatch>> {
+    deadline: Option<&Deadline>,
+) -> Result<Vec<FxHashMap<DocId, ConceptMatch>>, QueryError> {
     let workers = config.parallelism.workers().min(pool.width());
+    let check_every = config.query_budget.check_every as usize;
     let concepts = query.concepts();
     // Via lists are computed once and shared by whichever path runs.
     let vias: Vec<Vec<ConceptId>> = concepts.iter().map(|&c| via_list(kg, c, config)).collect();
@@ -177,11 +210,13 @@ fn concept_doc_maps(
             }
         }
         if tasks.len() > 1 && total_postings >= PAR_MIN_POSTINGS {
+            check_deadline(deadline)?;
             let partials = pool.run_batched(tasks.len(), workers, 1, |t| {
                 let (qi, group) = &tasks[t];
                 let mut map = FxHashMap::default();
                 for &via in group {
-                    absorb_via(index, concepts[*qi], via, &mut map);
+                    absorb_via(index, concepts[*qi], via, &mut map, None, check_every)
+                        .expect("unbounded absorb cannot fail");
                 }
                 map
             });
@@ -192,7 +227,7 @@ fn concept_doc_maps(
             for ((qi, _), partial) in tasks.iter().zip(partials) {
                 merge_concept_map(&mut maps[*qi], partial);
             }
-            return maps;
+            return Ok(maps);
         }
     }
     concepts
@@ -201,9 +236,9 @@ fn concept_doc_maps(
         .map(|(&c, concept_vias)| {
             let mut map = FxHashMap::default();
             for &via in concept_vias {
-                absorb_via(index, c, via, &mut map);
+                absorb_via(index, c, via, &mut map, deadline, check_every)?;
             }
-            map
+            Ok(map)
         })
         .collect()
 }
@@ -217,11 +252,29 @@ pub fn matched_docs(
     config: &NcxConfig,
     pool: &Pool,
 ) -> FxHashMap<DocId, Vec<ConceptMatch>> {
+    matched_docs_bounded(index, kg, query, config, pool, None)
+        .expect("unbounded matched_docs cannot miss a deadline")
+}
+
+/// [`matched_docs`] under an optional [`Deadline`]. With `None` this is
+/// exactly `matched_docs` (same folds, same maps, bit-for-bit); with an
+/// expired deadline it returns [`QueryError::DeadlineExceeded`] within
+/// one check interval of work.
+pub fn matched_docs_bounded(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    query: &ConceptQuery,
+    config: &NcxConfig,
+    pool: &Pool,
+    deadline: Option<&Deadline>,
+) -> Result<FxHashMap<DocId, Vec<ConceptMatch>>, QueryError> {
     if query.is_empty() {
-        return FxHashMap::default();
+        return Ok(FxHashMap::default());
     }
     let mut maps: Vec<FxHashMap<DocId, ConceptMatch>> =
-        concept_doc_maps(index, kg, query, config, pool);
+        concept_doc_maps(index, kg, query, config, pool, deadline)?;
+    check_deadline(deadline)?;
+    let check_every = (config.query_budget.check_every as usize).max(1);
     // Intersect starting from the smallest map.
     let smallest = maps
         .iter()
@@ -231,7 +284,15 @@ pub fn matched_docs(
         .unwrap();
     let seed_map = maps.swap_remove(smallest);
     let mut out: FxHashMap<DocId, Vec<ConceptMatch>> = FxHashMap::default();
+    let mut since_check = 0usize;
     'docs: for (doc, m0) in seed_map {
+        if deadline.is_some() {
+            since_check += 1;
+            if since_check >= check_every {
+                since_check = 0;
+                check_deadline(deadline)?;
+            }
+        }
         let mut matches = Vec::with_capacity(query.len());
         matches.push(m0);
         for other in &maps {
@@ -250,7 +311,7 @@ pub fn matched_docs(
         });
         out.insert(doc, matches);
     }
-    out
+    Ok(out)
 }
 
 /// The roll-up operation: top-`k` documents by `rel(Q, d)`, ties broken by
@@ -263,21 +324,40 @@ pub fn rollup(
     config: &NcxConfig,
     pool: &Pool,
 ) -> Vec<RollupHit> {
-    let docs = matched_docs(index, kg, query, config, pool);
+    rollup_bounded(index, kg, query, k, config, pool, None)
+        .expect("unbounded rollup cannot miss a deadline")
+}
+
+/// [`rollup`] under an optional [`Deadline`]. `None` reproduces the
+/// unbounded operation exactly; a live deadline is checked at the
+/// configured cadence and the query fails (never silently truncates)
+/// once it expires.
+pub fn rollup_bounded(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    query: &ConceptQuery,
+    k: usize,
+    config: &NcxConfig,
+    pool: &Pool,
+    deadline: Option<&Deadline>,
+) -> Result<Vec<RollupHit>, QueryError> {
+    let docs = matched_docs_bounded(index, kg, query, config, pool, deadline)?;
+    check_deadline(deadline)?;
     let mut top = TopK::new(k);
     let mut details: FxHashMap<DocId, Vec<ConceptMatch>> = docs;
     for (doc, matches) in &details {
         let score: f64 = matches.iter().map(|m| m.cdr).sum();
         top.push(*doc, score);
     }
-    top.into_sorted_vec()
+    Ok(top
+        .into_sorted_vec()
         .into_iter()
         .map(|(doc, score)| RollupHit {
             doc,
             score,
             matches: details.remove(&doc).unwrap_or_default(),
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -504,6 +584,41 @@ mod tests {
     }
 
     #[test]
+    fn bounded_rollup_matches_unbounded_and_rejects_expired() {
+        use crate::budget::Deadline;
+        use crate::error::QueryError;
+        let (kg, index, config) = build();
+        let p = pool();
+        let q = ConceptQuery::from_names(&kg, &["Exchange", "Crime"]).unwrap();
+        let plain = rollup(&index, &kg, &q, 10, &config, &p);
+        // A deadline that never fires changes nothing, bit-for-bit.
+        let live = Deadline::after(std::time::Duration::from_secs(3600));
+        assert_eq!(
+            rollup_bounded(&index, &kg, &q, 10, &config, &p, Some(&live)).unwrap(),
+            plain
+        );
+        // An expired deadline is a typed rejection, not a truncation.
+        let dead = Deadline::after(std::time::Duration::ZERO);
+        assert!(matches!(
+            rollup_bounded(&index, &kg, &q, 10, &config, &p, Some(&dead)),
+            Err(QueryError::DeadlineExceeded { .. })
+        ));
+        // Same contract on the parallel path.
+        let par = NcxConfig {
+            parallelism: Parallelism::Fixed(4),
+            ..config.clone()
+        };
+        assert_eq!(
+            rollup_bounded(&index, &kg, &q, 10, &par, &p, Some(&live)).unwrap(),
+            plain
+        );
+        assert!(matches!(
+            rollup_bounded(&index, &kg, &q, 10, &par, &p, Some(&dead)),
+            Err(QueryError::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
     fn empty_query_returns_nothing() {
         let (kg, index, config) = build();
         let q = ConceptQuery::new([]);
@@ -607,13 +722,13 @@ mod tests {
             max_member_fraction: 1.0,
             ..NcxConfig::default()
         };
-        let seq = concept_doc_maps(&index, &kg, &q, &seq_cfg, &Pool::new(1));
+        let seq = concept_doc_maps(&index, &kg, &q, &seq_cfg, &Pool::new(1), None).unwrap();
         for width in [2, 3, 5] {
             let par_cfg = NcxConfig {
                 parallelism: Parallelism::Fixed(width),
                 ..seq_cfg.clone()
             };
-            let par = concept_doc_maps(&index, &kg, &q, &par_cfg, &pool());
+            let par = concept_doc_maps(&index, &kg, &q, &par_cfg, &pool(), None).unwrap();
             assert_eq!(
                 seq, par,
                 "task grouping diverged for lens={lens:?} width={width} overlap={overlap}"

@@ -122,6 +122,14 @@ impl DocumentStore {
         self.docs.is_empty()
     }
 
+    /// The newest `published` ordinal seen so far (0 when empty): the
+    /// stream frontier. Plain-text ingest stamps arrivals with this, so
+    /// an article without metadata never sorts older than corpus
+    /// history.
+    pub fn max_published(&self) -> u32 {
+        self.docs.iter().map(|d| d.published).max().unwrap_or(0)
+    }
+
     /// Iterates over all articles in id order.
     pub fn iter(&self) -> impl Iterator<Item = &NewsArticle> {
         self.docs.iter()
@@ -190,6 +198,16 @@ mod tests {
         let counts = s.source_counts();
         assert_eq!(counts[2], (NewsSource::Reuters, 2));
         assert_eq!(counts[0], (NewsSource::SeekingAlpha, 0));
+    }
+
+    #[test]
+    fn max_published_tracks_the_frontier() {
+        let mut s = DocumentStore::new();
+        assert_eq!(s.max_published(), 0, "empty store has no history");
+        s.add(NewsSource::Reuters, "a".into(), "".into(), 5);
+        s.add(NewsSource::Nyt, "b".into(), "".into(), 1_700_000_000);
+        s.add(NewsSource::Reuters, "c".into(), "".into(), 7);
+        assert_eq!(s.max_published(), 1_700_000_000, "frontier, not last");
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Admission control: a bounded in-flight counter with a bounded wait
+//! queue.
+//!
+//! Every query must acquire a [`Permit`] before touching an engine. At
+//! most `max_in_flight` permits exist at once; when they are all taken,
+//! up to `queue_depth` callers may block waiting for one. Beyond that
+//! the server is *overloaded* and the caller gets an immediate typed
+//! rejection ([`QueryError::Overloaded`]) instead of an unbounded queue
+//! — the back-pressure contract that keeps tail latency bounded.
+//!
+//! Waiters block on a [`std::sync::Condvar`] in slices of the server's
+//! check interval, re-testing their [`Deadline`] between slices, so a
+//! caller whose budget expires *while queued* is rejected with
+//! [`QueryError::DeadlineExceeded`] within one slice of the expiry —
+//! the same overshoot bound the execution path honours.
+
+use ncx_core::budget::Deadline;
+use ncx_core::error::QueryError;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct State {
+    in_flight: usize,
+    waiting: usize,
+}
+
+/// The admission controller. See the module docs for the contract.
+#[derive(Debug)]
+pub struct Admission {
+    max_in_flight: usize,
+    queue_depth: usize,
+    state: Mutex<State>,
+    freed: Condvar,
+}
+
+impl Admission {
+    /// Creates a controller admitting at most `max_in_flight` concurrent
+    /// queries with at most `queue_depth` callers waiting behind them.
+    /// Both are clamped to ≥ 1 admitted query (a server that can admit
+    /// nothing is useless); `queue_depth` of 0 is valid and means
+    /// "reject the moment all permits are taken".
+    pub fn new(max_in_flight: usize, queue_depth: usize) -> Self {
+        Self {
+            max_in_flight: max_in_flight.max(1),
+            queue_depth,
+            state: Mutex::new(State::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A panic while holding the lock poisons it; the counters are
+        // still coherent (they are only mutated under the lock), so
+        // recover rather than cascade the panic to every caller.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Queries currently holding a permit.
+    pub fn in_flight(&self) -> usize {
+        self.lock().in_flight
+    }
+
+    /// Callers currently blocked waiting for a permit.
+    pub fn waiting(&self) -> usize {
+        self.lock().waiting
+    }
+
+    /// Acquires a permit without blocking: admitted immediately or
+    /// rejected as [`QueryError::Overloaded`].
+    pub fn try_admit(&self) -> Result<Permit<'_>, QueryError> {
+        let mut st = self.lock();
+        if st.in_flight < self.max_in_flight {
+            st.in_flight += 1;
+            Ok(Permit { admission: self })
+        } else {
+            Err(QueryError::Overloaded {
+                in_flight: st.in_flight,
+                queued: st.waiting,
+            })
+        }
+    }
+
+    /// Acquires a permit, blocking in the bounded wait queue if all
+    /// permits are taken.
+    ///
+    /// * If the queue is already full, rejects immediately with
+    ///   [`QueryError::Overloaded`].
+    /// * If `deadline` expires while waiting, rejects with
+    ///   [`QueryError::DeadlineExceeded`] within one `wait_slice` of the
+    ///   expiry. With no deadline the caller waits indefinitely (the
+    ///   queue bound keeps the wait set finite).
+    pub fn admit(
+        &self,
+        deadline: Option<&Deadline>,
+        wait_slice: Duration,
+    ) -> Result<Permit<'_>, QueryError> {
+        let wait_slice = wait_slice.max(Duration::from_micros(100));
+        let mut st = self.lock();
+        if st.in_flight < self.max_in_flight {
+            st.in_flight += 1;
+            return Ok(Permit { admission: self });
+        }
+        if st.waiting >= self.queue_depth {
+            return Err(QueryError::Overloaded {
+                in_flight: st.in_flight,
+                queued: st.waiting,
+            });
+        }
+        st.waiting += 1;
+        loop {
+            if st.in_flight < self.max_in_flight {
+                st.waiting -= 1;
+                st.in_flight += 1;
+                return Ok(Permit { admission: self });
+            }
+            if let Some(d) = deadline {
+                if d.expired() {
+                    st.waiting -= 1;
+                    return Err(d.exceeded());
+                }
+            }
+            let slice = match deadline {
+                Some(d) => d.remaining().min(wait_slice),
+                None => wait_slice,
+            };
+            st = self
+                .freed
+                .wait_timeout(st, slice)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+}
+
+/// An admitted query's slot, released on drop (RAII): holding a
+/// `Permit` is what "in flight" means.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.admission.lock();
+        st.in_flight -= 1;
+        drop(st);
+        self.admission.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permits_are_bounded_and_released_on_drop() {
+        let adm = Admission::new(2, 0);
+        let a = adm.try_admit().unwrap();
+        let b = adm.try_admit().unwrap();
+        assert_eq!(adm.in_flight(), 2);
+        let err = adm.try_admit().unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::Overloaded {
+                in_flight: 2,
+                queued: 0
+            }
+        );
+        drop(a);
+        assert_eq!(adm.in_flight(), 1);
+        let c = adm.try_admit().unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(adm.in_flight(), 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_overloaded_immediately() {
+        // queue_depth 0: a blocking admit behaves like try_admit when
+        // every permit is taken.
+        let adm = Admission::new(1, 0);
+        let held = adm.admit(None, Duration::from_millis(1)).unwrap();
+        let err = adm.admit(None, Duration::from_millis(1)).unwrap_err();
+        assert!(matches!(err, QueryError::Overloaded { .. }));
+        drop(held);
+    }
+
+    #[test]
+    fn expired_deadline_rejects_queued_caller() {
+        let adm = Admission::new(1, 4);
+        let held = adm.try_admit().unwrap();
+        let d = Deadline::after(Duration::ZERO);
+        let err = adm.admit(Some(&d), Duration::from_millis(1)).unwrap_err();
+        assert!(matches!(err, QueryError::DeadlineExceeded { .. }));
+        assert_eq!(adm.waiting(), 0, "rejected waiter left the queue");
+        drop(held);
+    }
+
+    #[test]
+    fn queued_caller_proceeds_when_permit_frees() {
+        let adm = std::sync::Arc::new(Admission::new(1, 4));
+        let held = adm.try_admit().unwrap();
+        let worker = {
+            let adm = adm.clone();
+            std::thread::spawn(move || {
+                let p = adm.admit(None, Duration::from_millis(1)).unwrap();
+                drop(p);
+            })
+        };
+        // Give the worker time to enter the queue, then free the permit.
+        while adm.waiting() == 0 {
+            std::thread::yield_now();
+        }
+        drop(held);
+        worker.join().unwrap();
+        assert_eq!(adm.in_flight(), 0);
+        assert_eq!(adm.waiting(), 0);
+    }
+
+    #[test]
+    fn zero_width_clamps_to_one() {
+        let adm = Admission::new(0, 0);
+        let p = adm.try_admit().unwrap();
+        assert!(adm.try_admit().is_err());
+        drop(p);
+    }
+}

@@ -1,0 +1,229 @@
+//! The cross-query result cache.
+//!
+//! Roll-up and drill-down are deterministic functions of
+//! (query concepts, k) over an immutable index, so concurrent sessions
+//! asking the same question can share one computation. Entries are
+//! keyed by the *resolved* concept ids (label aliasing is upstream) and
+//! held behind `Arc`s, so a hit is a clone of a pointer, not of a
+//! result set.
+//!
+//! [`invalidate`](QueryCache::invalidate) drops everything — every
+//! ingest changes every query's potential answer set, so per-entry
+//! invalidation buys nothing — and bumps a generation counter the
+//! server surfaces in its stats. Eviction is FIFO at `capacity`
+//! entries: the serving workload is bursts of repeated queries, where
+//! recency tracking adds bookkeeping for little hit-rate gain.
+//!
+//! Only **successful** results are inserted. A rejected query
+//! (overloaded, deadline exceeded) must leave no residue: a rejection
+//! says nothing about the answer, and caching partial work would let an
+//! overloaded burst poison later well-budgeted queries.
+
+use ncx_core::drilldown::Subtopic;
+use ncx_core::rollup::RollupHit;
+use ncx_kg::ConceptId;
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a cached entry answers: one operator applied to one resolved
+/// query at one result size.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// `rollup(concepts, k)`.
+    Rollup(Vec<ConceptId>, usize),
+    /// `drilldown(concepts, k)`.
+    Drilldown(Vec<ConceptId>, usize),
+}
+
+/// A cached result, shared by pointer.
+#[derive(Debug, Clone)]
+pub enum CacheValue {
+    /// A roll-up result set.
+    Rollup(Arc<Vec<RollupHit>>),
+    /// A drill-down suggestion set.
+    Drilldown(Arc<Vec<Subtopic>>),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: FxHashMap<CacheKey, CacheValue>,
+    fifo: VecDeque<CacheKey>,
+}
+
+/// The bounded FIFO result cache. See the module docs for semantics.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` entries (0 disables
+    /// caching entirely — every lookup misses, every insert is a no-op).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a key, counting the hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<CacheValue> {
+        let inner = self.inner.lock();
+        match inner.map.get(key) {
+            Some(v) => {
+                let v = v.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a successful result, evicting the oldest entries if the
+    /// cache is full. Re-inserting an existing key refreshes its value
+    /// without growing the FIFO.
+    pub fn insert(&self, key: CacheKey, value: CacheValue) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.map.insert(key.clone(), value).is_none() {
+            inner.fifo.push_back(key);
+            while inner.map.len() > self.capacity {
+                let oldest = inner.fifo.pop_front().expect("fifo tracks map");
+                inner.map.remove(&oldest);
+            }
+        }
+    }
+
+    /// Drops every entry (called on ingest: the corpus changed, so every
+    /// cached answer is suspect) and bumps the generation counter.
+    pub fn invalidate(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.fifo.clear();
+        drop(inner);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Times the cache was wiped by an ingest.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_kg::DocId;
+
+    fn key(c: u32, k: usize) -> CacheKey {
+        CacheKey::Rollup(vec![ConceptId::new(c)], k)
+    }
+
+    fn hit(doc: u32) -> CacheValue {
+        CacheValue::Rollup(Arc::new(vec![RollupHit {
+            doc: DocId::new(doc),
+            score: 1.0,
+            matches: Vec::new(),
+        }]))
+    }
+
+    #[test]
+    fn get_insert_roundtrip_counts_hits_and_misses() {
+        let cache = QueryCache::new(8);
+        assert!(cache.get(&key(1, 10)).is_none());
+        cache.insert(key(1, 10), hit(0));
+        let got = cache.get(&key(1, 10)).unwrap();
+        match got {
+            CacheValue::Rollup(v) => assert_eq!(v[0].doc, DocId::new(0)),
+            CacheValue::Drilldown(_) => panic!("wrong variant"),
+        }
+        // Same concepts, different k: a different answer, a different key.
+        assert!(cache.get(&key(1, 5)).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let cache = QueryCache::new(2);
+        cache.insert(key(1, 1), hit(1));
+        cache.insert(key(2, 1), hit(2));
+        cache.insert(key(3, 1), hit(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1, 1)).is_none(), "oldest evicted");
+        assert!(cache.get(&key(2, 1)).is_some());
+        assert!(cache.get(&key(3, 1)).is_some());
+    }
+
+    #[test]
+    fn reinsert_does_not_grow_fifo() {
+        let cache = QueryCache::new(2);
+        for _ in 0..10 {
+            cache.insert(key(1, 1), hit(1));
+        }
+        cache.insert(key(2, 1), hit(2));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1, 1)).is_some(), "not self-evicted");
+    }
+
+    #[test]
+    fn invalidate_empties_and_counts() {
+        let cache = QueryCache::new(8);
+        cache.insert(key(1, 1), hit(1));
+        cache.insert(key(2, 1), hit(2));
+        cache.invalidate();
+        assert!(cache.is_empty());
+        assert_eq!(cache.invalidations(), 1);
+        assert!(cache.get(&key(1, 1)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = QueryCache::new(0);
+        cache.insert(key(1, 1), hit(1));
+        assert!(cache.is_empty());
+        assert!(cache.get(&key(1, 1)).is_none());
+    }
+}

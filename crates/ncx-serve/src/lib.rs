@@ -1,0 +1,33 @@
+//! # ncx-serve — concurrent serving for NCExplorer
+//!
+//! The engine (`ncx-core`) is a library object: one `NcExplorer`, one
+//! caller. This crate is the serving layer that the paper's interactive
+//! exploration sessions need — many analysts, one corpus, bounded
+//! latency:
+//!
+//! * [`admission`] — a bounded in-flight set with a bounded wait queue
+//!   and typed rejections
+//!   ([`QueryError::Overloaded`](ncx_core::error::QueryError), retryable
+//!   back-pressure) so load spikes shed work instead of stacking it;
+//! * deadlines — per-query (or per-session, or server-default) time
+//!   budgets enforced both while queued and during execution through the
+//!   engine's bounded operators
+//!   ([`QueryError::DeadlineExceeded`](ncx_core::error::QueryError)),
+//!   with a documented overshoot bound of one check interval;
+//! * [`cache`] — a cross-query result cache keyed by (operator,
+//!   concepts, k), shared by `Arc`, invalidated wholesale on ingest,
+//!   never fed by rejected queries;
+//! * replicas — [`NcxServe::open_replicas`] cold-opens N engines from
+//!   one `ncx-store` snapshot directory (read once, decode per replica)
+//!   and round-robins queries across them; the engine's determinism
+//!   contract makes replicas bit-for-bit interchangeable.
+//!
+//! Entry point: [`NcxServe`]; per-user handles: [`ServeSession`].
+
+pub mod admission;
+pub mod cache;
+pub mod serve;
+
+pub use admission::{Admission, Permit};
+pub use cache::{CacheKey, CacheValue, QueryCache};
+pub use serve::{NcxServe, ServeConfig, ServeSession, ServeStats};

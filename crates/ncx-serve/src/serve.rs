@@ -1,0 +1,524 @@
+//! The session multiplexer: one [`NcxServe`] in front of one or more
+//! replica engines.
+//!
+//! Query flow: **admit → cache → execute → cache-fill**. A query first
+//! takes an admission [`Permit`](crate::admission::Permit) (bounded
+//! in-flight set, bounded wait queue, typed rejections), then probes
+//! the cross-query cache, then — on a miss — read-locks one replica
+//! (round-robin) and runs the deadline-bounded operator. Successful
+//! results are inserted into the cache on the way out; rejections never
+//! are.
+//!
+//! Replicas are bit-for-bit interchangeable (the engine's determinism
+//! contract: scores depend only on `(seed, doc, concept)`), so
+//! round-robin placement cannot change any answer — it only spreads
+//! read-lock contention and CPU.
+//!
+//! [`ingest_article`](NcxServe::ingest_article) is the one write path:
+//! it write-locks every replica **in index order** (total order ⇒ no
+//! lock-order inversion against other ingests), applies the same
+//! article to each — determinism keeps them identical — and then
+//! invalidates the cache.
+
+use crate::admission::Admission;
+use crate::cache::{CacheKey, CacheValue, QueryCache};
+use ncx_core::budget::Deadline;
+use ncx_core::drilldown::Subtopic;
+use ncx_core::error::QueryError;
+use ncx_core::rollup::RollupHit;
+use ncx_core::{ConceptQuery, NcExplorer, NcxConfig};
+use ncx_index::NewsSource;
+use ncx_kg::{DocId, KnowledgeGraph};
+use ncx_store::StoreError;
+use parking_lot::RwLock;
+use std::cell::Cell;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Serving knobs. `Default` is tuned for tests and small deployments;
+/// production callers should size `max_in_flight` to physical
+/// parallelism.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Queries allowed to execute concurrently (≥ 1).
+    pub max_in_flight: usize,
+    /// Callers allowed to wait for a slot before new arrivals are
+    /// rejected as [`QueryError::Overloaded`].
+    pub queue_depth: usize,
+    /// Deadline applied to queries that don't bring their own
+    /// (`None` = unlimited).
+    pub default_deadline: Option<Duration>,
+    /// The wait slice for queued callers **and** the documented
+    /// overshoot bound: an admitted query exceeds its deadline by at
+    /// most one check interval of work before the rejection surfaces.
+    pub check_interval: Duration,
+    /// Cross-query cache entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_in_flight: 4,
+            queue_depth: 16,
+            default_deadline: None,
+            check_interval: Duration::from_millis(5),
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the server's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries that ran to completion (including cache hits).
+    pub completed: u64,
+    /// Arrivals rejected because the in-flight set and queue were full.
+    pub rejected_overload: u64,
+    /// Queries whose deadline expired (queued or executing).
+    pub rejected_deadline: u64,
+    /// Cache lookups that found an entry.
+    pub cache_hits: u64,
+    /// Cache lookups that found nothing.
+    pub cache_misses: u64,
+    /// Cache wipes triggered by ingest.
+    pub cache_invalidations: u64,
+    /// Articles ingested through the server.
+    pub ingested: u64,
+}
+
+/// The concurrent session multiplexer. See the module docs for the
+/// query flow.
+pub struct NcxServe {
+    replicas: Vec<RwLock<NcExplorer>>,
+    admission: Admission,
+    cache: QueryCache,
+    next: AtomicUsize,
+    config: ServeConfig,
+    completed: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_deadline: AtomicU64,
+    ingested: AtomicU64,
+}
+
+impl NcxServe {
+    /// Serves one engine.
+    pub fn new(engine: NcExplorer, config: ServeConfig) -> Self {
+        Self::with_replicas(vec![engine], config)
+    }
+
+    /// Serves a set of interchangeable replicas (round-robin placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty — a server with nothing to serve is
+    /// a construction bug, not a runtime condition.
+    pub fn with_replicas(replicas: Vec<NcExplorer>, config: ServeConfig) -> Self {
+        assert!(
+            !replicas.is_empty(),
+            "NcxServe requires at least one replica"
+        );
+        Self {
+            admission: Admission::new(config.max_in_flight, config.queue_depth),
+            cache: QueryCache::new(config.cache_capacity),
+            replicas: replicas.into_iter().map(RwLock::new).collect(),
+            next: AtomicUsize::new(0),
+            config,
+            completed: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            ingested: AtomicU64::new(0),
+        }
+    }
+
+    /// Cold-opens `replicas` engines from one `ncx-store` snapshot
+    /// directory (read and checksummed once, decoded per replica — see
+    /// [`NcExplorer::open_replicas`]) and serves them.
+    pub fn open_replicas(
+        dir: impl AsRef<Path>,
+        kg: Arc<KnowledgeGraph>,
+        engine_config: NcxConfig,
+        replicas: usize,
+        config: ServeConfig,
+    ) -> Result<Self, StoreError> {
+        let engines = NcExplorer::open_replicas(dir, kg, engine_config, replicas)?;
+        Ok(Self::with_replicas(engines, config))
+    }
+
+    /// Number of replica engines.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Opens a lightweight session handle: same server, per-session
+    /// deadline default and query counter. Sessions are cheap — open one
+    /// per logical user/thread.
+    pub fn session(&self) -> ServeSession<'_> {
+        ServeSession {
+            serve: self,
+            deadline: self.config.default_deadline,
+            queries: Cell::new(0),
+        }
+    }
+
+    /// Parses a concept pattern query from labels.
+    pub fn query(&self, names: &[&str]) -> Result<ConceptQuery, QueryError> {
+        self.replicas[0].read().query(names)
+    }
+
+    /// Roll-up under the server's default deadline.
+    pub fn rollup(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+    ) -> Result<Arc<Vec<RollupHit>>, QueryError> {
+        self.rollup_deadline(query, k, self.config.default_deadline)
+    }
+
+    /// Roll-up under an explicit per-query time limit (`None` =
+    /// unlimited, overriding the server default).
+    pub fn rollup_deadline(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        limit: Option<Duration>,
+    ) -> Result<Arc<Vec<RollupHit>>, QueryError> {
+        let deadline = limit.map(Deadline::after);
+        let permit = self.admit(deadline.as_ref())?;
+        let key = CacheKey::Rollup(query.concepts().to_vec(), k);
+        if let Some(CacheValue::Rollup(v)) = self.cache.get(&key) {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        let result = {
+            let engine = self.replicas[self.pick()].read();
+            engine.rollup_deadline(query, k, deadline.as_ref())
+        };
+        drop(permit);
+        match result {
+            Ok(hits) => {
+                let v = Arc::new(hits);
+                self.cache.insert(key, CacheValue::Rollup(v.clone()));
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(v)
+            }
+            Err(e) => Err(self.count_rejection(e)),
+        }
+    }
+
+    /// Drill-down under the server's default deadline.
+    pub fn drilldown(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+    ) -> Result<Arc<Vec<Subtopic>>, QueryError> {
+        self.drilldown_deadline(query, k, self.config.default_deadline)
+    }
+
+    /// Drill-down under an explicit per-query time limit.
+    pub fn drilldown_deadline(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        limit: Option<Duration>,
+    ) -> Result<Arc<Vec<Subtopic>>, QueryError> {
+        let deadline = limit.map(Deadline::after);
+        let permit = self.admit(deadline.as_ref())?;
+        let key = CacheKey::Drilldown(query.concepts().to_vec(), k);
+        if let Some(CacheValue::Drilldown(v)) = self.cache.get(&key) {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        let result = {
+            let engine = self.replicas[self.pick()].read();
+            engine.drilldown_deadline(query, k, deadline.as_ref())
+        };
+        drop(permit);
+        match result {
+            Ok(subs) => {
+                let v = Arc::new(subs);
+                self.cache.insert(key, CacheValue::Drilldown(v.clone()));
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(v)
+            }
+            Err(e) => Err(self.count_rejection(e)),
+        }
+    }
+
+    /// Ingests one article into **every** replica (write-locking them in
+    /// index order) and invalidates the cache. Returns the assigned doc
+    /// id, identical across replicas by the determinism contract.
+    pub fn ingest_article(
+        &self,
+        source: NewsSource,
+        title: &str,
+        body: &str,
+        published: u32,
+    ) -> DocId {
+        let mut guards: Vec<_> = self.replicas.iter().map(|r| r.write()).collect();
+        let mut assigned: Option<DocId> = None;
+        for engine in guards.iter_mut() {
+            let doc = engine.ingest_article(source, title.to_string(), body.to_string(), published);
+            if let Some(prev) = assigned {
+                debug_assert_eq!(doc, prev, "replicas diverged on ingest");
+            }
+            assigned = Some(doc);
+        }
+        drop(guards);
+        self.cache.invalidate();
+        self.ingested.fetch_add(1, Ordering::Relaxed);
+        assigned.expect("at least one replica")
+    }
+
+    /// Runs a closure against one replica under its read lock — the
+    /// escape hatch for read-only APIs the multiplexer doesn't wrap
+    /// (explanations, diagnostics, document fetches).
+    pub fn with_engine<R>(&self, f: impl FnOnce(&NcExplorer) -> R) -> R {
+        f(&self.replicas[self.pick()].read())
+    }
+
+    /// A point-in-time snapshot of the server's counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_invalidations: self.cache.invalidations(),
+            ingested: self.ingested.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Entries currently in the cross-query cache (observability; the
+    /// proptest contract "rejections leave no residue" is asserted
+    /// through this).
+    pub fn cached_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn pick(&self) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed) % self.replicas.len()
+    }
+
+    fn admit(
+        &self,
+        deadline: Option<&Deadline>,
+    ) -> Result<crate::admission::Permit<'_>, QueryError> {
+        self.admission
+            .admit(deadline, self.config.check_interval)
+            .map_err(|e| self.count_rejection(e))
+    }
+
+    fn count_rejection(&self, e: QueryError) -> QueryError {
+        match &e {
+            QueryError::Overloaded { .. } => {
+                self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+            }
+            QueryError::DeadlineExceeded { .. } => {
+                self.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+            }
+            QueryError::UnknownConcept { .. } => {}
+        }
+        e
+    }
+}
+
+/// One logical user's handle on the server: carries a per-session
+/// deadline default and counts the queries it issued. `!Sync` by design
+/// (per-thread); the underlying [`NcxServe`] is the shared object.
+pub struct ServeSession<'s> {
+    serve: &'s NcxServe,
+    deadline: Option<Duration>,
+    queries: Cell<u64>,
+}
+
+impl ServeSession<'_> {
+    /// Overrides the session's deadline (`None` = unlimited).
+    pub fn set_deadline(&mut self, limit: Option<Duration>) {
+        self.deadline = limit;
+    }
+
+    /// The session's current deadline default.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Queries this session has issued (admitted or rejected).
+    pub fn queries_issued(&self) -> u64 {
+        self.queries.get()
+    }
+
+    /// Parses a concept pattern query from labels.
+    pub fn query(&self, names: &[&str]) -> Result<ConceptQuery, QueryError> {
+        self.serve.query(names)
+    }
+
+    /// Roll-up under the session's deadline.
+    pub fn rollup(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+    ) -> Result<Arc<Vec<RollupHit>>, QueryError> {
+        self.queries.set(self.queries.get() + 1);
+        self.serve.rollup_deadline(query, k, self.deadline)
+    }
+
+    /// Drill-down under the session's deadline.
+    pub fn drilldown(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+    ) -> Result<Arc<Vec<Subtopic>>, QueryError> {
+        self.queries.set(self.queries.get() + 1);
+        self.serve.drilldown_deadline(query, k, self.deadline)
+    }
+}
+
+// Sessions multiplex from many OS threads; the server must be shareable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<NcxServe>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncx_core::config::Parallelism;
+    use ncx_index::DocumentStore;
+    use ncx_kg::GraphBuilder;
+
+    fn build_engine() -> NcExplorer {
+        let mut b = GraphBuilder::new();
+        let exch = b.concept("Exchange");
+        let crime = b.concept("Crime");
+        let ftx = b.instance("FTX");
+        let binance = b.instance("Binance");
+        let fraud = b.instance("fraud");
+        b.member(exch, ftx);
+        b.member(exch, binance);
+        b.member(crime, fraud);
+        b.fact(ftx, "accusedOf", fraud);
+        b.fact(binance, "linkedTo", fraud);
+        let kg = Arc::new(b.build());
+        let mut store = DocumentStore::new();
+        store.add(
+            NewsSource::Reuters,
+            "FTX fraud".into(),
+            "The FTX fraud case widened.".into(),
+            0,
+        );
+        store.add(
+            NewsSource::Nyt,
+            "Binance story".into(),
+            "Binance responded to fraud claims.".into(),
+            1,
+        );
+        NcExplorer::build(
+            kg,
+            store,
+            NcxConfig {
+                parallelism: Parallelism::sequential(),
+                samples: 50,
+                max_member_fraction: 1.0,
+                ..NcxConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn serve_matches_bare_engine_and_caches() {
+        let engine = build_engine();
+        let q = engine.query(&["Exchange", "Crime"]).unwrap();
+        let want = engine.rollup(&q, 10);
+        let serve = NcxServe::new(engine, ServeConfig::default());
+        let got = serve.rollup(&q, 10).unwrap();
+        assert_eq!(*got, want, "multiplexed result diverged from direct call");
+        // Second identical query: served from cache, same Arc.
+        let again = serve.rollup(&q, 10).unwrap();
+        assert!(Arc::ptr_eq(&got, &again), "expected a cache hit");
+        let stats = serve.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+    }
+
+    #[test]
+    fn ingest_invalidates_cache_and_extends_results() {
+        let serve = NcxServe::new(build_engine(), ServeConfig::default());
+        let q = serve.query(&["Crime"]).unwrap();
+        let before = serve.rollup(&q, 50).unwrap();
+        assert_eq!(serve.cached_entries(), 1);
+        let doc = serve.ingest_article(
+            NewsSource::Reuters,
+            "Kraken probed",
+            "Kraken faces a fraud probe.",
+            2,
+        );
+        assert_eq!(serve.cached_entries(), 0, "ingest must wipe the cache");
+        let after = serve.rollup(&q, 50).unwrap();
+        assert_eq!(after.len(), before.len() + 1);
+        assert!(after.iter().any(|h| h.doc == doc));
+        assert_eq!(serve.stats().cache_invalidations, 1);
+        assert_eq!(serve.stats().ingested, 1);
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_with_no_cache_residue() {
+        let serve = NcxServe::new(build_engine(), ServeConfig::default());
+        let q = serve.query(&["Exchange"]).unwrap();
+        let err = serve
+            .rollup_deadline(&q, 10, Some(Duration::ZERO))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::DeadlineExceeded { .. }));
+        assert_eq!(serve.cached_entries(), 0, "rejections must not cache");
+        assert_eq!(serve.stats().rejected_deadline, 1);
+        // A well-budgeted retry succeeds and matches the unbounded path.
+        let ok = serve
+            .rollup_deadline(&q, 10, Some(Duration::from_secs(3600)))
+            .unwrap();
+        assert_eq!(*ok, *serve.rollup(&q, 10).unwrap());
+    }
+
+    #[test]
+    fn sessions_track_their_own_deadline_and_count() {
+        let serve = NcxServe::new(build_engine(), ServeConfig::default());
+        let q = serve.query(&["Crime"]).unwrap();
+        let mut s = serve.session();
+        assert_eq!(s.deadline(), None, "server default propagates");
+        s.set_deadline(Some(Duration::from_secs(3600)));
+        assert!(s.rollup(&q, 5).is_ok());
+        assert!(s.drilldown(&q, 5).is_ok());
+        s.set_deadline(Some(Duration::ZERO));
+        assert!(s.rollup(&q, 7).is_err());
+        assert_eq!(s.queries_issued(), 3, "rejected queries still count");
+    }
+
+    #[test]
+    fn unknown_concept_is_typed_and_uncounted_as_rejection() {
+        let serve = NcxServe::new(build_engine(), ServeConfig::default());
+        let err = serve.query(&["Nope"]).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::UnknownConcept {
+                name: "Nope".into()
+            }
+        );
+        let stats = serve.stats();
+        assert_eq!(stats.rejected_overload + stats.rejected_deadline, 0);
+    }
+
+    #[test]
+    fn with_engine_exposes_read_only_apis() {
+        let serve = NcxServe::new(build_engine(), ServeConfig::default());
+        let n = serve.with_engine(|e| e.store().len());
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Concurrent serving with `ncx-serve`: sessions, deadlines, replicas.
+//!
+//! Builds an engine over a generated corpus, wraps it in an
+//! [`NcxServe`] multiplexer, and drives it from a fleet of concurrent
+//! analyst sessions — then reopens the same snapshot as two replicas
+//! and repeats the run. Along the way it demonstrates the three
+//! serving-layer contracts:
+//!
+//! 1. **Same answers.** Concurrent results are compared bit-for-bit
+//!    against the single-caller reference.
+//! 2. **Typed rejection.** A query with an already-expired deadline
+//!    fails with `QueryError::DeadlineExceeded`, never a partial result.
+//! 3. **Cache coherence.** `ingest_article` updates every replica and
+//!    invalidates the cross-query cache.
+//!
+//! ```bash
+//! cargo run --release --example serve
+//! ```
+
+use ncexplorer::core::{NcExplorer, NcxConfig};
+use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+use ncexplorer::serve::{NcxServe, ServeConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TOPICS: [&str; 3] = ["Financial Crime", "Elections", "Mergers & Acquisitions"];
+
+fn drive(serve: &NcxServe, sessions: usize, queries_each: usize) -> Duration {
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for s in 0..sessions {
+            let serve = &serve;
+            scope.spawn(move || {
+                let session = serve.session();
+                for i in 0..queries_each {
+                    let topic = TOPICS[(s + i) % TOPICS.len()];
+                    let q = serve.query(&[topic]).expect("topic exists");
+                    let hits = session.rollup(&q, 10).expect("within deadline");
+                    let subs = session.drilldown(&q, 5).expect("within deadline");
+                    assert!(!hits.is_empty() && !subs.is_empty());
+                }
+            });
+        }
+    });
+    t.elapsed()
+}
+
+fn main() {
+    let kg = Arc::new(generate_kg(&KgGenConfig::default()));
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles: 600,
+            ..CorpusConfig::default()
+        },
+    );
+    let engine = NcExplorer::build(
+        kg.clone(),
+        corpus.store,
+        NcxConfig {
+            samples: 25,
+            ..NcxConfig::default()
+        },
+    );
+    println!(
+        "built: {} docs, {} postings",
+        engine.index().num_docs(),
+        engine.index().num_postings()
+    );
+
+    // Single-caller reference: the answers every concurrent path below
+    // must reproduce exactly.
+    let q = engine.query(&["Financial Crime"]).unwrap();
+    let reference = engine.rollup(&q, 10);
+
+    // ── 1. One engine, many sessions ────────────────────────────────
+    let dir = std::env::temp_dir().join("ncx_serve_example");
+    let _ = std::fs::remove_dir_all(&dir);
+    engine.save(&dir).expect("snapshot");
+    let serve = NcxServe::new(
+        engine,
+        ServeConfig {
+            max_in_flight: 4,
+            queue_depth: 32,
+            default_deadline: Some(Duration::from_secs(10)),
+            ..ServeConfig::default()
+        },
+    );
+    let wall = drive(&serve, 8, 30);
+    let stats = serve.stats();
+    println!(
+        "single engine: 8 sessions x 30 queries in {wall:.2?} — \
+         {} completed, {} cache hits / {} misses",
+        stats.completed, stats.cache_hits, stats.cache_misses
+    );
+    assert_eq!(*serve.rollup(&q, 10).unwrap(), reference);
+
+    // Deadlines are typed rejections, not silent truncations.
+    let err = serve
+        .rollup_deadline(&q, 64, Some(Duration::ZERO))
+        .unwrap_err();
+    println!("zero-deadline query: {err}");
+
+    // Ingest invalidates the cache; the next query sees the new doc.
+    let cached = serve.cached_entries();
+    serve.ingest_article(
+        ncexplorer::index::NewsSource::Reuters,
+        "Wire flash",
+        "Follow-up coverage on the regulator's probe.",
+        u32::MAX - 1,
+    );
+    println!(
+        "ingest: cache {} -> {} entries",
+        cached,
+        serve.cached_entries()
+    );
+
+    // ── 2. Two replicas from one snapshot directory ─────────────────
+    let replicas = NcxServe::open_replicas(
+        &dir,
+        kg,
+        NcxConfig {
+            samples: 25,
+            ..NcxConfig::default()
+        },
+        2,
+        ServeConfig::default(),
+    )
+    .expect("cold-open replicas");
+    let wall = drive(&replicas, 8, 30);
+    let stats = replicas.stats();
+    println!(
+        "{} replicas: 8 sessions x 30 queries in {wall:.2?} — \
+         {} completed, {} cache hits",
+        replicas.replica_count(),
+        stats.completed,
+        stats.cache_hits
+    );
+    // Replicas serve the pre-ingest snapshot: identical to the original
+    // single-caller reference.
+    assert_eq!(*replicas.rollup(&q, 10).unwrap(), reference);
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("ok: every concurrent answer matched the sequential reference");
+}

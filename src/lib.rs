@@ -16,6 +16,7 @@
 //! | [`newslink`] | NewsLink and NewsLink-BERT baselines |
 //! | [`core`] | the NCExplorer engine: roll-up, drill-down, estimators |
 //! | [`store`] | persistent sharded snapshot format (save/cold-open) |
+//! | [`serve`] | concurrent session multiplexer: admission control, deadlines, caching, replicas |
 //! | [`datagen`] | synthetic KG/corpus generators and evaluation oracles |
 //! | [`eval`] | NDCG, statistics, tables |
 //!
@@ -40,6 +41,11 @@
 //! Built engines persist: `engine.save(dir)` writes an `ncx-store`
 //! snapshot and `NcExplorer::open(dir, kg, config)` cold-opens it,
 //! serving identical results without re-running the two-pass build.
+//!
+//! For concurrent serving, wrap an engine (or N snapshot replicas) in
+//! [`serve::NcxServe`]: sessions share a cross-query cache and are
+//! admission-controlled with per-query deadlines — see
+//! `examples/serve.rs` for a multi-threaded walkthrough.
 
 pub use ncx_core as core;
 pub use ncx_datagen as datagen;
@@ -49,5 +55,6 @@ pub use ncx_index as index;
 pub use ncx_kg as kg;
 pub use ncx_newslink as newslink;
 pub use ncx_reach as reach;
+pub use ncx_serve as serve;
 pub use ncx_store as store;
 pub use ncx_text as text;

@@ -380,16 +380,95 @@ fn medium_scale_pipeline() {
              {WALKS_PER_SEC_FLOOR:.0} (2x the PR-4 baseline of 443,156)"
         );
     }
+    // ---- serve group: concurrent sessions + snapshot replicas (PR 6) ----
+    // Drive the serving layer with a closed-loop session fleet, first
+    // over a single engine, then over two replicas cold-opened from the
+    // snapshot the cold_open group left behind. The load generator
+    // records the p50/p99 serving latencies tracked in BENCH_scale.json;
+    // correctness (concurrent == sequential, bit-for-bit) is enforced by
+    // tests/serve.rs, so this group only asserts that no query is lost.
+    let serve_queries: Vec<ConceptQuery> = equivalence_queries
+        .iter()
+        .map(|t| engine.query(t).unwrap())
+        .collect();
+    let serve_cfg = ncexplorer::serve::ServeConfig {
+        max_in_flight: 4,
+        queue_depth: 64,
+        ..Default::default()
+    };
+    let replica_engine_cfg = NcxConfig {
+        samples: 25,
+        parallelism: Parallelism::Fixed(4),
+        ..NcxConfig::default()
+    };
+    let spec = ncx_bench::loadgen::LoadSpec {
+        sessions: 4,
+        queries_per_session: if cfg!(debug_assertions) { 10 } else { 40 },
+        queries: &serve_queries,
+        k: 50,
+        deadline: Some(Duration::from_secs(120)),
+        drilldown_every: 4,
+    };
+    let single = ncexplorer::serve::NcxServe::open_replicas(
+        &snap_dir,
+        kg.clone(),
+        replica_engine_cfg.clone(),
+        1,
+        serve_cfg.clone(),
+    )
+    .expect("serve over one snapshot engine");
+    let serve_report = ncx_bench::loadgen::closed_loop(&single, &spec);
+    assert_eq!(
+        serve_report.completed,
+        (spec.sessions * spec.queries_per_session) as u64,
+        "single-engine serve lost queries: {serve_report:?}"
+    );
+    drop(single);
+    let replicas = ncexplorer::serve::NcxServe::open_replicas(
+        &snap_dir,
+        kg.clone(),
+        replica_engine_cfg,
+        2,
+        serve_cfg,
+    )
+    .expect("serve over two snapshot replicas");
+    assert_eq!(replicas.replica_count(), 2);
+    let replica_spec = ncx_bench::loadgen::LoadSpec {
+        sessions: 8,
+        ..spec
+    };
+    let replica_report = ncx_bench::loadgen::closed_loop(&replicas, &replica_spec);
+    assert_eq!(
+        replica_report.completed,
+        (replica_spec.sessions * replica_spec.queries_per_session) as u64,
+        "replica serve lost queries: {replica_report:?}"
+    );
+    drop(replicas);
+    let serve_p50_us = serve_report.p50.as_secs_f64() * 1e6;
+    let serve_p99_us = serve_report.p99.as_secs_f64() * 1e6;
+    let serve_qps = serve_report.qps;
+    let replica_p50_us = replica_report.p50.as_secs_f64() * 1e6;
+    let replica_p99_us = replica_report.p99.as_secs_f64() * 1e6;
+    let replica_qps = replica_report.qps;
+    eprintln!(
+        "serve: {} sessions p50 {serve_p50_us:.1}µs p99 {serve_p99_us:.1}µs \
+         ({serve_qps:.0} qps); 2 replicas x {} sessions p50 {replica_p50_us:.1}µs \
+         p99 {replica_p99_us:.1}µs ({replica_qps:.0} qps)",
+        serve_report.sessions, replica_report.sessions
+    );
+
     let profile = if cfg!(debug_assertions) {
         "debug"
     } else {
         "release"
     };
     let json = format!(
-        "{{\n  \"profile\": \"{profile}\",\n  \"articles\": {articles},\n  \"postings\": {},\n  \"build_seconds\": {build_seconds:.3},\n  \"rollup_p50_us\": {rollup_p50_us:.1},\n  \"drilldown_p50_us\": {drilldown_p50_us:.1},\n  \"small_rollup_seq_p50_us\": {small_rollup_seq_us:.1},\n  \"small_rollup_par_p50_us\": {small_rollup_par_us:.1},\n  \"small_drilldown_seq_p50_us\": {small_drill_seq_us:.1},\n  \"small_drilldown_par_p50_us\": {small_drill_par_us:.1},\n  \"save_seconds\": {save_seconds:.3},\n  \"cold_open_seconds\": {cold_open_seconds:.3},\n  \"cold_open_speedup\": {cold_open_speedup:.0},\n  \"walks\": {},\n  \"walks_per_sec\": {walks_per_sec:.0},\n  \"oracle_hit_rate\": {:.4}\n}}\n",
+        "{{\n  \"profile\": \"{profile}\",\n  \"articles\": {articles},\n  \"postings\": {},\n  \"build_seconds\": {build_seconds:.3},\n  \"rollup_p50_us\": {rollup_p50_us:.1},\n  \"drilldown_p50_us\": {drilldown_p50_us:.1},\n  \"small_rollup_seq_p50_us\": {small_rollup_seq_us:.1},\n  \"small_rollup_par_p50_us\": {small_rollup_par_us:.1},\n  \"small_drilldown_seq_p50_us\": {small_drill_seq_us:.1},\n  \"small_drilldown_par_p50_us\": {small_drill_par_us:.1},\n  \"save_seconds\": {save_seconds:.3},\n  \"cold_open_seconds\": {cold_open_seconds:.3},\n  \"cold_open_speedup\": {cold_open_speedup:.0},\n  \"walks\": {},\n  \"walks_per_sec\": {walks_per_sec:.0},\n  \"oracle_hit_rate\": {:.4},\n  \"serve_sessions\": {},\n  \"serve_p50_us\": {serve_p50_us:.1},\n  \"serve_p99_us\": {serve_p99_us:.1},\n  \"serve_qps\": {serve_qps:.0},\n  \"replica_count\": 2,\n  \"replica_sessions\": {},\n  \"replica_p50_us\": {replica_p50_us:.1},\n  \"replica_p99_us\": {replica_p99_us:.1},\n  \"replica_qps\": {replica_qps:.0}\n}}\n",
         engine.index().num_postings(),
         d.walk_stats.walks,
         d.oracle.hit_rate(),
+        serve_report.sessions,
+        replica_report.sessions,
     );
     eprintln!("scale harness metrics:\n{json}");
     eprintln!("engine diagnostics:\n{d}");

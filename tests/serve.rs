@@ -1,0 +1,334 @@
+//! Serving-layer integration: concurrent sessions over one engine,
+//! replica fan-out from one snapshot directory, deadline/admission
+//! contracts, and the release-mode stress floor.
+//!
+//! The load-bearing invariant throughout: multiplexing must never
+//! change an answer. Every concurrent result is compared bit-for-bit
+//! against the sequential single-caller reference.
+
+use ncexplorer::core::drilldown::Subtopic;
+use ncexplorer::core::error::QueryError;
+use ncexplorer::core::rollup::RollupHit;
+use ncexplorer::core::{ConceptQuery, NcExplorer, NcxConfig, Parallelism};
+use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+use ncexplorer::serve::{NcxServe, ServeConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TOPICS: [&str; 3] = ["Financial Crime", "Elections", "Mergers & Acquisitions"];
+
+fn build_engine(articles: usize) -> NcExplorer {
+    let kg = Arc::new(generate_kg(&KgGenConfig::default()));
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles,
+            ..CorpusConfig::default()
+        },
+    );
+    NcExplorer::build(
+        kg,
+        corpus.store,
+        NcxConfig {
+            samples: 10,
+            parallelism: Parallelism::Fixed(2),
+            ..NcxConfig::default()
+        },
+    )
+}
+
+/// The single-caller answers every concurrent path must reproduce.
+fn reference(engine: &NcExplorer, k: usize) -> Vec<(ConceptQuery, Vec<RollupHit>, Vec<Subtopic>)> {
+    TOPICS
+        .iter()
+        .map(|t| {
+            let q = engine.query(&[t]).unwrap();
+            let hits = engine.rollup(&q, k);
+            let subs = engine.drilldown(&q, k);
+            (q, hits, subs)
+        })
+        .collect()
+}
+
+#[test]
+fn four_concurrent_sessions_match_the_sequential_reference() {
+    let engine = build_engine(120);
+    let want = reference(&engine, 10);
+    let serve = NcxServe::new(engine, ServeConfig::default());
+    std::thread::scope(|scope| {
+        for s in 0..4 {
+            let want = &want;
+            let serve = &serve;
+            scope.spawn(move || {
+                let session = serve.session();
+                // Each session walks the query mix from its own offset,
+                // so cache hits and misses interleave across sessions.
+                for i in 0..12 {
+                    let (q, hits, subs) = &want[(s + i) % want.len()];
+                    let got = session.rollup(q, 10).unwrap();
+                    assert_eq!(*got, *hits, "session {s}: roll-up diverged");
+                    let got = session.drilldown(q, 10).unwrap();
+                    assert_eq!(*got, *subs, "session {s}: drill-down diverged");
+                }
+            });
+        }
+    });
+    let stats = serve.stats();
+    assert_eq!(stats.completed, 4 * 12 * 2);
+    assert_eq!(stats.rejected_overload + stats.rejected_deadline, 0);
+    assert!(
+        stats.cache_hits > 0,
+        "repeated queries must hit the cache: {stats:?}"
+    );
+}
+
+#[test]
+fn replicas_cold_opened_from_one_snapshot_serve_identically() {
+    let engine = build_engine(100);
+    let kg_arc = engine.kg_handle();
+    let want = reference(&engine, 10);
+    let dir = std::env::temp_dir().join(format!("ncx_serve_replicas_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    engine.save(&dir).unwrap();
+
+    let serve = NcxServe::open_replicas(
+        &dir,
+        kg_arc,
+        NcxConfig {
+            samples: 10,
+            parallelism: Parallelism::Fixed(2),
+            ..NcxConfig::default()
+        },
+        2,
+        // Cache off: every query must actually execute on a replica, so
+        // round-robin provably lands on both.
+        ServeConfig {
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(serve.replica_count(), 2);
+
+    std::thread::scope(|scope| {
+        for s in 0..4 {
+            let want = &want;
+            let serve = &serve;
+            scope.spawn(move || {
+                let session = serve.session();
+                for i in 0..8 {
+                    let (q, hits, subs) = &want[(s + i) % want.len()];
+                    assert_eq!(*session.rollup(q, 10).unwrap(), *hits);
+                    assert_eq!(*session.drilldown(q, 10).unwrap(), *subs);
+                }
+            });
+        }
+    });
+    let stats = serve.stats();
+    assert_eq!(stats.completed, 4 * 8 * 2);
+    assert_eq!(stats.cache_hits, 0, "cache was disabled");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_side_ingest_updates_every_replica() {
+    let engine = build_engine(60);
+    let kg = engine.kg_handle();
+    let dir = std::env::temp_dir().join(format!("ncx_serve_ingest_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    engine.save(&dir).unwrap();
+    let serve = NcxServe::open_replicas(
+        &dir,
+        kg,
+        NcxConfig {
+            samples: 10,
+            parallelism: Parallelism::Fixed(2),
+            ..NcxConfig::default()
+        },
+        2,
+        ServeConfig {
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let q = serve.query(&["Financial Crime"]).unwrap();
+    let before_hits = serve.rollup(&q, 500).unwrap();
+    let before = before_hits.len();
+    assert!(before > 0 && before < 500);
+    // Re-ingest the text of a known matching article: the duplicate
+    // carries the same entity mentions, so it must match the query too.
+    let (title, body) = serve.with_engine(|e| {
+        let a = e.document(before_hits[0].doc);
+        (a.title.clone(), a.body.clone())
+    });
+    serve.ingest_article(
+        ncexplorer::index::NewsSource::Reuters,
+        &title,
+        &body,
+        u32::MAX - 1,
+    );
+    // With the cache off, consecutive queries round-robin across both
+    // replicas: both must see the new article.
+    for _ in 0..2 {
+        let after = serve.rollup(&q, 500).unwrap();
+        assert_eq!(after.len(), before + 1, "a replica missed the ingest");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite (c): one engine, many OS threads, no serving layer — the
+/// `NcExplorer: Send + Sync` contract exercised directly.
+#[test]
+fn shared_engine_queries_from_many_os_threads() {
+    let engine = Arc::new(build_engine(100));
+    let want = reference(&engine, 10);
+    let handles: Vec<_> = (0..4)
+        .map(|s| {
+            let engine = engine.clone();
+            let want = want.clone();
+            std::thread::spawn(move || {
+                for i in 0..6 {
+                    let (q, hits, subs) = &want[(s + i) % want.len()];
+                    assert_eq!(engine.rollup(q, 10), *hits, "thread {s}");
+                    assert_eq!(engine.drilldown(q, 10), *subs, "thread {s}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite (d): expired deadlines reject without cache residue;
+    /// generous deadlines complete with the exact unbounded answer and
+    /// never overshoot their budget by more than the check interval
+    /// (plus scheduler noise).
+    #[test]
+    fn deadlines_reject_cleanly_or_complete_exactly(
+        topic_idx in 0usize..TOPICS.len(),
+        k in 1usize..20,
+        expired_first in any::<bool>(),
+    ) {
+        // One engine for the whole property run (builds dominate).
+        use std::sync::OnceLock;
+        type Reference = Vec<(ConceptQuery, Vec<RollupHit>)>;
+        static SERVE: OnceLock<(NcxServe, Reference)> = OnceLock::new();
+        let (serve, reference) = SERVE.get_or_init(|| {
+            let engine = build_engine(80);
+            let refs = TOPICS
+                .iter()
+                .map(|t| {
+                    let q = engine.query(&[t]).unwrap();
+                    let hits = engine.rollup(&q, 64);
+                    (q, hits)
+                })
+                .collect();
+            (NcxServe::new(engine, ServeConfig::default()), refs)
+        });
+        let (q, unbounded) = &reference[topic_idx];
+
+        let run_expired = |q: &ConceptQuery, k: usize| {
+            let cached_before = serve.cached_entries();
+            let t = Instant::now();
+            // `k + 1000` keeps the key out of the cache: an expired query
+            // must be rejected by the engine, not answered from a hit a
+            // previous case left behind.
+            let err = serve
+                .rollup_deadline(q, k + 1000, Some(Duration::ZERO))
+                .unwrap_err();
+            let elapsed = t.elapsed();
+            prop_assert!(matches!(err, QueryError::DeadlineExceeded { .. }), "{err}");
+            // Zero budget ⇒ the first check fires; the query may consume
+            // at most one check interval of work. Generous wall bound —
+            // these queries take microseconds, the bound catches only
+            // "ran to completion anyway".
+            prop_assert!(
+                elapsed < Duration::from_millis(250),
+                "expired query ran {elapsed:?}"
+            );
+            prop_assert_eq!(
+                serve.cached_entries(), cached_before,
+                "rejected query left cache residue"
+            );
+            Ok(())
+        };
+        let run_generous = |q: &ConceptQuery, k: usize| {
+            let limit = Duration::from_secs(3600);
+            let t = Instant::now();
+            let got = serve.rollup_deadline(q, k, Some(limit)).unwrap();
+            let elapsed = t.elapsed();
+            let mut want = unbounded.clone();
+            want.truncate(k);
+            prop_assert_eq!(&*got, &want, "bounded result diverged");
+            prop_assert!(
+                elapsed <= limit + serve.config().check_interval,
+                "overshot: {elapsed:?}"
+            );
+            Ok(())
+        };
+        // Order matters for the residue assertion, so exercise both.
+        if expired_first {
+            run_expired(q, k)?;
+            run_generous(q, k)?;
+        } else {
+            run_generous(q, k)?;
+            run_expired(q, k)?;
+        }
+    }
+}
+
+/// Release-mode stress: a session fleet over one engine must complete
+/// every admitted query, and serving latency must stay interactive.
+/// Debug wall-clock is meaningless, so the latency floor is
+/// release-only; `NCX_SKIP_PERF_FLOORS=1` opts out on weak hardware.
+#[test]
+fn serve_stress_counts_reconcile_and_p99_is_interactive() {
+    let engine = build_engine(200);
+    let queries: Vec<ConceptQuery> = TOPICS.iter().map(|t| engine.query(&[t]).unwrap()).collect();
+    let serve = NcxServe::new(
+        engine,
+        ServeConfig {
+            max_in_flight: 4,
+            queue_depth: 64,
+            ..ServeConfig::default()
+        },
+    );
+    let spec = ncx_bench::loadgen::LoadSpec {
+        sessions: 8,
+        queries_per_session: if cfg!(debug_assertions) { 20 } else { 100 },
+        queries: &queries,
+        k: 10,
+        deadline: Some(Duration::from_secs(30)),
+        drilldown_every: 4,
+    };
+    let report = ncx_bench::loadgen::closed_loop(&serve, &spec);
+    let total = (spec.sessions * spec.queries_per_session) as u64;
+    assert_eq!(
+        report.completed + report.rejected,
+        total,
+        "queries lost: {report:?}"
+    );
+    // The queue (64) exceeds the session count, so nothing should have
+    // been rejected for overload; a 30s deadline cannot fire on queries
+    // this small unless the machine stalls outright.
+    assert_eq!(report.rejected, 0, "{report:?}");
+    let stats = serve.stats();
+    assert_eq!(stats.completed, total);
+    eprintln!(
+        "serve_stress: {} sessions, p50 {:?}, p99 {:?}, {:.0} qps",
+        report.sessions, report.p50, report.p99, report.qps
+    );
+    if !cfg!(debug_assertions) && std::env::var("NCX_SKIP_PERF_FLOORS").is_err() {
+        assert!(
+            report.p99 < Duration::from_millis(250),
+            "serving p99 {:?} is not interactive",
+            report.p99
+        );
+    }
+}
