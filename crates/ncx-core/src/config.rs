@@ -148,6 +148,39 @@ impl Default for WalkBudget {
     }
 }
 
+/// Persistence knobs of the layered `ncx-store` snapshot format.
+///
+/// Grouped separately from the scoring parameters because they describe
+/// the *on-disk* shape of the engine, not its answers: changing them
+/// never changes a query result, only how snapshots are laid out and
+/// when the generation stack gets folded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Number of hash-partitioned concept-posting shards each generation
+    /// writes ([`NcExplorer::save`](crate::engine::NcExplorer::save) /
+    /// [`flush_delta`](crate::engine::NcExplorer::flush_delta)). More
+    /// shards let the serving tier load partitions independently;
+    /// reading accepts whatever shard count the snapshot was written
+    /// with.
+    pub snapshot_shards: u32,
+    /// Generation-stack depth at which
+    /// [`checkpoint`](crate::engine::NcExplorer::checkpoint) folds the
+    /// stack back into a single base. Each delta flush appends one
+    /// generation; once the stack exceeds this many layers, the next
+    /// checkpoint compacts. Higher values make flushes cheaper for
+    /// longer but slow cold opens (more files to replay).
+    pub max_generations: u32,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            snapshot_shards: 8,
+            max_generations: 6,
+        }
+    }
+}
+
 /// Parameters of the NCExplorer engine. `Default` reproduces the paper's
 /// evaluation settings: τ = 2, β = 0.5, 50 samples per connectivity score,
 /// reachability-guided sampling on.
@@ -196,12 +229,8 @@ pub struct NcxConfig {
     pub drilldown_doc_cap: usize,
     /// Scoring-design ablation (default: the paper's full product).
     pub ablation: ScoreAblation,
-    /// Number of hash-partitioned concept-posting shards written by
-    /// [`NcExplorer::save`](crate::engine::NcExplorer::save). More shards
-    /// let a follow-up serving tier load partitions independently;
-    /// reading accepts whatever shard count the snapshot was written
-    /// with.
-    pub snapshot_shards: u32,
+    /// Persistence layout and compaction policy; see [`StoreConfig`].
+    pub store: StoreConfig,
     /// Per-query time budget honoured by the deadline-aware query
     /// entry points and the serving layer's admission queue; see
     /// [`QueryBudget`]. Unlimited by default — the plain
@@ -227,7 +256,7 @@ impl Default for NcxConfig {
             edge_concept_fallback: true,
             drilldown_doc_cap: 2000,
             ablation: ScoreAblation::default(),
-            snapshot_shards: 8,
+            store: StoreConfig::default(),
             query_budget: QueryBudget::default(),
         }
     }
@@ -278,8 +307,11 @@ impl NcxConfig {
         if self.oracle_shards == 0 {
             return invalid("oracle_shards", "must be at least 1");
         }
-        if self.snapshot_shards == 0 {
-            return invalid("snapshot_shards", "must be at least 1");
+        if self.store.snapshot_shards == 0 {
+            return invalid("store.snapshot_shards", "must be at least 1");
+        }
+        if self.store.max_generations == 0 {
+            return invalid("store.max_generations", "must be at least 1");
         }
         if self.query_budget.check_every == 0 {
             return invalid("query_budget.check_every", "must be at least 1");
@@ -378,10 +410,31 @@ mod tests {
         };
         assert!(bad_shards.validate().is_err());
         let bad_snapshot_shards = NcxConfig {
-            snapshot_shards: 0,
+            store: StoreConfig {
+                snapshot_shards: 0,
+                ..StoreConfig::default()
+            },
             ..NcxConfig::default()
         };
         assert!(bad_snapshot_shards.validate().is_err());
+    }
+
+    #[test]
+    fn store_config_defaults_and_validation() {
+        let c = StoreConfig::default();
+        assert_eq!(c.snapshot_shards, 8);
+        assert_eq!(c.max_generations, 6);
+        let bad_gens = NcxConfig {
+            store: StoreConfig {
+                max_generations: 0,
+                ..StoreConfig::default()
+            },
+            ..NcxConfig::default()
+        };
+        match bad_gens.validate().unwrap_err() {
+            ConfigError::Invalid { param, .. } => assert_eq!(param, "store.max_generations"),
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

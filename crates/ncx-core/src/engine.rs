@@ -137,17 +137,91 @@ impl NcExplorer {
     /// Persists the built index and its corpus as an `ncx-store`
     /// snapshot directory: a manifest plus checksummed segments, with
     /// concept postings hash-partitioned into
-    /// [`NcxConfig::snapshot_shards`] shards. A later
-    /// [`open`](Self::open) serves queries without re-running the
-    /// two-pass build.
+    /// [`StoreConfig::snapshot_shards`](crate::config::StoreConfig)
+    /// shards. A later [`open`](Self::open) serves queries without
+    /// re-running the two-pass build.
+    ///
+    /// This writes the **whole corpus** as a fresh single-generation
+    /// base. For incremental persistence after streaming ingest, use
+    /// [`flush_delta`](Self::flush_delta) (or the
+    /// [`checkpoint`](Self::checkpoint) policy wrapper) instead.
     pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), StoreError> {
         persist::save_snapshot(
             dir.as_ref(),
             &self.kg,
             &self.index,
             &self.store,
-            self.config.snapshot_shards,
+            self.config.store.snapshot_shards,
         )
+    }
+
+    /// Appends everything ingested since the snapshot in `dir` was last
+    /// written as one new **delta generation** — only the new documents
+    /// are encoded; no base segment is rewritten. The snapshot must be
+    /// a prefix of this engine's corpus (same KG, same history);
+    /// anything else is refused with [`StoreError::Incompatible`]. A
+    /// flush with nothing to write is a cheap no-op.
+    ///
+    /// Crash-atomic: the updated manifest is committed by a single
+    /// atomic rename, so an interrupted flush leaves the previous
+    /// snapshot governing.
+    pub fn flush_delta(&self, dir: impl AsRef<Path>) -> Result<persist::FlushOutcome, StoreError> {
+        persist::flush_delta(dir.as_ref(), &self.kg, &self.index, &self.store)
+    }
+
+    /// Folds the snapshot in `dir` back into a single base generation
+    /// (see [`persist::compact_snapshot`]). Queries served from already
+    /// open engines are unaffected; the next open reads one generation.
+    pub fn compact(
+        dir: impl AsRef<Path>,
+        kg: &KnowledgeGraph,
+    ) -> Result<persist::CompactOutcome, StoreError> {
+        persist::compact_snapshot(dir.as_ref(), kg)
+    }
+
+    /// The durability policy in one call: flush the ingest backlog as a
+    /// delta generation, bootstrap a full [`save`](Self::save) when
+    /// `dir` holds no snapshot yet, and compact when the generation
+    /// stack exceeds
+    /// [`StoreConfig::max_generations`](crate::config::StoreConfig).
+    /// The serving layer calls this from its ingest path.
+    pub fn checkpoint(
+        &self,
+        dir: impl AsRef<Path>,
+    ) -> Result<persist::CheckpointOutcome, StoreError> {
+        let dir = dir.as_ref();
+        let flush = match self.flush_delta(dir) {
+            Ok(outcome) => outcome,
+            Err(StoreError::NotASnapshot { .. }) => {
+                self.save(dir)?;
+                return Ok(persist::CheckpointOutcome {
+                    flushed_docs: self.index.num_docs() as u64,
+                    generation: Some(0),
+                    compacted: false,
+                    generations: 1,
+                });
+            }
+            Err(e) => return Err(e),
+        };
+        if flush.generations > self.config.store.max_generations {
+            let compaction = Self::compact(dir, &self.kg)?;
+            return Ok(persist::CheckpointOutcome {
+                flushed_docs: flush.flushed_docs,
+                generation: flush.generation,
+                compacted: compaction.compacted,
+                generations: if compaction.compacted {
+                    1
+                } else {
+                    flush.generations
+                },
+            });
+        }
+        Ok(persist::CheckpointOutcome {
+            flushed_docs: flush.flushed_docs,
+            generation: flush.generation,
+            compacted: false,
+            generations: flush.generations,
+        })
     }
 
     /// Cold-opens a snapshot written by [`save`](Self::save): verifies
@@ -170,6 +244,43 @@ impl NcExplorer {
             detail: e.to_string(),
         })?;
         let (index, store) = persist::open_snapshot(dir.as_ref(), &kg)?;
+        let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
+        let pool = Arc::new(Pool::new(config.parallelism.workers()));
+        let oracle = Arc::new(TargetDistanceOracle::with_shards(
+            config.tau,
+            config.oracle_cache,
+            config.oracle_shards,
+        ));
+        Ok(Self {
+            kg,
+            nlp,
+            config,
+            index,
+            store,
+            oracle,
+            pool,
+        })
+    }
+
+    /// Cold-opens a snapshot like [`open`](Self::open), but defers
+    /// concept-shard decoding to first touch: the corpus (doc lists,
+    /// entity index, articles) decodes eagerly, while posting shards
+    /// stay as verified bytes until a query or ingest needs them —
+    /// cutting time-to-first-query on large snapshots.
+    ///
+    /// Trade-off: every byte is still checksummed at open, but a
+    /// *structurally* corrupt shard written by a buggy or adversarial
+    /// tool surfaces as a panic on first touch instead of a typed error
+    /// here — use [`open`](Self::open) for untrusted snapshots.
+    pub fn open_lazy(
+        dir: impl AsRef<Path>,
+        kg: Arc<KnowledgeGraph>,
+        config: NcxConfig,
+    ) -> Result<Self, StoreError> {
+        config.validate().map_err(|e| StoreError::Incompatible {
+            detail: e.to_string(),
+        })?;
+        let (index, store) = persist::open_snapshot_lazy(dir.as_ref(), &kg)?;
         let nlp = NlpPipeline::new(GazetteerLinker::build(&kg));
         let pool = Arc::new(Pool::new(config.parallelism.workers()));
         let oracle = Arc::new(TargetDistanceOracle::with_shards(

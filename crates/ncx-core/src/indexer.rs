@@ -13,11 +13,13 @@
 
 use crate::config::NcxConfig;
 use crate::par::{auto_batch, Pool};
+use crate::persist::LazyConceptShards;
 use crate::relevance::context::cdrc_from_conn;
 use crate::relevance::estimator::{pair_seed, ConnEstimator, MemberSetCache, WalkStats};
 use ncx_index::{DocumentStore, EntityIndex};
 use ncx_kg::{ConceptId, DocId, InstanceId, KnowledgeGraph};
 use ncx_reach::TargetDistanceOracle;
+use ncx_store::shard_of;
 use ncx_text::{AnnotatedDoc, NlpPipeline};
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
@@ -79,6 +81,10 @@ pub struct NcxIndex {
     /// Entity → documents postings (with term weights).
     pub entity_index: EntityIndex,
     concept_postings: FxHashMap<ConceptId, Vec<ConceptPosting>>,
+    /// Concept shards still held as verified snapshot bytes (lazy open);
+    /// disjoint from `concept_postings` — a shard's map lives in exactly
+    /// one of the two (streaming ingest drains a shard before appending).
+    lazy: Option<LazyConceptShards>,
     /// Per-document concept lists `(concept, cdr)` for drill-down sweeps.
     doc_concepts: Vec<Vec<(ConceptId, f64)>>,
     /// Build-cost breakdown.
@@ -89,12 +95,16 @@ pub struct NcxIndex {
 }
 
 impl NcxIndex {
-    /// Postings of a concept, ascending by document id.
+    /// Postings of a concept, ascending by document id. On a lazily
+    /// opened index this may decode the concept's shard (first touch).
     pub fn postings(&self, c: ConceptId) -> &[ConceptPosting] {
-        self.concept_postings
-            .get(&c)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        if let Some(list) = self.concept_postings.get(&c) {
+            return list;
+        }
+        match &self.lazy {
+            Some(lazy) => lazy.postings(c),
+            None => &[],
+        }
     }
 
     /// The posting for `(c, d)` if the document matches the concept.
@@ -115,19 +125,59 @@ impl NcxIndex {
         self.doc_concepts.len()
     }
 
-    /// Number of concepts with at least one posting.
+    /// Number of concepts with at least one posting. Answered from
+    /// manifest stats on a lazy index — no decode is forced.
     pub fn num_indexed_concepts(&self) -> usize {
         self.concept_postings.len()
+            + self
+                .lazy
+                .as_ref()
+                .map_or(0, LazyConceptShards::remaining_concepts)
     }
 
-    /// Total `⟨c, d⟩` entries.
+    /// Total `⟨c, d⟩` entries. Answered from manifest stats on a lazy
+    /// index — no decode is forced.
     pub fn num_postings(&self) -> usize {
-        self.concept_postings.values().map(Vec::len).sum()
+        self.concept_postings.values().map(Vec::len).sum::<usize>()
+            + self
+                .lazy
+                .as_ref()
+                .map_or(0, LazyConceptShards::remaining_postings)
     }
 
-    /// Iterates over all indexed concepts.
+    /// Iterates over all indexed concepts. On a lazy index this forces
+    /// every undrained shard (full-index sweeps need the whole table).
     pub fn indexed_concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
-        self.concept_postings.keys().copied()
+        self.concept_postings.keys().copied().chain(
+            self.lazy
+                .iter()
+                .flat_map(LazyConceptShards::undrained_concepts),
+        )
+    }
+
+    /// Concept shards materialised so far, when this index was opened
+    /// lazily — observability for tests and diagnostics.
+    pub fn lazy_shards_materialized(&self) -> Option<usize> {
+        self.lazy
+            .as_ref()
+            .map(LazyConceptShards::materialized_shards)
+    }
+
+    /// Appends one posting to a concept's list, keeping the eager and
+    /// lazy views disjoint: if the concept's shard still lives as lazy
+    /// bytes, the whole shard is drained into the eager table first, so
+    /// the appended list is the complete, sorted history. The caller
+    /// guarantees `posting.doc` exceeds every doc id already indexed.
+    pub(crate) fn push_posting(&mut self, c: ConceptId, posting: ConceptPosting) {
+        if let Some(lazy) = self.lazy.as_mut() {
+            let shard = shard_of(u64::from(c.raw()), lazy.shard_count());
+            if !lazy.is_drained(shard) {
+                for (k, v) in lazy.drain(shard) {
+                    self.concept_postings.insert(k, v);
+                }
+            }
+        }
+        self.concept_postings.entry(c).or_default().push(posting);
     }
 
     /// Assembles an index from snapshot-decoded parts (the cold-open
@@ -145,6 +195,27 @@ impl NcxIndex {
         Self {
             entity_index,
             concept_postings,
+            lazy: None,
+            doc_concepts,
+            timing,
+            walk_stats,
+        }
+    }
+
+    /// Assembles a lazily decoded index: the concept shards stay as
+    /// verified bytes inside `lazy` and materialise on first touch.
+    /// Same invariants as [`Self::from_parts`].
+    pub(crate) fn from_parts_lazy(
+        entity_index: EntityIndex,
+        lazy: LazyConceptShards,
+        doc_concepts: Vec<Vec<(ConceptId, f64)>>,
+        timing: IndexTiming,
+        walk_stats: WalkStats,
+    ) -> Self {
+        Self {
+            entity_index,
+            concept_postings: FxHashMap::default(),
+            lazy: Some(lazy),
             doc_concepts,
             timing,
             walk_stats,
@@ -314,6 +385,7 @@ impl<'a> Indexer<'a> {
         NcxIndex {
             entity_index,
             concept_postings,
+            lazy: None,
             doc_concepts,
             timing: IndexTiming {
                 entity_linking: linking_time,
@@ -364,8 +436,9 @@ pub fn ingest_document(
     let mut doc_list = Vec::with_capacity(entries.len());
     for (c, posting) in entries {
         doc_list.push((c, posting.cdr));
-        // New doc id is the maximum, so pushing keeps lists sorted.
-        index.concept_postings.entry(c).or_default().push(posting);
+        // New doc id is the maximum, so pushing keeps lists sorted
+        // (push_posting drains the concept's lazy shard first, if any).
+        index.push_posting(c, posting);
     }
     doc_list.sort_unstable_by_key(|&(c, _)| c);
     index.doc_concepts.push(doc_list);

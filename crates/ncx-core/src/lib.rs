@@ -21,8 +21,9 @@
 //!   `sbr = coverage · specificity · diversity`;
 //! * [`explain`] — per-result explanations (pivot entities, witness paths);
 //! * [`persist`] — the `ncx-store` snapshot bridge: save a built index,
-//!   cold-open it (once, or as N serving replicas) and serve without
-//!   rebuilding;
+//!   flush ingested deltas as append-only generations, compact the
+//!   stack, and cold-open (eagerly, lazily, or as N serving replicas)
+//!   without rebuilding;
 //! * [`budget`] — per-query time budgets and the [`budget::Deadline`]
 //!   runtime handle the bounded operators honour;
 //! * [`error`] — typed configuration and query errors
@@ -46,9 +47,10 @@ pub mod rollup;
 pub mod session;
 
 pub use budget::{Deadline, QueryBudget};
-pub use config::{NcxConfig, Parallelism, ScoreAblation, WalkBudget};
+pub use config::{NcxConfig, Parallelism, ScoreAblation, StoreConfig, WalkBudget};
 pub use engine::{EngineDiagnostics, NcExplorer};
 pub use error::{ConfigError, QueryError};
 pub use par::Pool;
+pub use persist::{CheckpointOutcome, CompactOutcome, FlushOutcome};
 pub use query::ConceptQuery;
 pub use session::Session;

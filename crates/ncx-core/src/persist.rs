@@ -1,20 +1,37 @@
-//! Snapshot save/open for a built [`NcxIndex`] — the cold-open path.
+//! Snapshot save/open for a built [`NcxIndex`] — the cold-open path —
+//! plus the **generation-layered** incremental protocols: delta flush,
+//! compaction, and lazy shard decoding.
 //!
 //! Layout (see `ncx-store` for the container format):
 //!
 //! * **`concepts-NNN.seg`** ([`SEGMENT_KIND_CONCEPTS`]) — the ⟨c, d⟩
 //!   inverted index, **hash-partitioned by concept id** into
-//!   [`NcxConfig::snapshot_shards`](crate::config::NcxConfig) shards via
-//!   [`ncx_store::shard_of`], so a later PR can load or serve shards
-//!   independently. Within a shard, concepts are sorted ascending and
-//!   each posting list stores delta-varint doc ids with fixed-width
-//!   `f64` score bits (`cdr`, `cdro`, `cdrc`) and the pivot entity —
-//!   bit-exact round-trips are a format invariant.
+//!   [`StoreConfig::snapshot_shards`](crate::config::StoreConfig) shards
+//!   via [`ncx_store::shard_of`], so the serving tier can load or decode
+//!   shards independently. Within a shard, concepts are sorted strictly
+//!   ascending and each posting list stores delta-varint doc ids with
+//!   fixed-width `f64` score bits (`cdr`, `cdro`, `cdrc`) and the pivot
+//!   entity — bit-exact round-trips are a format invariant.
 //! * **`doclists.seg`** ([`SEGMENT_KIND_DOCLISTS`]) — per-document
 //!   `(concept, cdr)` lists (the drill-down sweep input), delta-encoded
 //!   on concept id.
 //! * **`entities.seg`** / **`docstore.seg`** — encoded by
 //!   [`ncx_index::persist`].
+//!
+//! ## Generations
+//!
+//! A snapshot is a **stack of generations**: generation 0 (the base,
+//! using the legacy file names above) plus zero or more append-only
+//! deltas written by [`flush_delta`], whose files carry a `-gGGG`
+//! infix (`concepts-g002-001.seg`, `doclists-g002.seg`, …). Generation
+//! `g` holds exactly the documents `[start_g, start_g + docs_g)` where
+//! `start_g` is the sum of the earlier generations' doc counts, so
+//! replaying generations in ascending order reconstructs the monolithic
+//! index **bit-for-bit** — doc ids only ever grow, which means layered
+//! posting lists concatenate already sorted. [`compact_snapshot`] folds
+//! the stack back into a single fresh base. Which generations are live
+//! is defined **solely by the manifest**: stray files from torn writes
+//! are never read (see `ncx_store::Snapshot::stray_files`).
 //!
 //! The manifest records corpus stats, the build timing/walk counters
 //! (so [`diagnostics`](crate::engine::NcExplorer::diagnostics) survive a
@@ -26,16 +43,24 @@
 //! Reads decode through [`ShardCursor`], a zero-copy streaming reader
 //! over a shard's byte buffer — no per-posting allocation, ready for an
 //! `mmap`-backed buffer when a real `memmap2` is available.
+//! [`open_snapshot_lazy`] defers even that: concept shards stay as
+//! verified bytes and decode on first touch (see [`LazyConceptShards`]).
 
 use crate::indexer::{ConceptPosting, IndexTiming, NcxIndex};
 use crate::relevance::WalkStats;
-use ncx_index::persist::{read_docstore, read_entity_index, write_docstore, write_entity_index};
-use ncx_index::DocumentStore;
+use ncx_index::persist::{
+    read_docstore_into, read_entity_index_into, write_docstore_from, write_entity_index_from,
+};
+use ncx_index::{DocumentStore, EntityIndex};
 use ncx_kg::{ConceptId, DocId, InstanceId, KnowledgeGraph};
-use ncx_store::{shard_of, SegView, Segment, SegmentWriter, Snapshot, SnapshotWriter, StoreError};
+use ncx_store::{
+    shard_of, GenerationWriter, SegView, Segment, SegmentWriter, Snapshot, SnapshotWriter,
+    StoreError,
+};
 use rustc_hash::FxHashMap;
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// Segment kind tag of concept-posting shards.
@@ -43,11 +68,11 @@ pub const SEGMENT_KIND_CONCEPTS: u16 = 1;
 /// Segment kind tag of the per-document concept-list segment.
 pub const SEGMENT_KIND_DOCLISTS: u16 = 2;
 
-/// File name of the per-document concept-list segment.
+/// File name of the base per-document concept-list segment.
 pub const DOCLISTS_FILE: &str = "doclists.seg";
-/// File name of the entity-index segment.
+/// File name of the base entity-index segment.
 pub const ENTITIES_FILE: &str = "entities.seg";
-/// File name of the document-store segment.
+/// File name of the base document-store segment.
 pub const DOCSTORE_FILE: &str = "docstore.seg";
 
 // Minimum encoded sizes, used to bound declared counts by the bytes
@@ -61,40 +86,112 @@ const MIN_POSTING_BYTES: u64 = 29;
 /// Doc-list item: ≥1-byte concept delta + f64 cdr.
 const MIN_DOCLIST_ITEM_BYTES: u64 = 9;
 
-/// File name of concept-posting shard `i`.
-pub fn shard_file(i: u32) -> String {
-    format!("concepts-{i:03}.seg")
+/// File name of concept-posting shard `shard` of generation `gen`.
+/// Generation 0 keeps the legacy (pre-layering) names, so v1 snapshots
+/// open as a one-generation stack without renames.
+pub fn shard_file(gen: u32, shard: u32) -> String {
+    if gen == 0 {
+        format!("concepts-{shard:03}.seg")
+    } else {
+        format!("concepts-g{gen:03}-{shard:03}.seg")
+    }
 }
 
-/// Writes a complete snapshot of a built index (plus its corpus) into
-/// `dir`. The manifest is written last, so an interrupted save never
-/// leaves an openable directory.
-pub fn save_snapshot(
-    dir: &Path,
+/// File name of the per-document concept-list segment of `gen`.
+pub fn doclists_file(gen: u32) -> String {
+    if gen == 0 {
+        DOCLISTS_FILE.to_string()
+    } else {
+        format!("doclists-g{gen:03}.seg")
+    }
+}
+
+/// File name of the entity-index segment of `gen`.
+pub fn entities_file(gen: u32) -> String {
+    if gen == 0 {
+        ENTITIES_FILE.to_string()
+    } else {
+        format!("entities-g{gen:03}.seg")
+    }
+}
+
+/// File name of the document-store segment of `gen`.
+pub fn docstore_file(gen: u32) -> String {
+    if gen == 0 {
+        DOCSTORE_FILE.to_string()
+    } else {
+        format!("docstore-g{gen:03}.seg")
+    }
+}
+
+/// The two snapshot writers expose identical segment/stat recording;
+/// this seam lets the monolithic save, the delta flush, and compaction
+/// share one corpus encoder.
+trait SegSink {
+    fn write_segment(&mut self, name: &str, seg: SegmentWriter) -> Result<(), StoreError>;
+    fn set_stat(&mut self, name: &'static str, value: u64);
+}
+
+impl SegSink for SnapshotWriter {
+    fn write_segment(&mut self, name: &str, seg: SegmentWriter) -> Result<(), StoreError> {
+        SnapshotWriter::write_segment(self, name, seg)
+    }
+    fn set_stat(&mut self, name: &'static str, value: u64) {
+        SnapshotWriter::set_stat(self, name, value);
+    }
+}
+
+impl SegSink for GenerationWriter {
+    fn write_segment(&mut self, name: &str, seg: SegmentWriter) -> Result<(), StoreError> {
+        GenerationWriter::write_segment(self, name, seg)
+    }
+    fn set_stat(&mut self, name: &'static str, value: u64) {
+        GenerationWriter::set_stat(self, name, value);
+    }
+}
+
+/// Encodes the documents `[first_doc, num_docs)` of `index`/`store` as
+/// one generation's segment set under `gen`-numbered names, and records
+/// the **whole-corpus** stats (stats always describe the full layered
+/// snapshot, not one layer). Returns the number of postings written.
+fn write_corpus<W: SegSink>(
+    w: &mut W,
+    gen: u32,
+    shards: u32,
     kg: &KnowledgeGraph,
     index: &NcxIndex,
     store: &DocumentStore,
-    shards: u32,
-) -> Result<(), StoreError> {
-    let shards = shards.max(1);
-    let mut writer = SnapshotWriter::create(dir, shards)?;
-
+    first_doc: usize,
+) -> Result<u64, StoreError> {
     // ---- concept shards: hash-partitioned, canonical order ----
     let mut by_shard: Vec<Vec<ConceptId>> = vec![Vec::new(); shards as usize];
     for c in index.indexed_concepts() {
         by_shard[shard_of(u64::from(c.raw()), shards) as usize].push(c);
     }
+    let mut written = 0u64;
     for (i, concepts) in by_shard.iter_mut().enumerate() {
         concepts.sort_unstable();
         let mut seg = SegmentWriter::new(SEGMENT_KIND_CONCEPTS);
-        seg.put_varint(concepts.len() as u64);
+        // The suffix may leave some concepts empty; count first so the
+        // header matches (every shard file exists, even when empty —
+        // the reader derives the file set from the manifest alone).
+        let mut sliced: Vec<(ConceptId, &[ConceptPosting])> = Vec::new();
         for &c in concepts.iter() {
             let postings = index.postings(c);
+            let split = postings.partition_point(|p| p.doc.index() < first_doc);
+            if split < postings.len() {
+                sliced.push((c, &postings[split..]));
+            }
+        }
+        seg.put_varint(sliced.len() as u64);
+        for (c, postings) in sliced {
             seg.put_u32(c.raw());
             seg.put_varint(postings.len() as u64);
+            written += postings.len() as u64;
             let mut prev = 0u32;
             for p in postings {
-                // Lists are sorted by doc id; deltas are non-negative.
+                // Lists are sorted by doc id; deltas are non-negative
+                // (the first is the absolute doc id).
                 seg.put_varint(u64::from(p.doc.raw() - prev));
                 seg.put_f64(p.cdr);
                 seg.put_f64(p.cdro);
@@ -103,13 +200,14 @@ pub fn save_snapshot(
                 prev = p.doc.raw();
             }
         }
-        writer.write_segment(&shard_file(i as u32), seg)?;
+        w.write_segment(&shard_file(gen, i as u32), seg)?;
     }
 
     // ---- per-document concept lists ----
+    let n = index.num_docs();
     let mut seg = SegmentWriter::new(SEGMENT_KIND_DOCLISTS);
-    seg.put_varint(index.num_docs() as u64);
-    for i in 0..index.num_docs() {
+    seg.put_varint((n - first_doc) as u64);
+    for i in first_doc..n {
         let list = index.concepts_of_doc(DocId::from_index(i));
         seg.put_varint(list.len() as u64);
         let mut prev = 0u32;
@@ -119,48 +217,227 @@ pub fn save_snapshot(
             prev = c.raw();
         }
     }
-    writer.write_segment(DOCLISTS_FILE, seg)?;
+    w.write_segment(&doclists_file(gen), seg)?;
 
     // ---- entity index and document store ----
-    writer.write_segment(ENTITIES_FILE, write_entity_index(&index.entity_index))?;
-    writer.write_segment(DOCSTORE_FILE, write_docstore(store))?;
+    w.write_segment(
+        &entities_file(gen),
+        write_entity_index_from(&index.entity_index, first_doc),
+    )?;
+    w.write_segment(&docstore_file(gen), write_docstore_from(store, first_doc))?;
 
     // ---- stats: corpus, KG fingerprint, diagnostics ----
-    writer.set_stat("num_docs", index.num_docs() as u64);
-    writer.set_stat("num_postings", index.num_postings() as u64);
-    writer.set_stat("num_indexed_concepts", index.num_indexed_concepts() as u64);
-    writer.set_stat("num_entities", index.entity_index.num_entities() as u64);
-    writer.set_stat("kg_concepts", kg.num_concepts() as u64);
-    writer.set_stat("kg_instances", kg.num_instances() as u64);
-    writer.set_stat("kg_memberships", kg.num_memberships() as u64);
-    writer.set_stat("walks", index.walk_stats.walks);
-    writer.set_stat("walk_hits", index.walk_stats.hits);
-    writer.set_stat("walk_dead_ends", index.walk_stats.dead_ends);
-    writer.set_stat("walk_early_stops", index.walk_stats.early_stops);
-    writer.set_stat(
+    w.set_stat("num_docs", n as u64);
+    w.set_stat("num_postings", index.num_postings() as u64);
+    w.set_stat("num_indexed_concepts", index.num_indexed_concepts() as u64);
+    w.set_stat("num_entities", index.entity_index.num_entities() as u64);
+    w.set_stat("kg_concepts", kg.num_concepts() as u64);
+    w.set_stat("kg_instances", kg.num_instances() as u64);
+    w.set_stat("kg_memberships", kg.num_memberships() as u64);
+    w.set_stat("walks", index.walk_stats.walks);
+    w.set_stat("walk_hits", index.walk_stats.hits);
+    w.set_stat("walk_dead_ends", index.walk_stats.dead_ends);
+    w.set_stat("walk_early_stops", index.walk_stats.early_stops);
+    w.set_stat(
         "timing_linking_nanos",
         index.timing.entity_linking.as_nanos() as u64,
     );
-    writer.set_stat(
+    w.set_stat(
         "timing_scoring_nanos",
         index.timing.relevance_scoring.as_nanos() as u64,
     );
-    writer.set_stat(
+    w.set_stat(
         "timing_wall_nanos",
         index.timing.total_wall.as_nanos() as u64,
     );
+    Ok(written)
+}
+
+/// Writes a complete snapshot of a built index (plus its corpus) into
+/// `dir` as a single base generation. The manifest is written last, so
+/// an interrupted save never leaves an openable directory.
+pub fn save_snapshot(
+    dir: &Path,
+    kg: &KnowledgeGraph,
+    index: &NcxIndex,
+    store: &DocumentStore,
+    shards: u32,
+) -> Result<(), StoreError> {
+    let shards = shards.max(1);
+    let mut writer = SnapshotWriter::create(dir, shards)?;
+    writer.set_docs(index.num_docs() as u64);
+    write_corpus(&mut writer, 0, shards, kg, index, store, 0)?;
     writer.finish()?;
     Ok(())
 }
 
-/// Opens a snapshot directory and reassembles the index and corpus.
-/// `kg` must be the graph the snapshot was built against (checked via
-/// the manifest fingerprint).
+/// What a delta flush did; see [`flush_delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushOutcome {
+    /// Documents the new generation holds (0 for a no-op flush).
+    pub flushed_docs: u64,
+    /// The generation number written, or `None` when nothing had to be
+    /// flushed (the snapshot already held every document).
+    pub generation: Option<u32>,
+    /// Live generations after the flush.
+    pub generations: u32,
+}
+
+/// Appends everything ingested since the snapshot in `dir` was last
+/// written as one new **delta generation** — only the new documents'
+/// postings, doc lists, entity bags and articles are encoded; no base
+/// file is rewritten. The index must be a strict superset of the
+/// snapshot (same KG, same document prefix); flushing a diverged or
+/// shorter corpus is refused with [`StoreError::Incompatible`].
+///
+/// The operation is crash-atomic: segments land under fresh
+/// generation-numbered names, and the updated manifest is committed by
+/// a single atomic rename — an interrupted flush leaves the previous
+/// snapshot governing (see `ncx_store::snapshot` for the protocol).
+pub fn flush_delta(
+    dir: &Path,
+    kg: &KnowledgeGraph,
+    index: &NcxIndex,
+    store: &DocumentStore,
+) -> Result<FlushOutcome, StoreError> {
+    let snapshot = Snapshot::open(dir)?;
+    let manifest = snapshot.manifest();
+    check_kg_fingerprint(manifest, kg)?;
+    let on_disk = require_stat(manifest, "num_docs")? as usize;
+    let base_postings = manifest.stat("num_postings");
+    let n = index.num_docs();
+    if store.len() != n {
+        return Err(StoreError::Incompatible {
+            detail: format!(
+                "index holds {n} documents but the store holds {}; refusing to flush",
+                store.len()
+            ),
+        });
+    }
+    if n < on_disk {
+        return Err(StoreError::Incompatible {
+            detail: format!(
+                "snapshot holds {on_disk} documents, engine only {n}; refusing to flush backwards"
+            ),
+        });
+    }
+    if n == on_disk {
+        return Ok(FlushOutcome {
+            flushed_docs: 0,
+            generation: None,
+            generations: manifest.generations.len() as u32,
+        });
+    }
+    let mut gw = snapshot.append_generation((n - on_disk) as u64)?;
+    let gen = gw.gen();
+    let shards = gw.shards();
+    let delta_postings = write_corpus(&mut gw, gen, shards, kg, index, store, on_disk)?;
+    // Prefix sanity: the snapshot's postings plus the delta must add up
+    // to the live index. A mismatch means the engine's history is not
+    // the snapshot's history (e.g. flushing into an unrelated directory
+    // that happens to share the KG) — committing would corrupt it.
+    if let Some(base) = base_postings {
+        if base + delta_postings != index.num_postings() as u64 {
+            return Err(StoreError::Incompatible {
+                detail: format!(
+                    "snapshot holds {base} postings and the delta adds {delta_postings}, \
+                     but the engine holds {}; the index prefix diverged from the snapshot",
+                    index.num_postings()
+                ),
+            });
+        }
+    }
+    let manifest = gw.finish()?;
+    Ok(FlushOutcome {
+        flushed_docs: (n - on_disk) as u64,
+        generation: Some(gen),
+        generations: manifest.generations.len() as u32,
+    })
+}
+
+/// What a compaction did; see [`compact_snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactOutcome {
+    /// Whether a compaction actually ran (a single-generation snapshot
+    /// is already compact — nothing to do).
+    pub compacted: bool,
+    /// The fresh base generation's number, when one was written.
+    pub generation: Option<u32>,
+    /// Generations that were live before the operation.
+    pub generations_before: u32,
+}
+
+/// What [`NcExplorer::checkpoint`](crate::engine::NcExplorer::checkpoint)
+/// did: a delta flush, possibly followed by a compaction when the stack
+/// exceeded [`StoreConfig::max_generations`](crate::config::StoreConfig).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointOutcome {
+    /// Documents the flush wrote (0 when the snapshot was current).
+    pub flushed_docs: u64,
+    /// Generation number the flush (or bootstrap save) produced.
+    pub generation: Option<u32>,
+    /// Whether the checkpoint folded the stack back into one base.
+    pub compacted: bool,
+    /// Live generations after the checkpoint.
+    pub generations: u32,
+}
+
+/// Folds a layered snapshot back into a **single base generation**:
+/// replays the stack into memory, writes the merged corpus under a
+/// fresh generation number, atomically commits the new manifest, and
+/// only then deletes the superseded generation files (plus any strays).
+/// A snapshot that is already a single generation is left untouched.
+///
+/// The replay decodes through the same layered open as
+/// [`open_snapshot`], so the compacted snapshot is bit-for-bit
+/// equivalent to the stack it replaces.
+pub fn compact_snapshot(dir: &Path, kg: &KnowledgeGraph) -> Result<CompactOutcome, StoreError> {
+    let snapshot = Snapshot::open(dir)?;
+    let generations_before = snapshot.manifest().generations.len() as u32;
+    if generations_before <= 1 {
+        return Ok(CompactOutcome {
+            compacted: false,
+            generation: None,
+            generations_before,
+        });
+    }
+    let loaded = LoadedSnapshot::from_snapshot(&snapshot, kg)?;
+    let (index, store) = loaded.decode()?;
+    let mut cw = snapshot.begin_compaction(index.num_docs() as u64)?;
+    let gen = cw.gen();
+    let shards = cw.shards();
+    write_corpus(&mut cw, gen, shards, kg, &index, &store, 0)?;
+    cw.finish()?;
+    Ok(CompactOutcome {
+        compacted: true,
+        generation: Some(gen),
+        generations_before,
+    })
+}
+
+/// Opens a snapshot directory and reassembles the index and corpus,
+/// replaying the generation stack in ascending order. `kg` must be the
+/// graph the snapshot was built against (checked via the manifest
+/// fingerprint).
 pub fn open_snapshot(
     dir: &Path,
     kg: &KnowledgeGraph,
 ) -> Result<(NcxIndex, DocumentStore), StoreError> {
     LoadedSnapshot::load(dir, kg)?.decode()
+}
+
+/// Opens a snapshot like [`open_snapshot`], but defers concept-shard
+/// decoding: every file is still read and checksummed up front (and the
+/// doc lists, entity index and article store are decoded eagerly — the
+/// engine needs them for any query), while the posting shards stay as
+/// verified bytes that materialise on first touch. Cuts the
+/// time-to-first-query for workloads that only ever touch a few
+/// concepts; see [`LazyConceptShards`] for the contract.
+pub fn open_snapshot_lazy(
+    dir: &Path,
+    kg: &KnowledgeGraph,
+) -> Result<(NcxIndex, DocumentStore), StoreError> {
+    LoadedSnapshot::load(dir, kg)?.decode_lazy()
 }
 
 /// Opens one snapshot directory as `replicas` independent
@@ -178,6 +455,19 @@ pub fn open_replicas(
     (0..replicas.max(1)).map(|_| loaded.decode()).collect()
 }
 
+/// One live generation's place in the corpus: it holds exactly the
+/// documents `[start, start + docs)`.
+#[derive(Debug, Clone, Copy)]
+struct GenLayer {
+    gen: u32,
+    start: usize,
+    docs: usize,
+}
+
+/// Everything [`LoadedSnapshot::decode_docs`] materialises besides the
+/// concept shards: per-doc concept lists, entity index, article store.
+type DecodedDocs = (Vec<Vec<(ConceptId, f64)>>, EntityIndex, DocumentStore);
+
 /// A snapshot's segments held in memory, verified and ready to decode.
 ///
 /// Splits the cold open into its two costs: [`load`](Self::load) (disk
@@ -186,50 +476,80 @@ pub fn open_replicas(
 pub struct LoadedSnapshot {
     segments: BTreeMap<String, Segment>,
     shards: u32,
+    layers: Vec<GenLayer>,
     num_docs: usize,
     num_postings: Option<u64>,
+    num_indexed_concepts: Option<u64>,
     timing: IndexTiming,
     walk_stats: WalkStats,
 }
 
+/// Requires a manifest stat, anchoring the error to the manifest file.
+fn require_stat(manifest: &ncx_store::Manifest, key: &str) -> Result<u64, StoreError> {
+    manifest
+        .stat(key)
+        .ok_or_else(|| StoreError::corrupt(ncx_store::MANIFEST_NAME, format!("missing stat {key}")))
+}
+
+/// The KG fingerprint gate shared by every open/flush path: refuses a
+/// snapshot built against a different graph before touching a segment.
+fn check_kg_fingerprint(
+    manifest: &ncx_store::Manifest,
+    kg: &KnowledgeGraph,
+) -> Result<(), StoreError> {
+    let fingerprint = [
+        ("kg_concepts", kg.num_concepts() as u64),
+        ("kg_instances", kg.num_instances() as u64),
+        ("kg_memberships", kg.num_memberships() as u64),
+    ];
+    for (key, actual) in fingerprint {
+        let recorded = require_stat(manifest, key)?;
+        if recorded != actual {
+            return Err(StoreError::Incompatible {
+                detail: format!(
+                    "snapshot was built against a different knowledge graph \
+                     ({key}: snapshot {recorded}, runtime {actual})"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 impl LoadedSnapshot {
     /// Opens `dir`, runs the manifest gates (format version, KG
-    /// fingerprint), and reads every segment into memory with full
-    /// verification. No decoding happens yet.
+    /// fingerprint, generation accounting), and reads every segment into
+    /// memory with full verification. No decoding happens yet.
     pub fn load(dir: &Path, kg: &KnowledgeGraph) -> Result<Self, StoreError> {
         let snapshot = Snapshot::open(dir)?;
+        Self::from_snapshot(&snapshot, kg)
+    }
+
+    fn from_snapshot(snapshot: &Snapshot, kg: &KnowledgeGraph) -> Result<Self, StoreError> {
         let manifest = snapshot.manifest();
+        check_kg_fingerprint(manifest, kg)?;
+        let num_docs = require_stat(manifest, "num_docs")? as usize;
 
-        // KG fingerprint gate, before any segment is read.
-        let fingerprint = [
-            ("kg_concepts", kg.num_concepts() as u64),
-            ("kg_instances", kg.num_instances() as u64),
-            ("kg_memberships", kg.num_memberships() as u64),
-        ];
-        for (key, actual) in fingerprint {
-            match manifest.stat(key) {
-                Some(recorded) if recorded == actual => {}
-                Some(recorded) => {
-                    return Err(StoreError::Incompatible {
-                        detail: format!(
-                            "snapshot was built against a different knowledge graph \
-                             ({key}: snapshot {recorded}, runtime {actual})"
-                        ),
-                    });
-                }
-                None => {
-                    return Err(StoreError::corrupt(
-                        ncx_store::MANIFEST_NAME,
-                        format!("missing stat {key}"),
-                    ));
-                }
-            }
+        // The generation stack must account for the corpus exactly:
+        // layer starts are the running sum of earlier doc counts.
+        let mut layers = Vec::with_capacity(manifest.generations.len());
+        let mut start = 0usize;
+        for g in &manifest.generations {
+            layers.push(GenLayer {
+                gen: g.gen,
+                start,
+                docs: g.docs as usize,
+            });
+            start = start.checked_add(g.docs as usize).ok_or_else(|| {
+                StoreError::corrupt(ncx_store::MANIFEST_NAME, "generation doc counts overflow")
+            })?;
         }
-
-        let num_docs = manifest
-            .stat("num_docs")
-            .ok_or_else(|| StoreError::corrupt(ncx_store::MANIFEST_NAME, "missing stat num_docs"))?
-            as usize;
+        if start != num_docs {
+            return Err(StoreError::corrupt(
+                ncx_store::MANIFEST_NAME,
+                format!("generations hold {start} documents, num_docs says {num_docs}"),
+            ));
+        }
 
         let timing = IndexTiming {
             entity_linking: stat_duration(manifest, "timing_linking_nanos"),
@@ -247,8 +567,10 @@ impl LoadedSnapshot {
         Ok(Self {
             segments: snapshot.read_all_segments()?,
             shards: manifest.shards,
+            layers,
             num_docs,
             num_postings: manifest.stat("num_postings"),
+            num_indexed_concepts: manifest.stat("num_indexed_concepts"),
             timing,
             walk_stats,
         })
@@ -265,42 +587,66 @@ impl LoadedSnapshot {
             .ok_or_else(|| StoreError::MissingFile { file: name.into() })
     }
 
+    /// Decodes everything *except* the concept shards: layered doc
+    /// lists, entity index and article store, with the cross-segment
+    /// corpus-size checks.
+    fn decode_docs(&self) -> Result<DecodedDocs, StoreError> {
+        let mut doc_concepts = Vec::with_capacity(self.num_docs);
+        let mut entity_index = EntityIndex::new();
+        let mut store = DocumentStore::new();
+        for layer in &self.layers {
+            read_doclists_into(
+                self.segment(&doclists_file(layer.gen))?,
+                layer.docs,
+                &mut doc_concepts,
+            )?;
+            read_entity_index_into(
+                self.segment(&entities_file(layer.gen))?,
+                &mut entity_index,
+                Some(layer.docs as u64),
+            )?;
+            read_docstore_into(
+                self.segment(&docstore_file(layer.gen))?,
+                &mut store,
+                Some(layer.docs as u64),
+            )?;
+        }
+        // Cross-segment consistency: every view must agree on corpus size.
+        for (what, n) in [
+            ("doclists documents", doc_concepts.len()),
+            ("entities documents", entity_index.num_docs()),
+            ("docstore documents", store.len()),
+        ] {
+            if n != self.num_docs {
+                return Err(StoreError::Incompatible {
+                    detail: format!("{what}: {n}, manifest num_docs: {}", self.num_docs),
+                });
+            }
+        }
+        Ok((doc_concepts, entity_index, store))
+    }
+
+    /// The `(layer, segment)` stack of one concept shard, oldest first.
+    fn shard_layers(&self, shard: u32) -> Result<Vec<(GenLayer, &Segment)>, StoreError> {
+        self.layers
+            .iter()
+            .map(|layer| Ok((*layer, self.segment(&shard_file(layer.gen, shard))?)))
+            .collect()
+    }
+
     /// Decodes one independent (index, corpus) pair from the loaded
     /// bytes. Callable any number of times; each call allocates fresh
     /// structures.
     pub fn decode(&self) -> Result<(NcxIndex, DocumentStore), StoreError> {
-        // ---- concept shards ----
+        // ---- concept shards, layered ----
         let mut concept_postings: FxHashMap<ConceptId, Vec<ConceptPosting>> = FxHashMap::default();
         let mut total_postings = 0u64;
         for i in 0..self.shards {
-            let segment = self.segment(&shard_file(i))?;
-            let mut cursor = ShardCursor::new(segment)?;
-            while let Some((concept, count)) = cursor.next_concept()? {
-                if shard_of(u64::from(concept.raw()), self.shards) != i {
-                    return Err(StoreError::corrupt(
-                        segment.name(),
-                        format!("concept {} does not belong to shard {i}", concept.raw()),
-                    ));
-                }
-                let mut list = Vec::with_capacity(count);
-                while let Some(posting) = cursor.next_posting()? {
-                    if posting.doc.index() >= self.num_docs {
-                        return Err(StoreError::corrupt(
-                            segment.name(),
-                            format!("doc id {} out of range", posting.doc.raw()),
-                        ));
-                    }
-                    list.push(posting);
-                }
-                total_postings += list.len() as u64;
-                if concept_postings.insert(concept, list).is_some() {
-                    return Err(StoreError::corrupt(
-                        segment.name(),
-                        format!("concept {} appears twice", concept.raw()),
-                    ));
-                }
-            }
-            cursor.finish()?;
+            let (map, count) = decode_shard(i, self.shards, self.num_docs, &self.shard_layers(i)?)?;
+            total_postings += count;
+            // Shard membership was verified per entry, so the per-shard
+            // maps are disjoint and extend cannot lose a list.
+            concept_postings.extend(map);
         }
         if Some(total_postings) != self.num_postings {
             return Err(StoreError::corrupt(
@@ -312,26 +658,7 @@ impl LoadedSnapshot {
             ));
         }
 
-        // ---- per-document concept lists ----
-        let doc_concepts = read_doclists(self.segment(DOCLISTS_FILE)?, self.num_docs)?;
-
-        // ---- entity index and document store ----
-        let entity_index = read_entity_index(self.segment(ENTITIES_FILE)?)?;
-        let store = read_docstore(self.segment(DOCSTORE_FILE)?)?;
-
-        // Cross-segment consistency: every view must agree on corpus size.
-        for (what, n) in [
-            ("doclists.seg documents", doc_concepts.len()),
-            ("entities.seg documents", entity_index.num_docs()),
-            ("docstore.seg documents", store.len()),
-        ] {
-            if n != self.num_docs {
-                return Err(StoreError::Incompatible {
-                    detail: format!("{what}: {n}, manifest num_docs: {}", self.num_docs),
-                });
-            }
-        }
-
+        let (doc_concepts, entity_index, store) = self.decode_docs()?;
         let index = NcxIndex::from_parts(
             entity_index,
             concept_postings,
@@ -341,16 +668,242 @@ impl LoadedSnapshot {
         );
         Ok((index, store))
     }
+
+    /// Decodes the corpus but leaves the concept shards as verified
+    /// bytes behind a [`LazyConceptShards`] table — each shard
+    /// materialises on first touch. Consumes the loaded snapshot (the
+    /// shard segments move into the index).
+    pub fn decode_lazy(mut self) -> Result<(NcxIndex, DocumentStore), StoreError> {
+        let (doc_concepts, entity_index, store) = self.decode_docs()?;
+        // The lazy table fulfils `num_postings`/`num_indexed_concepts`
+        // from the manifest stats instead of a full decode, so they are
+        // required here (every writer records them).
+        let remaining_postings = self.num_postings.ok_or_else(|| {
+            StoreError::corrupt(ncx_store::MANIFEST_NAME, "missing stat num_postings")
+        })? as usize;
+        let remaining_concepts = self.num_indexed_concepts.ok_or_else(|| {
+            StoreError::corrupt(
+                ncx_store::MANIFEST_NAME,
+                "missing stat num_indexed_concepts",
+            )
+        })? as usize;
+        let mut layers: Vec<Vec<(GenLayer, Segment)>> = Vec::with_capacity(self.shards as usize);
+        for i in 0..self.shards {
+            let mut stack = Vec::with_capacity(self.layers.len());
+            for layer in &self.layers {
+                let name = shard_file(layer.gen, i);
+                let seg = self
+                    .segments
+                    .remove(&name)
+                    .ok_or(StoreError::MissingFile { file: name })?;
+                stack.push((*layer, seg));
+            }
+            layers.push(stack);
+        }
+        let lazy = LazyConceptShards {
+            shards: self.shards,
+            num_docs: self.num_docs,
+            layers,
+            decoded: (0..self.shards).map(|_| OnceLock::new()).collect(),
+            drained: vec![false; self.shards as usize],
+            remaining_concepts,
+            remaining_postings,
+        };
+        let index = NcxIndex::from_parts_lazy(
+            entity_index,
+            lazy,
+            doc_concepts,
+            self.timing,
+            self.walk_stats,
+        );
+        Ok((index, store))
+    }
+}
+
+/// Decodes one concept shard across the generation stack into a merged
+/// posting map, enforcing per-segment invariants: strictly ascending
+/// concept ids, shard membership, and doc ids confined to the owning
+/// generation's `[start, start + docs)` range — which is what makes
+/// cross-generation concatenation provably sorted. Returns the map and
+/// the posting count.
+#[allow(clippy::type_complexity)]
+fn decode_shard(
+    shard: u32,
+    shards: u32,
+    num_docs: usize,
+    layers: &[(GenLayer, &Segment)],
+) -> Result<(FxHashMap<ConceptId, Vec<ConceptPosting>>, u64), StoreError> {
+    debug_assert!(num_docs >= layers.iter().map(|(l, _)| l.docs).sum::<usize>());
+    let mut map: FxHashMap<ConceptId, Vec<ConceptPosting>> = FxHashMap::default();
+    let mut total = 0u64;
+    for (layer, segment) in layers {
+        let mut cursor = ShardCursor::new(segment)?;
+        let mut prev_concept: Option<u32> = None;
+        while let Some((concept, count)) = cursor.next_concept()? {
+            if prev_concept.is_some_and(|p| p >= concept.raw()) {
+                return Err(StoreError::corrupt(
+                    segment.name(),
+                    format!("concept {} out of order within its shard", concept.raw()),
+                ));
+            }
+            prev_concept = Some(concept.raw());
+            if shard_of(u64::from(concept.raw()), shards) != shard {
+                return Err(StoreError::corrupt(
+                    segment.name(),
+                    format!("concept {} does not belong to shard {shard}", concept.raw()),
+                ));
+            }
+            let list = map.entry(concept).or_default();
+            list.reserve(count);
+            while let Some(posting) = cursor.next_posting()? {
+                let d = posting.doc.index();
+                if d < layer.start || d >= layer.start + layer.docs {
+                    return Err(StoreError::corrupt(
+                        segment.name(),
+                        format!(
+                            "doc id {} outside generation {} range [{}, {})",
+                            posting.doc.raw(),
+                            layer.gen,
+                            layer.start,
+                            layer.start + layer.docs
+                        ),
+                    ));
+                }
+                list.push(posting);
+                total += 1;
+            }
+        }
+        cursor.finish()?;
+    }
+    Ok((map, total))
+}
+
+/// Concept-posting shards held as verified bytes, decoded on first
+/// touch — the lazy half of [`open_snapshot_lazy`].
+///
+/// Shards decode through a per-shard [`OnceLock`], so concurrent
+/// readers pay the decode once and the table stays shareable across
+/// threads (`&NcExplorer` from many sessions). Streaming ingest
+/// **drains** a shard before appending to it — the decoded map moves
+/// into the index's eager table, keeping the two views disjoint.
+///
+/// Every byte was already length- and checksum-verified at open, so a
+/// decode failure on first touch means a buggy or adversarial snapshot
+/// writer rather than bit rot; the lazy path treats it as a **panic**
+/// (the eager [`open_snapshot`] reports the same condition as a typed
+/// error up front — use it for untrusted snapshots).
+#[derive(Debug)]
+pub struct LazyConceptShards {
+    shards: u32,
+    num_docs: usize,
+    /// `[shard][layer]` — each shard's generation stack, oldest first.
+    layers: Vec<Vec<(GenLayer, Segment)>>,
+    decoded: Vec<OnceLock<FxHashMap<ConceptId, Vec<ConceptPosting>>>>,
+    drained: Vec<bool>,
+    remaining_concepts: usize,
+    remaining_postings: usize,
+}
+
+impl LazyConceptShards {
+    /// The snapshot's shard count.
+    pub(crate) fn shard_count(&self) -> u32 {
+        self.shards
+    }
+
+    /// Indexed concepts not yet moved into the eager table.
+    pub(crate) fn remaining_concepts(&self) -> usize {
+        self.remaining_concepts
+    }
+
+    /// Postings not yet moved into the eager table.
+    pub(crate) fn remaining_postings(&self) -> usize {
+        self.remaining_postings
+    }
+
+    /// Whether `shard` was drained into the eager table by an ingest.
+    pub(crate) fn is_drained(&self, shard: u32) -> bool {
+        self.drained[shard as usize]
+    }
+
+    /// Shards already materialised (decoded or drained) — observability
+    /// for tests and diagnostics.
+    pub fn materialized_shards(&self) -> usize {
+        self.decoded
+            .iter()
+            .zip(&self.drained)
+            .filter(|(cell, &drained)| drained || cell.get().is_some())
+            .count()
+    }
+
+    /// The decoded map of `shard`, materialising it on first touch.
+    fn force(&self, shard: u32) -> &FxHashMap<ConceptId, Vec<ConceptPosting>> {
+        self.decoded[shard as usize].get_or_init(|| {
+            let refs: Vec<(GenLayer, &Segment)> = self.layers[shard as usize]
+                .iter()
+                .map(|(layer, seg)| (*layer, seg))
+                .collect();
+            match decode_shard(shard, self.shards, self.num_docs, &refs) {
+                Ok((map, _)) => map,
+                Err(e) => panic!(
+                    "lazy decode of concept shard {shard} failed on checksummed bytes \
+                     (snapshot writer bug or adversarial input — use the eager open \
+                     for untrusted snapshots): {e}"
+                ),
+            }
+        })
+    }
+
+    /// Postings of `c`, decoding its shard on first touch. A drained
+    /// shard answers from the eager table instead (the caller checks it
+    /// first), so this returns empty for drained shards.
+    pub(crate) fn postings(&self, c: ConceptId) -> &[ConceptPosting] {
+        let shard = shard_of(u64::from(c.raw()), self.shards);
+        if self.is_drained(shard) {
+            return &[];
+        }
+        self.force(shard).get(&c).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Moves `shard`'s decoded map out for the eager table (streaming
+    /// ingest appends there). Idempotent: an already-drained shard
+    /// yields an empty map.
+    pub(crate) fn drain(&mut self, shard: u32) -> FxHashMap<ConceptId, Vec<ConceptPosting>> {
+        if self.is_drained(shard) {
+            return FxHashMap::default();
+        }
+        self.force(shard);
+        let map = self.decoded[shard as usize].take().unwrap_or_default();
+        self.drained[shard as usize] = true;
+        // Saturating: the counters derive from manifest stats, which a
+        // hostile writer controls — never panic over bookkeeping.
+        self.remaining_concepts = self.remaining_concepts.saturating_sub(map.len());
+        self.remaining_postings = self
+            .remaining_postings
+            .saturating_sub(map.values().map(Vec::len).sum());
+        map
+    }
+
+    /// Concepts living in not-yet-drained shards (forces their decode).
+    pub(crate) fn undrained_concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        (0..self.shards)
+            .filter(|&s| !self.is_drained(s))
+            .flat_map(|s| self.force(s).keys().copied())
+    }
 }
 
 fn stat_duration(manifest: &ncx_store::Manifest, key: &str) -> Duration {
     Duration::from_nanos(manifest.stat(key).unwrap_or(0))
 }
 
-fn read_doclists(
+/// Decodes one (base or delta) doclists segment **onto** `out`,
+/// appending `expected_docs` per-document concept lists in doc-id
+/// order — replaying generations oldest-first reconstructs the
+/// monolithic vector.
+fn read_doclists_into(
     segment: &Segment,
-    num_docs: usize,
-) -> Result<Vec<Vec<(ConceptId, f64)>>, StoreError> {
+    expected_docs: usize,
+    out: &mut Vec<Vec<(ConceptId, f64)>>,
+) -> Result<(), StoreError> {
     if segment.kind() != SEGMENT_KIND_DOCLISTS {
         return Err(StoreError::corrupt(
             segment.name(),
@@ -360,15 +913,13 @@ fn read_doclists(
     let mut v = segment.view();
     // Each document contributes at least its 1-byte count varint.
     let n = v.get_count(v.remaining() as u64)?;
-    if n != num_docs {
-        // Caught again by the cross-segment check, but failing here keeps
-        // the error anchored to the offending file.
+    if n != expected_docs {
         return Err(StoreError::corrupt(
             segment.name(),
-            format!("segment holds {n} documents, manifest says {num_docs}"),
+            format!("segment holds {n} documents, generation declares {expected_docs}"),
         ));
     }
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
     for _ in 0..n {
         let m = v.get_count(v.remaining() as u64 / MIN_DOCLIST_ITEM_BYTES)?;
         let mut list = Vec::with_capacity(m);
@@ -391,7 +942,7 @@ fn read_doclists(
         out.push(list);
     }
     v.finish()?;
-    Ok(out)
+    Ok(())
 }
 
 /// Zero-copy streaming reader over one concept-posting shard: decodes
@@ -526,6 +1077,16 @@ mod tests {
     }
 
     #[test]
+    fn generation_file_names() {
+        assert_eq!(shard_file(0, 3), "concepts-003.seg");
+        assert_eq!(shard_file(2, 3), "concepts-g002-003.seg");
+        assert_eq!(doclists_file(0), "doclists.seg");
+        assert_eq!(doclists_file(12), "doclists-g012.seg");
+        assert_eq!(entities_file(1), "entities-g001.seg");
+        assert_eq!(docstore_file(1), "docstore-g001.seg");
+    }
+
+    #[test]
     fn shard_cursor_streams_exact_postings() {
         let lists = vec![
             (
@@ -620,6 +1181,123 @@ mod tests {
     }
 
     #[test]
+    fn layered_shard_decode_matches_monolithic() {
+        // An index split at an arbitrary doc boundary and encoded as
+        // base + delta must decode to exactly the monolithic map —
+        // score bits included.
+        let c = 4u32; // any id; single-shard layout below
+        let full = vec![(
+            c,
+            vec![
+                posting(0, 0.75),
+                posting(2, 0.5),
+                posting(3, 1.25),
+                posting(5, f64::MIN_POSITIVE),
+            ],
+        )];
+        let index = NcxIndex::from_raw_postings(
+            6,
+            full.iter()
+                .map(|(c, v)| (ConceptId::new(*c), v.clone()))
+                .collect(),
+        );
+        let monolithic = {
+            let seg = shard_with(&full);
+            let layers = [(
+                GenLayer {
+                    gen: 0,
+                    start: 0,
+                    docs: 6,
+                },
+                &seg,
+            )];
+            decode_shard(0, 1, 6, &layers).unwrap()
+        };
+
+        // Split at doc 3: base holds docs [0, 3), delta holds [3, 6).
+        let encode_range = |first_doc: usize| {
+            let postings = index.postings(ConceptId::new(c));
+            let split = postings.partition_point(|p| p.doc.index() < first_doc);
+            shard_with(&[(c, postings[split..].to_vec())])
+        };
+        let base = encode_range(0);
+        let base = {
+            // Re-encode the base as only docs [0, 3).
+            let postings: Vec<ConceptPosting> = index
+                .postings(ConceptId::new(c))
+                .iter()
+                .filter(|p| p.doc.index() < 3)
+                .copied()
+                .collect();
+            drop(base);
+            shard_with(&[(c, postings)])
+        };
+        let delta = encode_range(3);
+        let layers = [
+            (
+                GenLayer {
+                    gen: 0,
+                    start: 0,
+                    docs: 3,
+                },
+                &base,
+            ),
+            (
+                GenLayer {
+                    gen: 1,
+                    start: 3,
+                    docs: 3,
+                },
+                &delta,
+            ),
+        ];
+        let layered = decode_shard(0, 1, 6, &layers).unwrap();
+        assert_eq!(layered.1, monolithic.1);
+        let (a, b) = (&layered.0, &monolithic.0);
+        assert_eq!(a.len(), b.len());
+        for (k, v) in a {
+            assert_eq!(v, &b[k], "layered postings diverged for concept {k:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_generation_docs_are_corrupt() {
+        // A delta generation claiming docs outside its [start, start+docs)
+        // window must be refused — the sortedness of the merged lists
+        // depends on it.
+        let seg = shard_with(&[(4u32, vec![posting(1, 1.0)])]);
+        let layers = [(
+            GenLayer {
+                gen: 1,
+                start: 3,
+                docs: 2,
+            },
+            &seg,
+        )];
+        assert!(matches!(
+            decode_shard(0, 1, 5, &layers),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn unsorted_concepts_in_a_shard_are_corrupt() {
+        let seg = shard_with(&[(9u32, vec![posting(0, 1.0)]), (4u32, vec![posting(1, 1.0)])]);
+        let layers = [(
+            GenLayer {
+                gen: 0,
+                start: 0,
+                docs: 2,
+            },
+            &seg,
+        )];
+        assert!(matches!(
+            decode_shard(0, 1, 2, &layers),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
     fn absurd_declared_counts_are_corrupt_not_allocations() {
         // A crafted shard declaring trillions of concepts (or postings)
         // must be refused by the bytes-available bound before any
@@ -647,7 +1325,7 @@ mod tests {
         seg.put_varint(1 << 40);
         let segment = Segment::from_bytes("doclists.seg", seg.into_bytes()).unwrap();
         assert!(matches!(
-            read_doclists(&segment, 1 << 40),
+            read_doclists_into(&segment, 1 << 40, &mut Vec::new()),
             Err(StoreError::Corrupt { .. })
         ));
     }

@@ -36,10 +36,19 @@ const MIN_ARTICLE_BYTES: u64 = 7;
 
 /// Encodes the entity index into a fresh segment.
 pub fn write_entity_index(index: &EntityIndex) -> SegmentWriter {
+    write_entity_index_from(index, 0)
+}
+
+/// Encodes the entity bags of documents `[first_doc, num_docs)` into a
+/// fresh segment — the delta-generation encoder. The full encoding is
+/// the `first_doc == 0` case, so base and delta segments share one wire
+/// format (each holds a doc count followed by that many bags).
+pub fn write_entity_index_from(index: &EntityIndex, first_doc: usize) -> SegmentWriter {
     let mut w = SegmentWriter::new(SEGMENT_KIND_ENTITIES);
     let n = index.num_docs();
-    w.put_varint(n as u64);
-    for i in 0..n {
+    assert!(first_doc <= n, "first_doc {first_doc} beyond corpus {n}");
+    w.put_varint((n - first_doc) as u64);
+    for i in first_doc..n {
         let ents = index.entities_of(DocId::from_index(i));
         w.put_varint(ents.len() as u64);
         let mut prev = 0u32;
@@ -56,11 +65,33 @@ pub fn write_entity_index(index: &EntityIndex) -> SegmentWriter {
 /// Decodes an entity index from its segment, rebuilding the postings
 /// deterministically in doc-id order.
 pub fn read_entity_index(segment: &Segment) -> Result<EntityIndex, StoreError> {
+    let mut index = EntityIndex::new();
+    read_entity_index_into(segment, &mut index, None)?;
+    Ok(index)
+}
+
+/// Decodes one (base or delta) entity segment **onto** an existing
+/// index: bags append in doc-id order, continuing the id sequence, so
+/// replaying generations oldest-first reconstructs the monolithic
+/// index — term weights included. `expected_docs`, when given, pins the
+/// segment's doc count to the manifest's generation entry.
+pub fn read_entity_index_into(
+    segment: &Segment,
+    index: &mut EntityIndex,
+    expected_docs: Option<u64>,
+) -> Result<(), StoreError> {
     expect_kind(segment, SEGMENT_KIND_ENTITIES)?;
     let mut v = segment.view();
     // Each document contributes at least its 1-byte count varint.
     let n = v.get_count(v.remaining() as u64)?;
-    let mut index = EntityIndex::new();
+    if let Some(expected) = expected_docs {
+        if n as u64 != expected {
+            return Err(StoreError::corrupt(
+                segment.name(),
+                format!("segment holds {n} docs, generation declares {expected}"),
+            ));
+        }
+    }
     let mut counts: FxHashMap<InstanceId, u32> = FxHashMap::default();
     for _ in 0..n {
         counts.clear();
@@ -84,14 +115,22 @@ pub fn read_entity_index(segment: &Segment) -> Result<EntityIndex, StoreError> {
         index.add_document(&counts);
     }
     v.finish()?;
-    Ok(index)
+    Ok(())
 }
 
 /// Encodes the document store into a fresh segment.
 pub fn write_docstore(store: &DocumentStore) -> SegmentWriter {
+    write_docstore_from(store, 0)
+}
+
+/// Encodes the articles `[first_doc, len)` into a fresh segment — the
+/// delta-generation encoder (see [`write_entity_index_from`]).
+pub fn write_docstore_from(store: &DocumentStore, first_doc: usize) -> SegmentWriter {
     let mut w = SegmentWriter::new(SEGMENT_KIND_DOCSTORE);
-    w.put_varint(store.len() as u64);
-    for article in store.iter() {
+    let n = store.len();
+    assert!(first_doc <= n, "first_doc {first_doc} beyond store {n}");
+    w.put_varint((n - first_doc) as u64);
+    for article in store.iter().skip(first_doc) {
         w.put_u8(source_tag(article.source));
         w.put_len_str(&article.title);
         w.put_len_str(&article.body);
@@ -102,10 +141,31 @@ pub fn write_docstore(store: &DocumentStore) -> SegmentWriter {
 
 /// Decodes a document store from its segment.
 pub fn read_docstore(segment: &Segment) -> Result<DocumentStore, StoreError> {
+    let mut store = DocumentStore::new();
+    read_docstore_into(segment, &mut store, None)?;
+    Ok(store)
+}
+
+/// Decodes one (base or delta) docstore segment **onto** an existing
+/// store, appending articles in insertion order so doc ids continue the
+/// sequence. `expected_docs`, when given, pins the segment's article
+/// count to the manifest's generation entry.
+pub fn read_docstore_into(
+    segment: &Segment,
+    store: &mut DocumentStore,
+    expected_docs: Option<u64>,
+) -> Result<(), StoreError> {
     expect_kind(segment, SEGMENT_KIND_DOCSTORE)?;
     let mut v = segment.view();
     let n = v.get_count(v.remaining() as u64 / MIN_ARTICLE_BYTES)?;
-    let mut store = DocumentStore::new();
+    if let Some(expected) = expected_docs {
+        if n as u64 != expected {
+            return Err(StoreError::corrupt(
+                segment.name(),
+                format!("segment holds {n} articles, generation declares {expected}"),
+            ));
+        }
+    }
     for _ in 0..n {
         let tag = v.get_u8()?;
         let source = source_from_tag(tag)
@@ -116,7 +176,7 @@ pub fn read_docstore(segment: &Segment) -> Result<DocumentStore, StoreError> {
         store.add(source, title, body, published);
     }
     v.finish()?;
-    Ok(store)
+    Ok(())
 }
 
 fn expect_kind(segment: &Segment, kind: u16) -> Result<(), StoreError> {
@@ -212,6 +272,66 @@ mod tests {
             assert_eq!(a.body, b.body);
             assert_eq!(a.published, b.published);
         }
+    }
+
+    #[test]
+    fn split_generations_replay_to_the_monolithic_encoding() {
+        // Encoding docs [0,2) + [2,n) and replaying the two segments
+        // must equal decoding the single full segment — the invariant
+        // the layered snapshot open relies on.
+        let mut idx = EntityIndex::new();
+        idx.add_document(&counts(&[(0, 3), (7, 1)]));
+        idx.add_document(&counts(&[(7, 5)]));
+        idx.add_document(&counts(&[(2, 2), (9, 4)]));
+        let base = seal(write_entity_index_from(&idx, 0), "e0.seg");
+        // Truncated re-encode of the first two docs only.
+        let mut first_two = EntityIndex::new();
+        first_two.add_document(&counts(&[(0, 3), (7, 1)]));
+        first_two.add_document(&counts(&[(7, 5)]));
+        let gen0 = seal(write_entity_index_from(&first_two, 0), "e-g0.seg");
+        let gen1 = seal(write_entity_index_from(&idx, 2), "e-g1.seg");
+
+        let mono = read_entity_index(&base).unwrap();
+        let mut layered = EntityIndex::new();
+        read_entity_index_into(&gen0, &mut layered, Some(2)).unwrap();
+        read_entity_index_into(&gen1, &mut layered, Some(1)).unwrap();
+        assert_eq!(layered.num_docs(), mono.num_docs());
+        for i in 0..mono.num_docs() {
+            let d = DocId::from_index(i);
+            assert_eq!(layered.entities_of(d), mono.entities_of(d));
+        }
+
+        // A declared generation size that disagrees is typed corruption.
+        let gen1 = seal(write_entity_index_from(&idx, 2), "e-g1.seg");
+        let mut bad = EntityIndex::new();
+        assert!(matches!(
+            read_entity_index_into(&gen1, &mut bad, Some(4)),
+            Err(StoreError::Corrupt { .. })
+        ));
+
+        let mut store = DocumentStore::new();
+        store.add(NewsSource::Nyt, "a".into(), "x".into(), 1);
+        store.add(NewsSource::Reuters, "b".into(), "y".into(), 2);
+        store.add(NewsSource::SeekingAlpha, "c".into(), "z".into(), 3);
+        let d0 = seal(write_docstore_from(&store, 0), "d.seg");
+        let mono = read_docstore(&d0).unwrap();
+        let mut first_one = DocumentStore::new();
+        first_one.add(NewsSource::Nyt, "a".into(), "x".into(), 1);
+        let g0 = seal(write_docstore_from(&first_one, 0), "d-g0.seg");
+        let g1 = seal(write_docstore_from(&store, 1), "d-g1.seg");
+        let mut layered = DocumentStore::new();
+        read_docstore_into(&g0, &mut layered, Some(1)).unwrap();
+        read_docstore_into(&g1, &mut layered, Some(2)).unwrap();
+        assert_eq!(layered.len(), mono.len());
+        for (a, b) in mono.iter().zip(layered.iter()) {
+            assert_eq!((a.id, a.published), (b.id, b.published));
+            assert_eq!(a.title, b.title);
+        }
+        let mut bad = DocumentStore::new();
+        assert!(matches!(
+            read_docstore_into(&g1, &mut bad, Some(9)),
+            Err(StoreError::Corrupt { .. })
+        ));
     }
 
     #[test]

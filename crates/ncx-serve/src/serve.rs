@@ -87,6 +87,10 @@ pub struct ServeStats {
     pub cache_invalidations: u64,
     /// Articles ingested through the server.
     pub ingested: u64,
+    /// Checkpoints run through [`NcxServe::checkpoint`].
+    pub checkpoints: u64,
+    /// Checkpoints that also folded the generation stack (compaction).
+    pub compactions: u64,
 }
 
 /// The concurrent session multiplexer. See the module docs for the
@@ -101,6 +105,8 @@ pub struct NcxServe {
     rejected_overload: AtomicU64,
     rejected_deadline: AtomicU64,
     ingested: AtomicU64,
+    checkpoints: AtomicU64,
+    compactions: AtomicU64,
 }
 
 impl NcxServe {
@@ -130,6 +136,8 @@ impl NcxServe {
             rejected_overload: AtomicU64::new(0),
             rejected_deadline: AtomicU64::new(0),
             ingested: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
         }
     }
 
@@ -277,6 +285,30 @@ impl NcxServe {
         assigned.expect("at least one replica")
     }
 
+    /// Persists the ingest backlog to `dir` as an append-only delta
+    /// generation via [`NcExplorer::checkpoint`] — bootstrapping a full
+    /// snapshot when `dir` holds none, and folding the generation stack
+    /// when it exceeds the engine's
+    /// [`StoreConfig::max_generations`](ncx_core::StoreConfig) — under
+    /// a **read** lock on one replica, so queries on the other replicas
+    /// keep flowing while the flush runs. Replicas are bit-for-bit
+    /// interchangeable, so any one of them is a faithful source.
+    ///
+    /// Call this from the ingest path at whatever durability cadence
+    /// the deployment wants (every article, every N, or on a timer);
+    /// a checkpoint with no backlog is a cheap no-op.
+    pub fn checkpoint(
+        &self,
+        dir: impl AsRef<Path>,
+    ) -> Result<ncx_core::CheckpointOutcome, StoreError> {
+        let outcome = self.replicas[0].read().checkpoint(dir)?;
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        if outcome.compacted {
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(outcome)
+    }
+
     /// Runs a closure against one replica under its read lock — the
     /// escape hatch for read-only APIs the multiplexer doesn't wrap
     /// (explanations, diagnostics, document fetches).
@@ -294,6 +326,8 @@ impl NcxServe {
             cache_misses: self.cache.misses(),
             cache_invalidations: self.cache.invalidations(),
             ingested: self.ingested.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
         }
     }
 
@@ -513,6 +547,61 @@ mod tests {
         );
         let stats = serve.stats();
         assert_eq!(stats.rejected_overload + stats.rejected_deadline, 0);
+    }
+
+    #[test]
+    fn checkpoint_persists_ingest_and_compacts() {
+        let dir = std::env::temp_dir().join(format!("ncx_serve_checkpoint_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let serve = NcxServe::new(build_engine(), ServeConfig::default());
+
+        // The first checkpoint bootstraps a full snapshot.
+        let first = serve.checkpoint(&dir).unwrap();
+        assert_eq!(first.generation, Some(0));
+        assert_eq!(first.generations, 1);
+        assert!(!first.compacted);
+
+        // No backlog → cheap no-op.
+        let idle = serve.checkpoint(&dir).unwrap();
+        assert_eq!(idle.flushed_docs, 0);
+        assert_eq!(idle.generation, None);
+
+        // Ingest → checkpoint appends one delta generation per round
+        // until the stack exceeds max_generations; then it folds.
+        let max_generations = serve.with_engine(|e| e.config().store.max_generations);
+        let mut compacted = false;
+        for i in 0..=max_generations {
+            serve.ingest_article(
+                NewsSource::Reuters,
+                "wire",
+                "Another fraud case hit FTX today.",
+                3 + i,
+            );
+            let out = serve.checkpoint(&dir).unwrap();
+            assert_eq!(out.flushed_docs, 1);
+            compacted |= out.compacted;
+            assert!(
+                out.generations <= max_generations + 1,
+                "stack must stay bounded: {out:?}"
+            );
+        }
+        assert!(compacted, "the stack must have been folded at least once");
+        let stats = serve.stats();
+        assert_eq!(stats.checkpoints, 2 + u64::from(max_generations) + 1);
+        assert!(stats.compactions >= 1);
+
+        // A cold open of the checkpointed directory serves the ingested
+        // articles identically to the live server.
+        let kg = serve.with_engine(|e| e.kg_handle());
+        let config = serve.with_engine(|e| e.config().clone());
+        let cold = NcxServe::open_replicas(&dir, kg, config, 2, ServeConfig::default()).unwrap();
+        let q = cold.query(&["Crime"]).unwrap();
+        assert_eq!(
+            *cold.rollup(&q, 50).unwrap(),
+            *serve.rollup(&q, 50).unwrap(),
+            "checkpointed snapshot diverged from the live engine"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

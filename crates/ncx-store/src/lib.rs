@@ -9,16 +9,28 @@
 //!
 //! ```text
 //! snapshot-dir/
-//! ├── MANIFEST.ncx        text manifest: format version, corpus stats,
-//! │                       shard map, per-file checksums (written last,
-//! │                       so a crashed writer leaves no valid snapshot)
-//! ├── concepts-000.seg    concept-posting shard 0   (hash-partitioned)
-//! ├── …                   …
-//! ├── concepts-NNN.seg    concept-posting shard N−1
-//! ├── doclists.seg        per-document concept lists
-//! ├── entities.seg        per-document entity bags → entity postings
-//! └── docstore.seg        the article store
+//! ├── MANIFEST.ncx          text manifest: format version, corpus stats,
+//! │                         generation stack, shard map, per-file
+//! │                         checksums (written last / committed by
+//! │                         atomic rename, so a crashed writer leaves
+//! │                         no valid — or the previous valid — snapshot)
+//! ├── concepts-000.seg      concept-posting shard 0   (hash-partitioned)
+//! ├── …                     …
+//! ├── concepts-NNN.seg      concept-posting shard N−1
+//! ├── doclists.seg          per-document concept lists
+//! ├── entities.seg          per-document entity bags → entity postings
+//! ├── docstore.seg          the article store
+//! ├── concepts-gGGG-SSS.seg delta generation GGG, shard SSS (appended by
+//! ├── doclists-gGGG.seg     flush_delta; folded back into a single base
+//! ├── entities-gGGG.seg     by compaction)
+//! └── docstore-gGGG.seg
 //! ```
+//!
+//! A snapshot is a **stack of generations**: a base plus zero or more
+//! append-only deltas, replayed in ascending order on open. The manifest
+//! alone defines which generations are live — stray files from torn
+//! writes are inert. See [`snapshot`] for the crash-consistency
+//! protocol and [`fault`] for the injection hooks that prove it.
 //!
 //! The crate is deliberately **domain-agnostic**: it knows about
 //! segments, manifests, checksums and shard assignment, but not about
@@ -53,6 +65,7 @@
 
 pub mod checksum;
 pub mod error;
+pub mod fault;
 pub mod manifest;
 pub mod segment;
 pub mod snapshot;
@@ -60,6 +73,6 @@ pub mod varint;
 
 pub use checksum::fnv1a64;
 pub use error::StoreError;
-pub use manifest::{FileEntry, Manifest, FORMAT_VERSION, MANIFEST_NAME};
+pub use manifest::{FileEntry, GenerationEntry, Manifest, FORMAT_VERSION, MANIFEST_NAME};
 pub use segment::{SegView, Segment, SegmentWriter};
-pub use snapshot::{shard_of, Snapshot, SnapshotWriter};
+pub use snapshot::{shard_of, GenerationWriter, Snapshot, SnapshotWriter};

@@ -8,23 +8,37 @@
 //!   [`FORMAT_VERSION`] — the compatibility policy is "old readers never
 //!   misparse new snapshots");
 //! * the **shard count** of the concept-posting partition;
+//! * the **generation stack** (format v2): one `generation <gen> <docs>`
+//!   line per live layer, ascending, recording how many documents that
+//!   layer added — the base snapshot is one generation, and every
+//!   [`flush_delta`](https://docs.rs/) appends another;
 //! * free-form named **stats** (corpus size, posting counts, KG
 //!   fingerprint, build timings) as `stat <name> <u64>` lines;
-//! * the **file table** — every segment's name, kind, byte length and
-//!   whole-file FNV-1a64 checksum — which doubles as the shard map
-//!   (shard files carry their partition index in the name and their
-//!   kind tag in the table);
+//! * the **file table** — every segment's name, kind, owning generation,
+//!   byte length and whole-file FNV-1a64 checksum — which doubles as the
+//!   shard map (shard files carry their partition index in the name and
+//!   their kind tag in the table). Generation membership lives **only**
+//!   here: readers never discover layers by listing the directory, so a
+//!   stray file left by a torn flush or a foreign writer is inert;
 //! * a trailing checksum over the manifest's own bytes.
 //!
 //! The manifest is written **last** by the writer, so a crashed or
 //! interrupted save never leaves a directory that opens successfully.
+//! Format **v1** manifests (single implicit generation 0, four-column
+//! file lines) still parse; v2 readers normalise them to a one-entry
+//! generation stack.
 
 use crate::checksum::fnv1a64;
 use crate::error::{Result, StoreError};
 use std::collections::BTreeMap;
 
 /// Newest snapshot format this crate reads and the version it writes.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// * **v1** — monolithic: one implicit generation, `file` lines carry
+///   `name kind bytes checksum`.
+/// * **v2** — layered: explicit `generation` lines, `file` lines carry
+///   `name kind gen bytes checksum`.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// File name of the manifest inside a snapshot directory.
 pub const MANIFEST_NAME: &str = "MANIFEST.ncx";
@@ -38,10 +52,24 @@ pub struct FileEntry {
     pub name: String,
     /// Domain kind tag (must match the segment header).
     pub kind: u16,
+    /// Generation this file belongs to (0 for v1 manifests).
+    pub gen: u32,
     /// Exact byte length of the file.
     pub bytes: u64,
     /// FNV-1a64 over the complete file contents.
     pub checksum: u64,
+}
+
+/// One layer of the generation stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenerationEntry {
+    /// Generation number. Strictly ascending within a manifest; new
+    /// layers always take `max + 1`, so numbers are never reused even
+    /// after compaction drops old layers.
+    pub gen: u32,
+    /// Logical records (documents, for the NCX domain) this layer added
+    /// on top of everything below it.
+    pub docs: u64,
 }
 
 /// Parsed manifest contents.
@@ -49,9 +77,13 @@ pub struct FileEntry {
 pub struct Manifest {
     /// Snapshot format version.
     pub format_version: u32,
-    /// Number of concept-posting shards.
+    /// Number of concept-posting shards (identical for every generation).
     pub shards: u32,
-    /// Named statistics (corpus stats, KG fingerprint, timings).
+    /// The generation stack, ascending. v1 manifests parse to a single
+    /// entry `{gen: 0, docs: stat("num_docs")}`.
+    pub generations: Vec<GenerationEntry>,
+    /// Named statistics (corpus stats, KG fingerprint, timings). Stats
+    /// always describe the **whole layered snapshot**, not one layer.
     pub stats: BTreeMap<String, u64>,
     /// The file table, in writer order.
     pub files: Vec<FileEntry>,
@@ -68,23 +100,49 @@ impl Manifest {
         self.stats.get(name).copied()
     }
 
+    /// The highest live generation number.
+    pub fn max_gen(&self) -> u32 {
+        self.generations.iter().map(|g| g.gen).max().unwrap_or(0)
+    }
+
+    /// File entries belonging to one generation, in writer order.
+    pub fn files_of_gen(&self, gen: u32) -> impl Iterator<Item = &FileEntry> {
+        self.files.iter().filter(move |f| f.gen == gen)
+    }
+
     /// Serialises the manifest, appending the self-checksum line.
+    ///
+    /// Writes the layout matching `self.format_version`, so a v1
+    /// manifest round-trips byte-identically (generation info, which v1
+    /// cannot express, must be the single implicit `{0, num_docs}`).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut body = String::new();
         body.push_str(MAGIC_LINE);
         body.push('\n');
         body.push_str(&format!("format_version {}\n", self.format_version));
         body.push_str(&format!("shards {}\n", self.shards));
+        if self.format_version >= 2 {
+            for g in &self.generations {
+                body.push_str(&format!("generation {} {}\n", g.gen, g.docs));
+            }
+        }
         for (k, v) in &self.stats {
             debug_assert!(!k.contains(char::is_whitespace), "stat key {k:?}");
             body.push_str(&format!("stat {k} {v}\n"));
         }
         for f in &self.files {
             debug_assert!(!f.name.contains(char::is_whitespace), "file {:?}", f.name);
-            body.push_str(&format!(
-                "file {} {} {} {:016x}\n",
-                f.name, f.kind, f.bytes, f.checksum
-            ));
+            if self.format_version >= 2 {
+                body.push_str(&format!(
+                    "file {} {} {} {} {:016x}\n",
+                    f.name, f.kind, f.gen, f.bytes, f.checksum
+                ));
+            } else {
+                body.push_str(&format!(
+                    "file {} {} {} {:016x}\n",
+                    f.name, f.kind, f.bytes, f.checksum
+                ));
+            }
         }
         let mut out = body.into_bytes();
         let sum = fnv1a64(&out);
@@ -142,6 +200,7 @@ impl Manifest {
         }
 
         let mut shards = None;
+        let mut generations: Vec<GenerationEntry> = Vec::new();
         let mut stats = BTreeMap::new();
         let mut files = Vec::new();
         for line in text[..body_end].lines().skip(2) {
@@ -153,6 +212,21 @@ impl Manifest {
                         .and_then(|v| v.parse::<u32>().ok())
                         .ok_or_else(|| StoreError::corrupt(file, "bad shards line"))?;
                     shards = Some(v);
+                }
+                Some("generation") if format_version >= 2 => {
+                    let gen = parts.next().and_then(|v| v.parse::<u32>().ok());
+                    let docs = parts.next().and_then(|v| v.parse::<u64>().ok());
+                    match (gen, docs, parts.next()) {
+                        (Some(gen), Some(docs), None) => {
+                            generations.push(GenerationEntry { gen, docs });
+                        }
+                        _ => {
+                            return Err(StoreError::corrupt(
+                                file,
+                                format!("bad generation line: {line}"),
+                            ))
+                        }
+                    }
                 }
                 Some("stat") => {
                     let k = parts.next();
@@ -167,13 +241,19 @@ impl Manifest {
                 Some("file") => {
                     let name = parts.next();
                     let kind = parts.next().and_then(|v| v.parse::<u16>().ok());
+                    let gen = if format_version >= 2 {
+                        parts.next().and_then(|v| v.parse::<u32>().ok())
+                    } else {
+                        Some(0)
+                    };
                     let bytes = parts.next().and_then(|v| v.parse::<u64>().ok());
                     let checksum = parts.next().and_then(|h| u64::from_str_radix(h, 16).ok());
-                    match (name, kind, bytes, checksum, parts.next()) {
-                        (Some(name), Some(kind), Some(bytes), Some(checksum), None) => {
+                    match (name, kind, gen, bytes, checksum, parts.next()) {
+                        (Some(name), Some(kind), Some(gen), Some(bytes), Some(checksum), None) => {
                             files.push(FileEntry {
                                 name: name.to_string(),
                                 kind,
+                                gen,
                                 bytes,
                                 checksum,
                             });
@@ -187,9 +267,10 @@ impl Manifest {
                     }
                 }
                 Some(other) => {
-                    // Same-version strictness: within format version 1
-                    // every line kind is known; an unknown key means the
-                    // bytes are not what the writer produced.
+                    // Same-version strictness: within a known format
+                    // version every line kind is known; an unknown key
+                    // means the bytes are not what the writer produced.
+                    // (`generation` in a v1 manifest lands here too.)
                     return Err(StoreError::corrupt(
                         file,
                         format!("unknown manifest key: {other}"),
@@ -199,9 +280,35 @@ impl Manifest {
             }
         }
         let shards = shards.ok_or_else(|| StoreError::corrupt(file, "missing shards line"))?;
+        if format_version >= 2 {
+            if generations.is_empty() {
+                return Err(StoreError::corrupt(file, "v2 manifest has no generations"));
+            }
+            if !generations.windows(2).all(|w| w[0].gen < w[1].gen) {
+                return Err(StoreError::corrupt(
+                    file,
+                    "generation stack is not strictly ascending",
+                ));
+            }
+            for f in &files {
+                if !generations.iter().any(|g| g.gen == f.gen) {
+                    return Err(StoreError::corrupt(
+                        file,
+                        format!("file {} names unknown generation {}", f.name, f.gen),
+                    ));
+                }
+            }
+        } else {
+            // v1: one implicit base layer holding the whole corpus.
+            generations = vec![GenerationEntry {
+                gen: 0,
+                docs: stats.get("num_docs").copied().unwrap_or(0),
+            }];
+        }
         Ok(Self {
             format_version,
             shards,
+            generations,
             stats,
             files,
         })
@@ -216,6 +323,10 @@ mod tests {
         Manifest {
             format_version: FORMAT_VERSION,
             shards: 4,
+            generations: vec![
+                GenerationEntry { gen: 0, docs: 2900 },
+                GenerationEntry { gen: 3, docs: 100 },
+            ],
             stats: [("num_docs".to_string(), 3000), ("walks".to_string(), 12)]
                 .into_iter()
                 .collect(),
@@ -223,12 +334,14 @@ mod tests {
                 FileEntry {
                     name: "concepts-000.seg".into(),
                     kind: 1,
+                    gen: 0,
                     bytes: 1234,
                     checksum: 0xdead_beef_0bad_cafe,
                 },
                 FileEntry {
-                    name: "docstore.seg".into(),
+                    name: "docstore-g003.seg".into(),
                     kind: 4,
+                    gen: 3,
                     bytes: 99,
                     checksum: 7,
                 },
@@ -241,9 +354,32 @@ mod tests {
         let m = sample();
         let parsed = Manifest::parse(&m.to_bytes()).unwrap();
         assert_eq!(parsed, m);
-        assert_eq!(parsed.file("docstore.seg").unwrap().bytes, 99);
+        assert_eq!(parsed.file("docstore-g003.seg").unwrap().bytes, 99);
         assert_eq!(parsed.stat("num_docs"), Some(3000));
         assert_eq!(parsed.stat("missing"), None);
+        assert_eq!(parsed.max_gen(), 3);
+        assert_eq!(parsed.files_of_gen(3).count(), 1);
+    }
+
+    #[test]
+    fn v1_manifests_parse_with_an_implicit_generation() {
+        // Byte layout produced by the v1 writer: no generation lines,
+        // four-column file entries.
+        let mut v1 = sample();
+        v1.format_version = 1;
+        v1.generations = vec![GenerationEntry { gen: 0, docs: 3000 }];
+        for f in &mut v1.files {
+            f.gen = 0;
+        }
+        let bytes = v1.to_bytes();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(
+            !text.contains("generation"),
+            "v1 layout must not carry generation lines: {text}"
+        );
+        let parsed = Manifest::parse(&bytes).unwrap();
+        assert_eq!(parsed, v1, "v1 normalises to one implicit generation");
+        assert_eq!(parsed.to_bytes(), bytes, "v1 round-trips byte-identically");
     }
 
     #[test]
@@ -309,6 +445,66 @@ mod tests {
         let sum = fnv1a64(body.as_bytes());
         let m = format!("{body}manifest_checksum {sum:016x}\n").into_bytes();
         let err = Manifest::parse(&m).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+
+    /// Edits a serialised manifest and recomputes its self-checksum, so
+    /// only the edited field is at issue.
+    fn resign(bytes: &[u8], edit: impl FnOnce(&mut String)) -> Vec<u8> {
+        let text = String::from_utf8(bytes.to_vec()).unwrap();
+        let mut body = text
+            .rsplit_once("manifest_checksum")
+            .map(|(b, _)| b.to_string())
+            .unwrap();
+        edit(&mut body);
+        let sum = fnv1a64(body.as_bytes());
+        format!("{body}manifest_checksum {sum:016x}\n").into_bytes()
+    }
+
+    #[test]
+    fn generation_lines_in_v1_are_unknown_keys() {
+        let mut v1 = sample();
+        v1.format_version = 1;
+        v1.generations = vec![GenerationEntry { gen: 0, docs: 3000 }];
+        for f in &mut v1.files {
+            f.gen = 0;
+        }
+        let bad = resign(&v1.to_bytes(), |body| {
+            *body = body.replace("shards 4\n", "shards 4\ngeneration 0 3000\n");
+        });
+        let err = Manifest::parse(&bad).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn v2_without_generations_is_corrupt() {
+        let bad = resign(&sample().to_bytes(), |body| {
+            *body = body
+                .lines()
+                .filter(|l| !l.starts_with("generation "))
+                .map(|l| format!("{l}\n"))
+                .collect();
+        });
+        let err = Manifest::parse(&bad).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_generations_are_corrupt() {
+        let mut m = sample();
+        m.generations.swap(0, 1);
+        let err = Manifest::parse(&m.to_bytes()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn file_naming_a_dead_generation_is_corrupt() {
+        // A file claiming generation 7 while the stack holds {0, 3}: the
+        // signature of a torn compaction that lost its manifest update.
+        let bad = resign(&sample().to_bytes(), |body| {
+            *body = body.replace("file docstore-g003.seg 4 3 ", "file docstore-g003.seg 4 7 ");
+        });
+        let err = Manifest::parse(&bad).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
     }
 }

@@ -1,9 +1,32 @@
-//! Snapshot directories: the writer and the cold-open reader.
+//! Snapshot directories: the writers and the cold-open reader.
 //!
-//! [`SnapshotWriter`] owns the save protocol: segments are written
-//! first, the manifest **last** — so a crash mid-save leaves a directory
-//! without a valid manifest, which [`Snapshot::open`] refuses as
-//! [`StoreError::NotASnapshot`] instead of serving half an index.
+//! [`SnapshotWriter`] owns the **monolithic** save protocol: segments
+//! are written first, the manifest **last** — so a crash mid-save leaves
+//! a directory without a valid manifest, which [`Snapshot::open`]
+//! refuses as [`StoreError::NotASnapshot`] instead of serving half an
+//! index.
+//!
+//! [`GenerationWriter`] owns the **incremental** protocols — delta
+//! flush (append a generation) and compaction (replace the stack with a
+//! fresh base). Both must mutate a *live* snapshot without ever making
+//! it unopenable, so they follow a stricter discipline than the
+//! monolithic save:
+//!
+//! 1. every new segment is written to `<name>.tmp` and renamed into
+//!    place — fresh generation numbers mean no final name is ever
+//!    referenced by the current manifest;
+//! 2. the new manifest is written to `MANIFEST.ncx.tmp`, fsynced, and
+//!    `rename(2)`d over `MANIFEST.ncx` — the single atomic commit
+//!    point;
+//! 3. only **after** the rename does compaction delete superseded
+//!    generation files (a crash between commit and cleanup leaves
+//!    harmless strays, because generation membership comes solely from
+//!    the manifest — see [`Snapshot::stray_files`]).
+//!
+//! A crash anywhere before step 2 leaves the old manifest — the
+//! pre-operation corpus; anywhere after leaves the new one. Never a
+//! hybrid. `tests/crash.rs` proves this by sweeping an injected fault
+//! across every filesystem mutation (see [`crate::fault`]).
 //!
 //! [`Snapshot`] is the read side: it parses and integrity-checks the
 //! manifest on open (cheap — no segment is touched), then loads segments
@@ -14,10 +37,50 @@
 
 use crate::checksum::fnv1a64;
 use crate::error::{Result, StoreError};
-use crate::manifest::{FileEntry, Manifest, FORMAT_VERSION, MANIFEST_NAME};
+use crate::fault;
+use crate::manifest::{FileEntry, GenerationEntry, Manifest, FORMAT_VERSION, MANIFEST_NAME};
 use crate::segment::{Segment, SegmentWriter};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+
+/// Name of the manifest staging file used by the atomic-commit rename.
+const MANIFEST_TMP: &str = "MANIFEST.ncx.tmp";
+
+/// Fault-gated `std::fs::write`.
+fn fs_write(path: &Path, bytes: &[u8]) -> Result<()> {
+    fault::check("write")
+        .and_then(|()| std::fs::write(path, bytes))
+        .map_err(|e| StoreError::io(path, e))
+}
+
+/// Fault-gated write + fsync, for bytes that must be durable before a
+/// subsequent rename commits them (the v2 manifest).
+fn fs_write_sync(path: &Path, bytes: &[u8]) -> Result<()> {
+    let run = || -> std::io::Result<()> {
+        fault::check("write_sync")?;
+        let mut f = std::fs::File::create(path)?;
+        std::io::Write::write_all(&mut f, bytes)?;
+        f.sync_all()
+    };
+    run().map_err(|e| StoreError::io(path, e))
+}
+
+/// Fault-gated `std::fs::rename`.
+fn fs_rename(from: &Path, to: &Path) -> Result<()> {
+    fault::check("rename")
+        .and_then(|()| std::fs::rename(from, to))
+        .map_err(|e| StoreError::io(from, e))
+}
+
+/// Fault-gated `std::fs::remove_file`; a file already gone is fine
+/// (cleanup is idempotent across crash-retry cycles).
+fn fs_remove_file(path: &Path) -> Result<()> {
+    match fault::check("remove").and_then(|()| std::fs::remove_file(path)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(StoreError::io(path, e)),
+    }
+}
 
 /// Deterministic shard assignment for a partition key (concept ids on
 /// the write path). FNV-1a over the little-endian key bytes, reduced
@@ -40,6 +103,7 @@ pub fn shard_of(key: u64, shards: u32) -> u32 {
 pub struct SnapshotWriter {
     dir: PathBuf,
     shards: u32,
+    docs: u64,
     stats: BTreeMap<String, u64>,
     files: Vec<FileEntry>,
 }
@@ -49,7 +113,8 @@ impl SnapshotWriter {
     /// from a previous snapshot at the same path is removed up front, so
     /// the directory is never openable while this writer is mid-save —
     /// and so are stale `*.seg` files (a re-save with fewer shards must
-    /// not leave orphan segments no manifest references).
+    /// not leave orphan segments no manifest references) and `*.tmp`
+    /// staging files from interrupted incremental writers.
     pub fn create(dir: impl AsRef<Path>, shards: u32) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
@@ -60,13 +125,17 @@ impl SnapshotWriter {
         for entry in std::fs::read_dir(&dir).map_err(|e| StoreError::io(&dir, e))? {
             let entry = entry.map_err(|e| StoreError::io(&dir, e))?;
             let path = entry.path();
-            if path.extension().is_some_and(|ext| ext == "seg") {
+            if path
+                .extension()
+                .is_some_and(|ext| ext == "seg" || ext == "tmp")
+            {
                 std::fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))?;
             }
         }
         Ok(Self {
             dir,
             shards: shards.max(1),
+            docs: 0,
             stats: BTreeMap::new(),
             files: Vec::new(),
         })
@@ -80,6 +149,12 @@ impl SnapshotWriter {
     /// Records a named statistic for the manifest.
     pub fn set_stat(&mut self, name: impl Into<String>, value: u64) {
         self.stats.insert(name.into(), value);
+    }
+
+    /// Records how many logical records (documents) the snapshot holds —
+    /// the `docs` figure of its single base generation.
+    pub fn set_docs(&mut self, docs: u64) {
+        self.docs = docs;
     }
 
     /// Serialises a segment to `<dir>/<name>` and records it in the file
@@ -96,10 +171,11 @@ impl SnapshotWriter {
         let kind = segment.kind();
         let bytes = segment.into_bytes();
         let path = self.dir.join(name);
-        std::fs::write(&path, &bytes).map_err(|e| StoreError::io(&path, e))?;
+        fs_write(&path, &bytes)?;
         self.files.push(FileEntry {
             name: name.to_string(),
             kind,
+            gen: 0,
             bytes: bytes.len() as u64,
             checksum: fnv1a64(&bytes),
         });
@@ -112,13 +188,169 @@ impl SnapshotWriter {
         let manifest = Manifest {
             format_version: FORMAT_VERSION,
             shards: self.shards,
+            generations: vec![GenerationEntry {
+                gen: 0,
+                docs: self.docs,
+            }],
             stats: self.stats,
             files: self.files,
         };
         let path = self.dir.join(MANIFEST_NAME);
-        std::fs::write(&path, manifest.to_bytes()).map_err(|e| StoreError::io(&path, e))?;
+        fs_write(&path, &manifest.to_bytes())?;
         Ok(manifest)
     }
+}
+
+/// Whether a generation writer appends a layer or replaces the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GenMode {
+    /// Delta flush: the new generation stacks on top of the existing
+    /// ones; no existing file is touched.
+    Append,
+    /// Compaction: the new generation becomes the sole base; superseded
+    /// generation files are deleted after the manifest commit.
+    Replace,
+}
+
+/// Incremental writer over a **live** snapshot: appends a delta
+/// generation ([`Snapshot::append_generation`]) or replaces the whole
+/// stack with a compacted base ([`Snapshot::begin_compaction`]).
+///
+/// Unlike [`SnapshotWriter`], the directory stays openable at every
+/// instant: new segments land under fresh generation-numbered names via
+/// tmp-file + rename, and the updated manifest is committed by a single
+/// atomic `rename(2)`. Dropping the writer without calling
+/// [`finish`](Self::finish) aborts the operation — the old manifest
+/// still governs and any staged files are inert strays.
+#[derive(Debug)]
+pub struct GenerationWriter {
+    dir: PathBuf,
+    base: Manifest,
+    mode: GenMode,
+    gen: u32,
+    docs: u64,
+    stats: BTreeMap<String, u64>,
+    files: Vec<FileEntry>,
+}
+
+impl GenerationWriter {
+    /// The generation number this writer is producing (`max live + 1` —
+    /// numbers are never reused, so a torn compaction can never leave a
+    /// stale file that aliases a live name).
+    pub fn gen(&self) -> u32 {
+        self.gen
+    }
+
+    /// The shard count every generation of this snapshot uses.
+    pub fn shards(&self) -> u32 {
+        self.base.shards
+    }
+
+    /// Records a named statistic. Stats describe the **whole** layered
+    /// snapshot after this operation, not the one layer; they are seeded
+    /// from the current manifest, so callers only override what changed.
+    pub fn set_stat(&mut self, name: impl Into<String>, value: u64) {
+        self.stats.insert(name.into(), value);
+    }
+
+    /// Stages one segment of the new generation: writes `<name>.tmp`,
+    /// then renames it into place. The final name must be fresh — it is
+    /// a protocol bug (panic) to overwrite a file the live manifest
+    /// references.
+    pub fn write_segment(&mut self, name: &str, segment: SegmentWriter) -> Result<()> {
+        assert!(
+            !name.contains(char::is_whitespace) && !name.is_empty(),
+            "segment name {name:?} must be non-empty and whitespace-free"
+        );
+        assert!(
+            self.files.iter().all(|f| f.name != name),
+            "duplicate segment name {name:?}"
+        );
+        assert!(
+            self.base.file(name).is_none(),
+            "segment name {name:?} is referenced by the live manifest"
+        );
+        let kind = segment.kind();
+        let bytes = segment.into_bytes();
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let path = self.dir.join(name);
+        fs_write(&tmp, &bytes)?;
+        fs_rename(&tmp, &path)?;
+        self.files.push(FileEntry {
+            name: name.to_string(),
+            kind,
+            gen: self.gen,
+            bytes: bytes.len() as u64,
+            checksum: fnv1a64(&bytes),
+        });
+        Ok(())
+    }
+
+    /// Commits the new generation: writes the updated manifest to a
+    /// staging file, fsyncs it, and atomically renames it over
+    /// `MANIFEST.ncx`. In replace mode, superseded generation files and
+    /// stray `*.seg`/`*.tmp` files are deleted only **after** the rename
+    /// returns — a crash during cleanup leaves extra bytes on disk, never
+    /// a wrong answer.
+    pub fn finish(self) -> Result<Manifest> {
+        let entry = GenerationEntry {
+            gen: self.gen,
+            docs: self.docs,
+        };
+        let (generations, files) = match self.mode {
+            GenMode::Append => {
+                let mut generations = self.base.generations.clone();
+                generations.push(entry);
+                let mut files = self.base.files.clone();
+                files.extend(self.files.iter().cloned());
+                (generations, files)
+            }
+            GenMode::Replace => (vec![entry], self.files.clone()),
+        };
+        let manifest = Manifest {
+            format_version: FORMAT_VERSION,
+            shards: self.base.shards,
+            generations,
+            stats: self.stats,
+            files,
+        };
+        let tmp = self.dir.join(MANIFEST_TMP);
+        fs_write_sync(&tmp, &manifest.to_bytes())?;
+        fs_rename(&tmp, &self.dir.join(MANIFEST_NAME))?;
+        if self.mode == GenMode::Replace {
+            // The new manifest is durable; everything it does not list
+            // is garbage (old generations + strays from earlier crashes).
+            for name in list_unreferenced(&self.dir, &manifest)? {
+                fs_remove_file(&self.dir.join(&name))?;
+            }
+        }
+        Ok(manifest)
+    }
+}
+
+/// On-disk `*.seg` / `*.tmp` files a manifest does not reference,
+/// sorted. Used for reporting ([`Snapshot::stray_files`]) and for
+/// post-commit compaction cleanup — never for loading data.
+fn list_unreferenced(dir: &Path, manifest: &Manifest) -> Result<Vec<String>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| StoreError::io(dir, e))? {
+        let entry = entry.map_err(|e| StoreError::io(dir, e))?;
+        let path = entry.path();
+        if !path
+            .extension()
+            .is_some_and(|ext| ext == "seg" || ext == "tmp")
+        {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if manifest.file(name).is_none() {
+            out.push(name.to_string());
+        }
+    }
+    out.sort();
+    Ok(out)
 }
 
 /// An opened snapshot directory.
@@ -214,6 +446,50 @@ impl Snapshot {
         }
         Ok(())
     }
+
+    /// Starts a **delta flush**: a [`GenerationWriter`] that appends one
+    /// new generation holding `docs` records on top of the live stack.
+    /// Existing files are untouched; the flush becomes visible only at
+    /// [`GenerationWriter::finish`]. Flushing a v1 (monolithic) snapshot
+    /// upgrades its manifest to v2 at commit time.
+    pub fn append_generation(&self, docs: u64) -> Result<GenerationWriter> {
+        self.generation_writer(GenMode::Append, docs)
+    }
+
+    /// Starts a **compaction**: a [`GenerationWriter`] that replaces the
+    /// whole generation stack with a single fresh base of `docs`
+    /// records. Old generation files are removed only after the new
+    /// manifest is durable.
+    pub fn begin_compaction(&self, docs: u64) -> Result<GenerationWriter> {
+        self.generation_writer(GenMode::Replace, docs)
+    }
+
+    fn generation_writer(&self, mode: GenMode, docs: u64) -> Result<GenerationWriter> {
+        let gen = self
+            .manifest
+            .max_gen()
+            .checked_add(1)
+            .ok_or_else(|| StoreError::corrupt(MANIFEST_NAME, "generation counter overflow"))?;
+        Ok(GenerationWriter {
+            dir: self.dir.clone(),
+            base: self.manifest.clone(),
+            mode,
+            gen,
+            docs,
+            stats: self.manifest.stats.clone(),
+            files: Vec::new(),
+        })
+    }
+
+    /// `*.seg` / `*.tmp` files present in the directory but absent from
+    /// the manifest — leftovers of interrupted flushes/compactions or
+    /// foreign droppings. They are **never** read by any open path
+    /// (generation membership comes solely from the manifest); this
+    /// method exists so operators and the serving layer can report or
+    /// sweep them. Compaction removes them as part of its cleanup.
+    pub fn stray_files(&self) -> Result<Vec<String>> {
+        list_unreferenced(&self.dir, &self.manifest)
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +513,7 @@ mod tests {
         seg.put_u64(0x0123_4567_89ab_cdef);
         w.write_segment("b.seg", seg).unwrap();
         w.set_stat("num_docs", 17);
+        w.set_docs(17);
         w.finish().unwrap()
     }
 
@@ -390,6 +667,98 @@ mod tests {
         let snap = Snapshot::open(&dir).unwrap();
         assert!(snap.read_segment("a.seg").is_err());
         assert!(snap.read_segment("b.seg").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_generation_stacks_without_touching_the_base() {
+        let dir = temp_dir("gen_append");
+        write_sample(&dir); // a.seg + b.seg, gen 0
+        let base_a = std::fs::read(dir.join("a.seg")).unwrap();
+        let snap = Snapshot::open(&dir).unwrap();
+        let mut gw = snap.append_generation(5).unwrap();
+        assert_eq!(gw.gen(), 1);
+        assert_eq!(gw.shards(), 4);
+        let mut seg = SegmentWriter::new(1);
+        seg.put_varint(7);
+        gw.write_segment("a-g001.seg", seg).unwrap();
+        gw.set_stat("num_docs", 22);
+        gw.finish().unwrap();
+
+        let snap = Snapshot::open(&dir).unwrap();
+        snap.verify().unwrap();
+        let m = snap.manifest();
+        assert_eq!(m.format_version, FORMAT_VERSION);
+        assert_eq!(
+            m.generations,
+            vec![
+                GenerationEntry { gen: 0, docs: 17 },
+                GenerationEntry { gen: 1, docs: 5 },
+            ]
+        );
+        assert_eq!(m.stat("num_docs"), Some(22), "stats overridden");
+        assert_eq!(m.files_of_gen(1).count(), 1);
+        assert_eq!(
+            std::fs::read(dir.join("a.seg")).unwrap(),
+            base_a,
+            "delta flush must not rewrite base segments"
+        );
+        assert!(snap.stray_files().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn abandoned_generation_writer_leaves_the_old_manifest_governing() {
+        let dir = temp_dir("gen_abandon");
+        let base = write_sample(&dir);
+        let snap = Snapshot::open(&dir).unwrap();
+        let mut gw = snap.append_generation(3).unwrap();
+        gw.write_segment("orphan-g001.seg", SegmentWriter::new(1))
+            .unwrap();
+        drop(gw); // no finish(): simulated abort
+        let snap = Snapshot::open(&dir).unwrap();
+        assert_eq!(snap.manifest(), &base);
+        snap.verify().unwrap();
+        assert_eq!(
+            snap.stray_files().unwrap(),
+            vec!["orphan-g001.seg".to_string()],
+            "staged file is reported as a stray, never loaded"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_replaces_the_stack_and_sweeps_strays() {
+        let dir = temp_dir("gen_compact");
+        write_sample(&dir);
+        let snap = Snapshot::open(&dir).unwrap();
+        let mut gw = snap.append_generation(5).unwrap();
+        gw.write_segment("a-g001.seg", SegmentWriter::new(1))
+            .unwrap();
+        gw.finish().unwrap();
+        // A foreign stray and a torn tmp file, both to be swept.
+        std::fs::write(dir.join("concepts-g999-000.seg"), b"junk").unwrap();
+        std::fs::write(dir.join("half.seg.tmp"), b"junk").unwrap();
+
+        let snap = Snapshot::open(&dir).unwrap();
+        let mut cw = snap.begin_compaction(22).unwrap();
+        assert_eq!(cw.gen(), 2, "compaction takes a fresh number");
+        let mut seg = SegmentWriter::new(1);
+        seg.put_varint(9);
+        cw.write_segment("a-g002.seg", seg).unwrap();
+        cw.set_stat("num_docs", 22);
+        cw.finish().unwrap();
+
+        let snap = Snapshot::open(&dir).unwrap();
+        snap.verify().unwrap();
+        let m = snap.manifest();
+        assert_eq!(m.generations, vec![GenerationEntry { gen: 2, docs: 22 }]);
+        assert_eq!(m.files.len(), 1);
+        for gone in ["a.seg", "b.seg", "a-g001.seg", "concepts-g999-000.seg"] {
+            assert!(!dir.join(gone).exists(), "{gone} should have been swept");
+        }
+        assert!(!dir.join("half.seg.tmp").exists());
+        assert!(snap.stray_files().unwrap().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

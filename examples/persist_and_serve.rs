@@ -46,7 +46,7 @@ fn main() {
 
     // 2. Persist. The snapshot directory holds a manifest plus
     //    checksummed segments; concept postings are hash-partitioned
-    //    into NcxConfig::snapshot_shards shard files.
+    //    into StoreConfig::snapshot_shards shard files.
     let dir = std::env::temp_dir().join("ncx_persist_and_serve");
     let _ = std::fs::remove_dir_all(&dir);
     let t = Instant::now();
@@ -111,5 +111,24 @@ fn main() {
         );
     }
     println!("\nserved bit-for-bit identical results from the snapshot.");
+
+    // 5. Stream new articles, then persist only the delta: a flush
+    //    appends a generation, the base segments are never rewritten.
+    //    Compaction folds the stack back into a single base.
+    let mut live = cold;
+    live.ingest("Prosecutors charged a second bank in the laundering case.");
+    let flush = live.flush_delta(&dir).expect("delta flush");
+    println!(
+        "\nflushed {} new doc(s) as generation {:?} ({} generations on disk)",
+        flush.flushed_docs, flush.generation, flush.generations
+    );
+    let fold = NcExplorer::compact(&dir, &kg).expect("compaction");
+    let reopened = NcExplorer::open(&dir, kg, live.config().clone()).expect("reopen");
+    assert_eq!(reopened.index().num_docs(), live.index().num_docs());
+    println!(
+        "compacted {} generations back into one; reopened with {} docs",
+        fold.generations_before,
+        reopened.index().num_docs()
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

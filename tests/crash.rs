@@ -1,0 +1,258 @@
+//! Crash-injection tests for the layered snapshot protocols.
+//!
+//! The contract under test: **every** interrupted flush, compaction, or
+//! bootstrap save leaves a directory that opens to exactly the
+//! pre-operation or post-operation corpus — never a hybrid, never a
+//! panic — and re-running the operation after the crash completes and
+//! lands on the post state.
+//!
+//! Mechanism: `ncx_store::fault` gates every filesystem mutation the
+//! snapshot writers perform (segment write, rename, manifest write,
+//! manifest rename, old-generation delete). The harness sweeps
+//! `arm(0), arm(1), …`, killing the operation after each successive
+//! fault point, and checks the directory left behind each time.
+//!
+//! Fault state is process-global, so these tests serialise through one
+//! mutex (and CI runs this binary with `--test-threads=1`).
+
+use ncexplorer::core::{NcExplorer, NcxConfig, Parallelism, StoreConfig};
+use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+use ncexplorer::kg::KnowledgeGraph;
+use ncexplorer::store::{fault, StoreError};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Generous upper bound on fault points per operation; the sweep exits
+/// as soon as the operation completes without exhausting its budget.
+const MAX_FAULT_POINTS: u64 = 500;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ncx_crash_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Snapshot directories are flat; a plain file copy reproduces them.
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+fn test_config() -> NcxConfig {
+    NcxConfig {
+        samples: 10,
+        parallelism: Parallelism::sequential(),
+        store: StoreConfig {
+            snapshot_shards: 3,
+            ..StoreConfig::default()
+        },
+        ..NcxConfig::default()
+    }
+}
+
+fn build_engine(articles: usize) -> (Arc<KnowledgeGraph>, NcExplorer) {
+    let kg = Arc::new(generate_kg(&KgGenConfig::default()));
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles,
+            seed: 42,
+            ..CorpusConfig::default()
+        },
+    );
+    let engine = NcExplorer::build(kg.clone(), corpus.store, test_config());
+    (kg, engine)
+}
+
+/// Exhaustive content fingerprint of an opened engine: corpus size,
+/// every posting's exact score bits, and the stored articles. Two
+/// directories with equal fingerprints serve identical answers.
+fn corpus_fingerprint(engine: &NcExplorer) -> String {
+    let mut s = String::new();
+    write!(s, "docs={};", engine.index().num_docs()).unwrap();
+    let mut concepts: Vec<_> = engine.index().indexed_concepts().collect();
+    concepts.sort_unstable();
+    for c in concepts {
+        write!(s, "c{}:", c.raw()).unwrap();
+        for p in engine.index().postings(c) {
+            write!(
+                s,
+                "{}/{:016x}/{:016x}/{:016x}/{};",
+                p.doc.raw(),
+                p.cdr.to_bits(),
+                p.cdro.to_bits(),
+                p.cdrc.to_bits(),
+                p.pivot.raw()
+            )
+            .unwrap();
+        }
+    }
+    for a in engine.store().iter() {
+        write!(s, "a:{}/{}/{};", a.title, a.body.len(), a.published).unwrap();
+    }
+    s
+}
+
+/// The observable state of a snapshot directory: its corpus fingerprint
+/// if it opens, the sentinel if it is (still / again) not a snapshot.
+/// Any other failure — a corrupt hybrid, a panic — fails the test.
+fn directory_state(dir: &Path, kg: &Arc<KnowledgeGraph>) -> String {
+    match NcExplorer::open(dir, kg.clone(), test_config()) {
+        Ok(engine) => corpus_fingerprint(&engine),
+        Err(StoreError::NotASnapshot { .. }) => "<no snapshot>".to_string(),
+        Err(e) => panic!("interrupted operation left an unreadable directory: {e}"),
+    }
+}
+
+/// Sweeps one snapshot operation: for each fault point in turn, restore
+/// the pristine pre-state, kill the operation at that point, and assert
+/// the survivor directory opens to the pre or post corpus — then that
+/// re-running the operation recovers to post. Returns once the
+/// operation completes without hitting its fault budget.
+fn sweep_operation(
+    tag: &str,
+    pristine: &Path,
+    kg: &Arc<KnowledgeGraph>,
+    pre: &str,
+    post: &str,
+    op: &dyn Fn(&Path) -> Result<(), StoreError>,
+) {
+    let work = temp_dir(&format!("{tag}_work"));
+    let mut injected = 0u64;
+    for fail_at in 0..MAX_FAULT_POINTS {
+        copy_dir(pristine, &work);
+        fault::arm(fail_at);
+        let result = op(&work);
+        let hits = fault::disarm();
+        match result {
+            Err(_) => {
+                injected += 1;
+                let state = directory_state(&work, kg);
+                assert!(
+                    state == pre || state == post,
+                    "{tag}: fault point {fail_at} left a hybrid directory"
+                );
+                // Crash-then-retry: the operation must be re-runnable on
+                // the survivor directory and land exactly on post.
+                op(&work).unwrap_or_else(|e| {
+                    panic!("{tag}: retry after fault point {fail_at} failed: {e}")
+                });
+                assert_eq!(
+                    directory_state(&work, kg),
+                    post,
+                    "{tag}: retry after fault point {fail_at} diverged from post"
+                );
+            }
+            Ok(()) => {
+                assert!(
+                    hits <= fail_at,
+                    "{tag}: operation claimed success with an exhausted fault budget"
+                );
+                assert_eq!(
+                    directory_state(&work, kg),
+                    post,
+                    "{tag}: un-faulted operation diverged from post"
+                );
+                assert!(
+                    injected > 0,
+                    "{tag}: sweep never injected a fault — gate not wired?"
+                );
+                std::fs::remove_dir_all(&work).ok();
+                return;
+            }
+        }
+    }
+    panic!("{tag}: operation did not complete within {MAX_FAULT_POINTS} fault points");
+}
+
+#[test]
+fn interrupted_bootstrap_save_never_half_opens() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    let (kg, engine) = build_engine(15);
+    let post = corpus_fingerprint(&engine);
+    let empty = temp_dir("save_pristine");
+    std::fs::create_dir_all(&empty).unwrap();
+    sweep_operation("save", &empty, &kg, "<no snapshot>", &post, &|dir| {
+        engine.save(dir)
+    });
+    std::fs::remove_dir_all(&empty).ok();
+}
+
+#[test]
+fn interrupted_flush_opens_to_pre_or_post() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    let (kg, mut engine) = build_engine(15);
+
+    // Base snapshot, then an ingest backlog to flush.
+    let base = temp_dir("flush_pristine");
+    engine.save(&base).unwrap();
+    let pre = corpus_fingerprint(&engine);
+    for i in 0..4 {
+        engine.ingest(&format!(
+            "Breaking update {i}: a bank faces fraud and money laundering charges."
+        ));
+    }
+    let post = corpus_fingerprint(&engine);
+    assert_ne!(pre, post);
+
+    sweep_operation("flush", &base, &kg, &pre, &post, &|dir| {
+        engine.flush_delta(dir).map(|_| ())
+    });
+
+    // Second flush on top of an existing delta generation: same contract
+    // with a deeper stack.
+    let layered = temp_dir("flush2_pristine");
+    copy_dir(&base, &layered);
+    engine.flush_delta(&layered).unwrap();
+    let pre2 = corpus_fingerprint(&engine);
+    for i in 0..3 {
+        engine.ingest(&format!("Follow-up {i}: regulators sued another exchange."));
+    }
+    let post2 = corpus_fingerprint(&engine);
+    sweep_operation("flush2", &layered, &kg, &pre2, &post2, &|dir| {
+        engine.flush_delta(dir).map(|_| ())
+    });
+
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::remove_dir_all(&layered).ok();
+}
+
+#[test]
+fn interrupted_compaction_opens_to_pre_or_post() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    let (kg, mut engine) = build_engine(12);
+
+    // Build a three-generation stack: base + two deltas.
+    let stacked = temp_dir("compact_pristine");
+    engine.save(&stacked).unwrap();
+    for round in 0..2 {
+        for i in 0..3 {
+            engine.ingest(&format!(
+                "Stack round {round} article {i}: fresh fraud allegations at a bank."
+            ));
+        }
+        engine.flush_delta(&stacked).unwrap();
+    }
+    // Compaction preserves the corpus exactly: pre and post fingerprints
+    // are the same state, reached through different file layouts.
+    let state = corpus_fingerprint(&engine);
+    assert_eq!(directory_state(&stacked, &kg), state);
+
+    sweep_operation("compact", &stacked, &kg, &state, &state, &|dir| {
+        NcExplorer::compact(dir, &kg).map(|_| ())
+    });
+
+    // An un-faulted compaction on the pristine stack really folds it.
+    let outcome = NcExplorer::compact(&stacked, &kg).unwrap();
+    assert!(outcome.compacted);
+    assert_eq!(outcome.generations_before, 3);
+    assert_eq!(directory_state(&stacked, &kg), state);
+    std::fs::remove_dir_all(&stacked).ok();
+}

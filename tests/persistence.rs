@@ -4,10 +4,10 @@
 //! right typed [`StoreError`] — never a panic, never silently wrong
 //! results.
 
-use ncexplorer::core::{NcExplorer, NcxConfig, Parallelism};
+use ncexplorer::core::{NcExplorer, NcxConfig, Parallelism, StoreConfig};
 use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
 use ncexplorer::kg::DocId;
-use ncexplorer::store::{fnv1a64, StoreError, MANIFEST_NAME};
+use ncexplorer::store::{fnv1a64, Snapshot, StoreError, MANIFEST_NAME};
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -38,7 +38,10 @@ fn build_engine(
         NcxConfig {
             samples: 10,
             parallelism: Parallelism::sequential(),
-            snapshot_shards: shards,
+            store: StoreConfig {
+                snapshot_shards: shards,
+                ..StoreConfig::default()
+            },
             ..NcxConfig::default()
         },
     );
@@ -135,7 +138,7 @@ fn shard_count_does_not_change_answers() {
     let reference = fingerprint(&engine, &TOPICS);
     for shards in [1u32, 3, 16] {
         let mut config = engine.config().clone();
-        config.snapshot_shards = shards;
+        config.store.snapshot_shards = shards;
         let dir = temp_dir(&format!("shards{shards}"));
         // Re-save under a different shard count via a rebuilt engine
         // config: save uses config.snapshot_shards.
@@ -258,7 +261,7 @@ fn future_format_version_is_refused() {
         .rsplit_once("manifest_checksum")
         .map(|(b, _)| b.to_string())
         .unwrap()
-        .replace("format_version 1", "format_version 99");
+        .replace("format_version 2", "format_version 99");
     let sum = fnv1a64(body.as_bytes());
     std::fs::write(&path, format!("{body}manifest_checksum {sum:016x}\n")).unwrap();
     let err = open_err(&dir, &kg, &engine);
@@ -267,7 +270,7 @@ fn future_format_version_is_refused() {
             err,
             StoreError::VersionMismatch {
                 found: 99,
-                supported: 1
+                supported: 2
             }
         ),
         "expected VersionMismatch, got {err}"
@@ -335,6 +338,420 @@ fn snapshot_is_canonical() {
     std::fs::remove_dir_all(&dir_a).ok();
     std::fs::remove_dir_all(&dir_b).ok();
     std::fs::remove_dir_all(&dir_c).ok();
+}
+
+// ---- generation-layered snapshots: delta flush, compaction, lazy ----
+
+/// Rewrites a snapshot manifest through `edit` and recomputes its
+/// self-checksum, so only the edited field is at issue when it is read
+/// back.
+fn resign_manifest(dir: &Path, edit: impl FnOnce(&mut String)) {
+    let path = dir.join(MANIFEST_NAME);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut body = text
+        .rsplit_once("manifest_checksum")
+        .map(|(b, _)| b.to_string())
+        .unwrap();
+    edit(&mut body);
+    let sum = fnv1a64(body.as_bytes());
+    std::fs::write(&path, format!("{body}manifest_checksum {sum:016x}\n")).unwrap();
+}
+
+/// Exact per-posting equality between two engines, down to f64 bits.
+fn assert_postings_identical(a: &NcExplorer, b: &NcExplorer, what: &str) {
+    assert_eq!(a.index().num_docs(), b.index().num_docs(), "{what}");
+    assert_eq!(a.index().num_postings(), b.index().num_postings(), "{what}");
+    let mut concepts: Vec<_> = a.index().indexed_concepts().collect();
+    concepts.sort_unstable();
+    let mut other: Vec<_> = b.index().indexed_concepts().collect();
+    other.sort_unstable();
+    assert_eq!(concepts, other, "{what}: indexed concept sets differ");
+    for c in concepts {
+        let x = a.index().postings(c);
+        let y = b.index().postings(c);
+        assert_eq!(x.len(), y.len(), "{what}: concept {}", c.raw());
+        for (p, q) in x.iter().zip(y) {
+            assert_eq!(p.doc, q.doc, "{what}");
+            assert_eq!(p.cdr.to_bits(), q.cdr.to_bits(), "{what}");
+            assert_eq!(p.cdro.to_bits(), q.cdro.to_bits(), "{what}");
+            assert_eq!(p.cdrc.to_bits(), q.cdrc.to_bits(), "{what}");
+            assert_eq!(p.pivot, q.pivot, "{what}");
+        }
+    }
+}
+
+#[test]
+fn flush_after_100_article_ingest_writes_only_deltas() {
+    let (kg, mut engine) = build_engine(20, 17, 3);
+    let dir = temp_dir("delta100");
+    engine.save(&dir).unwrap();
+
+    // Remember every base file byte-for-byte.
+    let base_files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| {
+            let p = e.unwrap().path();
+            (
+                p.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read(&p).unwrap(),
+            )
+        })
+        .collect();
+
+    // A 100-article ingest stream (realistic bodies from the generator).
+    let fresh = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles: 100,
+            seed: 918,
+            ..CorpusConfig::default()
+        },
+    );
+    for a in fresh.store.iter() {
+        engine.ingest_article(a.source, a.title.clone(), a.body.clone(), a.published);
+    }
+
+    let outcome = engine.flush_delta(&dir).unwrap();
+    assert_eq!(outcome.flushed_docs, 100);
+    assert_eq!(outcome.generation, Some(1));
+    assert_eq!(outcome.generations, 2);
+
+    // No base file was rewritten — not even touched.
+    for (name, before) in &base_files {
+        if name == MANIFEST_NAME {
+            continue; // the manifest is the one legitimate rewrite
+        }
+        let now = std::fs::read(dir.join(name)).unwrap();
+        assert_eq!(&now, before, "{name} was rewritten by a delta flush");
+    }
+    // And everything new carries the delta-generation infix.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        if !base_files.iter().any(|(n, _)| *n == name) {
+            assert!(
+                name.contains("-g001"),
+                "unexpected non-delta file {name} after flush"
+            );
+        }
+    }
+
+    // The layered snapshot opens bit-for-bit identical to the engine.
+    let cold = NcExplorer::open(&dir, kg, engine.config().clone()).unwrap();
+    assert_postings_identical(&engine, &cold, "layered cold open");
+    assert_eq!(fingerprint(&engine, &TOPICS), fingerprint(&cold, &TOPICS));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flush_with_no_backlog_is_a_noop_and_backwards_flush_is_refused() {
+    let (kg, mut engine) = build_engine(10, 2, 2);
+    let dir = temp_dir("noop");
+    engine.save(&dir).unwrap();
+    let idle = engine.flush_delta(&dir).unwrap();
+    assert_eq!(idle.flushed_docs, 0);
+    assert_eq!(idle.generation, None);
+    assert_eq!(idle.generations, 1);
+
+    // A snapshot holding MORE documents than the engine is not a prefix.
+    engine.ingest("A bank fraud story to advance the snapshot.");
+    engine.flush_delta(&dir).unwrap();
+    let (_, stale) = build_engine(10, 2, 2);
+    let err = stale.flush_delta(&dir).unwrap_err();
+    assert!(
+        matches!(err, StoreError::Incompatible { .. }),
+        "expected Incompatible, got {err}"
+    );
+    let _ = kg;
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Random corpora under random ingest/flush/compact interleavings:
+    /// the layered open, the post-compaction open, and a monolithic
+    /// save of the same engine must all be bit-for-bit identical.
+    #[test]
+    fn random_interleavings_agree_bit_for_bit(
+        articles in 3usize..25,
+        seed in 0u64..300,
+        ops in prop::collection::vec(0u8..3, 1..8),
+    ) {
+        let (kg, mut engine) = build_engine(articles, seed, 3);
+        let dir = temp_dir(&format!("ilv_{articles}_{seed}_{}", ops.len()));
+        engine.save(&dir).unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    engine.ingest(&format!(
+                        "Interleaved wire {i}: a bank faces fraud charges."
+                    ));
+                }
+                1 => {
+                    engine.flush_delta(&dir).unwrap();
+                }
+                _ => {
+                    NcExplorer::compact(&dir, &kg).unwrap();
+                }
+            }
+        }
+        engine.flush_delta(&dir).unwrap(); // capture any tail backlog
+        let live = fingerprint(&engine, &TOPICS);
+
+        let layered = NcExplorer::open(&dir, kg.clone(), engine.config().clone()).unwrap();
+        assert_postings_identical(&engine, &layered, "layered");
+        prop_assert_eq!(&fingerprint(&layered, &TOPICS), &live);
+
+        let mono_dir = temp_dir(&format!("ilv_mono_{articles}_{seed}_{}", ops.len()));
+        engine.save(&mono_dir).unwrap();
+        let mono = NcExplorer::open(&mono_dir, kg.clone(), engine.config().clone()).unwrap();
+        assert_postings_identical(&engine, &mono, "monolithic");
+        prop_assert_eq!(&fingerprint(&mono, &TOPICS), &live);
+
+        NcExplorer::compact(&dir, &kg).unwrap();
+        let compacted = NcExplorer::open(&dir, kg.clone(), engine.config().clone()).unwrap();
+        assert_postings_identical(&engine, &compacted, "compacted");
+        prop_assert_eq!(&fingerprint(&compacted, &TOPICS), &live);
+        // A compacted snapshot is a single generation again.
+        let snap = Snapshot::open(&dir).unwrap();
+        prop_assert_eq!(snap.manifest().generations.len(), 1);
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&mono_dir).ok();
+    }
+}
+
+/// A layered snapshot (base + deltas) for the corruption matrix.
+fn layered_snapshot(tag: &str) -> (Arc<ncexplorer::kg::KnowledgeGraph>, NcExplorer, PathBuf) {
+    let (kg, mut engine) = build_engine(15, 5, 3);
+    let dir = temp_dir(tag);
+    engine.save(&dir).unwrap();
+    for round in 0..2 {
+        for i in 0..3 {
+            engine.ingest(&format!("Layered {tag} {round}/{i}: fraud at a bank."));
+        }
+        engine.flush_delta(&dir).unwrap();
+    }
+    (kg, engine, dir)
+}
+
+#[test]
+fn flipped_byte_in_any_delta_file_is_detected() {
+    let (kg, engine, dir) = layered_snapshot("gflip");
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if !name.contains("-g") && name != MANIFEST_NAME {
+            continue; // base files are covered by the monolithic matrix
+        }
+        let original = std::fs::read(&path).unwrap();
+        for frac in [0.1, 0.5, 0.9] {
+            let mut bad = original.clone();
+            let i = ((bad.len() as f64 * frac) as usize).min(bad.len() - 1);
+            bad[i] ^= 0x20;
+            std::fs::write(&path, &bad).unwrap();
+            let err = open_err(&dir, &kg, &engine);
+            assert!(
+                matches!(
+                    err,
+                    StoreError::ChecksumMismatch { .. }
+                        | StoreError::Corrupt { .. }
+                        | StoreError::Truncated { .. }
+                        | StoreError::VersionMismatch { .. }
+                        | StoreError::Incompatible { .. }
+                ),
+                "{name} flip at {frac}: unexpected {err}"
+            );
+        }
+        std::fs::write(&path, &original).unwrap();
+        NcExplorer::open(&dir, kg.clone(), engine.config().clone()).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_delta_segment_is_typed_error() {
+    let (kg, engine, dir) = layered_snapshot("gtrunc");
+    let path = dir.join("doclists-g001.seg");
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    let err = open_err(&dir, &kg, &engine);
+    assert!(
+        matches!(err, StoreError::Truncated { .. }),
+        "expected Truncated, got {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_middle_generation_is_typed_error() {
+    let (kg, engine, dir) = layered_snapshot("gmiss");
+    std::fs::remove_file(dir.join("entities-g001.seg")).unwrap();
+    let err = open_err(&dir, &kg, &engine);
+    assert!(
+        matches!(err, StoreError::MissingFile { ref file } if file == "entities-g001.seg"),
+        "expected MissingFile, got {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flipped_generation_number_in_manifest_is_corrupt() {
+    let (kg, engine, dir) = layered_snapshot("gnum");
+    // Claim generation 1 is generation 5: its files now reference a
+    // generation that is not in the stack.
+    resign_manifest(&dir, |body| {
+        *body = body
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("generation 1 ") {
+                    format!("generation 5 {rest}\n")
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+    });
+    let err = open_err(&dir, &kg, &engine);
+    assert!(
+        matches!(err, StoreError::Corrupt { .. }),
+        "expected Corrupt, got {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dropped_generation_line_is_corrupt() {
+    let (kg, engine, dir) = layered_snapshot("gdrop");
+    // Remove the middle generation's line: its files become orphans.
+    resign_manifest(&dir, |body| {
+        *body = body
+            .lines()
+            .filter(|l| !l.starts_with("generation 1 "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+    });
+    let err = open_err(&dir, &kg, &engine);
+    assert!(
+        matches!(err, StoreError::Corrupt { .. }),
+        "expected Corrupt, got {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_manifest_after_torn_compaction_is_typed_error() {
+    // A compaction that committed its manifest and swept the old
+    // generations, but a backup/restore race brought the OLD manifest
+    // back: it now references files the sweep removed. That must be a
+    // typed missing-file error, never a partial open.
+    let (kg, engine, dir) = layered_snapshot("gstale");
+    let stale = std::fs::read(dir.join(MANIFEST_NAME)).unwrap();
+    NcExplorer::compact(&dir, &kg).unwrap();
+    std::fs::write(dir.join(MANIFEST_NAME), &stale).unwrap();
+    let err = open_err(&dir, &kg, &engine);
+    assert!(
+        matches!(err, StoreError::MissingFile { .. }),
+        "expected MissingFile, got {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stray_generation_files_are_ignored_and_reported() {
+    // Regression: generation discovery must come from the manifest
+    // alone. A foreign `concepts-g999-000.seg` dropped into the
+    // directory — even a structurally valid segment — must not be
+    // merged into query results, only reported as a stray.
+    let (kg, engine, dir) = layered_snapshot("gstray");
+    let reference = fingerprint(&engine, &TOPICS);
+
+    // A garbage stray and a valid-looking one (copied real segment).
+    std::fs::write(dir.join("concepts-g999-000.seg"), b"not a segment at all").unwrap();
+    std::fs::copy(dir.join("doclists-g001.seg"), dir.join("doclists-g999.seg")).unwrap();
+
+    let cold = NcExplorer::open(&dir, kg.clone(), engine.config().clone()).unwrap();
+    assert_eq!(
+        fingerprint(&cold, &TOPICS),
+        reference,
+        "stray generation files leaked into query results"
+    );
+    assert_postings_identical(&engine, &cold, "stray-laden open");
+
+    let snap = Snapshot::open(&dir).unwrap();
+    let mut strays = snap.stray_files().unwrap();
+    strays.sort();
+    assert_eq!(
+        strays,
+        vec![
+            "concepts-g999-000.seg".to_string(),
+            "doclists-g999.seg".to_string()
+        ]
+    );
+
+    // Compaction sweeps the strays along with the old generations.
+    NcExplorer::compact(&dir, &kg).unwrap();
+    let snap = Snapshot::open(&dir).unwrap();
+    assert_eq!(snap.stray_files().unwrap(), Vec::<String>::new());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v1_monolithic_manifest_still_opens() {
+    // Forward compatibility with pre-layering snapshots: rewrite a
+    // single-generation v2 manifest into the exact v1 byte layout (no
+    // generation lines, four-column file entries) and open it.
+    let (kg, engine, dir) = saved_snapshot("v1compat");
+    let reference = fingerprint(&engine, &TOPICS);
+    resign_manifest(&dir, |body| {
+        *body = body
+            .lines()
+            .filter(|l| !l.starts_with("generation "))
+            .map(|l| {
+                if l == "format_version 2" {
+                    "format_version 1\n".to_string()
+                } else if let Some(rest) = l.strip_prefix("file ") {
+                    // name kind gen bytes checksum → drop the gen column
+                    let p: Vec<&str> = rest.split_ascii_whitespace().collect();
+                    format!("file {} {} {} {}\n", p[0], p[1], p[3], p[4])
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+    });
+    let cold = NcExplorer::open(&dir, kg, engine.config().clone()).unwrap();
+    assert_eq!(fingerprint(&cold, &TOPICS), reference);
+    assert_postings_identical(&engine, &cold, "v1 compat open");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lazy_open_matches_eager_and_decodes_on_touch() {
+    let (kg, engine, dir) = layered_snapshot("lazy");
+    let mut lazy = NcExplorer::open_lazy(&dir, kg, engine.config().clone()).unwrap();
+
+    // Nothing decoded yet, but the stats answer from the manifest.
+    assert_eq!(lazy.index().lazy_shards_materialized(), Some(0));
+    assert_eq!(lazy.index().num_docs(), engine.index().num_docs());
+    assert_eq!(lazy.index().num_postings(), engine.index().num_postings());
+    assert_eq!(
+        lazy.index().num_indexed_concepts(),
+        engine.index().num_indexed_concepts()
+    );
+
+    // Queries force exactly the shards they touch — and the answers are
+    // bit-for-bit the eager ones.
+    assert_eq!(fingerprint(&lazy, &TOPICS), fingerprint(&engine, &TOPICS));
+    assert!(lazy.index().lazy_shards_materialized().unwrap() > 0);
+    assert_postings_identical(&engine, &lazy, "lazy open");
+
+    // A lazily opened engine still ingests: the touched shard is
+    // drained into the eager table and the stream keeps extending.
+    let before = lazy.index().num_docs();
+    lazy.ingest("A lazily opened engine hears about new bank fraud.");
+    assert_eq!(lazy.index().num_docs(), before + 1);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -380,6 +380,106 @@ fn medium_scale_pipeline() {
              {WALKS_PER_SEC_FLOOR:.0} (2x the PR-4 baseline of 443,156)"
         );
     }
+    // ---- ingest_to_queryable group: delta flush vs full save (PR 7) ----
+    // The generation-layered store's reason to exist: after an ingest
+    // backlog, `flush_delta` must reach a durable, queryable snapshot by
+    // writing only the delta — not by rewriting the whole base. The
+    // group ingests a 100-article backlog into a copy of the cold_open
+    // snapshot and times the flush against the full save measured above.
+    let layered_dir = std::path::PathBuf::from(root).join("target/scale_snapshot_layered");
+    let _ = std::fs::remove_dir_all(&layered_dir);
+    std::fs::create_dir_all(&layered_dir).expect("layered dir");
+    for entry in std::fs::read_dir(&snap_dir).expect("snapshot dir") {
+        let entry = entry.expect("snapshot entry");
+        std::fs::copy(entry.path(), layered_dir.join(entry.file_name())).expect("copy snapshot");
+    }
+    let delta_articles = 100usize;
+    let mut layered = NcExplorer::open(
+        &layered_dir,
+        kg.clone(),
+        NcxConfig {
+            samples: 25,
+            parallelism: Parallelism::Fixed(4),
+            ..NcxConfig::default()
+        },
+    )
+    .expect("layered base open");
+    let backlog = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles: delta_articles,
+            seed: 777,
+            ..CorpusConfig::default()
+        },
+    );
+    for a in backlog.store.iter() {
+        layered.ingest_article(a.source, a.title.clone(), a.body.clone(), a.published);
+    }
+    let t = Instant::now();
+    let flush = layered.flush_delta(&layered_dir).expect("delta flush");
+    let ingest_to_queryable_seconds = t.elapsed().as_secs_f64();
+    assert_eq!(flush.flushed_docs, delta_articles as u64);
+    assert_eq!(flush.generation, Some(1));
+    let flush_speedup = save_seconds / ingest_to_queryable_seconds.max(1e-9);
+    eprintln!(
+        "ingest_to_queryable: {delta_articles}-article delta flush \
+         {ingest_to_queryable_seconds:.4}s vs full save {save_seconds:.3}s \
+         ({flush_speedup:.0}× faster)"
+    );
+    if !cfg!(debug_assertions) && std::env::var("NCX_SKIP_PERF_FLOORS").is_err() {
+        assert!(
+            ingest_to_queryable_seconds * 2.0 <= save_seconds,
+            "a {delta_articles}-doc delta flush ({ingest_to_queryable_seconds:.4}s) must be \
+             at least 2× faster than a full {articles}-doc save ({save_seconds:.3}s)"
+        );
+    }
+
+    // ---- lazy_open group: manifest-stat open vs eager decode ----
+    // A lazy open defers per-shard posting decode to first touch, so the
+    // layered snapshot must become *openable* strictly faster than the
+    // eager path while serving identical answers once shards fault in.
+    // Best-of-3 per mode absorbs shared-runner noise.
+    let lazy_cfg = NcxConfig {
+        samples: 25,
+        parallelism: Parallelism::Fixed(4),
+        ..NcxConfig::default()
+    };
+    let mut eager_open_seconds = f64::INFINITY;
+    let mut lazy_open_seconds = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let eager = NcExplorer::open(&layered_dir, kg.clone(), lazy_cfg.clone()).expect("eager");
+        eager_open_seconds = eager_open_seconds.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let lazy = NcExplorer::open_lazy(&layered_dir, kg.clone(), lazy_cfg.clone()).expect("lazy");
+        lazy_open_seconds = lazy_open_seconds.min(t.elapsed().as_secs_f64());
+        assert_eq!(lazy.index().lazy_shards_materialized(), Some(0));
+        assert_eq!(lazy.index().num_docs(), eager.index().num_docs());
+        assert_eq!(lazy.index().num_postings(), eager.index().num_postings());
+        let q = ["Financial Crime"];
+        let ql = lazy.query(&q).unwrap();
+        let qe = eager.query(&q).unwrap();
+        assert_eq!(
+            lazy.rollup(&ql, 50),
+            eager.rollup(&qe, 50),
+            "lazy open diverged from eager on first touch"
+        );
+        assert!(lazy.index().lazy_shards_materialized().unwrap() > 0);
+    }
+    eprintln!(
+        "lazy_open: lazy {lazy_open_seconds:.4}s vs eager {eager_open_seconds:.4}s \
+         over {delta_articles}-article delta stack"
+    );
+    if !cfg!(debug_assertions) && std::env::var("NCX_SKIP_PERF_FLOORS").is_err() {
+        assert!(
+            lazy_open_seconds <= eager_open_seconds * 1.5 + 0.005,
+            "lazy open ({lazy_open_seconds:.4}s) must not be slower than eager \
+             ({eager_open_seconds:.4}s): deferral is doing negative work"
+        );
+    }
+    drop(layered);
+    let _ = std::fs::remove_dir_all(&layered_dir);
+
     // ---- serve group: concurrent sessions + snapshot replicas (PR 6) ----
     // Drive the serving layer with a closed-loop session fleet, first
     // over a single engine, then over two replicas cold-opened from the
@@ -463,7 +563,7 @@ fn medium_scale_pipeline() {
         "release"
     };
     let json = format!(
-        "{{\n  \"profile\": \"{profile}\",\n  \"articles\": {articles},\n  \"postings\": {},\n  \"build_seconds\": {build_seconds:.3},\n  \"rollup_p50_us\": {rollup_p50_us:.1},\n  \"drilldown_p50_us\": {drilldown_p50_us:.1},\n  \"small_rollup_seq_p50_us\": {small_rollup_seq_us:.1},\n  \"small_rollup_par_p50_us\": {small_rollup_par_us:.1},\n  \"small_drilldown_seq_p50_us\": {small_drill_seq_us:.1},\n  \"small_drilldown_par_p50_us\": {small_drill_par_us:.1},\n  \"save_seconds\": {save_seconds:.3},\n  \"cold_open_seconds\": {cold_open_seconds:.3},\n  \"cold_open_speedup\": {cold_open_speedup:.0},\n  \"walks\": {},\n  \"walks_per_sec\": {walks_per_sec:.0},\n  \"oracle_hit_rate\": {:.4},\n  \"serve_sessions\": {},\n  \"serve_p50_us\": {serve_p50_us:.1},\n  \"serve_p99_us\": {serve_p99_us:.1},\n  \"serve_qps\": {serve_qps:.0},\n  \"replica_count\": 2,\n  \"replica_sessions\": {},\n  \"replica_p50_us\": {replica_p50_us:.1},\n  \"replica_p99_us\": {replica_p99_us:.1},\n  \"replica_qps\": {replica_qps:.0}\n}}\n",
+        "{{\n  \"profile\": \"{profile}\",\n  \"articles\": {articles},\n  \"postings\": {},\n  \"build_seconds\": {build_seconds:.3},\n  \"rollup_p50_us\": {rollup_p50_us:.1},\n  \"drilldown_p50_us\": {drilldown_p50_us:.1},\n  \"small_rollup_seq_p50_us\": {small_rollup_seq_us:.1},\n  \"small_rollup_par_p50_us\": {small_rollup_par_us:.1},\n  \"small_drilldown_seq_p50_us\": {small_drill_seq_us:.1},\n  \"small_drilldown_par_p50_us\": {small_drill_par_us:.1},\n  \"save_seconds\": {save_seconds:.3},\n  \"cold_open_seconds\": {cold_open_seconds:.3},\n  \"cold_open_speedup\": {cold_open_speedup:.0},\n  \"delta_articles\": {delta_articles},\n  \"ingest_to_queryable_seconds\": {ingest_to_queryable_seconds:.4},\n  \"ingest_to_queryable_speedup\": {flush_speedup:.0},\n  \"lazy_open_seconds\": {lazy_open_seconds:.4},\n  \"eager_layered_open_seconds\": {eager_open_seconds:.4},\n  \"walks\": {},\n  \"walks_per_sec\": {walks_per_sec:.0},\n  \"oracle_hit_rate\": {:.4},\n  \"serve_sessions\": {},\n  \"serve_p50_us\": {serve_p50_us:.1},\n  \"serve_p99_us\": {serve_p99_us:.1},\n  \"serve_qps\": {serve_qps:.0},\n  \"replica_count\": 2,\n  \"replica_sessions\": {},\n  \"replica_p50_us\": {replica_p50_us:.1},\n  \"replica_p99_us\": {replica_p99_us:.1},\n  \"replica_qps\": {replica_qps:.0}\n}}\n",
         engine.index().num_postings(),
         d.walk_stats.walks,
         d.oracle.hit_rate(),
