@@ -11,8 +11,9 @@
 //! * [`methods`] — the five compared methods behind one interface;
 //! * [`experiments`] — one module per table/figure, each returning a
 //!   rendered report string so binaries stay thin;
-//! * [`loadgen`] — the closed-loop load generator driving `ncx-serve`
-//!   for the concurrency groups of `BENCH_scale.json`.
+//! * [`loadgen`] — the closed- and open-loop load generators driving
+//!   `ncx-serve` for the concurrency and saturation-knee groups of
+//!   `BENCH_scale.json`.
 
 pub mod experiments;
 pub mod fixtures;

@@ -1,12 +1,27 @@
-//! Closed-loop load generator for the serving layer (`ncx-serve`).
+//! Load generators for the serving layer (`ncx-serve`).
 //!
-//! Drives an [`NcxServe`] with N concurrent sessions, each issuing a
-//! fixed number of queries back-to-back (closed loop: a session's next
-//! query starts when its previous one finishes — the model of an
-//! interactive analyst, which is what the paper's exploration sessions
-//! are). Collects per-query wall latencies and reports p50/p99 and
-//! aggregate throughput, the numbers `BENCH_scale.json` tracks for the
-//! serving groups.
+//! Two arrival models:
+//!
+//! * [`closed_loop`] drives an [`NcxServe`] with N concurrent sessions,
+//!   each issuing a fixed number of queries back-to-back (closed loop:
+//!   a session's next query starts when its previous one finishes — the
+//!   model of an interactive analyst, which is what the paper's
+//!   exploration sessions are). A closed loop self-throttles: when the
+//!   server slows, the offered load drops with it, which hides
+//!   saturation.
+//! * [`open_loop`] offers a **fixed arrival rate** that does not care
+//!   how the server is doing: arrival *i* is due at exactly
+//!   `t0 + i/rate` (a deterministic uniform schedule — no Poisson
+//!   sampling, so runs are reproducible), workers pick up arrivals
+//!   round-robin, and each query's latency is measured from its
+//!   *scheduled* arrival, not from when a worker got around to sending
+//!   it — the standard correction for coordinated omission. Sweeping
+//!   the rate exposes the saturation knee (`openloop_*` keys in
+//!   `BENCH_scale.json`): below it achieved ≈ offered, above it queue
+//!   delay explodes.
+//!
+//! Both collect per-query wall latencies and report p50/p99 and
+//! aggregate throughput.
 
 use ncx_core::ConceptQuery;
 use ncx_serve::NcxServe;
@@ -121,6 +136,149 @@ pub fn closed_loop(serve: &NcxServe, spec: &LoadSpec) -> LoadReport {
         p50: percentile(&mut lat, 0.50),
         p99: percentile(&mut lat, 0.99),
         qps: completed as f64 / wall.as_secs_f64().max(1e-9),
+        wall,
+    }
+}
+
+/// What to offer in an open-loop run: `arrivals` queries at a fixed
+/// `rate`, spread over `workers` sender threads.
+#[derive(Debug, Clone)]
+pub struct OpenLoopSpec<'a> {
+    /// Sender threads (each one OS thread). Size this above the
+    /// offered-rate × service-time product or senders themselves become
+    /// the bottleneck and re-introduce coordinated omission.
+    pub workers: usize,
+    /// Total arrivals in the schedule.
+    pub arrivals: usize,
+    /// Offered arrival rate in queries per second (> 0).
+    pub rate: f64,
+    /// The query mix; arrival `i` issues `queries[i % len]`.
+    pub queries: &'a [ConceptQuery],
+    /// Result size for both operators.
+    pub k: usize,
+    /// Per-query deadline (`None` = unlimited).
+    pub deadline: Option<Duration>,
+    /// Issue a drill-down every `drilldown_every`-th arrival (0 =
+    /// roll-up only).
+    pub drilldown_every: usize,
+    /// Drive the progressive (anytime) entry points instead of the
+    /// classic ones: deadline expiry then yields partial results, which
+    /// the report counts separately from completions and rejections.
+    pub progressive: bool,
+}
+
+/// Aggregate outcome of one open-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopReport {
+    /// The offered rate from the spec.
+    pub offered_qps: f64,
+    /// Answered arrivals (complete + partial) per second of wall time.
+    pub achieved_qps: f64,
+    /// Arrivals answered with a complete result.
+    pub completed: u64,
+    /// Arrivals answered with a typed partial result (progressive mode
+    /// only; always 0 otherwise).
+    pub partials: u64,
+    /// Arrivals rejected (overload, or deadline on the classic paths).
+    pub rejected: u64,
+    /// Median scheduled-arrival-to-answer latency (answered arrivals).
+    pub p50: Duration,
+    /// 99th-percentile scheduled-arrival-to-answer latency.
+    pub p99: Duration,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+}
+
+/// Runs the open loop. Worker `w` serves arrivals `w, w+workers, …`, so
+/// the schedule is deterministic given the spec; only wall-clock jitter
+/// varies between runs. Panics on
+/// [`QueryError::UnknownConcept`](ncx_core::error::QueryError) (a spec
+/// bug, not load shedding).
+pub fn open_loop(serve: &NcxServe, spec: &OpenLoopSpec) -> OpenLoopReport {
+    assert!(
+        !spec.queries.is_empty(),
+        "load spec needs at least one query"
+    );
+    assert!(spec.rate > 0.0, "open loop needs a positive rate");
+    assert!(spec.workers > 0, "open loop needs at least one worker");
+    let interval = Duration::from_secs_f64(1.0 / spec.rate);
+    let t0 = Instant::now();
+    let mut per_worker: Vec<(u64, u64, u64, Vec<Duration>)> = Vec::with_capacity(spec.workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut session = serve.session();
+                    session.set_deadline(spec.deadline);
+                    let mut completed = 0u64;
+                    let mut partials = 0u64;
+                    let mut rejected = 0u64;
+                    let mut lat = Vec::with_capacity(spec.arrivals / spec.workers + 1);
+                    for i in (w..spec.arrivals).step_by(spec.workers) {
+                        let due = interval.mul_f64(i as f64);
+                        if let Some(sleep) = due.checked_sub(t0.elapsed()) {
+                            if !sleep.is_zero() {
+                                std::thread::sleep(sleep);
+                            }
+                        }
+                        let q = &spec.queries[i % spec.queries.len()];
+                        let drill = spec.drilldown_every != 0 && i % spec.drilldown_every == 0;
+                        // Answered-or-not, plus whether the answer was
+                        // complete (partials only arise in progressive
+                        // mode).
+                        let outcome = if spec.progressive {
+                            if drill {
+                                session
+                                    .drilldown_progressive(q, spec.k)
+                                    .map(|r| r.is_complete())
+                            } else {
+                                session
+                                    .rollup_progressive(q, spec.k)
+                                    .map(|r| r.is_complete())
+                            }
+                        } else if drill {
+                            session.drilldown(q, spec.k).map(|_| true)
+                        } else {
+                            session.rollup(q, spec.k).map(|_| true)
+                        };
+                        match outcome {
+                            Ok(complete) => {
+                                // Latency from the *scheduled* arrival:
+                                // time spent behind a late sender counts.
+                                lat.push(t0.elapsed().saturating_sub(due));
+                                if complete {
+                                    completed += 1;
+                                } else {
+                                    partials += 1;
+                                }
+                            }
+                            Err(e @ ncx_core::error::QueryError::UnknownConcept { .. }) => {
+                                panic!("load spec references an unknown concept: {e}")
+                            }
+                            Err(_) => rejected += 1,
+                        }
+                    }
+                    (completed, partials, rejected, lat)
+                })
+            })
+            .collect();
+        for h in handles {
+            per_worker.push(h.join().expect("open-loop worker panicked"));
+        }
+    });
+    let wall = t0.elapsed();
+    let completed: u64 = per_worker.iter().map(|(c, _, _, _)| c).sum();
+    let partials: u64 = per_worker.iter().map(|(_, p, _, _)| p).sum();
+    let rejected: u64 = per_worker.iter().map(|(_, _, r, _)| r).sum();
+    let mut lat: Vec<Duration> = per_worker.into_iter().flat_map(|(_, _, _, l)| l).collect();
+    OpenLoopReport {
+        offered_qps: spec.rate,
+        achieved_qps: (completed + partials) as f64 / wall.as_secs_f64().max(1e-9),
+        completed,
+        partials,
+        rejected,
+        p50: percentile(&mut lat, 0.50),
+        p99: percentile(&mut lat, 0.99),
         wall,
     }
 }

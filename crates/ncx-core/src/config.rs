@@ -148,6 +148,54 @@ impl Default for WalkBudget {
     }
 }
 
+/// Knobs of the progressive (anytime) query executor — the
+/// round/tranche loop behind
+/// [`rollup_progressive`](crate::engine::NcExplorer::rollup_progressive)
+/// and
+/// [`drilldown_progressive`](crate::engine::NcExplorer::drilldown_progressive).
+///
+/// Each round advances every still-active candidate's connectivity
+/// estimate by [`tranche`](Self::tranche) walks; with
+/// [`racing`](Self::racing) on, candidates whose [`z`](Self::z)-scaled
+/// confidence interval has separated from the k-th boundary stop
+/// consuming walks (racing-style successive halving). A deadline or the
+/// [`max_walks`](Self::max_walks) budget cuts the loop between rounds,
+/// yielding a typed partial result. None of these knobs changes a
+/// *completed* result's bits — they only control how (and whether) the
+/// executor gets there early.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressiveConfig {
+    /// Walks granted to each active candidate per refinement round
+    /// (≥ 1). Smaller tranches cut sooner after a deadline and prune
+    /// sooner, at more per-round overhead.
+    pub tranche: u32,
+    /// z-score of the per-candidate confidence interval used for the
+    /// top-k separation rule and reported on every
+    /// [`Ranked`](crate::progressive::Ranked) item (finite, > 0;
+    /// default 1.96 ≈ 95 %).
+    pub z: f64,
+    /// Early-termination top-k: stop walking candidates whose interval
+    /// can no longer overlap the k-th boundary. Off, every candidate
+    /// runs to its own convergence — the bit-for-bit reference mode.
+    pub racing: bool,
+    /// Optional total walk budget per query: the loop cuts between
+    /// rounds once this many walks were spent, returning a partial
+    /// result. Deterministic (unlike a wall-clock deadline), so tests
+    /// pin partial-result contracts with it. `None` = unlimited.
+    pub max_walks: Option<u64>,
+}
+
+impl Default for ProgressiveConfig {
+    fn default() -> Self {
+        Self {
+            tranche: 8,
+            z: 1.96,
+            racing: true,
+            max_walks: None,
+        }
+    }
+}
+
 /// Persistence knobs of the layered `ncx-store` snapshot format.
 ///
 /// Grouped separately from the scoring parameters because they describe
@@ -237,6 +285,8 @@ pub struct NcxConfig {
     /// `rollup`/`drilldown` methods always run to completion
     /// regardless of this knob.
     pub query_budget: QueryBudget,
+    /// Progressive (anytime) executor knobs; see [`ProgressiveConfig`].
+    pub progressive: ProgressiveConfig,
 }
 
 impl Default for NcxConfig {
@@ -258,6 +308,7 @@ impl Default for NcxConfig {
             ablation: ScoreAblation::default(),
             store: StoreConfig::default(),
             query_budget: QueryBudget::default(),
+            progressive: ProgressiveConfig::default(),
         }
     }
 }
@@ -323,6 +374,21 @@ impl NcxConfig {
                     "must be positive (use None to disable deadlines)",
                 );
             }
+        }
+        if self.progressive.tranche == 0 {
+            return invalid("progressive.tranche", "must be at least 1");
+        }
+        if !self.progressive.z.is_finite() || self.progressive.z <= 0.0 {
+            return invalid(
+                "progressive.z",
+                format!("must be finite and > 0, got {}", self.progressive.z),
+            );
+        }
+        if self.progressive.max_walks == Some(0) {
+            return invalid(
+                "progressive.max_walks",
+                "must be positive (use None for unlimited)",
+            );
         }
         Ok(())
     }
@@ -465,6 +531,53 @@ mod tests {
         match bad_limit.validate().unwrap_err() {
             ConfigError::Invalid { param, .. } => assert_eq!(param, "query_budget.time_limit"),
             other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn progressive_config_validation() {
+        let d = ProgressiveConfig::default();
+        assert_eq!(d.tranche, 8);
+        assert!(d.racing);
+        assert_eq!(d.max_walks, None);
+        for (bad, param) in [
+            (
+                ProgressiveConfig {
+                    tranche: 0,
+                    ..ProgressiveConfig::default()
+                },
+                "progressive.tranche",
+            ),
+            (
+                ProgressiveConfig {
+                    z: 0.0,
+                    ..ProgressiveConfig::default()
+                },
+                "progressive.z",
+            ),
+            (
+                ProgressiveConfig {
+                    z: f64::NAN,
+                    ..ProgressiveConfig::default()
+                },
+                "progressive.z",
+            ),
+            (
+                ProgressiveConfig {
+                    max_walks: Some(0),
+                    ..ProgressiveConfig::default()
+                },
+                "progressive.max_walks",
+            ),
+        ] {
+            let cfg = NcxConfig {
+                progressive: bad,
+                ..NcxConfig::default()
+            };
+            match cfg.validate().unwrap_err() {
+                ConfigError::Invalid { param: p, .. } => assert_eq!(p, param),
+                other => panic!("wrong variant: {other:?}"),
+            }
         }
     }
 

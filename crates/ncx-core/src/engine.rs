@@ -13,8 +13,9 @@ use crate::explain::{self, Explanation};
 use crate::indexer::{IndexTiming, Indexer, NcxIndex};
 use crate::par::Pool;
 use crate::persist;
+use crate::progressive::{self, ProgressiveResult};
 use crate::query::ConceptQuery;
-use crate::relevance::WalkStats;
+use crate::relevance::{ConnEstimator, MemberSetCache, WalkStats};
 use crate::rollup::{self, ConceptMatch, RollupHit};
 use ncx_index::{DocumentStore, NewsArticle, NewsSource};
 use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
@@ -88,6 +89,7 @@ pub struct NcExplorer {
     index: NcxIndex,
     store: DocumentStore,
     oracle: Arc<TargetDistanceOracle>,
+    member_sets: Arc<MemberSetCache>,
     pool: Arc<Pool>,
 }
 
@@ -122,6 +124,7 @@ impl NcExplorer {
         let pool = Arc::new(Pool::new(config.parallelism.workers()));
         let indexer = Indexer::with_pool(&kg, &nlp, config.clone(), pool.clone());
         let oracle = indexer.oracle();
+        let member_sets = indexer.member_sets();
         let index = indexer.index_corpus(&store);
         Self {
             kg,
@@ -130,6 +133,7 @@ impl NcExplorer {
             index,
             store,
             oracle,
+            member_sets,
             pool,
         }
     }
@@ -258,6 +262,7 @@ impl NcExplorer {
             index,
             store,
             oracle,
+            member_sets: Arc::new(MemberSetCache::new()),
             pool,
         })
     }
@@ -295,6 +300,7 @@ impl NcExplorer {
             index,
             store,
             oracle,
+            member_sets: Arc::new(MemberSetCache::new()),
             pool,
         })
     }
@@ -336,6 +342,7 @@ impl NcExplorer {
                     index,
                     store,
                     oracle,
+                    member_sets: Arc::new(MemberSetCache::new()),
                     pool,
                 })
             })
@@ -505,6 +512,70 @@ impl NcExplorer {
             &self.pool,
             deadline,
         )
+    }
+
+    /// **Progressive roll-up**: the anytime counterpart of
+    /// [`rollup`](Self::rollup). Walk-estimated scores refine in
+    /// confidence-interval rounds, candidates provably outside the
+    /// top-`k` stop consuming walks, and a deadline firing mid-query
+    /// yields a typed [`Partial`](crate::progressive::Completion)
+    /// result — the converged prefix of the ranking — instead of an
+    /// error. With racing off and no deadline the result is bit-for-bit
+    /// [`rollup`](Self::rollup)'s.
+    pub fn rollup_progressive(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        deadline: Option<&Deadline>,
+    ) -> ProgressiveResult<RollupHit> {
+        progressive::rollup_progressive(
+            &self.index,
+            &self.kg,
+            query,
+            k,
+            &self.config,
+            &self.pool,
+            &self.query_estimator(),
+            deadline,
+        )
+    }
+
+    /// **Progressive drill-down**: the anytime counterpart of
+    /// [`drilldown`](Self::drilldown), with the same racing loop and
+    /// partial-result contract as
+    /// [`rollup_progressive`](Self::rollup_progressive).
+    pub fn drilldown_progressive(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        deadline: Option<&Deadline>,
+    ) -> ProgressiveResult<Subtopic> {
+        progressive::drilldown_progressive(
+            &self.index,
+            &self.kg,
+            query,
+            k,
+            &self.config,
+            &self.pool,
+            &self.query_estimator(),
+            SbrFactors::CSD,
+            deadline,
+        )
+    }
+
+    /// A connectivity estimator wired exactly like the indexer's, so
+    /// query-time progressive re-estimation reproduces the stored
+    /// posting bits (same τ/β/guidance/budget, shared distance oracle
+    /// and member-set cache).
+    fn query_estimator(&self) -> ConnEstimator {
+        ConnEstimator::with_budget(
+            self.config.tau,
+            self.config.beta,
+            self.config.guided,
+            self.oracle.clone(),
+            self.config.walk_budget,
+        )
+        .with_member_cache(self.member_sets.clone())
     }
 
     /// All documents matching `Q`, with per-concept match details (the

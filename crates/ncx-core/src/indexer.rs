@@ -302,6 +302,13 @@ impl<'a> Indexer<'a> {
         self.oracle.clone()
     }
 
+    /// The shared per-concept member bitset cache (reused by query-time
+    /// progressive re-estimation, which walks the same concepts the
+    /// build did).
+    pub fn member_sets(&self) -> Arc<MemberSetCache> {
+        self.member_sets.clone()
+    }
+
     /// Runs the full two-pass build over a document store.
     pub fn index_corpus(&self, store: &DocumentStore) -> NcxIndex {
         let wall = Instant::now();

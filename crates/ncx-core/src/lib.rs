@@ -40,6 +40,7 @@ pub mod export;
 pub mod indexer;
 pub mod par;
 pub mod persist;
+pub mod progressive;
 pub mod query;
 pub mod relax;
 pub mod relevance;
@@ -47,10 +48,13 @@ pub mod rollup;
 pub mod session;
 
 pub use budget::{Deadline, QueryBudget};
-pub use config::{NcxConfig, Parallelism, ScoreAblation, StoreConfig, WalkBudget};
+pub use config::{
+    NcxConfig, Parallelism, ProgressiveConfig, ScoreAblation, StoreConfig, WalkBudget,
+};
 pub use engine::{EngineDiagnostics, NcExplorer};
 pub use error::{ConfigError, QueryError};
 pub use par::Pool;
 pub use persist::{CheckpointOutcome, CompactOutcome, FlushOutcome};
+pub use progressive::{Completion, ProgressiveResult, Ranked};
 pub use query::ConceptQuery;
 pub use session::Session;

@@ -1,0 +1,1154 @@
+//! Progressive anytime query execution.
+//!
+//! The walk-estimated operators ([`rollup`](crate::rollup) /
+//! [`drilldown`](crate::drilldown)) are inherently *anytime*
+//! computations: every score is a Monte-Carlo estimate that sharpens
+//! with walks. The classic path runs every estimate to its full budget
+//! and then ranks; this module refactors that into a **round/tranche
+//! loop** that keeps per-candidate confidence intervals and stops
+//! walking as soon as the answer — the top-k — is decided:
+//!
+//! 1. **Enumerate.** Matched documents come from the same
+//!    [`matched_docs_bounded`] fold the classic operators use. Every
+//!    `(document, scoring concept)` pair whose `cdr` has a walk-estimated
+//!    context component becomes a resumable **unit**
+//!    ([`ConnProgress`]), opened with the *identical* `(concept,
+//!    context, samples, seed)` the indexer used — so driving a unit to
+//!    completion reproduces the stored posting's connectivity bits.
+//! 2. **Race.** Each round advances every unit of every still-active
+//!    candidate by one tranche of walks
+//!    ([`ProgressiveConfig::tranche`]). With racing on and more than
+//!    `k` candidates, a successive-halving rule prunes candidates that
+//!    provably (at the configured confidence) cannot reach the top-k:
+//!    the boundary is the k-th largest interval lower bound, and any
+//!    unfinished candidate whose upper bound sits below it stops
+//!    consuming walks. Surviving candidates run to their own adaptive
+//!    convergence, so their final scores are exactly the exhaustive
+//!    ones — pruning changes *who keeps walking*, never the bits of a
+//!    reported score.
+//! 3. **Cut or finish.** The loop ends when every unpruned unit is done
+//!    (→ [`Completion::Complete`]), or a [`Deadline`] /
+//!    [`ProgressiveConfig::max_walks`] cut fires (→
+//!    [`Completion::Partial`] carrying a `completeness` fraction).
+//!
+//! # The partial-result contract
+//!
+//! A cut result reports the **converged prefix** of the ranking: the
+//! fully-finished candidates whose scores already *deterministically*
+//! beat every still-unfinished candidate's upper bound (for an
+//! unfinished `cdr` component the bound is its scale — `cdr_o` under the
+//! full ablation — since `cdr_c < 1` for any finite connectivity). The
+//! prefix is therefore always a prefix of what the completed run would
+//! have returned: an unfinished candidate's final score can never climb
+//! above its bound, and finished candidates sort identically in both.
+//! `tests/estimator_validation.rs` pins this property under random cut
+//! points.
+//!
+//! # Reference semantics
+//!
+//! With racing off ([`ProgressiveConfig::racing`] = `false`), an
+//! unlimited budget, and sequential parallelism, the progressive result
+//! is **bit-for-bit** the classic operator's: same matched set, same
+//! per-candidate float-fold order, same [`TopK`] tie-breaking — asserted
+//! by the tests below. Racing preserves the top-k *scores* exactly and
+//! the top-k *set* with probability governed by [`ProgressiveConfig::z`].
+//!
+//! The final assembly always replays the classic sequential folds (the
+//! race itself is sequential — walk units are cheap and the pool is
+//! reserved for the enumeration stage), so progressive results do not
+//! vary with the configured parallelism.
+
+use crate::budget::Deadline;
+use crate::config::{NcxConfig, ProgressiveConfig, ScoreAblation};
+use crate::drilldown::{SbrFactors, Subtopic};
+use crate::indexer::NcxIndex;
+use crate::par::Pool;
+use crate::query::ConceptQuery;
+use crate::relevance::estimator::{pair_seed, ConnProgress};
+use crate::relevance::{cdrc_from_conn, ConnEstimator};
+use crate::rollup::{matched_docs_bounded, RollupHit};
+use ncx_index::TopK;
+use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::cmp::Ordering;
+
+/// One ranked item with its estimate's confidence interval and the walk
+/// budget it actually consumed.
+///
+/// Items reported by the progressive operators are always *finished*
+/// candidates — their estimate can no longer move — so `ci_lo == ci_hi
+/// == estimate`; the interval fields exist so future relaxations (e.g.
+/// reporting the unconverged tail) keep the same shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranked<T> {
+    /// The result payload (a [`RollupHit`] or [`Subtopic`]).
+    pub item: T,
+    /// The ranking score estimate.
+    pub estimate: f64,
+    /// Lower end of the score's confidence interval.
+    pub ci_lo: f64,
+    /// Upper end of the score's confidence interval.
+    pub ci_hi: f64,
+    /// Walk samples consumed by this candidate's estimates.
+    pub walks_spent: u64,
+}
+
+/// Whether a progressive result ran to its decision point or was cut.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Completion {
+    /// Every walk the answer needed was run; the ranking is final.
+    Complete,
+    /// A deadline or walk cap fired mid-race: the items are the
+    /// converged prefix of the final ranking.
+    Partial {
+        /// Fraction of the needed walk units that finished (0 when the
+        /// cut hit during enumeration, before any walk).
+        completeness: f64,
+    },
+}
+
+impl Completion {
+    /// `true` for [`Completion::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completion::Complete)
+    }
+
+    /// The completeness fraction: 1 when complete.
+    pub fn completeness(&self) -> f64 {
+        match *self {
+            Completion::Complete => 1.0,
+            Completion::Partial { completeness } => completeness,
+        }
+    }
+}
+
+/// The result of a progressive operator: ranked items plus execution
+/// accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressiveResult<T> {
+    /// The ranking — the full top-k when [`Completion::Complete`], the
+    /// converged prefix of it when [`Completion::Partial`].
+    pub items: Vec<Ranked<T>>,
+    /// Whether the race finished or was cut.
+    pub status: Completion,
+    /// Total walk samples consumed across all candidates (pruned ones
+    /// included).
+    pub walks: u64,
+    /// Race rounds executed (0 when no walks were needed).
+    pub rounds: u32,
+    /// Candidates that entered the race.
+    pub candidates: usize,
+}
+
+impl<T> ProgressiveResult<T> {
+    /// `true` when the ranking is final.
+    pub fn is_complete(&self) -> bool {
+        self.status.is_complete()
+    }
+
+    /// The completeness fraction: 1 when complete.
+    pub fn completeness(&self) -> f64 {
+        self.status.completeness()
+    }
+
+    /// A cut that fired before any candidate was scored (during match
+    /// enumeration, or — in the serving layer — while the query was
+    /// still queued for admission): an empty partial with completeness
+    /// 0. Nothing is known about the answer yet, but the caller still
+    /// gets a well-typed anytime result instead of an error.
+    pub fn interrupted() -> Self {
+        Self {
+            items: Vec::new(),
+            status: Completion::Partial { completeness: 0.0 },
+            walks: 0,
+            rounds: 0,
+            candidates: 0,
+        }
+    }
+
+    /// A trivially complete result (empty query or no matches).
+    fn empty() -> Self {
+        Self {
+            items: Vec::new(),
+            status: Completion::Complete,
+            walks: 0,
+            rounds: 0,
+            candidates: 0,
+        }
+    }
+}
+
+/// One resumable walk unit: the connectivity estimate behind a single
+/// `(document, scoring concept)` cdr component, plus the deterministic
+/// scale mapping connectivity to the component's value
+/// (`cdr = scale · cdr_c(conn)`; scale is `cdr_o` under
+/// [`ScoreAblation::Full`], 1 under [`ScoreAblation::ContextOnly`]).
+struct Unit {
+    scale: f64,
+    progress: ConnProgress,
+}
+
+impl Unit {
+    /// The component's current value. Final once the progress is done.
+    fn value(&self) -> f64 {
+        self.scale * cdrc_from_conn(self.progress.estimate())
+    }
+
+    /// A **deterministic** upper bound on the component's final value:
+    /// the current value when done, else the scale (`cdr_c < 1` for any
+    /// finite connectivity, and walk means are always finite).
+    fn upper(&self) -> f64 {
+        if self.progress.is_done() {
+            self.value()
+        } else {
+            self.scale
+        }
+    }
+
+    /// The component's `z`-confidence interval (monotone image of the
+    /// connectivity interval — `cdr_c` is increasing in conn).
+    fn ci(&self, z: f64) -> (f64, f64) {
+        let (lo, hi) = self.progress.interval(z);
+        (
+            self.scale * cdrc_from_conn(lo),
+            self.scale * cdrc_from_conn(hi),
+        )
+    }
+}
+
+/// One additive score component of a candidate.
+enum Comp {
+    /// Walk-estimated: an index into the unit table.
+    Unit(usize),
+    /// Exact, walk-free (ontology-only ablation, or a match with no
+    /// posting to re-score from).
+    Exact(f64),
+}
+
+/// One race candidate: its score components in the classic operators'
+/// fold order, the distinct units to advance, and the non-negative
+/// multiplier racing applies on top of the component sum (1 for
+/// roll-up; the specificity/diversity factors for drill-down).
+struct Cand {
+    comps: Vec<Comp>,
+    advance: Vec<usize>,
+    mult: f64,
+    pruned: bool,
+}
+
+impl Cand {
+    /// Whether every walk unit of this candidate is done.
+    fn done(&self, units: &[Unit]) -> bool {
+        self.advance.iter().all(|&u| units[u].progress.is_done())
+    }
+
+    /// The component sum, folded in the classic operators' order (so a
+    /// finished candidate's sum is bit-for-bit the classic one).
+    fn cov(&self, units: &[Unit]) -> f64 {
+        self.comps
+            .iter()
+            .map(|c| match *c {
+                Comp::Unit(u) => units[u].value(),
+                Comp::Exact(x) => x,
+            })
+            .sum()
+    }
+
+    /// Deterministic upper bound on the final component sum — the same
+    /// fold over per-component upper bounds (float addition is
+    /// monotone, so the folded bound dominates the folded final sum).
+    fn cov_upper(&self, units: &[Unit]) -> f64 {
+        self.comps
+            .iter()
+            .map(|c| match *c {
+                Comp::Unit(u) => units[u].upper(),
+                Comp::Exact(x) => x,
+            })
+            .sum()
+    }
+
+    /// The candidate's score confidence interval (component interval
+    /// sums, times the racing multiplier).
+    fn ci(&self, units: &[Unit], z: f64) -> (f64, f64) {
+        let (mut lo, mut hi) = (0.0f64, 0.0f64);
+        for c in &self.comps {
+            match *c {
+                Comp::Unit(u) => {
+                    let (l, h) = units[u].ci(z);
+                    lo += l;
+                    hi += h;
+                }
+                Comp::Exact(x) => {
+                    lo += x;
+                    hi += x;
+                }
+            }
+        }
+        (lo * self.mult, hi * self.mult)
+    }
+
+    /// Walk samples this candidate's units consumed.
+    fn walks(&self, units: &[Unit]) -> u64 {
+        self.advance
+            .iter()
+            .map(|&u| units[u].progress.stats().walks)
+            .sum()
+    }
+}
+
+/// Builds the score component for one `(doc, via)` pair, opening a
+/// resumable unit when the ablation calls for a walk-estimated context
+/// factor. `unit_ix` dedups shared units *within one candidate* (two
+/// query concepts can match a document via the same edge concept);
+/// clear it per candidate.
+#[allow(clippy::too_many_arguments)]
+fn make_comp(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    config: &NcxConfig,
+    estimator: &ConnEstimator,
+    doc: DocId,
+    via: ConceptId,
+    stored_cdr: f64,
+    units: &mut Vec<Unit>,
+    unit_ix: &mut FxHashMap<ConceptId, usize>,
+    advance: &mut Vec<usize>,
+) -> Comp {
+    let Some(posting) = index.posting(via, doc) else {
+        // No posting to re-score from: keep the stored value exactly.
+        return Comp::Exact(stored_cdr);
+    };
+    match config.ablation {
+        ScoreAblation::OntologyOnly => Comp::Exact(posting.cdro),
+        ablation => {
+            if let Some(&u) = unit_ix.get(&via) {
+                return Comp::Unit(u);
+            }
+            let scale = if ablation == ScoreAblation::Full {
+                posting.cdro
+            } else {
+                1.0
+            };
+            // The indexer's context recipe, verbatim: the document's
+            // entities that are not themselves members of `via`.
+            let context: Vec<InstanceId> = index
+                .entity_index
+                .entities_of(doc)
+                .iter()
+                .filter(|&&(v, _)| kg.concepts_of(v).binary_search(&via).is_err())
+                .map(|&(v, _)| v)
+                .collect();
+            let seed = pair_seed(config.seed, doc.raw(), via.raw());
+            let progress = estimator.begin_conn_concept(kg, via, &context, config.samples, seed);
+            let u = units.len();
+            units.push(Unit { scale, progress });
+            unit_ix.insert(via, u);
+            advance.push(u);
+            Comp::Unit(u)
+        }
+    }
+}
+
+/// Race bookkeeping returned by [`run_race`]. Whether the race was cut
+/// is not recorded here — assembly re-derives it from whether any
+/// unpruned candidate still has unfinished units, which also covers a
+/// cut that happened to land on the last needed walk.
+struct RaceOutcome {
+    rounds: u32,
+    walks: u64,
+}
+
+/// The round/tranche loop. Each round: check the cuts, apply the
+/// successive-halving prune (racing only), then advance every
+/// unfinished unit of every unpruned candidate by one tranche.
+///
+/// Cut policy: the walk cap is tested **between rounds only**, so a
+/// capped run halts in a deterministic state every complete run passes
+/// through (the prefix-of-complete property relies on this); the
+/// deadline is additionally tested after every unit advance, since a
+/// wall-clock cut is not reproducible anyway and tighter checks bound
+/// the overshoot.
+fn run_race(
+    kg: &KnowledgeGraph,
+    estimator: &ConnEstimator,
+    units: &mut [Unit],
+    cands: &mut [Cand],
+    k: usize,
+    cfg: &ProgressiveConfig,
+    deadline: Option<&Deadline>,
+) -> RaceOutcome {
+    let mut walks: u64 = 0;
+    let mut rounds: u32 = 0;
+    let racing = cfg.racing && k > 0 && cands.len() > k;
+    loop {
+        if !cands.iter().any(|c| !c.pruned && !c.done(units)) {
+            return RaceOutcome { rounds, walks };
+        }
+        if let Some(max) = cfg.max_walks {
+            if walks >= max {
+                return RaceOutcome { rounds, walks };
+            }
+        }
+        if let Some(d) = deadline {
+            if d.expired() {
+                return RaceOutcome { rounds, walks };
+            }
+        }
+        if racing {
+            // The separation boundary: the k-th largest interval lower
+            // bound over the unpruned candidates (finished candidates
+            // contribute their point score). An unfinished candidate
+            // whose upper bound falls strictly below it is behind at
+            // least k others at the configured confidence — it stops
+            // walking. Finished candidates are never pruned: their
+            // score is already final, and pruning them could evict a
+            // reported result.
+            let mut lows: Vec<f64> = cands
+                .iter()
+                .filter(|c| !c.pruned)
+                .map(|c| c.ci(units, cfg.z).0)
+                .collect();
+            if lows.len() > k {
+                lows.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(Ordering::Equal));
+                let boundary = lows[k - 1];
+                for c in cands.iter_mut() {
+                    if c.pruned || c.done(units) {
+                        continue;
+                    }
+                    if c.ci(units, cfg.z).1 < boundary {
+                        c.pruned = true;
+                    }
+                }
+            }
+        }
+        for c in cands.iter() {
+            if c.pruned {
+                continue;
+            }
+            for &u in &c.advance {
+                if units[u].progress.is_done() {
+                    continue;
+                }
+                walks += u64::from(estimator.advance(kg, &mut units[u].progress, cfg.tranche));
+                if let Some(d) = deadline {
+                    if d.expired() {
+                        return RaceOutcome {
+                            rounds: rounds + 1,
+                            walks,
+                        };
+                    }
+                }
+            }
+        }
+        rounds += 1;
+    }
+}
+
+/// Fraction of walk units (of unpruned candidates) that finished.
+fn race_completeness(units: &[Unit], cands: &[Cand]) -> f64 {
+    let mut total = 0usize;
+    let mut done = 0usize;
+    for c in cands {
+        if c.pruned {
+            continue;
+        }
+        for &u in &c.advance {
+            total += 1;
+            if units[u].progress.is_done() {
+                done += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        done as f64 / total as f64
+    }
+}
+
+/// Sorts finished candidates exactly as [`TopK::into_sorted_vec`] does
+/// (score descending, key ascending) and takes the prefix whose scores
+/// strictly beat `bound` — the deterministic ceiling of every
+/// unfinished candidate — truncated to `k`. Strictness matters: a zero
+/// scale makes an unfinished component's bound attainable, and only a
+/// strictly greater score is guaranteed to stay ahead.
+fn converged_prefix<K: Ord + Copy>(
+    mut finished: Vec<(K, f64, usize)>,
+    bound: f64,
+    k: usize,
+) -> Vec<(K, f64, usize)> {
+    finished.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    let mut cut = 0;
+    for &(_, score, _) in finished.iter().take(k) {
+        if score > bound {
+            cut += 1;
+        } else {
+            break;
+        }
+    }
+    finished.truncate(cut);
+    finished
+}
+
+/// **Progressive roll-up**: the anytime counterpart of
+/// [`rollup`](crate::rollup::rollup). Returns the top-`k` documents as
+/// [`Ranked`] items; see the module docs for the racing loop and the
+/// partial-result contract.
+///
+/// The `estimator` must carry the engine's scoring parameters (τ, β,
+/// guidance, walk budget) and — for the cache-sharing fast path — the
+/// engine's member-set cache; [`crate::engine::NcExplorer::rollup_progressive`]
+/// constructs it that way.
+#[allow(clippy::too_many_arguments)]
+pub fn rollup_progressive(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    query: &ConceptQuery,
+    k: usize,
+    config: &NcxConfig,
+    pool: &Pool,
+    estimator: &ConnEstimator,
+    deadline: Option<&Deadline>,
+) -> ProgressiveResult<RollupHit> {
+    let matched = match matched_docs_bounded(index, kg, query, config, pool, deadline) {
+        Ok(m) => m,
+        Err(_) => return ProgressiveResult::interrupted(),
+    };
+    if matched.is_empty() {
+        return ProgressiveResult::empty();
+    }
+    // Canonical candidate order: ascending document id.
+    let mut docs: Vec<DocId> = matched.keys().copied().collect();
+    docs.sort_unstable();
+
+    let mut units: Vec<Unit> = Vec::new();
+    let mut cands: Vec<Cand> = Vec::with_capacity(docs.len());
+    let mut unit_ix: FxHashMap<ConceptId, usize> = FxHashMap::default();
+    for &doc in &docs {
+        unit_ix.clear();
+        let matches = &matched[&doc];
+        let mut comps = Vec::with_capacity(matches.len());
+        let mut advance = Vec::new();
+        for m in matches {
+            comps.push(make_comp(
+                index,
+                kg,
+                config,
+                estimator,
+                doc,
+                m.via,
+                m.cdr,
+                &mut units,
+                &mut unit_ix,
+                &mut advance,
+            ));
+        }
+        cands.push(Cand {
+            comps,
+            advance,
+            mult: 1.0,
+            pruned: false,
+        });
+    }
+
+    let outcome = run_race(
+        kg,
+        estimator,
+        &mut units,
+        &mut cands,
+        k,
+        &config.progressive,
+        deadline,
+    );
+
+    // The classic hit, with re-estimated cdr values substituted into the
+    // match list and the score folded in the identical match order.
+    let hit_of = |ci: usize| -> RollupHit {
+        let doc = docs[ci];
+        let mut matches = matched[&doc].clone();
+        for (m, comp) in matches.iter_mut().zip(&cands[ci].comps) {
+            m.cdr = match *comp {
+                Comp::Unit(u) => units[u].value(),
+                Comp::Exact(x) => x,
+            };
+        }
+        let score: f64 = matches.iter().map(|m| m.cdr).sum();
+        RollupHit {
+            doc,
+            score,
+            matches,
+        }
+    };
+
+    let active: Vec<usize> = (0..cands.len())
+        .filter(|&ci| !cands[ci].pruned && !cands[ci].done(&units))
+        .collect();
+    if active.is_empty() {
+        // Complete (a cut that landed exactly on the last walk is a
+        // completion). The literal classic fold, minus pruned docs —
+        // pruned candidates are provably outside the top-k, so the TopK
+        // output is unchanged.
+        let mut top = TopK::new(k);
+        for (ci, cand) in cands.iter().enumerate() {
+            if cand.pruned {
+                continue;
+            }
+            top.push(docs[ci], cand.cov(&units));
+        }
+        let pos: FxHashMap<DocId, usize> = docs.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        let items = top
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(doc, score)| {
+                let ci = pos[&doc];
+                Ranked {
+                    item: hit_of(ci),
+                    estimate: score,
+                    ci_lo: score,
+                    ci_hi: score,
+                    walks_spent: cands[ci].walks(&units),
+                }
+            })
+            .collect();
+        return ProgressiveResult {
+            items,
+            status: Completion::Complete,
+            walks: outcome.walks,
+            rounds: outcome.rounds,
+            candidates: cands.len(),
+        };
+    }
+
+    // Partial: report the converged prefix.
+    let bound = active
+        .iter()
+        .map(|&ci| cands[ci].cov_upper(&units))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let finished: Vec<(DocId, f64, usize)> = cands
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.pruned && c.done(&units))
+        .map(|(ci, c)| (docs[ci], c.cov(&units), ci))
+        .collect();
+    let items = converged_prefix(finished, bound, k)
+        .into_iter()
+        .map(|(_, score, ci)| Ranked {
+            item: hit_of(ci),
+            estimate: score,
+            ci_lo: score,
+            ci_hi: score,
+            walks_spent: cands[ci].walks(&units),
+        })
+        .collect();
+    ProgressiveResult {
+        items,
+        status: Completion::Partial {
+            completeness: race_completeness(&units, &cands),
+        },
+        walks: outcome.walks,
+        rounds: outcome.rounds,
+        candidates: cands.len(),
+    }
+}
+
+/// **Progressive drill-down**: the anytime counterpart of
+/// [`drilldown_with_factors`](crate::drilldown::drilldown_with_factors).
+/// Candidates are subtopic concepts; each matched document contributes
+/// one walk unit per candidate it scores, and the specificity/diversity
+/// factors (exact, walk-free) scale the raced coverage interval.
+#[allow(clippy::too_many_arguments)]
+pub fn drilldown_progressive(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    query: &ConceptQuery,
+    k: usize,
+    config: &NcxConfig,
+    pool: &Pool,
+    estimator: &ConnEstimator,
+    factors: SbrFactors,
+    deadline: Option<&Deadline>,
+) -> ProgressiveResult<Subtopic> {
+    let matched = match matched_docs_bounded(index, kg, query, config, pool, deadline) {
+        Ok(m) => m,
+        Err(_) => return ProgressiveResult::interrupted(),
+    };
+    if matched.is_empty() {
+        return ProgressiveResult::empty();
+    }
+    // The classic operator's deterministic, capped document set.
+    let mut docs: Vec<DocId> = matched.into_keys().collect();
+    docs.sort_unstable();
+    docs.truncate(config.drilldown_doc_cap);
+
+    let mut excluded: FxHashSet<ConceptId> = FxHashSet::default();
+    for &c in query.concepts() {
+        excluded.insert(c);
+        excluded.extend(ontology::ancestors(kg, c));
+    }
+
+    // Sweep 1, progressively: candidates in first-seen order, score
+    // components appended in the classic doc-ascending fold order, and
+    // the per-candidate matching-document counts (exact, walk-free).
+    let mut order: Vec<ConceptId> = Vec::new();
+    let mut cix: FxHashMap<ConceptId, usize> = FxHashMap::default();
+    let mut cands: Vec<Cand> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    let mut units: Vec<Unit> = Vec::new();
+    let mut unit_scratch: FxHashMap<ConceptId, usize> = FxHashMap::default();
+    for &doc in &docs {
+        unit_scratch.clear();
+        for &(c, stored_cdr) in index.concepts_of_doc(doc) {
+            if excluded.contains(&c) {
+                continue;
+            }
+            let ci = *cix.entry(c).or_insert_with(|| {
+                order.push(c);
+                counts.push(0);
+                cands.push(Cand {
+                    comps: Vec::new(),
+                    advance: Vec::new(),
+                    mult: 1.0,
+                    pruned: false,
+                });
+                cands.len() - 1
+            });
+            counts[ci] += 1;
+            let cand = &mut cands[ci];
+            let comp = make_comp(
+                index,
+                kg,
+                config,
+                estimator,
+                doc,
+                c,
+                stored_cdr,
+                &mut units,
+                &mut unit_scratch,
+                &mut cand.advance,
+            );
+            cand.comps.push(comp);
+        }
+    }
+    if cands.is_empty() {
+        return ProgressiveResult::empty();
+    }
+
+    // Sweep 2 (exact, walk-free): distinct supporting entities.
+    let mut entity_sets: FxHashMap<ConceptId, FxHashSet<InstanceId>> = FxHashMap::default();
+    for &doc in &docs {
+        for &(v, _) in index.entity_index.entities_of(doc) {
+            for &c in kg.concepts_of(v) {
+                if cix.contains_key(&c) {
+                    entity_sets.entry(c).or_default().insert(v);
+                }
+            }
+        }
+    }
+
+    // Exact factor data per candidate; the racing multiplier folds the
+    // chosen factors into one non-negative scalar (specificity is a
+    // log of a ratio ≥ 1, diversity a ratio of counts).
+    struct Meta {
+        spec: f64,
+        div: f64,
+        matching: usize,
+        distinct: usize,
+    }
+    let metas: Vec<Meta> = order
+        .iter()
+        .enumerate()
+        .map(|(ci, &c)| {
+            let matching = counts[ci];
+            let distinct = entity_sets.get(&c).map_or(0, FxHashSet::len);
+            let spec = kg.specificity(c);
+            let div = if matching == 0 {
+                0.0
+            } else {
+                distinct as f64 / matching as f64
+            };
+            Meta {
+                spec,
+                div,
+                matching,
+                distinct,
+            }
+        })
+        .collect();
+    for (cand, meta) in cands.iter_mut().zip(&metas) {
+        cand.mult = match factors {
+            SbrFactors::C => 1.0,
+            SbrFactors::CS => meta.spec,
+            SbrFactors::CSD => meta.spec * meta.div,
+        };
+    }
+
+    let outcome = run_race(
+        kg,
+        estimator,
+        &mut units,
+        &mut cands,
+        k,
+        &config.progressive,
+        deadline,
+    );
+
+    // The classic score formula, verbatim (CSD multiplies the factors
+    // separately — folding them first would change the float bits).
+    let score_from_cov = |cov: f64, meta: &Meta| match factors {
+        SbrFactors::C => cov,
+        SbrFactors::CS => cov * meta.spec,
+        SbrFactors::CSD => cov * meta.spec * meta.div,
+    };
+    let sub_of = |ci: usize, cov: f64, score: f64| -> Subtopic {
+        let meta = &metas[ci];
+        Subtopic {
+            concept: order[ci],
+            score,
+            coverage: cov,
+            specificity: meta.spec,
+            diversity: meta.div,
+            matching_docs: meta.matching,
+            distinct_entities: meta.distinct,
+        }
+    };
+
+    let active: Vec<usize> = (0..cands.len())
+        .filter(|&ci| !cands[ci].pruned && !cands[ci].done(&units))
+        .collect();
+    if active.is_empty() {
+        let mut top = TopK::new(k);
+        for (ci, cand) in cands.iter().enumerate() {
+            if cand.pruned {
+                continue;
+            }
+            top.push(order[ci], score_from_cov(cand.cov(&units), &metas[ci]));
+        }
+        let items = top
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(c, score)| {
+                let ci = cix[&c];
+                Ranked {
+                    item: sub_of(ci, cands[ci].cov(&units), score),
+                    estimate: score,
+                    ci_lo: score,
+                    ci_hi: score,
+                    walks_spent: cands[ci].walks(&units),
+                }
+            })
+            .collect();
+        return ProgressiveResult {
+            items,
+            status: Completion::Complete,
+            walks: outcome.walks,
+            rounds: outcome.rounds,
+            candidates: cands.len(),
+        };
+    }
+
+    // Partial: scores and bounds live on the factored scale; the factor
+    // multipliers are non-negative, so the bound stays a bound.
+    let bound = active
+        .iter()
+        .map(|&ci| score_from_cov(cands[ci].cov_upper(&units), &metas[ci]))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let finished: Vec<(ConceptId, f64, usize)> = cands
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.pruned && c.done(&units))
+        .map(|(ci, c)| (order[ci], score_from_cov(c.cov(&units), &metas[ci]), ci))
+        .collect();
+    let items = converged_prefix(finished, bound, k)
+        .into_iter()
+        .map(|(_, score, ci)| Ranked {
+            item: sub_of(ci, cands[ci].cov(&units), score),
+            estimate: score,
+            ci_lo: score,
+            ci_hi: score,
+            walks_spent: cands[ci].walks(&units),
+        })
+        .collect();
+    ProgressiveResult {
+        items,
+        status: Completion::Partial {
+            completeness: race_completeness(&units, &cands),
+        },
+        walks: outcome.walks,
+        rounds: outcome.rounds,
+        candidates: cands.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Parallelism, WalkBudget};
+    use crate::drilldown::drilldown_with_factors;
+    use crate::indexer::Indexer;
+    use crate::rollup::rollup;
+    use ncx_index::{DocumentStore, NewsSource};
+    use ncx_kg::GraphBuilder;
+    use ncx_reach::TargetDistanceOracle;
+    use std::sync::Arc;
+
+    /// Crypto-themed corpus with enough distinct documents to give the
+    /// racing loop real separation work.
+    fn setup() -> (KnowledgeGraph, DocumentStore) {
+        let mut b = GraphBuilder::new();
+        let company = b.concept("Company");
+        let exch = b.concept("Exchange");
+        let bank = b.concept("Bank");
+        b.broader(exch, company);
+        b.broader(bank, company);
+        let crime = b.concept("Crime");
+        let regulator = b.concept("Regulator");
+        let ftx = b.instance("FTX");
+        let bnb = b.instance("Binance");
+        let kraken = b.instance("Kraken");
+        let dbs = b.instance("DBS");
+        let fraud = b.instance("fraud");
+        let launder = b.instance("laundering");
+        let sec = b.instance("SEC");
+        let cftc = b.instance("CFTC");
+        b.member(exch, ftx);
+        b.member(exch, bnb);
+        b.member(exch, kraken);
+        b.member(bank, dbs);
+        b.member(crime, fraud);
+        b.member(crime, launder);
+        b.member(regulator, sec);
+        b.member(regulator, cftc);
+        b.fact(ftx, "accusedOf", fraud);
+        b.fact(bnb, "probedFor", launder);
+        b.fact(sec, "sued", ftx);
+        b.fact(sec, "probed", bnb);
+        b.fact(cftc, "sued", kraken);
+        b.fact(ftx, "clientOf", dbs);
+        let kg = b.build();
+
+        let texts = [
+            "SEC sued FTX over fraud. FTX executives charged with fraud.",
+            "Binance probed for laundering by the SEC.",
+            "CFTC sued Kraken. Kraken disputes the fraud claims.",
+            "DBS screens laundering risks as FTX banks with DBS.",
+            "FTX and Binance both face fraud scrutiny from the SEC.",
+            "Kraken and DBS discussed laundering controls.",
+        ];
+        let mut store = DocumentStore::new();
+        for (i, t) in texts.iter().enumerate() {
+            store.add(
+                NewsSource::Reuters,
+                format!("doc {i}"),
+                (*t).into(),
+                i as u32,
+            );
+        }
+        (kg, store)
+    }
+
+    fn build_with(config: &NcxConfig) -> (KnowledgeGraph, NcxIndex) {
+        let (kg, store) = setup();
+        let nlp = ncx_text::NlpPipeline::new(ncx_text::GazetteerLinker::build(&kg));
+        let index = Indexer::new(&kg, &nlp, config.clone()).index_corpus(&store);
+        (kg, index)
+    }
+
+    fn base_config() -> NcxConfig {
+        NcxConfig {
+            parallelism: Parallelism::sequential(),
+            samples: 60,
+            max_member_fraction: 1.0,
+            ..NcxConfig::default()
+        }
+    }
+
+    fn estimator_for(config: &NcxConfig) -> ConnEstimator {
+        ConnEstimator::with_budget(
+            config.tau,
+            config.beta,
+            config.guided,
+            Arc::new(TargetDistanceOracle::with_shards(
+                config.tau,
+                config.oracle_cache,
+                config.oracle_shards,
+            )),
+            config.walk_budget,
+        )
+    }
+
+    fn pool() -> Pool {
+        Pool::new(2)
+    }
+
+    #[test]
+    fn exhaustive_progressive_rollup_is_bit_for_bit_classic() {
+        // Racing off + unlimited budget + sequential parallelism is the
+        // reference mode: the tentpole's equivalence requirement.
+        for budget in [WalkBudget::disabled(), WalkBudget::default()] {
+            let mut config = base_config();
+            config.walk_budget = budget;
+            config.progressive.racing = false;
+            let (kg, index) = build_with(&config);
+            let p = pool();
+            let est = estimator_for(&config);
+            for names in [
+                vec!["Exchange"],
+                vec!["Company"],
+                vec!["Exchange", "Crime"],
+                vec!["Company", "Crime"],
+            ] {
+                let q = ConceptQuery::from_names(&kg, &names).unwrap();
+                let classic = rollup(&index, &kg, &q, 4, &config, &p);
+                let prog = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None);
+                assert!(prog.is_complete());
+                assert_eq!(prog.completeness(), 1.0);
+                let hits: Vec<RollupHit> = prog.items.iter().map(|r| r.item.clone()).collect();
+                assert_eq!(hits, classic, "diverged for {names:?}");
+                for r in &prog.items {
+                    assert_eq!(r.estimate, r.item.score);
+                    assert_eq!(r.ci_lo, r.estimate);
+                    assert_eq!(r.ci_hi, r.estimate);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_progressive_drilldown_is_bit_for_bit_classic() {
+        let mut config = base_config();
+        config.progressive.racing = false;
+        let (kg, index) = build_with(&config);
+        let p = pool();
+        let est = estimator_for(&config);
+        let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
+        for factors in [SbrFactors::C, SbrFactors::CS, SbrFactors::CSD] {
+            let classic = drilldown_with_factors(&index, &kg, &q, 5, &config, &p, factors);
+            let prog = drilldown_progressive(&index, &kg, &q, 5, &config, &p, &est, factors, None);
+            assert!(prog.is_complete());
+            let subs: Vec<Subtopic> = prog.items.iter().map(|r| r.item.clone()).collect();
+            assert_eq!(subs, classic, "diverged for {factors:?}");
+        }
+    }
+
+    #[test]
+    fn racing_keeps_the_topk_and_saves_walks() {
+        let config = base_config();
+        let (kg, index) = build_with(&config);
+        let p = pool();
+        let q = ConceptQuery::from_names(&kg, &["Company", "Crime"]).unwrap();
+        let mut exhaustive_cfg = config.clone();
+        exhaustive_cfg.progressive.racing = false;
+        let est = estimator_for(&config);
+        let exhaustive = rollup_progressive(&index, &kg, &q, 2, &exhaustive_cfg, &p, &est, None);
+        let est = estimator_for(&config);
+        let raced = rollup_progressive(&index, &kg, &q, 2, &config, &p, &est, None);
+        assert!(raced.is_complete());
+        // Same top-k items with the exact same scores: racing prunes
+        // losers, never perturbs survivors.
+        assert_eq!(raced.items, exhaustive.items);
+        assert!(
+            raced.walks <= exhaustive.walks,
+            "racing must not walk more: {} vs {}",
+            raced.walks,
+            exhaustive.walks
+        );
+    }
+
+    #[test]
+    fn walk_cap_yields_a_prefix_of_the_complete_ranking() {
+        let config = base_config();
+        let (kg, index) = build_with(&config);
+        let p = pool();
+        let q = ConceptQuery::from_names(&kg, &["Company"]).unwrap();
+        let est = estimator_for(&config);
+        let complete = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None);
+        assert!(complete.is_complete());
+        for cap in [0u64, 10, 40, 90, 200, 100_000] {
+            let mut capped_cfg = config.clone();
+            capped_cfg.progressive.max_walks = Some(cap.max(1));
+            let est = estimator_for(&capped_cfg);
+            let capped = rollup_progressive(&index, &kg, &q, 4, &capped_cfg, &p, &est, None);
+            assert!(
+                capped.items.len() <= complete.items.len(),
+                "cap {cap}: longer than complete"
+            );
+            for (a, b) in capped.items.iter().zip(&complete.items) {
+                assert_eq!(a, b, "cap {cap}: partial is not a prefix");
+            }
+            if !capped.is_complete() {
+                let c = capped.completeness();
+                assert!((0.0..1.0).contains(&c), "cap {cap}: completeness {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_returns_an_empty_partial() {
+        let config = base_config();
+        let (kg, index) = build_with(&config);
+        let p = pool();
+        let est = estimator_for(&config);
+        let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
+        let dead = Deadline::after(std::time::Duration::ZERO);
+        let r = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, Some(&dead));
+        assert!(!r.is_complete());
+        assert_eq!(r.completeness(), 0.0);
+        assert!(r.items.is_empty());
+        assert_eq!(r.walks, 0);
+        let d = drilldown_progressive(
+            &index,
+            &kg,
+            &q,
+            4,
+            &config,
+            &p,
+            &est,
+            SbrFactors::CSD,
+            Some(&dead),
+        );
+        assert!(!d.is_complete());
+        assert!(d.items.is_empty());
+        // A deadline that never fires changes nothing.
+        let live = Deadline::after(std::time::Duration::from_secs(3600));
+        let bounded = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, Some(&live));
+        let unbounded = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None);
+        assert_eq!(bounded, unbounded);
+    }
+
+    #[test]
+    fn ontology_only_needs_no_walks() {
+        let mut config = base_config();
+        config.ablation = ScoreAblation::OntologyOnly;
+        let (kg, index) = build_with(&config);
+        let p = pool();
+        let est = estimator_for(&config);
+        let q = ConceptQuery::from_names(&kg, &["Exchange", "Crime"]).unwrap();
+        let classic = rollup(&index, &kg, &q, 4, &config, &p);
+        let prog = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None);
+        assert!(prog.is_complete());
+        assert_eq!(prog.walks, 0, "ontology-only scores are exact");
+        assert_eq!(prog.rounds, 0);
+        let hits: Vec<RollupHit> = prog.items.iter().map(|r| r.item.clone()).collect();
+        assert_eq!(hits, classic);
+        for r in &prog.items {
+            assert_eq!(r.walks_spent, 0);
+        }
+    }
+
+    #[test]
+    fn empty_query_is_trivially_complete() {
+        let config = base_config();
+        let (kg, index) = build_with(&config);
+        let p = pool();
+        let est = estimator_for(&config);
+        let q = ConceptQuery::new([]);
+        let r = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None);
+        assert!(r.is_complete());
+        assert!(r.items.is_empty());
+        assert_eq!(r.candidates, 0);
+    }
+}

@@ -694,76 +694,20 @@ impl ConnEstimator {
         let mut consumed = 0u32;
         for &pos in order {
             let target = context[pos as usize];
-            let (idx, count, mode) = match per_target[pos as usize] {
-                Some(resolved) => resolved,
-                None => {
-                    let idx = match target_idx.get(&target) {
-                        Some(&i) => i,
-                        None => {
-                            let td = self.oracle.distances(kg, target);
-                            let i = target_store.len() as u32;
-                            target_store.push(td);
-                            target_idx.insert(target, i);
-                            i
-                        }
-                    };
-                    let td = &target_store[idx as usize];
-                    let count = source_count(mwords, td.eligibility().level(self.tau), target);
-                    // Draw-mode choice, cheapest viable first. The
-                    // slice modes need a duplicate-free member slice,
-                    // or slice draws would overweight repeated entries.
-                    let mode = if count == 0 {
-                        DrawMode::Degenerate
-                    } else if distinct_slice && count == members.len() {
-                        DrawMode::Slice
-                    } else if distinct_slice && count * 2 >= members.len() {
-                        DrawMode::Reject
-                    } else {
-                        DrawMode::Select
-                    };
-                    let resolved = (idx, count as u32, mode);
-                    per_target[pos as usize] = Some(resolved);
-                    resolved
-                }
-            };
-            let count = count as usize;
-            let td = &target_store[idx as usize];
-            let x = if mode == DrawMode::Degenerate {
-                // Degenerate sample; counts as a consumed walk.
-                stats.walks += 1;
-                0.0
-            } else {
-                let elig = td.eligibility();
-                let u = match mode {
-                    DrawMode::Slice => {
-                        let k = if members.len() == 1 {
-                            0
-                        } else {
-                            fast_uniform(rng, members.len())
-                        };
-                        members[k]
-                    }
-                    DrawMode::Reject => {
-                        let ball = elig.level(self.tau);
-                        loop {
-                            let cand = members[fast_uniform(rng, members.len())];
-                            if cand != target && ball.contains(cand) {
-                                break cand;
-                            }
-                        }
-                    }
-                    DrawMode::Select => {
-                        let k = if count == 1 {
-                            0
-                        } else {
-                            fast_uniform(rng, count)
-                        };
-                        select_kth_source(mwords, elig.level(self.tau), target, k)
-                    }
-                    DrawMode::Degenerate => unreachable!(),
-                };
-                walker.walk_from(kg, u, count, target, elig, self.tau, self.beta, rng, stats)
-            };
+            let x = self.guided_sample(
+                kg,
+                members,
+                mwords,
+                distinct_slice,
+                target,
+                pos as usize,
+                per_target,
+                target_idx,
+                target_store,
+                walker,
+                rng,
+                stats,
+            );
             total += x;
             consumed += 1;
             if adaptive {
@@ -779,6 +723,353 @@ impl ConnEstimator {
             }
         }
         total / consumed as f64
+    }
+
+    /// One guided sample of the stratified sequence: resolve the drawn
+    /// target (memoised per context position and per estimator), draw a
+    /// restricted source, walk. This is the per-sample body shared —
+    /// literally, one function — by the one-shot
+    /// [`estimate_conn`](Self::estimate_conn) loop and the resumable
+    /// [`advance`](Self::advance) loop, which is what makes a
+    /// tranche-by-tranche progressive estimate bit-for-bit identical to
+    /// the one-shot estimate of the same seed.
+    #[allow(clippy::too_many_arguments)]
+    fn guided_sample(
+        &self,
+        kg: &KnowledgeGraph,
+        members: &[InstanceId],
+        mwords: &[u64],
+        distinct_slice: bool,
+        target: InstanceId,
+        pos: usize,
+        per_target: &mut [Option<(u32, u32, DrawMode)>],
+        target_idx: &mut FxHashMap<InstanceId, u32>,
+        target_store: &mut Vec<TargetDistances>,
+        walker: &mut Walker,
+        rng: &mut SmallRng,
+        stats: &mut WalkStats,
+    ) -> f64 {
+        let (idx, count, mode) = match per_target[pos] {
+            Some(resolved) => resolved,
+            None => {
+                let idx = match target_idx.get(&target) {
+                    Some(&i) => i,
+                    None => {
+                        let td = self.oracle.distances(kg, target);
+                        let i = target_store.len() as u32;
+                        target_store.push(td);
+                        target_idx.insert(target, i);
+                        i
+                    }
+                };
+                let td = &target_store[idx as usize];
+                let count = source_count(mwords, td.eligibility().level(self.tau), target);
+                // Draw-mode choice, cheapest viable first. The
+                // slice modes need a duplicate-free member slice,
+                // or slice draws would overweight repeated entries.
+                let mode = if count == 0 {
+                    DrawMode::Degenerate
+                } else if distinct_slice && count == members.len() {
+                    DrawMode::Slice
+                } else if distinct_slice && count * 2 >= members.len() {
+                    DrawMode::Reject
+                } else {
+                    DrawMode::Select
+                };
+                let resolved = (idx, count as u32, mode);
+                per_target[pos] = Some(resolved);
+                resolved
+            }
+        };
+        let count = count as usize;
+        let td = &target_store[idx as usize];
+        if mode == DrawMode::Degenerate {
+            // Degenerate sample; counts as a consumed walk.
+            stats.walks += 1;
+            return 0.0;
+        }
+        let elig = td.eligibility();
+        let u = match mode {
+            DrawMode::Slice => {
+                let k = if members.len() == 1 {
+                    0
+                } else {
+                    fast_uniform(rng, members.len())
+                };
+                members[k]
+            }
+            DrawMode::Reject => {
+                let ball = elig.level(self.tau);
+                loop {
+                    let cand = members[fast_uniform(rng, members.len())];
+                    if cand != target && ball.contains(cand) {
+                        break cand;
+                    }
+                }
+            }
+            DrawMode::Select => {
+                let k = if count == 1 {
+                    0
+                } else {
+                    fast_uniform(rng, count)
+                };
+                select_kth_source(mwords, elig.level(self.tau), target, k)
+            }
+            DrawMode::Degenerate => unreachable!(),
+        };
+        walker.walk_from(kg, u, count, target, elig, self.tau, self.beta, rng, stats)
+    }
+
+    /// Opens a **resumable** connectivity estimate of `conn(concept, ·)`
+    /// over `context` — the same estimand, seed discipline, and sample
+    /// sequence as [`estimate_conn_concept`](Self::estimate_conn_concept),
+    /// but advanced tranche by tranche via [`advance`](Self::advance)
+    /// instead of run to completion in one call.
+    ///
+    /// The returned [`ConnProgress`] carries everything walk-order
+    /// dependent (the RNG mid-stream, the pre-drawn target order, the
+    /// Welford [`Convergence`] state, per-position target resolutions),
+    /// so interleaving tranches of *different* estimates cannot perturb
+    /// any of them: driving a progress to completion — in any tranche
+    /// sizes, interleaved with any other progresses — produces the
+    /// exact bits of the one-shot estimate. A progress is bound to the
+    /// estimator that opened it (it indexes the estimator's target
+    /// memo); advance it only there.
+    pub fn begin_conn_concept(
+        &self,
+        kg: &KnowledgeGraph,
+        concept: ConceptId,
+        context: &[InstanceId],
+        samples: u32,
+        seed: u64,
+    ) -> ConnProgress {
+        let members = kg.members(concept);
+        if members.is_empty() || context.is_empty() || samples == 0 {
+            // Mirrors the one-shot early return: estimate 0, no walks.
+            return ConnProgress {
+                concept,
+                context: Vec::new(),
+                member_set: None,
+                samples,
+                rng: SmallRng::seed_from_u64(seed),
+                order: Vec::new(),
+                per_target: Vec::new(),
+                total: 0.0,
+                conv: Convergence::default(),
+                consumed: 0,
+                done: true,
+                stats: WalkStats::default(),
+            };
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Stratify exactly as the one-shot path does: every target draw
+        // happens now, from the same RNG prefix, so the walk stream
+        // that follows is positioned identically.
+        let mut order = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            order.push(fast_uniform(&mut rng, context.len()) as u32);
+        }
+        // `kg.members(c)` is sorted and duplicate-free by CSR
+        // construction, so the bitset build needs no dedup pass and
+        // `distinct == members.len()` — the same invariant the one-shot
+        // concept path asserts against its cache.
+        let member_set = if self.guided {
+            Some(match &self.member_cache {
+                Some(cache) => cache.get(kg, concept),
+                None => Arc::new(MemberSet::build(kg.num_instances(), members)),
+            })
+        } else {
+            None
+        };
+        ConnProgress {
+            concept,
+            context: context.to_vec(),
+            member_set,
+            samples,
+            rng,
+            order,
+            per_target: vec![None; context.len()],
+            total: 0.0,
+            conv: Convergence::default(),
+            consumed: 0,
+            done: false,
+            stats: WalkStats::default(),
+        }
+    }
+
+    /// Runs up to `tranche` further samples of a resumable estimate,
+    /// returning how many were consumed. Stops early — marking the
+    /// progress done — when the sample budget is exhausted or the
+    /// adaptive walk budget's stopping rule fires, exactly where the
+    /// one-shot estimate would have stopped. Deadlines are *not*
+    /// checked here: the progressive executor owns its cut policy at
+    /// round granularity (a cut between tranches is resumable; a
+    /// timing-dependent cut inside one would not be reproducible).
+    pub fn advance(&self, kg: &KnowledgeGraph, p: &mut ConnProgress, tranche: u32) -> u32 {
+        if p.done || tranche == 0 {
+            return 0;
+        }
+        let mut guard = self.scratch.borrow_mut();
+        let s = &mut *guard;
+        if self.tau > 2 || !self.guided {
+            // Same walker-ensure rule as the one-shot paths: guided
+            // τ ≤ 2 never reads the stamp array.
+            s.walker.ensure(kg.num_instances());
+        }
+        let members = kg.members(p.concept);
+        let adaptive = self.budget.is_adaptive();
+        let mut advanced = 0u32;
+        while advanced < tranche && !p.done {
+            let pos = p.order[p.consumed as usize];
+            let target = p.context[pos as usize];
+            let x = if self.guided {
+                let set = p
+                    .member_set
+                    .as_ref()
+                    .expect("guided progress carries its member set");
+                self.guided_sample(
+                    kg,
+                    members,
+                    set.words(),
+                    set.distinct() == members.len(),
+                    target,
+                    pos as usize,
+                    &mut p.per_target,
+                    &mut s.target_idx,
+                    &mut s.target_store,
+                    &mut s.walker,
+                    &mut p.rng,
+                    &mut p.stats,
+                )
+            } else {
+                Self::unguided_sample(
+                    kg,
+                    &mut s.walker,
+                    members,
+                    target,
+                    self.tau,
+                    self.beta,
+                    &mut p.rng,
+                    &mut p.stats,
+                )
+            };
+            p.total += x;
+            p.consumed += 1;
+            // Progressive estimates always fold the Welford state (the
+            // confidence interval needs it); the one-shot path folds it
+            // only under an adaptive budget. Folding is observation,
+            // not control — the walk values are untouched — so the two
+            // paths still consume identical sample streams.
+            p.conv.push(x);
+            advanced += 1;
+            if p.consumed as usize == p.order.len() {
+                p.done = true;
+            } else if adaptive && self.should_stop(&p.conv, p.consumed, p.samples) {
+                p.stats.early_stops += 1;
+                p.done = true;
+            }
+        }
+        advanced
+    }
+}
+
+/// Resumable state of one in-flight connectivity estimate — the
+/// per-target estimate state behind progressive query execution.
+///
+/// Opened by [`ConnEstimator::begin_conn_concept`], refined tranche by
+/// tranche by [`ConnEstimator::advance`] on the estimator that opened
+/// it. Determinism contract: running a progress to completion yields
+/// bit-for-bit the one-shot
+/// [`estimate_conn_concept`](ConnEstimator::estimate_conn_concept) of
+/// the same `(concept, context, samples, seed)` — regardless of tranche
+/// sizes or interleaving with other progresses — because both paths
+/// execute the identical per-sample code over the identical pre-drawn
+/// sample order, and the walk-order-dependent state lives here, not in
+/// shared scratch.
+#[derive(Debug)]
+pub struct ConnProgress {
+    concept: ConceptId,
+    /// Owned context snapshot (the one-shot path borrows the caller's).
+    context: Vec<InstanceId>,
+    /// The concept's member bitset (guided only): shared from the
+    /// estimator's cache when one is attached, else built privately.
+    member_set: Option<Arc<MemberSet>>,
+    /// Requested sample budget.
+    samples: u32,
+    /// Mid-stream RNG, positioned after the up-front target draws.
+    rng: SmallRng,
+    /// Pre-drawn target position per sample, in draw order.
+    order: Vec<u32>,
+    /// Per context position: resolved (target-store index, restricted
+    /// source count, draw mode) — indexes the opening estimator's
+    /// target memo.
+    per_target: Vec<Option<(u32, u32, DrawMode)>>,
+    total: f64,
+    conv: Convergence,
+    consumed: u32,
+    done: bool,
+    stats: WalkStats,
+}
+
+impl ConnProgress {
+    /// The running estimate: the mean over the samples consumed so far
+    /// (0 before any). Once [`is_done`](Self::is_done), this is the
+    /// final one-shot-identical value.
+    pub fn estimate(&self) -> f64 {
+        if self.consumed == 0 {
+            0.0
+        } else {
+            self.total / self.consumed as f64
+        }
+    }
+
+    /// Whether the estimate has reached its stop point (budget
+    /// exhausted or adaptive rule fired): no further sample will ever
+    /// change [`estimate`](Self::estimate).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Samples consumed so far (each counts one walk, degenerate
+    /// zero-value samples included — the [`WalkStats`] convention).
+    pub fn consumed(&self) -> u32 {
+        self.consumed
+    }
+
+    /// The requested sample budget.
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+
+    /// Walk statistics over the consumed samples.
+    pub fn stats(&self) -> WalkStats {
+        self.stats
+    }
+
+    /// A `z`-scaled confidence interval for the estimate, on the conn
+    /// scale, clamped to `[0, ∞)` (connectivity is non-negative).
+    ///
+    /// * done → the point `[estimate, estimate]`: the value is final,
+    ///   whatever its residual statistical error against the *true*
+    ///   conn — racing compares candidates against each other, and a
+    ///   finished candidate's score can no longer move;
+    /// * fewer than two samples → `[0, ∞)`: nothing is known yet;
+    /// * otherwise `running mean ± z·se`, widened to include the
+    ///   running estimate (`total/n` and the Welford mean can differ in
+    ///   the last bits).
+    pub fn interval(&self, z: f64) -> (f64, f64) {
+        let est = self.estimate();
+        if self.done {
+            return (est, est);
+        }
+        let se = self.conv.se();
+        if !se.is_finite() {
+            return (0.0, f64::INFINITY);
+        }
+        let mean = self.conv.mean();
+        let lo = (est.min(mean) - z * se).max(0.0);
+        let hi = est.max(mean) + z * se;
+        (lo, hi)
     }
 }
 
@@ -1155,6 +1446,116 @@ mod tests {
             let (b, _) = dirty.estimate_sum_to_target(&kg, &dup, v, 300, 7);
             assert_eq!(a.to_bits(), b.to_bits(), "guided={guided}");
         }
+    }
+
+    /// Diamond graph with its members registered under a concept, for
+    /// the concept-keyed entry points.
+    fn diamond_concept() -> (KnowledgeGraph, ConceptId, Vec<InstanceId>, InstanceId) {
+        let mut b = GraphBuilder::new();
+        let u1 = b.instance("u1");
+        let u2 = b.instance("u2");
+        let m1 = b.instance("m1");
+        let m2 = b.instance("m2");
+        let v = b.instance("v");
+        b.fact(u1, "r", v);
+        b.fact(u1, "r", m1);
+        b.fact(m1, "r", v);
+        b.fact(u2, "r", m2);
+        b.fact(m2, "r", v);
+        b.fact(m1, "r", m2);
+        let c = b.concept("C");
+        b.member(c, u1);
+        b.member(c, u2);
+        let kg = b.build();
+        (kg, c, vec![u1, u2], v)
+    }
+
+    /// The tentpole determinism contract: a resumable estimate driven
+    /// to completion — in any tranche sizes, interleaved with other
+    /// progresses, with or without an adaptive budget — reproduces the
+    /// one-shot estimate bit-for-bit, including the stop point.
+    #[test]
+    fn progressive_advance_matches_one_shot_bit_for_bit() {
+        let (kg, c, _, v) = diamond_concept();
+        let m1 = kg.instance_by_name("m1").unwrap();
+        let context = [v, m1];
+        let budgets = [
+            WalkBudget::disabled(),
+            WalkBudget {
+                min_walks: 4,
+                check_interval: 2,
+                target_rse: 0.3,
+            },
+        ];
+        for guided in [true, false] {
+            for budget in budgets {
+                for tranche in [1u32, 3, 7, 400] {
+                    let one = ConnEstimator::with_budget(2, 0.5, guided, oracle(2), budget);
+                    let (want, want_stats) = one.estimate_conn_concept(&kg, c, &context, 400, 2024);
+                    let est = ConnEstimator::with_budget(2, 0.5, guided, oracle(2), budget);
+                    // A sibling progress interleaves with the probed
+                    // one; its tranches must not perturb the bits.
+                    let mut other = est.begin_conn_concept(&kg, c, &context, 400, 999);
+                    let mut p = est.begin_conn_concept(&kg, c, &context, 400, 2024);
+                    while !p.is_done() {
+                        est.advance(&kg, &mut p, tranche);
+                        est.advance(&kg, &mut other, tranche);
+                    }
+                    assert_eq!(
+                        p.estimate().to_bits(),
+                        want.to_bits(),
+                        "guided={guided} tranche={tranche} budget={budget:?}"
+                    );
+                    assert_eq!(p.stats().walks, want_stats.walks, "same stop point");
+                    assert_eq!(p.stats().early_stops, want_stats.early_stops);
+                    assert_eq!(p.consumed() as u64, p.stats().walks);
+                }
+            }
+        }
+    }
+
+    /// Progressive intervals behave: maximally wide before two samples,
+    /// shrinking as walks land, collapsed to the final point once done,
+    /// and containing the final estimate along the way on this
+    /// zero-variance fixture.
+    #[test]
+    fn progressive_interval_tightens_and_collapses() {
+        let (kg, c, _, v) = diamond_concept();
+        let est = ConnEstimator::new(2, 0.5, true, oracle(2));
+        let mut p = est.begin_conn_concept(&kg, c, &[v], 64, 7);
+        assert_eq!(p.interval(1.96), (0.0, f64::INFINITY));
+        est.advance(&kg, &mut p, 1);
+        assert_eq!(
+            p.interval(1.96),
+            (0.0, f64::INFINITY),
+            "one sample says nothing about spread"
+        );
+        est.advance(&kg, &mut p, 15);
+        let (lo, hi) = p.interval(1.96);
+        assert!(lo.is_finite() && hi.is_finite());
+        assert!(lo <= hi);
+        while !p.is_done() {
+            est.advance(&kg, &mut p, 16);
+        }
+        let (lo, hi) = p.interval(1.96);
+        assert_eq!((lo, hi), (p.estimate(), p.estimate()));
+        assert!(lo <= p.estimate() && p.estimate() <= hi);
+    }
+
+    /// Degenerate openings (no members, empty context, zero budget) are
+    /// born done with estimate 0 — mirroring the one-shot early return.
+    #[test]
+    fn progressive_degenerate_openings_are_born_done() {
+        let (kg, c, _, v) = diamond_concept();
+        let est = ConnEstimator::new(2, 0.5, true, oracle(2));
+        let empty = kg.concept_by_name("C").map(|_| c).unwrap();
+        let mut p = est.begin_conn_concept(&kg, empty, &[], 100, 1);
+        assert!(p.is_done());
+        assert_eq!(p.estimate(), 0.0);
+        assert_eq!(est.advance(&kg, &mut p, 10), 0, "done progress is inert");
+        let p = est.begin_conn_concept(&kg, c, &[v], 0, 1);
+        assert!(p.is_done());
+        assert_eq!(p.estimate(), 0.0);
     }
 
     #[test]

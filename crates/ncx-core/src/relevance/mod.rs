@@ -18,6 +18,6 @@ pub mod ontology;
 pub mod walker;
 
 pub use context::{cdrc_from_conn, exact_conn, ContextSplit};
-pub use estimator::{ConnEstimator, MemberSetCache, WalkStats};
+pub use estimator::{ConnEstimator, ConnProgress, MemberSetCache, WalkStats};
 pub use ontology::{matched_entities, ontology_relevance};
 pub use walker::{MemberSet, Walker};

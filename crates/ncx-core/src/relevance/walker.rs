@@ -445,6 +445,23 @@ impl Convergence {
         self.n
     }
 
+    /// The running mean of the folded samples (0 before any sample).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard error of the running mean, `s / √n`. Infinite while
+    /// fewer than two samples are in — a single walk says nothing about
+    /// spread, so progressive confidence intervals stay maximally wide
+    /// until the second sample lands.
+    pub fn se(&self) -> f64 {
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
+        let var = self.m2 / (self.n - 1) as f64;
+        (var / self.n as f64).sqrt()
+    }
+
     /// Relative standard error of the running mean, `s / (x̄ √n)`.
     /// Infinite while fewer than two samples are in, or while the mean
     /// is ≤ 0 (an all-zero prefix never certifies convergence — a later

@@ -14,12 +14,18 @@
 //! entries: the serving workload is bursts of repeated queries, where
 //! recency tracking adds bookkeeping for little hit-rate gain.
 //!
-//! Only **successful** results are inserted. A rejected query
+//! Only **successful, complete** results are inserted. A rejected query
 //! (overloaded, deadline exceeded) must leave no residue: a rejection
 //! says nothing about the answer, and caching partial work would let an
-//! overloaded burst poison later well-budgeted queries.
+//! overloaded burst poison later well-budgeted queries. The same rule
+//! extends to the progressive operators: a
+//! [`Partial`](ncx_core::progressive::Completion) result is an artifact
+//! of *this* call's deadline, not a property of the query, so the
+//! server only inserts [`Complete`](ncx_core::progressive::Completion)
+//! progressive results (enforced at the call site in `serve.rs`).
 
 use ncx_core::drilldown::Subtopic;
+use ncx_core::progressive::ProgressiveResult;
 use ncx_core::rollup::RollupHit;
 use ncx_kg::ConceptId;
 use parking_lot::Mutex;
@@ -36,6 +42,13 @@ pub enum CacheKey {
     Rollup(Vec<ConceptId>, usize),
     /// `drilldown(concepts, k)`.
     Drilldown(Vec<ConceptId>, usize),
+    /// `rollup_progressive(concepts, k)` — kept distinct from
+    /// [`CacheKey::Rollup`]: with racing on the progressive top-k can
+    /// differ from the exhaustive ranking, and the payload carries
+    /// interval/accounting fields the classic result lacks.
+    ProgressiveRollup(Vec<ConceptId>, usize),
+    /// `drilldown_progressive(concepts, k)`.
+    ProgressiveDrilldown(Vec<ConceptId>, usize),
 }
 
 /// A cached result, shared by pointer.
@@ -45,6 +58,10 @@ pub enum CacheValue {
     Rollup(Arc<Vec<RollupHit>>),
     /// A drill-down suggestion set.
     Drilldown(Arc<Vec<Subtopic>>),
+    /// A **complete** progressive roll-up result.
+    ProgressiveRollup(Arc<ProgressiveResult<RollupHit>>),
+    /// A **complete** progressive drill-down result.
+    ProgressiveDrilldown(Arc<ProgressiveResult<Subtopic>>),
 }
 
 #[derive(Debug, Default)]
@@ -60,6 +77,7 @@ pub struct QueryCache {
     inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     invalidations: AtomicU64,
 }
 
@@ -72,6 +90,7 @@ impl QueryCache {
             inner: Mutex::new(Inner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
         }
     }
@@ -104,9 +123,15 @@ impl QueryCache {
         let mut inner = self.inner.lock();
         if inner.map.insert(key.clone(), value).is_none() {
             inner.fifo.push_back(key);
+            let mut evicted = 0;
             while inner.map.len() > self.capacity {
                 let oldest = inner.fifo.pop_front().expect("fifo tracks map");
                 inner.map.remove(&oldest);
+                evicted += 1;
+            }
+            drop(inner);
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
             }
         }
     }
@@ -146,6 +171,12 @@ impl QueryCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries dropped by FIFO eviction at capacity (invalidation wipes
+    /// are counted separately).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Times the cache was wiped by an ingest.
     pub fn invalidations(&self) -> u64 {
         self.invalidations.load(Ordering::Relaxed)
@@ -177,7 +208,7 @@ mod tests {
         let got = cache.get(&key(1, 10)).unwrap();
         match got {
             CacheValue::Rollup(v) => assert_eq!(v[0].doc, DocId::new(0)),
-            CacheValue::Drilldown(_) => panic!("wrong variant"),
+            _ => panic!("wrong variant"),
         }
         // Same concepts, different k: a different answer, a different key.
         assert!(cache.get(&key(1, 5)).is_none());
@@ -195,6 +226,16 @@ mod tests {
         assert!(cache.get(&key(1, 1)).is_none(), "oldest evicted");
         assert!(cache.get(&key(2, 1)).is_some());
         assert!(cache.get(&key(3, 1)).is_some());
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn invalidation_is_not_an_eviction() {
+        let cache = QueryCache::new(8);
+        cache.insert(key(1, 1), hit(1));
+        cache.invalidate();
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.invalidations(), 1);
     }
 
     #[test]

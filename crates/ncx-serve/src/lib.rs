@@ -10,13 +10,18 @@
 //!   ([`QueryError::Overloaded`](ncx_core::error::QueryError), retryable
 //!   back-pressure) so load spikes shed work instead of stacking it;
 //! * deadlines — per-query (or per-session, or server-default) time
-//!   budgets enforced both while queued and during execution through the
-//!   engine's bounded operators
-//!   ([`QueryError::DeadlineExceeded`](ncx_core::error::QueryError)),
-//!   with a documented overshoot bound of one check interval;
+//!   budgets enforced both while queued and during execution. The
+//!   classic operators reject on expiry
+//!   ([`QueryError::DeadlineExceeded`](ncx_core::error::QueryError));
+//!   the progressive operators
+//!   ([`NcxServe::rollup_progressive_deadline`] /
+//!   [`NcxServe::drilldown_progressive_deadline`]) instead return a
+//!   typed [`Partial`](ncx_core::progressive::Completion) result — the
+//!   converged prefix of the ranking plus a completeness fraction — so
+//!   a tight deadline degrades answers instead of dropping them;
 //! * [`cache`] — a cross-query result cache keyed by (operator,
 //!   concepts, k), shared by `Arc`, invalidated wholesale on ingest,
-//!   never fed by rejected queries;
+//!   never fed by rejected queries or partial results;
 //! * replicas — [`NcxServe::open_replicas`] cold-opens N engines from
 //!   one `ncx-store` snapshot directory (read once, decode per replica)
 //!   and round-robins queries across them; the engine's determinism

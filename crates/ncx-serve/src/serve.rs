@@ -14,17 +14,29 @@
 //! round-robin placement cannot change any answer — it only spreads
 //! read-lock contention and CPU.
 //!
+//! The **progressive** entry points
+//! ([`rollup_progressive_deadline`](NcxServe::rollup_progressive_deadline)
+//! and its drill-down twin) run the engine's anytime executor instead
+//! of the run-to-completion operators: a deadline firing — while queued
+//! for admission or mid-walk — returns an `Ok` typed
+//! [`Partial`](ncx_core::progressive::Completion) result carrying the
+//! converged prefix and a completeness fraction, never
+//! `DeadlineExceeded`. Only `Complete` progressive results are
+//! cacheable; partials are per-call artifacts and leave no residue.
+//!
 //! [`ingest_article`](NcxServe::ingest_article) is the one write path:
 //! it write-locks every replica **in index order** (total order ⇒ no
 //! lock-order inversion against other ingests), applies the same
 //! article to each — determinism keeps them identical — and then
-//! invalidates the cache.
+//! invalidates the cache (skipped when the article indexed to nothing,
+//! leaving every cached answer exact).
 
 use crate::admission::Admission;
 use crate::cache::{CacheKey, CacheValue, QueryCache};
 use ncx_core::budget::Deadline;
 use ncx_core::drilldown::Subtopic;
 use ncx_core::error::QueryError;
+use ncx_core::progressive::ProgressiveResult;
 use ncx_core::rollup::RollupHit;
 use ncx_core::{ConceptQuery, NcExplorer, NcxConfig};
 use ncx_index::NewsSource;
@@ -77,12 +89,21 @@ pub struct ServeStats {
     pub completed: u64,
     /// Arrivals rejected because the in-flight set and queue were full.
     pub rejected_overload: u64,
-    /// Queries whose deadline expired (queued or executing).
+    /// Queries whose deadline expired (queued or executing). Only the
+    /// classic (non-progressive) paths reject on expiry; the
+    /// progressive paths count under [`partials`](Self::partials)
+    /// instead.
     pub rejected_deadline: u64,
+    /// Progressive queries cut by their deadline: they returned a typed
+    /// [`Partial`](ncx_core::progressive::Completion) result (possibly
+    /// an empty one, when the deadline fired while queued).
+    pub partials: u64,
     /// Cache lookups that found an entry.
     pub cache_hits: u64,
     /// Cache lookups that found nothing.
     pub cache_misses: u64,
+    /// Cache entries dropped by FIFO eviction at capacity.
+    pub cache_evictions: u64,
     /// Cache wipes triggered by ingest.
     pub cache_invalidations: u64,
     /// Articles ingested through the server.
@@ -104,6 +125,7 @@ pub struct NcxServe {
     completed: AtomicU64,
     rejected_overload: AtomicU64,
     rejected_deadline: AtomicU64,
+    partials: AtomicU64,
     ingested: AtomicU64,
     checkpoints: AtomicU64,
     compactions: AtomicU64,
@@ -135,6 +157,7 @@ impl NcxServe {
             completed: AtomicU64::new(0),
             rejected_overload: AtomicU64::new(0),
             rejected_deadline: AtomicU64::new(0),
+            partials: AtomicU64::new(0),
             ingested: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
@@ -260,9 +283,109 @@ impl NcxServe {
         }
     }
 
+    /// Progressive roll-up under the server's default deadline — see
+    /// [`rollup_progressive_deadline`](Self::rollup_progressive_deadline).
+    pub fn rollup_progressive(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+    ) -> Result<Arc<ProgressiveResult<RollupHit>>, QueryError> {
+        self.rollup_progressive_deadline(query, k, self.config.default_deadline)
+    }
+
+    /// Anytime roll-up under an explicit per-query time limit. Unlike
+    /// [`rollup_deadline`](Self::rollup_deadline), a deadline firing —
+    /// while queued for admission or mid-execution — yields an `Ok`
+    /// typed [`Partial`](ncx_core::progressive::Completion) result (the
+    /// converged prefix of the ranking, with a completeness fraction)
+    /// instead of [`QueryError::DeadlineExceeded`]. Only overload still
+    /// rejects: back-pressure must stay visible to callers. Only
+    /// `Complete` results enter the cross-query cache.
+    pub fn rollup_progressive_deadline(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        limit: Option<Duration>,
+    ) -> Result<Arc<ProgressiveResult<RollupHit>>, QueryError> {
+        let deadline = limit.map(Deadline::after);
+        let Some(permit) = self.admit_progressive(deadline.as_ref())? else {
+            self.partials.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(ProgressiveResult::interrupted()));
+        };
+        let key = CacheKey::ProgressiveRollup(query.concepts().to_vec(), k);
+        if let Some(CacheValue::ProgressiveRollup(v)) = self.cache.get(&key) {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        let result = {
+            let engine = self.replicas[self.pick()].read();
+            engine.rollup_progressive(query, k, deadline.as_ref())
+        };
+        drop(permit);
+        let v = Arc::new(result);
+        if v.is_complete() {
+            self.cache
+                .insert(key, CacheValue::ProgressiveRollup(v.clone()));
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.partials.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(v)
+    }
+
+    /// Progressive drill-down under the server's default deadline — see
+    /// [`rollup_progressive_deadline`](Self::rollup_progressive_deadline)
+    /// for the anytime contract.
+    pub fn drilldown_progressive(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+    ) -> Result<Arc<ProgressiveResult<Subtopic>>, QueryError> {
+        self.drilldown_progressive_deadline(query, k, self.config.default_deadline)
+    }
+
+    /// Anytime drill-down under an explicit per-query time limit (the
+    /// drill-down counterpart of
+    /// [`rollup_progressive_deadline`](Self::rollup_progressive_deadline)).
+    pub fn drilldown_progressive_deadline(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        limit: Option<Duration>,
+    ) -> Result<Arc<ProgressiveResult<Subtopic>>, QueryError> {
+        let deadline = limit.map(Deadline::after);
+        let Some(permit) = self.admit_progressive(deadline.as_ref())? else {
+            self.partials.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(ProgressiveResult::interrupted()));
+        };
+        let key = CacheKey::ProgressiveDrilldown(query.concepts().to_vec(), k);
+        if let Some(CacheValue::ProgressiveDrilldown(v)) = self.cache.get(&key) {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        let result = {
+            let engine = self.replicas[self.pick()].read();
+            engine.drilldown_progressive(query, k, deadline.as_ref())
+        };
+        drop(permit);
+        let v = Arc::new(result);
+        if v.is_complete() {
+            self.cache
+                .insert(key, CacheValue::ProgressiveDrilldown(v.clone()));
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.partials.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(v)
+    }
+
     /// Ingests one article into **every** replica (write-locking them in
-    /// index order) and invalidates the cache. Returns the assigned doc
-    /// id, identical across replicas by the determinism contract.
+    /// index order) and invalidates the cache — unless the article
+    /// indexed to nothing (no concept postings, no entity rows), in
+    /// which case no operator can ever return it and every cached answer
+    /// is still exact, so the wholesale clear is skipped. Returns the
+    /// assigned doc id, identical across replicas by the determinism
+    /// contract.
     pub fn ingest_article(
         &self,
         source: NewsSource,
@@ -279,10 +402,18 @@ impl NcxServe {
             }
             assigned = Some(doc);
         }
+        let doc = assigned.expect("at least one replica");
+        let visible = {
+            let index = guards[0].index();
+            !index.concepts_of_doc(doc).is_empty()
+                || !index.entity_index.entities_of(doc).is_empty()
+        };
         drop(guards);
-        self.cache.invalidate();
+        if visible {
+            self.cache.invalidate();
+        }
         self.ingested.fetch_add(1, Ordering::Relaxed);
-        assigned.expect("at least one replica")
+        doc
     }
 
     /// Persists the ingest backlog to `dir` as an append-only delta
@@ -322,8 +453,10 @@ impl NcxServe {
             completed: self.completed.load(Ordering::Relaxed),
             rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            partials: self.partials.load(Ordering::Relaxed),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
             cache_invalidations: self.cache.invalidations(),
             ingested: self.ingested.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
@@ -349,6 +482,20 @@ impl NcxServe {
         self.admission
             .admit(deadline, self.config.check_interval)
             .map_err(|e| self.count_rejection(e))
+    }
+
+    /// Admission for the progressive paths: a deadline expiring while
+    /// queued yields `Ok(None)` — the caller answers with an empty
+    /// partial — while overload keeps its typed rejection.
+    fn admit_progressive(
+        &self,
+        deadline: Option<&Deadline>,
+    ) -> Result<Option<crate::admission::Permit<'_>>, QueryError> {
+        match self.admission.admit(deadline, self.config.check_interval) {
+            Ok(p) => Ok(Some(p)),
+            Err(QueryError::DeadlineExceeded { .. }) => Ok(None),
+            Err(e) => Err(self.count_rejection(e)),
+        }
     }
 
     fn count_rejection(&self, e: QueryError) -> QueryError {
@@ -413,6 +560,30 @@ impl ServeSession<'_> {
     ) -> Result<Arc<Vec<Subtopic>>, QueryError> {
         self.queries.set(self.queries.get() + 1);
         self.serve.drilldown_deadline(query, k, self.deadline)
+    }
+
+    /// Anytime roll-up under the session's deadline: expiry yields a
+    /// typed partial ranking, never a deadline rejection (see
+    /// [`NcxServe::rollup_progressive_deadline`]).
+    pub fn rollup_progressive(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+    ) -> Result<Arc<ProgressiveResult<RollupHit>>, QueryError> {
+        self.queries.set(self.queries.get() + 1);
+        self.serve
+            .rollup_progressive_deadline(query, k, self.deadline)
+    }
+
+    /// Anytime drill-down under the session's deadline.
+    pub fn drilldown_progressive(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+    ) -> Result<Arc<ProgressiveResult<Subtopic>>, QueryError> {
+        self.queries.set(self.queries.get() + 1);
+        self.serve
+            .drilldown_progressive_deadline(query, k, self.deadline)
     }
 }
 
@@ -602,6 +773,79 @@ mod tests {
             "checkpointed snapshot diverged from the live engine"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progressive_deadline_yields_partial_not_rejection() {
+        let serve = NcxServe::new(build_engine(), ServeConfig::default());
+        let q = serve.query(&["Exchange"]).unwrap();
+        // Already-expired deadline: a typed empty partial, not an error.
+        let r = serve
+            .rollup_progressive_deadline(&q, 10, Some(Duration::ZERO))
+            .unwrap();
+        assert!(!r.is_complete());
+        assert!(r.items.is_empty());
+        assert_eq!(r.completeness(), 0.0);
+        assert_eq!(serve.cached_entries(), 0, "partials must not cache");
+        let stats = serve.stats();
+        assert_eq!(
+            stats.rejected_deadline, 0,
+            "progressive never rejects on expiry"
+        );
+        assert_eq!(stats.partials, 1);
+        // Unlimited deadline: complete, cached, and identical to the
+        // engine's direct progressive result.
+        let full = serve.rollup_progressive_deadline(&q, 10, None).unwrap();
+        assert!(full.is_complete());
+        let direct = serve.with_engine(|e| e.rollup_progressive(&q, 10, None));
+        assert_eq!(*full, direct);
+        let again = serve.rollup_progressive_deadline(&q, 10, None).unwrap();
+        assert!(Arc::ptr_eq(&full, &again), "complete results cache");
+        // The progressive and classic caches are distinct keys.
+        let classic = serve.rollup(&q, 10).unwrap();
+        assert_eq!(
+            full.items
+                .iter()
+                .map(|r| &r.item)
+                .cloned()
+                .collect::<Vec<_>>(),
+            *classic,
+            "complete progressive ranking must match classic here"
+        );
+        assert_eq!(serve.cached_entries(), 2);
+    }
+
+    #[test]
+    fn progressive_drilldown_serves_and_caches() {
+        let serve = NcxServe::new(build_engine(), ServeConfig::default());
+        let q = serve.query(&["Exchange"]).unwrap();
+        let r = serve.drilldown_progressive(&q, 5).unwrap();
+        assert!(r.is_complete());
+        let direct = serve.with_engine(|e| e.drilldown_progressive(&q, 5, None));
+        assert_eq!(*r, direct);
+        let again = serve.drilldown_progressive(&q, 5).unwrap();
+        assert!(Arc::ptr_eq(&r, &again));
+        assert_eq!(serve.stats().partials, 0);
+    }
+
+    #[test]
+    fn invisible_ingest_skips_cache_invalidation() {
+        let serve = NcxServe::new(build_engine(), ServeConfig::default());
+        let q = serve.query(&["Crime"]).unwrap();
+        let cached = serve.rollup(&q, 50).unwrap();
+        assert_eq!(serve.cached_entries(), 1);
+        // No gazetteer term matches: the article indexes to nothing, so
+        // every cached answer is still exact and the cache survives.
+        serve.ingest_article(NewsSource::Reuters, "weather", "Sunny skies expected.", 2);
+        assert_eq!(serve.cached_entries(), 1, "invisible ingest must not wipe");
+        assert_eq!(serve.stats().cache_invalidations, 0);
+        let again = serve.rollup(&q, 50).unwrap();
+        assert!(Arc::ptr_eq(&cached, &again), "still served from cache");
+        // A visible ingest still wipes.
+        serve.ingest_article(NewsSource::Reuters, "Kraken", "Kraken fraud probe.", 3);
+        assert_eq!(serve.cached_entries(), 0);
+        assert_eq!(serve.stats().cache_invalidations, 1);
+        assert_eq!(serve.stats().ingested, 2);
     }
 
     #[test]

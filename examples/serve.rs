@@ -8,10 +8,15 @@
 //!
 //! 1. **Same answers.** Concurrent results are compared bit-for-bit
 //!    against the single-caller reference.
-//! 2. **Typed rejection.** A query with an already-expired deadline
-//!    fails with `QueryError::DeadlineExceeded`, never a partial result.
+//! 2. **Typed rejection.** A classic query with an already-expired
+//!    deadline fails with `QueryError::DeadlineExceeded`, never a
+//!    silently truncated result.
 //! 3. **Cache coherence.** `ingest_article` updates every replica and
-//!    invalidates the cross-query cache.
+//!    invalidates the cross-query cache — unless the article indexes to
+//!    nothing query-visible, in which case the cache survives.
+//! 4. **Anytime partials.** The progressive entry points turn a
+//!    mid-query deadline into a typed partial result: a converged
+//!    prefix of the ranking plus a completeness fraction.
 //!
 //! ```bash
 //! cargo run --release --example serve
@@ -101,7 +106,9 @@ fn main() {
         .unwrap_err();
     println!("zero-deadline query: {err}");
 
-    // Ingest invalidates the cache; the next query sees the new doc.
+    // Ingest invalidates the cache — but only when the article indexes
+    // to something query-visible. A doc with no recognizable entities
+    // cannot change any answer, so the cache survives it.
     let cached = serve.cached_entries();
     serve.ingest_article(
         ncexplorer::index::NewsSource::Reuters,
@@ -109,9 +116,20 @@ fn main() {
         "Follow-up coverage on the regulator's probe.",
         u32::MAX - 1,
     );
+    let after_invisible = serve.cached_entries();
+    let (title, body) = serve.with_engine(|e| {
+        let a = e.document(reference[0].doc);
+        (a.title.clone(), a.body.clone())
+    });
+    serve.ingest_article(
+        ncexplorer::index::NewsSource::Reuters,
+        &title,
+        &body,
+        u32::MAX - 2,
+    );
     println!(
-        "ingest: cache {} -> {} entries",
-        cached,
+        "ingest: {cached} cached entries; entity-free article kept {after_invisible}, \
+         visible article wiped to {}",
         serve.cached_entries()
     );
 
@@ -139,6 +157,32 @@ fn main() {
     // Replicas serve the pre-ingest snapshot: identical to the original
     // single-caller reference.
     assert_eq!(*replicas.rollup(&q, 10).unwrap(), reference);
+
+    // ── 3. Progressive queries: deadlines return partial rankings ───
+    // The anytime entry points refine walk estimates round by round; a
+    // deadline that fires mid-query yields the converged prefix of the
+    // ranking (typed Partial) instead of an error.
+    // (Partial first: a cached Complete answer would otherwise serve
+    // the tight-deadline call instantly — partials are never cached.)
+    let squeezed = replicas
+        .rollup_progressive_deadline(&q, 10, Some(std::time::Duration::from_micros(1000)))
+        .expect("a deadline never rejects a progressive query");
+    let full = replicas
+        .rollup_progressive(&q, 10)
+        .expect("progressive roll-up");
+    assert!(full.is_complete());
+    println!(
+        "progressive: unlimited budget -> {} items ({} walks); \
+         1ms budget -> {} converged items, {:.0}% complete",
+        full.items.len(),
+        full.walks,
+        squeezed.items.len(),
+        squeezed.completeness() * 100.0
+    );
+    // Whatever the budget returned is a prefix of the complete ranking.
+    for (got, want) in squeezed.items.iter().zip(&full.items) {
+        assert_eq!(got, want, "partial must be a prefix");
+    }
 
     std::fs::remove_dir_all(&dir).ok();
     println!("ok: every concurrent answer matched the sequential reference");

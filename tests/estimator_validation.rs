@@ -1,14 +1,19 @@
 //! Integration validation of the random-walk estimator on the *generated*
 //! KG (not toy graphs): unbiasedness against exact path counting and the
 //! variance advantage of reachability guidance — the mechanisms behind
-//! Fig. 7.
+//! Fig. 7 — plus the statistical contracts of the progressive executor:
+//! mid-flight confidence intervals cover the exhaustive-walk estimate at
+//! (about) their stated coverage, and deadline/budget-cut partial results
+//! are always a prefix of the complete ranking.
 
 use ncexplorer::core::relevance::context::exact_conn;
 use ncexplorer::core::relevance::estimator::ConnEstimator;
-use ncexplorer::datagen::{generate_kg, KgGenConfig};
+use ncexplorer::core::{NcExplorer, NcxConfig, Parallelism};
+use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
 use ncexplorer::eval::error::relative_error;
 use ncexplorer::kg::{InstanceId, KnowledgeGraph};
 use ncexplorer::reach::TargetDistanceOracle;
+use proptest::prelude::*;
 use std::sync::Arc;
 
 fn kg() -> KnowledgeGraph {
@@ -124,4 +129,172 @@ fn oracle_reuse_across_queries() {
     assert_eq!(stats.misses, after_first.misses, "no BFS repeats");
     assert!(stats.hits > 0, "the second worker must hit the cache");
     assert!(stats.hit_rate() > 0.0 && stats.hit_rate() < 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Progressive-executor statistical contracts.
+
+/// Fixture engine for the partial-prefix property: built once, shared by
+/// every proptest case (the cases vary query, budget cap, and k — not
+/// the corpus).
+fn prefix_engine() -> &'static NcExplorer {
+    static ENGINE: std::sync::OnceLock<NcExplorer> = std::sync::OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let kg = Arc::new(kg());
+        let corpus = generate_corpus(
+            &kg,
+            &CorpusConfig {
+                articles: 100,
+                ..CorpusConfig::default()
+            },
+        );
+        NcExplorer::build(
+            kg,
+            corpus.store,
+            NcxConfig {
+                samples: 12,
+                parallelism: Parallelism::Fixed(1),
+                ..NcxConfig::default()
+            },
+        )
+    })
+}
+
+/// The engine's estimator recipe, minus the shared caches (caching never
+/// changes walk values, only who pays for BFS/bitset construction).
+fn prefix_estimator() -> ConnEstimator {
+    let cfg = prefix_engine().config();
+    ConnEstimator::with_budget(
+        cfg.tau,
+        cfg.beta,
+        cfg.guided,
+        Arc::new(TargetDistanceOracle::new(cfg.tau, 256)),
+        cfg.walk_budget,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A mid-flight progressive interval is a real confidence interval:
+    /// across independent seeds, the z = 1.96 interval taken after a
+    /// partial prefix of the sample budget contains the exhaustive-walk
+    /// estimate (40k samples ≈ the estimand) at no less than 75%
+    /// empirical coverage — the stated 95%, with slack for the CLT
+    /// approximation on the skewed walk-value distribution and the
+    /// finite seed count.
+    #[test]
+    fn progressive_intervals_cover_the_exhaustive_estimate(
+        pair in 0usize..3,
+        tranche in 5u32..40,
+        checkpoint in 60u32..160,
+    ) {
+        let kg = kg();
+        let (c, ctx) = scored_pairs(&kg).remove(pair);
+        let est = ConnEstimator::new(2, 0.5, true, Arc::new(TargetDistanceOracle::new(2, 256)));
+        // Zero-connectivity pairs are kept: their intervals must then
+        // degenerate to [0, 0] and still contain the (zero) estimate.
+        let (exhaustive, _) = est.estimate_conn(&kg, kg.members(c), &ctx, 40_000, 9001);
+        let seeds = 48u64;
+        let mut contained = 0u32;
+        let mut measured = 0u32;
+        for seed in 0..seeds {
+            let mut p = est.begin_conn_concept(&kg, c, &ctx, 400, seed);
+            while !p.is_done() && p.consumed() < checkpoint {
+                let step = tranche.min(checkpoint - p.consumed());
+                est.advance(&kg, &mut p, step);
+            }
+            if p.is_done() {
+                // Finished estimates report a point, not an interval.
+                continue;
+            }
+            measured += 1;
+            let (lo, hi) = p.interval(1.96);
+            if (lo..=hi).contains(&exhaustive) {
+                contained += 1;
+            }
+        }
+        prop_assert!(
+            measured > seeds as u32 / 2,
+            "fixture must leave most runs mid-flight ({measured}/{seeds})"
+        );
+        let coverage = f64::from(contained) / f64::from(measured);
+        prop_assert!(
+            coverage >= 0.75,
+            "empirical coverage {coverage:.2} ({contained}/{measured}) far below the stated 95%"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// A budget-cut partial result is always a prefix of the complete
+    /// ranking — same items, same order, same bits — for any cap, query,
+    /// and k; and a cap generous enough to complete reproduces the
+    /// complete result exactly.
+    #[test]
+    fn budget_cut_partials_are_a_prefix_of_the_complete_ranking(
+        qix in 0usize..4,
+        cap in 1u64..4000,
+        k in 1usize..12,
+    ) {
+        use ncexplorer::core::drilldown::SbrFactors;
+        use ncexplorer::core::progressive;
+        let topics: [&[&str]; 4] = [
+            &["Financial Crime"],
+            &["Lawsuits"],
+            &["International Trade"],
+            &["Financial Crime", "Bank"],
+        ];
+        let engine = prefix_engine();
+        let q = engine.query(topics[qix]).unwrap();
+        let mut capped_cfg = engine.config().clone();
+        capped_cfg.progressive.max_walks = Some(cap);
+
+        let complete = engine.rollup_progressive(&q, k, None);
+        prop_assert!(complete.is_complete());
+        let capped = progressive::rollup_progressive(
+            engine.index(),
+            engine.kg(),
+            &q,
+            k,
+            &capped_cfg,
+            engine.pool(),
+            &prefix_estimator(),
+            None,
+        );
+        prop_assert!(capped.walks <= complete.walks.max(cap));
+        prop_assert!(capped.items.len() <= complete.items.len());
+        for (got, want) in capped.items.iter().zip(&complete.items) {
+            prop_assert_eq!(got, want, "roll-up partial must be a prefix");
+        }
+        let completeness = capped.completeness();
+        prop_assert!((0.0..=1.0).contains(&completeness));
+        if capped.is_complete() {
+            prop_assert_eq!(&capped.items, &complete.items);
+            prop_assert!((completeness - 1.0).abs() < f64::EPSILON);
+        }
+
+        let complete_drill = engine.drilldown_progressive(&q, k, None);
+        prop_assert!(complete_drill.is_complete());
+        let capped_drill = progressive::drilldown_progressive(
+            engine.index(),
+            engine.kg(),
+            &q,
+            k,
+            &capped_cfg,
+            engine.pool(),
+            &prefix_estimator(),
+            SbrFactors::CSD,
+            None,
+        );
+        prop_assert!(capped_drill.items.len() <= complete_drill.items.len());
+        for (got, want) in capped_drill.items.iter().zip(&complete_drill.items) {
+            prop_assert_eq!(got, want, "drill-down partial must be a prefix");
+        }
+        if capped_drill.is_complete() {
+            prop_assert_eq!(&capped_drill.items, &complete_drill.items);
+        }
+    }
 }

@@ -332,3 +332,118 @@ fn serve_stress_counts_reconcile_and_p99_is_interactive() {
         );
     }
 }
+
+/// Tight-deadline progressive stress: open-loop traffic whose deadline
+/// fires mid-query must be answered with typed partial results — never
+/// rejected, never panicking — and the accounting must reconcile.
+/// Alongside, the racing walk-savings floor is pinned at the serving
+/// layer: walk counts are seed-deterministic, so the ≥ 30% roll-up
+/// reduction holds in any profile (`NCX_SKIP_PERF_FLOORS=1` opts out).
+#[test]
+fn serve_stress_tight_deadlines_yield_partials_not_rejections() {
+    let engine = build_engine(200);
+    let queries: Vec<ConceptQuery> = TOPICS.iter().map(|t| engine.query(&[t]).unwrap()).collect();
+    // Cache off: a hit would answer instantly and dodge the deadline;
+    // this test is about queries that actually run out of time.
+    let serve = NcxServe::new(
+        engine,
+        ServeConfig {
+            max_in_flight: 4,
+            queue_depth: 64,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Direct partial-contract probe: a too-tight deadline yields a
+    // partial whose items are a prefix of the complete ranking.
+    let complete = serve.rollup_progressive(&queries[0], 10).unwrap();
+    assert!(complete.is_complete());
+    let squeezed = serve
+        .rollup_progressive_deadline(&queries[0], 10, Some(Duration::from_micros(1)))
+        .unwrap();
+    assert!(!squeezed.is_complete(), "1µs must not finish this query");
+    let completeness = squeezed.completeness();
+    assert!((0.0..1.0).contains(&completeness), "{completeness}");
+    assert!(squeezed.items.len() <= complete.items.len());
+    for (got, want) in squeezed.items.iter().zip(&complete.items) {
+        assert_eq!(got, want, "partial is not a prefix of the complete ranking");
+    }
+
+    // Open-loop tight-deadline traffic: every arrival answered, none
+    // rejected, and the deadline short enough that partials do appear.
+    let spec = ncx_bench::loadgen::OpenLoopSpec {
+        workers: 8,
+        arrivals: if cfg!(debug_assertions) { 200 } else { 800 },
+        rate: 2_000.0,
+        queries: &queries,
+        k: 10,
+        deadline: Some(Duration::from_micros(500)),
+        drilldown_every: 4,
+        progressive: true,
+    };
+    let report = ncx_bench::loadgen::open_loop(&serve, &spec);
+    assert_eq!(
+        report.completed + report.partials,
+        spec.arrivals as u64,
+        "progressive arrivals lost: {report:?}"
+    );
+    assert_eq!(
+        report.rejected, 0,
+        "tight deadlines must not reject: {report:?}"
+    );
+    assert!(
+        report.partials > 0,
+        "a 500µs budget must cut at least one query: {report:?}"
+    );
+    let stats = serve.stats();
+    assert_eq!(stats.rejected_deadline, 0, "{stats:?}");
+    assert!(stats.partials >= report.partials, "{stats:?}");
+    eprintln!(
+        "tight-deadline stress: {} complete / {} partial at {:.0} qps offered",
+        report.completed, report.partials, report.offered_qps
+    );
+
+    // Racing walk-savings floor, measured through the serving engine at
+    // the paper's sample budget (the fleet engine runs samples = 10 to
+    // keep the stress cheap, which leaves racing only one boundary
+    // round — too coarse to measure savings against).
+    let (raced, exhaustive) = serve.with_engine(|e| {
+        let mut cfg = e.config().clone();
+        cfg.samples = 40;
+        let run = |racing: bool| {
+            let mut cfg = cfg.clone();
+            cfg.progressive.racing = racing;
+            let estimator = ncexplorer::core::relevance::ConnEstimator::with_budget(
+                cfg.tau,
+                cfg.beta,
+                cfg.guided,
+                Arc::new(ncexplorer::reach::TargetDistanceOracle::new(cfg.tau, 256)),
+                cfg.walk_budget,
+            );
+            ncexplorer::core::progressive::rollup_progressive(
+                e.index(),
+                e.kg(),
+                &queries[0],
+                10,
+                &cfg,
+                e.pool(),
+                &estimator,
+                None,
+            )
+            .walks
+        };
+        (run(true), run(false))
+    });
+    assert!(raced <= exhaustive, "racing must never walk more");
+    let reduction = 1.0 - raced as f64 / exhaustive.max(1) as f64;
+    eprintln!("tight-deadline stress: walks/query {raced} raced vs {exhaustive} exhaustive");
+    if std::env::var("NCX_SKIP_PERF_FLOORS").is_err() {
+        assert!(
+            reduction >= 0.30,
+            "racing must cut roll-up walks/query by ≥ 30%: {raced} vs {exhaustive} \
+             ({:.1}%)",
+            reduction * 100.0
+        );
+    }
+}
