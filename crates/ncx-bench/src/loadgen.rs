@@ -20,10 +20,13 @@
 //!   `BENCH_scale.json`): below it achieved ≈ offered, above it queue
 //!   delay explodes.
 //!
-//! Both collect per-query wall latencies and report p50/p99 and
-//! aggregate throughput.
+//! Both collect per-query wall latencies into per-worker `ncx-obs`
+//! [`Histogram`]s (lock-free to record, exact to merge — no sample
+//! vectors to grow under load) and report p50/p99 and aggregate
+//! throughput.
 
 use ncx_core::ConceptQuery;
+use ncx_obs::Histogram;
 use ncx_serve::NcxServe;
 use std::time::{Duration, Instant};
 
@@ -76,6 +79,12 @@ pub fn percentile(samples: &mut [Duration], q: f64) -> Duration {
     samples[rank.clamp(1, samples.len()) - 1]
 }
 
+/// The `q`-quantile of a latency histogram (µs resolution), as a
+/// `Duration`. Empty histograms report zero.
+pub fn histogram_quantile(hist: &Histogram, q: f64) -> Duration {
+    Duration::from_micros(hist.quantile(q))
+}
+
 /// Runs the closed loop. Panics on [`QueryError::UnknownConcept`]
 /// (a spec bug, not load shedding); overload/deadline rejections are
 /// counted, not fatal.
@@ -87,7 +96,7 @@ pub fn closed_loop(serve: &NcxServe, spec: &LoadSpec) -> LoadReport {
         "load spec needs at least one query"
     );
     let t0 = Instant::now();
-    let mut per_session: Vec<(u64, u64, Vec<Duration>)> = Vec::with_capacity(spec.sessions);
+    let mut per_session: Vec<(u64, u64, Histogram)> = Vec::with_capacity(spec.sessions);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..spec.sessions)
             .map(|s| {
@@ -96,7 +105,7 @@ pub fn closed_loop(serve: &NcxServe, spec: &LoadSpec) -> LoadReport {
                     session.set_deadline(spec.deadline);
                     let mut completed = 0u64;
                     let mut rejected = 0u64;
-                    let mut lat = Vec::with_capacity(spec.queries_per_session);
+                    let lat = Histogram::new();
                     for i in 0..spec.queries_per_session {
                         let q = &spec.queries[(s + i) % spec.queries.len()];
                         let drill = spec.drilldown_every != 0 && i % spec.drilldown_every == 0;
@@ -108,7 +117,7 @@ pub fn closed_loop(serve: &NcxServe, spec: &LoadSpec) -> LoadReport {
                         };
                         match outcome {
                             Ok(()) => {
-                                lat.push(t.elapsed());
+                                lat.record_duration_us(t.elapsed());
                                 completed += 1;
                             }
                             Err(e @ ncx_core::error::QueryError::UnknownConcept { .. }) => {
@@ -128,13 +137,16 @@ pub fn closed_loop(serve: &NcxServe, spec: &LoadSpec) -> LoadReport {
     let wall = t0.elapsed();
     let completed: u64 = per_session.iter().map(|(c, _, _)| c).sum();
     let rejected: u64 = per_session.iter().map(|(_, r, _)| r).sum();
-    let mut lat: Vec<Duration> = per_session.into_iter().flat_map(|(_, _, l)| l).collect();
+    let lat = Histogram::new();
+    for (_, _, h) in &per_session {
+        lat.merge(h);
+    }
     LoadReport {
         sessions: spec.sessions,
         completed,
         rejected,
-        p50: percentile(&mut lat, 0.50),
-        p99: percentile(&mut lat, 0.99),
+        p50: histogram_quantile(&lat, 0.50),
+        p99: histogram_quantile(&lat, 0.99),
         qps: completed as f64 / wall.as_secs_f64().max(1e-9),
         wall,
     }
@@ -203,7 +215,7 @@ pub fn open_loop(serve: &NcxServe, spec: &OpenLoopSpec) -> OpenLoopReport {
     assert!(spec.workers > 0, "open loop needs at least one worker");
     let interval = Duration::from_secs_f64(1.0 / spec.rate);
     let t0 = Instant::now();
-    let mut per_worker: Vec<(u64, u64, u64, Vec<Duration>)> = Vec::with_capacity(spec.workers);
+    let mut per_worker: Vec<(u64, u64, u64, Histogram)> = Vec::with_capacity(spec.workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..spec.workers)
             .map(|w| {
@@ -213,7 +225,7 @@ pub fn open_loop(serve: &NcxServe, spec: &OpenLoopSpec) -> OpenLoopReport {
                     let mut completed = 0u64;
                     let mut partials = 0u64;
                     let mut rejected = 0u64;
-                    let mut lat = Vec::with_capacity(spec.arrivals / spec.workers + 1);
+                    let lat = Histogram::new();
                     for i in (w..spec.arrivals).step_by(spec.workers) {
                         let due = interval.mul_f64(i as f64);
                         if let Some(sleep) = due.checked_sub(t0.elapsed()) {
@@ -245,7 +257,7 @@ pub fn open_loop(serve: &NcxServe, spec: &OpenLoopSpec) -> OpenLoopReport {
                             Ok(complete) => {
                                 // Latency from the *scheduled* arrival:
                                 // time spent behind a late sender counts.
-                                lat.push(t0.elapsed().saturating_sub(due));
+                                lat.record_duration_us(t0.elapsed().saturating_sub(due));
                                 if complete {
                                     completed += 1;
                                 } else {
@@ -270,15 +282,18 @@ pub fn open_loop(serve: &NcxServe, spec: &OpenLoopSpec) -> OpenLoopReport {
     let completed: u64 = per_worker.iter().map(|(c, _, _, _)| c).sum();
     let partials: u64 = per_worker.iter().map(|(_, p, _, _)| p).sum();
     let rejected: u64 = per_worker.iter().map(|(_, _, r, _)| r).sum();
-    let mut lat: Vec<Duration> = per_worker.into_iter().flat_map(|(_, _, _, l)| l).collect();
+    let lat = Histogram::new();
+    for (_, _, _, h) in &per_worker {
+        lat.merge(h);
+    }
     OpenLoopReport {
         offered_qps: spec.rate,
         achieved_qps: (completed + partials) as f64 / wall.as_secs_f64().max(1e-9),
         completed,
         partials,
         rejected,
-        p50: percentile(&mut lat, 0.50),
-        p99: percentile(&mut lat, 0.99),
+        p50: histogram_quantile(&lat, 0.50),
+        p99: histogram_quantile(&lat, 0.99),
         wall,
     }
 }
@@ -296,5 +311,24 @@ mod tests {
         let mut one = vec![Duration::from_micros(7)];
         assert_eq!(percentile(&mut one, 0.99), Duration::from_micros(7));
         assert_eq!(percentile(&mut [], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn histogram_quantile_matches_sorted_reference_under_bucket_width() {
+        let h = Histogram::new();
+        let mut sorted: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        for d in &sorted {
+            h.record_duration_us(*d);
+        }
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let exact = percentile(&mut sorted, q).as_micros() as u64;
+            let est = histogram_quantile(&h, q).as_micros() as u64;
+            // Log-linear buckets: ≤ 1/32 relative overestimate, never under.
+            assert!(
+                est >= exact && est <= exact + exact / 32 + 1,
+                "{q}: {est} vs {exact}"
+            );
+        }
+        assert_eq!(histogram_quantile(&Histogram::new(), 0.5), Duration::ZERO);
     }
 }

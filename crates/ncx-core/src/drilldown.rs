@@ -38,6 +38,7 @@ use crate::query::ConceptQuery;
 use crate::rollup::matched_docs_bounded;
 use ncx_index::TopK;
 use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
+use ncx_obs::{Phase, QueryTrace, Stopwatch};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Documents per parallel sweep batch. Fixed (not worker-derived) so the
@@ -137,7 +138,31 @@ pub fn drilldown_bounded(
     factors: SbrFactors,
     deadline: Option<&Deadline>,
 ) -> Result<Vec<Subtopic>, QueryError> {
+    drilldown_bounded_traced(index, kg, query, k, config, pool, factors, deadline, None)
+}
+
+/// [`drilldown_bounded`] with an optional per-query trace: index
+/// matching is timed into [`Phase::Matching`], both candidate sweeps
+/// plus the score fold into [`Phase::MergeRank`]. `None` is exactly
+/// [`drilldown_bounded`] — timing never changes results.
+#[allow(clippy::too_many_arguments)]
+pub fn drilldown_bounded_traced(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    query: &ConceptQuery,
+    k: usize,
+    config: &NcxConfig,
+    pool: &Pool,
+    factors: SbrFactors,
+    deadline: Option<&Deadline>,
+    trace: Option<&QueryTrace>,
+) -> Result<Vec<Subtopic>, QueryError> {
+    let matching_sw = Stopwatch::start();
     let matched = matched_docs_bounded(index, kg, query, config, pool, deadline)?;
+    if let Some(t) = trace {
+        t.add(Phase::Matching, matching_sw.elapsed());
+    }
+    let merge_sw = Stopwatch::start();
     if matched.is_empty() {
         return Ok(Vec::new());
     }
@@ -274,11 +299,15 @@ pub fn drilldown_bounded(
             },
         );
     }
-    Ok(top
+    let out = top
         .into_sorted_vec()
         .into_iter()
         .map(|(c, _)| details.remove(&c).expect("scored"))
-        .collect())
+        .collect();
+    if let Some(t) = trace {
+        t.add(Phase::MergeRank, merge_sw.elapsed());
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@ use crate::relevance::{ConnEstimator, MemberSetCache, WalkStats};
 use crate::rollup::{self, ConceptMatch, RollupHit};
 use ncx_index::{DocumentStore, NewsArticle, NewsSource};
 use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
+use ncx_obs::QueryTrace;
 use ncx_reach::{OracleStats, TargetDistanceOracle};
 use ncx_store::StoreError;
 use ncx_text::{GazetteerLinker, NlpPipeline};
@@ -40,6 +41,24 @@ pub struct EngineDiagnostics {
     pub timing: IndexTiming,
 }
 
+impl EngineDiagnostics {
+    /// Fraction of distance-oracle lookups served from the shard cache.
+    pub fn oracle_hit_rate(&self) -> f64 {
+        self.oracle.hit_rate()
+    }
+
+    /// Fraction of connectivity estimates the adaptive walk budget cut
+    /// short of their full sample budget.
+    pub fn early_stop_fraction(&self) -> f64 {
+        self.walk_stats.early_stop_fraction()
+    }
+
+    /// Mean walk samples consumed per connectivity estimate.
+    pub fn avg_walks_per_estimate(&self) -> f64 {
+        self.walk_stats.avg_walks_per_estimate()
+    }
+}
+
 impl fmt::Display for EngineDiagnostics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -50,6 +69,13 @@ impl fmt::Display for EngineDiagnostics {
             self.walk_stats.dead_ends,
             100.0 * self.walk_stats.hit_rate(),
             self.walk_stats.early_stops,
+        )?;
+        writeln!(
+            f,
+            "estimates: {} ({:.1} walks/estimate, {:.1}% stopped early)",
+            self.walk_stats.estimates,
+            self.avg_walks_per_estimate(),
+            100.0 * self.early_stop_fraction(),
         )?;
         writeln!(
             f,
@@ -514,6 +540,29 @@ impl NcExplorer {
         )
     }
 
+    /// [`rollup_deadline`](Self::rollup_deadline) with a per-query
+    /// trace: matching and merge/rank phase timings are recorded into
+    /// `trace` ([`Phase::Matching`](ncx_obs::Phase) /
+    /// [`Phase::MergeRank`](ncx_obs::Phase)). Results are identical.
+    pub fn rollup_deadline_traced(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        deadline: Option<&Deadline>,
+        trace: &QueryTrace,
+    ) -> Result<Vec<RollupHit>, QueryError> {
+        rollup::rollup_bounded_traced(
+            &self.index,
+            &self.kg,
+            query,
+            k,
+            &self.config,
+            &self.pool,
+            deadline,
+            Some(trace),
+        )
+    }
+
     /// **Progressive roll-up**: the anytime counterpart of
     /// [`rollup`](Self::rollup). Walk-estimated scores refine in
     /// confidence-interval rounds, candidates provably outside the
@@ -537,6 +586,32 @@ impl NcExplorer {
             &self.pool,
             &self.query_estimator(),
             deadline,
+            None,
+        )
+    }
+
+    /// [`rollup_progressive`](Self::rollup_progressive) with a per-query
+    /// trace: phase timings (matching, oracle BFS, walks, merge/rank)
+    /// and race counters (walks, rounds, tranches, prunes) are recorded
+    /// into `trace`. Results are identical — the estimator's oracle
+    /// timing consumes no RNG and the race is untouched.
+    pub fn rollup_progressive_traced(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        deadline: Option<&Deadline>,
+        trace: &Arc<QueryTrace>,
+    ) -> ProgressiveResult<RollupHit> {
+        progressive::rollup_progressive(
+            &self.index,
+            &self.kg,
+            query,
+            k,
+            &self.config,
+            &self.pool,
+            &self.query_estimator().with_trace(Arc::clone(trace)),
+            deadline,
+            Some(trace),
         )
     }
 
@@ -560,6 +635,31 @@ impl NcExplorer {
             &self.query_estimator(),
             SbrFactors::CSD,
             deadline,
+            None,
+        )
+    }
+
+    /// [`drilldown_progressive`](Self::drilldown_progressive) with a
+    /// per-query trace (see
+    /// [`rollup_progressive_traced`](Self::rollup_progressive_traced)).
+    pub fn drilldown_progressive_traced(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        deadline: Option<&Deadline>,
+        trace: &Arc<QueryTrace>,
+    ) -> ProgressiveResult<Subtopic> {
+        progressive::drilldown_progressive(
+            &self.index,
+            &self.kg,
+            query,
+            k,
+            &self.config,
+            &self.pool,
+            &self.query_estimator().with_trace(Arc::clone(trace)),
+            SbrFactors::CSD,
+            deadline,
+            Some(trace),
         )
     }
 
@@ -606,6 +706,28 @@ impl NcExplorer {
             &self.pool,
             SbrFactors::CSD,
             deadline,
+        )
+    }
+
+    /// [`drilldown_deadline`](Self::drilldown_deadline) with a per-query
+    /// trace (see [`rollup_deadline_traced`](Self::rollup_deadline_traced)).
+    pub fn drilldown_deadline_traced(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        deadline: Option<&Deadline>,
+        trace: &QueryTrace,
+    ) -> Result<Vec<Subtopic>, QueryError> {
+        drilldown::drilldown_bounded_traced(
+            &self.index,
+            &self.kg,
+            query,
+            k,
+            &self.config,
+            &self.pool,
+            SbrFactors::CSD,
+            deadline,
+            Some(trace),
         )
     }
 

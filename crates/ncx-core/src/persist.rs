@@ -238,6 +238,7 @@ fn write_corpus<W: SegSink>(
     w.set_stat("walk_hits", index.walk_stats.hits);
     w.set_stat("walk_dead_ends", index.walk_stats.dead_ends);
     w.set_stat("walk_early_stops", index.walk_stats.early_stops);
+    w.set_stat("walk_estimates", index.walk_stats.estimates);
     w.set_stat(
         "timing_linking_nanos",
         index.timing.entity_linking.as_nanos() as u64,
@@ -563,6 +564,8 @@ impl LoadedSnapshot {
             dead_ends: manifest.stat("walk_dead_ends").unwrap_or(0),
             // Absent in pre-walk-engine snapshots; 0 is the faithful default.
             early_stops: manifest.stat("walk_early_stops").unwrap_or(0),
+            // Absent in pre-observability snapshots.
+            estimates: manifest.stat("walk_estimates").unwrap_or(0),
         };
         Ok(Self {
             segments: snapshot.read_all_segments()?,

@@ -69,6 +69,7 @@ use crate::relevance::{cdrc_from_conn, ConnEstimator};
 use crate::rollup::{matched_docs_bounded, RollupHit};
 use ncx_index::TopK;
 use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
+use ncx_obs::{Phase, QueryTrace, Stopwatch};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::cmp::Ordering;
 
@@ -356,6 +357,10 @@ fn make_comp(
 struct RaceOutcome {
     rounds: u32,
     walks: u64,
+    /// Per-unit tranche advances issued (unit not already done).
+    tranches: u64,
+    /// Candidates eliminated by the successive-halving rule.
+    prunes: u64,
 }
 
 /// The round/tranche loop. Each round: check the cuts, apply the
@@ -379,19 +384,36 @@ fn run_race(
 ) -> RaceOutcome {
     let mut walks: u64 = 0;
     let mut rounds: u32 = 0;
+    let mut tranches: u64 = 0;
+    let mut prunes: u64 = 0;
     let racing = cfg.racing && k > 0 && cands.len() > k;
     loop {
         if !cands.iter().any(|c| !c.pruned && !c.done(units)) {
-            return RaceOutcome { rounds, walks };
+            return RaceOutcome {
+                rounds,
+                walks,
+                tranches,
+                prunes,
+            };
         }
         if let Some(max) = cfg.max_walks {
             if walks >= max {
-                return RaceOutcome { rounds, walks };
+                return RaceOutcome {
+                    rounds,
+                    walks,
+                    tranches,
+                    prunes,
+                };
             }
         }
         if let Some(d) = deadline {
             if d.expired() {
-                return RaceOutcome { rounds, walks };
+                return RaceOutcome {
+                    rounds,
+                    walks,
+                    tranches,
+                    prunes,
+                };
             }
         }
         if racing {
@@ -417,6 +439,7 @@ fn run_race(
                     }
                     if c.ci(units, cfg.z).1 < boundary {
                         c.pruned = true;
+                        prunes += 1;
                     }
                 }
             }
@@ -429,12 +452,15 @@ fn run_race(
                 if units[u].progress.is_done() {
                     continue;
                 }
+                tranches += 1;
                 walks += u64::from(estimator.advance(kg, &mut units[u].progress, cfg.tranche));
                 if let Some(d) = deadline {
                     if d.expired() {
                         return RaceOutcome {
                             rounds: rounds + 1,
                             walks,
+                            tranches,
+                            prunes,
                         };
                     }
                 }
@@ -442,6 +468,30 @@ fn run_race(
         }
         rounds += 1;
     }
+}
+
+/// Records the race into a trace — [`Phase::Walks`] is the race's wall
+/// time *net* of the oracle-BFS time the estimator logged during it
+/// (so the two phases stay disjoint and phase sums track wall time) —
+/// and starts the merge/rank stopwatch.
+fn record_race(
+    trace: Option<&QueryTrace>,
+    race_sw: Stopwatch,
+    oracle_before: u64,
+    outcome: &RaceOutcome,
+) -> Stopwatch {
+    if let Some(t) = trace {
+        let oracle_delta = t
+            .phase_nanos(Phase::OracleBfs)
+            .saturating_sub(oracle_before);
+        let race_nanos = race_sw.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        t.add_nanos(Phase::Walks, race_nanos.saturating_sub(oracle_delta));
+        t.add_walks(outcome.walks);
+        t.add_rounds(u64::from(outcome.rounds));
+        t.add_tranches(outcome.tranches);
+        t.add_prunes(outcome.prunes);
+    }
+    Stopwatch::start()
 }
 
 /// Fraction of walk units (of unpruned candidates) that finished.
@@ -503,6 +553,11 @@ fn converged_prefix<K: Ord + Copy>(
 /// guidance, walk budget) and — for the cache-sharing fast path — the
 /// engine's member-set cache; [`crate::engine::NcExplorer::rollup_progressive`]
 /// constructs it that way.
+///
+/// An attached `trace` records [`Phase::Matching`] (enumeration +
+/// candidate construction), [`Phase::Walks`] (the race, net of any
+/// oracle-BFS time the estimator logged), [`Phase::MergeRank`]
+/// (assembly), and the race's walk/round/tranche/prune counters.
 #[allow(clippy::too_many_arguments)]
 pub fn rollup_progressive(
     index: &NcxIndex,
@@ -513,12 +568,17 @@ pub fn rollup_progressive(
     pool: &Pool,
     estimator: &ConnEstimator,
     deadline: Option<&Deadline>,
+    trace: Option<&QueryTrace>,
 ) -> ProgressiveResult<RollupHit> {
+    let matching_sw = Stopwatch::start();
     let matched = match matched_docs_bounded(index, kg, query, config, pool, deadline) {
         Ok(m) => m,
         Err(_) => return ProgressiveResult::interrupted(),
     };
     if matched.is_empty() {
+        if let Some(t) = trace {
+            t.add(Phase::Matching, matching_sw.elapsed());
+        }
         return ProgressiveResult::empty();
     }
     // Canonical candidate order: ascending document id.
@@ -554,7 +614,12 @@ pub fn rollup_progressive(
             pruned: false,
         });
     }
+    if let Some(t) = trace {
+        t.add(Phase::Matching, matching_sw.elapsed());
+    }
 
+    let race_sw = Stopwatch::start();
+    let oracle_before = trace.map_or(0, |t| t.phase_nanos(Phase::OracleBfs));
     let outcome = run_race(
         kg,
         estimator,
@@ -564,6 +629,7 @@ pub fn rollup_progressive(
         &config.progressive,
         deadline,
     );
+    let merge_sw = record_race(trace, race_sw, oracle_before, &outcome);
 
     // The classic hit, with re-estimated cdr values substituted into the
     // match list and the score folded in the identical match order.
@@ -614,6 +680,9 @@ pub fn rollup_progressive(
                 }
             })
             .collect();
+        if let Some(t) = trace {
+            t.add(Phase::MergeRank, merge_sw.elapsed());
+        }
         return ProgressiveResult {
             items,
             status: Completion::Complete,
@@ -644,6 +713,9 @@ pub fn rollup_progressive(
             walks_spent: cands[ci].walks(&units),
         })
         .collect();
+    if let Some(t) = trace {
+        t.add(Phase::MergeRank, merge_sw.elapsed());
+    }
     ProgressiveResult {
         items,
         status: Completion::Partial {
@@ -671,12 +743,17 @@ pub fn drilldown_progressive(
     estimator: &ConnEstimator,
     factors: SbrFactors,
     deadline: Option<&Deadline>,
+    trace: Option<&QueryTrace>,
 ) -> ProgressiveResult<Subtopic> {
+    let matching_sw = Stopwatch::start();
     let matched = match matched_docs_bounded(index, kg, query, config, pool, deadline) {
         Ok(m) => m,
         Err(_) => return ProgressiveResult::interrupted(),
     };
     if matched.is_empty() {
+        if let Some(t) = trace {
+            t.add(Phase::Matching, matching_sw.elapsed());
+        }
         return ProgressiveResult::empty();
     }
     // The classic operator's deterministic, capped document set.
@@ -734,6 +811,9 @@ pub fn drilldown_progressive(
         }
     }
     if cands.is_empty() {
+        if let Some(t) = trace {
+            t.add(Phase::Matching, matching_sw.elapsed());
+        }
         return ProgressiveResult::empty();
     }
 
@@ -785,7 +865,12 @@ pub fn drilldown_progressive(
             SbrFactors::CSD => meta.spec * meta.div,
         };
     }
+    if let Some(t) = trace {
+        t.add(Phase::Matching, matching_sw.elapsed());
+    }
 
+    let race_sw = Stopwatch::start();
+    let oracle_before = trace.map_or(0, |t| t.phase_nanos(Phase::OracleBfs));
     let outcome = run_race(
         kg,
         estimator,
@@ -795,6 +880,7 @@ pub fn drilldown_progressive(
         &config.progressive,
         deadline,
     );
+    let merge_sw = record_race(trace, race_sw, oracle_before, &outcome);
 
     // The classic score formula, verbatim (CSD multiplies the factors
     // separately — folding them first would change the float bits).
@@ -841,6 +927,9 @@ pub fn drilldown_progressive(
                 }
             })
             .collect();
+        if let Some(t) = trace {
+            t.add(Phase::MergeRank, merge_sw.elapsed());
+        }
         return ProgressiveResult {
             items,
             status: Completion::Complete,
@@ -872,6 +961,9 @@ pub fn drilldown_progressive(
             walks_spent: cands[ci].walks(&units),
         })
         .collect();
+    if let Some(t) = trace {
+        t.add(Phase::MergeRank, merge_sw.elapsed());
+    }
     ProgressiveResult {
         items,
         status: Completion::Partial {
@@ -1003,7 +1095,7 @@ mod tests {
             ] {
                 let q = ConceptQuery::from_names(&kg, &names).unwrap();
                 let classic = rollup(&index, &kg, &q, 4, &config, &p);
-                let prog = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None);
+                let prog = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None, None);
                 assert!(prog.is_complete());
                 assert_eq!(prog.completeness(), 1.0);
                 let hits: Vec<RollupHit> = prog.items.iter().map(|r| r.item.clone()).collect();
@@ -1027,7 +1119,8 @@ mod tests {
         let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
         for factors in [SbrFactors::C, SbrFactors::CS, SbrFactors::CSD] {
             let classic = drilldown_with_factors(&index, &kg, &q, 5, &config, &p, factors);
-            let prog = drilldown_progressive(&index, &kg, &q, 5, &config, &p, &est, factors, None);
+            let prog =
+                drilldown_progressive(&index, &kg, &q, 5, &config, &p, &est, factors, None, None);
             assert!(prog.is_complete());
             let subs: Vec<Subtopic> = prog.items.iter().map(|r| r.item.clone()).collect();
             assert_eq!(subs, classic, "diverged for {factors:?}");
@@ -1043,9 +1136,10 @@ mod tests {
         let mut exhaustive_cfg = config.clone();
         exhaustive_cfg.progressive.racing = false;
         let est = estimator_for(&config);
-        let exhaustive = rollup_progressive(&index, &kg, &q, 2, &exhaustive_cfg, &p, &est, None);
+        let exhaustive =
+            rollup_progressive(&index, &kg, &q, 2, &exhaustive_cfg, &p, &est, None, None);
         let est = estimator_for(&config);
-        let raced = rollup_progressive(&index, &kg, &q, 2, &config, &p, &est, None);
+        let raced = rollup_progressive(&index, &kg, &q, 2, &config, &p, &est, None, None);
         assert!(raced.is_complete());
         // Same top-k items with the exact same scores: racing prunes
         // losers, never perturbs survivors.
@@ -1065,13 +1159,13 @@ mod tests {
         let p = pool();
         let q = ConceptQuery::from_names(&kg, &["Company"]).unwrap();
         let est = estimator_for(&config);
-        let complete = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None);
+        let complete = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None, None);
         assert!(complete.is_complete());
         for cap in [0u64, 10, 40, 90, 200, 100_000] {
             let mut capped_cfg = config.clone();
             capped_cfg.progressive.max_walks = Some(cap.max(1));
             let est = estimator_for(&capped_cfg);
-            let capped = rollup_progressive(&index, &kg, &q, 4, &capped_cfg, &p, &est, None);
+            let capped = rollup_progressive(&index, &kg, &q, 4, &capped_cfg, &p, &est, None, None);
             assert!(
                 capped.items.len() <= complete.items.len(),
                 "cap {cap}: longer than complete"
@@ -1094,7 +1188,7 @@ mod tests {
         let est = estimator_for(&config);
         let q = ConceptQuery::from_names(&kg, &["Exchange"]).unwrap();
         let dead = Deadline::after(std::time::Duration::ZERO);
-        let r = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, Some(&dead));
+        let r = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, Some(&dead), None);
         assert!(!r.is_complete());
         assert_eq!(r.completeness(), 0.0);
         assert!(r.items.is_empty());
@@ -1109,13 +1203,14 @@ mod tests {
             &est,
             SbrFactors::CSD,
             Some(&dead),
+            None,
         );
         assert!(!d.is_complete());
         assert!(d.items.is_empty());
         // A deadline that never fires changes nothing.
         let live = Deadline::after(std::time::Duration::from_secs(3600));
-        let bounded = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, Some(&live));
-        let unbounded = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None);
+        let bounded = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, Some(&live), None);
+        let unbounded = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None, None);
         assert_eq!(bounded, unbounded);
     }
 
@@ -1128,7 +1223,7 @@ mod tests {
         let est = estimator_for(&config);
         let q = ConceptQuery::from_names(&kg, &["Exchange", "Crime"]).unwrap();
         let classic = rollup(&index, &kg, &q, 4, &config, &p);
-        let prog = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None);
+        let prog = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None, None);
         assert!(prog.is_complete());
         assert_eq!(prog.walks, 0, "ontology-only scores are exact");
         assert_eq!(prog.rounds, 0);
@@ -1146,7 +1241,7 @@ mod tests {
         let p = pool();
         let est = estimator_for(&config);
         let q = ConceptQuery::new([]);
-        let r = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None);
+        let r = rollup_progressive(&index, &kg, &q, 4, &config, &p, &est, None, None);
         assert!(r.is_complete());
         assert!(r.items.is_empty());
         assert_eq!(r.candidates, 0);

@@ -68,6 +68,7 @@ use crate::budget::Deadline;
 use crate::config::WalkBudget;
 use ncx_kg::traversal::Hops;
 use ncx_kg::{ConceptId, InstanceId, KnowledgeGraph};
+use ncx_obs::{Phase, QueryTrace, Stopwatch};
 use ncx_reach::oracle::{TargetDistanceOracle, TargetDistances};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -213,6 +214,9 @@ pub struct WalkStats {
     pub dead_ends: u64,
     /// Estimates truncated early by the adaptive walk budget.
     pub early_stops: u64,
+    /// Estimates performed (each estimate entry point counts one; the
+    /// degenerate early returns with empty inputs count none).
+    pub estimates: u64,
 }
 
 impl WalkStats {
@@ -224,6 +228,7 @@ impl WalkStats {
         self.hits += other.hits;
         self.dead_ends += other.dead_ends;
         self.early_stops += other.early_stops;
+        self.estimates += other.estimates;
     }
 
     /// Fraction of walks that reached their target.
@@ -232,6 +237,25 @@ impl WalkStats {
             0.0
         } else {
             self.hits as f64 / self.walks as f64
+        }
+    }
+
+    /// Fraction of estimates cut short by the adaptive walk budget (or
+    /// an anytime deadline).
+    pub fn early_stop_fraction(&self) -> f64 {
+        if self.estimates == 0 {
+            0.0
+        } else {
+            self.early_stops as f64 / self.estimates as f64
+        }
+    }
+
+    /// Mean samples consumed per estimate.
+    pub fn avg_walks_per_estimate(&self) -> f64 {
+        if self.estimates == 0 {
+            0.0
+        } else {
+            self.walks as f64 / self.estimates as f64
         }
     }
 }
@@ -253,6 +277,11 @@ pub struct ConnEstimator {
     /// check-interval boundary once it expires, returning the prefix
     /// mean. See [`set_deadline`](Self::set_deadline) for the contract.
     deadline: Option<Deadline>,
+    /// Optional per-query trace: oracle-BFS resolutions are timed into
+    /// [`Phase::OracleBfs`]. Timing is per *distinct target* (one
+    /// stopwatch read around each BFS), never per walk, and resolution
+    /// consumes no RNG — attaching a trace cannot perturb results.
+    trace: Option<Arc<QueryTrace>>,
     scratch: RefCell<Scratch>,
 }
 
@@ -283,6 +312,7 @@ impl ConnEstimator {
             budget,
             member_cache: None,
             deadline: None,
+            trace: None,
             scratch: RefCell::new(Scratch::default()),
         }
     }
@@ -308,6 +338,14 @@ impl ConnEstimator {
     /// Builder form of [`set_deadline`](Self::set_deadline).
     pub fn with_deadline(mut self, deadline: Deadline) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a per-query trace: every distance-oracle BFS this
+    /// estimator triggers is timed into [`Phase::OracleBfs`]. See the
+    /// field doc for why this cannot perturb estimates.
+    pub fn with_trace(mut self, trace: Arc<QueryTrace>) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -355,6 +393,23 @@ impl ConnEstimator {
         }
     }
 
+    /// Resolves target distances through the shared oracle, timing the
+    /// resolution (BFS or cache hit) into the attached trace, if any.
+    /// Called once per distinct target of an estimate — far off the
+    /// per-walk hot path.
+    #[inline]
+    fn oracle_distances(&self, kg: &KnowledgeGraph, target: InstanceId) -> TargetDistances {
+        match &self.trace {
+            Some(t) => {
+                let sw = Stopwatch::start();
+                let td = self.oracle.distances(kg, target);
+                t.add(Phase::OracleBfs, sw.elapsed());
+                td
+            }
+            None => self.oracle.distances(kg, target),
+        }
+    }
+
     /// Sources that can contribute at least one path to `target` within
     /// τ. Sampling only these (and reweighting by the restricted count)
     /// removes guaranteed-zero walks without biasing the estimate — the
@@ -398,7 +453,10 @@ impl ConnEstimator {
             return (0.0, WalkStats::default());
         }
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut stats = WalkStats::default();
+        let mut stats = WalkStats {
+            estimates: 1,
+            ..WalkStats::default()
+        };
         let mut guard = self.scratch.borrow_mut();
         let s = &mut *guard;
         let members = dedup_members(
@@ -418,7 +476,7 @@ impl ConnEstimator {
         let mut total = 0.0;
         let mut consumed = 0u32;
         if self.guided {
-            let td = self.oracle.distances(kg, target);
+            let td = self.oracle_distances(kg, target);
             let sources = Self::reachable_sources(members, target, &td);
             if sources.is_empty() {
                 // Every sample is degenerate: the target is unreachable
@@ -566,7 +624,10 @@ impl ConnEstimator {
             return (0.0, WalkStats::default());
         }
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut stats = WalkStats::default();
+        let mut stats = WalkStats {
+            estimates: 1,
+            ..WalkStats::default()
+        };
         let mut guard = self.scratch.borrow_mut();
         let s = &mut *guard;
         // Set semantics on every path: duplicates collapse up front, so
@@ -755,7 +816,7 @@ impl ConnEstimator {
                 let idx = match target_idx.get(&target) {
                     Some(&i) => i,
                     None => {
-                        let td = self.oracle.distances(kg, target);
+                        let td = self.oracle_distances(kg, target);
                         let i = target_store.len() as u32;
                         target_store.push(td);
                         target_idx.insert(target, i);
@@ -860,6 +921,7 @@ impl ConnEstimator {
                 done: true,
                 stats: WalkStats::default(),
             };
+            // (No estimate counted: mirrors the one-shot early return.)
         }
         let mut rng = SmallRng::seed_from_u64(seed);
         // Stratify exactly as the one-shot path does: every target draw
@@ -893,7 +955,10 @@ impl ConnEstimator {
             conv: Convergence::default(),
             consumed: 0,
             done: false,
-            stats: WalkStats::default(),
+            stats: WalkStats {
+                estimates: 1,
+                ..WalkStats::default()
+            },
         }
     }
 

@@ -26,6 +26,7 @@ use crate::par::Pool;
 use crate::query::ConceptQuery;
 use ncx_index::TopK;
 use ncx_kg::{ontology, ConceptId, DocId, InstanceId, KnowledgeGraph};
+use ncx_obs::{Phase, QueryTrace, Stopwatch};
 use rustc_hash::FxHashMap;
 
 /// How one query concept matched one document.
@@ -341,15 +342,38 @@ pub fn rollup_bounded(
     pool: &Pool,
     deadline: Option<&Deadline>,
 ) -> Result<Vec<RollupHit>, QueryError> {
+    rollup_bounded_traced(index, kg, query, k, config, pool, deadline, None)
+}
+
+/// [`rollup_bounded`] with an optional per-query trace: index matching
+/// is timed into [`Phase::Matching`], the score fold and ranking into
+/// [`Phase::MergeRank`]. `None` is exactly [`rollup_bounded`] — timing
+/// never changes results.
+#[allow(clippy::too_many_arguments)]
+pub fn rollup_bounded_traced(
+    index: &NcxIndex,
+    kg: &KnowledgeGraph,
+    query: &ConceptQuery,
+    k: usize,
+    config: &NcxConfig,
+    pool: &Pool,
+    deadline: Option<&Deadline>,
+    trace: Option<&QueryTrace>,
+) -> Result<Vec<RollupHit>, QueryError> {
+    let matching_sw = Stopwatch::start();
     let docs = matched_docs_bounded(index, kg, query, config, pool, deadline)?;
+    if let Some(t) = trace {
+        t.add(Phase::Matching, matching_sw.elapsed());
+    }
     check_deadline(deadline)?;
+    let merge_sw = Stopwatch::start();
     let mut top = TopK::new(k);
     let mut details: FxHashMap<DocId, Vec<ConceptMatch>> = docs;
     for (doc, matches) in &details {
         let score: f64 = matches.iter().map(|m| m.cdr).sum();
         top.push(*doc, score);
     }
-    Ok(top
+    let hits = top
         .into_sorted_vec()
         .into_iter()
         .map(|(doc, score)| RollupHit {
@@ -357,7 +381,11 @@ pub fn rollup_bounded(
             score,
             matches: details.remove(&doc).unwrap_or_default(),
         })
-        .collect())
+        .collect();
+    if let Some(t) = trace {
+        t.add(Phase::MergeRank, merge_sw.elapsed());
+    }
+    Ok(hits)
 }
 
 #[cfg(test)]

@@ -1,0 +1,40 @@
+//! # ncx-obs — dependency-free observability primitives
+//!
+//! Shared telemetry for the NCExplorer stack: a [`Registry`] of named
+//! lock-free [`Counter`]s, [`Gauge`]s, and log-linear [`Histogram`]s
+//! rendered in Prometheus text exposition format, plus a per-query
+//! [`QueryTrace`] that records phase timings ([`Phase`]) and work
+//! counters as a query moves through serve → engine → estimator.
+//!
+//! Everything here is plain `std`: relaxed atomics for the hot-path
+//! recording, one mutex around the registry's name map (touched only on
+//! registration and render, never per sample). The `timing` feature
+//! (default on) gates the [`Stopwatch`] wall-clock reads; with it off,
+//! stopwatches read zero and the instrumented code paths compile to
+//! counter bumps only.
+//!
+//! ```
+//! use ncx_obs::{Registry, Phase, QueryTrace};
+//! use std::time::Duration;
+//!
+//! let reg = Registry::new();
+//! let hits = reg.counter("ncx_cache_hits_total", "cross-query cache hits");
+//! hits.add(3);
+//! let lat = reg.histogram("ncx_rollup_latency_us", "roll-up latency (us)");
+//! lat.record(120);
+//! lat.record(95);
+//! assert!(reg.render().contains("ncx_cache_hits_total 3"));
+//!
+//! let trace = QueryTrace::new();
+//! trace.add(Phase::Walks, Duration::from_micros(80));
+//! trace.add_walks(640);
+//! assert_eq!(trace.walks(), 640);
+//! ```
+
+mod metrics;
+mod registry;
+mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::Registry;
+pub use trace::{Phase, QueryTrace, Span, Stopwatch, NUM_PHASES};

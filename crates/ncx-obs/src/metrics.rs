@@ -1,0 +1,384 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], and the
+//! log-linear [`Histogram`].
+//!
+//! All recording is relaxed-atomic — samples taken concurrently with a
+//! read may or may not be visible, but no sample is ever lost and no
+//! recording path takes a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Overwrite the value. Used to sync a counter from an external
+    /// snapshot (e.g. a `ServeStats` read) rather than double-count.
+    #[inline]
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Relaxed))
+    }
+}
+
+/// Sub-bucket resolution: each power-of-two range is split into
+/// `2^SUB_BITS = 32` linear sub-buckets, bounding the relative bucket
+/// width (and therefore the quantile overestimate) at `1/32 ≈ 3.1%`.
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+/// Values with their most significant bit above this saturate into the
+/// top bucket. `2^40` microseconds is ~12.7 days — far beyond any
+/// latency this system can produce.
+const MAX_MSB: u32 = 39;
+const GROUPS: usize = (MAX_MSB - SUB_BITS + 1) as usize;
+const N_BUCKETS: usize = SUB + GROUPS * SUB;
+
+/// An HDR-style log-linear histogram of `u64` samples (typically
+/// microseconds).
+///
+/// Buckets are exact integers below 32 and within `1/32` relative width
+/// above; [`Histogram::merge`] adds bucket counts pairwise, so merging
+/// is exact and associative — merging per-worker histograms yields the
+/// same buckets as recording every sample into one. Quantiles report
+/// the inclusive upper bound of the covering bucket (clamped to the
+/// exact observed [`Histogram::max`]), so they never under-report.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let buckets: Vec<AtomicU64> = (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn bucket_index(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        if msb > MAX_MSB {
+            return N_BUCKETS - 1;
+        }
+        let shift = msb - SUB_BITS;
+        let sub = ((v >> shift) as usize) - SUB;
+        SUB + shift as usize * SUB + sub
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    #[inline]
+    fn bucket_high(i: usize) -> u64 {
+        if i < SUB {
+            return i as u64;
+        }
+        let shift = ((i - SUB) / SUB) as u32;
+        let sub = ((i - SUB) % SUB) as u64;
+        ((SUB as u64 + sub) << shift) + (1u64 << shift) - 1
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Record a duration in whole microseconds.
+    #[inline]
+    pub fn record_duration_us(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Nearest-rank quantile, `q` in `[0, 1]`. Returns the inclusive
+    /// upper bound of the bucket holding the rank-th sample, clamped to
+    /// the exact observed max; 0 when empty. Overestimates the true
+    /// sample value by at most `1/32` (one sub-bucket width).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Relaxed);
+            if cum >= rank {
+                // The top bucket also absorbs saturated samples, whose
+                // bound would under-report; the exact max is correct
+                // there (the largest sample always lands in the covering
+                // top bucket).
+                if i == N_BUCKETS - 1 {
+                    return self.max();
+                }
+                return Self::bucket_high(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Add every bucket of `other` into `self`. Exact: the result has
+    /// identical buckets to a histogram that recorded both sample
+    /// streams directly, so merge order never matters.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Relaxed);
+        self.sum.fetch_add(other.sum(), Relaxed);
+        self.max.fetch_max(other.max(), Relaxed);
+    }
+
+    /// Copy the bucket array once and derive a self-consistent set of
+    /// quantiles from it (concurrent recording between per-quantile
+    /// scans cannot skew a snapshot).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let count: u64 = buckets.iter().sum();
+        let max = self.max();
+        let q = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut cum = 0u64;
+            for (i, &b) in buckets.iter().enumerate() {
+                cum += b;
+                if cum >= rank {
+                    if i == N_BUCKETS - 1 {
+                        return max;
+                    }
+                    return Self::bucket_high(i).min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            max,
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+            p999: q(0.999),
+        }
+    }
+
+    /// Raw bucket counts (test/merge-verification aid).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Relaxed)).collect()
+    }
+}
+
+/// A point-in-time, self-consistent view of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.store(2);
+        assert_eq!(c.get(), 2);
+        let g = Gauge::new();
+        g.set(0.93);
+        assert!((g.get() - 0.93).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.sum(), (0..32).sum::<u64>());
+        // Exact below the linear/log boundary: the median of 0..=31 at
+        // nearest-rank(0.5) is sample #16 → value 15.
+        assert_eq!(h.quantile(0.5), 15);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_at_boundaries() {
+        let probes = [
+            0u64,
+            31,
+            32,
+            33,
+            63,
+            64,
+            1000,
+            4095,
+            4096,
+            (1 << 20) - 1,
+            1 << 20,
+            (1 << 40) - 1,
+            1 << 40,
+            u64::MAX,
+        ];
+        let mut last = 0usize;
+        for &v in &probes {
+            let i = Histogram::bucket_index(v);
+            assert!(i >= last, "index not monotone at {v}");
+            assert!(i < N_BUCKETS);
+            // Every value is <= its bucket's upper bound unless saturated.
+            if Histogram::bucket_index(v) < N_BUCKETS - 1 {
+                assert!(v <= Histogram::bucket_high(i));
+            }
+            last = i;
+        }
+        // Saturation: anything >= 2^40 shares the top bucket.
+        assert_eq!(
+            Histogram::bucket_index(1 << 40),
+            Histogram::bucket_index(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn quantile_overestimates_by_at_most_one_subbucket() {
+        let h = Histogram::new();
+        let mut vals: Vec<u64> = (0..500).map(|i| i * i * 7 + 13).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let exact = vals[rank - 1];
+            let est = h.quantile(q);
+            assert!(est >= exact, "q={q}: {est} < {exact}");
+            assert!(est <= exact + exact / 32 + 1, "q={q}: {est} >> {exact}");
+        }
+        assert_eq!(h.quantile(1.0), *vals.last().unwrap());
+    }
+
+    #[test]
+    fn merge_matches_direct_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let direct = Histogram::new();
+        for i in 0..300u64 {
+            let v = i * 31 % 9000;
+            if i % 2 == 0 { &a } else { &b }.record(v);
+            direct.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), direct.bucket_counts());
+        assert_eq!(a.count(), direct.count());
+        assert_eq!(a.sum(), direct.sum());
+        assert_eq!(a.max(), direct.max());
+        assert_eq!(a.snapshot(), direct.snapshot());
+    }
+
+    #[test]
+    fn snapshot_matches_quantile() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 3);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50, h.quantile(0.5));
+        assert_eq!(s.p999, h.quantile(0.999));
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 3000);
+    }
+}

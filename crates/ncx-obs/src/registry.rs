@@ -1,0 +1,198 @@
+//! The metrics [`Registry`]: named metrics with a Prometheus text
+//! exposition render.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    help: &'static str,
+    metric: Metric,
+}
+
+/// A registry of named metrics.
+///
+/// Registration is get-or-create: asking for an existing name returns
+/// the same underlying metric, so independent subsystems can share a
+/// counter by agreeing on its name. Names must match the Prometheus
+/// charset `[a-zA-Z_:][a-zA-Z0-9_:]*`; re-registering a name as a
+/// different metric kind panics (a programming error, not a runtime
+/// condition). The map lock is taken only on registration and render —
+/// recording into the returned `Arc`s is lock-free.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
+        // A panic while holding the lock cannot leave a metric map in a
+        // torn state (every mutation is a single insert), so poisoning
+        // is safe to ignore.
+        match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Get or create a counter. Panics on an invalid name or a kind
+    /// collision with an existing metric of the same name.
+    pub fn counter(&self, name: &str, help: &'static str) -> Arc<Counter> {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        let mut map = self.lock();
+        let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
+            help,
+            metric: Metric::Counter(Arc::new(Counter::new())),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create a gauge. Panics on an invalid name or a kind
+    /// collision.
+    pub fn gauge(&self, name: &str, help: &'static str) -> Arc<Gauge> {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        let mut map = self.lock();
+        let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
+            help,
+            metric: Metric::Gauge(Arc::new(Gauge::new())),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create a histogram. Panics on an invalid name or a kind
+    /// collision.
+    pub fn histogram(&self, name: &str, help: &'static str) -> Arc<Histogram> {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        let mut map = self.lock();
+        let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
+            help,
+            metric: Metric::Histogram(Arc::new(Histogram::new())),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// Render every registered metric in Prometheus text exposition
+    /// format. Histograms render as `summary` groups with
+    /// `quantile="0.5|0.9|0.99|0.999"` series plus `_sum`/`_count`, and
+    /// an auxiliary `<name>_max` gauge for the exact observed maximum.
+    pub fn render(&self) -> String {
+        let map = self.lock();
+        let mut out = String::with_capacity(map.len() * 96);
+        for (name, entry) in map.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", entry.help);
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let _ = writeln!(out, "# TYPE {name} summary");
+                    let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", s.p50);
+                    let _ = writeln!(out, "{name}{{quantile=\"0.9\"}} {}", s.p90);
+                    let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", s.p99);
+                    let _ = writeln!(out, "{name}{{quantile=\"0.999\"}} {}", s.p999);
+                    let _ = writeln!(out, "{name}_sum {}", s.sum);
+                    let _ = writeln!(out, "{name}_count {}", s.count);
+                    let _ = writeln!(out, "# HELP {name}_max exact maximum of {name}");
+                    let _ = writeln!(out, "# TYPE {name}_max gauge");
+                    let _ = writeln!(out, "{name}_max {}", s.max);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_shares_the_metric() {
+        let r = Registry::new();
+        let a = r.counter("ncx_test_total", "a test counter");
+        let b = r.counter("ncx_test_total", "a test counter");
+        a.add(7);
+        assert_eq!(b.get(), 7);
+        assert_eq!(r.names(), vec!["ncx_test_total".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_collision_panics() {
+        let r = Registry::new();
+        let _ = r.counter("ncx_test_total", "counter");
+        let _ = r.gauge("ncx_test_total", "now a gauge");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_panics() {
+        let r = Registry::new();
+        let _ = r.counter("9starts_with_digit", "bad");
+    }
+
+    #[test]
+    fn render_exposes_all_kinds() {
+        let r = Registry::new();
+        r.counter("ncx_ops_total", "ops").add(5);
+        r.gauge("ncx_hit_rate", "rate").set(0.75);
+        let h = r.histogram("ncx_lat_us", "latency");
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        let text = r.render();
+        assert!(text.contains("# TYPE ncx_ops_total counter"));
+        assert!(text.contains("ncx_ops_total 5"));
+        assert!(text.contains("ncx_hit_rate 0.75"));
+        assert!(text.contains("# TYPE ncx_lat_us summary"));
+        assert!(text.contains("ncx_lat_us{quantile=\"0.5\"} 20"));
+        assert!(text.contains("ncx_lat_us_count 4"));
+        assert!(text.contains("ncx_lat_us_sum 100"));
+        assert!(text.contains("ncx_lat_us_max 40"));
+        // Every registered name appears as a sample line.
+        for name in r.names() {
+            assert!(text.lines().any(|l| l.starts_with(&name)), "missing {name}");
+        }
+    }
+}

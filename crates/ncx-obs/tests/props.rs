@@ -1,0 +1,103 @@
+//! Property tests for the log-linear histogram: quantile accuracy
+//! against a sorted-reference implementation, exact-bucket merge
+//! associativity, and top-bucket saturation.
+
+use ncx_obs::Histogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Nearest-rank quantile over a sorted slice — the exact reference the
+/// histogram approximates.
+fn reference_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn fill(vals: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantiles never under-report the reference and overestimate by
+    /// at most one sub-bucket width (1/32 relative, +1 for integer
+    /// truncation). Values stay below 2^39 so nothing saturates.
+    #[test]
+    fn quantiles_track_sorted_reference(
+        mut vals in vec(0u64..(1u64 << 39), 1..400),
+    ) {
+        let h = fill(&vals);
+        vals.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = reference_quantile(&vals, q);
+            let est = h.quantile(q);
+            prop_assert!(est >= exact, "q={}: {} < {}", q, est, exact);
+            prop_assert!(
+                est <= exact + exact / 32 + 1,
+                "q={}: {} overshoots {}", q, est, exact
+            );
+        }
+        prop_assert_eq!(h.count(), vals.len() as u64);
+        prop_assert_eq!(h.sum(), vals.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), *vals.last().unwrap());
+        // quantile(1.0) is exact: the top rank is clamped to max.
+        prop_assert_eq!(h.quantile(1.0), *vals.last().unwrap());
+    }
+
+    /// Bucket-wise merge is exact and associative: (a ∪ b) ∪ c and
+    /// a ∪ (b ∪ c) both equal recording all three streams directly.
+    #[test]
+    fn merge_is_exact_and_associative(
+        a in vec(0u64..(1u64 << 44), 0..150),
+        b in vec(0u64..(1u64 << 44), 0..150),
+        c in vec(0u64..(1u64 << 44), 0..150),
+    ) {
+        let left = fill(&a);          // (a ∪ b) ∪ c
+        left.merge(&fill(&b));
+        left.merge(&fill(&c));
+
+        let bc = fill(&b);            // a ∪ (b ∪ c)
+        bc.merge(&fill(&c));
+        let right = fill(&a);
+        right.merge(&bc);
+
+        let direct = Histogram::new(); // all samples in one histogram
+        for &v in a.iter().chain(&b).chain(&c) {
+            direct.record(v);
+        }
+
+        prop_assert_eq!(left.bucket_counts(), direct.bucket_counts());
+        prop_assert_eq!(right.bucket_counts(), direct.bucket_counts());
+        prop_assert_eq!(left.snapshot(), direct.snapshot());
+        prop_assert_eq!(right.snapshot(), direct.snapshot());
+    }
+
+    /// Values at or above 2^40 saturate into the top bucket: counts and
+    /// sums stay exact, the exact max is preserved, and the top-bucket
+    /// quantile reports that max rather than a stale bucket bound.
+    #[test]
+    fn top_bucket_saturates(
+        below in vec(0u64..1000, 1..50),
+        above in vec((1u64 << 40)..(1u64 << 50), 1..50),
+    ) {
+        let h = fill(&below);
+        for &v in &above {
+            h.record(v);
+        }
+        let total = (below.len() + above.len()) as u64;
+        prop_assert_eq!(h.count(), total);
+        let max = *above.iter().max().unwrap();
+        prop_assert_eq!(h.max(), max);
+        prop_assert_eq!(h.quantile(1.0), max);
+        // All saturated samples share one bucket: the top-bucket count
+        // is exactly the number of oversized samples.
+        let counts = h.bucket_counts();
+        prop_assert_eq!(*counts.last().unwrap(), above.len() as u64);
+    }
+}

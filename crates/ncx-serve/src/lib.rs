@@ -26,11 +26,19 @@
 //!   one `ncx-store` snapshot directory (read once, decode per replica)
 //!   and round-robins queries across them; the engine's determinism
 //!   contract makes replicas bit-for-bit interchangeable.
+//! * observability — every query carries a
+//!   [`QueryTrace`](ncx_obs::QueryTrace) (phase timings, walk and
+//!   pruning counters, cache outcome; retrievable through the
+//!   `*_traced` entry points or [`ServeSession::last_trace`]), and
+//!   [`NcxServe::metrics_text`] renders the whole stack — serve
+//!   counters, walker/oracle statistics, store checkpoint gauges,
+//!   latency histograms — as one Prometheus text exposition.
 //!
 //! Entry point: [`NcxServe`]; per-user handles: [`ServeSession`].
 
 pub mod admission;
 pub mod cache;
+mod obs;
 pub mod serve;
 
 pub use admission::{Admission, Permit};

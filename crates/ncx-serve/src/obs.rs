@@ -1,0 +1,227 @@
+//! Serving-side metrics wiring: one [`Registry`] owning every exported
+//! series, plus the pre-registered handles the query paths record into.
+//!
+//! Everything is registered at construction, before any traffic, so
+//! [`Registry::names`] (and therefore the rendered exposition) is
+//! complete from the first scrape — scrapers never see a name appear
+//! mid-flight. Counters that mirror [`ServeStats`](crate::ServeStats)
+//! or engine diagnostics are synced by
+//! [`NcxServe::metrics_text`](crate::NcxServe::metrics_text) at render
+//! time; histograms are fed on the hot path through the `Arc` handles
+//! kept here.
+
+use ncx_obs::{Counter, Gauge, Histogram, Phase, QueryTrace, Registry, NUM_PHASES};
+use std::sync::Arc;
+
+/// Metric names and help strings, kept in one place so registration
+/// (at construction) and sync (at render) cannot drift apart.
+pub(crate) mod names {
+    /// `(name, help)` pairs for the counters mirroring [`crate::ServeStats`].
+    pub(crate) const SERVE_COUNTERS: &[(&str, &str)] = &[
+        (
+            "ncx_serve_completed_total",
+            "Queries that ran to completion (including cache hits)",
+        ),
+        (
+            "ncx_serve_rejected_overload_total",
+            "Arrivals rejected because the in-flight set and queue were full",
+        ),
+        (
+            "ncx_serve_rejected_deadline_total",
+            "Classic queries whose deadline expired (queued or executing)",
+        ),
+        (
+            "ncx_serve_partials_total",
+            "Progressive queries cut by their deadline into a typed partial",
+        ),
+        (
+            "ncx_serve_cache_hits_total",
+            "Cross-query cache lookups that found an entry",
+        ),
+        (
+            "ncx_serve_cache_misses_total",
+            "Cross-query cache lookups that found nothing",
+        ),
+        (
+            "ncx_serve_cache_evictions_total",
+            "Cache entries dropped by FIFO eviction at capacity",
+        ),
+        (
+            "ncx_serve_cache_invalidations_total",
+            "Cache wipes triggered by ingest",
+        ),
+        (
+            "ncx_serve_ingested_total",
+            "Articles ingested through the server",
+        ),
+        (
+            "ncx_serve_checkpoints_total",
+            "Checkpoints run through the server",
+        ),
+        (
+            "ncx_serve_compactions_total",
+            "Checkpoints that also folded the generation stack",
+        ),
+    ];
+    /// Walker counters, aggregated across replicas at render time.
+    pub(crate) const WALK_COUNTERS: &[(&str, &str)] = &[
+        (
+            "ncx_walk_walks_total",
+            "Random-walk samples consumed across every connectivity estimate",
+        ),
+        ("ncx_walk_hits_total", "Walks that reached their target"),
+        (
+            "ncx_walk_dead_ends_total",
+            "Walks that died before the hop budget",
+        ),
+        (
+            "ncx_walk_early_stops_total",
+            "Estimates truncated early by the adaptive walk budget",
+        ),
+        (
+            "ncx_walk_estimates_total",
+            "Connectivity estimates performed",
+        ),
+    ];
+    /// Distance-oracle counters, aggregated across replicas.
+    pub(crate) const ORACLE_COUNTERS: &[(&str, &str)] = &[
+        (
+            "ncx_oracle_hits_total",
+            "Oracle lookups served from the shard cache",
+        ),
+        (
+            "ncx_oracle_misses_total",
+            "Oracle lookups that executed a bounded BFS",
+        ),
+    ];
+    pub(crate) const STORE_FLUSHED_DOCS: (&str, &str) = (
+        "ncx_store_flushed_docs_total",
+        "Documents written by checkpoint flushes",
+    );
+    /// Derived-rate and sizing gauges.
+    pub(crate) const GAUGES: &[(&str, &str)] = &[
+        (
+            "ncx_oracle_hit_rate",
+            "Fraction of oracle lookups served from the shard cache",
+        ),
+        (
+            "ncx_walk_early_stop_fraction",
+            "Fraction of estimates cut short by the adaptive budget",
+        ),
+        (
+            "ncx_walk_avg_walks_per_estimate",
+            "Mean walks spent per connectivity estimate",
+        ),
+        (
+            "ncx_store_generations",
+            "Live generations in the snapshot stack after the last checkpoint",
+        ),
+        (
+            "ncx_store_snapshot_bytes",
+            "Total segment payload bytes in the snapshot after the last checkpoint",
+        ),
+        (
+            "ncx_serve_cached_entries",
+            "Entries currently in the cross-query cache",
+        ),
+        (
+            "ncx_serve_replicas",
+            "Replica engines behind the multiplexer",
+        ),
+    ];
+}
+
+/// One registry plus the hot-path histogram handles.
+pub(crate) struct ServeObs {
+    pub(crate) registry: Registry,
+    /// Wall latency of classic roll-ups that returned `Ok` (µs).
+    pub(crate) rollup_latency: Arc<Histogram>,
+    /// Wall latency of classic drill-downs that returned `Ok` (µs).
+    pub(crate) drilldown_latency: Arc<Histogram>,
+    /// Wall latency of progressive roll-ups (complete or partial, µs).
+    pub(crate) prog_rollup_latency: Arc<Histogram>,
+    /// Wall latency of progressive drill-downs (µs).
+    pub(crate) prog_drilldown_latency: Arc<Histogram>,
+    /// Admission wait of every arrival, admitted or not (µs).
+    pub(crate) queue_wait: Arc<Histogram>,
+    /// How far past its limit a deadline rejection surfaced (µs); the
+    /// documented bound is one `check_interval` of work.
+    pub(crate) overshoot: Arc<Histogram>,
+    /// Per-phase time (µs), indexed by [`Phase`] discriminant, fed from
+    /// each query's trace as it finishes.
+    pub(crate) phase: [Arc<Histogram>; NUM_PHASES],
+}
+
+impl ServeObs {
+    pub(crate) fn new() -> Self {
+        let registry = Registry::new();
+        for &(name, help) in names::SERVE_COUNTERS
+            .iter()
+            .chain(names::WALK_COUNTERS)
+            .chain(names::ORACLE_COUNTERS)
+        {
+            registry.counter(name, help);
+        }
+        registry.counter(names::STORE_FLUSHED_DOCS.0, names::STORE_FLUSHED_DOCS.1);
+        for &(name, help) in names::GAUGES {
+            registry.gauge(name, help);
+        }
+        let phase = Phase::ALL.map(|p| {
+            registry.histogram(
+                &format!("ncx_query_phase_{}_us", p.label()),
+                "Per-query phase time (µs), aggregated from finished query traces",
+            )
+        });
+        Self {
+            rollup_latency: registry.histogram(
+                "ncx_serve_rollup_latency_us",
+                "Wall latency of successful classic roll-ups (µs)",
+            ),
+            drilldown_latency: registry.histogram(
+                "ncx_serve_drilldown_latency_us",
+                "Wall latency of successful classic drill-downs (µs)",
+            ),
+            prog_rollup_latency: registry.histogram(
+                "ncx_serve_progressive_rollup_latency_us",
+                "Wall latency of progressive roll-ups, complete or partial (µs)",
+            ),
+            prog_drilldown_latency: registry.histogram(
+                "ncx_serve_progressive_drilldown_latency_us",
+                "Wall latency of progressive drill-downs, complete or partial (µs)",
+            ),
+            queue_wait: registry.histogram(
+                "ncx_serve_queue_wait_us",
+                "Admission wait of every arrival, admitted or rejected (µs)",
+            ),
+            overshoot: registry.histogram(
+                "ncx_serve_deadline_overshoot_us",
+                "Time past its limit at which a deadline rejection surfaced (µs)",
+            ),
+            phase,
+            registry,
+        }
+    }
+
+    /// Re-fetches a counter registered in [`new`](Self::new); the help
+    /// text given at construction wins (get-or-create semantics).
+    pub(crate) fn counter(&self, name: &str) -> Arc<Counter> {
+        self.registry.counter(name, "")
+    }
+
+    /// Re-fetches a gauge registered in [`new`](Self::new).
+    pub(crate) fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.registry.gauge(name, "")
+    }
+
+    /// Folds one finished query's trace into the per-phase histograms.
+    /// Phases the query never entered (zero time) are skipped so quiet
+    /// phases don't drag the quantiles toward zero.
+    pub(crate) fn observe_trace(&self, trace: &QueryTrace) {
+        for p in Phase::ALL {
+            let nanos = trace.phase_nanos(p);
+            if nanos > 0 {
+                self.phase[p as usize].record(nanos / 1_000);
+            }
+        }
+    }
+}

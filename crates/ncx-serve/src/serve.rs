@@ -33,6 +33,7 @@
 
 use crate::admission::Admission;
 use crate::cache::{CacheKey, CacheValue, QueryCache};
+use crate::obs::{names, ServeObs};
 use ncx_core::budget::Deadline;
 use ncx_core::drilldown::Subtopic;
 use ncx_core::error::QueryError;
@@ -41,9 +42,10 @@ use ncx_core::rollup::RollupHit;
 use ncx_core::{ConceptQuery, NcExplorer, NcxConfig};
 use ncx_index::NewsSource;
 use ncx_kg::{DocId, KnowledgeGraph};
+use ncx_obs::{Histogram, Phase, QueryTrace, Stopwatch};
 use ncx_store::StoreError;
 use parking_lot::RwLock;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -129,6 +131,7 @@ pub struct NcxServe {
     ingested: AtomicU64,
     checkpoints: AtomicU64,
     compactions: AtomicU64,
+    obs: ServeObs,
 }
 
 impl NcxServe {
@@ -161,6 +164,7 @@ impl NcxServe {
             ingested: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            obs: ServeObs::new(),
         }
     }
 
@@ -196,6 +200,7 @@ impl NcxServe {
             serve: self,
             deadline: self.config.default_deadline,
             queries: Cell::new(0),
+            last_trace: RefCell::new(None),
         }
     }
 
@@ -221,16 +226,46 @@ impl NcxServe {
         k: usize,
         limit: Option<Duration>,
     ) -> Result<Arc<Vec<RollupHit>>, QueryError> {
+        self.rollup_deadline_impl(query, k, limit, &Arc::new(QueryTrace::new()))
+    }
+
+    /// [`rollup_deadline`](Self::rollup_deadline), additionally
+    /// returning the query's [`QueryTrace`] — phase timings, walk and
+    /// pruning counters, cache outcome. The trace is also folded into
+    /// the server's aggregate histograms, same as the untraced path.
+    pub fn rollup_deadline_traced(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        limit: Option<Duration>,
+    ) -> (Result<Arc<Vec<RollupHit>>, QueryError>, Arc<QueryTrace>) {
+        let trace = Arc::new(QueryTrace::new());
+        let result = self.rollup_deadline_impl(query, k, limit, &trace);
+        (result, trace)
+    }
+
+    fn rollup_deadline_impl(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        limit: Option<Duration>,
+        trace: &Arc<QueryTrace>,
+    ) -> Result<Arc<Vec<RollupHit>>, QueryError> {
+        let wall = Stopwatch::start();
         let deadline = limit.map(Deadline::after);
-        let permit = self.admit(deadline.as_ref())?;
+        let permit = match self.admit_timed(deadline.as_ref(), trace) {
+            Ok(p) => p,
+            Err(e) => return Err(self.finish_err(trace, wall, e)),
+        };
         let key = CacheKey::Rollup(query.concepts().to_vec(), k);
-        if let Some(CacheValue::Rollup(v)) = self.cache.get(&key) {
+        if let Some(CacheValue::Rollup(v)) = self.probe_cache(&key, trace) {
             self.completed.fetch_add(1, Ordering::Relaxed);
+            self.finish_ok(trace, wall, &self.obs.rollup_latency);
             return Ok(v);
         }
         let result = {
             let engine = self.replicas[self.pick()].read();
-            engine.rollup_deadline(query, k, deadline.as_ref())
+            engine.rollup_deadline_traced(query, k, deadline.as_ref(), trace)
         };
         drop(permit);
         match result {
@@ -238,9 +273,13 @@ impl NcxServe {
                 let v = Arc::new(hits);
                 self.cache.insert(key, CacheValue::Rollup(v.clone()));
                 self.completed.fetch_add(1, Ordering::Relaxed);
+                self.finish_ok(trace, wall, &self.obs.rollup_latency);
                 Ok(v)
             }
-            Err(e) => Err(self.count_rejection(e)),
+            Err(e) => {
+                let e = self.count_rejection(e);
+                Err(self.finish_err(trace, wall, e))
+            }
         }
     }
 
@@ -260,16 +299,44 @@ impl NcxServe {
         k: usize,
         limit: Option<Duration>,
     ) -> Result<Arc<Vec<Subtopic>>, QueryError> {
+        self.drilldown_deadline_impl(query, k, limit, &Arc::new(QueryTrace::new()))
+    }
+
+    /// [`drilldown_deadline`](Self::drilldown_deadline), additionally
+    /// returning the query's [`QueryTrace`].
+    pub fn drilldown_deadline_traced(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        limit: Option<Duration>,
+    ) -> (Result<Arc<Vec<Subtopic>>, QueryError>, Arc<QueryTrace>) {
+        let trace = Arc::new(QueryTrace::new());
+        let result = self.drilldown_deadline_impl(query, k, limit, &trace);
+        (result, trace)
+    }
+
+    fn drilldown_deadline_impl(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        limit: Option<Duration>,
+        trace: &Arc<QueryTrace>,
+    ) -> Result<Arc<Vec<Subtopic>>, QueryError> {
+        let wall = Stopwatch::start();
         let deadline = limit.map(Deadline::after);
-        let permit = self.admit(deadline.as_ref())?;
+        let permit = match self.admit_timed(deadline.as_ref(), trace) {
+            Ok(p) => p,
+            Err(e) => return Err(self.finish_err(trace, wall, e)),
+        };
         let key = CacheKey::Drilldown(query.concepts().to_vec(), k);
-        if let Some(CacheValue::Drilldown(v)) = self.cache.get(&key) {
+        if let Some(CacheValue::Drilldown(v)) = self.probe_cache(&key, trace) {
             self.completed.fetch_add(1, Ordering::Relaxed);
+            self.finish_ok(trace, wall, &self.obs.drilldown_latency);
             return Ok(v);
         }
         let result = {
             let engine = self.replicas[self.pick()].read();
-            engine.drilldown_deadline(query, k, deadline.as_ref())
+            engine.drilldown_deadline_traced(query, k, deadline.as_ref(), trace)
         };
         drop(permit);
         match result {
@@ -277,9 +344,13 @@ impl NcxServe {
                 let v = Arc::new(subs);
                 self.cache.insert(key, CacheValue::Drilldown(v.clone()));
                 self.completed.fetch_add(1, Ordering::Relaxed);
+                self.finish_ok(trace, wall, &self.obs.drilldown_latency);
                 Ok(v)
             }
-            Err(e) => Err(self.count_rejection(e)),
+            Err(e) => {
+                let e = self.count_rejection(e);
+                Err(self.finish_err(trace, wall, e))
+            }
         }
     }
 
@@ -307,19 +378,53 @@ impl NcxServe {
         k: usize,
         limit: Option<Duration>,
     ) -> Result<Arc<ProgressiveResult<RollupHit>>, QueryError> {
+        self.rollup_progressive_impl(query, k, limit, &Arc::new(QueryTrace::new()))
+    }
+
+    /// [`rollup_progressive_deadline`](Self::rollup_progressive_deadline),
+    /// additionally returning the query's [`QueryTrace`] — including
+    /// racing rounds, tranches advanced, and estimates pruned.
+    pub fn rollup_progressive_traced(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        limit: Option<Duration>,
+    ) -> (
+        Result<Arc<ProgressiveResult<RollupHit>>, QueryError>,
+        Arc<QueryTrace>,
+    ) {
+        let trace = Arc::new(QueryTrace::new());
+        let result = self.rollup_progressive_impl(query, k, limit, &trace);
+        (result, trace)
+    }
+
+    fn rollup_progressive_impl(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        limit: Option<Duration>,
+        trace: &Arc<QueryTrace>,
+    ) -> Result<Arc<ProgressiveResult<RollupHit>>, QueryError> {
+        let wall = Stopwatch::start();
         let deadline = limit.map(Deadline::after);
-        let Some(permit) = self.admit_progressive(deadline.as_ref())? else {
-            self.partials.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::new(ProgressiveResult::interrupted()));
+        let permit = match self.admit_progressive_timed(deadline.as_ref(), trace) {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                self.partials.fetch_add(1, Ordering::Relaxed);
+                self.finish_ok(trace, wall, &self.obs.prog_rollup_latency);
+                return Ok(Arc::new(ProgressiveResult::interrupted()));
+            }
+            Err(e) => return Err(self.finish_err(trace, wall, e)),
         };
         let key = CacheKey::ProgressiveRollup(query.concepts().to_vec(), k);
-        if let Some(CacheValue::ProgressiveRollup(v)) = self.cache.get(&key) {
+        if let Some(CacheValue::ProgressiveRollup(v)) = self.probe_cache(&key, trace) {
             self.completed.fetch_add(1, Ordering::Relaxed);
+            self.finish_ok(trace, wall, &self.obs.prog_rollup_latency);
             return Ok(v);
         }
         let result = {
             let engine = self.replicas[self.pick()].read();
-            engine.rollup_progressive(query, k, deadline.as_ref())
+            engine.rollup_progressive_traced(query, k, deadline.as_ref(), trace)
         };
         drop(permit);
         let v = Arc::new(result);
@@ -330,6 +435,7 @@ impl NcxServe {
         } else {
             self.partials.fetch_add(1, Ordering::Relaxed);
         }
+        self.finish_ok(trace, wall, &self.obs.prog_rollup_latency);
         Ok(v)
     }
 
@@ -353,19 +459,52 @@ impl NcxServe {
         k: usize,
         limit: Option<Duration>,
     ) -> Result<Arc<ProgressiveResult<Subtopic>>, QueryError> {
+        self.drilldown_progressive_impl(query, k, limit, &Arc::new(QueryTrace::new()))
+    }
+
+    /// [`drilldown_progressive_deadline`](Self::drilldown_progressive_deadline),
+    /// additionally returning the query's [`QueryTrace`].
+    pub fn drilldown_progressive_traced(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        limit: Option<Duration>,
+    ) -> (
+        Result<Arc<ProgressiveResult<Subtopic>>, QueryError>,
+        Arc<QueryTrace>,
+    ) {
+        let trace = Arc::new(QueryTrace::new());
+        let result = self.drilldown_progressive_impl(query, k, limit, &trace);
+        (result, trace)
+    }
+
+    fn drilldown_progressive_impl(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        limit: Option<Duration>,
+        trace: &Arc<QueryTrace>,
+    ) -> Result<Arc<ProgressiveResult<Subtopic>>, QueryError> {
+        let wall = Stopwatch::start();
         let deadline = limit.map(Deadline::after);
-        let Some(permit) = self.admit_progressive(deadline.as_ref())? else {
-            self.partials.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::new(ProgressiveResult::interrupted()));
+        let permit = match self.admit_progressive_timed(deadline.as_ref(), trace) {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                self.partials.fetch_add(1, Ordering::Relaxed);
+                self.finish_ok(trace, wall, &self.obs.prog_drilldown_latency);
+                return Ok(Arc::new(ProgressiveResult::interrupted()));
+            }
+            Err(e) => return Err(self.finish_err(trace, wall, e)),
         };
         let key = CacheKey::ProgressiveDrilldown(query.concepts().to_vec(), k);
-        if let Some(CacheValue::ProgressiveDrilldown(v)) = self.cache.get(&key) {
+        if let Some(CacheValue::ProgressiveDrilldown(v)) = self.probe_cache(&key, trace) {
             self.completed.fetch_add(1, Ordering::Relaxed);
+            self.finish_ok(trace, wall, &self.obs.prog_drilldown_latency);
             return Ok(v);
         }
         let result = {
             let engine = self.replicas[self.pick()].read();
-            engine.drilldown_progressive(query, k, deadline.as_ref())
+            engine.drilldown_progressive_traced(query, k, deadline.as_ref(), trace)
         };
         drop(permit);
         let v = Arc::new(result);
@@ -376,6 +515,7 @@ impl NcxServe {
         } else {
             self.partials.fetch_add(1, Ordering::Relaxed);
         }
+        self.finish_ok(trace, wall, &self.obs.prog_drilldown_latency);
         Ok(v)
     }
 
@@ -432,10 +572,24 @@ impl NcxServe {
         &self,
         dir: impl AsRef<Path>,
     ) -> Result<ncx_core::CheckpointOutcome, StoreError> {
+        let dir = dir.as_ref();
         let outcome = self.replicas[0].read().checkpoint(dir)?;
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
         if outcome.compacted {
             self.compactions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.obs
+            .counter(names::STORE_FLUSHED_DOCS.0)
+            .add(outcome.flushed_docs);
+        self.obs
+            .gauge("ncx_store_generations")
+            .set(f64::from(outcome.generations));
+        // Manifest-only read: sizes the on-disk snapshot without
+        // touching (or checksumming) any segment body.
+        if let Ok(snap) = ncx_store::Snapshot::open(dir) {
+            self.obs
+                .gauge("ncx_store_snapshot_bytes")
+                .set(snap.manifest().total_bytes() as f64);
         }
         Ok(outcome)
     }
@@ -471,8 +625,138 @@ impl NcxServe {
         self.cache.len()
     }
 
+    /// Renders every metric the serving stack exposes — serve counters,
+    /// walker and distance-oracle statistics aggregated across replicas,
+    /// store checkpoint gauges, latency/queue-wait/overshoot histograms,
+    /// and per-phase trace aggregates — as one Prometheus text
+    /// exposition. Counters mirroring [`ServeStats`] and the engine
+    /// diagnostics are synced here, at render time; histograms are fed
+    /// continuously on the query paths.
+    pub fn metrics_text(&self) -> String {
+        let s = self.stats();
+        for (&(name, _), value) in names::SERVE_COUNTERS.iter().zip([
+            s.completed,
+            s.rejected_overload,
+            s.rejected_deadline,
+            s.partials,
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_evictions,
+            s.cache_invalidations,
+            s.ingested,
+            s.checkpoints,
+            s.compactions,
+        ]) {
+            self.obs.counter(name).store(value);
+        }
+        // Aggregate engine-side statistics across replicas (plain sums;
+        // replicas are interchangeable but each has its own counters).
+        let mut walks = ncx_core::relevance::WalkStats::default();
+        let mut oracle_hits = 0u64;
+        let mut oracle_misses = 0u64;
+        for replica in &self.replicas {
+            let d = replica.read().diagnostics();
+            walks.merge(d.walk_stats);
+            oracle_hits += d.oracle.hits;
+            oracle_misses += d.oracle.misses;
+        }
+        for (&(name, _), value) in names::WALK_COUNTERS.iter().zip([
+            walks.walks,
+            walks.hits,
+            walks.dead_ends,
+            walks.early_stops,
+            walks.estimates,
+        ]) {
+            self.obs.counter(name).store(value);
+        }
+        self.obs
+            .counter(names::ORACLE_COUNTERS[0].0)
+            .store(oracle_hits);
+        self.obs
+            .counter(names::ORACLE_COUNTERS[1].0)
+            .store(oracle_misses);
+        let lookups = oracle_hits + oracle_misses;
+        self.obs.gauge("ncx_oracle_hit_rate").set(if lookups == 0 {
+            0.0
+        } else {
+            oracle_hits as f64 / lookups as f64
+        });
+        self.obs
+            .gauge("ncx_walk_early_stop_fraction")
+            .set(walks.early_stop_fraction());
+        self.obs
+            .gauge("ncx_walk_avg_walks_per_estimate")
+            .set(walks.avg_walks_per_estimate());
+        self.obs
+            .gauge("ncx_serve_cached_entries")
+            .set(self.cache.len() as f64);
+        self.obs
+            .gauge("ncx_serve_replicas")
+            .set(self.replicas.len() as f64);
+        self.obs.registry.render()
+    }
+
     fn pick(&self) -> usize {
         self.next.fetch_add(1, Ordering::Relaxed) % self.replicas.len()
+    }
+
+    /// Admission with the wait recorded into both the query's trace and
+    /// the server-wide queue-wait histogram (rejected arrivals included:
+    /// their wait is exactly the signal back-pressure tuning needs).
+    fn admit_timed(
+        &self,
+        deadline: Option<&Deadline>,
+        trace: &QueryTrace,
+    ) -> Result<crate::admission::Permit<'_>, QueryError> {
+        let sw = Stopwatch::start();
+        let admitted = self.admit(deadline);
+        let waited = sw.elapsed();
+        trace.add(Phase::QueueWait, waited);
+        self.obs.queue_wait.record_duration_us(waited);
+        admitted
+    }
+
+    /// [`admit_progressive`](Self::admit_progressive) with the same
+    /// wait recording as [`admit_timed`](Self::admit_timed).
+    fn admit_progressive_timed(
+        &self,
+        deadline: Option<&Deadline>,
+        trace: &QueryTrace,
+    ) -> Result<Option<crate::admission::Permit<'_>>, QueryError> {
+        let sw = Stopwatch::start();
+        let admitted = self.admit_progressive(deadline);
+        let waited = sw.elapsed();
+        trace.add(Phase::QueueWait, waited);
+        self.obs.queue_wait.record_duration_us(waited);
+        admitted
+    }
+
+    /// Cache probe with the lookup timed and the hit/miss outcome
+    /// marked on the trace.
+    fn probe_cache(&self, key: &CacheKey, trace: &QueryTrace) -> Option<CacheValue> {
+        let sw = Stopwatch::start();
+        let found = self.cache.get(key);
+        trace.add(Phase::CacheLookup, sw.elapsed());
+        trace.mark_cache(found.is_some());
+        found
+    }
+
+    /// Seals a successful query's trace: stamps wall time, records it
+    /// into the operator's latency histogram, and folds the phase spans
+    /// into the aggregate per-phase histograms.
+    fn finish_ok(&self, trace: &QueryTrace, wall: Stopwatch, latency: &Histogram) {
+        let w = wall.elapsed();
+        trace.set_wall(w);
+        latency.record_duration_us(w);
+        self.obs.observe_trace(trace);
+    }
+
+    /// Seals a rejected query's trace (wall + phase aggregation; the
+    /// rejection itself was already counted) and passes the error on.
+    fn finish_err(&self, trace: &QueryTrace, wall: Stopwatch, e: QueryError) -> QueryError {
+        trace.set_wall(wall.elapsed());
+        self.obs.observe_trace(trace);
+        e
     }
 
     fn admit(
@@ -503,8 +787,13 @@ impl NcxServe {
             QueryError::Overloaded { .. } => {
                 self.rejected_overload.fetch_add(1, Ordering::Relaxed);
             }
-            QueryError::DeadlineExceeded { .. } => {
+            QueryError::DeadlineExceeded { elapsed, limit } => {
                 self.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                // How far past the limit the rejection surfaced; bounded
+                // by one check_interval of work (asserted in tests).
+                self.obs
+                    .overshoot
+                    .record_duration_us(elapsed.saturating_sub(*limit));
             }
             QueryError::UnknownConcept { .. } => {}
         }
@@ -519,6 +808,7 @@ pub struct ServeSession<'s> {
     serve: &'s NcxServe,
     deadline: Option<Duration>,
     queries: Cell<u64>,
+    last_trace: RefCell<Option<Arc<QueryTrace>>>,
 }
 
 impl ServeSession<'_> {
@@ -537,6 +827,14 @@ impl ServeSession<'_> {
         self.queries.get()
     }
 
+    /// The [`QueryTrace`] of this session's most recent query (phase
+    /// timings, walks spent, cache outcome), or `None` before the first
+    /// one. Every session query is traced; the trace is shared with —
+    /// not copied from — the one the server aggregated.
+    pub fn last_trace(&self) -> Option<Arc<QueryTrace>> {
+        self.last_trace.borrow().clone()
+    }
+
     /// Parses a concept pattern query from labels.
     pub fn query(&self, names: &[&str]) -> Result<ConceptQuery, QueryError> {
         self.serve.query(names)
@@ -549,7 +847,9 @@ impl ServeSession<'_> {
         k: usize,
     ) -> Result<Arc<Vec<RollupHit>>, QueryError> {
         self.queries.set(self.queries.get() + 1);
-        self.serve.rollup_deadline(query, k, self.deadline)
+        let (result, trace) = self.serve.rollup_deadline_traced(query, k, self.deadline);
+        self.last_trace.replace(Some(trace));
+        result
     }
 
     /// Drill-down under the session's deadline.
@@ -559,7 +859,11 @@ impl ServeSession<'_> {
         k: usize,
     ) -> Result<Arc<Vec<Subtopic>>, QueryError> {
         self.queries.set(self.queries.get() + 1);
-        self.serve.drilldown_deadline(query, k, self.deadline)
+        let (result, trace) = self
+            .serve
+            .drilldown_deadline_traced(query, k, self.deadline);
+        self.last_trace.replace(Some(trace));
+        result
     }
 
     /// Anytime roll-up under the session's deadline: expiry yields a
@@ -571,8 +875,11 @@ impl ServeSession<'_> {
         k: usize,
     ) -> Result<Arc<ProgressiveResult<RollupHit>>, QueryError> {
         self.queries.set(self.queries.get() + 1);
-        self.serve
-            .rollup_progressive_deadline(query, k, self.deadline)
+        let (result, trace) = self
+            .serve
+            .rollup_progressive_traced(query, k, self.deadline);
+        self.last_trace.replace(Some(trace));
+        result
     }
 
     /// Anytime drill-down under the session's deadline.
@@ -582,8 +889,11 @@ impl ServeSession<'_> {
         k: usize,
     ) -> Result<Arc<ProgressiveResult<Subtopic>>, QueryError> {
         self.queries.set(self.queries.get() + 1);
-        self.serve
-            .drilldown_progressive_deadline(query, k, self.deadline)
+        let (result, trace) = self
+            .serve
+            .drilldown_progressive_traced(query, k, self.deadline);
+        self.last_trace.replace(Some(trace));
+        result
     }
 }
 

@@ -100,6 +100,14 @@ impl Manifest {
         self.stats.get(name).copied()
     }
 
+    /// Total payload bytes across every file in the table (segment
+    /// bodies as recorded at write time; the manifest itself is not
+    /// counted). Observability aid: exported as a gauge by the serving
+    /// layer after each checkpoint.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.bytes).sum()
+    }
+
     /// The highest live generation number.
     pub fn max_gen(&self) -> u32 {
         self.generations.iter().map(|g| g.gen).max().unwrap_or(0)

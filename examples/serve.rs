@@ -184,6 +184,40 @@ fn main() {
         assert_eq!(got, want, "partial must be a prefix");
     }
 
+    // ── 4. Observability: traces, diagnostics, Prometheus text ──────
+    // Every query carries a trace; sessions keep the last one around.
+    let session = replicas.session();
+    let _ = session.rollup(&q, 10).expect("traced roll-up");
+    let trace = session.last_trace().expect("session ran a query");
+    println!("last query trace: {trace}");
+
+    // Engine-side counters with derived rates, one Display render.
+    let diag = replicas.with_engine(|e| e.diagnostics());
+    println!("engine diagnostics:\n{diag}");
+
+    // The whole stack — serve counters, walker/oracle stats, latency
+    // histograms — as one Prometheus exposition. Excerpted here; a
+    // scrape endpoint would return `metrics_text()` verbatim.
+    let text = replicas.metrics_text();
+    let excerpt: Vec<&str> = text
+        .lines()
+        .filter(|l| {
+            l.starts_with("ncx_serve_completed_total")
+                || l.starts_with("ncx_serve_cache_hits_total")
+                || l.starts_with("ncx_walk_walks_total")
+                || l.starts_with("ncx_oracle_hit_rate")
+                || l.starts_with("ncx_serve_rollup_latency_us{quantile=\"0.99\"}")
+        })
+        .collect();
+    println!(
+        "metrics excerpt ({} series total):",
+        text.lines().filter(|l| !l.starts_with('#')).count()
+    );
+    for line in &excerpt {
+        println!("  {line}");
+    }
+    assert!(excerpt.len() >= 5, "exposition must cover the stack");
+
     std::fs::remove_dir_all(&dir).ok();
     println!("ok: every concurrent answer matched the sequential reference");
 }

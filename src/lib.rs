@@ -17,6 +17,7 @@
 //! | [`core`] | the NCExplorer engine: roll-up, drill-down, estimators |
 //! | [`store`] | persistent sharded snapshot format (save/cold-open) |
 //! | [`serve`] | concurrent session multiplexer: admission control, deadlines, caching, replicas |
+//! | [`obs`] | metrics registry, latency histograms, per-query trace spans |
 //! | [`datagen`] | synthetic KG/corpus generators and evaluation oracles |
 //! | [`eval`] | NDCG, statistics, tables |
 //!
@@ -54,6 +55,7 @@ pub use ncx_eval as eval;
 pub use ncx_index as index;
 pub use ncx_kg as kg;
 pub use ncx_newslink as newslink;
+pub use ncx_obs as obs;
 pub use ncx_reach as reach;
 pub use ncx_serve as serve;
 pub use ncx_store as store;

@@ -263,6 +263,7 @@ proptest! {
             engine.pool(),
             &prefix_estimator(),
             None,
+            None,
         );
         prop_assert!(capped.walks <= complete.walks.max(cap));
         prop_assert!(capped.items.len() <= complete.items.len());
@@ -287,6 +288,7 @@ proptest! {
             engine.pool(),
             &prefix_estimator(),
             SbrFactors::CSD,
+            None,
             None,
         );
         prop_assert!(capped_drill.items.len() <= complete_drill.items.len());

@@ -3,6 +3,7 @@
 
 use ncexplorer::core::{ConceptQuery, NcExplorer, NcxConfig, Parallelism};
 use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+use ncexplorer::obs::Histogram;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -60,12 +61,6 @@ fn concept_cap_bounds_postings_per_doc() {
             .len();
         assert!(n <= 3, "doc {i} has {n} concepts");
     }
-}
-
-/// Median of a latency sample.
-fn p50(samples: &mut [Duration]) -> Duration {
-    samples.sort_unstable();
-    samples[samples.len() / 2]
 }
 
 /// Pulls `"key": <number>` out of the baseline JSON (the file is written
@@ -172,24 +167,27 @@ fn medium_scale_pipeline() {
     // here would charge single-core runners for four workers contending
     // over one CPU and make the baseline meaningless across machines.
     engine.set_parallelism(Parallelism::Auto).unwrap();
+    // Latencies go into ncx-obs log-linear histograms (µs resolution,
+    // ≤ 1/32 relative bucket width) — the same machinery the serving
+    // layer exports — instead of sorted sample vectors.
     let reps = 15;
-    let mut rollup_lat = Vec::with_capacity(reps * topics.len());
-    let mut drill_lat = Vec::with_capacity(reps * topics.len());
+    let rollup_lat = Histogram::new();
+    let drill_lat = Histogram::new();
     for topic in topics {
         let q = engine.query(&[topic]).unwrap();
         for _ in 0..reps {
             let t = Instant::now();
             let hits = engine.rollup(&q, 10);
-            rollup_lat.push(t.elapsed());
+            rollup_lat.record_duration_us(t.elapsed());
             assert_eq!(hits.len(), 10);
             let t = Instant::now();
             let subs = engine.drilldown(&q, 10);
-            drill_lat.push(t.elapsed());
+            drill_lat.record_duration_us(t.elapsed());
             assert!(!subs.is_empty());
         }
     }
-    let rollup_p50_us = p50(&mut rollup_lat).as_secs_f64() * 1e6;
-    let drilldown_p50_us = p50(&mut drill_lat).as_secs_f64() * 1e6;
+    let rollup_p50_us = rollup_lat.quantile(0.5) as f64;
+    let drilldown_p50_us = drill_lat.quantile(0.5) as f64;
 
     // ---- small-query latency group (seq vs par) ----
     // With the PAR_MIN_* work floors lowered for the persistent pool,
@@ -236,21 +234,18 @@ fn medium_scale_pipeline() {
     let small_reps = 60;
     let mut small = |mode: Parallelism| {
         small_engine.set_parallelism(mode).unwrap();
-        let mut roll = Vec::with_capacity(small_reps);
-        let mut drill = Vec::with_capacity(small_reps);
+        let roll = Histogram::new();
+        let drill = Histogram::new();
         for _ in 0..small_reps {
             let t = Instant::now();
             let hits = small_engine.rollup(&small_q, 10);
-            roll.push(t.elapsed());
+            roll.record_duration_us(t.elapsed());
             assert!(!hits.is_empty());
             let t = Instant::now();
             small_engine.drilldown(&small_q, 10);
-            drill.push(t.elapsed());
+            drill.record_duration_us(t.elapsed());
         }
-        (
-            p50(&mut roll).as_secs_f64() * 1e6,
-            p50(&mut drill).as_secs_f64() * 1e6,
-        )
+        (roll.quantile(0.5) as f64, drill.quantile(0.5) as f64)
     };
     let (small_rollup_seq_us, small_drill_seq_us) = small(Parallelism::sequential());
     let (small_rollup_par_us, small_drill_par_us) = small(Parallelism::Fixed(4));
@@ -345,13 +340,27 @@ fn medium_scale_pipeline() {
     // the best observed rate is the one recorded. NCX_SKIP_PERF_FLOORS=1
     // opts out entirely (e.g. on severely underpowered hardware).
     const WALKS_PER_SEC_FLOOR: f64 = 886_312.0;
+    // ---- obs-overhead floor (PR 9) ----
+    // The trace/metrics instrumentation must stay off the walk hot
+    // loop: the measured rate must also land within 5% of the committed
+    // release baseline, which was recorded with instrumentation wired
+    // in. The tighter of the two floors governs.
+    let committed_walks_per_sec = std::fs::read_to_string(format!("{root}/BENCH_scale.json"))
+        .ok()
+        .filter(|b| {
+            b.contains("\"profile\": \"release\"")
+                && json_f64(b, "articles") == Some(articles as f64)
+        })
+        .and_then(|b| json_f64(&b, "walks_per_sec"))
+        .unwrap_or(0.0);
+    let walks_floor = WALKS_PER_SEC_FLOOR.max(0.95 * committed_walks_per_sec);
     if !cfg!(debug_assertions) && std::env::var("NCX_SKIP_PERF_FLOORS").is_err() {
         for attempt in 0..3 {
-            if walks_per_sec >= WALKS_PER_SEC_FLOOR {
+            if walks_per_sec >= walks_floor {
                 break;
             }
             eprintln!(
-                "walks/sec {walks_per_sec:.0} below floor {WALKS_PER_SEC_FLOOR:.0}, \
+                "walks/sec {walks_per_sec:.0} below floor {walks_floor:.0}, \
                  re-measuring (attempt {})",
                 attempt + 1
             );
@@ -375,9 +384,10 @@ fn medium_scale_pipeline() {
             }
         }
         assert!(
-            walks_per_sec >= WALKS_PER_SEC_FLOOR,
-            "walk engine regressed: {walks_per_sec:.0} walks/s < floor \
-             {WALKS_PER_SEC_FLOOR:.0} (2x the PR-4 baseline of 443,156)"
+            walks_per_sec >= walks_floor,
+            "walk engine regressed: {walks_per_sec:.0} walks/s < floor {walks_floor:.0} \
+             (max of 2x the PR-4 baseline 443,156 and 95% of the committed \
+             {committed_walks_per_sec:.0})"
         );
     }
     // ---- ingest_to_queryable group: delta flush vs full save (PR 7) ----

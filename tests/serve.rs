@@ -430,6 +430,7 @@ fn serve_stress_tight_deadlines_yield_partials_not_rejections() {
                 e.pool(),
                 &estimator,
                 None,
+                None,
             )
             .walks
         };
@@ -446,4 +447,190 @@ fn serve_stress_tight_deadlines_yield_partials_not_rejections() {
             reduction * 100.0
         );
     }
+}
+
+/// The value of the sample line `<name> <value>` in a Prometheus text
+/// exposition. Panics if the series is missing — which is the point:
+/// the metrics tests use it to prove a series is exported.
+fn metric_value(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing from exposition:\n{text}"))
+}
+
+/// PR 9 tentpole: one `metrics_text()` render exposes the whole stack —
+/// serve counters, walker and oracle statistics, store checkpoint
+/// gauges, latency histograms, and per-phase trace aggregates — with
+/// every expected series present and no NaN anywhere.
+#[test]
+fn metrics_text_exposes_the_whole_stack() {
+    let dir = std::env::temp_dir().join(format!("ncx_serve_metrics_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let serve = NcxServe::new(build_engine(80), ServeConfig::default());
+    let q = serve.query(&["Financial Crime"]).unwrap();
+
+    // Touch every subsystem so the interesting counters are nonzero.
+    serve.rollup(&q, 10).unwrap();
+    serve.rollup(&q, 10).unwrap(); // cache hit
+    serve.drilldown(&q, 10).unwrap();
+    serve.rollup_progressive_deadline(&q, 10, None).unwrap();
+    serve.drilldown_progressive_deadline(&q, 10, None).unwrap();
+    let err = serve
+        .rollup_deadline(&q, 999, Some(Duration::ZERO))
+        .unwrap_err();
+    assert!(matches!(err, QueryError::DeadlineExceeded { .. }));
+    serve.ingest_article(
+        ncexplorer::index::NewsSource::Reuters,
+        "wire",
+        "A fresh financial crime story.",
+        u32::MAX - 1,
+    );
+    serve.checkpoint(&dir).unwrap();
+
+    let text = serve.metrics_text();
+    let expected = [
+        // Serve counters (mirroring ServeStats).
+        "ncx_serve_completed_total",
+        "ncx_serve_rejected_overload_total",
+        "ncx_serve_rejected_deadline_total",
+        "ncx_serve_partials_total",
+        "ncx_serve_cache_hits_total",
+        "ncx_serve_cache_misses_total",
+        "ncx_serve_cache_evictions_total",
+        "ncx_serve_cache_invalidations_total",
+        "ncx_serve_ingested_total",
+        "ncx_serve_checkpoints_total",
+        "ncx_serve_compactions_total",
+        // Walker + oracle aggregates across replicas.
+        "ncx_walk_walks_total",
+        "ncx_walk_hits_total",
+        "ncx_walk_dead_ends_total",
+        "ncx_walk_early_stops_total",
+        "ncx_walk_estimates_total",
+        "ncx_oracle_hits_total",
+        "ncx_oracle_misses_total",
+        "ncx_oracle_hit_rate",
+        "ncx_walk_early_stop_fraction",
+        "ncx_walk_avg_walks_per_estimate",
+        // Store checkpoint metrics.
+        "ncx_store_flushed_docs_total",
+        "ncx_store_generations",
+        "ncx_store_snapshot_bytes",
+        // Server sizing gauges.
+        "ncx_serve_cached_entries",
+        "ncx_serve_replicas",
+        // Histograms (each renders quantile/_sum/_count/_max lines).
+        "ncx_serve_rollup_latency_us_count",
+        "ncx_serve_drilldown_latency_us_count",
+        "ncx_serve_progressive_rollup_latency_us_count",
+        "ncx_serve_progressive_drilldown_latency_us_count",
+        "ncx_serve_queue_wait_us_count",
+        "ncx_serve_deadline_overshoot_us_count",
+        "ncx_query_phase_queue_wait_us_count",
+        "ncx_query_phase_cache_lookup_us_count",
+        "ncx_query_phase_matching_us_count",
+        "ncx_query_phase_oracle_bfs_us_count",
+        "ncx_query_phase_walks_us_count",
+        "ncx_query_phase_merge_rank_us_count",
+    ];
+    for name in expected {
+        let _ = metric_value(&text, name); // panics when missing
+    }
+    assert!(!text.contains("NaN"), "NaN leaked into the exposition");
+    let stats = serve.stats();
+    assert_eq!(
+        metric_value(&text, "ncx_serve_completed_total") as u64,
+        stats.completed
+    );
+    assert_eq!(metric_value(&text, "ncx_serve_ingested_total") as u64, 1);
+    assert_eq!(metric_value(&text, "ncx_serve_checkpoints_total") as u64, 1);
+    assert!(metric_value(&text, "ncx_walk_walks_total") > 0.0);
+    assert!(metric_value(&text, "ncx_walk_estimates_total") > 0.0);
+    assert!(metric_value(&text, "ncx_store_snapshot_bytes") > 0.0);
+    assert_eq!(metric_value(&text, "ncx_store_generations"), 1.0);
+    assert_eq!(metric_value(&text, "ncx_serve_replicas"), 1.0);
+    assert!(
+        metric_value(&text, "ncx_serve_rollup_latency_us_count") >= 2.0,
+        "classic roll-ups (hit + miss) must land in the latency histogram"
+    );
+
+    // Sessions expose the same trace the server aggregated. The ingest
+    // above wiped the cache, so the first query re-fills it and the
+    // repeat must hit.
+    let session = serve.session();
+    session.rollup(&q, 10).unwrap();
+    let trace = session.last_trace().expect("session query records a trace");
+    assert_eq!(trace.cache_hit(), Some(false), "cache was wiped by ingest");
+    session.rollup(&q, 10).unwrap();
+    let trace = session.last_trace().expect("session query records a trace");
+    assert_eq!(trace.cache_hit(), Some(true), "repeat query must hit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: the deadline-overshoot histogram respects the documented
+/// bound — a rejection surfaces at most one `check_interval` of work
+/// past its limit. A generous interval keeps the bound meaningful even
+/// under scheduler noise.
+#[test]
+fn deadline_overshoot_histogram_is_bounded_by_one_check_interval() {
+    let check_interval = Duration::from_millis(200);
+    let serve = NcxServe::new(
+        build_engine(80),
+        ServeConfig {
+            check_interval,
+            ..ServeConfig::default()
+        },
+    );
+    let q = serve.query(&["Elections"]).unwrap();
+    let rejections = 8u64;
+    for _ in 0..rejections {
+        let err = serve
+            .rollup_deadline(&q, 999, Some(Duration::ZERO))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::DeadlineExceeded { .. }));
+    }
+    let text = serve.metrics_text();
+    assert_eq!(
+        metric_value(&text, "ncx_serve_deadline_overshoot_us_count") as u64,
+        rejections
+    );
+    let max_us = metric_value(&text, "ncx_serve_deadline_overshoot_us_max");
+    assert!(
+        max_us <= check_interval.as_micros() as f64,
+        "overshoot {max_us}µs exceeds one check_interval ({check_interval:?})"
+    );
+}
+
+/// PR 9 acceptance: a query's trace phases are wall-clock-disjoint and
+/// sum to (approximately) its wall time. One attempt can be blown apart
+/// by a scheduler preemption between spans, so a few retries absorb the
+/// noise; the phases themselves are measured, not modelled, so a
+/// systematic gap (an uninstrumented segment) fails every attempt.
+#[test]
+fn trace_phase_timings_cover_the_query_wall_time() {
+    let serve = NcxServe::new(
+        build_engine(200),
+        ServeConfig {
+            cache_capacity: 0, // every attempt must execute for real
+            ..ServeConfig::default()
+        },
+    );
+    let q = serve.query(&["Financial Crime"]).unwrap();
+    let mut best = f64::NAN;
+    for _ in 0..5 {
+        let (result, trace) = serve.rollup_progressive_traced(&q, 50, None);
+        assert!(result.unwrap().is_complete());
+        assert!(trace.walks() > 0, "trace must count the walks spent");
+        assert_eq!(trace.cache_hit(), Some(false));
+        assert!(trace.wall() > Duration::ZERO);
+        let coverage = trace.coverage();
+        if (0.90..=1.10).contains(&coverage) {
+            return;
+        }
+        if best.is_nan() || (coverage - 1.0).abs() < (best - 1.0).abs() {
+            best = coverage;
+        }
+    }
+    panic!("trace phases cover {best:.3} of wall time, outside [0.90, 1.10]");
 }
