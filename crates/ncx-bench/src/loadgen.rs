@@ -27,7 +27,7 @@
 
 use ncx_core::ConceptQuery;
 use ncx_obs::Histogram;
-use ncx_serve::NcxServe;
+use ncx_serve::{NcxServe, RetryPolicy};
 use std::time::{Duration, Instant};
 
 /// What to run: sessions × queries over a query mix.
@@ -47,6 +47,14 @@ pub struct LoadSpec<'a> {
     /// Issue a drill-down every `drilldown_every`-th query (0 = roll-up
     /// only).
     pub drilldown_every: usize,
+    /// Retry rejections [`QueryError::is_retryable`] classifies as
+    /// transient (back-pressure, replica-local faults) under this
+    /// policy; `None` counts every rejection on the first attempt. Each
+    /// worker derives its own jitter seed from the policy's, so
+    /// concurrent retries decorrelate but runs stay reproducible.
+    ///
+    /// [`QueryError::is_retryable`]: ncx_core::error::QueryError::is_retryable
+    pub retry: Option<RetryPolicy>,
 }
 
 /// Aggregate outcome of one load run.
@@ -56,9 +64,13 @@ pub struct LoadReport {
     pub sessions: usize,
     /// Queries that returned a result.
     pub completed: u64,
-    /// Queries rejected (overload or deadline).
+    /// Queries rejected (overload or deadline). With a retry policy,
+    /// only rejections that survived every attempt are counted.
     pub rejected: u64,
-    /// Median per-query latency (completed queries only).
+    /// Extra attempts spent by the retry policy (0 without one).
+    pub retries: u64,
+    /// Median per-query latency (completed queries only; with retries,
+    /// the latency spans every attempt including backoff sleeps).
     pub p50: Duration,
     /// 99th-percentile per-query latency.
     pub p99: Duration,
@@ -96,25 +108,34 @@ pub fn closed_loop(serve: &NcxServe, spec: &LoadSpec) -> LoadReport {
         "load spec needs at least one query"
     );
     let t0 = Instant::now();
-    let mut per_session: Vec<(u64, u64, Histogram)> = Vec::with_capacity(spec.sessions);
+    let mut per_session: Vec<(u64, u64, u64, Histogram)> = Vec::with_capacity(spec.sessions);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..spec.sessions)
             .map(|s| {
                 scope.spawn(move || {
                     let mut session = serve.session();
                     session.set_deadline(spec.deadline);
+                    let policy = per_worker_policy(spec.retry.as_ref(), s);
                     let mut completed = 0u64;
                     let mut rejected = 0u64;
+                    let mut retries = 0u64;
                     let lat = Histogram::new();
                     for i in 0..spec.queries_per_session {
                         let q = &spec.queries[(s + i) % spec.queries.len()];
                         let drill = spec.drilldown_every != 0 && i % spec.drilldown_every == 0;
                         let t = Instant::now();
-                        let outcome = if drill {
-                            session.drilldown(q, spec.k).map(|_| ())
-                        } else {
-                            session.rollup(q, spec.k).map(|_| ())
+                        let mut attempt = || {
+                            if drill {
+                                session.drilldown(q, spec.k).map(|_| ())
+                            } else {
+                                session.rollup(q, spec.k).map(|_| ())
+                            }
                         };
+                        let (outcome, spent) = match &policy {
+                            Some(p) => p.run_counted(&mut attempt),
+                            None => (attempt(), 0),
+                        };
+                        retries += u64::from(spent);
                         match outcome {
                             Ok(()) => {
                                 lat.record_duration_us(t.elapsed());
@@ -126,7 +147,7 @@ pub fn closed_loop(serve: &NcxServe, spec: &LoadSpec) -> LoadReport {
                             Err(_) => rejected += 1,
                         }
                     }
-                    (completed, rejected, lat)
+                    (completed, rejected, retries, lat)
                 })
             })
             .collect();
@@ -135,21 +156,33 @@ pub fn closed_loop(serve: &NcxServe, spec: &LoadSpec) -> LoadReport {
         }
     });
     let wall = t0.elapsed();
-    let completed: u64 = per_session.iter().map(|(c, _, _)| c).sum();
-    let rejected: u64 = per_session.iter().map(|(_, r, _)| r).sum();
+    let completed: u64 = per_session.iter().map(|(c, _, _, _)| c).sum();
+    let rejected: u64 = per_session.iter().map(|(_, r, _, _)| r).sum();
+    let retries: u64 = per_session.iter().map(|(_, _, r, _)| r).sum();
     let lat = Histogram::new();
-    for (_, _, h) in &per_session {
+    for (_, _, _, h) in &per_session {
         lat.merge(h);
     }
     LoadReport {
         sessions: spec.sessions,
         completed,
         rejected,
+        retries,
         p50: histogram_quantile(&lat, 0.50),
         p99: histogram_quantile(&lat, 0.99),
         qps: completed as f64 / wall.as_secs_f64().max(1e-9),
         wall,
     }
+}
+
+/// Worker `w`'s copy of the shared retry policy: same backoff shape,
+/// distinct jitter stream (seed mixed with the worker index) so
+/// simultaneous rejections don't retry in lockstep.
+fn per_worker_policy(shared: Option<&RetryPolicy>, w: usize) -> Option<RetryPolicy> {
+    shared.map(|p| RetryPolicy {
+        seed: p.seed ^ (w as u64).wrapping_mul(0xd134_2543_de82_ef95),
+        ..p.clone()
+    })
 }
 
 /// What to offer in an open-loop run: `arrivals` queries at a fixed
@@ -177,6 +210,12 @@ pub struct OpenLoopSpec<'a> {
     /// classic ones: deadline expiry then yields partial results, which
     /// the report counts separately from completions and rejections.
     pub progressive: bool,
+    /// Retry transient rejections under this policy (see
+    /// [`LoadSpec::retry`]). Retries delay the *same* arrival — later
+    /// arrivals stay on schedule, so coordinated omission is still
+    /// avoided — and their backoff sleeps count toward that arrival's
+    /// latency.
+    pub retry: Option<RetryPolicy>,
 }
 
 /// Aggregate outcome of one open-loop run.
@@ -192,7 +231,10 @@ pub struct OpenLoopReport {
     /// only; always 0 otherwise).
     pub partials: u64,
     /// Arrivals rejected (overload, or deadline on the classic paths).
+    /// With a retry policy, only rejections that survived every attempt.
     pub rejected: u64,
+    /// Extra attempts spent by the retry policy (0 without one).
+    pub retries: u64,
     /// Median scheduled-arrival-to-answer latency (answered arrivals).
     pub p50: Duration,
     /// 99th-percentile scheduled-arrival-to-answer latency.
@@ -215,16 +257,18 @@ pub fn open_loop(serve: &NcxServe, spec: &OpenLoopSpec) -> OpenLoopReport {
     assert!(spec.workers > 0, "open loop needs at least one worker");
     let interval = Duration::from_secs_f64(1.0 / spec.rate);
     let t0 = Instant::now();
-    let mut per_worker: Vec<(u64, u64, u64, Histogram)> = Vec::with_capacity(spec.workers);
+    let mut per_worker: Vec<(u64, u64, u64, u64, Histogram)> = Vec::with_capacity(spec.workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..spec.workers)
             .map(|w| {
                 scope.spawn(move || {
                     let mut session = serve.session();
                     session.set_deadline(spec.deadline);
+                    let policy = per_worker_policy(spec.retry.as_ref(), w);
                     let mut completed = 0u64;
                     let mut partials = 0u64;
                     let mut rejected = 0u64;
+                    let mut retries = 0u64;
                     let lat = Histogram::new();
                     for i in (w..spec.arrivals).step_by(spec.workers) {
                         let due = interval.mul_f64(i as f64);
@@ -238,21 +282,28 @@ pub fn open_loop(serve: &NcxServe, spec: &OpenLoopSpec) -> OpenLoopReport {
                         // Answered-or-not, plus whether the answer was
                         // complete (partials only arise in progressive
                         // mode).
-                        let outcome = if spec.progressive {
-                            if drill {
-                                session
-                                    .drilldown_progressive(q, spec.k)
-                                    .map(|r| r.is_complete())
+                        let mut attempt = || {
+                            if spec.progressive {
+                                if drill {
+                                    session
+                                        .drilldown_progressive(q, spec.k)
+                                        .map(|r| r.is_complete())
+                                } else {
+                                    session
+                                        .rollup_progressive(q, spec.k)
+                                        .map(|r| r.is_complete())
+                                }
+                            } else if drill {
+                                session.drilldown(q, spec.k).map(|_| true)
                             } else {
-                                session
-                                    .rollup_progressive(q, spec.k)
-                                    .map(|r| r.is_complete())
+                                session.rollup(q, spec.k).map(|_| true)
                             }
-                        } else if drill {
-                            session.drilldown(q, spec.k).map(|_| true)
-                        } else {
-                            session.rollup(q, spec.k).map(|_| true)
                         };
+                        let (outcome, spent) = match &policy {
+                            Some(p) => p.run_counted(&mut attempt),
+                            None => (attempt(), 0),
+                        };
+                        retries += u64::from(spent);
                         match outcome {
                             Ok(complete) => {
                                 // Latency from the *scheduled* arrival:
@@ -270,7 +321,7 @@ pub fn open_loop(serve: &NcxServe, spec: &OpenLoopSpec) -> OpenLoopReport {
                             Err(_) => rejected += 1,
                         }
                     }
-                    (completed, partials, rejected, lat)
+                    (completed, partials, rejected, retries, lat)
                 })
             })
             .collect();
@@ -279,11 +330,12 @@ pub fn open_loop(serve: &NcxServe, spec: &OpenLoopSpec) -> OpenLoopReport {
         }
     });
     let wall = t0.elapsed();
-    let completed: u64 = per_worker.iter().map(|(c, _, _, _)| c).sum();
-    let partials: u64 = per_worker.iter().map(|(_, p, _, _)| p).sum();
-    let rejected: u64 = per_worker.iter().map(|(_, _, r, _)| r).sum();
+    let completed: u64 = per_worker.iter().map(|(c, _, _, _, _)| c).sum();
+    let partials: u64 = per_worker.iter().map(|(_, p, _, _, _)| p).sum();
+    let rejected: u64 = per_worker.iter().map(|(_, _, r, _, _)| r).sum();
+    let retries: u64 = per_worker.iter().map(|(_, _, _, r, _)| r).sum();
     let lat = Histogram::new();
-    for (_, _, _, h) in &per_worker {
+    for (_, _, _, _, h) in &per_worker {
         lat.merge(h);
     }
     OpenLoopReport {
@@ -292,6 +344,7 @@ pub fn open_loop(serve: &NcxServe, spec: &OpenLoopSpec) -> OpenLoopReport {
         completed,
         partials,
         rejected,
+        retries,
         p50: histogram_quantile(&lat, 0.50),
         p99: histogram_quantile(&lat, 0.99),
         wall,

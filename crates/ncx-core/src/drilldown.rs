@@ -117,7 +117,7 @@ pub fn drilldown_with_factors(
     factors: SbrFactors,
 ) -> Vec<Subtopic> {
     drilldown_bounded(index, kg, query, k, config, pool, factors, None)
-        .expect("unbounded drilldown cannot miss a deadline")
+        .expect("unbounded drilldown can only fail on a lazy-shard store fault")
 }
 
 /// [`drilldown_with_factors`] under an optional [`Deadline`]. `None`

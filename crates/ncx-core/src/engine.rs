@@ -301,8 +301,12 @@ impl NcExplorer {
     ///
     /// Trade-off: every byte is still checksummed at open, but a
     /// *structurally* corrupt shard written by a buggy or adversarial
-    /// tool surfaces as a panic on first touch instead of a typed error
-    /// here — use [`open`](Self::open) for untrusted snapshots.
+    /// tool is only discovered on first touch. Query paths surface it
+    /// as a typed error (`try_postings` → `QueryError::Internal`, which
+    /// the serving layer converts into replica quarantine); build,
+    /// ingest, and full-sweep paths — which have no error channel —
+    /// panic. Use [`open`](Self::open) for untrusted snapshots to get
+    /// the typed error up front.
     pub fn open_lazy(
         dir: impl AsRef<Path>,
         kg: Arc<KnowledgeGraph>,

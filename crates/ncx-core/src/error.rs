@@ -56,9 +56,22 @@ impl std::error::Error for ConfigError {}
 /// [`Overloaded`](Self::Overloaded) is retryable back-pressure,
 /// [`DeadlineExceeded`](Self::DeadlineExceeded) means the caller's time
 /// budget ran out (whether waiting in the admission queue or executing).
+/// [`Internal`](Self::Internal) is the fault class: a caught query
+/// panic or a storage fault (lazy shard decode failure, checksum
+/// mismatch) surfaced mid-execution. The serving layer quarantines the
+/// replica that produced it and recovers in the background, so a
+/// retryable `Internal` usually succeeds on the next attempt against a
+/// healthy replica.
+///
+/// [`is_retryable`](Self::is_retryable) is the canonical
+/// retryable-vs-fatal classification; retry policies must use it
+/// instead of matching variants ad hoc.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
     /// The server's bounded in-flight queue is full; retry later.
+    ///
+    /// **Retryable.** Back-pressure is transient by definition: slots
+    /// free as in-flight queries complete.
     Overloaded {
         /// Queries executing when the rejection was issued.
         in_flight: usize,
@@ -66,6 +79,11 @@ pub enum QueryError {
         queued: usize,
     },
     /// The query's deadline passed before it finished (or started).
+    ///
+    /// **Fatal.** The caller's time budget is spent; an identical retry
+    /// would spend another budget on work that already proved too slow.
+    /// Callers wanting a best-effort answer should use the progressive
+    /// entry points instead of retrying.
     DeadlineExceeded {
         /// Wall time consumed when the deadline check fired.
         elapsed: Duration,
@@ -73,10 +91,80 @@ pub enum QueryError {
         limit: Duration,
     },
     /// A query label did not resolve to any KG concept.
+    ///
+    /// **Fatal.** The query itself is malformed; no retry can make an
+    /// unknown label resolve.
     UnknownConcept {
         /// The unresolvable label.
         name: String,
     },
+    /// The query faulted mid-execution: a caught panic, or a typed
+    /// storage fault (e.g. a lazy shard that fails to decode) that
+    /// surfaced through the query path.
+    ///
+    /// **Retryable when `retryable` is `true`** — the usual case: the
+    /// serving layer quarantines the faulted replica and routes
+    /// subsequent queries (including retries) to healthy ones. A
+    /// producer sets `retryable: false` only when the fault is known to
+    /// afflict every replica (e.g. the last healthy replica faulted and
+    /// no recovery source is configured), where retrying would just
+    /// re-observe it.
+    Internal {
+        /// Human-readable description of the fault (panic payload or
+        /// the underlying [`StoreError`](ncx_store::StoreError) text).
+        detail: String,
+        /// Whether a retry (against another replica) may succeed.
+        retryable: bool,
+    },
+}
+
+impl QueryError {
+    /// A retryable internal fault (the common case — see
+    /// [`Internal`](Self::Internal)).
+    pub fn internal(detail: impl Into<String>) -> Self {
+        QueryError::Internal {
+            detail: detail.into(),
+            retryable: true,
+        }
+    }
+
+    /// An internal fault that retrying cannot fix (every replica is
+    /// known to be afflicted).
+    pub fn internal_fatal(detail: impl Into<String>) -> Self {
+        QueryError::Internal {
+            detail: detail.into(),
+            retryable: false,
+        }
+    }
+
+    /// The canonical retryable-vs-fatal classification — the contract
+    /// every retry policy must consult (see
+    /// [`ncx_serve::RetryPolicy`-style policies and the loadgen
+    /// drivers). Per-variant rationale lives on each variant's docs:
+    /// [`Overloaded`](Self::Overloaded) and retryable
+    /// [`Internal`](Self::Internal) faults are worth retrying;
+    /// [`DeadlineExceeded`](Self::DeadlineExceeded),
+    /// [`UnknownConcept`](Self::UnknownConcept), and fatal `Internal`
+    /// faults are not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            QueryError::Overloaded { .. } => true,
+            QueryError::Internal { retryable, .. } => *retryable,
+            QueryError::DeadlineExceeded { .. } | QueryError::UnknownConcept { .. } => false,
+        }
+    }
+}
+
+/// Storage faults surfacing mid-query (a lazy shard failing to decode,
+/// a checksum mismatch on first touch) become retryable
+/// [`QueryError::Internal`] errors: the fault is local to one replica's
+/// view of the snapshot, so failover to another replica — which the
+/// serving layer arranges by quarantining the faulted one — can serve
+/// the retry.
+impl From<ncx_store::StoreError> for QueryError {
+    fn from(e: ncx_store::StoreError) -> Self {
+        QueryError::internal(e.to_string())
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -91,6 +179,11 @@ impl fmt::Display for QueryError {
                 "deadline exceeded: {elapsed:?} elapsed against a {limit:?} budget"
             ),
             QueryError::UnknownConcept { name } => write!(f, "unknown concept: {name}"),
+            QueryError::Internal { detail, retryable } => write!(
+                f,
+                "internal error ({}): {detail}",
+                if *retryable { "retryable" } else { "fatal" }
+            ),
         }
     }
 }

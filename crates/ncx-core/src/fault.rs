@@ -1,0 +1,308 @@
+//! Query-time fault injection for the serve-layer chaos harness.
+//!
+//! `ncx_store::fault` proved the *write* protocols crash-consistent by
+//! failing every filesystem mutation in turn. This module applies the
+//! same discipline to the *read* path: labelled sites inside query
+//! execution — lazy shard decode, matching, the walk estimator, the
+//! merge/rank phase, and the serve-layer execute wrapper — each pass
+//! through a gate that a test can arm with one of three fault modes:
+//!
+//! * [`FaultMode::StoreFault`] — the site returns a typed
+//!   [`StoreError::Corrupt`], modelling shard corruption discovered at
+//!   query time;
+//! * [`FaultMode::Panic`] — the site panics, modelling a logic bug in
+//!   query code (the serve layer must catch it, return
+//!   [`QueryError::Internal`](crate::error::QueryError::Internal), and
+//!   quarantine the replica);
+//! * [`FaultMode::Delay`] — the site sleeps, modelling a pathologically
+//!   slow replica (deadline enforcement must convert it to a typed
+//!   rejection, not a wedge).
+//!
+//! Two arming scopes exist. [`arm`]/[`arm_sticky`] install a
+//! process-global plan, visible to every thread — what the concurrent
+//! chaos workload needs, where queries run on worker threads the test
+//! does not control. [`arm_local`] installs a thread-local plan visible
+//! only to the arming thread — what unit and proptest cases need so
+//! that parallel test threads cannot trip each other's faults (serve
+//! executes queries on the calling thread, so a thread-local plan fires
+//! exactly for the arming test's own queries when engines run
+//! sequential).
+//!
+//! Production code never arms anything; the disarmed fast path is a
+//! single relaxed atomic load shared by every site. Sites sit at phase
+//! boundaries (once per query or per shard decode), never inside the
+//! walker inner loop, so the armed-path mutex is irrelevant to
+//! walks/sec. Tests that use the *global* scope must serialise
+//! themselves (the chaos harness holds a mutex and runs
+//! single-threaded in CI) and call [`disarm_all`] on the way out.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use ncx_store::StoreError;
+
+/// Lazy concept-shard decode on first touch
+/// ([`persist`](crate::persist)). `StoreFault` here models a corrupt
+/// shard segment discovered at query time.
+pub const SITE_LAZY_DECODE: &str = "lazy-decode";
+/// Entry to bounded document matching ([`rollup`](crate::rollup)).
+pub const SITE_MATCHING: &str = "matching";
+/// Entry to a connectivity estimate — the one-shot estimator (build and
+/// ingest paths) and the resumable-unit open (the progressive query
+/// path); once per estimate, *not* inside the walk inner loop.
+/// Infallible site: `StoreFault` escalates to a panic here.
+pub const SITE_WALKS: &str = "walks";
+/// The merge/rank phase of a bounded roll-up.
+pub const SITE_MERGE: &str = "merge";
+/// The serve layer's per-query execute wrapper (`ncx-serve`). `Delay`
+/// here models a slow replica end-to-end.
+pub const SITE_SERVE_EXECUTE: &str = "serve-execute";
+
+/// What an armed site does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Panic with a recognizable payload (`"injected panic at <site>"`).
+    Panic,
+    /// Return a typed [`StoreError::Corrupt`] naming the site.
+    StoreFault,
+    /// Sleep for the given duration, then proceed normally.
+    Delay(Duration),
+}
+
+struct Plan {
+    site: &'static str,
+    mode: FaultMode,
+    /// Checks to let pass before firing.
+    skip: u64,
+    /// Fire on every check instead of once.
+    sticky: bool,
+}
+
+/// Count of armed plans across all scopes. Zero ⇒ every gate is a
+/// single relaxed load.
+static ACTIVE: AtomicU64 = AtomicU64::new(0);
+/// Total faults fired since process start (all sites, all scopes).
+static FIRED: AtomicU64 = AtomicU64::new(0);
+static GLOBAL: Mutex<Vec<Plan>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL: RefCell<Vec<Plan>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Arms a process-global one-shot fault at `site`: the first `after`
+/// checks pass, the next one fires, and the plan disarms itself.
+pub fn arm(site: &'static str, mode: FaultMode, after: u64) {
+    GLOBAL
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(Plan {
+            site,
+            mode,
+            skip: after,
+            sticky: false,
+        });
+    ACTIVE.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Arms a process-global fault at `site` that fires on *every* check
+/// until [`disarm_all`].
+pub fn arm_sticky(site: &'static str, mode: FaultMode) {
+    GLOBAL
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(Plan {
+            site,
+            mode,
+            skip: 0,
+            sticky: true,
+        });
+    ACTIVE.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Arms a one-shot fault visible only to the calling thread. Parallel
+/// test threads cannot trip it.
+pub fn arm_local(site: &'static str, mode: FaultMode, after: u64) {
+    LOCAL.with(|l| {
+        l.borrow_mut().push(Plan {
+            site,
+            mode,
+            skip: after,
+            sticky: false,
+        })
+    });
+    ACTIVE.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Disarms every global plan and the calling thread's local plans.
+/// (Other threads' local plans stay armed — each arming thread owns its
+/// own cleanup.)
+pub fn disarm_all() {
+    let mut dropped = GLOBAL
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .drain(..)
+        .count() as u64;
+    dropped += LOCAL.with(|l| l.borrow_mut().drain(..).count()) as u64;
+    if dropped > 0 {
+        ACTIVE.fetch_sub(dropped, Ordering::SeqCst);
+    }
+}
+
+/// Total faults fired since process start. Chaos tests poll this to
+/// confirm an armed plan actually tripped before asserting recovery.
+pub fn fired_count() -> u64 {
+    FIRED.load(Ordering::SeqCst)
+}
+
+/// Pops the fired mode for `site` if an armed plan (local first, then
+/// global) says this check should fire. One-shot plans are removed
+/// before the mode is returned, so a `Panic` never leaves a plan (or a
+/// lock) behind.
+fn consume(site: &str) -> Option<FaultMode> {
+    let local = LOCAL.with(|l| {
+        let mut plans = l.borrow_mut();
+        match plans.iter_mut().position(|p| p.site == site) {
+            Some(i) if plans[i].skip > 0 => {
+                plans[i].skip -= 1;
+                None
+            }
+            Some(i) => {
+                let mode = plans[i].mode;
+                if !plans[i].sticky {
+                    plans.remove(i);
+                    ACTIVE.fetch_sub(1, Ordering::SeqCst);
+                }
+                Some(mode)
+            }
+            None => None,
+        }
+    });
+    if local.is_some() {
+        return local;
+    }
+    let mut plans = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+    match plans.iter_mut().position(|p| p.site == site) {
+        Some(i) if plans[i].skip > 0 => {
+            plans[i].skip -= 1;
+            None
+        }
+        Some(i) => {
+            let mode = plans[i].mode;
+            if !plans[i].sticky {
+                plans.remove(i);
+                ACTIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+            Some(mode)
+        }
+        None => None,
+    }
+}
+
+/// The gate for fallible sites. Returns the injected [`StoreError`] for
+/// `StoreFault`, panics for `Panic`, sleeps through `Delay`. No lock is
+/// held while panicking or sleeping.
+pub fn check(site: &'static str) -> Result<(), StoreError> {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return Ok(());
+    }
+    match consume(site) {
+        None => Ok(()),
+        Some(FaultMode::StoreFault) => {
+            FIRED.fetch_add(1, Ordering::SeqCst);
+            Err(StoreError::corrupt(site, "injected fault"))
+        }
+        Some(FaultMode::Panic) => {
+            FIRED.fetch_add(1, Ordering::SeqCst);
+            panic!("injected panic at {site}");
+        }
+        Some(FaultMode::Delay(d)) => {
+            FIRED.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(d);
+            Ok(())
+        }
+    }
+}
+
+/// The gate for infallible sites (e.g. [`SITE_WALKS`], deep inside code
+/// with no error channel). `StoreFault` escalates to a panic here; the
+/// serve layer's `catch_unwind` still converts it to a typed error.
+pub fn trip(site: &'static str) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    match consume(site) {
+        None => {}
+        Some(FaultMode::Delay(d)) => {
+            FIRED.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(d);
+        }
+        Some(mode) => {
+            FIRED.fetch_add(1, Ordering::SeqCst);
+            panic!("injected {mode:?} at {site}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_gate_is_transparent() {
+        assert!(check(SITE_MATCHING).is_ok());
+        trip(SITE_WALKS);
+    }
+
+    #[test]
+    fn local_one_shot_fires_after_n_and_self_disarms() {
+        arm_local(SITE_MATCHING, FaultMode::StoreFault, 2);
+        assert!(check(SITE_MATCHING).is_ok());
+        assert!(check(SITE_MATCHING).is_ok());
+        let err = check(SITE_MATCHING).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        // One-shot: disarmed after firing.
+        assert!(check(SITE_MATCHING).is_ok());
+    }
+
+    #[test]
+    fn local_plans_are_per_site() {
+        arm_local(SITE_MERGE, FaultMode::StoreFault, 0);
+        // A different site sails through and leaves the plan armed.
+        assert!(check(SITE_MATCHING).is_ok());
+        assert!(check(SITE_MERGE).is_err());
+        disarm_all();
+    }
+
+    #[test]
+    fn panic_mode_leaves_no_residue() {
+        arm_local(SITE_MERGE, FaultMode::Panic, 0);
+        let caught = std::panic::catch_unwind(|| check(SITE_MERGE));
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("injected panic at merge"), "{msg}");
+        // The plan was consumed before panicking: gate is clean again.
+        assert!(check(SITE_MERGE).is_ok());
+    }
+
+    #[test]
+    fn delay_mode_sleeps_then_proceeds() {
+        arm_local(
+            SITE_SERVE_EXECUTE,
+            FaultMode::Delay(Duration::from_millis(5)),
+            0,
+        );
+        let t0 = std::time::Instant::now();
+        assert!(check(SITE_SERVE_EXECUTE).is_ok());
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn trip_escalates_store_fault_to_panic() {
+        arm_local(SITE_WALKS, FaultMode::StoreFault, 0);
+        let caught = std::panic::catch_unwind(|| trip(SITE_WALKS));
+        assert!(caught.is_err());
+        trip(SITE_WALKS); // disarmed again
+    }
+}

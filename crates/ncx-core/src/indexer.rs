@@ -19,7 +19,7 @@ use crate::relevance::estimator::{pair_seed, ConnEstimator, MemberSetCache, Walk
 use ncx_index::{DocumentStore, EntityIndex};
 use ncx_kg::{ConceptId, DocId, InstanceId, KnowledgeGraph};
 use ncx_reach::TargetDistanceOracle;
-use ncx_store::shard_of;
+use ncx_store::{shard_of, StoreError};
 use ncx_text::{AnnotatedDoc, NlpPipeline};
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
@@ -96,15 +96,37 @@ pub struct NcxIndex {
 
 impl NcxIndex {
     /// Postings of a concept, ascending by document id. On a lazily
-    /// opened index this may decode the concept's shard (first touch).
-    pub fn postings(&self, c: ConceptId) -> &[ConceptPosting] {
+    /// opened index this may decode the concept's shard (first touch),
+    /// and a shard that fails to decode yields its cached
+    /// [`StoreError`] — the fallible accessor the **query path** uses
+    /// so shard corruption discovered at query time fails one query
+    /// instead of aborting the process.
+    pub fn try_postings(&self, c: ConceptId) -> Result<&[ConceptPosting], StoreError> {
         if let Some(list) = self.concept_postings.get(&c) {
-            return list;
+            return Ok(list);
         }
         match &self.lazy {
-            Some(lazy) => lazy.postings(c),
-            None => &[],
+            Some(lazy) => lazy.try_postings(c),
+            None => Ok(&[]),
         }
+    }
+
+    /// Postings of a concept, ascending by document id. On a lazily
+    /// opened index this may decode the concept's shard (first touch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lazy shard fails to decode. Build, ingest, and
+    /// full-sweep paths use this (they have no error channel and run
+    /// under a write lock); the query path goes through
+    /// [`try_postings`](Self::try_postings) instead.
+    pub fn postings(&self, c: ConceptId) -> &[ConceptPosting] {
+        self.try_postings(c).unwrap_or_else(|e| {
+            panic!(
+                "lazy decode of the shard holding concept {} failed: {e}",
+                c.raw()
+            )
+        })
     }
 
     /// The posting for `(c, d)` if the document matches the concept.

@@ -28,6 +28,9 @@
 //!   runtime handle the bounded operators honour;
 //! * [`error`] — typed configuration and query errors
 //!   ([`error::ConfigError`], [`error::QueryError`]);
+//! * [`fault`] — query-time fault injection for the serve-layer chaos
+//!   harness (labelled panic/store-fault/delay sites on the read path;
+//!   disarmed cost is one relaxed atomic load);
 //! * [`engine`] — the [`engine::NcExplorer`] facade tying it together.
 
 pub mod budget;
@@ -37,6 +40,7 @@ pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod export;
+pub mod fault;
 pub mod indexer;
 pub mod par;
 pub mod persist;

@@ -781,6 +781,10 @@ fn decode_shard(
     Ok((map, total))
 }
 
+/// The cached per-shard decode outcome: the postings map on success, a
+/// permanent typed error on failure.
+type DecodedShard = Result<FxHashMap<ConceptId, Vec<ConceptPosting>>, StoreError>;
+
 /// Concept-posting shards held as verified bytes, decoded on first
 /// touch — the lazy half of [`open_snapshot_lazy`].
 ///
@@ -792,16 +796,30 @@ fn decode_shard(
 ///
 /// Every byte was already length- and checksum-verified at open, so a
 /// decode failure on first touch means a buggy or adversarial snapshot
-/// writer rather than bit rot; the lazy path treats it as a **panic**
-/// (the eager [`open_snapshot`] reports the same condition as a typed
-/// error up front — use it for untrusted snapshots).
+/// writer rather than bit rot. The **query path** surfaces it as a
+/// typed [`StoreError`] through the fallible accessors
+/// (`try_postings` →
+/// [`NcxIndex::try_postings`](crate::indexer::NcxIndex::try_postings)),
+/// so the serving layer can fail one query and quarantine the replica
+/// instead of aborting the process. The failure is cached in the
+/// shard's cell — a corrupt shard stays corrupt, so every later touch
+/// re-reports the same error. Only the **ingest/maintenance path**
+/// (`drain`, `undrained_concepts`),
+/// which must move the decoded map by value and has no error channel,
+/// still panics on a faulted shard; callers on that path hold a write
+/// lock and are expected to have verified the snapshot (the eager
+/// [`open_snapshot`] reports the same condition as a typed error up
+/// front — use it for untrusted snapshots).
 #[derive(Debug)]
 pub struct LazyConceptShards {
     shards: u32,
     num_docs: usize,
     /// `[shard][layer]` — each shard's generation stack, oldest first.
     layers: Vec<Vec<(GenLayer, Segment)>>,
-    decoded: Vec<OnceLock<FxHashMap<ConceptId, Vec<ConceptPosting>>>>,
+    /// Decode outcome per shard. An `Err` is permanent: the bytes will
+    /// not get better, and re-decoding on every query would turn one
+    /// corrupt shard into a CPU sink.
+    decoded: Vec<OnceLock<DecodedShard>>,
     drained: Vec<bool>,
     remaining_concepts: usize,
     remaining_postings: usize,
@@ -828,54 +846,70 @@ impl LazyConceptShards {
         self.drained[shard as usize]
     }
 
-    /// Shards already materialised (decoded or drained) — observability
-    /// for tests and diagnostics.
+    /// Shards already materialised (successfully decoded or drained) —
+    /// observability for tests and diagnostics. A shard whose decode
+    /// *failed* does not count: its postings are not servable.
     pub fn materialized_shards(&self) -> usize {
         self.decoded
             .iter()
             .zip(&self.drained)
-            .filter(|(cell, &drained)| drained || cell.get().is_some())
+            .filter(|(cell, &drained)| drained || matches!(cell.get(), Some(Ok(_))))
             .count()
     }
 
-    /// The decoded map of `shard`, materialising it on first touch.
-    fn force(&self, shard: u32) -> &FxHashMap<ConceptId, Vec<ConceptPosting>> {
-        self.decoded[shard as usize].get_or_init(|| {
-            let refs: Vec<(GenLayer, &Segment)> = self.layers[shard as usize]
-                .iter()
-                .map(|(layer, seg)| (*layer, seg))
-                .collect();
-            match decode_shard(shard, self.shards, self.num_docs, &refs) {
-                Ok((map, _)) => map,
-                Err(e) => panic!(
-                    "lazy decode of concept shard {shard} failed on checksummed bytes \
-                     (snapshot writer bug or adversarial input — use the eager open \
-                     for untrusted snapshots): {e}"
-                ),
-            }
-        })
+    /// The decoded map of `shard`, materialising it on first touch. A
+    /// decode failure is cached: every subsequent force re-reports the
+    /// same [`StoreError`] without re-reading the bytes.
+    fn force(&self, shard: u32) -> Result<&FxHashMap<ConceptId, Vec<ConceptPosting>>, StoreError> {
+        self.decoded[shard as usize]
+            .get_or_init(|| {
+                crate::fault::check(crate::fault::SITE_LAZY_DECODE)?;
+                let refs: Vec<(GenLayer, &Segment)> = self.layers[shard as usize]
+                    .iter()
+                    .map(|(layer, seg)| (*layer, seg))
+                    .collect();
+                decode_shard(shard, self.shards, self.num_docs, &refs).map(|(map, _)| map)
+            })
+            .as_ref()
+            .map_err(Clone::clone)
     }
 
     /// Postings of `c`, decoding its shard on first touch. A drained
     /// shard answers from the eager table instead (the caller checks it
-    /// first), so this returns empty for drained shards.
-    pub(crate) fn postings(&self, c: ConceptId) -> &[ConceptPosting] {
+    /// first), so this returns empty for drained shards. A shard whose
+    /// decode failed yields the cached [`StoreError`].
+    pub(crate) fn try_postings(&self, c: ConceptId) -> Result<&[ConceptPosting], StoreError> {
         let shard = shard_of(u64::from(c.raw()), self.shards);
         if self.is_drained(shard) {
-            return &[];
+            return Ok(&[]);
         }
-        self.force(shard).get(&c).map(Vec::as_slice).unwrap_or(&[])
+        Ok(self.force(shard)?.get(&c).map(Vec::as_slice).unwrap_or(&[]))
     }
 
     /// Moves `shard`'s decoded map out for the eager table (streaming
     /// ingest appends there). Idempotent: an already-drained shard
     /// yields an empty map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard's decode fails (or already failed): ingest
+    /// has mutated nothing yet at its single drain site, and a caller
+    /// appending to a shard it cannot read has no sane continuation.
     pub(crate) fn drain(&mut self, shard: u32) -> FxHashMap<ConceptId, Vec<ConceptPosting>> {
         if self.is_drained(shard) {
             return FxHashMap::default();
         }
-        self.force(shard);
-        let map = self.decoded[shard as usize].take().unwrap_or_default();
+        if let Err(e) = self.force(shard) {
+            panic!(
+                "cannot ingest into concept shard {shard}: lazy decode failed on \
+                 checksummed bytes (snapshot writer bug or adversarial input — use \
+                 the eager open for untrusted snapshots): {e}"
+            );
+        }
+        let map = self.decoded[shard as usize]
+            .take()
+            .and_then(Result::ok)
+            .unwrap_or_default();
         self.drained[shard as usize] = true;
         // Saturating: the counters derive from manifest stats, which a
         // hostile writer controls — never panic over bookkeeping.
@@ -887,10 +921,23 @@ impl LazyConceptShards {
     }
 
     /// Concepts living in not-yet-drained shards (forces their decode).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shard whose decode fails — this is a full-sweep
+    /// maintenance accessor (diagnostics, export) with no per-shard
+    /// error channel.
     pub(crate) fn undrained_concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
         (0..self.shards)
             .filter(|&s| !self.is_drained(s))
-            .flat_map(|s| self.force(s).keys().copied())
+            .flat_map(|s| {
+                self.force(s)
+                    .unwrap_or_else(|e| {
+                        panic!("lazy decode of concept shard {s} failed during full sweep: {e}")
+                    })
+                    .keys()
+                    .copied()
+            })
     }
 }
 

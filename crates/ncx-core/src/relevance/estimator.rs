@@ -623,6 +623,9 @@ impl ConnEstimator {
         if members.is_empty() || context.is_empty() || samples == 0 {
             return (0.0, WalkStats::default());
         }
+        // Chaos-harness gate, once per estimate — NOT in the walk inner
+        // loop. Disarmed cost: one relaxed load.
+        crate::fault::trip(crate::fault::SITE_WALKS);
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut stats = WalkStats {
             estimates: 1,
@@ -923,6 +926,10 @@ impl ConnEstimator {
             };
             // (No estimate counted: mirrors the one-shot early return.)
         }
+        // Chaos-harness gate, once per opened estimate (the query-time
+        // walk entry: progressive queries re-estimate through resumable
+        // units) — NOT in the walk inner loop or `advance`.
+        crate::fault::trip(crate::fault::SITE_WALKS);
         let mut rng = SmallRng::seed_from_u64(seed);
         // Stratify exactly as the one-shot path does: every target draw
         // happens now, from the same RNG prefix, so the walk stream

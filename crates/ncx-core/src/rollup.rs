@@ -111,7 +111,9 @@ fn absorb_via(
     deadline: Option<&Deadline>,
     check_every: usize,
 ) -> Result<(), QueryError> {
-    let postings = index.postings(via);
+    // Fallible: on a lazy index a corrupt shard surfaces here as a
+    // typed `QueryError::Internal` instead of a process abort.
+    let postings = index.try_postings(via)?;
     let absorb = |map: &mut FxHashMap<DocId, ConceptMatch>, p: &ConceptPosting| {
         let candidate = ConceptMatch {
             concept: c,
@@ -198,7 +200,10 @@ fn concept_doc_maps(
             let mut volume = 0usize;
             for &via in concept_vias {
                 group.push(via);
-                volume += index.postings(via).len();
+                // `try_postings` forces the shard decode *here*, in a
+                // fallible context — so the worker closures below only
+                // ever touch already-cached `Ok` shards.
+                volume += index.try_postings(via)?.len();
                 if volume >= TASK_MIN_POSTINGS {
                     tasks.push((qi, std::mem::take(&mut group)));
                     total_postings += volume;
@@ -217,7 +222,7 @@ fn concept_doc_maps(
                 let mut map = FxHashMap::default();
                 for &via in group {
                     absorb_via(index, concepts[*qi], via, &mut map, None, check_every)
-                        .expect("unbounded absorb cannot fail");
+                        .expect("absorb cannot fail: no deadline, shards pre-forced in grouping");
                 }
                 map
             });
@@ -246,6 +251,12 @@ fn concept_doc_maps(
 
 /// All documents matching `Q`, with per-concept match details. Returns an
 /// empty map for an empty query.
+///
+/// # Panics
+///
+/// Panics if a lazy shard fails to decode (the bounded variant returns
+/// it as a typed error; this unbounded entry point serves build and
+/// test paths with no error channel).
 pub fn matched_docs(
     index: &NcxIndex,
     kg: &KnowledgeGraph,
@@ -254,7 +265,7 @@ pub fn matched_docs(
     pool: &Pool,
 ) -> FxHashMap<DocId, Vec<ConceptMatch>> {
     matched_docs_bounded(index, kg, query, config, pool, None)
-        .expect("unbounded matched_docs cannot miss a deadline")
+        .expect("unbounded matched_docs can only fail on a lazy-shard store fault")
 }
 
 /// [`matched_docs`] under an optional [`Deadline`]. With `None` this is
@@ -269,6 +280,7 @@ pub fn matched_docs_bounded(
     pool: &Pool,
     deadline: Option<&Deadline>,
 ) -> Result<FxHashMap<DocId, Vec<ConceptMatch>>, QueryError> {
+    crate::fault::check(crate::fault::SITE_MATCHING)?;
     if query.is_empty() {
         return Ok(FxHashMap::default());
     }
@@ -326,7 +338,7 @@ pub fn rollup(
     pool: &Pool,
 ) -> Vec<RollupHit> {
     rollup_bounded(index, kg, query, k, config, pool, None)
-        .expect("unbounded rollup cannot miss a deadline")
+        .expect("unbounded rollup can only fail on a lazy-shard store fault")
 }
 
 /// [`rollup`] under an optional [`Deadline`]. `None` reproduces the
@@ -366,6 +378,7 @@ pub fn rollup_bounded_traced(
         t.add(Phase::Matching, matching_sw.elapsed());
     }
     check_deadline(deadline)?;
+    crate::fault::check(crate::fault::SITE_MERGE)?;
     let merge_sw = Stopwatch::start();
     let mut top = TopK::new(k);
     let mut details: FxHashMap<DocId, Vec<ConceptMatch>> = docs;

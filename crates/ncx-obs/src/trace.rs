@@ -3,6 +3,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::OnceLock;
 use std::time::Duration;
 #[cfg(feature = "timing")]
 use std::time::Instant;
@@ -70,6 +71,10 @@ pub struct QueryTrace {
     prunes: AtomicU64,
     /// 0 = cache not probed, 1 = miss, 2 = hit.
     cache: AtomicU64,
+    /// Why the query failed, when it did — the slow/failed-trace
+    /// record's postmortem field. Write-once (first error wins) so the
+    /// trace stays lock-free.
+    error: OnceLock<String>,
 }
 
 impl QueryTrace {
@@ -180,6 +185,19 @@ impl QueryTrace {
         }
     }
 
+    /// Records why the query failed (rejection text, caught panic
+    /// payload, store fault). Write-once: the first recorded error
+    /// wins, later calls are ignored — the root cause, not the last
+    /// symptom, is what a postmortem wants.
+    pub fn mark_error(&self, detail: impl Into<String>) {
+        let _ = self.error.set(detail.into());
+    }
+
+    /// The failure recorded by [`mark_error`](Self::mark_error), if any.
+    pub fn error(&self) -> Option<&str> {
+        self.error.get().map(String::as_str)
+    }
+
     /// Open an RAII span: the elapsed time is added to `phase` on drop.
     pub fn span(&self, phase: Phase) -> Span<'_> {
         Span {
@@ -208,10 +226,14 @@ impl fmt::Display for QueryTrace {
             self.prunes()
         )?;
         match self.cache_hit() {
-            Some(true) => write!(f, " | cache hit"),
-            Some(false) => write!(f, " | cache miss"),
-            None => Ok(()),
+            Some(true) => write!(f, " | cache hit")?,
+            Some(false) => write!(f, " | cache miss")?,
+            None => {}
         }
+        if let Some(e) = self.error() {
+            write!(f, " | error: {e}")?;
+        }
+        Ok(())
     }
 }
 

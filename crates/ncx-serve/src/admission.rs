@@ -219,6 +219,40 @@ mod tests {
     }
 
     #[test]
+    fn panicking_holder_releases_permit_and_unwedges_queue() {
+        // Regression for the fault-isolation contract: a query that
+        // panics while holding its permit must not shrink the admission
+        // capacity. The Permit is RAII, so unwinding drops it; the
+        // poison-recovering lock() keeps the counters usable afterwards.
+        let adm = std::sync::Arc::new(Admission::new(1, 4));
+        for _ in 0..3 {
+            let adm2 = adm.clone();
+            let crashed = std::thread::spawn(move || {
+                let _p = adm2.try_admit().unwrap();
+                panic!("injected query panic while in flight");
+            })
+            .join();
+            assert!(crashed.is_err(), "thread was expected to panic");
+        }
+        assert_eq!(adm.in_flight(), 0, "panics leaked permits");
+        // A queued caller still makes progress through the full
+        // admit-wait-free path.
+        let held = adm.try_admit().unwrap();
+        let worker = {
+            let adm = adm.clone();
+            std::thread::spawn(move || {
+                drop(adm.admit(None, Duration::from_millis(1)).unwrap());
+            })
+        };
+        while adm.waiting() == 0 {
+            std::thread::yield_now();
+        }
+        drop(held);
+        worker.join().unwrap();
+        assert_eq!((adm.in_flight(), adm.waiting()), (0, 0));
+    }
+
+    #[test]
     fn zero_width_clamps_to_one() {
         let adm = Admission::new(0, 0);
         let p = adm.try_admit().unwrap();

@@ -26,6 +26,18 @@
 //!   one `ncx-store` snapshot directory (read once, decode per replica)
 //!   and round-robins queries across them; the engine's determinism
 //!   contract makes replicas bit-for-bit interchangeable.
+//! * fault tolerance — each query runs inside a panic-isolation
+//!   wrapper ([`catch_unwind`](std::panic::catch_unwind)) that converts
+//!   panics and storage faults into typed
+//!   [`QueryError::Internal`](ncx_core::error::QueryError) rejections,
+//!   quarantines the faulted replica, and recovers it in the background
+//!   from the last durable snapshot plus an in-memory ingest log; a
+//!   replica rejoins only after a bit-for-bit self-check against a
+//!   healthy peer. [`RetryPolicy`] (used by [`ServeSession`] wrappers
+//!   and the `ncx-bench` load generator) drives jittered-backoff
+//!   retries of whatever
+//!   [`is_retryable`](ncx_core::error::QueryError::is_retryable) says
+//!   is worth repeating;
 //! * observability — every query carries a
 //!   [`QueryTrace`](ncx_obs::QueryTrace) (phase timings, walk and
 //!   pruning counters, cache outcome; retrievable through the
@@ -39,8 +51,10 @@
 pub mod admission;
 pub mod cache;
 mod obs;
+pub mod retry;
 pub mod serve;
 
 pub use admission::{Admission, Permit};
 pub use cache::{CacheKey, CacheValue, QueryCache};
-pub use serve::{NcxServe, ServeConfig, ServeSession, ServeStats};
+pub use retry::RetryPolicy;
+pub use serve::{NcxServe, ReplicaHealth, ServeConfig, ServeSession, ServeStats};

@@ -62,6 +62,26 @@ pub(crate) mod names {
             "ncx_serve_compactions_total",
             "Checkpoints that also folded the generation stack",
         ),
+        (
+            "ncx_serve_query_panics_total",
+            "Query panics caught by the per-query isolation wrapper",
+        ),
+        (
+            "ncx_serve_internal_errors_total",
+            "Queries failed with a typed internal error (store faults and caught panics)",
+        ),
+        (
+            "ncx_serve_quarantines_total",
+            "Replicas moved Healthy → Quarantined after a fault",
+        ),
+        (
+            "ncx_serve_rejoins_total",
+            "Replicas that completed recovery and rejoined the healthy set",
+        ),
+        (
+            "ncx_serve_recovery_failures_total",
+            "Background recovery attempts that failed (replica stays quarantined)",
+        ),
     ];
     /// Walker counters, aggregated across replicas at render time.
     pub(crate) const WALK_COUNTERS: &[(&str, &str)] = &[
@@ -127,6 +147,10 @@ pub(crate) mod names {
         (
             "ncx_serve_replicas",
             "Replica engines behind the multiplexer",
+        ),
+        (
+            "ncx_serve_healthy_replicas",
+            "Replicas currently healthy (in the query rotation)",
         ),
     ];
 }

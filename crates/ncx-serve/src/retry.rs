@@ -1,0 +1,211 @@
+//! Jittered exponential-backoff retry for retryable query rejections.
+//!
+//! The serving layer's typed errors carry their own retry contract:
+//! [`QueryError::is_retryable`] says whether an attempt is worth
+//! repeating (back-pressure and replica-local internal faults are;
+//! spent deadlines and malformed queries are not). [`RetryPolicy`] is
+//! the standard driver around that contract: bounded attempts,
+//! exponential backoff with a deterministic jitter so a fleet of
+//! synchronized clients doesn't re-stampede the admission queue on the
+//! same tick.
+//!
+//! Jitter is derived from a caller-supplied seed (splitmix64 of
+//! `seed ^ attempt`), not from a global RNG: two policies with the same
+//! seed back off identically, which keeps load-generator runs and chaos
+//! tests reproducible.
+
+use ncx_core::error::QueryError;
+use std::time::Duration;
+
+/// Bounded, jittered exponential backoff around
+/// [`QueryError::is_retryable`].
+///
+/// Attempt `i` (zero-based) that fails retryably sleeps for
+/// `base_backoff * 2^i`, capped at `max_backoff`, then scaled by a
+/// deterministic jitter factor uniform in `[1 - jitter, 1 + jitter]`.
+/// Fatal errors and exhausted attempts return the last error unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "no retries").
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Ceiling on the un-jittered backoff.
+    pub max_backoff: Duration,
+    /// Jitter half-width as a fraction of the backoff (`0.0..=1.0`);
+    /// `0.2` means each sleep is scaled uniformly into `[0.8, 1.2]`.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream. Give concurrent
+    /// clients distinct seeds so their retries decorrelate.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 2 ms base doubling to a 50 ms cap, ±20% jitter.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+            jitter: 0.2,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` attempts and otherwise default
+    /// backoff shape, seeded for decorrelation with `seed`.
+    pub fn attempts(max_attempts: u32, seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// The sleep before retry number `attempt` (zero-based index of the
+    /// attempt that just failed). Deterministic in `(self, attempt)`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.max_backoff);
+        // splitmix64 of (seed ^ attempt) -> uniform factor in
+        // [1 - jitter, 1 + jitter].
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let factor = 1.0 - jitter + 2.0 * jitter * unit;
+        exp.mul_f64(factor)
+    }
+
+    /// Runs `op` until it succeeds, fails fatally, or attempts run out.
+    /// Between retryable failures, sleeps [`backoff`](Self::backoff).
+    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T, QueryError>) -> Result<T, QueryError> {
+        self.run_counted(&mut op).0
+    }
+
+    /// Like [`run`](Self::run), but also reports how many retries were
+    /// spent (0 = first attempt settled it) so drivers can count them.
+    pub fn run_counted<T>(
+        &self,
+        op: &mut impl FnMut() -> Result<T, QueryError>,
+    ) -> (Result<T, QueryError>, u32) {
+        let attempts = self.max_attempts.max(1);
+        let mut retries = 0;
+        loop {
+            match op() {
+                Ok(v) => return (Ok(v), retries),
+                Err(e) if e.is_retryable() && retries + 1 < attempts => {
+                    std::thread::sleep(self.backoff(retries));
+                    retries += 1;
+                }
+                Err(e) => return (Err(e), retries),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overloaded() -> QueryError {
+        QueryError::Overloaded {
+            in_flight: 1,
+            queued: 1,
+        }
+    }
+
+    #[test]
+    fn retries_retryable_until_success() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_micros(10),
+            ..RetryPolicy::attempts(4, 7)
+        };
+        let mut calls = 0;
+        let (out, retries) = policy.run_counted(&mut || {
+            calls += 1;
+            if calls < 3 {
+                Err(overloaded())
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn fatal_errors_fail_fast() {
+        let policy = RetryPolicy::attempts(5, 7);
+        let mut calls = 0;
+        let out: Result<(), _> = policy.run(|| {
+            calls += 1;
+            Err(QueryError::UnknownConcept { name: "x".into() })
+        });
+        assert!(matches!(out, Err(QueryError::UnknownConcept { .. })));
+        assert_eq!(calls, 1, "fatal error must not be retried");
+
+        let mut calls = 0;
+        let out: Result<(), _> = policy.run(|| {
+            calls += 1;
+            Err(QueryError::internal_fatal("all replicas afflicted"))
+        });
+        assert!(!out.unwrap_err().is_retryable());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn exhaustion_returns_last_error() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_micros(10),
+            ..RetryPolicy::attempts(3, 1)
+        };
+        let mut calls = 0;
+        let (out, retries) = policy.run_counted::<()>(&mut || {
+            calls += 1;
+            Err(overloaded())
+        });
+        assert!(matches!(out, Err(QueryError::Overloaded { .. })));
+        assert_eq!((calls, retries), (3, 2));
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_deterministically() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(10),
+            jitter: 0.2,
+            seed: 42,
+        };
+        for attempt in 0..8 {
+            let b = policy.backoff(attempt);
+            let raw = Duration::from_millis(2)
+                .saturating_mul(1 << attempt)
+                .min(Duration::from_millis(10));
+            assert!(b >= raw.mul_f64(0.8) && b <= raw.mul_f64(1.2), "{b:?}");
+            // Deterministic: same policy, same attempt, same sleep.
+            assert_eq!(b, policy.backoff(attempt));
+        }
+        // The cap binds from attempt 3 onward (2 * 2^3 = 16 > 10).
+        assert!(policy.backoff(7) <= Duration::from_millis(12));
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff(0), policy.base_backoff);
+        assert_eq!(policy.backoff(1), policy.base_backoff * 2);
+    }
+}

@@ -25,11 +25,30 @@
 //! cacheable; partials are per-call artifacts and leave no residue.
 //!
 //! [`ingest_article`](NcxServe::ingest_article) is the one write path:
-//! it write-locks every replica **in index order** (total order ⇒ no
-//! lock-order inversion against other ingests), applies the same
-//! article to each — determinism keeps them identical — and then
-//! invalidates the cache (skipped when the article indexed to nothing,
-//! leaving every cached answer exact).
+//! it appends the article to the replicated **ingest log** (under the
+//! log lock, which orders before every engine lock), write-locks the
+//! *healthy* replicas **in index order** (total order ⇒ no lock-order
+//! inversion against other ingests), applies the same article to each —
+//! determinism keeps them identical — and then invalidates the cache
+//! (skipped when the article indexed to nothing, leaving every cached
+//! answer exact). Quarantined replicas are skipped and reconcile from
+//! the log when they rejoin.
+//!
+//! ## Fault isolation
+//!
+//! Every query executes under `catch_unwind`: a panic inside query code
+//! (or a typed [`StoreError`] from a lazy shard fault) becomes a
+//! [`QueryError::Internal`] for that one caller instead of poisoning
+//! the replica lock or aborting the process. The faulted replica is
+//! **quarantined** — routed around by replica selection — and,
+//! when a recovery directory is known (set automatically by
+//! [`open_replicas`](NcxServe::open_replicas) and
+//! [`checkpoint`](NcxServe::checkpoint), or explicitly via
+//! [`with_recovery_dir`](NcxServe::with_recovery_dir)), re-opened in
+//! the background from the last durable snapshot, replayed from the
+//! ingest log, self-checked against a healthy peer, and only then
+//! rejoined. See `ARCHITECTURE.md` § Fault tolerance for the state
+//! machine.
 
 use crate::admission::Admission;
 use crate::cache::{CacheKey, CacheValue, QueryCache};
@@ -44,10 +63,11 @@ use ncx_index::NewsSource;
 use ncx_kg::{DocId, KnowledgeGraph};
 use ncx_obs::{Histogram, Phase, QueryTrace, Stopwatch};
 use ncx_store::StoreError;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::cell::{Cell, RefCell};
-use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -114,12 +134,91 @@ pub struct ServeStats {
     pub checkpoints: u64,
     /// Checkpoints that also folded the generation stack (compaction).
     pub compactions: u64,
+    /// Query panics caught by the per-query isolation wrapper.
+    pub query_panics: u64,
+    /// Queries that failed with a typed [`QueryError::Internal`]
+    /// (store faults surfacing mid-execution; caught panics count here
+    /// too, via the error they are converted into).
+    pub internal_errors: u64,
+    /// Replicas moved `Healthy → Quarantined` after a fault.
+    pub quarantines: u64,
+    /// Replicas that completed recovery and rejoined the healthy set.
+    pub rejoins: u64,
+    /// Background recovery attempts that failed (snapshot unreadable,
+    /// replay gap, self-check mismatch, or a panic inside recovery);
+    /// the replica stays quarantined.
+    pub recovery_failures: u64,
 }
+
+/// A replica slot's position in the quarantine state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// In the round-robin rotation, serving queries and ingests.
+    Healthy,
+    /// Faulted and routed around; not recovering (no recovery
+    /// directory is known, or a recovery attempt failed).
+    Quarantined,
+    /// Faulted and being re-opened from the last durable snapshot in
+    /// the background; still routed around.
+    Recovering,
+}
+
+const HEALTHY: u8 = 0;
+const QUARANTINED: u8 = 1;
+const RECOVERING: u8 = 2;
+
+/// One replica engine plus its health state. `Arc`-shared with detached
+/// recovery threads, which outlive any single `&NcxServe` borrow.
+struct ReplicaSlot {
+    engine: RwLock<NcExplorer>,
+    state: AtomicU8,
+}
+
+impl ReplicaSlot {
+    fn health(&self) -> ReplicaHealth {
+        match self.state.load(Ordering::Acquire) {
+            HEALTHY => ReplicaHealth::Healthy,
+            QUARANTINED => ReplicaHealth::Quarantined,
+            _ => ReplicaHealth::Recovering,
+        }
+    }
+}
+
+/// Fault/recovery counters, `Arc`-shared with recovery threads.
+#[derive(Default)]
+struct Resilience {
+    query_panics: AtomicU64,
+    internal_errors: AtomicU64,
+    quarantines: AtomicU64,
+    rejoins: AtomicU64,
+    recovery_failures: AtomicU64,
+}
+
+/// One logged ingest: everything needed to replay
+/// [`NcExplorer::ingest_article`] on a recovering replica.
+type IngestEntry = (NewsSource, String, String, u32);
+
+/// The replicated ingest log: entry `j` produced document `base + j`.
+/// `base` counts the documents predating the log — those are covered by
+/// the recovery snapshot ([`NcxServe::checkpoint`] prunes the covered
+/// prefix and advances `base`). The log lock orders **before** every
+/// engine lock; holding it while a recovering replica rejoins is what
+/// makes "no ingest is ever lost" a two-line argument instead of a
+/// race.
+struct IngestLog {
+    base: usize,
+    entries: Vec<IngestEntry>,
+}
+
+/// Pending-replay batches larger than this are applied *outside* the
+/// log lock (ingests keep flowing); the final catch-up under the lock
+/// is bounded by however many arrived during the last batch.
+const FINAL_REPLAY_BATCH: usize = 32;
 
 /// The concurrent session multiplexer. See the module docs for the
 /// query flow.
 pub struct NcxServe {
-    replicas: Vec<RwLock<NcExplorer>>,
+    replicas: Vec<Arc<ReplicaSlot>>,
     admission: Admission,
     cache: QueryCache,
     next: AtomicUsize,
@@ -131,6 +230,13 @@ pub struct NcxServe {
     ingested: AtomicU64,
     checkpoints: AtomicU64,
     compactions: AtomicU64,
+    resilience: Arc<Resilience>,
+    ingest_log: Arc<Mutex<IngestLog>>,
+    /// Where quarantined replicas recover from. Set by
+    /// [`open_replicas`](Self::open_replicas), updated by every
+    /// successful [`checkpoint`](Self::checkpoint); `None` means
+    /// quarantine is terminal.
+    recovery_dir: Mutex<Option<PathBuf>>,
     obs: ServeObs,
 }
 
@@ -151,10 +257,19 @@ impl NcxServe {
             !replicas.is_empty(),
             "NcxServe requires at least one replica"
         );
+        let base = replicas[0].index().num_docs();
         Self {
             admission: Admission::new(config.max_in_flight, config.queue_depth),
             cache: QueryCache::new(config.cache_capacity),
-            replicas: replicas.into_iter().map(RwLock::new).collect(),
+            replicas: replicas
+                .into_iter()
+                .map(|engine| {
+                    Arc::new(ReplicaSlot {
+                        engine: RwLock::new(engine),
+                        state: AtomicU8::new(HEALTHY),
+                    })
+                })
+                .collect(),
             next: AtomicUsize::new(0),
             config,
             completed: AtomicU64::new(0),
@@ -164,13 +279,20 @@ impl NcxServe {
             ingested: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            resilience: Arc::new(Resilience::default()),
+            ingest_log: Arc::new(Mutex::new(IngestLog {
+                base,
+                entries: Vec::new(),
+            })),
+            recovery_dir: Mutex::new(None),
             obs: ServeObs::new(),
         }
     }
 
     /// Cold-opens `replicas` engines from one `ncx-store` snapshot
     /// directory (read and checksummed once, decoded per replica — see
-    /// [`NcExplorer::open_replicas`]) and serves them.
+    /// [`NcExplorer::open_replicas`]) and serves them. The directory
+    /// doubles as the recovery source for quarantined replicas.
     pub fn open_replicas(
         dir: impl AsRef<Path>,
         kg: Arc<KnowledgeGraph>,
@@ -178,13 +300,42 @@ impl NcxServe {
         replicas: usize,
         config: ServeConfig,
     ) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
         let engines = NcExplorer::open_replicas(dir, kg, engine_config, replicas)?;
-        Ok(Self::with_replicas(engines, config))
+        Ok(Self::with_replicas(engines, config).with_recovery_dir(dir))
     }
 
-    /// Number of replica engines.
+    /// Sets the snapshot directory quarantined replicas recover from.
+    /// Servers built from a live engine ([`new`](Self::new) /
+    /// [`with_replicas`](Self::with_replicas)) have none until their
+    /// first [`checkpoint`](Self::checkpoint); without one, quarantine
+    /// is terminal (the replica is routed around forever).
+    ///
+    /// The caller must ensure the directory's snapshot predates or
+    /// equals the served corpus — [`open_replicas`](Self::open_replicas)
+    /// and [`checkpoint`](Self::checkpoint) guarantee this when they
+    /// set it.
+    pub fn with_recovery_dir(self, dir: impl Into<PathBuf>) -> Self {
+        *self.recovery_dir.lock() = Some(dir.into());
+        self
+    }
+
+    /// Number of replica engines (healthy or not).
     pub fn replica_count(&self) -> usize {
         self.replicas.len()
+    }
+
+    /// Replicas currently in the `Healthy` state.
+    pub fn healthy_replicas(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|s| s.state.load(Ordering::Acquire) == HEALTHY)
+            .count()
+    }
+
+    /// The health of replica `idx` (panics if out of range).
+    pub fn replica_health(&self, idx: usize) -> ReplicaHealth {
+        self.replicas[idx].health()
     }
 
     /// The serving configuration.
@@ -204,9 +355,14 @@ impl NcxServe {
         }
     }
 
-    /// Parses a concept pattern query from labels.
+    /// Parses a concept pattern query from labels (served by the first
+    /// healthy replica; parsing only touches the KG, which replicas
+    /// share, so any of them is authoritative).
     pub fn query(&self, names: &[&str]) -> Result<ConceptQuery, QueryError> {
-        self.replicas[0].read().query(names)
+        self.replicas[self.first_healthy()]
+            .engine
+            .read()
+            .query(names)
     }
 
     /// Roll-up under the server's default deadline.
@@ -263,10 +419,9 @@ impl NcxServe {
             self.finish_ok(trace, wall, &self.obs.rollup_latency);
             return Ok(v);
         }
-        let result = {
-            let engine = self.replicas[self.pick()].read();
+        let result = self.run_query(trace, |engine| {
             engine.rollup_deadline_traced(query, k, deadline.as_ref(), trace)
-        };
+        });
         drop(permit);
         match result {
             Ok(hits) => {
@@ -334,10 +489,9 @@ impl NcxServe {
             self.finish_ok(trace, wall, &self.obs.drilldown_latency);
             return Ok(v);
         }
-        let result = {
-            let engine = self.replicas[self.pick()].read();
+        let result = self.run_query(trace, |engine| {
             engine.drilldown_deadline_traced(query, k, deadline.as_ref(), trace)
-        };
+        });
         drop(permit);
         match result {
             Ok(subs) => {
@@ -422,9 +576,14 @@ impl NcxServe {
             self.finish_ok(trace, wall, &self.obs.prog_rollup_latency);
             return Ok(v);
         }
-        let result = {
-            let engine = self.replicas[self.pick()].read();
+        let result = match self.run_infallible(trace, |engine| {
             engine.rollup_progressive_traced(query, k, deadline.as_ref(), trace)
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                drop(permit);
+                return Err(self.finish_err(trace, wall, e));
+            }
         };
         drop(permit);
         let v = Arc::new(result);
@@ -502,9 +661,14 @@ impl NcxServe {
             self.finish_ok(trace, wall, &self.obs.prog_drilldown_latency);
             return Ok(v);
         }
-        let result = {
-            let engine = self.replicas[self.pick()].read();
+        let result = match self.run_infallible(trace, |engine| {
             engine.drilldown_progressive_traced(query, k, deadline.as_ref(), trace)
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                drop(permit);
+                return Err(self.finish_err(trace, wall, e));
+            }
         };
         drop(permit);
         let v = Arc::new(result);
@@ -519,13 +683,21 @@ impl NcxServe {
         Ok(v)
     }
 
-    /// Ingests one article into **every** replica (write-locking them in
-    /// index order) and invalidates the cache — unless the article
-    /// indexed to nothing (no concept postings, no entity rows), in
-    /// which case no operator can ever return it and every cached answer
-    /// is still exact, so the wholesale clear is skipped. Returns the
-    /// assigned doc id, identical across replicas by the determinism
-    /// contract.
+    /// Ingests one article into every **healthy** replica
+    /// (write-locking them in index order, under the ingest-log lock)
+    /// and invalidates the cache — unless the article indexed to
+    /// nothing (no concept postings, no entity rows), in which case no
+    /// operator can ever return it and every cached answer is still
+    /// exact, so the wholesale clear is skipped. Returns the assigned
+    /// doc id, identical across replicas by the determinism contract.
+    ///
+    /// Quarantined and recovering replicas are **skipped** — the write
+    /// degrades gracefully instead of blocking on (or poisoning) a dead
+    /// replica's lock — and reconcile from the ingest log when they
+    /// rejoin. If *no* replica is healthy, the write lands on every
+    /// slot anyway (degraded but never dark: the quarantined fallback
+    /// replica that replica selection serves in that state must see
+    /// new documents too).
     pub fn ingest_article(
         &self,
         source: NewsSource,
@@ -533,22 +705,49 @@ impl NcxServe {
         body: &str,
         published: u32,
     ) -> DocId {
-        let mut guards: Vec<_> = self.replicas.iter().map(|r| r.write()).collect();
+        // Log lock first — the lock order (log → engine) shared with
+        // checkpoint and recovery-rejoin. Holding it across the engine
+        // writes means a replica rejoining concurrently either sees
+        // this entry in the log (and replays it) or rejoins before it
+        // exists (and is a healthy target next time) — never neither.
+        let mut log = self.ingest_log.lock();
+        let mut targets: Vec<usize> = (0..self.replicas.len())
+            .filter(|&i| self.replicas[i].state.load(Ordering::Acquire) == HEALTHY)
+            .collect();
+        let degraded = targets.is_empty();
+        if degraded {
+            targets = (0..self.replicas.len()).collect();
+        }
+        let mut guards: Vec<_> = targets
+            .iter()
+            .map(|&i| self.replicas[i].engine.write())
+            .collect();
         let mut assigned: Option<DocId> = None;
         for engine in guards.iter_mut() {
             let doc = engine.ingest_article(source, title.to_string(), body.to_string(), published);
             if let Some(prev) = assigned {
-                debug_assert_eq!(doc, prev, "replicas diverged on ingest");
+                // Healthy replicas are in lockstep by construction. In
+                // degraded mode quarantined slots may have missed
+                // earlier writes, so their ids can lag — recovery
+                // replaces those engines wholesale, so the divergence
+                // is transient and confined to routed-around slots.
+                debug_assert!(
+                    degraded || doc == prev,
+                    "healthy replicas diverged on ingest"
+                );
             }
-            assigned = Some(doc);
+            assigned = assigned.or(Some(doc));
         }
-        let doc = assigned.expect("at least one replica");
+        let doc = assigned.expect("at least one target replica");
         let visible = {
             let index = guards[0].index();
             !index.concepts_of_doc(doc).is_empty()
                 || !index.entity_index.entities_of(doc).is_empty()
         };
         drop(guards);
+        log.entries
+            .push((source, title.to_string(), body.to_string(), published));
+        drop(log);
         if visible {
             self.cache.invalidate();
         }
@@ -573,7 +772,23 @@ impl NcxServe {
         dir: impl AsRef<Path>,
     ) -> Result<ncx_core::CheckpointOutcome, StoreError> {
         let dir = dir.as_ref();
-        let outcome = self.replicas[0].read().checkpoint(dir)?;
+        // Log lock for the whole flush: the on-disk doc count and the
+        // log prune must agree, and no ingest may slip between them.
+        let mut log = self.ingest_log.lock();
+        let src = self.first_healthy();
+        let (outcome, on_disk) = {
+            let engine = self.replicas[src].engine.read();
+            let outcome = engine.checkpoint(dir)?;
+            (outcome, engine.index().num_docs())
+        };
+        // Everything on disk no longer needs replaying; advance the
+        // log base past the covered prefix. The new snapshot is also
+        // the freshest recovery source.
+        let covered = on_disk.saturating_sub(log.base).min(log.entries.len());
+        log.entries.drain(..covered);
+        log.base += covered;
+        drop(log);
+        *self.recovery_dir.lock() = Some(dir.to_path_buf());
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
         if outcome.compacted {
             self.compactions.fetch_add(1, Ordering::Relaxed);
@@ -594,11 +809,13 @@ impl NcxServe {
         Ok(outcome)
     }
 
-    /// Runs a closure against one replica under its read lock — the
-    /// escape hatch for read-only APIs the multiplexer doesn't wrap
-    /// (explanations, diagnostics, document fetches).
+    /// Runs a closure against one (healthy, when possible) replica
+    /// under its read lock — the escape hatch for read-only APIs the
+    /// multiplexer doesn't wrap (explanations, diagnostics, document
+    /// fetches). Unlike the query paths this is not panic-isolated:
+    /// the closure is caller code, not query execution.
     pub fn with_engine<R>(&self, f: impl FnOnce(&NcExplorer) -> R) -> R {
-        f(&self.replicas[self.pick()].read())
+        f(&self.replicas[self.pick()].engine.read())
     }
 
     /// A point-in-time snapshot of the server's counters.
@@ -615,6 +832,11 @@ impl NcxServe {
             ingested: self.ingested.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
+            query_panics: self.resilience.query_panics.load(Ordering::Relaxed),
+            internal_errors: self.resilience.internal_errors.load(Ordering::Relaxed),
+            quarantines: self.resilience.quarantines.load(Ordering::Relaxed),
+            rejoins: self.resilience.rejoins.load(Ordering::Relaxed),
+            recovery_failures: self.resilience.recovery_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -646,6 +868,11 @@ impl NcxServe {
             s.ingested,
             s.checkpoints,
             s.compactions,
+            s.query_panics,
+            s.internal_errors,
+            s.quarantines,
+            s.rejoins,
+            s.recovery_failures,
         ]) {
             self.obs.counter(name).store(value);
         }
@@ -655,7 +882,7 @@ impl NcxServe {
         let mut oracle_hits = 0u64;
         let mut oracle_misses = 0u64;
         for replica in &self.replicas {
-            let d = replica.read().diagnostics();
+            let d = replica.engine.read().diagnostics();
             walks.merge(d.walk_stats);
             oracle_hits += d.oracle.hits;
             oracle_misses += d.oracle.misses;
@@ -693,11 +920,186 @@ impl NcxServe {
         self.obs
             .gauge("ncx_serve_replicas")
             .set(self.replicas.len() as f64);
+        self.obs
+            .gauge("ncx_serve_healthy_replicas")
+            .set(self.healthy_replicas() as f64);
         self.obs.registry.render()
     }
 
+    /// Round-robin over the **healthy** replicas: scan from the rotor's
+    /// next position for the first healthy slot. If every replica is
+    /// quarantined, fall back to plain round-robin — a degraded replica
+    /// can still answer most queries, and never going dark beats
+    /// rejecting everything.
     fn pick(&self) -> usize {
-        self.next.fetch_add(1, Ordering::Relaxed) % self.replicas.len()
+        let n = self.replicas.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed) % n;
+        for i in 0..n {
+            let idx = (start + i) % n;
+            if self.replicas[idx].state.load(Ordering::Acquire) == HEALTHY {
+                return idx;
+            }
+        }
+        start
+    }
+
+    /// First healthy replica, or 0 when none is (degraded fallback —
+    /// same rationale as [`pick`](Self::pick)).
+    fn first_healthy(&self) -> usize {
+        self.replicas
+            .iter()
+            .position(|s| s.state.load(Ordering::Acquire) == HEALTHY)
+            .unwrap_or(0)
+    }
+
+    /// Executes one fallible query closure against a picked replica
+    /// under `catch_unwind`: the heart of per-query fault isolation.
+    ///
+    /// * a panic (from query code, a worker-pool closure — the pool
+    ///   re-propagates worker panics to the submitting thread — or an
+    ///   injected chaos fault) is caught and converted to a retryable
+    ///   [`QueryError::Internal`]; the replica is quarantined;
+    /// * a typed `Internal` error (a lazy shard fault surfacing through
+    ///   `try_postings`) also quarantines — the replica's snapshot view
+    ///   is bad and every later query through that shard would fail;
+    /// * deadline/overload/parse rejections pass through untouched: the
+    ///   replica is fine.
+    ///
+    /// The read guard is released *before* quarantine/recovery runs, so
+    /// the recovery thread's write lock can't deadlock against it. The
+    /// vendored lock shim recovers poisoning transparently, but without
+    /// the catch here a panic would still unwind through the caller's
+    /// stack and kill its session thread.
+    fn run_query<T>(
+        &self,
+        trace: &QueryTrace,
+        f: impl FnOnce(&NcExplorer) -> Result<T, QueryError>,
+    ) -> Result<T, QueryError> {
+        let idx = self.pick();
+        let outcome = {
+            let engine = self.replicas[idx].engine.read();
+            catch_unwind(AssertUnwindSafe(|| {
+                ncx_core::fault::check(ncx_core::fault::SITE_SERVE_EXECUTE)?;
+                f(&engine)
+            }))
+        };
+        match outcome {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e @ QueryError::Internal { .. })) => {
+                self.resilience
+                    .internal_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                trace.mark_error(e.to_string());
+                self.quarantine(idx);
+                Err(e)
+            }
+            Ok(Err(e)) => Err(e),
+            Err(payload) => {
+                self.resilience.query_panics.fetch_add(1, Ordering::Relaxed);
+                self.resilience
+                    .internal_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let e = QueryError::internal(format!(
+                    "query panicked on replica {idx}: {}",
+                    panic_detail(payload.as_ref())
+                ));
+                trace.mark_error(e.to_string());
+                self.quarantine(idx);
+                Err(e)
+            }
+        }
+    }
+
+    /// [`run_query`](Self::run_query) for the progressive paths, whose
+    /// engine entry points return results directly (mid-query problems
+    /// degrade into `interrupted()` partials inside the engine). Only a
+    /// panic can escape — caught, counted, quarantined, and returned as
+    /// a typed `Internal` error.
+    fn run_infallible<T>(
+        &self,
+        trace: &QueryTrace,
+        f: impl FnOnce(&NcExplorer) -> T,
+    ) -> Result<T, QueryError> {
+        let idx = self.pick();
+        let outcome = {
+            let engine = self.replicas[idx].engine.read();
+            catch_unwind(AssertUnwindSafe(|| {
+                ncx_core::fault::trip(ncx_core::fault::SITE_SERVE_EXECUTE);
+                f(&engine)
+            }))
+        };
+        match outcome {
+            Ok(v) => Ok(v),
+            Err(payload) => {
+                self.resilience.query_panics.fetch_add(1, Ordering::Relaxed);
+                self.resilience
+                    .internal_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let e = QueryError::internal(format!(
+                    "query panicked on replica {idx}: {}",
+                    panic_detail(payload.as_ref())
+                ));
+                trace.mark_error(e.to_string());
+                self.quarantine(idx);
+                Err(e)
+            }
+        }
+    }
+
+    /// Moves replica `idx` out of the healthy rotation and, when a
+    /// recovery directory is known, starts background recovery. The
+    /// `Healthy → Quarantined` CAS makes concurrent faulted queries on
+    /// the same replica race to a single quarantine + recovery spawn.
+    fn quarantine(&self, idx: usize) {
+        let slot = &self.replicas[idx];
+        if slot
+            .state
+            .compare_exchange(HEALTHY, QUARANTINED, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        self.resilience.quarantines.fetch_add(1, Ordering::Relaxed);
+        let Some(dir) = self.recovery_dir.lock().clone() else {
+            return; // terminal quarantine: nothing durable to reopen
+        };
+        slot.state.store(RECOVERING, Ordering::Release);
+        self.spawn_recovery(idx, dir);
+    }
+
+    /// Re-triggers background recovery for every replica stuck in
+    /// `Quarantined` — a prior recovery attempt failed, or no recovery
+    /// directory was known when it faulted. Returns how many recoveries
+    /// were spawned (0 when everything is healthy, already recovering,
+    /// or no recovery directory is configured). Deployments call this
+    /// on a timer; quarantine itself kicks off the first attempt.
+    pub fn recover_quarantined(&self) -> usize {
+        let Some(dir) = self.recovery_dir.lock().clone() else {
+            return 0;
+        };
+        let mut spawned = 0;
+        for (idx, slot) in self.replicas.iter().enumerate() {
+            if slot
+                .state
+                .compare_exchange(QUARANTINED, RECOVERING, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.spawn_recovery(idx, dir.clone());
+                spawned += 1;
+            }
+        }
+        spawned
+    }
+
+    /// Spawns the detached recovery thread for replica `idx` (already
+    /// marked `RECOVERING` by the caller).
+    fn spawn_recovery(&self, idx: usize, dir: PathBuf) {
+        let slots = self.replicas.clone();
+        let log = Arc::clone(&self.ingest_log);
+        let resilience = Arc::clone(&self.resilience);
+        // Detached: the thread owns Arc clones of everything it needs,
+        // so it is safe even if the server is dropped mid-recovery.
+        std::thread::spawn(move || recover_replica(&slots, idx, &dir, &log, &resilience));
     }
 
     /// Admission with the wait recorded into both the query's trace and
@@ -754,6 +1156,7 @@ impl NcxServe {
     /// Seals a rejected query's trace (wall + phase aggregation; the
     /// rejection itself was already counted) and passes the error on.
     fn finish_err(&self, trace: &QueryTrace, wall: Stopwatch, e: QueryError) -> QueryError {
+        trace.mark_error(e.to_string());
         trace.set_wall(wall.elapsed());
         self.obs.observe_trace(trace);
         e
@@ -796,9 +1199,148 @@ impl NcxServe {
                     .record_duration_us(elapsed.saturating_sub(*limit));
             }
             QueryError::UnknownConcept { .. } => {}
+            // Counted at the fault site (run_query/run_infallible),
+            // which also owns quarantine — nothing to do here.
+            QueryError::Internal { .. } => {}
         }
         e
     }
+}
+
+/// Renders a caught panic payload for the error detail (panics carry
+/// `&str` or `String` payloads in practice; anything else is opaque).
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Background recovery: re-open replica `idx` from the durable snapshot
+/// at `dir`, catch up from the ingest log, self-check against a healthy
+/// peer, and rejoin. Runs on a detached thread; its own panics are
+/// caught and counted as recovery failures (the replica then stays
+/// quarantined — never half-joined).
+fn recover_replica(
+    slots: &[Arc<ReplicaSlot>],
+    idx: usize,
+    dir: &Path,
+    log: &Mutex<IngestLog>,
+    resilience: &Resilience,
+) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| try_recover(slots, idx, dir, log)));
+    match outcome {
+        // try_recover stored HEALTHY itself, under the log lock.
+        Ok(Ok(())) => {
+            resilience.rejoins.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Err(_)) | Err(_) => {
+            resilience.recovery_failures.fetch_add(1, Ordering::Relaxed);
+            slots[idx].state.store(QUARANTINED, Ordering::Release);
+        }
+    }
+}
+
+/// The recovery protocol body. On success the slot holds the fresh
+/// engine and is already marked `HEALTHY` (the rejoin happens under the
+/// log lock so no concurrent ingest can slip between the final replay
+/// and the state flip).
+fn try_recover(
+    slots: &[Arc<ReplicaSlot>],
+    idx: usize,
+    dir: &Path,
+    log: &Mutex<IngestLog>,
+) -> Result<(), String> {
+    let (kg, config) = {
+        let engine = slots[idx].engine.read();
+        (engine.kg_handle(), engine.config().clone())
+    };
+    let mut fresh = NcExplorer::open(dir, kg, config).map_err(|e| e.to_string())?;
+    // Catch up in batches *outside* the log lock until the remaining
+    // backlog is small — ingests keep flowing while we replay.
+    loop {
+        let pending: Vec<IngestEntry> = {
+            let log = log.lock();
+            pending_entries(&log, fresh.index().num_docs())?.to_vec()
+        };
+        if pending.len() <= FINAL_REPLAY_BATCH {
+            break;
+        }
+        for (source, title, body, published) in pending {
+            fresh.ingest_article(source, title, body, published);
+        }
+    }
+    // Final catch-up and rejoin, atomically with respect to ingest.
+    let log = log.lock();
+    let pending = pending_entries(&log, fresh.index().num_docs())?.to_vec();
+    for (source, title, body, published) in pending {
+        fresh.ingest_article(source, title, body, published);
+    }
+    // Self-check: bit-for-bit agreement with a healthy peer before
+    // rejoining. Single-replica servers have no peer — the snapshot's
+    // own checksums plus the deterministic replay are the guarantee
+    // there (documented in ARCHITECTURE.md).
+    if let Some(peer) = slots
+        .iter()
+        .enumerate()
+        .find(|(i, s)| *i != idx && s.state.load(Ordering::Acquire) == HEALTHY)
+        .map(|(_, s)| s)
+    {
+        let peer = peer.engine.read();
+        self_check(&fresh, &peer)?;
+    }
+    *slots[idx].engine.write() = fresh;
+    slots[idx].state.store(HEALTHY, Ordering::Release);
+    drop(log);
+    Ok(())
+}
+
+/// The log suffix a recovered engine with `docs` documents still needs.
+/// `docs < base` means the snapshot predates the log's coverage — the
+/// gap is unrecoverable from this log (e.g. the recovery directory was
+/// never checkpointed after construction *and* entries were pruned).
+fn pending_entries(log: &IngestLog, docs: usize) -> Result<&[IngestEntry], String> {
+    if docs < log.base {
+        return Err(format!(
+            "recovered snapshot holds {docs} docs but the ingest log starts at {}: \
+             the replay gap is unrecoverable",
+            log.base
+        ));
+    }
+    let done = (docs - log.base).min(log.entries.len());
+    Ok(&log.entries[done..])
+}
+
+/// Bit-for-bit self-check between a recovered engine and a healthy
+/// peer: corpus shape (doc and posting counts) plus roll-up answers for
+/// a deterministic sample of single-concept queries. Scores are exact
+/// `f64` comparisons — the engine's determinism contract says replicas
+/// agree to the last bit, so any drift is a failed recovery.
+fn self_check(fresh: &NcExplorer, peer: &NcExplorer) -> Result<(), String> {
+    let (fd, pd) = (fresh.index().num_docs(), peer.index().num_docs());
+    if fd != pd {
+        return Err(format!("self-check: doc counts diverge ({fd} vs {pd})"));
+    }
+    let (fp, pp) = (fresh.index().num_postings(), peer.index().num_postings());
+    if fp != pp {
+        return Err(format!("self-check: posting counts diverge ({fp} vs {pp})"));
+    }
+    let kg = fresh.kg_handle();
+    let n = kg.num_concepts();
+    let step = (n / 8).max(1);
+    for concept in kg.concepts().step_by(step) {
+        let q = ConceptQuery::new([concept]);
+        if fresh.rollup(&q, 8) != peer.rollup(&q, 8) {
+            return Err(format!(
+                "self-check: roll-up diverges on concept {}",
+                concept.raw()
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// One logical user's handle on the server: carries a per-session
@@ -864,6 +1406,32 @@ impl ServeSession<'_> {
             .drilldown_deadline_traced(query, k, self.deadline);
         self.last_trace.replace(Some(trace));
         result
+    }
+
+    /// [`rollup`](Self::rollup) driven by a [`RetryPolicy`](crate::RetryPolicy): retryable
+    /// rejections (back-pressure, replica-local internal faults) are
+    /// retried with jittered backoff — by which time a quarantined
+    /// replica has been routed around — while fatal errors return
+    /// immediately. [`last_trace`](Self::last_trace) reflects the final
+    /// attempt.
+    pub fn rollup_with_retry(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        policy: &crate::RetryPolicy,
+    ) -> Result<Arc<Vec<RollupHit>>, QueryError> {
+        policy.run(|| self.rollup(query, k))
+    }
+
+    /// [`drilldown`](Self::drilldown) driven by a [`RetryPolicy`](crate::RetryPolicy); see
+    /// [`rollup_with_retry`](Self::rollup_with_retry).
+    pub fn drilldown_with_retry(
+        &self,
+        query: &ConceptQuery,
+        k: usize,
+        policy: &crate::RetryPolicy,
+    ) -> Result<Arc<Vec<Subtopic>>, QueryError> {
+        policy.run(|| self.drilldown(query, k))
     }
 
     /// Anytime roll-up under the session's deadline: expiry yields a

@@ -72,6 +72,47 @@ pub enum StoreError {
     },
 }
 
+// The lazy-open path caches a decode failure once per shard and must
+// surface it to every subsequent query, so the error needs to be
+// duplicable. `io::Error` is not `Clone`; the `Io` variant clones by
+// reconstructing an error with the same kind and message (the original
+// OS error code is preserved only in the first instance).
+impl Clone for StoreError {
+    fn clone(&self) -> Self {
+        match self {
+            StoreError::Io { path, source } => StoreError::Io {
+                path: path.clone(),
+                source: io::Error::new(source.kind(), source.to_string()),
+            },
+            StoreError::NotASnapshot { dir } => StoreError::NotASnapshot { dir: dir.clone() },
+            StoreError::VersionMismatch { found, supported } => StoreError::VersionMismatch {
+                found: *found,
+                supported: *supported,
+            },
+            StoreError::ChecksumMismatch { file } => {
+                StoreError::ChecksumMismatch { file: file.clone() }
+            }
+            StoreError::Truncated {
+                file,
+                expected,
+                actual,
+            } => StoreError::Truncated {
+                file: file.clone(),
+                expected: *expected,
+                actual: *actual,
+            },
+            StoreError::MissingFile { file } => StoreError::MissingFile { file: file.clone() },
+            StoreError::Corrupt { file, detail } => StoreError::Corrupt {
+                file: file.clone(),
+                detail: detail.clone(),
+            },
+            StoreError::Incompatible { detail } => StoreError::Incompatible {
+                detail: detail.clone(),
+            },
+        }
+    }
+}
+
 impl StoreError {
     /// Convenience constructor for [`StoreError::Corrupt`].
     pub fn corrupt(file: impl Into<String>, detail: impl Into<String>) -> Self {

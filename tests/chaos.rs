@@ -1,0 +1,544 @@
+//! Serve-layer chaos harness: injected panics, storage faults, and
+//! slow replicas against the fault-isolation contract.
+//!
+//! What must hold, fault or no fault:
+//!
+//! * a faulted query returns a typed [`QueryError`] — panics never
+//!   escape the serve layer, sessions never wedge, locks never poison;
+//! * a faulted replica is quarantined, recovered in the background from
+//!   the last durable snapshot plus the ingest log, and rejoins only
+//!   after a bit-for-bit self-check against a healthy peer;
+//! * quarantine and recovery are observable in
+//!   [`NcxServe::metrics_text`];
+//! * post-recovery answers are bit-for-bit identical to an unfaulted
+//!   reference.
+//!
+//! Fault plans are process-global state (`ncx_core::fault`), so every
+//! test here serialises on one mutex; the CI `serve-chaos` job also
+//! runs this binary with `--test-threads=1`.
+
+use ncexplorer::core::fault::{self, FaultMode};
+use ncexplorer::core::rollup::RollupHit;
+use ncexplorer::core::{error::QueryError, ConceptQuery, NcExplorer, NcxConfig, Parallelism};
+use ncexplorer::datagen::{generate_corpus, generate_kg, CorpusConfig, KgGenConfig};
+use ncexplorer::serve::{NcxServe, ReplicaHealth, RetryPolicy, ServeConfig};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Fault plans are process-global; chaos tests must not overlap.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+fn chaos_guard() -> std::sync::MutexGuard<'static, ()> {
+    let guard = CHAOS.lock().unwrap_or_else(PoisonError::into_inner);
+    fault::disarm_all();
+    guard
+}
+
+const TOPICS: [&str; 3] = ["Financial Crime", "Elections", "Mergers & Acquisitions"];
+
+/// Sequential engines (`Fixed(1)`): every fault site runs on the query's
+/// calling thread, so `arm_local` plans fire exactly for the arming
+/// test's own queries.
+fn engine_config(width: usize) -> NcxConfig {
+    NcxConfig {
+        samples: 10,
+        parallelism: Parallelism::Fixed(width),
+        ..NcxConfig::default()
+    }
+}
+
+fn build_engine(articles: usize, width: usize) -> NcExplorer {
+    let kg = std::sync::Arc::new(generate_kg(&KgGenConfig::default()));
+    let corpus = generate_corpus(
+        &kg,
+        &CorpusConfig {
+            articles,
+            ..CorpusConfig::default()
+        },
+    );
+    NcExplorer::build(kg, corpus.store, engine_config(width))
+}
+
+fn reference(engine: &NcExplorer, k: usize) -> Vec<(ConceptQuery, Vec<RollupHit>)> {
+    TOPICS
+        .iter()
+        .map(|t| {
+            let q = engine.query(&[t]).unwrap();
+            let hits = engine.rollup(&q, k);
+            (q, hits)
+        })
+        .collect()
+}
+
+/// Polls `pred` until it holds or `timeout` elapses; returns whether it
+/// held. Background recovery has no completion handle by design, so
+/// tests observe it through the health/metrics APIs like operators do.
+fn wait_for(timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < timeout {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    pred()
+}
+
+/// The value of a counter/gauge sample line in a Prometheus exposition.
+fn metric_value(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find_map(|l| {
+            let (n, v) = l.split_once(' ')?;
+            if n == name {
+                v.trim().parse::<f64>().ok()
+            } else {
+                None
+            }
+        })
+        .unwrap_or_else(|| panic!("metric {name} not found in exposition"))
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ncx_chaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Panics at each labelled query-phase site surface as typed retryable
+/// `Internal` errors; the session keeps working, the admission slots
+/// are all released, and (with no recovery source configured) the lone
+/// replica serves on, degraded, with identical answers.
+#[test]
+fn panics_are_isolated_to_typed_errors_and_nothing_wedges() {
+    let _guard = chaos_guard();
+    let engine = build_engine(100, 1);
+    let want = reference(&engine, 10);
+    let serve = NcxServe::new(
+        engine,
+        ServeConfig {
+            max_in_flight: 2,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let session = serve.session();
+
+    // The classic-path sites (query-time walks belong to the
+    // progressive path, exercised separately below).
+    let sites = [
+        fault::SITE_MATCHING,
+        fault::SITE_MERGE,
+        fault::SITE_SERVE_EXECUTE,
+    ];
+    for (round, site) in sites.iter().enumerate() {
+        let (q, hits) = &want[round % want.len()];
+        fault::arm_local(site, FaultMode::Panic, 0);
+        let err = session.rollup(q, 10).unwrap_err();
+        assert!(
+            matches!(err, QueryError::Internal { .. }) && err.is_retryable(),
+            "site {site}: {err}"
+        );
+        assert!(err.to_string().contains("panicked"), "{err}");
+        // The failed trace carries the panic payload.
+        let trace = session.last_trace().unwrap();
+        assert!(
+            trace.error().is_some_and(|e| e.contains("injected")),
+            "trace missing failure record: {:?}",
+            trace.error()
+        );
+        // The gate was one-shot: the immediate retry answers exactly.
+        assert_eq!(*session.rollup(q, 10).unwrap(), *hits, "site {site}");
+    }
+
+    // No recovery dir: the quarantine is terminal, the degraded
+    // fallback still serves, and the books balance.
+    assert_eq!(serve.healthy_replicas(), 0);
+    assert_eq!(serve.replica_health(0), ReplicaHealth::Quarantined);
+    let stats = serve.stats();
+    assert_eq!(stats.query_panics, 3, "{stats:?}");
+    assert_eq!(stats.internal_errors, 3, "{stats:?}");
+    assert_eq!(stats.quarantines, 1, "one CAS wins; the rest see it");
+    assert_eq!(stats.rejoins + stats.recovery_failures, 0, "{stats:?}");
+    let text = serve.metrics_text();
+    assert_eq!(metric_value(&text, "ncx_serve_query_panics_total"), 3.0);
+    assert_eq!(metric_value(&text, "ncx_serve_healthy_replicas"), 0.0);
+    fault::disarm_all();
+}
+
+/// A lazy shard that fails to decode surfaces as a typed retryable
+/// error (never a panic), quarantines the replica whose snapshot view
+/// is bad, and background recovery restores a bit-for-bit identical
+/// replica from the same directory.
+#[test]
+fn lazy_decode_fault_quarantines_then_recovery_rejoins_bitforbit() {
+    let _guard = chaos_guard();
+    let engine = build_engine(100, 1);
+    let kg = engine.kg_handle();
+    let want = reference(&engine, 10);
+    let dir = tmp_dir("lazy");
+    engine.save(&dir).unwrap();
+    drop(engine);
+
+    let replicas = vec![
+        NcExplorer::open_lazy(&dir, kg.clone(), engine_config(1)).unwrap(),
+        NcExplorer::open_lazy(&dir, kg, engine_config(1)).unwrap(),
+    ];
+    let serve = NcxServe::with_replicas(
+        replicas,
+        ServeConfig {
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .with_recovery_dir(&dir);
+
+    let (q, hits) = &want[0];
+    fault::arm_local(fault::SITE_LAZY_DECODE, FaultMode::StoreFault, 0);
+    let err = serve.rollup(q, 10).unwrap_err();
+    assert!(matches!(err, QueryError::Internal { .. }), "{err}");
+    assert!(err.is_retryable(), "replica-local fault must be retryable");
+    assert!(err.to_string().contains("injected fault"), "{err}");
+
+    assert!(
+        wait_for(Duration::from_secs(30), || serve.healthy_replicas() == 2),
+        "recovery did not rejoin: {:?}",
+        serve.stats()
+    );
+    let stats = serve.stats();
+    assert_eq!(stats.quarantines, 1, "{stats:?}");
+    assert_eq!(stats.rejoins, 1, "{stats:?}");
+    assert_eq!(stats.recovery_failures, 0, "{stats:?}");
+    // Cache off + round-robin: two queries hit both replicas, including
+    // the recovered one. Answers must match the pre-fault reference.
+    for _ in 0..2 {
+        assert_eq!(*serve.rollup(q, 10).unwrap(), *hits);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    fault::disarm_all();
+}
+
+/// Ingest keeps flowing while a replica is quarantined (healthy slots
+/// take the write, the log remembers it) and the rejoining replica
+/// replays what it missed — both replicas then agree on the enlarged
+/// corpus.
+#[test]
+fn ingest_during_quarantine_is_replayed_on_rejoin() {
+    let _guard = chaos_guard();
+    let engine = build_engine(60, 1);
+    let kg = engine.kg_handle();
+    let dir = tmp_dir("rejoin");
+    engine.save(&dir).unwrap();
+    drop(engine);
+
+    let serve = NcxServe::open_replicas(
+        &dir,
+        kg,
+        engine_config(1),
+        2,
+        ServeConfig {
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let q = serve.query(&["Financial Crime"]).unwrap();
+    let before_hits = serve.rollup(&q, 500).unwrap();
+    let before = before_hits.len();
+    assert!(before > 0 && before < 500);
+    // A duplicate of a known matching article must match the query too.
+    let (title, body) = serve.with_engine(|e| {
+        let a = e.document(before_hits[0].doc);
+        (a.title.clone(), a.body.clone())
+    });
+    serve.ingest_article(
+        ncexplorer::index::NewsSource::Reuters,
+        &title,
+        &body,
+        7_000_000,
+    );
+
+    // Fault one replica, then ingest *while it is out of rotation*.
+    fault::arm_local(fault::SITE_MATCHING, FaultMode::StoreFault, 0);
+    let err = serve.rollup(&q, 500).unwrap_err();
+    assert!(matches!(err, QueryError::Internal { .. }), "{err}");
+    serve.ingest_article(
+        ncexplorer::index::NewsSource::Reuters,
+        &title,
+        &body,
+        7_000_001,
+    );
+
+    assert!(
+        wait_for(Duration::from_secs(30), || serve.healthy_replicas() == 2),
+        "recovery did not rejoin: {:?}",
+        serve.stats()
+    );
+    // Both replicas (round-robin, cache off) see both ingests.
+    for _ in 0..2 {
+        assert_eq!(
+            serve.rollup(&q, 500).unwrap().len(),
+            before + 2,
+            "a replica missed a logged ingest"
+        );
+    }
+    let text = serve.metrics_text();
+    assert!(metric_value(&text, "ncx_serve_quarantines_total") >= 1.0);
+    assert!(metric_value(&text, "ncx_serve_rejoins_total") >= 1.0);
+    std::fs::remove_dir_all(&dir).ok();
+    fault::disarm_all();
+}
+
+/// A pathologically slow replica is a *deadline* problem, not a fault:
+/// the query gets the typed deadline rejection, and the replica — which
+/// is slow, not wrong — is NOT quarantined.
+#[test]
+fn slow_replica_trips_deadline_not_quarantine() {
+    let _guard = chaos_guard();
+    let engine = build_engine(80, 1);
+    let want = reference(&engine, 10);
+    let serve = NcxServe::new(
+        engine,
+        ServeConfig {
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let (q, hits) = &want[0];
+
+    fault::arm_local(
+        fault::SITE_SERVE_EXECUTE,
+        FaultMode::Delay(Duration::from_millis(80)),
+        0,
+    );
+    let err = serve
+        .rollup_deadline(q, 10, Some(Duration::from_millis(5)))
+        .unwrap_err();
+    assert!(
+        matches!(err, QueryError::DeadlineExceeded { .. }),
+        "slowness must surface as a deadline rejection: {err}"
+    );
+    assert!(!err.is_retryable(), "the time budget is spent");
+
+    let stats = serve.stats();
+    assert_eq!(stats.internal_errors, 0, "{stats:?}");
+    assert_eq!(stats.quarantines, 0, "slow is not faulted: {stats:?}");
+    assert_eq!(serve.healthy_replicas(), 1);
+    // Un-delayed, the same query answers exactly.
+    assert_eq!(*serve.rollup(q, 10).unwrap(), *hits);
+    fault::disarm_all();
+}
+
+/// The progressive (anytime) paths are panic-isolated too: their engine
+/// entry points are infallible, so the serve-execute wrapper is where a
+/// panic surfaces — as the same typed retryable `Internal`.
+#[test]
+fn progressive_paths_are_panic_isolated() {
+    let _guard = chaos_guard();
+    let engine = build_engine(80, 1);
+    let q = engine.query(&["Elections"]).unwrap();
+    let serve = NcxServe::new(
+        engine,
+        ServeConfig {
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    );
+
+    fault::arm_local(fault::SITE_SERVE_EXECUTE, FaultMode::Panic, 0);
+    let err = serve.rollup_progressive(&q, 10).unwrap_err();
+    assert!(matches!(err, QueryError::Internal { .. }), "{err}");
+    assert!(err.is_retryable());
+    assert_eq!(serve.stats().query_panics, 1);
+
+    // The retry completes — and with no deadline pressure the anytime
+    // path converges to a complete, non-partial result.
+    let result = serve.rollup_progressive(&q, 10).unwrap();
+    assert!(result.is_complete(), "unfaulted retry should converge");
+
+    // The walks site fires inside the progressive path proper (the
+    // resumable-unit open); `StoreFault` escalates to a panic at this
+    // infallible site, and the wrapper still types it.
+    fault::arm_local(fault::SITE_WALKS, FaultMode::StoreFault, 0);
+    let err = serve.rollup_progressive(&q, 10).unwrap_err();
+    assert!(matches!(err, QueryError::Internal { .. }), "{err}");
+    assert_eq!(serve.stats().query_panics, 2);
+    fault::disarm_all();
+}
+
+/// The full sweep: a concurrent closed-loop workload with client-side
+/// retries while a chaos thread keeps arming one-shot faults across
+/// every site. Afterwards: the books balance (no query lost, no wedged
+/// session), quarantine + recovery are visible in the metrics, every
+/// replica is healthy again, and answers are bit-for-bit identical to
+/// the unfaulted reference.
+#[test]
+fn chaos_sweep_under_concurrent_load_recovers_bitforbit() {
+    let _guard = chaos_guard();
+    let engine = build_engine(120, 2);
+    let kg = engine.kg_handle();
+    let want = reference(&engine, 10);
+    let queries: Vec<ConceptQuery> = want.iter().map(|(q, _)| q.clone()).collect();
+    let dir = tmp_dir("sweep");
+    engine.save(&dir).unwrap();
+    drop(engine);
+
+    let serve = NcxServe::open_replicas(
+        &dir,
+        kg,
+        engine_config(2),
+        2,
+        ServeConfig {
+            max_in_flight: 4,
+            queue_depth: 64,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let spec = ncx_bench::loadgen::LoadSpec {
+        sessions: 4,
+        queries_per_session: if cfg!(debug_assertions) { 30 } else { 80 },
+        queries: &queries,
+        k: 10,
+        deadline: Some(Duration::from_secs(60)),
+        drilldown_every: 4,
+        retry: Some(RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+            jitter: 0.3,
+            seed: 0xc4a05,
+        }),
+    };
+
+    // Chaos alongside the load: one-shot faults cycling through every
+    // site, a few milliseconds apart. One-shot (not sticky) so a plan
+    // is consumed by exactly one query and a retry can succeed, and so
+    // the recovery thread's self-check can't starve forever.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let report = std::thread::scope(|scope| {
+        let chaos = scope.spawn(|| {
+            let plans = [
+                (fault::SITE_MATCHING, FaultMode::StoreFault),
+                (fault::SITE_MATCHING, FaultMode::Panic),
+                (fault::SITE_MERGE, FaultMode::Panic),
+                (fault::SITE_SERVE_EXECUTE, FaultMode::StoreFault),
+                (
+                    fault::SITE_SERVE_EXECUTE,
+                    FaultMode::Delay(Duration::from_millis(3)),
+                ),
+            ];
+            let mut i = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let (site, mode) = plans[i % plans.len()];
+                fault::arm(site, mode, 0);
+                i += 1;
+                std::thread::sleep(Duration::from_millis(3));
+            }
+        });
+        let report = ncx_bench::loadgen::closed_loop(&serve, &spec);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        chaos.join().expect("chaos thread panicked");
+        report
+    });
+    fault::disarm_all();
+
+    // Books balance: every query was answered or typed-rejected — no
+    // session wedged, no permit leaked (a follow-up query admits fine).
+    let total = (spec.sessions * spec.queries_per_session) as u64;
+    assert_eq!(report.completed + report.rejected, total, "{report:?}");
+    assert!(report.completed > 0, "{report:?}");
+    let stats = serve.stats();
+    assert!(
+        stats.quarantines >= 1,
+        "the sweep should have faulted at least one replica: {stats:?}"
+    );
+
+    // Drive recovery to convergence. A recovery attempt that itself ate
+    // a chaos fault fails and parks the replica in Quarantined;
+    // recover_quarantined re-triggers it — the operator's timer, here in
+    // loop form.
+    assert!(
+        wait_for(Duration::from_secs(60), || {
+            serve.recover_quarantined();
+            serve.healthy_replicas() == serve.replica_count()
+        }),
+        "replicas never converged back to healthy: {:?}",
+        serve.stats()
+    );
+
+    // Post-recovery: both replicas answer every query bit-for-bit like
+    // the unfaulted reference engine.
+    for (q, hits) in &want {
+        for _ in 0..2 {
+            assert_eq!(
+                *serve.rollup(q, 10).unwrap(),
+                *hits,
+                "post-recovery divergence"
+            );
+        }
+    }
+
+    // And the whole story is on the metrics endpoint.
+    let text = serve.metrics_text();
+    assert!(metric_value(&text, "ncx_serve_quarantines_total") >= 1.0);
+    assert!(metric_value(&text, "ncx_serve_rejoins_total") >= 1.0);
+    assert_eq!(
+        metric_value(&text, "ncx_serve_healthy_replicas"),
+        serve.replica_count() as f64
+    );
+    assert_eq!(
+        metric_value(&text, "ncx_serve_completed_total"),
+        serve.stats().completed as f64
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    fault::disarm_all();
+}
+
+/// Repeated panics beyond the admission capacity must not shrink it:
+/// permits are RAII and survive unwinding, so after N > max_in_flight
+/// panics the server still admits max_in_flight concurrent queries.
+#[test]
+fn admission_capacity_survives_repeated_panics() {
+    let _guard = chaos_guard();
+    let engine = build_engine(60, 1);
+    let q = engine.query(&["Elections"]).unwrap();
+    let serve = NcxServe::new(
+        engine,
+        ServeConfig {
+            max_in_flight: 2,
+            queue_depth: 0,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    );
+    // 2 + queue 0: more panics than there are permits.
+    for _ in 0..5 {
+        fault::arm_local(fault::SITE_MATCHING, FaultMode::Panic, 0);
+        let err = serve.rollup(&q, 10).unwrap_err();
+        assert!(matches!(err, QueryError::Internal { .. }), "{err}");
+    }
+    // Two queries can still run concurrently (each would be rejected
+    // Overloaded if a permit had leaked while a peer holds the other).
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                for _ in 0..10 {
+                    match serve.rollup(&q, 10) {
+                        Ok(_) => {}
+                        // Transient: the peer thread holds the other
+                        // permit mid-query. Leaks would make this
+                        // permanent, which the final check catches.
+                        Err(QueryError::Overloaded { .. }) => {}
+                        Err(e) => panic!("unexpected rejection: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    // Sequentially, with no competition, both permits must be free.
+    serve.rollup(&q, 10).unwrap();
+    assert_eq!(serve.stats().query_panics, 5);
+    fault::disarm_all();
+}

@@ -518,6 +518,7 @@ fn medium_scale_pipeline() {
         k: 50,
         deadline: Some(Duration::from_secs(120)),
         drilldown_every: 4,
+        retry: None,
     };
     let single = ncexplorer::serve::NcxServe::open_replicas(
         &snap_dir,
@@ -730,6 +731,7 @@ fn medium_scale_pipeline() {
                 deadline: Some(Duration::from_secs(120)),
                 drilldown_every: 4,
                 progressive: true,
+                retry: None,
             },
         );
         eprintln!(

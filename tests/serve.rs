@@ -283,6 +283,66 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Injected faults — a storage fault at the matching site, a panic
+    /// at the merge site — surface as typed retryable
+    /// [`QueryError::Internal`] rejections, leave no cache residue, and
+    /// (the gate being one-shot) the immediately retried query returns
+    /// the exact reference answer. Extends the deadline no-residue
+    /// property above to the fault classes.
+    #[test]
+    fn injected_faults_reject_cleanly_without_cache_residue(
+        topic_idx in 0usize..TOPICS.len(),
+        k in 1usize..20,
+        panic_at_merge in any::<bool>(),
+    ) {
+        use ncexplorer::core::fault;
+        use std::sync::OnceLock;
+        type Reference = Vec<(ConceptQuery, Vec<RollupHit>)>;
+        static SERVE: OnceLock<(NcxServe, Reference)> = OnceLock::new();
+        let (serve, reference) = SERVE.get_or_init(|| {
+            let engine = build_engine(80);
+            let refs = TOPICS
+                .iter()
+                .map(|t| {
+                    let q = engine.query(&[t]).unwrap();
+                    let hits = engine.rollup(&q, 64);
+                    (q, hits)
+                })
+                .collect();
+            (NcxServe::new(engine, ServeConfig::default()), refs)
+        });
+        let (q, unbounded) = &reference[topic_idx];
+
+        let cached_before = serve.cached_entries();
+        // Thread-local arming: the fault fires only on this thread's
+        // next pass through the chosen site, so concurrent test binaries
+        // and the shared server stay unaffected.
+        if panic_at_merge {
+            fault::arm_local(fault::SITE_MERGE, fault::FaultMode::Panic, 0);
+        } else {
+            fault::arm_local(fault::SITE_MATCHING, fault::FaultMode::StoreFault, 0);
+        }
+        // `k + 1000` keeps the key out of the cache (same trick as the
+        // deadline property): the fault must reach the engine.
+        let err = serve.rollup(q, k + 1000).unwrap_err();
+        prop_assert!(matches!(err, QueryError::Internal { .. }), "{err}");
+        prop_assert!(err.is_retryable(), "replica-local faults are retryable");
+        prop_assert_eq!(
+            serve.cached_entries(), cached_before,
+            "faulted query left cache residue"
+        );
+        // The gate is one-shot: the retry executes cleanly and matches
+        // the unbounded reference bit-for-bit.
+        let got = serve.rollup(q, k).unwrap();
+        let mut want = unbounded.clone();
+        want.truncate(k);
+        prop_assert_eq!(&*got, &want, "post-fault answer diverged");
+    }
+}
+
 /// Release-mode stress: a session fleet over one engine must complete
 /// every admitted query, and serving latency must stay interactive.
 /// Debug wall-clock is meaningless, so the latency floor is
@@ -306,6 +366,7 @@ fn serve_stress_counts_reconcile_and_p99_is_interactive() {
         k: 10,
         deadline: Some(Duration::from_secs(30)),
         drilldown_every: 4,
+        retry: None,
     };
     let report = ncx_bench::loadgen::closed_loop(&serve, &spec);
     let total = (spec.sessions * spec.queries_per_session) as u64;
@@ -381,6 +442,7 @@ fn serve_stress_tight_deadlines_yield_partials_not_rejections() {
         deadline: Some(Duration::from_micros(500)),
         drilldown_every: 4,
         progressive: true,
+        retry: None,
     };
     let report = ncx_bench::loadgen::open_loop(&serve, &spec);
     assert_eq!(
